@@ -1,0 +1,258 @@
+package threatraptor
+
+// One benchmark per table/figure of the paper's evaluation section. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment harness (cmd/experiments) prints the tables themselves;
+// these benchmarks measure the steady-state cost of each table's hot path.
+
+import (
+	"testing"
+
+	"threatraptor/internal/cases"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/extract"
+	"threatraptor/internal/fuzzy"
+	"threatraptor/internal/openie"
+	"threatraptor/internal/provenance"
+	"threatraptor/internal/reduction"
+	"threatraptor/internal/synth"
+	"threatraptor/internal/tbql"
+)
+
+func dataLeakCase(b *testing.B, scale float64) (*cases.Case, *cases.GeneratedLog) {
+	b.Helper()
+	c := cases.ByID("data_leak")
+	gen, err := c.Generate(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, gen
+}
+
+func dataLeakAnalyzed(b *testing.B) (*engine.Engine, *tbql.Analyzed, *tbql.Analyzed) {
+	b.Helper()
+	c, gen := dataLeakCase(b, 1.0)
+	store, err := engine.NewStore(gen.Log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graph := extract.New(extract.DefaultOptions()).Extract(c.Report).Graph
+	qa, _, err := synth.Synthesize(graph, synth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	aa, err := tbql.Analyze(qa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qc, _, err := synth.Synthesize(graph, synth.Options{Mode: synth.ModeLength1Paths})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ac, err := tbql.Analyze(qc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &engine.Engine{Store: store}, aa, ac
+}
+
+// BenchmarkTable5Extraction measures ThreatRaptor's threat behavior
+// extraction over all 18 case reports (Table V's subject).
+func BenchmarkTable5Extraction(b *testing.B) {
+	ex := extract.New(extract.DefaultOptions())
+	all := cases.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range all {
+			ex.Extract(c.Report)
+		}
+	}
+}
+
+// BenchmarkTable5OpenIEBaseline measures the Stanford-Open-IE-style
+// baseline on the same reports.
+func BenchmarkTable5OpenIEBaseline(b *testing.B) {
+	ie := openie.NewClauseIE(true)
+	all := cases.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range all {
+			ie.Extract(c.Report)
+		}
+	}
+}
+
+// BenchmarkTable6Hunt measures the end-to-end hunt (extract → synthesize →
+// execute) on the data_leak case (Table VI's subject).
+func BenchmarkTable6Hunt(b *testing.B) {
+	c, gen := dataLeakCase(b, 1.0)
+	sys := New(DefaultOptions())
+	if err := sys.LoadLog(gen.Log); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.HuntOSCTI(c.Report); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7Stages measures the three pipeline stages on the Figure 2
+// report (Table VII's subject).
+func BenchmarkTable7Stages(b *testing.B) {
+	c := cases.ByID("data_leak")
+	ex := extract.New(extract.DefaultOptions())
+	b.Run("extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex.Extract(c.Report)
+		}
+	})
+	graph := ex.Extract(c.Report).Graph
+	b.Run("synthesize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := synth.Synthesize(graph, synth.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable8QueryExecution measures the four query forms of RQ4 on
+// the data_leak store.
+func BenchmarkTable8QueryExecution(b *testing.B) {
+	en, aa, ac := dataLeakAnalyzed(b)
+	b.Run("tbql-scheduled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := en.Execute(aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sql-monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := en.ExecuteMonolithicSQL(aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tbql-len1-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := en.Execute(ac); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cypher-monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := en.ExecuteMonolithicCypher(aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable8SchedulerAblation isolates the scheduler's contribution:
+// the same per-pattern plan with pruning-score ordering and constraint
+// feeding disabled.
+func BenchmarkTable8SchedulerAblation(b *testing.B) {
+	en, aa, _ := dataLeakAnalyzed(b)
+	naive := &engine.Engine{Store: en.Store, DisableScheduling: true}
+	b.Run("scheduled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := en.Execute(aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unscheduled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := naive.Execute(aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable9Fuzzy measures the fuzzy search mode and the Poirot
+// baseline on the data_leak provenance graph.
+func BenchmarkTable9Fuzzy(b *testing.B) {
+	c, gen := dataLeakCase(b, 1.0)
+	graph := extract.New(extract.DefaultOptions()).Extract(c.Report).Graph
+	q, _, err := synth.Synthesize(graph, synth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qg, err := fuzzy.FromTBQL(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov := provenance.Build(gen.Log)
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fuzzy.NewSearcher(prov, qg, fuzzy.DefaultOptions(fuzzy.ModeExhaustive)).Search()
+		}
+	})
+	b.Run("poirot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fuzzy.NewSearcher(prov, qg, fuzzy.DefaultOptions(fuzzy.ModeFirstAcceptable)).Search()
+		}
+	})
+}
+
+// BenchmarkTable10Conciseness measures query compilation (the formatter
+// and the SQL/Cypher compilers that Table X counts).
+func BenchmarkTable10Conciseness(b *testing.B) {
+	en, aa, _ := dataLeakAnalyzed(b)
+	b.Run("tbql-format", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tbql.Format(aa.Query)
+		}
+	})
+	b.Run("sql-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.CompileMonolithicSQL(en.Store, aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cypher-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.CompileMonolithicCypher(en.Store, aa); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDataReduction measures the Section III-B reduction pass
+// (ablation knob: the merge threshold).
+func BenchmarkDataReduction(b *testing.B) {
+	c := cases.ByID("data_leak")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen, err := c.Generate(1.0) // Generate includes reduction; rebuild raw
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		reduction.Reduce(gen.Log, reduction.DefaultConfig())
+	}
+}
+
+// BenchmarkStoreLoad measures loading a reduced log into both backends.
+func BenchmarkStoreLoad(b *testing.B) {
+	_, gen := dataLeakCase(b, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.NewStore(gen.Log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

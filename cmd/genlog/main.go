@@ -1,0 +1,53 @@
+// Command genlog emits a benchmark case's raw audit log (newline-delimited
+// records, before data reduction) to stdout, for feeding into the
+// threatraptor and tbql tools' -log flag or into external tooling.
+//
+// Usage:
+//
+//	genlog -case data_leak -scale 1 > audit.log
+//	genlog -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/cases"
+)
+
+func main() {
+	caseID := flag.String("case", "data_leak", "benchmark case ID")
+	scale := flag.Float64("scale", 1.0, "benign noise scale")
+	list := flag.Bool("list", false, "list available cases")
+	flag.Parse()
+
+	if *list {
+		for _, c := range cases.All() {
+			fmt.Printf("%-24s %s\n", c.ID, c.Name)
+		}
+		return
+	}
+	c := cases.ByID(*caseID)
+	if c == nil {
+		log.Fatalf("unknown case %q (try -list)", *caseID)
+	}
+	// Re-simulate to obtain the raw record stream (GenerateRaw parses; here
+	// the wire lines themselves are wanted).
+	sim := audit.NewSimulator(c.Seed, 1_700_000_000_000_000)
+	benign := int(float64(c.BenignActions) * *scale)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign / 2})
+	sim.Advance(5_000_000)
+	c.Attack(sim)
+	sim.Advance(5_000_000)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign - benign/2})
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := audit.WriteRecords(w, sim.Records()); err != nil {
+		log.Fatal(err)
+	}
+}

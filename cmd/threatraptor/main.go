@@ -1,0 +1,132 @@
+// Command threatraptor runs the end-to-end OSCTI-driven threat hunting
+// pipeline: it loads system audit logs, extracts a threat behavior graph
+// from an OSCTI report, synthesizes a TBQL query, and executes it.
+//
+// Usage:
+//
+//	threatraptor -log audit.log -report attack.txt          # full pipeline
+//	threatraptor -log audit.log -report attack.txt -fuzzy   # fuzzy mode
+//	threatraptor -report attack.txt -synthesize-only        # no execution
+//	threatraptor -demo data_leak                            # built-in case
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"threatraptor"
+	"threatraptor/internal/cases"
+)
+
+func main() {
+	logPath := flag.String("log", "", "audit log file (newline-delimited raw records)")
+	reportPath := flag.String("report", "", "OSCTI report text file")
+	synthOnly := flag.Bool("synthesize-only", false, "stop after query synthesis")
+	graphJSON := flag.Bool("graph-json", false, "print the threat behavior graph as JSON")
+	useFuzzy := flag.Bool("fuzzy", false, "execute in fuzzy search mode")
+	demo := flag.String("demo", "", "run a built-in benchmark case (e.g. data_leak)")
+	scale := flag.Float64("scale", 1.0, "benign noise scale for -demo")
+	flag.Parse()
+
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	var report string
+
+	switch {
+	case *demo != "":
+		c := cases.ByID(*demo)
+		if c == nil {
+			var ids []string
+			for _, cc := range cases.All() {
+				ids = append(ids, cc.ID)
+			}
+			log.Fatalf("unknown case %q; available: %v", *demo, ids)
+		}
+		gen, err := c.Generate(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadLog(gen.Log); err != nil {
+			log.Fatal(err)
+		}
+		report = c.Report
+		fmt.Printf("case %s: %d entities, %d events (%d attack)\n",
+			c.ID, gen.Log.Stats().Entities, gen.Log.Stats().Events, len(gen.AttackEventIDs))
+	default:
+		if *reportPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*reportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = string(data)
+		if *logPath != "" {
+			f, err := os.Open(*logPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := sys.LoadAuditLog(f); err != nil {
+				log.Fatal(err)
+			}
+		} else if !*synthOnly {
+			log.Fatal("-log is required unless -synthesize-only is set")
+		}
+	}
+
+	res := sys.ExtractBehaviorGraph(report)
+	if *graphJSON {
+		data, err := json.MarshalIndent(res.Graph, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		if *synthOnly {
+			return
+		}
+	} else {
+		fmt.Println("--- threat behavior graph ---")
+		fmt.Print(res.Graph)
+	}
+
+	query, err := sys.SynthesizeQuery(res.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- synthesized TBQL query ---")
+	fmt.Println(query)
+	if *synthOnly {
+		return
+	}
+
+	if *useFuzzy {
+		als, err := sys.FuzzyHunt(query, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("--- fuzzy alignments ---")
+		for _, al := range als {
+			fmt.Printf("score %.2f: %v (%d events)\n", al.Score, al.Entities, len(al.Events))
+		}
+		return
+	}
+
+	hits, stats, err := sys.Hunt(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- results ---")
+	fmt.Println(hits.Set.Columns)
+	for _, row := range hits.Set.Strings() {
+		fmt.Println(row)
+	}
+	fmt.Printf("(%d matched events, %d data queries)\n", len(hits.MatchedEvents), stats.DataQueries)
+	if stats.EmptyPatternID != "" {
+		fmt.Printf("note: pattern %s matched no events and emptied the conjunction;\n", stats.EmptyPatternID)
+		fmt.Println("      revise the query (remove/relax the pattern) or try -fuzzy")
+	}
+}

@@ -1,0 +1,93 @@
+// Dataleak compares the four execution plans of the paper's RQ4 on the
+// data_leak case: the scheduled TBQL plan against the monolithic SQL
+// query on the relational backend, and the length-1 path TBQL plan
+// against the monolithic Cypher query on the graph backend.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"threatraptor/internal/cases"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/extract"
+	"threatraptor/internal/synth"
+	"threatraptor/internal/tbql"
+)
+
+func main() {
+	c := cases.ByID("data_leak")
+	gen, err := c.Generate(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := engine.NewStore(gen.Log)
+	if err != nil {
+		log.Fatal(err)
+	}
+	en := &engine.Engine{Store: store}
+	fmt.Printf("store: %d entities, %d events\n\n",
+		store.Rel.Table("entities").Len(), store.Rel.Table("events").Len())
+
+	graph := extract.New(extract.DefaultOptions()).Extract(c.Report).Graph
+
+	// Query form (a): TBQL event patterns, scheduled plan.
+	qa, _, err := synth.Synthesize(graph, synth.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aa, err := tbql.Analyze(qa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeIt("TBQL (scheduled, PostgreSQL-style backend)", func() int {
+		res, _, err := en.Execute(aa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Set.Len()
+	})
+
+	// Query form (b): one giant SQL statement.
+	timeIt("SQL (monolithic)", func() int {
+		rs, _, err := en.ExecuteMonolithicSQL(aa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rs.Len()
+	})
+
+	// Query form (c): TBQL length-1 path patterns, scheduled on the graph
+	// backend.
+	qc, _, err := synth.Synthesize(graph, synth.Options{Mode: synth.ModeLength1Paths})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ac, err := tbql.Analyze(qc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeIt("TBQL length-1 paths (scheduled, Neo4j-style backend)", func() int {
+		res, _, err := en.Execute(ac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Set.Len()
+	})
+
+	// Query form (d): one giant Cypher statement.
+	timeIt("Cypher (monolithic)", func() int {
+		rs, _, err := en.ExecuteMonolithicCypher(aa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rs.Len()
+	})
+}
+
+func timeIt(name string, run func() int) {
+	start := time.Now()
+	rows := run()
+	fmt.Printf("%-52s %8v  (%d rows)\n", name, time.Since(start).Round(time.Microsecond), rows)
+}

@@ -1,0 +1,69 @@
+// Proactivehunt demonstrates TBQL as a proactive threat hunting tool when
+// no OSCTI report is available (Section II): the analyst writes queries by
+// hand, iterates, and falls back to the fuzzy search mode when exact
+// search misses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"threatraptor"
+	"threatraptor/internal/cases"
+)
+
+func main() {
+	c := cases.ByID("password_crack")
+	gen, err := c.Generate(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	if err := sys.LoadLog(gen.Log); err != nil {
+		log.Fatal(err)
+	}
+
+	hunt := func(title, query string) {
+		fmt.Println("### " + title)
+		fmt.Println(query)
+		res, stats, err := sys.Hunt(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--> %d rows, %d matched events, %d data queries\n",
+			res.Set.Len(), len(res.MatchedEvents), stats.DataQueries)
+		for _, row := range res.Set.Strings() {
+			fmt.Printf("    %v\n", row)
+		}
+		fmt.Println()
+	}
+
+	// Hypothesis 1: has anything read the shadow file?
+	hunt("Who read /etc/shadow?", `proc p read file f["%/etc/shadow%"]
+return distinct p`)
+
+	// Hypothesis 2: did whatever read the shadow file also write results
+	// somewhere under /tmp? Chain two patterns on the same process.
+	hunt("Shadow readers that staged output in /tmp", `proc p read file f1["%/etc/shadow%"] as e1
+proc p write file f2["%/tmp/%"] as e2
+with e1 before e2
+return distinct p, f2`)
+
+	// Hypothesis 3: information flow — is the unpacking tool connected to
+	// any network endpoint within a few hops? The variable-length event
+	// path pattern bridges the intermediate download process that a
+	// report (or analyst) would omit.
+	hunt("Flow from the unpacker toward any C2 (variable-length path)", `proc p["%unzip%"] ~>(1~4) ip i
+return distinct p, i`)
+
+	// Fuzzy mode: the analyst misremembers the cracker's name.
+	fmt.Println("### Fuzzy search for a misremembered tool name (libfool.so)")
+	als, err := sys.FuzzyHunt(`proc p["%/tmp/libfool.so%"] read file f["%/etc/shadow%"] as e1
+return distinct p, f`, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, al := range als {
+		fmt.Printf("--> alignment score %.2f: %v\n", al.Score, al.Entities)
+	}
+}

@@ -1,0 +1,260 @@
+// Package audit models system audit logging data: system entities (files,
+// processes, network connections), system events (the interactions among
+// entities), and the parsing of raw kernel audit records into both.
+//
+// The model follows Section III-A of the ThreatRaptor paper. A system event
+// is the triple ⟨subject_entity, operation, object_entity⟩ where the subject
+// is always a process and the object is a file, a process, or a network
+// connection. Events are categorized by their object entity type into file
+// events, process events, and network events.
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EntityKind identifies the type of a system entity.
+type EntityKind uint8
+
+// The three system entity kinds captured by the auditing component.
+const (
+	EntityInvalid EntityKind = iota
+	EntityFile
+	EntityProcess
+	EntityNetConn
+)
+
+// String returns the lowercase name of the kind ("file", "proc", "ip"),
+// matching the TBQL entity type keywords.
+func (k EntityKind) String() string {
+	switch k {
+	case EntityFile:
+		return "file"
+	case EntityProcess:
+		return "proc"
+	case EntityNetConn:
+		return "ip"
+	default:
+		return "invalid"
+	}
+}
+
+// File holds the attributes of a file entity (paper Table II).
+type File struct {
+	Name  string // absolute path; the unique identifier of the file
+	Path  string // directory part of Name
+	User  string
+	Group string
+}
+
+// Process holds the attributes of a process entity (paper Table II).
+type Process struct {
+	PID     int
+	ExeName string // executable path, e.g. /bin/tar
+	User    string
+	Group   string
+	CMD     string // full command line
+}
+
+// NetConn holds the attributes of a network connection entity (paper
+// Table II). The 5-tuple uniquely identifies the connection.
+type NetConn struct {
+	SrcIP    string
+	SrcPort  int
+	DstIP    string
+	DstPort  int
+	Protocol string // "tcp" or "udp"
+}
+
+// Entity is a system entity: exactly one of File, Proc, or Net is non-nil
+// according to Kind. ID is assigned by the EntityTable when the entity is
+// first observed and is stable for the lifetime of the log.
+type Entity struct {
+	ID   int64
+	Kind EntityKind
+	File *File
+	Proc *Process
+	Net  *NetConn
+}
+
+// Key returns the unique identifier string for the entity:
+// absolute path for files, exename+pid for processes, and the 5-tuple for
+// network connections (Section III-A).
+func (e *Entity) Key() string {
+	switch e.Kind {
+	case EntityFile:
+		return "f:" + e.File.Name
+	case EntityProcess:
+		return "p:" + e.Proc.ExeName + "#" + strconv.Itoa(e.Proc.PID)
+	case EntityNetConn:
+		n := e.Net
+		return fmt.Sprintf("n:%s:%d>%s:%d/%s", n.SrcIP, n.SrcPort, n.DstIP, n.DstPort, n.Protocol)
+	default:
+		return ""
+	}
+}
+
+// Attr returns the named attribute of the entity as a string, or ok=false
+// if the entity kind does not carry that attribute. Attribute names follow
+// Table II ("name", "path", "user", "group", "pid", "exename", "cmd",
+// "srcip", "srcport", "dstip", "dstport", "protocol").
+func (e *Entity) Attr(name string) (string, bool) {
+	switch e.Kind {
+	case EntityFile:
+		switch name {
+		case "name":
+			return e.File.Name, true
+		case "path":
+			return e.File.Path, true
+		case "user":
+			return e.File.User, true
+		case "group":
+			return e.File.Group, true
+		}
+	case EntityProcess:
+		switch name {
+		case "pid":
+			return strconv.Itoa(e.Proc.PID), true
+		case "exename":
+			return e.Proc.ExeName, true
+		case "user":
+			return e.Proc.User, true
+		case "group":
+			return e.Proc.Group, true
+		case "cmd":
+			return e.Proc.CMD, true
+		}
+	case EntityNetConn:
+		switch name {
+		case "srcip":
+			return e.Net.SrcIP, true
+		case "srcport":
+			return strconv.Itoa(e.Net.SrcPort), true
+		case "dstip":
+			return e.Net.DstIP, true
+		case "dstport":
+			return strconv.Itoa(e.Net.DstPort), true
+		case "protocol":
+			return e.Net.Protocol, true
+		}
+	}
+	return "", false
+}
+
+// DefaultAttr returns the default attribute name used in security analysis
+// for the entity kind: "name" for files, "exename" for processes, and
+// "dstip" for network connections (TBQL syntactic sugar, Section III-D).
+func DefaultAttr(k EntityKind) string {
+	switch k {
+	case EntityFile:
+		return "name"
+	case EntityProcess:
+		return "exename"
+	case EntityNetConn:
+		return "dstip"
+	default:
+		return ""
+	}
+}
+
+// HasAttr reports whether the entity kind carries the named attribute.
+func HasAttr(k EntityKind, name string) bool {
+	var attrs []string
+	switch k {
+	case EntityFile:
+		attrs = []string{"name", "path", "user", "group"}
+	case EntityProcess:
+		attrs = []string{"pid", "exename", "user", "group", "cmd"}
+	case EntityNetConn:
+		attrs = []string{"srcip", "srcport", "dstip", "dstport", "protocol"}
+	}
+	for _, a := range attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a short human-readable description of the entity.
+func (e *Entity) String() string {
+	v, _ := e.Attr(DefaultAttr(e.Kind))
+	return fmt.Sprintf("%s(%d:%s)", e.Kind, e.ID, v)
+}
+
+// EntityTable interns system entities by their unique key and assigns
+// stable IDs. It is the in-memory registry produced by log parsing.
+type EntityTable struct {
+	byKey map[string]*Entity
+	byID  map[int64]*Entity
+	next  int64
+}
+
+// NewEntityTable returns an empty entity table.
+func NewEntityTable() *EntityTable {
+	return &EntityTable{
+		byKey: make(map[string]*Entity),
+		byID:  make(map[int64]*Entity),
+		next:  1,
+	}
+}
+
+// Intern returns the canonical entity for e's unique key, inserting e with a
+// freshly assigned ID if the key has not been seen. The returned entity is
+// the one stored in the table; the caller must not mutate identifying
+// fields afterwards.
+func (t *EntityTable) Intern(e *Entity) *Entity {
+	key := e.Key()
+	if got, ok := t.byKey[key]; ok {
+		return got
+	}
+	e.ID = t.next
+	t.next++
+	t.byKey[key] = e
+	t.byID[e.ID] = e
+	return e
+}
+
+// Lookup returns the entity with the given ID, or nil.
+func (t *EntityTable) Lookup(id int64) *Entity { return t.byID[id] }
+
+// LookupKey returns the entity with the given unique key, or nil.
+func (t *EntityTable) LookupKey(key string) *Entity { return t.byKey[key] }
+
+// Len returns the number of distinct entities interned.
+func (t *EntityTable) Len() int { return len(t.byKey) }
+
+// All returns all entities in ascending ID order.
+func (t *EntityTable) All() []*Entity {
+	out := make([]*Entity, 0, len(t.byID))
+	for id := int64(1); id < t.next; id++ {
+		if e, ok := t.byID[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NewFileEntity builds a file entity from an absolute path. The Path
+// attribute is the directory component.
+func NewFileEntity(name, user, group string) *Entity {
+	dir := name
+	if i := strings.LastIndexByte(name, '/'); i > 0 {
+		dir = name[:i]
+	} else if i == 0 {
+		dir = "/"
+	}
+	return &Entity{Kind: EntityFile, File: &File{Name: name, Path: dir, User: user, Group: group}}
+}
+
+// NewProcessEntity builds a process entity.
+func NewProcessEntity(pid int, exe, user, group, cmd string) *Entity {
+	return &Entity{Kind: EntityProcess, Proc: &Process{PID: pid, ExeName: exe, User: user, Group: group, CMD: cmd}}
+}
+
+// NewNetConnEntity builds a network connection entity from its 5-tuple.
+func NewNetConnEntity(srcIP string, srcPort int, dstIP string, dstPort int, proto string) *Entity {
+	return &Entity{Kind: EntityNetConn, Net: &NetConn{SrcIP: srcIP, SrcPort: srcPort, DstIP: dstIP, DstPort: dstPort, Protocol: proto}}
+}

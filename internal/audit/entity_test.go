@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntityKeyUniqueness(t *testing.T) {
+	a := NewFileEntity("/etc/passwd", "root", "root")
+	b := NewFileEntity("/etc/passwd", "alice", "staff") // same identity, different owner
+	c := NewFileEntity("/etc/shadow", "root", "root")
+	if a.Key() != b.Key() {
+		t.Errorf("same path should have same key: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == c.Key() {
+		t.Errorf("different paths should differ: %q", a.Key())
+	}
+
+	p1 := NewProcessEntity(100, "/bin/tar", "root", "root", "tar cf x")
+	p2 := NewProcessEntity(100, "/bin/tar", "root", "root", "tar xf y") // cmd not identifying
+	p3 := NewProcessEntity(101, "/bin/tar", "root", "root", "")
+	if p1.Key() != p2.Key() {
+		t.Errorf("same exe+pid should match: %q vs %q", p1.Key(), p2.Key())
+	}
+	if p1.Key() == p3.Key() {
+		t.Errorf("different pid should differ: %q", p1.Key())
+	}
+
+	n1 := NewNetConnEntity("10.0.0.1", 4000, "192.168.29.128", 443, "tcp")
+	n2 := NewNetConnEntity("10.0.0.1", 4000, "192.168.29.128", 443, "udp")
+	if n1.Key() == n2.Key() {
+		t.Errorf("protocol is part of the 5-tuple: %q", n1.Key())
+	}
+}
+
+func TestEntityKindsAreDistinctInKeys(t *testing.T) {
+	// A file named like a process key must not collide across kinds.
+	f := NewFileEntity("/bin/tar#100", "root", "root")
+	p := NewProcessEntity(100, "/bin/tar", "root", "root", "")
+	if f.Key() == p.Key() {
+		t.Fatalf("cross-kind key collision: %q", f.Key())
+	}
+}
+
+func TestEntityTableIntern(t *testing.T) {
+	tab := NewEntityTable()
+	a := tab.Intern(NewFileEntity("/etc/passwd", "root", "root"))
+	b := tab.Intern(NewFileEntity("/etc/passwd", "root", "root"))
+	if a != b {
+		t.Fatal("intern should return the canonical entity")
+	}
+	if a.ID == 0 {
+		t.Fatal("interned entity must receive an ID")
+	}
+	c := tab.Intern(NewFileEntity("/etc/shadow", "root", "root"))
+	if c.ID == a.ID {
+		t.Fatal("distinct entities must receive distinct IDs")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if got := tab.Lookup(a.ID); got != a {
+		t.Fatal("Lookup by ID failed")
+	}
+	if got := tab.LookupKey(a.Key()); got != a {
+		t.Fatal("LookupKey failed")
+	}
+	all := tab.All()
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Fatalf("All must return entities in ID order, got %v", all)
+	}
+}
+
+func TestEntityAttrs(t *testing.T) {
+	f := NewFileEntity("/tmp/upload.tar", "root", "wheel")
+	cases := []struct {
+		attr, want string
+	}{
+		{"name", "/tmp/upload.tar"},
+		{"path", "/tmp"},
+		{"user", "root"},
+		{"group", "wheel"},
+	}
+	for _, c := range cases {
+		got, ok := f.Attr(c.attr)
+		if !ok || got != c.want {
+			t.Errorf("file.Attr(%q) = %q, %v; want %q", c.attr, got, ok, c.want)
+		}
+	}
+	if _, ok := f.Attr("pid"); ok {
+		t.Error("file must not expose pid")
+	}
+
+	p := NewProcessEntity(42, "/usr/bin/curl", "bob", "staff", "curl http://x")
+	if got, _ := p.Attr("pid"); got != "42" {
+		t.Errorf("proc pid = %q", got)
+	}
+	if got, _ := p.Attr("exename"); got != "/usr/bin/curl" {
+		t.Errorf("proc exename = %q", got)
+	}
+	if got, _ := p.Attr("cmd"); got != "curl http://x" {
+		t.Errorf("proc cmd = %q", got)
+	}
+
+	n := NewNetConnEntity("10.0.0.5", 5555, "192.168.29.128", 443, "tcp")
+	if got, _ := n.Attr("dstip"); got != "192.168.29.128" {
+		t.Errorf("net dstip = %q", got)
+	}
+	if got, _ := n.Attr("srcport"); got != "5555" {
+		t.Errorf("net srcport = %q", got)
+	}
+}
+
+func TestDefaultAttr(t *testing.T) {
+	if DefaultAttr(EntityFile) != "name" ||
+		DefaultAttr(EntityProcess) != "exename" ||
+		DefaultAttr(EntityNetConn) != "dstip" {
+		t.Fatal("default attributes must match the paper (name/exename/dstip)")
+	}
+	if DefaultAttr(EntityInvalid) != "" {
+		t.Fatal("invalid kind has no default attribute")
+	}
+}
+
+func TestHasAttr(t *testing.T) {
+	if !HasAttr(EntityProcess, "exename") || HasAttr(EntityProcess, "name") {
+		t.Error("process attrs wrong")
+	}
+	if !HasAttr(EntityFile, "name") || HasAttr(EntityFile, "dstip") {
+		t.Error("file attrs wrong")
+	}
+	if !HasAttr(EntityNetConn, "protocol") || HasAttr(EntityNetConn, "cmd") {
+		t.Error("netconn attrs wrong")
+	}
+}
+
+func TestFilePathDerivation(t *testing.T) {
+	cases := []struct{ name, wantPath string }{
+		{"/etc/passwd", "/etc"},
+		{"/passwd", "/"},
+		{"/a/b/c.txt", "/a/b"},
+		{"relative.txt", "relative.txt"},
+	}
+	for _, c := range cases {
+		f := NewFileEntity(c.name, "", "")
+		if f.File.Path != c.wantPath {
+			t.Errorf("path of %q = %q, want %q", c.name, f.File.Path, c.wantPath)
+		}
+	}
+}
+
+// Property: interning is idempotent and key-stable for arbitrary path
+// strings.
+func TestInternIdempotentProperty(t *testing.T) {
+	tab := NewEntityTable()
+	f := func(path string) bool {
+		if path == "" {
+			return true
+		}
+		name := "/" + strings.TrimLeft(path, "/")
+		a := tab.Intern(NewFileEntity(name, "u", "g"))
+		b := tab.Intern(NewFileEntity(name, "u", "g"))
+		return a == b && a.ID == b.ID && a.Key() == b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package audit
+
+import (
+	"fmt"
+	"time"
+)
+
+// OpType is the operation type of a system event (paper Table III plus the
+// network verbs used by TBQL).
+type OpType uint8
+
+// Operation types. ProcessToFile events use read/write/execute/rename;
+// ProcessToProcess events use start/end (execve, fork, clone); and
+// ProcessToNetwork events use connect/send/receive (also matched by
+// read/write in TBQL queries over network objects).
+const (
+	OpInvalid OpType = iota
+	OpRead
+	OpWrite
+	OpExecute
+	OpStart
+	OpEnd
+	OpRename
+	OpConnect
+	OpSend
+	OpReceive
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpExecute: "execute",
+	OpStart:   "start",
+	OpEnd:     "end",
+	OpRename:  "rename",
+	OpConnect: "connect",
+	OpSend:    "send",
+	OpReceive: "receive",
+}
+
+// String returns the TBQL keyword for the operation.
+func (o OpType) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// ParseOp converts a TBQL operation keyword to an OpType.
+func ParseOp(s string) (OpType, error) {
+	for i, n := range opNames {
+		if n == s && OpType(i) != OpInvalid {
+			return OpType(i), nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("audit: unknown operation %q", s)
+}
+
+// EventCategory classifies events by their object entity kind
+// (paper Table I).
+type EventCategory uint8
+
+// The three event categories.
+const (
+	CatInvalid EventCategory = iota
+	CatProcessToFile
+	CatProcessToProcess
+	CatProcessToNetwork
+)
+
+// String returns the category name.
+func (c EventCategory) String() string {
+	switch c {
+	case CatProcessToFile:
+		return "ProcessToFile"
+	case CatProcessToProcess:
+		return "ProcessToProcess"
+	case CatProcessToNetwork:
+		return "ProcessToNetwork"
+	default:
+		return "Invalid"
+	}
+}
+
+// CategoryOf returns the event category for an object entity kind.
+func CategoryOf(object EntityKind) EventCategory {
+	switch object {
+	case EntityFile:
+		return CatProcessToFile
+	case EntityProcess:
+		return CatProcessToProcess
+	case EntityNetConn:
+		return CatProcessToNetwork
+	default:
+		return CatInvalid
+	}
+}
+
+// Event is a system event ⟨subject, operation, object⟩ with the attributes
+// of paper Table III. Times are microseconds since the Unix epoch.
+type Event struct {
+	ID          int64
+	SubjectID   int64 // always a process entity
+	ObjectID    int64 // file, process, or network connection entity
+	Op          OpType
+	StartTime   int64 // µs since epoch
+	EndTime     int64 // µs since epoch
+	DataAmount  int64 // bytes transferred, if applicable
+	FailureCode int   // 0 on success
+}
+
+// Duration returns the event duration.
+func (e *Event) Duration() time.Duration {
+	return time.Duration(e.EndTime-e.StartTime) * time.Microsecond
+}
+
+// Log is a parsed system audit log: an entity table plus the ordered
+// sequence of system events among those entities.
+type Log struct {
+	Entities *EntityTable
+	Events   []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{Entities: NewEntityTable()}
+}
+
+// Append adds an event, assigning its ID from the running sequence.
+func (l *Log) Append(ev Event) {
+	ev.ID = int64(len(l.Events) + 1)
+	l.Events = append(l.Events, ev)
+}
+
+// Subject returns the subject entity of ev.
+func (l *Log) Subject(ev *Event) *Entity { return l.Entities.Lookup(ev.SubjectID) }
+
+// Object returns the object entity of ev.
+func (l *Log) Object(ev *Event) *Entity { return l.Entities.Lookup(ev.ObjectID) }
+
+// Category returns the category of ev based on its object entity.
+func (l *Log) Category(ev *Event) EventCategory {
+	obj := l.Object(ev)
+	if obj == nil {
+		return CatInvalid
+	}
+	return CategoryOf(obj.Kind)
+}
+
+// Stats summarizes a log for reporting.
+type Stats struct {
+	Entities int
+	Events   int
+	ByCat    map[EventCategory]int
+}
+
+// Stats computes summary statistics over the log.
+func (l *Log) Stats() Stats {
+	s := Stats{Entities: l.Entities.Len(), Events: len(l.Events), ByCat: make(map[EventCategory]int)}
+	for i := range l.Events {
+		s.ByCat[l.Category(&l.Events[i])]++
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParserBuildsEventsAndInternsEntities(t *testing.T) {
+	p := NewParser()
+	recs := []Record{
+		{Time: 10, Call: SysRead, PID: 101, Exe: "/bin/tar", User: "root", FD: FDFile, Path: "/etc/passwd", Bytes: 100},
+		{Time: 20, Call: SysRead, PID: 101, Exe: "/bin/tar", User: "root", FD: FDFile, Path: "/etc/passwd", Bytes: 100},
+		{Time: 30, Call: SysWrite, PID: 101, Exe: "/bin/tar", User: "root", FD: FDFile, Path: "/tmp/upload.tar", Bytes: 50},
+		{Time: 40, Call: SysConnect, PID: 102, Exe: "/usr/bin/curl", FD: FDIPv4, SrcIP: "10.0.0.5", SrcPort: 40000, DstIP: "1.2.3.4", DstPort: 443, Proto: "tcp"},
+	}
+	for i := range recs {
+		if err := p.Feed(&recs[i]); err != nil {
+			t.Fatalf("Feed #%d: %v", i, err)
+		}
+	}
+	log := p.Log()
+	if got := len(log.Events); got != 4 {
+		t.Fatalf("events = %d, want 4", got)
+	}
+	// /bin/tar#101 appears 3 times but must be interned once.
+	// Entities: tar proc, passwd, upload.tar, curl proc, netconn = 5.
+	if got := log.Entities.Len(); got != 5 {
+		t.Fatalf("entities = %d, want 5", got)
+	}
+	if log.Events[0].SubjectID != log.Events[1].SubjectID {
+		t.Error("same process must resolve to the same subject entity")
+	}
+	if log.Events[0].ObjectID != log.Events[1].ObjectID {
+		t.Error("same file must resolve to the same object entity")
+	}
+	if log.Category(&log.Events[0]) != CatProcessToFile {
+		t.Error("file read should be a ProcessToFile event")
+	}
+	if log.Category(&log.Events[3]) != CatProcessToNetwork {
+		t.Error("connect should be a ProcessToNetwork event")
+	}
+	if log.Events[3].Op != OpConnect {
+		t.Errorf("connect op = %v", log.Events[3].Op)
+	}
+}
+
+func TestParserSkipsUnmonitoredSyscalls(t *testing.T) {
+	p := NewParser()
+	r := Record{Time: 1, Call: Syscall("mmap"), PID: 1, Exe: "/bin/x", FD: FDFile, Path: "/y"}
+	if err := p.Feed(&r); err != nil {
+		t.Fatalf("unmonitored syscalls must be skipped, not errors: %v", err)
+	}
+	if p.Skipped() != 1 {
+		t.Fatalf("skipped = %d, want 1", p.Skipped())
+	}
+	if len(p.Log().Events) != 0 {
+		t.Fatal("skipped record must not produce an event")
+	}
+}
+
+func TestParserProcessEvents(t *testing.T) {
+	p := NewParser()
+	recs := []Record{
+		{Time: 1, Call: SysFork, PID: 100, Exe: "/bin/bash", FD: FDProc, ChildPID: 101, ChildExe: "/bin/bash"},
+		{Time: 2, Call: SysExecve, PID: 100, Exe: "/bin/bash", FD: FDProc, ChildPID: 101, ChildExe: "/bin/tar", ChildCMD: "tar cf x"},
+		{Time: 3, Call: SysExit, PID: 101, Exe: "/bin/tar", FD: FDProc},
+	}
+	for i := range recs {
+		if err := p.Feed(&recs[i]); err != nil {
+			t.Fatalf("Feed #%d: %v", i, err)
+		}
+	}
+	log := p.Log()
+	if len(log.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(log.Events))
+	}
+	if log.Events[0].Op != OpStart || log.Events[1].Op != OpStart {
+		t.Error("fork/execve must map to start")
+	}
+	if log.Events[2].Op != OpEnd {
+		t.Error("exit must map to end")
+	}
+	// exit's object is the exiting process itself.
+	obj := log.Object(&log.Events[2])
+	if obj.Proc == nil || obj.Proc.PID != 101 || obj.Proc.ExeName != "/bin/tar" {
+		t.Errorf("exit object = %+v", obj)
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	input := strings.Join([]string{
+		"# audit log sample",
+		"",
+		"ts=100 call=read pid=5 exe=/bin/cat fd=file path=/etc/hosts bytes=64",
+		"ts=200 call=sendto pid=5 exe=/bin/cat fd=ipv4 src=10.0.0.1:999 dst=8.8.8.8:53 proto=udp bytes=32",
+	}, "\n")
+	log, err := ParseStream(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(log.Events))
+	}
+	if log.Events[1].Op != OpSend {
+		t.Errorf("op = %v, want send", log.Events[1].Op)
+	}
+}
+
+func TestParseStreamReportsLineNumbers(t *testing.T) {
+	input := "ts=1 call=read pid=1 exe=/bin/x fd=file path=/a\nts=borken call=read pid=1 exe=/x fd=file path=/a\n"
+	_, err := ParseStream(strings.NewReader(input))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestParserMissingFields(t *testing.T) {
+	p := NewParser()
+	if err := p.Feed(&Record{Time: 1, Call: SysRead, PID: 1, Exe: "/x", FD: FDFile}); err == nil {
+		t.Error("file record without path must fail")
+	}
+	if err := p.Feed(&Record{Time: 1, Call: SysFork, PID: 1, Exe: "/x", FD: FDProc}); err == nil {
+		t.Error("fork record without child pid must fail")
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	gen := func() []Record {
+		s := NewSimulator(42, 1_700_000_000_000_000)
+		s.GenerateBenign(BenignConfig{Users: 5, Actions: 50})
+		return s.Records()
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic record count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimulatorSplitsLargeTransfers(t *testing.T) {
+	s := NewSimulator(1, 0)
+	p := Proc{PID: 10, Exe: "/bin/tar", User: "root"}
+	s.ReadFile(p, "/etc/passwd", 10000) // 4096+4096+1808 => 3 records
+	recs := s.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (chunked)", len(recs))
+	}
+	var total int64
+	last := int64(-1)
+	for _, r := range recs {
+		total += r.Bytes
+		if r.Time <= last {
+			t.Error("timestamps must be strictly increasing")
+		}
+		last = r.Time
+		if r.Call != SysRead || r.Path != "/etc/passwd" {
+			t.Errorf("unexpected record %+v", r)
+		}
+	}
+	if total != 10000 {
+		t.Fatalf("total bytes = %d, want 10000", total)
+	}
+}
+
+func TestSimulatorRecordsParse(t *testing.T) {
+	s := NewSimulator(7, 1_700_000_000_000_000)
+	s.GenerateBenign(BenignConfig{Users: 3, Actions: 100})
+	p := NewParser()
+	for _, r := range s.Records() {
+		line := r.Format()
+		if err := p.FeedLine(line); err != nil {
+			t.Fatalf("simulator output must parse: %q: %v", line, err)
+		}
+	}
+	if len(p.Log().Events) == 0 {
+		t.Fatal("no events parsed")
+	}
+	if p.Skipped() != 0 {
+		t.Fatalf("simulator must only emit monitored syscalls, skipped=%d", p.Skipped())
+	}
+}

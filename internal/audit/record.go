@@ -1,0 +1,269 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Syscall identifies a monitored system call (paper Table I).
+type Syscall string
+
+// The representative system calls processed by the auditing component.
+const (
+	SysRead     Syscall = "read"
+	SysReadv    Syscall = "readv"
+	SysWrite    Syscall = "write"
+	SysWritev   Syscall = "writev"
+	SysExecve   Syscall = "execve"
+	SysRename   Syscall = "rename"
+	SysFork     Syscall = "fork"
+	SysClone    Syscall = "clone"
+	SysExit     Syscall = "exit"
+	SysConnect  Syscall = "connect"
+	SysRecvfrom Syscall = "recvfrom"
+	SysRecvmsg  Syscall = "recvmsg"
+	SysSendto   Syscall = "sendto"
+)
+
+// FDType distinguishes the object a syscall operates on.
+type FDType string
+
+// Object descriptor types emitted by the kernel agent.
+const (
+	FDFile FDType = "file"
+	FDIPv4 FDType = "ipv4"
+	FDProc FDType = "proc"
+)
+
+// Record is one raw kernel audit record, the unit emitted by the monitoring
+// agent (the Sysdig/Linux-Audit stand-in). It is a flat key=value line on
+// the wire; see ParseRecord.
+type Record struct {
+	Time    int64   // µs since epoch
+	Call    Syscall // monitored system call
+	PID     int     // acting process id
+	Exe     string  // acting process executable
+	User    string
+	Group   string
+	CMD     string // acting process command line
+	FD      FDType // object descriptor type
+	Path    string // object file path (FDFile)
+	SrcIP   string // connection source (FDIPv4)
+	SrcPort int
+	DstIP   string
+	DstPort int
+	Proto   string
+	// Child process fields for execve/fork/clone records (FDProc).
+	ChildPID int
+	ChildExe string
+	ChildCMD string
+	Bytes    int64 // data amount for read/write-style calls
+	Ret      int   // kernel return code; non-zero marks failure
+}
+
+// Format renders the record as the key=value wire line produced by the
+// monitoring agent. ParseRecord inverts it.
+func (r *Record) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ts=%d call=%s pid=%d exe=%s", r.Time, r.Call, r.PID, quoteIfNeeded(r.Exe))
+	if r.User != "" {
+		fmt.Fprintf(&b, " user=%s", r.User)
+	}
+	if r.Group != "" {
+		fmt.Fprintf(&b, " group=%s", r.Group)
+	}
+	if r.CMD != "" {
+		fmt.Fprintf(&b, " cmd=%s", quoteIfNeeded(r.CMD))
+	}
+	fmt.Fprintf(&b, " fd=%s", r.FD)
+	switch r.FD {
+	case FDFile:
+		fmt.Fprintf(&b, " path=%s", quoteIfNeeded(r.Path))
+	case FDIPv4:
+		fmt.Fprintf(&b, " src=%s:%d dst=%s:%d proto=%s", r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto)
+	case FDProc:
+		fmt.Fprintf(&b, " cpid=%d cexe=%s", r.ChildPID, quoteIfNeeded(r.ChildExe))
+		if r.ChildCMD != "" {
+			fmt.Fprintf(&b, " ccmd=%s", quoteIfNeeded(r.ChildCMD))
+		}
+	}
+	if r.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", r.Bytes)
+	}
+	if r.Ret != 0 {
+		fmt.Fprintf(&b, " ret=%d", r.Ret)
+	}
+	return b.String()
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\"") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// WriteRecords writes records as newline-delimited wire lines, the format
+// ParseStream reads.
+func WriteRecords(w io.Writer, records []Record) error {
+	for i := range records {
+		if _, err := io.WriteString(w, records[i].Format()); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseRecord parses one key=value audit line into a Record.
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	fields, err := splitFields(line)
+	if err != nil {
+		return r, err
+	}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			return r, fmt.Errorf("audit: malformed field %q", f)
+		}
+		key, val := f[:eq], f[eq+1:]
+		if len(val) > 1 && val[0] == '"' {
+			uq, err := strconv.Unquote(val)
+			if err != nil {
+				return r, fmt.Errorf("audit: bad quoted value in %q: %v", f, err)
+			}
+			val = uq
+		}
+		switch key {
+		case "ts":
+			r.Time, err = strconv.ParseInt(val, 10, 64)
+		case "call":
+			r.Call = Syscall(val)
+		case "pid":
+			r.PID, err = strconv.Atoi(val)
+		case "exe":
+			r.Exe = val
+		case "user":
+			r.User = val
+		case "group":
+			r.Group = val
+		case "cmd":
+			r.CMD = val
+		case "fd":
+			r.FD = FDType(val)
+		case "path":
+			r.Path = val
+		case "src":
+			r.SrcIP, r.SrcPort, err = splitHostPort(val)
+		case "dst":
+			r.DstIP, r.DstPort, err = splitHostPort(val)
+		case "proto":
+			r.Proto = val
+		case "cpid":
+			r.ChildPID, err = strconv.Atoi(val)
+		case "cexe":
+			r.ChildExe = val
+		case "ccmd":
+			r.ChildCMD = val
+		case "bytes":
+			r.Bytes, err = strconv.ParseInt(val, 10, 64)
+		case "ret":
+			r.Ret, err = strconv.Atoi(val)
+		default:
+			// Unknown keys are tolerated so agents can add fields.
+		}
+		if err != nil {
+			return r, fmt.Errorf("audit: bad value for %s in %q: %v", key, f, err)
+		}
+	}
+	if r.Call == "" {
+		return r, fmt.Errorf("audit: record missing call field: %q", line)
+	}
+	return r, nil
+}
+
+// splitFields splits a line on spaces, honoring double-quoted values.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		inQuote := false
+		for i < len(line) && (inQuote || line[i] != ' ') {
+			switch line[i] {
+			case '"':
+				inQuote = !inQuote
+			case '\\':
+				if inQuote && i+1 < len(line) {
+					i++
+				}
+			}
+			i++
+		}
+		if inQuote {
+			return nil, fmt.Errorf("audit: unterminated quote in %q", line)
+		}
+		fields = append(fields, line[start:i])
+	}
+	return fields, nil
+}
+
+func splitHostPort(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("audit: missing port in %q", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return "", 0, err
+	}
+	return s[:i], port, nil
+}
+
+// opForRecord maps a syscall + object type to the event operation
+// (paper Table I): ProcessToFile {read,readv,write,writev,execve,rename},
+// ProcessToProcess {execve,fork,clone}, ProcessToNetwork
+// {read,readv,recvfrom,recvmsg,sendto,write,writev,connect}.
+func opForRecord(r *Record) (OpType, error) {
+	switch r.FD {
+	case FDFile:
+		switch r.Call {
+		case SysRead, SysReadv:
+			return OpRead, nil
+		case SysWrite, SysWritev:
+			return OpWrite, nil
+		case SysExecve:
+			return OpExecute, nil
+		case SysRename:
+			return OpRename, nil
+		}
+	case FDProc:
+		switch r.Call {
+		case SysExecve, SysFork, SysClone:
+			return OpStart, nil
+		case SysExit:
+			return OpEnd, nil
+		}
+	case FDIPv4:
+		switch r.Call {
+		case SysConnect:
+			return OpConnect, nil
+		case SysRead, SysReadv, SysRecvfrom, SysRecvmsg:
+			return OpReceive, nil
+		case SysWrite, SysWritev, SysSendto:
+			return OpSend, nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("audit: syscall %q not monitored for fd type %q", r.Call, r.FD)
+}

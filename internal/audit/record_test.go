@@ -1,0 +1,131 @@
+package audit
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	records := []Record{
+		{Time: 1700000000000000, Call: SysRead, PID: 101, Exe: "/bin/tar", User: "root", Group: "root", FD: FDFile, Path: "/etc/passwd", Bytes: 4096},
+		{Time: 1700000000000500, Call: SysWrite, PID: 101, Exe: "/bin/tar", FD: FDFile, Path: "/tmp/upload.tar", Bytes: 2048},
+		{Time: 1700000000001000, Call: SysConnect, PID: 105, Exe: "/usr/bin/curl", FD: FDIPv4, SrcIP: "10.0.0.5", SrcPort: 38822, DstIP: "192.168.29.128", DstPort: 443, Proto: "tcp"},
+		{Time: 1700000000002000, Call: SysExecve, PID: 100, Exe: "/bin/bash", CMD: "bash -c \"run me\"", FD: FDProc, ChildPID: 101, ChildExe: "/bin/tar", ChildCMD: "tar cf /tmp/upload.tar /etc/passwd"},
+		{Time: 1700000000003000, Call: SysRead, PID: 9, Exe: "/usr/bin/weird name", FD: FDFile, Path: "/tmp/has space.txt", Bytes: 1, Ret: -13},
+	}
+	for _, want := range records {
+		line := want.Format()
+		got, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("ParseRecord(%q): %v", line, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip mismatch:\n line %q\n got  %+v\n want %+v", line, got, want)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"ts=notanumber call=read pid=1 exe=/bin/x fd=file path=/a",
+		"pid=1 exe=/bin/x fd=file path=/a",         // missing call
+		"ts=1 call=read pid=x exe=a fd=file",       // bad pid
+		`ts=1 call=read pid=1 exe="unclosed`,       // unterminated quote
+		"ts=1 call=read pid=1 src=1.2.3.4 fd=ipv4", // missing port
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseRecordToleratesUnknownKeys(t *testing.T) {
+	r, err := ParseRecord("ts=5 call=read pid=1 exe=/bin/cat fd=file path=/x newfield=hello bytes=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 7 || r.Path != "/x" {
+		t.Fatalf("fields around unknown key lost: %+v", r)
+	}
+}
+
+func TestOpForRecord(t *testing.T) {
+	cases := []struct {
+		call Syscall
+		fd   FDType
+		want OpType
+		ok   bool
+	}{
+		{SysRead, FDFile, OpRead, true},
+		{SysReadv, FDFile, OpRead, true},
+		{SysWrite, FDFile, OpWrite, true},
+		{SysWritev, FDFile, OpWrite, true},
+		{SysExecve, FDFile, OpExecute, true},
+		{SysRename, FDFile, OpRename, true},
+		{SysExecve, FDProc, OpStart, true},
+		{SysFork, FDProc, OpStart, true},
+		{SysClone, FDProc, OpStart, true},
+		{SysExit, FDProc, OpEnd, true},
+		{SysConnect, FDIPv4, OpConnect, true},
+		{SysRecvfrom, FDIPv4, OpReceive, true},
+		{SysRecvmsg, FDIPv4, OpReceive, true},
+		{SysSendto, FDIPv4, OpSend, true},
+		{SysRead, FDIPv4, OpReceive, true},
+		{SysWrite, FDIPv4, OpSend, true},
+		{SysRename, FDIPv4, OpInvalid, false},
+		{SysConnect, FDFile, OpInvalid, false},
+	}
+	for _, c := range cases {
+		r := Record{Call: c.call, FD: c.fd}
+		got, err := opForRecord(&r)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("opForRecord(%s,%s) = %v, %v; want %v", c.call, c.fd, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("opForRecord(%s,%s) should fail", c.call, c.fd)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, name := range []string{"read", "write", "execute", "start", "end", "rename", "connect", "send", "receive"} {
+		op, err := ParseOp(name)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", name, err)
+		}
+		if op.String() != name {
+			t.Errorf("ParseOp(%q).String() = %q", name, op.String())
+		}
+	}
+	if _, err := ParseOp("teleport"); err == nil {
+		t.Error("ParseOp should reject unknown ops")
+	}
+	if _, err := ParseOp("invalid"); err == nil {
+		t.Error("ParseOp must not accept the sentinel name")
+	}
+}
+
+// Property: Format/ParseRecord round-trips for arbitrary printable paths.
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(pid uint16, bytes uint32, raw string) bool {
+		path := "/" + strings.Map(func(r rune) rune {
+			if r < 0x20 || r > 0x7e {
+				return -1
+			}
+			return r
+		}, raw)
+		want := Record{
+			Time: 12345, Call: SysRead, PID: int(pid), Exe: "/bin/cat",
+			FD: FDFile, Path: path, Bytes: int64(bytes),
+		}
+		line := want.Format()
+		got, err := ParseRecord(line)
+		return err == nil && reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

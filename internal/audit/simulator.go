@@ -1,0 +1,245 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Simulator is a deterministic stand-in for a kernel auditing framework
+// (Sysdig / Linux Audit / ETW). It emits raw Records for high-level system
+// actions. Like a real kernel, it splits a single logical read/write task
+// into multiple syscall records of partial data (the behaviour that
+// motivates ThreatRaptor's data reduction, Section III-B), and it assigns
+// monotonically increasing timestamps with configurable jitter.
+//
+// All randomness comes from the seeded source, so a given action sequence
+// always yields the same records.
+type Simulator struct {
+	rng     *rand.Rand
+	now     int64 // current clock, µs since epoch
+	records []Record
+
+	// ChunkSize is the number of bytes the kernel moves per read/write
+	// syscall; a logical transfer of N bytes becomes ceil(N/ChunkSize)
+	// records. Default 4096.
+	ChunkSize int64
+	// SyscallGapUS is the mean gap between consecutive syscalls of one
+	// logical task, in µs. Default 120µs.
+	SyscallGapUS int64
+}
+
+// NewSimulator returns a simulator whose clock starts at startUS
+// (µs since epoch) and whose randomness is derived from seed.
+func NewSimulator(seed int64, startUS int64) *Simulator {
+	return &Simulator{
+		rng:          rand.New(rand.NewSource(seed)),
+		now:          startUS,
+		ChunkSize:    4096,
+		SyscallGapUS: 120,
+	}
+}
+
+// Records returns the emitted records in order.
+func (s *Simulator) Records() []Record { return s.records }
+
+// Now returns the simulator clock in µs since epoch.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Advance moves the clock forward by us microseconds.
+func (s *Simulator) Advance(us int64) { s.now += us }
+
+// step advances the clock by roughly SyscallGapUS with ±50% jitter.
+func (s *Simulator) step() {
+	jitter := s.SyscallGapUS/2 + s.rng.Int63n(s.SyscallGapUS+1)
+	s.now += jitter
+}
+
+func (s *Simulator) emit(r Record) {
+	r.Time = s.now
+	s.records = append(s.records, r)
+	s.step()
+}
+
+// Proc describes the acting process for simulated actions.
+type Proc struct {
+	PID   int
+	Exe   string
+	User  string
+	Group string
+	CMD   string
+}
+
+func (s *Simulator) base(p Proc, call Syscall, fd FDType) Record {
+	return Record{Call: call, PID: p.PID, Exe: p.Exe, User: p.User, Group: p.Group, CMD: p.CMD, FD: fd}
+}
+
+// chunks splits total bytes into per-syscall amounts of at most ChunkSize.
+func (s *Simulator) chunks(total int64) []int64 {
+	if total <= 0 {
+		return []int64{0}
+	}
+	var out []int64
+	for total > 0 {
+		n := s.ChunkSize
+		if total < n {
+			n = total
+		}
+		out = append(out, n)
+		total -= n
+	}
+	return out
+}
+
+// ReadFile emits the syscall records for process p reading total bytes
+// from path.
+func (s *Simulator) ReadFile(p Proc, path string, total int64) {
+	for _, n := range s.chunks(total) {
+		r := s.base(p, SysRead, FDFile)
+		r.Path = path
+		r.Bytes = n
+		s.emit(r)
+	}
+}
+
+// WriteFile emits the syscall records for process p writing total bytes
+// to path.
+func (s *Simulator) WriteFile(p Proc, path string, total int64) {
+	for _, n := range s.chunks(total) {
+		r := s.base(p, SysWrite, FDFile)
+		r.Path = path
+		r.Bytes = n
+		s.emit(r)
+	}
+}
+
+// ExecuteFile emits an execve record of process p executing the program
+// file at path.
+func (s *Simulator) ExecuteFile(p Proc, path string) {
+	r := s.base(p, SysExecve, FDFile)
+	r.Path = path
+	s.emit(r)
+}
+
+// RenameFile emits a rename record for path.
+func (s *Simulator) RenameFile(p Proc, path string) {
+	r := s.base(p, SysRename, FDFile)
+	r.Path = path
+	s.emit(r)
+}
+
+// StartProcess emits a fork+execve pair: parent p starts child.
+func (s *Simulator) StartProcess(parent Proc, child Proc) {
+	f := s.base(parent, SysFork, FDProc)
+	f.ChildPID = child.PID
+	f.ChildExe = parent.Exe // fork clones the parent image
+	s.emit(f)
+	e := s.base(parent, SysExecve, FDProc)
+	e.ChildPID = child.PID
+	e.ChildExe = child.Exe
+	e.ChildCMD = child.CMD
+	s.emit(e)
+}
+
+// EndProcess emits an exit record for p.
+func (s *Simulator) EndProcess(p Proc) {
+	r := s.base(p, SysExit, FDProc)
+	s.emit(r)
+}
+
+// Connect emits a connect record from p to dst.
+func (s *Simulator) Connect(p Proc, srcIP string, srcPort int, dstIP string, dstPort int, proto string) {
+	r := s.base(p, SysConnect, FDIPv4)
+	r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto = srcIP, srcPort, dstIP, dstPort, proto
+	s.emit(r)
+}
+
+// Send emits the syscall records for p sending total bytes over the
+// connection.
+func (s *Simulator) Send(p Proc, srcIP string, srcPort int, dstIP string, dstPort int, proto string, total int64) {
+	for _, n := range s.chunks(total) {
+		r := s.base(p, SysSendto, FDIPv4)
+		r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto = srcIP, srcPort, dstIP, dstPort, proto
+		r.Bytes = n
+		s.emit(r)
+	}
+}
+
+// Receive emits the syscall records for p receiving total bytes from the
+// connection.
+func (s *Simulator) Receive(p Proc, srcIP string, srcPort int, dstIP string, dstPort int, proto string, total int64) {
+	for _, n := range s.chunks(total) {
+		r := s.base(p, SysRecvfrom, FDIPv4)
+		r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto = srcIP, srcPort, dstIP, dstPort, proto
+		r.Bytes = n
+		s.emit(r)
+	}
+}
+
+// BenignConfig controls background-noise generation: the benign activity of
+// the >15 active users on the paper's testbed (file manipulation, text
+// editing, software development).
+type BenignConfig struct {
+	Users     int   // number of simulated users; default 15
+	Actions   int   // number of benign logical actions to emit
+	MeanGapUS int64 // mean gap between logical actions; default 3000µs
+}
+
+var benignExes = []string{
+	"/usr/bin/vim", "/usr/bin/gcc", "/usr/bin/make", "/usr/bin/python3",
+	"/bin/cat", "/bin/cp", "/bin/grep", "/usr/bin/git", "/usr/bin/ssh",
+	"/usr/bin/find", "/bin/ls", "/usr/bin/tail",
+}
+
+var benignDirs = []string{
+	"/home/%s/src", "/home/%s/docs", "/home/%s/build", "/tmp/%s",
+	"/var/tmp/%s", "/home/%s/notes",
+}
+
+var benignFileNames = []string{
+	"main.c", "util.c", "notes.txt", "report.md", "Makefile", "data.csv",
+	"out.log", "config.yaml", "test.py", "README", "draft.tex", "a.out",
+}
+
+// GenerateBenign emits cfg.Actions benign logical actions interleaved on
+// the simulator clock. It is deterministic given the simulator seed.
+func (s *Simulator) GenerateBenign(cfg BenignConfig) {
+	if cfg.Users <= 0 {
+		cfg.Users = 15
+	}
+	if cfg.MeanGapUS <= 0 {
+		cfg.MeanGapUS = 3000
+	}
+	for i := 0; i < cfg.Actions; i++ {
+		uid := s.rng.Intn(cfg.Users)
+		user := fmt.Sprintf("user%02d", uid)
+		exe := benignExes[s.rng.Intn(len(benignExes))]
+		p := Proc{
+			PID:   2000 + uid*100 + s.rng.Intn(40),
+			Exe:   exe,
+			User:  user,
+			Group: "staff",
+			CMD:   exe,
+		}
+		dir := fmt.Sprintf(benignDirs[s.rng.Intn(len(benignDirs))], user)
+		file := dir + "/" + benignFileNames[s.rng.Intn(len(benignFileNames))]
+		switch s.rng.Intn(10) {
+		case 0, 1, 2, 3: // read a file
+			s.ReadFile(p, file, int64(1+s.rng.Intn(8))*2048)
+		case 4, 5, 6: // write a file
+			s.WriteFile(p, file, int64(1+s.rng.Intn(8))*2048)
+		case 7: // run a tool
+			child := Proc{PID: p.PID + 1 + s.rng.Intn(20), Exe: benignExes[s.rng.Intn(len(benignExes))], User: user, Group: "staff"}
+			child.CMD = child.Exe
+			s.StartProcess(p, child)
+		case 8: // fetch something over the network
+			dst := fmt.Sprintf("10.1.%d.%d", s.rng.Intn(250), 1+s.rng.Intn(250))
+			sport := 30000 + s.rng.Intn(20000)
+			s.Connect(p, "10.0.0.7", sport, dst, 443, "tcp")
+			s.Receive(p, "10.0.0.7", sport, dst, 443, "tcp", int64(1+s.rng.Intn(6))*4096)
+		case 9: // read then write (edit)
+			s.ReadFile(p, file, 4096)
+			s.WriteFile(p, file, 4096)
+		}
+		s.Advance(s.rng.Int63n(2*cfg.MeanGapUS + 1))
+	}
+}

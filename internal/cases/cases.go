@@ -1,0 +1,145 @@
+// Package cases defines the evaluation benchmark of 18 attack cases
+// (paper Table IV): 15 cases modeled after the DARPA Transparent Computing
+// Engagement 3 release (ClearScope/FiveDirections/THEIA/TRACE performer
+// systems) and the 3 multi-step intrusive attacks the authors performed
+// themselves (password_crack, data_leak, vpnfilter).
+//
+// The released TC data is tens of gigabytes and gated, so each case here
+// carries (a) an OSCTI-style attack report written in the register of the
+// TC ground-truth descriptions, (b) hand-labeled ground-truth IOC entities
+// and IOC relations for the report (Table V scoring), and (c) an attack
+// generator that plants the described system events — including the
+// deliberate report/log deviations the paper discusses (tc_trace_1's
+// execute-vs-start ambiguity, the re-purposed indicators of
+// tc_fivedirections_3 and tc_trace_3) — into deterministic benign
+// background noise (Table VI/VIII workloads).
+package cases
+
+import (
+	"threatraptor/internal/audit"
+	"threatraptor/internal/reduction"
+)
+
+// Relation is one labeled ground-truth IOC relation triplet.
+type Relation struct {
+	Subj, Verb, Obj string
+}
+
+// Case is one benchmark attack case.
+type Case struct {
+	ID   string
+	Name string
+	// Report is the OSCTI attack description text.
+	Report string
+	// Entities are the labeled ground-truth IOC strings (unique).
+	Entities []string
+	// Relations are the labeled ground-truth IOC relation triplets.
+	Relations []Relation
+	// KnownEntityFPs are strings the extractor recognizes as indicators
+	// but the annotator excludes (e.g. non-indicator addresses mentioned
+	// in passing) — they count against entity precision in Table V.
+	KnownEntityFPs []string
+	// KnownRelationFNs are labeled relations the pipeline is known to
+	// miss (e.g. nominalized relations with no verb) — they count against
+	// relation recall in Table V.
+	KnownRelationFNs []Relation
+	// BenignActions scales the benign background noise generated around
+	// the attack (split half before, half after).
+	BenignActions int
+	// Seed drives the deterministic simulator.
+	Seed int64
+	// Attack plants the malicious system events.
+	Attack func(sim *audit.Simulator)
+}
+
+// GeneratedLog is a case's audit log with its attack ground truth.
+type GeneratedLog struct {
+	Log *audit.Log
+	// AttackEventIDs are the post-reduction IDs of the ground-truth
+	// malicious system events.
+	AttackEventIDs []int64
+}
+
+// GenerateRaw builds the case's audit log without data reduction: benign
+// noise, the attack, more benign noise, parsing. It returns the parsed log
+// plus the set of attack step keys (subject|op|object triples), which
+// survive reduction unchanged. scale multiplies the benign volume.
+func (c *Case) GenerateRaw(scale float64) (*audit.Log, map[string]bool, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	sim := audit.NewSimulator(c.Seed, 1_700_000_000_000_000)
+	benign := int(float64(c.BenignActions) * scale)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign / 2})
+	sim.Advance(5_000_000)
+
+	attackStart := len(sim.Records())
+	c.Attack(sim)
+	attackEnd := len(sim.Records())
+
+	sim.Advance(5_000_000)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign - benign/2})
+
+	parser := audit.NewParser()
+	attackKeys := make(map[string]bool)
+	for i, r := range sim.Records() {
+		if err := parser.Feed(&r); err != nil {
+			return nil, nil, err
+		}
+		if i >= attackStart && i < attackEnd {
+			log := parser.Log()
+			if n := len(log.Events); n > 0 {
+				ev := &log.Events[n-1]
+				attackKeys[eventKey(log, ev)] = true
+			}
+		}
+	}
+	return parser.Log(), attackKeys, nil
+}
+
+// Generate builds the case's audit log with the paper's default data
+// reduction applied, mapping the attack ground truth to post-reduction
+// event IDs.
+func (c *Case) Generate(scale float64) (*GeneratedLog, error) {
+	log, attackKeys, err := c.GenerateRaw(scale)
+	if err != nil {
+		return nil, err
+	}
+	reduction.Reduce(log, reduction.DefaultConfig())
+
+	gen := &GeneratedLog{Log: log}
+	for i := range log.Events {
+		ev := &log.Events[i]
+		if attackKeys[eventKey(log, ev)] {
+			gen.AttackEventIDs = append(gen.AttackEventIDs, ev.ID)
+		}
+	}
+	return gen, nil
+}
+
+// eventKey identifies an event by its semantic triple, stable across data
+// reduction.
+func eventKey(log *audit.Log, ev *audit.Event) string {
+	return log.Subject(ev).Key() + "|" + ev.Op.String() + "|" + log.Object(ev).Key()
+}
+
+// All returns the 18 benchmark cases in the paper's Table IV order.
+func All() []*Case {
+	return []*Case{
+		tcClearscope1(), tcClearscope2(), tcClearscope3(),
+		tcFivedirections1(), tcFivedirections2(), tcFivedirections3(),
+		tcTheia1(), tcTheia2(), tcTheia3(), tcTheia4(),
+		tcTrace1(), tcTrace2(), tcTrace3(), tcTrace4(), tcTrace5(),
+		passwordCrack(), dataLeak(), vpnFilter(),
+	}
+}
+
+// ByID returns the named case, or nil.
+func ByID(id string) *Case {
+	for _, c := range All() {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}

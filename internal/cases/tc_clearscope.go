@@ -1,0 +1,101 @@
+package cases
+
+import "threatraptor/internal/audit"
+
+// The ClearScope performer ran Android: process executables are Android
+// package names and the ground-truth events carry package-name subjects,
+// which the paper calls out as a distinct IOC flavor its pipeline handles.
+
+func tcClearscope1() *Case {
+	const report = `The user clicked a phishing link in a malicious e-mail. The mail client com.android.email downloaded the malicious application /data/app/MsgApp.apk from 146.153.68.151. The process com.android.defcontainer opened /data/app/MsgApp.apk. Then com.android.defcontainer wrote the unpacked payload to /data/data/com.android.messaging/cache.bin. The payload process com.android.messaging read /data/data/com.android.messaging/cache.bin and connected to 146.153.68.151.`
+
+	email := audit.Proc{PID: 2101, Exe: "com.android.email", User: "u0_a12", Group: "inet"}
+	defc := audit.Proc{PID: 2102, Exe: "com.android.defcontainer", User: "system", Group: "system"}
+	msg := audit.Proc{PID: 2103, Exe: "com.android.messaging", User: "u0_a31", Group: "inet"}
+
+	return &Case{
+		ID:     "tc_clearscope_1",
+		Name:   "20180406 1500 ClearScope - Phishing E-mail Link",
+		Report: report,
+		Entities: []string{
+			"com.android.email", "/data/app/MsgApp.apk", "146.153.68.151",
+			"com.android.defcontainer", "/data/data/com.android.messaging/cache.bin",
+			"com.android.messaging",
+		},
+		Relations: []Relation{
+			{"com.android.email", "download", "/data/app/MsgApp.apk"},
+			{"com.android.email", "download", "146.153.68.151"},
+			{"com.android.defcontainer", "open", "/data/app/MsgApp.apk"},
+			{"com.android.defcontainer", "write", "/data/data/com.android.messaging/cache.bin"},
+			{"com.android.messaging", "read", "/data/data/com.android.messaging/cache.bin"},
+			{"com.android.messaging", "connect", "146.153.68.151"},
+		},
+		BenignActions: 800,
+		Seed:          201,
+		Attack: func(sim *audit.Simulator) {
+			sim.Connect(email, "10.0.2.15", 40100, "146.153.68.151", 443, "tcp")
+			sim.Receive(email, "10.0.2.15", 40100, "146.153.68.151", 443, "tcp", 200_000)
+			sim.WriteFile(email, "/data/app/MsgApp.apk", 200_000)
+			sim.Advance(2_000_000)
+			sim.ReadFile(defc, "/data/app/MsgApp.apk", 200_000)
+			sim.WriteFile(defc, "/data/data/com.android.messaging/cache.bin", 80_000)
+			sim.Advance(2_000_000)
+			sim.ReadFile(msg, "/data/data/com.android.messaging/cache.bin", 80_000)
+			sim.Connect(msg, "10.0.2.15", 40101, "146.153.68.151", 443, "tcp")
+		},
+	}
+}
+
+func tcClearscope2() *Case {
+	const report = `The attacker exploited a backdoor in the Firefox browser on the device. The browser process org.mozilla.firefox connected to 128.55.12.167. It downloaded the Drakon implant /data/local/tmp/drakon.so from 128.55.12.167. Then org.mozilla.firefox executed /data/local/tmp/drakon.so.`
+
+	firefox := audit.Proc{PID: 2201, Exe: "org.mozilla.firefox", User: "u0_a44", Group: "inet"}
+
+	return &Case{
+		ID:     "tc_clearscope_2",
+		Name:   "20180411 1400 ClearScope - Firefox Backdoor w/ Drakon In-Memory",
+		Report: report,
+		Entities: []string{
+			"org.mozilla.firefox", "128.55.12.167", "/data/local/tmp/drakon.so",
+		},
+		Relations: []Relation{
+			{"org.mozilla.firefox", "connect", "128.55.12.167"},
+			{"org.mozilla.firefox", "download", "/data/local/tmp/drakon.so"},
+			{"org.mozilla.firefox", "download", "128.55.12.167"},
+			{"org.mozilla.firefox", "execute", "/data/local/tmp/drakon.so"},
+		},
+		BenignActions: 800,
+		Seed:          202,
+		Attack: func(sim *audit.Simulator) {
+			sim.Connect(firefox, "10.0.2.15", 40200, "128.55.12.167", 443, "tcp")
+			sim.Receive(firefox, "10.0.2.15", 40200, "128.55.12.167", 443, "tcp", 150_000)
+			sim.WriteFile(firefox, "/data/local/tmp/drakon.so", 150_000)
+			sim.ExecuteFile(firefox, "/data/local/tmp/drakon.so")
+		},
+	}
+}
+
+func tcClearscope3() *Case {
+	// A single-pattern case (the paper's Table X lists one pattern here).
+	const report = `The malicious application com.android.lockwatch scanned the private contact database /data/data/com.android.providers.contacts/contacts2.db on the device.`
+
+	lockwatch := audit.Proc{PID: 2301, Exe: "com.android.lockwatch", User: "u0_a66", Group: "inet"}
+
+	return &Case{
+		ID:     "tc_clearscope_3",
+		Name:   "20180413 ClearScope",
+		Report: report,
+		Entities: []string{
+			"com.android.lockwatch",
+			"/data/data/com.android.providers.contacts/contacts2.db",
+		},
+		Relations: []Relation{
+			{"com.android.lockwatch", "scan", "/data/data/com.android.providers.contacts/contacts2.db"},
+		},
+		BenignActions: 700,
+		Seed:          203,
+		Attack: func(sim *audit.Simulator) {
+			sim.ReadFile(lockwatch, "/data/data/com.android.providers.contacts/contacts2.db", 40_000)
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package cases
+
+import "threatraptor/internal/audit"
+
+// The FiveDirections performer ran Windows: file paths and executables use
+// drive-letter syntax, exercising the Windows-path IOC rules.
+
+func tcFivedirections1() *Case {
+	const report = `The user opened a phishing e-mail with a malicious Excel attachment. The Excel process C:\Windows\office\excel.exe wrote the macro dropper C:\Users\victim\temp\dropper.ps1. The dropper process C:\Windows\System32\powershell.exe executed C:\Users\victim\temp\dropper.ps1. Then C:\Windows\System32\powershell.exe downloaded the payload C:\Users\victim\temp\payload.exe from 161.116.88.72. The payload process C:\Users\victim\temp\payload.exe scanned the folder C:\Users\victim\documents and wrote the collected files to C:\Users\victim\temp\stage.dat. Finally, C:\Users\victim\temp\payload.exe sent the staged data to 161.116.88.72.`
+
+	excel := audit.Proc{PID: 3101, Exe: `C:\Windows\office\excel.exe`, User: "victim", Group: "users"}
+	ps := audit.Proc{PID: 3102, Exe: `C:\Windows\System32\powershell.exe`, User: "victim", Group: "users"}
+	payload := audit.Proc{PID: 3103, Exe: `C:\Users\victim\temp\payload.exe`, User: "victim", Group: "users"}
+
+	return &Case{
+		ID:     "tc_fivedirections_1",
+		Name:   "20180409 1500 FiveDirections - Phishing E-mail w/ Excel Macro",
+		Report: report,
+		Entities: []string{
+			`C:\Windows\office\excel.exe`, `C:\Users\victim\temp\dropper.ps1`,
+			`C:\Windows\System32\powershell.exe`, `C:\Users\victim\temp\payload.exe`,
+			"161.116.88.72", `C:\Users\victim\documents`,
+			`C:\Users\victim\temp\stage.dat`,
+		},
+		Relations: []Relation{
+			{`C:\Windows\office\excel.exe`, "write", `C:\Users\victim\temp\dropper.ps1`},
+			{`C:\Windows\System32\powershell.exe`, "execute", `C:\Users\victim\temp\dropper.ps1`},
+			{`C:\Windows\System32\powershell.exe`, "download", `C:\Users\victim\temp\payload.exe`},
+			{`C:\Windows\System32\powershell.exe`, "download", "161.116.88.72"},
+			{`C:\Users\victim\temp\payload.exe`, "scan", `C:\Users\victim\documents`},
+			{`C:\Users\victim\temp\payload.exe`, "write", `C:\Users\victim\temp\stage.dat`},
+			{`C:\Users\victim\temp\payload.exe`, "send", "161.116.88.72"},
+		},
+		BenignActions: 1500,
+		Seed:          301,
+		Attack: func(sim *audit.Simulator) {
+			sim.WriteFile(excel, `C:\Users\victim\temp\dropper.ps1`, 4_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(ps, `C:\Users\victim\temp\dropper.ps1`)
+			sim.Connect(ps, "10.0.1.20", 41100, "161.116.88.72", 443, "tcp")
+			sim.Receive(ps, "10.0.1.20", 41100, "161.116.88.72", 443, "tcp", 250_000)
+			sim.WriteFile(ps, `C:\Users\victim\temp\payload.exe`, 250_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(payload, `C:\Users\victim\temp\payload.exe`)
+			// Staging loop: many distinct document reads and staging
+			// writes with >1s gaps, so reduction keeps them (the paper
+			// reports 51 TP for this case).
+			for i := 0; i < 22; i++ {
+				sim.ReadFile(payload, `C:\Users\victim\documents`, 30_000)
+				sim.WriteFile(payload, `C:\Users\victim\temp\stage.dat`, 30_000)
+				sim.Advance(1_500_000)
+			}
+			sim.Send(payload, "10.0.1.20", 41101, "161.116.88.72", 443, "tcp", 600_000)
+		},
+	}
+}
+
+func tcFivedirections2() *Case {
+	const report = `The attacker exploited a backdoor in the Firefox browser. The browser process C:\Windows\firefox\firefox.exe connected to 128.55.12.110. It downloaded the Drakon implant C:\Users\victim\temp\drakon.dll from 128.55.12.110. Then C:\Windows\firefox\firefox.exe executed C:\Users\victim\temp\drakon.dll.`
+
+	firefox := audit.Proc{PID: 3201, Exe: `C:\Windows\firefox\firefox.exe`, User: "victim", Group: "users"}
+
+	return &Case{
+		ID:     "tc_fivedirections_2",
+		Name:   "20180411 1000 FiveDirections - Firefox Backdoor w/ Drakon In-Memory",
+		Report: report,
+		Entities: []string{
+			`C:\Windows\firefox\firefox.exe`, "128.55.12.110",
+			`C:\Users\victim\temp\drakon.dll`,
+		},
+		Relations: []Relation{
+			{`C:\Windows\firefox\firefox.exe`, "connect", "128.55.12.110"},
+			{`C:\Windows\firefox\firefox.exe`, "download", `C:\Users\victim\temp\drakon.dll`},
+			{`C:\Windows\firefox\firefox.exe`, "download", "128.55.12.110"},
+			{`C:\Windows\firefox\firefox.exe`, "execute", `C:\Users\victim\temp\drakon.dll`},
+		},
+		BenignActions: 1200,
+		Seed:          302,
+		Attack: func(sim *audit.Simulator) {
+			sim.Connect(firefox, "10.0.1.20", 41200, "128.55.12.110", 443, "tcp")
+			sim.Receive(firefox, "10.0.1.20", 41200, "128.55.12.110", 443, "tcp", 180_000)
+			sim.WriteFile(firefox, `C:\Users\victim\temp\drakon.dll`, 180_000)
+			sim.ExecuteFile(firefox, `C:\Users\victim\temp\drakon.dll`)
+		},
+	}
+}
+
+func tcFivedirections3() *Case {
+	// The paper reports 0/0 precision and 0/3 recall here: the report's
+	// indicators were re-purposed by the attacker, so the (correctly
+	// extracted) patterns match nothing in the logs. The planted events
+	// use the changed names.
+	const report = `The malicious browser extension process C:\Users\victim\pass_mgr.exe dropped the implant C:\Users\victim\temp\drakon_dropper.exe. Then C:\Users\victim\pass_mgr.exe executed C:\Users\victim\temp\drakon_dropper.exe.`
+
+	actual := audit.Proc{PID: 3301, Exe: `C:\Users\victim\passmgr.exe`, User: "victim", Group: "users"}
+
+	return &Case{
+		ID:     "tc_fivedirections_3",
+		Name:   "20180412 1100 FiveDirections - Browser Extension w/ Drakon Dropper",
+		Report: report,
+		Entities: []string{
+			`C:\Users\victim\pass_mgr.exe`, `C:\Users\victim\temp\drakon_dropper.exe`,
+		},
+		Relations: []Relation{
+			{`C:\Users\victim\pass_mgr.exe`, "drop", `C:\Users\victim\temp\drakon_dropper.exe`},
+			{`C:\Users\victim\pass_mgr.exe`, "execute", `C:\Users\victim\temp\drakon_dropper.exe`},
+		},
+		BenignActions: 800,
+		Seed:          303,
+		Attack: func(sim *audit.Simulator) {
+			// Re-purposed indicators: different file names than reported.
+			sim.WriteFile(actual, `C:\Users\victim\temp\dropper64.exe`, 90_000)
+			sim.ExecuteFile(actual, `C:\Users\victim\temp\dropper64.exe`)
+			sim.Connect(actual, "10.0.1.20", 41300, "128.55.12.110", 443, "tcp")
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package cases
+
+import "threatraptor/internal/audit"
+
+// The THEIA performer ran Linux; its traces are the densest in the paper's
+// benchmark (the fuzzy-mode bottleneck discussion), so these cases carry
+// the largest benign volumes.
+
+func tcTheia1() *Case {
+	const report = `The attacker exploited a backdoor in the Firefox browser. The browser process /usr/lib/firefox/firefox connected to 141.43.176.203. It downloaded the Drakon payload /home/admin/profile. Then /usr/lib/firefox/firefox executed the payload /home/admin/profile.`
+
+	firefox := audit.Proc{PID: 4101, Exe: "/usr/lib/firefox/firefox", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_theia_1",
+		Name:   "20180410 1400 THEIA - Firefox Backdoor w/ Drakon In-Memory",
+		Report: report,
+		Entities: []string{
+			"/usr/lib/firefox/firefox", "141.43.176.203", "/home/admin/profile",
+		},
+		Relations: []Relation{
+			{"/usr/lib/firefox/firefox", "connect", "141.43.176.203"},
+			{"/usr/lib/firefox/firefox", "download", "/home/admin/profile"},
+			{"/usr/lib/firefox/firefox", "execute", "/home/admin/profile"},
+		},
+		BenignActions: 4000,
+		Seed:          401,
+		Attack: func(sim *audit.Simulator) {
+			sim.Connect(firefox, "10.0.3.7", 42100, "141.43.176.203", 443, "tcp")
+			sim.WriteFile(firefox, "/home/admin/profile", 160_000)
+			sim.ExecuteFile(firefox, "/home/admin/profile")
+		},
+	}
+}
+
+func tcTheia2() *Case {
+	const report = `The user clicked a link in a phishing e-mail. The mail process /usr/bin/thunderbird downloaded the malicious script /home/admin/mail.sh from 104.228.117.212. Then /home/admin/mail.sh scanned the folder /home/admin/secret and sent the collected data to 104.228.117.212. The deletion of /home/admin/mail.sh by /home/admin/mail.sh followed.`
+
+	tb := audit.Proc{PID: 4201, Exe: "/usr/bin/thunderbird", User: "admin", Group: "admin"}
+	script := audit.Proc{PID: 4202, Exe: "/home/admin/mail.sh", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_theia_2",
+		Name:   "20180410 1300 THEIA - Phishing Email w/ Link",
+		Report: report,
+		Entities: []string{
+			"/usr/bin/thunderbird", "/home/admin/mail.sh", "104.228.117.212",
+			"/home/admin/secret",
+		},
+		Relations: []Relation{
+			{"/usr/bin/thunderbird", "download", "/home/admin/mail.sh"},
+			{"/usr/bin/thunderbird", "download", "104.228.117.212"},
+			{"/home/admin/mail.sh", "scan", "/home/admin/secret"},
+			{"/home/admin/mail.sh", "send", "104.228.117.212"},
+			// Nominalized relation ("the deletion of X by Y"): labeled by
+			// the annotator but invisible to the verb-based extractor.
+			{"/home/admin/mail.sh", "delete", "/home/admin/mail.sh"},
+		},
+		KnownRelationFNs: []Relation{
+			{"/home/admin/mail.sh", "delete", "/home/admin/mail.sh"},
+		},
+		BenignActions: 2500,
+		Seed:          402,
+		Attack: func(sim *audit.Simulator) {
+			sim.Receive(tb, "10.0.3.7", 42200, "104.228.117.212", 443, "tcp", 12_000)
+			sim.WriteFile(tb, "/home/admin/mail.sh", 12_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(script, "/home/admin/mail.sh")
+			// Exfiltration loop: many distinct scans and sends (the paper
+			// reports 115 TP here).
+			for i := 0; i < 55; i++ {
+				sim.ReadFile(script, "/home/admin/secret", 20_000)
+				sim.Send(script, "10.0.3.7", 42201, "104.228.117.212", 443, "tcp", 20_000)
+				sim.Advance(1_500_000)
+			}
+		},
+	}
+}
+
+func tcTheia3() *Case {
+	const report = `The malicious extension process /home/admin/clean downloaded the dropper /var/tmp/nginx from 141.43.176.203. Then /home/admin/clean executed the dropper /var/tmp/nginx. The dropper process /var/tmp/nginx connected to 141.43.176.203.`
+
+	clean := audit.Proc{PID: 4301, Exe: "/home/admin/clean", User: "admin", Group: "admin"}
+	nginx := audit.Proc{PID: 4302, Exe: "/var/tmp/nginx", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_theia_3",
+		Name:   "20180412 THEIA - Browser Extension w/ Drakon Dropper",
+		Report: report,
+		Entities: []string{
+			"/home/admin/clean", "/var/tmp/nginx", "141.43.176.203",
+		},
+		Relations: []Relation{
+			{"/home/admin/clean", "download", "/var/tmp/nginx"},
+			{"/home/admin/clean", "download", "141.43.176.203"},
+			{"/home/admin/clean", "execute", "/var/tmp/nginx"},
+			{"/var/tmp/nginx", "connect", "141.43.176.203"},
+		},
+		BenignActions: 2000,
+		Seed:          403,
+		Attack: func(sim *audit.Simulator) {
+			sim.Receive(clean, "10.0.3.7", 42300, "141.43.176.203", 443, "tcp", 85_000)
+			sim.WriteFile(clean, "/var/tmp/nginx", 85_000)
+			sim.ExecuteFile(clean, "/var/tmp/nginx")
+			sim.ExecuteFile(nginx, "/var/tmp/nginx")
+			sim.Connect(nginx, "10.0.3.7", 42301, "141.43.176.203", 443, "tcp")
+		},
+	}
+}
+
+func tcTheia4() *Case {
+	const report = `The user saved the attachment of a phishing e-mail to the file /home/admin/eraseme. The mail process /usr/bin/thunderbird wrote the executable /home/admin/eraseme. Then /home/admin/eraseme connected to 141.43.176.203 and sent the collected files to 141.43.176.203.`
+
+	tb := audit.Proc{PID: 4401, Exe: "/usr/bin/thunderbird", User: "admin", Group: "admin"}
+	eraseme := audit.Proc{PID: 4402, Exe: "/home/admin/eraseme", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_theia_4",
+		Name:   "20180413 1400 THEIA - Phishing E-mail w/ Executable Attachment",
+		Report: report,
+		Entities: []string{
+			"/home/admin/eraseme", "/usr/bin/thunderbird", "141.43.176.203",
+		},
+		Relations: []Relation{
+			{"/usr/bin/thunderbird", "write", "/home/admin/eraseme"},
+			{"/home/admin/eraseme", "connect", "141.43.176.203"},
+			{"/home/admin/eraseme", "send", "141.43.176.203"},
+		},
+		BenignActions: 2500,
+		Seed:          404,
+		Attack: func(sim *audit.Simulator) {
+			sim.WriteFile(tb, "/home/admin/eraseme", 70_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(eraseme, "/home/admin/eraseme")
+			// Long-running beacon and exfiltration (the paper reports 421
+			// TP; the connects and sends are all described in the text).
+			for i := 0; i < 100; i++ {
+				sim.Connect(eraseme, "10.0.3.7", 42400+i, "141.43.176.203", 443, "tcp")
+				sim.Send(eraseme, "10.0.3.7", 42400+i, "141.43.176.203", 443, "tcp", 4_000)
+				sim.Advance(1_500_000)
+			}
+		},
+	}
+}

@@ -1,0 +1,186 @@
+package cases
+
+import "threatraptor/internal/audit"
+
+// The TRACE performer ran Linux with the largest traces in the paper's
+// benchmark; tc_trace_1 demonstrates the execute-vs-start synthesis
+// ambiguity that costs recall, and tc_trace_3/4 demonstrate re-purposed or
+// undescribed behavior.
+
+func tcTrace1() *Case {
+	const report = `The attacker exploited a backdoor in the Firefox browser. The browser process /usr/lib/firefox/firefox downloaded the payload /home/admin/cache from 145.199.103.57. Then /home/admin/cache ran /home/admin/cache to elevate privileges. Finally, /home/admin/cache connected to 145.199.103.57 and received the attacker commands from 145.199.103.57.`
+
+	firefox := audit.Proc{PID: 5101, Exe: "/usr/lib/firefox/firefox", User: "admin", Group: "admin"}
+	cache := audit.Proc{PID: 5102, Exe: "/home/admin/cache", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_trace_1",
+		Name:   "20180410 1000 TRACE - Firefox Backdoor w/ Drakon In-Memory",
+		Report: report,
+		Entities: []string{
+			"/usr/lib/firefox/firefox", "/home/admin/cache", "145.199.103.57",
+		},
+		Relations: []Relation{
+			{"/usr/lib/firefox/firefox", "download", "/home/admin/cache"},
+			{"/usr/lib/firefox/firefox", "download", "145.199.103.57"},
+			{"/home/admin/cache", "run", "/home/admin/cache"},
+			{"/home/admin/cache", "connect", "145.199.103.57"},
+			{"/home/admin/cache", "receive", "145.199.103.57"},
+		},
+		BenignActions: 3000,
+		Seed:          501,
+		Attack: func(sim *audit.Simulator) {
+			sim.Receive(firefox, "10.0.4.8", 43100, "145.199.103.57", 443, "tcp", 140_000)
+			sim.WriteFile(firefox, "/home/admin/cache", 140_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(cache, "/home/admin/cache")
+			// The "run" relation is correctly extracted, but the default
+			// synthesis plan reads it as execute-file while the ground
+			// truth is process creation: these start events are the
+			// paper's 37 missed events (39/76 recall).
+			for i := 0; i < 15; i++ {
+				respawn := cache
+				respawn.PID = 5110 + i
+				sim.StartProcess(cache, respawn)
+				sim.Advance(1_500_000)
+			}
+			for i := 0; i < 10; i++ {
+				sim.Connect(cache, "10.0.4.8", 43110+i, "145.199.103.57", 443, "tcp")
+				sim.Receive(cache, "10.0.4.8", 43110+i, "145.199.103.57", 443, "tcp", 1_000)
+				sim.Advance(1_500_000)
+			}
+		},
+	}
+}
+
+func tcTrace2() *Case {
+	const report = `The user clicked a link in a phishing e-mail. The mail process /usr/bin/pine downloaded the malicious script /home/admin/mail.sh from 145.199.103.57. Then /home/admin/mail.sh read the address book /home/admin/addressbook and sent the harvested addresses to 145.199.103.57. The local loopback address 127.0.0.1 was not affected.`
+
+	pine := audit.Proc{PID: 5201, Exe: "/usr/bin/pine", User: "admin", Group: "admin"}
+	script := audit.Proc{PID: 5202, Exe: "/home/admin/mail.sh", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_trace_2",
+		Name:   "20180410 1200 TRACE - Phishing E-mail Link",
+		Report: report,
+		Entities: []string{
+			"/usr/bin/pine", "/home/admin/mail.sh", "145.199.103.57",
+			"/home/admin/addressbook",
+		},
+		Relations: []Relation{
+			{"/usr/bin/pine", "download", "/home/admin/mail.sh"},
+			{"/usr/bin/pine", "download", "145.199.103.57"},
+			{"/home/admin/mail.sh", "read", "/home/admin/addressbook"},
+			{"/home/admin/mail.sh", "send", "145.199.103.57"},
+		},
+		// The loopback mention is recognized by the regex rules but is not
+		// an indicator of this attack.
+		KnownEntityFPs: []string{"127.0.0.1"},
+		BenignActions:  2000,
+		Seed:           502,
+		Attack: func(sim *audit.Simulator) {
+			sim.Receive(pine, "10.0.4.8", 43200, "145.199.103.57", 443, "tcp", 9_000)
+			sim.WriteFile(pine, "/home/admin/mail.sh", 9_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(script, "/home/admin/mail.sh")
+			sim.ReadFile(script, "/home/admin/addressbook", 14_000)
+			for i := 0; i < 4; i++ {
+				sim.Send(script, "10.0.4.8", 43201, "145.199.103.57", 443, "tcp", 3_000)
+				sim.Advance(1_500_000)
+			}
+		},
+	}
+}
+
+func tcTrace3() *Case {
+	// Re-purposed indicators (paper: 0/0 precision, 0/2 recall).
+	const report = `The malicious extension process /home/admin/profile_updater wrote the dropper /var/tmp/memhelp.so there. Then /home/admin/profile_updater executed /var/tmp/memhelp.so.`
+
+	actual := audit.Proc{PID: 5301, Exe: "/home/admin/profile_updtr", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_trace_3",
+		Name:   "20180412 1300 TRACE - Browser Extension w/ Drakon Dropper",
+		Report: report,
+		Entities: []string{
+			"/home/admin/profile_updater", "/var/tmp/memhelp.so",
+		},
+		Relations: []Relation{
+			{"/home/admin/profile_updater", "write", "/var/tmp/memhelp.so"},
+			{"/home/admin/profile_updater", "execute", "/var/tmp/memhelp.so"},
+		},
+		BenignActions: 1000,
+		Seed:          503,
+		Attack: func(sim *audit.Simulator) {
+			sim.WriteFile(actual, "/var/tmp/memhelper.so", 60_000)
+			sim.ExecuteFile(actual, "/var/tmp/memhelper.so")
+		},
+	}
+}
+
+func tcTrace4() *Case {
+	// Partially described behavior (paper: 1/1 precision, 1/3 recall).
+	const report = `The attacker delivered the Pine backdoor through a crafted e-mail. The mail process /usr/bin/pine wrote the dropper executable /tmp/tcexec. Then /tmp/tcexec scanned the password file /etc/passwd.`
+
+	pine := audit.Proc{PID: 5401, Exe: "/usr/bin/pine", User: "admin", Group: "admin"}
+	tcexec := audit.Proc{PID: 5402, Exe: "/tmp/tcexec", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_trace_4",
+		Name:   "20180413 1200 TRACE - Pine Backdoor w/ Drakon Dropper",
+		Report: report,
+		Entities: []string{
+			"/usr/bin/pine", "/tmp/tcexec", "/etc/passwd",
+		},
+		Relations: []Relation{
+			{"/usr/bin/pine", "write", "/tmp/tcexec"},
+			{"/tmp/tcexec", "scan", "/etc/passwd"},
+		},
+		BenignActions: 1500,
+		Seed:          504,
+		Attack: func(sim *audit.Simulator) {
+			sim.WriteFile(pine, "/tmp/tcexec", 52_000)
+			sim.Advance(2_000_000)
+			// The dropper never touched /etc/passwd; instead it beaconed
+			// out — behavior the report does not describe, so the query
+			// misses these two events.
+			sim.Connect(tcexec, "10.0.4.8", 43400, "145.199.103.57", 443, "tcp")
+			sim.Advance(1_500_000)
+			sim.Connect(tcexec, "10.0.4.8", 43401, "145.199.103.57", 443, "tcp")
+		},
+	}
+}
+
+func tcTrace5() *Case {
+	const report = `The user opened the executable attachment of a phishing e-mail. The mail process /usr/bin/pine wrote the malicious executable /home/admin/mailer. Then /home/admin/mailer connected to 145.199.103.57 and sent the collected documents to 145.199.103.57.`
+
+	pine := audit.Proc{PID: 5501, Exe: "/usr/bin/pine", User: "admin", Group: "admin"}
+	mailer := audit.Proc{PID: 5502, Exe: "/home/admin/mailer", User: "admin", Group: "admin"}
+
+	return &Case{
+		ID:     "tc_trace_5",
+		Name:   "20180413 1400 TRACE - Phishing E-mail w/ Executable Attachment",
+		Report: report,
+		Entities: []string{
+			"/usr/bin/pine", "/home/admin/mailer", "145.199.103.57",
+		},
+		Relations: []Relation{
+			{"/usr/bin/pine", "write", "/home/admin/mailer"},
+			{"/home/admin/mailer", "connect", "145.199.103.57"},
+			{"/home/admin/mailer", "send", "145.199.103.57"},
+		},
+		BenignActions: 2500,
+		Seed:          505,
+		Attack: func(sim *audit.Simulator) {
+			sim.WriteFile(pine, "/home/admin/mailer", 48_000)
+			sim.Advance(2_000_000)
+			sim.ExecuteFile(mailer, "/home/admin/mailer")
+			// Heavy exfiltration (the paper reports 578 TP).
+			for i := 0; i < 130; i++ {
+				sim.Connect(mailer, "10.0.4.8", 43500+i, "145.199.103.57", 443, "tcp")
+				sim.Send(mailer, "10.0.4.8", 43500+i, "145.199.103.57", 443, "tcp", 6_000)
+				sim.Advance(1_500_000)
+			}
+		},
+	}
+}

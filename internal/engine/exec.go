@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"threatraptor/internal/graphdb"
+	"threatraptor/internal/relational"
+	"threatraptor/internal/tbql"
+)
+
+// Stats summarizes one TBQL execution.
+type Stats struct {
+	DataQueries  int // small SQL/Cypher queries issued
+	PatternRows  int // total rows returned by data queries
+	JoinBindings int // complete bindings found by the cross-pattern join
+	// EmptyPatternID names the pattern whose data query matched nothing
+	// and short-circuited the conjunction ("" when all patterns matched).
+	// Surfacing it supports the paper's human-in-the-loop query revision:
+	// the analyst removes or relaxes the excessive pattern.
+	EmptyPatternID string
+	Rel            relational.ExecStats
+	Graph          graphdb.ExecStats
+}
+
+// Engine executes TBQL queries against a store.
+type Engine struct {
+	Store *Store
+	// MaxInList bounds how many entity IDs the scheduler pushes into a
+	// dependent data query as an IN constraint; larger binding sets are
+	// left to the join phase. Zero selects the default of 2000.
+	MaxInList int
+	// DisableScheduling turns off pruning-score ordering and constraint
+	// feeding (the ablation of the paper's core RQ4 optimization): data
+	// queries run in declaration order without added constraints.
+	DisableScheduling bool
+}
+
+// Result is the outcome of a scheduled TBQL execution: the projected
+// return rows plus the audit event IDs that participated in at least one
+// complete binding (the paper's RQ2 scores matched system events against
+// ground truth).
+type Result struct {
+	Set           *relational.ResultSet
+	MatchedEvents map[int64]bool
+}
+
+// patternRows is the result of one pattern's data query.
+type patternRows struct {
+	idx  int // pattern index
+	rows [][5]int64
+	// hasEvent is false for variable-length paths (no event/time columns).
+	hasEvent bool
+}
+
+// Execute runs a TBQL query with the ThreatRaptor plan: each pattern
+// compiles to a small data query (SQL for event patterns, Cypher for path
+// patterns), the scheduler orders them by pruning score, feeds entity
+// bindings forward as constraints, and a final in-engine join applies the
+// temporal and attribute relationships.
+func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
+	var stats Stats
+	order := en.schedule(a)
+
+	bindings := make(map[string]map[int64]bool) // entity ID -> allowed rows
+	results := make([]patternRows, len(a.Query.Patterns))
+	maxIn := en.MaxInList
+	if maxIn <= 0 {
+		maxIn = 2000
+	}
+
+	for _, idx := range order {
+		p := a.Query.Patterns[idx]
+		var extraSQL, extraCy []string
+		if !en.DisableScheduling {
+			for _, side := range []struct{ id, alias string }{
+				{p.Subject.ID, "s"}, {p.Object.ID, "o"},
+			} {
+				set := bindings[side.id]
+				if set == nil || len(set) == 0 || len(set) > maxIn {
+					continue
+				}
+				ids := sortedIDs(set)
+				extraSQL = append(extraSQL, inList(side.alias, ids))
+				extraCy = append(extraCy, inList(side.alias, ids))
+			}
+		}
+
+		pr := patternRows{idx: idx, hasEvent: true}
+		usesGraph := p.Path != nil
+		if usesGraph {
+			query := CompilePatternCypher(en.Store, a, idx, extraCy)
+			rs, gs, err := en.Store.Graph.QueryStats(query)
+			if err != nil {
+				return nil, stats, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+			}
+			stats.Graph.NodesVisited += gs.NodesVisited
+			stats.Graph.EdgesTraversed += gs.EdgesTraversed
+			stats.Graph.IndexLookups += gs.IndexLookups
+			pr.hasEvent = len(rs.Columns) == 5
+			for _, row := range rs.Rows {
+				var r [5]int64
+				if pr.hasEvent {
+					for i := 0; i < 5; i++ {
+						r[i] = row[i].I
+					}
+				} else {
+					r[1], r[2] = row[0].I, row[1].I
+				}
+				pr.rows = append(pr.rows, r)
+			}
+		} else {
+			query := CompilePatternSQL(en.Store, a, idx, extraSQL)
+			rs, qs, err := en.Store.Rel.QueryStats(query)
+			if err != nil {
+				return nil, stats, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+			}
+			stats.Rel.RowsScanned += qs.RowsScanned
+			stats.Rel.IndexLookups += qs.IndexLookups
+			for _, row := range rs.Rows {
+				pr.rows = append(pr.rows, [5]int64{row[0].I, row[1].I, row[2].I, row[3].I, row[4].I})
+			}
+		}
+		stats.DataQueries++
+		stats.PatternRows += len(pr.rows)
+		results[idx] = pr
+
+		if len(pr.rows) == 0 {
+			// A pattern with no matches empties the whole conjunction.
+			stats.EmptyPatternID = p.ID
+			return &Result{
+				Set:           &relational.ResultSet{Columns: returnColumns(a)},
+				MatchedEvents: map[int64]bool{},
+			}, stats, nil
+		}
+		if !en.DisableScheduling {
+			narrow(bindings, p.Subject.ID, pr.rows, 1)
+			narrow(bindings, p.Object.ID, pr.rows, 2)
+		}
+	}
+
+	res, joined, err := en.join(a, results)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.JoinBindings = joined
+	return res, stats, nil
+}
+
+// schedule orders pattern indexes by descending pruning score
+// (Section III-F): more declared constraints score higher; variable-length
+// paths score lower the longer their maximum length.
+func (en *Engine) schedule(a *tbql.Analyzed) []int {
+	n := len(a.Query.Patterns)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if en.DisableScheduling {
+		return order
+	}
+	scores := make([]int, n)
+	for i, p := range a.Query.Patterns {
+		scores[i] = en.pruningScore(a, p)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return scores[order[x]] > scores[order[y]]
+	})
+	return order
+}
+
+func (en *Engine) pruningScore(a *tbql.Analyzed, p *tbql.Pattern) int {
+	score := 0
+	if f := a.Entities[p.Subject.ID].Filter; f != nil {
+		score += countConjuncts(f)
+	}
+	if f := a.Entities[p.Object.ID].Filter; f != nil {
+		score += countConjuncts(f)
+	}
+	if p.IDFilter != nil {
+		score += countConjuncts(p.IDFilter)
+	}
+	if p.Op != nil && len(p.Op.Ops()) < 9 {
+		score++
+	}
+	if windowOf(a.Query, p) != nil {
+		score++
+	}
+	score *= 8 // constraints dominate path length
+	if p.Path != nil {
+		if p.Path.MaxLen < 0 {
+			score -= 64
+		} else {
+			score -= p.Path.MaxLen
+		}
+	}
+	return score
+}
+
+func countConjuncts(e relational.Expr) int {
+	if bin, ok := e.(relational.BinOp); ok && bin.Op == "and" {
+		return countConjuncts(bin.L) + countConjuncts(bin.R)
+	}
+	return 1
+}
+
+func sortedIDs(set map[int64]bool) []int64 {
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// narrow intersects the binding set of an entity with the IDs seen in a
+// pattern's rows (column col).
+func narrow(bindings map[string]map[int64]bool, entityID string, rows [][5]int64, col int) {
+	seen := make(map[int64]bool, len(rows))
+	for _, r := range rows {
+		seen[r[col]] = true
+	}
+	prev, ok := bindings[entityID]
+	if !ok {
+		bindings[entityID] = seen
+		return
+	}
+	for id := range prev {
+		if !seen[id] {
+			delete(prev, id)
+		}
+	}
+}
+
+func returnColumns(a *tbql.Analyzed) []string {
+	cols := make([]string, len(a.ReturnItems))
+	for i, item := range a.ReturnItems {
+		cols[i] = item.EntityID + "." + item.Attr
+	}
+	return cols
+}
+
+// join combines per-pattern rows into complete bindings, enforcing shared
+// entity identity, temporal relationships, attribute relationships, and
+// global filters, then projects the return clause.
+func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, error) {
+	q := a.Query
+	rs := &relational.ResultSet{Columns: returnColumns(a)}
+	matched := make(map[int64]bool)
+	joined := 0
+
+	// Join in ascending row-count order to keep intermediates small.
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return len(results[order[x]].rows) < len(results[order[y]].rows)
+	})
+
+	entityBind := make(map[string]int64)
+	pattTimes := make(map[string][2]int64) // pattern ID -> start,end
+	pattEvent := make(map[string]int64)    // pattern ID -> event row ID
+
+	var resolveAttr func(c relational.ColRef) (relational.Value, error)
+	resolveAttr = func(c relational.ColRef) (relational.Value, error) {
+		id, ok := entityBind[c.Qualifier]
+		if !ok {
+			return relational.Null(), fmt.Errorf("engine: unbound entity %s", c.Qualifier)
+		}
+		return en.Store.EntityAttr(id, c.Column), nil
+	}
+
+	checkRelations := func() (bool, error) {
+		for _, rel := range q.Relations {
+			switch rel.Kind {
+			case tbql.RelAttr:
+				v, err := relational.EvalExpr(rel.Attr, resolveAttr)
+				if err != nil {
+					return false, err
+				}
+				if !v.Truthy() {
+					return false, nil
+				}
+			default:
+				ta, okA := pattTimes[rel.A]
+				tb, okB := pattTimes[rel.B]
+				if !okA || !okB {
+					return false, fmt.Errorf("engine: temporal relation on pattern without event times")
+				}
+				if !temporalHolds(rel, ta[0], tb[0]) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+
+	var walk func(k int) error
+	walk = func(k int) error {
+		if k == len(order) {
+			ok, err := checkRelations()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			joined++
+			for _, ev := range pattEvent {
+				matched[ev] = true
+			}
+			row := make([]relational.Value, len(a.ReturnItems))
+			for i, item := range a.ReturnItems {
+				row[i] = en.Store.EntityAttr(entityBind[item.EntityID], item.Attr)
+			}
+			rs.Rows = append(rs.Rows, row)
+			return nil
+		}
+		pr := results[order[k]]
+		p := q.Patterns[pr.idx]
+		for _, r := range pr.rows {
+			sPrev, sBound := entityBind[p.Subject.ID]
+			if sBound && sPrev != r[1] {
+				continue
+			}
+			oPrev, oBound := entityBind[p.Object.ID]
+			if oBound && oPrev != r[2] {
+				continue
+			}
+			if !sBound {
+				entityBind[p.Subject.ID] = r[1]
+			}
+			if !oBound {
+				entityBind[p.Object.ID] = r[2]
+			}
+			if pr.hasEvent {
+				pattTimes[p.ID] = [2]int64{r[3], r[4]}
+				pattEvent[p.ID] = r[0]
+			}
+			if err := walk(k + 1); err != nil {
+				return err
+			}
+			delete(pattTimes, p.ID)
+			delete(pattEvent, p.ID)
+			if !sBound {
+				delete(entityBind, p.Subject.ID)
+			}
+			if !oBound {
+				delete(entityBind, p.Object.ID)
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, joined, err
+	}
+
+	if q.Return.Distinct {
+		rs.Rows = dedupValueRows(rs.Rows)
+	}
+	return &Result{Set: rs, MatchedEvents: matched}, joined, nil
+}
+
+func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
+	switch rel.Kind {
+	case tbql.RelBefore:
+		if startA >= startB {
+			return false
+		}
+		if rel.HasDur {
+			d := startB - startA
+			return d >= rel.LoDur.Microseconds() && d <= rel.HiDur.Microseconds()
+		}
+		return true
+	case tbql.RelAfter:
+		if startA <= startB {
+			return false
+		}
+		if rel.HasDur {
+			d := startA - startB
+			return d >= rel.LoDur.Microseconds() && d <= rel.HiDur.Microseconds()
+		}
+		return true
+	case tbql.RelWithin:
+		d := startA - startB
+		if d < 0 {
+			d = -d
+		}
+		return d <= rel.HiDur.Microseconds()
+	}
+	return false
+}
+
+func dedupValueRows(rows [][]relational.Value) [][]relational.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		key := ""
+		for _, v := range row {
+			key += v.Key() + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// ExecuteMonolithicSQL compiles the query into one giant SQL statement and
+// runs it on the relational backend (query type (b) in RQ4).
+func (en *Engine) ExecuteMonolithicSQL(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
+	var stats Stats
+	sql, err := CompileMonolithicSQL(en.Store, a)
+	if err != nil {
+		return nil, stats, err
+	}
+	rs, qs, err := en.Store.Rel.QueryStats(sql)
+	stats.DataQueries = 1
+	stats.Rel = qs
+	return rs, stats, err
+}
+
+// ExecuteMonolithicCypher compiles the query into one giant Cypher
+// statement and runs it on the graph backend with the clause-at-a-time
+// plan that production graph databases use for multi-MATCH statements
+// (query type (d) in RQ4).
+func (en *Engine) ExecuteMonolithicCypher(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
+	var stats Stats
+	cy, err := CompileMonolithicCypher(en.Store, a)
+	if err != nil {
+		return nil, stats, err
+	}
+	q, err := graphdb.ParseQuery(cy)
+	if err != nil {
+		return nil, stats, err
+	}
+	q.ClauseAtATime = true
+	rs, gs, err := en.Store.Graph.Exec(q)
+	stats.DataQueries = 1
+	stats.Graph = gs
+	return rs, stats, err
+}
+
+// MatchEventsPerPattern returns the union of event IDs matched by each
+// pattern's data query evaluated independently. This is the paper's RQ2
+// scoring semantics ("the system events found by the event patterns in the
+// synthesized TBQL query"): an excessive pattern that matches nothing does
+// not empty the other patterns' findings.
+func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error) {
+	matched := make(map[int64]bool)
+	for idx, p := range a.Query.Patterns {
+		if p.Path != nil {
+			query := CompilePatternCypher(en.Store, a, idx, nil)
+			rs, err := en.Store.Graph.Query(query)
+			if err != nil {
+				return nil, err
+			}
+			if len(rs.Columns) == 5 {
+				for _, row := range rs.Rows {
+					matched[row[0].I] = true
+				}
+			}
+			continue
+		}
+		query := CompilePatternSQL(en.Store, a, idx, nil)
+		rs, err := en.Store.Rel.Query(query)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.Rows {
+			matched[row[0].I] = true
+		}
+	}
+	return matched, nil
+}
+
+// Hunt parses, analyzes, and executes TBQL source with the scheduled plan.
+func (en *Engine) Hunt(src string) (*Result, Stats, error) {
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return en.Execute(a)
+}

@@ -1,0 +1,215 @@
+// Package engine implements ThreatRaptor's TBQL query execution
+// (Section III-F): system audit logging data is stored in both a
+// relational backend (PostgreSQL stand-in) and a graph backend (Neo4j
+// stand-in); TBQL patterns compile into small SQL or Cypher data queries;
+// and a scheduler orders those data queries by estimated pruning power and
+// semantic dependencies, feeding each query's results into the next as
+// added constraints.
+package engine
+
+import (
+	"fmt"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/graphdb"
+	"threatraptor/internal/relational"
+)
+
+// Store holds one audit log replicated across the two database backends
+// (Section III-B: data is replicated to support different query types and
+// improve availability).
+type Store struct {
+	Rel   *relational.DB
+	Graph *graphdb.Graph
+	Log   *audit.Log
+	// MinTime/MaxTime bound the stored events (µs), used to resolve
+	// "last N unit" windows.
+	MinTime int64
+	MaxTime int64
+}
+
+// Labels used in the graph backend.
+const (
+	LabelProcess = "Process"
+	LabelFile    = "File"
+	LabelNetConn = "NetConn"
+)
+
+func labelOf(k audit.EntityKind) string {
+	switch k {
+	case audit.EntityProcess:
+		return LabelProcess
+	case audit.EntityFile:
+		return LabelFile
+	case audit.EntityNetConn:
+		return LabelNetConn
+	}
+	return "Unknown"
+}
+
+// NewStore loads a parsed audit log into fresh relational and graph
+// backends, creating indexes on the key attributes (file name, process
+// executable name, destination IP) in both.
+func NewStore(log *audit.Log) (*Store, error) {
+	s := &Store{Rel: relational.NewDB(), Graph: graphdb.NewGraph(), Log: log}
+
+	entities, err := s.Rel.CreateTable("entities", relational.Schema{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "kind", Kind: relational.KindString},
+		{Name: "name", Kind: relational.KindString},
+		{Name: "path", Kind: relational.KindString},
+		{Name: "user", Kind: relational.KindString},
+		{Name: "grp", Kind: relational.KindString},
+		{Name: "pid", Kind: relational.KindInt},
+		{Name: "exename", Kind: relational.KindString},
+		{Name: "cmd", Kind: relational.KindString},
+		{Name: "srcip", Kind: relational.KindString},
+		{Name: "srcport", Kind: relational.KindInt},
+		{Name: "dstip", Kind: relational.KindString},
+		{Name: "dstport", Kind: relational.KindInt},
+		{Name: "protocol", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	events, err := s.Rel.CreateTable("events", relational.Schema{
+		{Name: "id", Kind: relational.KindInt},
+		{Name: "subject_id", Kind: relational.KindInt},
+		{Name: "object_id", Kind: relational.KindInt},
+		{Name: "op", Kind: relational.KindString},
+		{Name: "start_time", Kind: relational.KindInt},
+		{Name: "end_time", Kind: relational.KindInt},
+		{Name: "amount", Kind: relational.KindInt},
+		{Name: "failure_code", Kind: relational.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, e := range log.Entities.All() {
+		if err := entities.Insert(entityRow(e)); err != nil {
+			return nil, err
+		}
+		s.Graph.AddNodeWithID(e.ID, labelOf(e.Kind), entityProps(e))
+	}
+	for i := range log.Events {
+		ev := &log.Events[i]
+		if err := events.Insert([]relational.Value{
+			relational.Int(ev.ID),
+			relational.Int(ev.SubjectID),
+			relational.Int(ev.ObjectID),
+			relational.Str(ev.Op.String()),
+			relational.Int(ev.StartTime),
+			relational.Int(ev.EndTime),
+			relational.Int(ev.DataAmount),
+			relational.Int(int64(ev.FailureCode)),
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
+			"id":         relational.Int(ev.ID),
+			"start_time": relational.Int(ev.StartTime),
+			"end_time":   relational.Int(ev.EndTime),
+			"amount":     relational.Int(ev.DataAmount),
+		}); err != nil {
+			return nil, fmt.Errorf("engine: event %d: %w", ev.ID, err)
+		}
+		if s.MinTime == 0 || ev.StartTime < s.MinTime {
+			s.MinTime = ev.StartTime
+		}
+		if ev.EndTime > s.MaxTime {
+			s.MaxTime = ev.EndTime
+		}
+	}
+
+	for _, col := range []string{"id", "name", "exename", "dstip"} {
+		if err := entities.CreateIndex(col); err != nil {
+			return nil, err
+		}
+	}
+	for _, col := range []string{"subject_id", "object_id", "op"} {
+		if err := events.CreateIndex(col); err != nil {
+			return nil, err
+		}
+	}
+	s.Graph.CreateIndex(LabelProcess, "exename")
+	s.Graph.CreateIndex(LabelFile, "name")
+	s.Graph.CreateIndex(LabelNetConn, "dstip")
+	return s, nil
+}
+
+func entityRow(e *audit.Entity) []relational.Value {
+	row := make([]relational.Value, 14)
+	for i := range row {
+		row[i] = relational.Null()
+	}
+	row[0] = relational.Int(e.ID)
+	row[1] = relational.Str(e.Kind.String())
+	switch e.Kind {
+	case audit.EntityFile:
+		row[2] = relational.Str(e.File.Name)
+		row[3] = relational.Str(e.File.Path)
+		row[4] = relational.Str(e.File.User)
+		row[5] = relational.Str(e.File.Group)
+	case audit.EntityProcess:
+		row[6] = relational.Int(int64(e.Proc.PID))
+		row[7] = relational.Str(e.Proc.ExeName)
+		row[4] = relational.Str(e.Proc.User)
+		row[5] = relational.Str(e.Proc.Group)
+		row[8] = relational.Str(e.Proc.CMD)
+	case audit.EntityNetConn:
+		row[9] = relational.Str(e.Net.SrcIP)
+		row[10] = relational.Int(int64(e.Net.SrcPort))
+		row[11] = relational.Str(e.Net.DstIP)
+		row[12] = relational.Int(int64(e.Net.DstPort))
+		row[13] = relational.Str(e.Net.Protocol)
+	}
+	return row
+}
+
+func entityProps(e *audit.Entity) graphdb.Props {
+	p := graphdb.Props{}
+	switch e.Kind {
+	case audit.EntityFile:
+		p["name"] = relational.Str(e.File.Name)
+		p["path"] = relational.Str(e.File.Path)
+		p["user"] = relational.Str(e.File.User)
+		p["group"] = relational.Str(e.File.Group)
+	case audit.EntityProcess:
+		p["pid"] = relational.Int(int64(e.Proc.PID))
+		p["exename"] = relational.Str(e.Proc.ExeName)
+		p["user"] = relational.Str(e.Proc.User)
+		p["group"] = relational.Str(e.Proc.Group)
+		p["cmd"] = relational.Str(e.Proc.CMD)
+	case audit.EntityNetConn:
+		p["srcip"] = relational.Str(e.Net.SrcIP)
+		p["srcport"] = relational.Int(int64(e.Net.SrcPort))
+		p["dstip"] = relational.Str(e.Net.DstIP)
+		p["dstport"] = relational.Int(int64(e.Net.DstPort))
+		p["protocol"] = relational.Str(e.Net.Protocol)
+	}
+	return p
+}
+
+// EntityAttr returns the attribute value of a stored entity as a typed
+// value (used for return projection and attribute relations).
+func (s *Store) EntityAttr(id int64, attr string) relational.Value {
+	e := s.Log.Entities.Lookup(id)
+	if e == nil {
+		return relational.Null()
+	}
+	if attr == "pid" && e.Kind == audit.EntityProcess {
+		return relational.Int(int64(e.Proc.PID))
+	}
+	if (attr == "srcport" || attr == "dstport") && e.Kind == audit.EntityNetConn {
+		if attr == "srcport" {
+			return relational.Int(int64(e.Net.SrcPort))
+		}
+		return relational.Int(int64(e.Net.DstPort))
+	}
+	v, ok := e.Attr(attr)
+	if !ok {
+		return relational.Null()
+	}
+	return relational.Str(v)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"time"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/cases"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/extract"
+	"threatraptor/internal/reduction"
+	"threatraptor/internal/synth"
+	"threatraptor/internal/tbql"
+)
+
+// ReductionRow is one threshold setting of the data-reduction ablation.
+type ReductionRow struct {
+	ThresholdMS int64
+	Before      int
+	After       int
+	Factor      float64
+	// AttackEventsPreserved verifies that reduction never merges away the
+	// ground-truth attack steps (the paper chose 1 s because it reduces
+	// well "with no false events generated").
+	AttackEventsPreserved bool
+}
+
+// ReductionAblation sweeps the event-merge threshold over the data_leak
+// workload (the paper's Section III-B experiment behind the 1 s choice).
+func ReductionAblation(scale float64) ([]ReductionRow, error) {
+	c := cases.ByID("data_leak")
+	thresholds := []int64{0, 10, 100, 1000, 10_000, 60_000} // milliseconds
+	var rows []ReductionRow
+	for _, ms := range thresholds {
+		log, attackKeys, err := c.GenerateRaw(scale)
+		if err != nil {
+			return nil, err
+		}
+		before := len(log.Events)
+		res := reduction.Reduce(log, reduction.Config{ThresholdUS: ms * 1000})
+		rows = append(rows, ReductionRow{
+			ThresholdMS:           ms,
+			Before:                before,
+			After:                 res.After,
+			Factor:                res.ReductionFactor(),
+			AttackEventsPreserved: countAttackSteps(log, attackKeys) == len(attackKeys),
+		})
+	}
+	return rows, nil
+}
+
+// countAttackSteps counts the distinct attack step keys still present.
+func countAttackSteps(log *audit.Log, attackKeys map[string]bool) int {
+	seen := make(map[string]bool)
+	for i := range log.Events {
+		ev := &log.Events[i]
+		k := log.Subject(ev).Key() + "|" + ev.Op.String() + "|" + log.Object(ev).Key()
+		if attackKeys[k] {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
+// SchedulerRow compares the pruning-score scheduler against the
+// declaration-order plan without constraint feeding.
+type SchedulerRow struct {
+	CaseID      string
+	Scheduled   Timing
+	Unscheduled Timing
+	// Rows produced by the per-pattern data queries under each plan: the
+	// scheduler's constraint feeding shrinks them.
+	ScheduledRows   int
+	UnscheduledRows int
+}
+
+// SchedulerAblation isolates the contribution of the paper's core RQ4
+// optimization (pruning-power ordering + constraint feeding) on every
+// case.
+func SchedulerAblation(scale float64, rounds int) ([]SchedulerRow, error) {
+	ex := extract.New(extract.DefaultOptions())
+	var rows []SchedulerRow
+	for _, c := range cases.All() {
+		gen, err := c.Generate(scale)
+		if err != nil {
+			return nil, err
+		}
+		store, err := engine.NewStore(gen.Log)
+		if err != nil {
+			return nil, err
+		}
+		graph := ex.Extract(c.Report).Graph
+		q, _, err := synth.Synthesize(graph, synth.Options{})
+		if err != nil {
+			return nil, err
+		}
+		a, err := tbql.Analyze(q)
+		if err != nil {
+			return nil, err
+		}
+		sched := &engine.Engine{Store: store}
+		naive := &engine.Engine{Store: store, DisableScheduling: true}
+
+		row := SchedulerRow{CaseID: c.ID}
+		var sStats, nStats engine.Stats
+		if row.Scheduled, err = timeRounds(rounds, func() error {
+			var err error
+			_, sStats, err = sched.Execute(a)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.Unscheduled, err = timeRounds(rounds, func() error {
+			var err error
+			_, nStats, err = naive.Execute(a)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		row.ScheduledRows = sStats.PatternRows
+		row.UnscheduledRows = nStats.PatternRows
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MergeThresholdRow measures how the extraction merge-similarity gate
+// affects node counts (an extraction-side design knob).
+type MergeThresholdRow struct {
+	Threshold float64
+	Nodes     int
+	Edges     int
+	Seconds   float64
+}
+
+// MergeAblation sweeps the IOC-merge similarity threshold on the data_leak
+// report.
+func MergeAblation() []MergeThresholdRow {
+	c := cases.ByID("data_leak")
+	var rows []MergeThresholdRow
+	for _, th := range []float64{0.5, 0.7, 0.8, 0.9, 0.99} {
+		ex := extract.New(extract.Options{IOCProtection: true, MergeThreshold: th})
+		start := time.Now()
+		res := ex.Extract(c.Report)
+		rows = append(rows, MergeThresholdRow{
+			Threshold: th,
+			Nodes:     len(res.Graph.Nodes),
+			Edges:     len(res.Graph.Edges),
+			Seconds:   time.Since(start).Seconds(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,246 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// dataLeakReport is the OSCTI text of the paper's Figure 2 (case ra_2).
+const dataLeakReport = `As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After compression, the attacker used Gnu Privacy Guard (GnuPG) tool to encrypt the zipped file, which corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive information to /tmp/upload. Finally, the attacker leveraged the curl utility (/usr/bin/curl) to read the data from /tmp/upload. He leaked the gathered sensitive information back to the attacker C2 host by using /usr/bin/curl to connect to 192.168.29.128.`
+
+// edgeSet turns a graph into "subj verb obj" strings for comparison.
+func edgeSet(g *Graph) map[string]int {
+	out := make(map[string]int)
+	for _, e := range g.Edges {
+		key := fmt.Sprintf("%s %s %s", g.Node(e.From).Text, e.Verb, g.Node(e.To).Text)
+		out[key] = e.Seq
+	}
+	return out
+}
+
+func TestExtractDataLeakGraph(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract(dataLeakReport)
+
+	wantEdges := []string{
+		"/bin/tar read /etc/passwd",
+		"/bin/tar write /tmp/upload.tar",
+		"/bin/bzip2 read /tmp/upload.tar",
+		"/bin/bzip2 write /tmp/upload.tar.bz2",
+		"/usr/bin/gpg read /tmp/upload.tar.bz2",
+		"/usr/bin/gpg write /tmp/upload",
+		"/usr/bin/curl read /tmp/upload",
+		"/usr/bin/curl connect 192.168.29.128",
+	}
+	got := edgeSet(res.Graph)
+	for _, w := range wantEdges {
+		if _, ok := got[w]; !ok {
+			t.Errorf("missing edge %q\ngraph:\n%s", w, res.Graph)
+		}
+	}
+	if len(res.Graph.Edges) != len(wantEdges) {
+		t.Errorf("edges = %d, want %d\n%s", len(res.Graph.Edges), len(wantEdges), res.Graph)
+	}
+	// Sequence numbers must follow the narrative order.
+	for i := 0; i+1 < len(wantEdges); i++ {
+		if got[wantEdges[i]] >= got[wantEdges[i+1]] {
+			t.Errorf("edge %q (seq %d) should precede %q (seq %d)",
+				wantEdges[i], got[wantEdges[i]], wantEdges[i+1], got[wantEdges[i+1]])
+		}
+	}
+	// All nine IOCs of Figure 2 must be nodes.
+	if len(res.Graph.Nodes) != 9 {
+		var names []string
+		for _, n := range res.Graph.Nodes {
+			names = append(names, n.Text)
+		}
+		t.Errorf("nodes = %d (%v), want 9", len(res.Graph.Nodes), names)
+	}
+}
+
+func TestExtractEntities(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract(dataLeakReport)
+	want := map[string]bool{
+		"/bin/tar": true, "/etc/passwd": true, "/tmp/upload.tar": true,
+		"/bin/bzip2": true, "/tmp/upload.tar.bz2": true,
+		"/usr/bin/gpg": true, "/tmp/upload": true, "/usr/bin/curl": true,
+		"192.168.29.128": true,
+	}
+	got := map[string]bool{}
+	for _, ic := range res.IOCs {
+		got[ic.Text] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing entity %q", w)
+		}
+	}
+	for g := range got {
+		if !want[g] {
+			t.Errorf("unexpected entity %q", g)
+		}
+	}
+}
+
+func TestExtractWithoutProtectionDegrades(t *testing.T) {
+	full := New(DefaultOptions()).Extract(dataLeakReport)
+	abl := New(Options{IOCProtection: false}).Extract(dataLeakReport)
+	if len(abl.Triplets) >= len(full.Triplets) {
+		t.Errorf("removing IOC protection must hurt relation recall: %d vs %d",
+			len(abl.Triplets), len(full.Triplets))
+	}
+	uniq := func(res *Result) int {
+		set := map[string]bool{}
+		for _, ic := range res.IOCs {
+			set[ic.Text] = true
+		}
+		return len(set)
+	}
+	if uniq(abl) >= uniq(full) {
+		t.Errorf("removing IOC protection must hurt entity recall: %d vs %d",
+			uniq(abl), uniq(full))
+	}
+}
+
+func TestExtractSimpleSVO(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("/bin/malware.sh wrote data to /tmp/stash.")
+	if len(res.Triplets) != 1 {
+		t.Fatalf("triplets = %d: %+v", len(res.Triplets), res.Triplets)
+	}
+	tr := res.Triplets[0]
+	if tr.Subj.Text != "/bin/malware.sh" || tr.Verb != "write" || tr.Obj.Text != "/tmp/stash" {
+		t.Fatalf("got (%s, %s, %s)", tr.Subj.Text, tr.Verb, tr.Obj.Text)
+	}
+}
+
+func TestExtractInstrumental(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("The attacker used /usr/bin/wget to download the payload from 10.9.8.7.")
+	if len(res.Triplets) != 1 {
+		t.Fatalf("triplets = %+v", res.Triplets)
+	}
+	tr := res.Triplets[0]
+	if tr.Subj.Text != "/usr/bin/wget" || tr.Verb != "download" || tr.Obj.Text != "10.9.8.7" {
+		t.Fatalf("got (%s, %s, %s)", tr.Subj.Text, tr.Verb, tr.Obj.Text)
+	}
+}
+
+func TestExtractCoordinatedClauses(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("/bin/a read from /etc/x and wrote to /tmp/y.")
+	got := map[string]bool{}
+	for _, tr := range res.Triplets {
+		got[fmt.Sprintf("%s %s %s", tr.Subj.Text, tr.Verb, tr.Obj.Text)] = true
+	}
+	if !got["/bin/a read /etc/x"] || !got["/bin/a write /tmp/y"] {
+		t.Fatalf("got %v", got)
+	}
+	if got["/etc/x write /tmp/y"] || got["/etc/x read /tmp/y"] {
+		t.Fatalf("spurious object-object relation: %v", got)
+	}
+}
+
+func TestExtractNoCrossClauseSubjects(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("/bin/a read /etc/x and /bin/b wrote /tmp/y.")
+	for _, tr := range res.Triplets {
+		key := fmt.Sprintf("%s %s %s", tr.Subj.Text, tr.Verb, tr.Obj.Text)
+		switch key {
+		case "/bin/a read /etc/x", "/bin/b write /tmp/y":
+		default:
+			t.Errorf("spurious triplet %q", key)
+		}
+	}
+}
+
+func TestExtractCoref(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("The attacker used /bin/nc to read /etc/shadow. It wrote the stolen data to /tmp/loot.bin.")
+	got := map[string]bool{}
+	for _, tr := range res.Triplets {
+		got[fmt.Sprintf("%s %s %s", tr.Subj.Text, tr.Verb, tr.Obj.Text)] = true
+	}
+	if !got["/bin/nc write /tmp/loot.bin"] {
+		t.Fatalf("pronoun subject should resolve to /bin/nc: %v", got)
+	}
+}
+
+func TestExtractGerundClause(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("This corresponds to the process /usr/bin/ssh reading from /home/admin/.ssh/id_rsa.")
+	got := map[string]bool{}
+	for _, tr := range res.Triplets {
+		got[fmt.Sprintf("%s %s %s", tr.Subj.Text, tr.Verb, tr.Obj.Text)] = true
+	}
+	if !got["/usr/bin/ssh read /home/admin/.ssh/id_rsa"] {
+		t.Fatalf("gerund clause extraction failed: %v", got)
+	}
+}
+
+func TestExtractEmptyAndIrrelevantText(t *testing.T) {
+	ex := New(DefaultOptions())
+	if res := ex.Extract(""); len(res.Triplets) != 0 || len(res.Graph.Nodes) != 0 {
+		t.Error("empty doc must produce an empty result")
+	}
+	res := ex.Extract("The weather is nice today. Nothing else happened.")
+	if len(res.Triplets) != 0 {
+		t.Errorf("no-IOC text must produce no triplets: %+v", res.Triplets)
+	}
+}
+
+func TestExtractMergesAcrossBlocks(t *testing.T) {
+	doc := "The malware wrote its loot to /tmp/loot.dat in the first stage.\n\nLater, /bin/scp read loot.dat and sent it to 10.1.2.3."
+	ex := New(DefaultOptions())
+	res := ex.Extract(doc)
+	// "loot.dat" and "/tmp/loot.dat" must merge to one node.
+	count := 0
+	for _, n := range res.Graph.Nodes {
+		if strings.Contains(n.Text, "loot.dat") {
+			count++
+			if n.Text != "/tmp/loot.dat" {
+				t.Errorf("canonical form should be the full path, got %q", n.Text)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("loot.dat mentions should merge into 1 node, got %d\n%s", count, res.Graph)
+	}
+}
+
+func TestExtractDoesNotMergeDistinctFiles(t *testing.T) {
+	ex := New(DefaultOptions())
+	res := ex.Extract("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.")
+	names := map[string]bool{}
+	for _, n := range res.Graph.Nodes {
+		names[n.Text] = true
+	}
+	if !names["/tmp/upload.tar"] || !names["/tmp/upload.tar.bz2"] {
+		t.Fatalf("distinct files must stay distinct nodes: %v", names)
+	}
+}
+
+func TestSegmentBlocks(t *testing.T) {
+	doc := "first block line one\nline two\n\nsecond block\n\n\nthird block"
+	blocks := segmentBlocks(doc)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3: %+v", len(blocks), blocks)
+	}
+	for _, b := range blocks {
+		if doc[b.offset:b.offset+len(b.text)] != b.text {
+			t.Errorf("block offset mismatch: %+v", b)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	run := func() string {
+		return New(DefaultOptions()).Extract(dataLeakReport).Graph.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("extraction must be deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,77 @@
+package extract
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"threatraptor/internal/ioc"
+)
+
+// graphJSON is the stable wire form of a threat behavior graph, suitable
+// for exchange with other CTI tooling (nodes are IOCs, edges carry the
+// lemmatized relation verb and the step sequence number).
+type graphJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	ID      int      `json:"id"`
+	Text    string   `json:"text"`
+	Type    string   `json:"type"`
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+type edgeJSON struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Verb string `json:"verb"`
+	Seq  int    `json:"seq"`
+}
+
+// MarshalJSON encodes the graph in the stable wire form.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{Nodes: []nodeJSON{}, Edges: []edgeJSON{}}
+	for _, n := range g.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			ID: n.ID, Text: n.Text, Type: string(n.Type), Aliases: n.Aliases,
+		})
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Verb: e.Verb, Seq: e.Seq})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire form, validating node references.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	ids := make(map[int]bool, len(in.Nodes))
+	g.Nodes = nil
+	g.Edges = nil
+	for _, n := range in.Nodes {
+		if n.Text == "" {
+			return fmt.Errorf("extract: node %d has no text", n.ID)
+		}
+		if ids[n.ID] {
+			return fmt.Errorf("extract: duplicate node id %d", n.ID)
+		}
+		ids[n.ID] = true
+		g.Nodes = append(g.Nodes, &Node{
+			ID: n.ID, Text: n.Text, Type: ioc.Type(n.Type), Aliases: n.Aliases,
+		})
+	}
+	for _, e := range in.Edges {
+		if !ids[e.From] || !ids[e.To] {
+			return fmt.Errorf("extract: edge %d->%d references unknown node", e.From, e.To)
+		}
+		if e.Verb == "" {
+			return fmt.Errorf("extract: edge %d->%d has no verb", e.From, e.To)
+		}
+		g.Edges = append(g.Edges, &Edge{From: e.From, To: e.To, Verb: e.Verb, Seq: e.Seq})
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package extract
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	res := New(DefaultOptions()).Extract(dataLeakReport)
+	data, err := json.Marshal(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(res.Graph.Nodes) || len(back.Edges) != len(res.Graph.Edges) {
+		t.Fatalf("round trip lost structure: %dx%d vs %dx%d",
+			len(back.Nodes), len(back.Edges), len(res.Graph.Nodes), len(res.Graph.Edges))
+	}
+	if back.String() != res.Graph.String() {
+		t.Fatalf("graphs differ:\n%s\nvs\n%s", back.String(), res.Graph.String())
+	}
+}
+
+func TestGraphJSONValidation(t *testing.T) {
+	bad := []string{
+		`{"nodes":[{"id":1,"text":"/x","type":"FilepathLinux"}],"edges":[{"from":1,"to":2,"verb":"read","seq":1}]}`,                 // unknown node
+		`{"nodes":[{"id":1,"text":"","type":"FilepathLinux"}],"edges":[]}`,                                                          // empty text
+		`{"nodes":[{"id":1,"text":"/x","type":"F"},{"id":1,"text":"/y","type":"F"}],"edges":[]}`,                                    // dup id
+		`{"nodes":[{"id":1,"text":"/x","type":"F"},{"id":2,"text":"/y","type":"F"}],"edges":[{"from":1,"to":2,"verb":"","seq":1}]}`, // empty verb
+		`{not json`,
+	}
+	for _, src := range bad {
+		var g Graph
+		if err := json.Unmarshal([]byte(src), &g); err == nil {
+			t.Errorf("Unmarshal(%q) should fail", src)
+		}
+	}
+}
+
+func TestGraphJSONEmpty(t *testing.T) {
+	var g Graph
+	data, err := json.Marshal(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != 0 || len(back.Edges) != 0 {
+		t.Fatal("empty graph round trip")
+	}
+}

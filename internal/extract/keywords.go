@@ -1,0 +1,32 @@
+package extract
+
+// relationVerbs is the curated list of candidate IOC relation verbs
+// (Step 5 of Algorithm 1), keyed by lemma. A token can only become the
+// final relation verb if its lemma is in this list and it forms the
+// correct grammatical relation with the IOC pair.
+var relationVerbs = map[string]bool{
+	"read": true, "write": true, "open": true, "download": true,
+	"upload": true, "execute": true, "run": true, "launch": true,
+	"start": true, "connect": true, "send": true, "receive": true,
+	"transfer": true, "leak": true, "steal": true, "copy": true,
+	"compress": true, "encrypt": true, "decrypt": true, "scan": true,
+	"install": true, "create": true, "modify": true, "delete": true,
+	"drop": true, "fetch": true, "extract": true, "access": true,
+	"exfiltrate": true, "gather": true, "crack": true, "dump": true,
+	"inject": true, "communicate": true, "save": true, "store": true,
+	"load": true, "request": true, "visit": true, "spawn": true,
+	"scrape": true, "resolve": true, "get": true,
+}
+
+// instrumentalVerbs introduce a tool as their direct object ("the attacker
+// USED /bin/tar to read ..."): the tool IOC is the behavioral subject of
+// the downstream relation verb, not its object.
+var instrumentalVerbs = map[string]bool{
+	"use": true, "leverage": true, "utilize": true, "employ": true,
+}
+
+// IsRelationVerb reports whether the lemma is a candidate relation verb.
+func IsRelationVerb(lemma string) bool { return relationVerbs[lemma] }
+
+// IsInstrumentalVerb reports whether the lemma introduces a tool object.
+func IsInstrumentalVerb(lemma string) bool { return instrumentalVerbs[lemma] }

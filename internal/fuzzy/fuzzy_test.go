@@ -1,0 +1,198 @@
+package fuzzy
+
+import (
+	"testing"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/provenance"
+	"threatraptor/internal/tbql"
+)
+
+// buildLog plants the tar->passwd->upload chain plus benign noise.
+func buildLog(t testing.TB) *audit.Log {
+	t.Helper()
+	log := audit.NewLog()
+	tar := log.Entities.Intern(audit.NewProcessEntity(100, "/bin/tar", "root", "root", ""))
+	passwd := log.Entities.Intern(audit.NewFileEntity("/etc/passwd", "root", "root"))
+	up := log.Entities.Intern(audit.NewFileEntity("/tmp/upload.tar", "root", "root"))
+	curl := log.Entities.Intern(audit.NewProcessEntity(101, "/usr/bin/curl", "root", "root", ""))
+	c2 := log.Entities.Intern(audit.NewNetConnEntity("10.0.0.5", 40000, "192.168.29.128", 443, "tcp"))
+	vim := log.Entities.Intern(audit.NewProcessEntity(200, "/usr/bin/vim", "alice", "staff", ""))
+	notes := log.Entities.Intern(audit.NewFileEntity("/home/alice/notes.txt", "alice", "staff"))
+
+	log.Append(audit.Event{SubjectID: tar.ID, ObjectID: passwd.ID, Op: audit.OpRead, StartTime: 10, EndTime: 11})
+	log.Append(audit.Event{SubjectID: tar.ID, ObjectID: up.ID, Op: audit.OpWrite, StartTime: 20, EndTime: 21})
+	log.Append(audit.Event{SubjectID: curl.ID, ObjectID: up.ID, Op: audit.OpRead, StartTime: 30, EndTime: 31})
+	log.Append(audit.Event{SubjectID: curl.ID, ObjectID: c2.ID, Op: audit.OpConnect, StartTime: 40, EndTime: 41})
+	log.Append(audit.Event{SubjectID: vim.ID, ObjectID: notes.ID, Op: audit.OpWrite, StartTime: 50, EndTime: 51})
+	return log
+}
+
+func queryGraph(t testing.TB, src string) *QueryGraph {
+	t.Helper()
+	q, err := tbql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := FromTBQL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qg
+}
+
+const exactQuery = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+proc p1 write file f2["%/tmp/upload.tar%"] as e2
+return distinct p1, f1, f2`
+
+func TestExactAlignment(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	qg := queryGraph(t, exactQuery)
+	s := NewSearcher(prov, qg, DefaultOptions(ModeExhaustive))
+	als := s.Search()
+	if len(als) == 0 {
+		t.Fatal("no alignment found")
+	}
+	al := als[0]
+	if al.Score < 0.99 {
+		t.Fatalf("score = %v, want ~1 for direct matches", al.Score)
+	}
+	// The aligned entities must be tar/passwd/upload.
+	names := map[string]bool{}
+	for _, id := range al.NodeMap {
+		names[prov.DefaultName(id)] = true
+	}
+	for _, want := range []string{"/bin/tar", "/etc/passwd", "/tmp/upload.tar"} {
+		if !names[want] {
+			t.Errorf("missing aligned entity %q (got %v)", want, names)
+		}
+	}
+	if len(al.Events) != 2 {
+		t.Errorf("events = %v, want the 2 attack events", al.Events)
+	}
+}
+
+func TestTypoToleranceInNodeAlignment(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	// "pass_wd" is a typo for "passwd" — exact search would miss it.
+	qg := queryGraph(t, `proc p1["%/bin/tar%"] read file f1["%/etc/pass_wd%"] as e1
+return distinct p1, f1`)
+	// The TBQL wildcard "_" is stripped with the "%"s, leaving a clean
+	// fuzzy pattern. Inject the typo directly instead.
+	qg.Nodes[1].Pattern = "/etc/pasword" // two edits from /etc/passwd
+	s := NewSearcher(prov, qg, DefaultOptions(ModeExhaustive))
+	als := s.Search()
+	if len(als) == 0 {
+		t.Fatal("typo in the IOC should still align via Levenshtein")
+	}
+}
+
+func TestFlowPathSubstitutesForEdge(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	// tar -> c2 has no direct event; the flow tar->upload->curl->c2 spans
+	// 3 events. The fuzzy mode scores it by attacker influence.
+	qg := queryGraph(t, `proc p1["%/bin/tar%"] connect ip i1["192.168.29.128"] as e1
+return distinct p1, i1`)
+	opts := DefaultOptions(ModeExhaustive)
+	opts.ScoreThreshold = 0.3 // flow through one extra process scores 1/2
+	s := NewSearcher(prov, qg, opts)
+	als := s.Search()
+	if len(als) == 0 {
+		t.Fatal("flow path should substitute for the missing direct edge")
+	}
+	if als[0].Score >= 1 {
+		t.Fatalf("indirect flow must score below a direct match: %v", als[0].Score)
+	}
+}
+
+func TestFirstAcceptableStopsEarly(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	qg := queryGraph(t, exactQuery)
+	ex := NewSearcher(prov, qg, DefaultOptions(ModeExhaustive))
+	exAls := ex.Search()
+	fa := NewSearcher(prov, qg, DefaultOptions(ModeFirstAcceptable))
+	faAls := fa.Search()
+	if len(faAls) > 1 {
+		t.Fatalf("first-acceptable must return at most one alignment, got %d", len(faAls))
+	}
+	if len(faAls) == 1 && len(exAls) >= 1 && fa.Iterations > ex.Iterations {
+		t.Fatalf("Poirot mode must not iterate more than exhaustive: %d vs %d",
+			fa.Iterations, ex.Iterations)
+	}
+}
+
+func TestNoAlignmentBelowThreshold(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	qg := queryGraph(t, `proc p1["%/bin/nonexistent%"] read file f1["%/no/file%"] as e1
+return distinct p1, f1`)
+	s := NewSearcher(prov, qg, DefaultOptions(ModeExhaustive))
+	if als := s.Search(); len(als) != 0 {
+		t.Fatalf("nothing should align: %+v", als)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if Similarity("/etc/passwd", "/etc/passwd") != 1 {
+		t.Error("identical strings")
+	}
+	if Similarity("/etc/passwd", "passwd") != 1 {
+		t.Error("containment must score 1")
+	}
+	if s := Similarity("/etc/passwd", "/etc/pasword"); s < 0.6 || s >= 1 {
+		t.Errorf("typo similarity = %v (must clear the default threshold)", s)
+	}
+	if s := Similarity("/bin/tar", "192.168.1.1"); s > 0.5 {
+		t.Errorf("unrelated similarity = %v", s)
+	}
+	if Similarity("", "x") != 0 || Similarity("x", "") != 0 {
+		t.Error("empty strings score 0")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"abc", "", 3}, {"", "ab", 2},
+		{"kitten", "sitting", 3}, {"flaw", "lawn", 2}, {"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestProvenanceGraph(t *testing.T) {
+	log := buildLog(t)
+	prov := provenance.Build(log)
+	if prov.NumNodes() != 7 || prov.NumEdges() != 5 {
+		t.Fatalf("graph = %d nodes %d edges", prov.NumNodes(), prov.NumEdges())
+	}
+	if prov.AvgDegree() <= 0 {
+		t.Error("degree must be positive")
+	}
+	tar := log.Entities.LookupKey("p:/bin/tar#100")
+	if tar == nil {
+		t.Fatal("tar missing")
+	}
+	if len(prov.Fwd[tar.ID]) != 2 {
+		t.Errorf("tar should initiate 2 events, got %d", len(prov.Fwd[tar.ID]))
+	}
+	if got := prov.DefaultName(tar.ID); got != "/bin/tar" {
+		t.Errorf("DefaultName = %q", got)
+	}
+	if len(prov.Neighbors(tar.ID)) != 2 {
+		t.Errorf("neighbors = %d", len(prov.Neighbors(tar.ID)))
+	}
+}

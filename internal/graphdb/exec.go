@@ -1,0 +1,530 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"threatraptor/internal/relational"
+)
+
+// ResultSet is the query output (shared shape with the relational engine).
+type ResultSet = relational.ResultSet
+
+// ExecStats counts the work done by one query execution.
+type ExecStats struct {
+	NodesVisited   int
+	EdgesTraversed int
+	IndexLookups   int
+}
+
+// Query parses and executes a Cypher-subset query.
+func (g *Graph) Query(src string) (*ResultSet, error) {
+	rs, _, err := g.QueryStats(src)
+	return rs, err
+}
+
+// QueryStats is Query plus execution statistics.
+func (g *Graph) QueryStats(src string) (*ResultSet, ExecStats, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return g.Exec(q)
+}
+
+// matcher holds the state of one pattern-matching run.
+type matcher struct {
+	g     *Graph
+	q     *Query
+	stats ExecStats
+	nodes map[string]int64 // node variable bindings
+	edges map[string]int64 // single-hop edge variable bindings
+	rs    *ResultSet
+	proj  []ReturnItem
+	// conjuncts are the AND-split WHERE terms, evaluated eagerly as
+	// bindings accumulate (predicate pushdown, as production graph
+	// databases do).
+	conjuncts []relational.Expr
+	// capture, when set, replaces row emission: the clause-at-a-time
+	// executor uses it to collect raw variable bindings.
+	capture func() error
+}
+
+func flattenConjuncts(e relational.Expr, acc []relational.Expr) []relational.Expr {
+	if bin, ok := e.(relational.BinOp); ok && bin.Op == "and" {
+		acc = flattenConjuncts(bin.L, acc)
+		return flattenConjuncts(bin.R, acc)
+	}
+	return append(acc, e)
+}
+
+// pruneOK evaluates every WHERE conjunct that is already evaluable under
+// the current partial bindings; a definite false prunes the branch.
+// Conjuncts referencing unbound variables are skipped (they are re-checked
+// at emit time).
+func (m *matcher) pruneOK() bool {
+	for _, c := range m.conjuncts {
+		v, err := relational.EvalExpr(c, m.resolve)
+		if err != nil {
+			continue // not yet evaluable
+		}
+		if !v.Truthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Exec runs a parsed query.
+func (g *Graph) Exec(q *Query) (*ResultSet, ExecStats, error) {
+	if q.ClauseAtATime && len(q.Patterns) > 1 {
+		return g.execClauseAtATime(q)
+	}
+	m := &matcher{
+		g:     g,
+		q:     q,
+		nodes: make(map[string]int64),
+		edges: make(map[string]int64),
+	}
+	if q.Where != nil {
+		m.conjuncts = flattenConjuncts(q.Where, nil)
+	}
+	cols := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		switch {
+		case item.As != "":
+			cols[i] = item.As
+		case item.Prop != "":
+			cols[i] = item.Var + "." + item.Prop
+		default:
+			cols[i] = item.Var
+		}
+	}
+	m.rs = &ResultSet{Columns: cols}
+	m.proj = q.Return
+
+	if err := m.matchPattern(0, 0); err != nil {
+		return nil, m.stats, err
+	}
+
+	rs := m.rs
+	if q.Distinct {
+		rs.Rows = dedupRows(rs.Rows)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderRows(rs, q); err != nil {
+			return nil, m.stats, err
+		}
+	}
+	if q.Limit >= 0 && len(rs.Rows) > q.Limit {
+		rs.Rows = rs.Rows[:q.Limit]
+	}
+	return rs, m.stats, nil
+}
+
+// matchPattern advances through pattern pi starting at node position ni.
+// ni indexes q.Patterns[pi].Nodes; hop ni-1 connects node ni-1 to ni.
+func (m *matcher) matchPattern(pi, ni int) error {
+	if pi == len(m.q.Patterns) {
+		return m.emit()
+	}
+	pat := &m.q.Patterns[pi]
+	if ni == len(pat.Nodes) {
+		return m.matchPattern(pi+1, 0)
+	}
+	np := pat.Nodes[ni]
+	if ni == 0 {
+		// Anchor: enumerate candidates for the first node of the pattern.
+		cands, err := m.candidates(np)
+		if err != nil {
+			return err
+		}
+		for _, id := range cands {
+			ok, bound, err := m.bindNode(np, id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if !bound || m.pruneOK() {
+				if err := m.matchHop(pi, ni); err != nil {
+					return err
+				}
+			}
+			if bound {
+				delete(m.nodes, np.Var)
+			}
+		}
+		return nil
+	}
+	return nil // unreachable: non-anchor nodes are matched by matchHop
+}
+
+// matchHop matches hop ni (connecting node ni to node ni+1) of pattern pi,
+// then recurses.
+func (m *matcher) matchHop(pi, ni int) error {
+	pat := &m.q.Patterns[pi]
+	if ni == len(pat.Rels) {
+		return m.matchPattern(pi+1, 0)
+	}
+	rel := pat.Rels[ni]
+	srcPat := pat.Nodes[ni]
+	dstPat := pat.Nodes[ni+1]
+	src := m.nodes[srcPat.Var] // anchors and prior hops guarantee binding
+	if srcPat.Var == "" {
+		return fmt.Errorf("cypher: internal: anonymous source nodes in mid-pattern are unsupported")
+	}
+
+	tryDst := func(edgeID int64, dst int64) error {
+		ok, bound, err := m.bindNode(dstPat, dst)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		var edgeBound bool
+		if rel.Var != "" && !rel.IsVarLen() {
+			if _, exists := m.edges[rel.Var]; !exists {
+				m.edges[rel.Var] = edgeID
+				edgeBound = true
+			} else if m.edges[rel.Var] != edgeID {
+				if bound {
+					delete(m.nodes, dstPat.Var)
+				}
+				return nil
+			}
+		}
+		if (bound || edgeBound) && !m.pruneOK() {
+			if edgeBound {
+				delete(m.edges, rel.Var)
+			}
+			if bound {
+				delete(m.nodes, dstPat.Var)
+			}
+			return nil
+		}
+		err = m.matchHop(pi, ni+1)
+		if edgeBound {
+			delete(m.edges, rel.Var)
+		}
+		if bound {
+			delete(m.nodes, dstPat.Var)
+		}
+		return err
+	}
+
+	if !rel.IsVarLen() {
+		for _, eid := range m.adjacent(src, rel.Dir) {
+			e := m.g.edges[eid]
+			m.stats.EdgesTraversed++
+			if !typeMatches(rel.Types, e.Type) {
+				continue
+			}
+			dst := e.To
+			if e.To == src && rel.Dir != DirOut {
+				dst = e.From
+			} else if rel.Dir == DirIn {
+				dst = e.From
+			}
+			if err := tryDst(eid, dst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Variable-length hop: edge-unique DFS from src, trying every node
+	// reached within [Min, Max] hops as the destination.
+	maxDepth := rel.Max
+	if maxDepth < 0 {
+		maxDepth = m.g.NumEdges() // bounded by edge-uniqueness anyway
+	}
+	used := make(map[int64]bool)
+	var dfs func(cur int64, depth int) error
+	dfs = func(cur int64, depth int) error {
+		if depth >= rel.Min {
+			// A zero-length hop (Min=0) binds dst to src itself.
+			if err := tryDst(0, cur); err != nil {
+				return err
+			}
+		}
+		if depth == maxDepth {
+			return nil
+		}
+		for _, eid := range m.adjacent(cur, rel.Dir) {
+			if used[eid] {
+				continue
+			}
+			e := m.g.edges[eid]
+			m.stats.EdgesTraversed++
+			if !typeMatches(rel.Types, e.Type) {
+				continue
+			}
+			next := e.To
+			if rel.Dir == DirIn {
+				next = e.From
+			} else if rel.Dir == DirBoth && e.To == cur {
+				next = e.From
+			}
+			used[eid] = true
+			if err := dfs(next, depth+1); err != nil {
+				return err
+			}
+			delete(used, eid)
+		}
+		return nil
+	}
+	return dfs(src, 0)
+}
+
+// adjacent returns the candidate edge IDs from node id in the direction.
+func (m *matcher) adjacent(id int64, dir Direction) []int64 {
+	switch dir {
+	case DirOut:
+		return m.g.out[id]
+	case DirIn:
+		return m.g.in[id]
+	default:
+		out := m.g.out[id]
+		in := m.g.in[id]
+		both := make([]int64, 0, len(out)+len(in))
+		both = append(both, out...)
+		both = append(both, in...)
+		return both
+	}
+}
+
+func typeMatches(types []string, t string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, want := range types {
+		if strings.EqualFold(want, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindNode checks node constraints and binds the variable if new.
+// ok reports whether the node satisfies the pattern; bound reports whether
+// this call created the binding (the caller must remove it when
+// backtracking).
+func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
+	n := m.g.nodes[id]
+	if n == nil {
+		return false, false, nil
+	}
+	m.stats.NodesVisited++
+	if np.Label != "" && !strings.EqualFold(np.Label, n.Label) {
+		return false, false, nil
+	}
+	for k, want := range np.Props {
+		got, has := n.Props[k]
+		if !has || !got.Equal(want) {
+			return false, false, nil
+		}
+	}
+	if np.Var == "" {
+		return true, false, nil
+	}
+	if prev, exists := m.nodes[np.Var]; exists {
+		return prev == id, false, nil
+	}
+	m.nodes[np.Var] = id
+	return true, true, nil
+}
+
+// candidates enumerates anchor candidates for a node pattern, preferring
+// an explicit ID constraint in WHERE ("s.id IN (...)", fed forward by the
+// TBQL scheduler), then a property index, then the label scan, then all
+// nodes.
+func (m *matcher) candidates(np NodePat) ([]int64, error) {
+	if np.Var != "" {
+		if id, bound := m.nodes[np.Var]; bound {
+			return []int64{id}, nil
+		}
+		if ids, ok := m.idConstraint(np.Var); ok {
+			m.stats.IndexLookups++
+			return ids, nil
+		}
+	}
+	if np.Label != "" {
+		for prop, v := range np.Props {
+			if ids, ok := m.g.lookupIndexed(np.Label, prop, v); ok {
+				m.stats.IndexLookups++
+				return ids, nil
+			}
+		}
+		return m.g.byLabel[np.Label], nil
+	}
+	return m.g.AllNodeIDs(), nil
+}
+
+// idConstraint scans the WHERE conjuncts for "var.id = n" or
+// "var.id IN (n1, n2, ...)" with literal operands.
+func (m *matcher) idConstraint(varName string) ([]int64, bool) {
+	colMatches := func(e relational.Expr) bool {
+		c, ok := e.(relational.ColRef)
+		return ok && c.Qualifier == varName && (c.Column == "id" || c.Column == "")
+	}
+	for _, conj := range m.conjuncts {
+		switch v := conj.(type) {
+		case relational.BinOp:
+			if v.Op == "=" && colMatches(v.L) {
+				if lit, ok := v.R.(relational.Lit); ok && lit.V.K == relational.KindInt {
+					return []int64{lit.V.I}, true
+				}
+			}
+		case relational.InList:
+			if v.Negate || !colMatches(v.E) {
+				continue
+			}
+			ids := make([]int64, 0, len(v.Vals))
+			allLit := true
+			for _, ve := range v.Vals {
+				lit, ok := ve.(relational.Lit)
+				if !ok || lit.V.K != relational.KindInt {
+					allLit = false
+					break
+				}
+				ids = append(ids, lit.V.I)
+			}
+			if allLit {
+				return ids, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// emit evaluates WHERE against the complete bindings and projects a row.
+func (m *matcher) emit() error {
+	if m.capture != nil {
+		return m.capture()
+	}
+	if m.q.Where != nil {
+		v, err := relational.EvalExpr(m.q.Where, m.resolve)
+		if err != nil {
+			return err
+		}
+		if !v.Truthy() {
+			return nil
+		}
+	}
+	row := make([]Value, len(m.proj))
+	for i, item := range m.proj {
+		v, err := m.resolve(relational.ColRef{Qualifier: item.Var, Column: item.Prop})
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	m.rs.Rows = append(m.rs.Rows, row)
+	return nil
+}
+
+// resolve looks up var.prop against node and edge bindings. A reference
+// with an empty prop yields the element ID. Nodes expose the pseudo-props
+// "id" and "label"; edges expose "id" and "type".
+func (m *matcher) resolve(c relational.ColRef) (Value, error) {
+	name := c.Qualifier
+	if name == "" {
+		name = c.Column // bare variable in RETURN: id projection
+		if id, ok := m.nodes[name]; ok {
+			return relational.Int(id), nil
+		}
+		if id, ok := m.edges[name]; ok {
+			return relational.Int(id), nil
+		}
+		return relational.Null(), fmt.Errorf("cypher: unknown variable %q", c.Column)
+	}
+	if id, ok := m.nodes[name]; ok {
+		n := m.g.nodes[id]
+		switch c.Column {
+		case "", "id":
+			return relational.Int(id), nil
+		case "label":
+			return relational.Str(n.Label), nil
+		}
+		if v, has := n.Props[c.Column]; has {
+			return v, nil
+		}
+		return relational.Null(), nil
+	}
+	if id, ok := m.edges[name]; ok {
+		e := m.g.edges[id]
+		switch c.Column {
+		case "", "id":
+			return relational.Int(id), nil
+		case "type":
+			return relational.Str(e.Type), nil
+		}
+		if v, has := e.Props[c.Column]; has {
+			return v, nil
+		}
+		return relational.Null(), nil
+	}
+	return relational.Null(), fmt.Errorf("cypher: unknown variable %q", name)
+}
+
+func dedupRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var sb strings.Builder
+	for _, row := range rows {
+		sb.Reset()
+		for _, v := range row {
+			sb.WriteString(v.Key())
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func orderRows(rs *ResultSet, q *Query) error {
+	keyIdx := make([]int, len(q.OrderBy))
+	for i, item := range q.OrderBy {
+		name := item.Var
+		if item.Prop != "" {
+			name = item.Var + "." + item.Prop
+		}
+		found := -1
+		for j, label := range rs.Columns {
+			if strings.EqualFold(label, name) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("cypher: ORDER BY %q not in RETURN", name)
+		}
+		keyIdx[i] = found
+	}
+	var sortErr error
+	sort.SliceStable(rs.Rows, func(a, b int) bool {
+		for k, pos := range keyIdx {
+			cmp, err := rs.Rows[a][pos].Compare(rs.Rows[b][pos])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if cmp != 0 {
+				if q.OrderBy[k].Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}

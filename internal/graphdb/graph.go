@@ -1,0 +1,179 @@
+// Package graphdb is an in-process property graph database with a
+// Cypher-subset query processor (MATCH with variable-length relationships,
+// WHERE, RETURN DISTINCT, ORDER BY, LIMIT).
+//
+// It is the Neo4j stand-in for ThreatRaptor's graph storage backend
+// (Section III-B): system entities are stored as nodes and system events as
+// edges, and TBQL variable-length event path patterns are compiled into
+// Cypher data queries executed here.
+//
+// Property values and WHERE expressions reuse the typed Value and
+// expression AST of the relational engine so both backends share one
+// comparison and LIKE semantics.
+package graphdb
+
+import (
+	"fmt"
+
+	"threatraptor/internal/relational"
+)
+
+// Value is the property value type (shared with the relational engine).
+type Value = relational.Value
+
+// Props is a node or edge property bag.
+type Props map[string]Value
+
+// Node is a labeled property node.
+type Node struct {
+	ID    int64
+	Label string
+	Props Props
+}
+
+// Edge is a typed, directed property edge.
+type Edge struct {
+	ID    int64
+	From  int64
+	To    int64
+	Type  string
+	Props Props
+}
+
+// Graph is the property graph store with adjacency lists and optional
+// property indexes.
+type Graph struct {
+	nodes   map[int64]*Node
+	edges   map[int64]*Edge
+	out     map[int64][]int64 // node -> outgoing edge IDs
+	in      map[int64][]int64 // node -> incoming edge IDs
+	byLabel map[string][]int64
+	// propIndex[label][prop][valueKey] -> node IDs
+	propIndex map[string]map[string]map[string][]int64
+	nextNode  int64
+	nextEdge  int64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:     make(map[int64]*Node),
+		edges:     make(map[int64]*Edge),
+		out:       make(map[int64][]int64),
+		in:        make(map[int64][]int64),
+		byLabel:   make(map[string][]int64),
+		propIndex: make(map[string]map[string]map[string][]int64),
+	}
+}
+
+// AddNode inserts a node and returns its ID.
+func (g *Graph) AddNode(label string, props Props) int64 {
+	g.nextNode++
+	id := g.nextNode
+	n := &Node{ID: id, Label: label, Props: props}
+	g.nodes[id] = n
+	g.byLabel[label] = append(g.byLabel[label], id)
+	if byProp, ok := g.propIndex[label]; ok {
+		for prop, vals := range byProp {
+			if v, has := props[prop]; has {
+				vals[v.Key()] = append(vals[v.Key()], id)
+			}
+		}
+	}
+	return id
+}
+
+// AddNodeWithID inserts a node with a caller-chosen ID (used when mirroring
+// entity IDs from the relational store). It panics on duplicate IDs.
+func (g *Graph) AddNodeWithID(id int64, label string, props Props) {
+	if _, dup := g.nodes[id]; dup {
+		panic(fmt.Sprintf("graphdb: duplicate node id %d", id))
+	}
+	if id > g.nextNode {
+		g.nextNode = id
+	}
+	n := &Node{ID: id, Label: label, Props: props}
+	g.nodes[id] = n
+	g.byLabel[label] = append(g.byLabel[label], id)
+	if byProp, ok := g.propIndex[label]; ok {
+		for prop, vals := range byProp {
+			if v, has := props[prop]; has {
+				vals[v.Key()] = append(vals[v.Key()], id)
+			}
+		}
+	}
+}
+
+// AddEdge inserts a directed edge and returns its ID. Both endpoints must
+// exist.
+func (g *Graph) AddEdge(from, to int64, typ string, props Props) (int64, error) {
+	if g.nodes[from] == nil || g.nodes[to] == nil {
+		return 0, fmt.Errorf("graphdb: edge endpoints must exist (%d -> %d)", from, to)
+	}
+	g.nextEdge++
+	id := g.nextEdge
+	g.edges[id] = &Edge{ID: id, From: from, To: to, Type: typ, Props: props}
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id, nil
+}
+
+// CreateIndex builds a property index on (label, prop) over existing and
+// future nodes.
+func (g *Graph) CreateIndex(label, prop string) {
+	byProp, ok := g.propIndex[label]
+	if !ok {
+		byProp = make(map[string]map[string][]int64)
+		g.propIndex[label] = byProp
+	}
+	if _, exists := byProp[prop]; exists {
+		return
+	}
+	vals := make(map[string][]int64)
+	for _, id := range g.byLabel[label] {
+		if v, has := g.nodes[id].Props[prop]; has {
+			vals[v.Key()] = append(vals[v.Key()], id)
+		}
+	}
+	byProp[prop] = vals
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id int64) *Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID, or nil.
+func (g *Graph) Edge(id int64) *Edge { return g.edges[id] }
+
+// NumNodes and NumEdges report store sizes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NodesByLabel returns the IDs of all nodes with the label.
+func (g *Graph) NodesByLabel(label string) []int64 { return g.byLabel[label] }
+
+// AllNodeIDs returns every node ID (order unspecified).
+func (g *Graph) AllNodeIDs() []int64 {
+	out := make([]int64, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Out and In return the outgoing/incoming edge IDs of a node.
+func (g *Graph) Out(id int64) []int64 { return g.out[id] }
+func (g *Graph) In(id int64) []int64  { return g.in[id] }
+
+// lookupIndexed returns node IDs where label.prop == v, and whether an
+// index served the lookup.
+func (g *Graph) lookupIndexed(label, prop string, v Value) ([]int64, bool) {
+	byProp, ok := g.propIndex[label]
+	if !ok {
+		return nil, false
+	}
+	vals, ok := byProp[prop]
+	if !ok {
+		return nil, false
+	}
+	return vals[v.Key()], true
+}

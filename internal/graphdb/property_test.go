@@ -1,0 +1,91 @@
+package graphdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestVarLengthAgainstBFSOracle cross-checks variable-length path matching
+// against a straightforward BFS reachability oracle on random graphs.
+// Edge-unique traversal and plain BFS agree on which nodes are reachable
+// within k hops whenever k is at least the BFS distance (a shortest path
+// never repeats an edge).
+func TestVarLengthAgainstBFSOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g := NewGraph()
+		n := 6 + rng.Intn(8)
+		ids := make([]int64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = g.AddNode("N", Props{"name": str(fmt.Sprintf("n%d", i))})
+		}
+		edges := 8 + rng.Intn(16)
+		adj := make(map[int64][]int64)
+		for i := 0; i < edges; i++ {
+			a := ids[rng.Intn(n)]
+			b := ids[rng.Intn(n)]
+			if a == b {
+				continue
+			}
+			if _, err := g.AddEdge(a, b, "x", nil); err != nil {
+				t.Fatal(err)
+			}
+			adj[a] = append(adj[a], b)
+		}
+
+		start := ids[rng.Intn(n)]
+		maxLen := 1 + rng.Intn(4)
+
+		// Oracle: BFS distances.
+		dist := map[int64]int{start: 0}
+		queue := []int64{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if _, ok := dist[v]; !ok {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+
+		rs, err := g.Query(fmt.Sprintf(
+			`MATCH (s:N {name: 'n%d'})-[*1..%d]->(x) RETURN DISTINCT x.name`,
+			indexOf(ids, start), maxLen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		matched := map[string]bool{}
+		for _, row := range rs.Rows {
+			matched[row[0].S] = true
+		}
+		// Every node within BFS distance [1, maxLen] must be matched.
+		for v, d := range dist {
+			name := fmt.Sprintf("n%d", indexOf(ids, v))
+			if d >= 1 && d <= maxLen && !matched[name] {
+				t.Fatalf("trial %d: node %s at distance %d missing from *1..%d match",
+					trial, name, d, maxLen)
+			}
+			// Matched nodes must be reachable at all (any distance, since
+			// edge-unique walks can be longer than shortest paths).
+		}
+		for name := range matched {
+			var id int64
+			fmt.Sscanf(name, "n%d", &id)
+			if _, ok := dist[ids[id]]; !ok {
+				t.Fatalf("trial %d: matched unreachable node %s", trial, name)
+			}
+		}
+	}
+}
+
+func indexOf(ids []int64, id int64) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}

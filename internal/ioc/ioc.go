@@ -1,0 +1,217 @@
+// Package ioc recognizes Indicators of Compromise (IOCs) in text with a
+// set of regex rules, and implements IOC protection: replacing IOCs with a
+// dummy word so general-purpose NLP components are not confused by the
+// special characters (dots, slashes, underscores) inside indicators
+// (Step 2 of Algorithm 1 in the ThreatRaptor paper).
+//
+// The rule set extends the open-source ioc-parser the paper builds on,
+// e.g. distinguishing Linux and Windows file paths.
+package ioc
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type classifies an indicator.
+type Type string
+
+// Recognized IOC types.
+const (
+	TypeFilepathLinux Type = "FilepathLinux"
+	TypeFilepathWin   Type = "FilepathWindows"
+	TypeFilename      Type = "Filename"
+	TypeIPv4          Type = "IPv4"
+	TypeCIDR          Type = "CIDR"
+	TypeURL           Type = "URL"
+	TypeDomain        Type = "Domain"
+	TypeEmail         Type = "Email"
+	TypeMD5           Type = "MD5"
+	TypeSHA1          Type = "SHA1"
+	TypeSHA256        Type = "SHA256"
+	TypeRegistry      Type = "Registry"
+	TypeCVE           Type = "CVE"
+	TypePackage       Type = "Package" // Android/Java package or APK name
+)
+
+// IOC is one recognized indicator with its byte span in the source text.
+type IOC struct {
+	Text  string
+	Type  Type
+	Start int
+	End   int
+}
+
+// rule couples a compiled regex with its type and precedence (higher wins
+// on overlaps).
+type rule struct {
+	re   *regexp.Regexp
+	typ  Type
+	prec int
+}
+
+var rules = []rule{
+	{regexp.MustCompile(`\bCVE-\d{4}-\d{4,7}\b`), TypeCVE, 100},
+	{regexp.MustCompile(`\bhttps?://[^\s"'<>\)]+`), TypeURL, 90},
+	{regexp.MustCompile(`\b[A-Fa-f0-9]{64}\b`), TypeSHA256, 85},
+	{regexp.MustCompile(`\b[A-Fa-f0-9]{40}\b`), TypeSHA1, 84},
+	{regexp.MustCompile(`\b[A-Fa-f0-9]{32}\b`), TypeMD5, 83},
+	{regexp.MustCompile(`\b(?:HKEY_[A-Z_]+|HKLM|HKCU|HKCR|HKU)\\[\w\\ .-]+`), TypeRegistry, 80},
+	{regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}/\d{1,2}\b`), TypeCIDR, 75},
+	{regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}\b`), TypeIPv4, 70},
+	{regexp.MustCompile(`[\w.+-]+@[\w-]+(?:\.[\w-]+)+`), TypeEmail, 65},
+	{regexp.MustCompile(`\b[A-Za-z]:\\(?:[^\\/:*?"<>|\r\n ]+\\)*[^\\/:*?"<>|\r\n ]+`), TypeFilepathWin, 60},
+	// Linux path: at least one slash-separated component; excludes bare
+	// "/" and trailing sentence periods (trimmed in post).
+	{regexp.MustCompile(`(?:^|[\s"'(])((?:/[\w.+~-]+){1,})`), TypeFilepathLinux, 55},
+	// Android/Java package names and APKs: com.example.app, MsgApp.apk.
+	{regexp.MustCompile(`\b(?:[a-z][a-z0-9_]*\.){2,}[A-Za-z][A-Za-z0-9_]*\b`), TypePackage, 52},
+	{regexp.MustCompile(`\b[\w-]+(?:\.[\w-]+)*\.(?:exe|dll|sh|py|tar|gz|bz2|zip|rar|7z|doc|docx|xls|xlsx|ppt|pdf|apk|jar|bat|ps1|vbs|so|bin|img|elf|iso|deb|rpm|msi|scr|tmp|dat|cfg|conf|log)\b`), TypeFilename, 50},
+	{regexp.MustCompile(`\b(?:[a-z0-9][a-z0-9-]*\.)+(?:com|net|org|io|ru|cn|info|biz|xyz|onion|gov|edu|co|me|cc|top)\b`), TypeDomain, 45},
+}
+
+// candidate is one regex match before overlap resolution.
+type candidate struct {
+	IOC
+	prec int
+}
+
+// Extract scans text for IOCs, resolving overlaps by precedence then by
+// length (longest match wins), and returns them in source order.
+func Extract(text string) []IOC {
+	var cands []candidate
+	for _, r := range rules {
+		locs := r.re.FindAllStringSubmatchIndex(text, -1)
+		for _, loc := range locs {
+			start, end := loc[0], loc[1]
+			// Rules with a capture group indicate the IOC is the group.
+			if len(loc) >= 4 && loc[2] >= 0 {
+				start, end = loc[2], loc[3]
+			}
+			raw := trimIOC(text[start:end])
+			if raw == "" {
+				continue
+			}
+			// Re-anchor after trimming.
+			off := strings.Index(text[start:end], raw)
+			s := start + off
+			cand := IOC{Text: raw, Type: r.typ, Start: s, End: s + len(raw)}
+			if cand.Type == TypeIPv4 || cand.Type == TypeCIDR {
+				if !validIP(raw) {
+					continue
+				}
+			}
+			cands = append(cands, candidate{cand, r.prec})
+		}
+	}
+	return resolveOverlaps(cands)
+}
+
+func resolveOverlaps(cands []candidate) []IOC {
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].prec != cands[b].prec {
+			return cands[a].prec > cands[b].prec
+		}
+		return cands[a].End-cands[a].Start > cands[b].End-cands[b].Start
+	})
+	var chosen []IOC
+	overlaps := func(a, b IOC) bool { return a.Start < b.End && b.Start < a.End }
+	for _, c := range cands {
+		ok := true
+		for _, g := range chosen {
+			if overlaps(c.IOC, g) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, c.IOC)
+		}
+	}
+	sort.Slice(chosen, func(a, b int) bool { return chosen[a].Start < chosen[b].Start })
+	return chosen
+}
+
+// trimIOC strips trailing sentence punctuation that regexes may capture.
+func trimIOC(s string) string {
+	s = strings.TrimRight(s, ".,;:!?)\"'")
+	return s
+}
+
+func validIP(s string) bool {
+	host := s
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		host = s[:i]
+		bits, err := strconv.Atoi(s[i+1:])
+		if err != nil || bits < 0 || bits > 32 {
+			return false
+		}
+	}
+	parts := strings.Split(host, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return false
+		}
+		if len(p) > 1 && p[0] == '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// DummyWord is the placeholder substituted for IOCs during protection. The
+// paper uses the word "something" because general dependency parsers treat
+// it as an ordinary nominal.
+const DummyWord = "something"
+
+// Replacement records one protected IOC: its placeholder's byte offset in
+// the protected text, and the original indicator.
+type Replacement struct {
+	Offset int // byte offset of the dummy word in the protected text
+	IOC    IOC // the original indicator (offsets into the original text)
+}
+
+// Protect replaces every recognized IOC in text with DummyWord and returns
+// the protected text plus the replacement record, in source order.
+func Protect(text string) (string, []Replacement) {
+	iocs := Extract(text)
+	if len(iocs) == 0 {
+		return text, nil
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	var recs []Replacement
+	prev := 0
+	for _, ic := range iocs {
+		b.WriteString(text[prev:ic.Start])
+		recs = append(recs, Replacement{Offset: b.Len(), IOC: ic})
+		b.WriteString(DummyWord)
+		prev = ic.End
+	}
+	b.WriteString(text[prev:])
+	return b.String(), recs
+}
+
+// Restore undoes Protect, substituting original indicators back into the
+// protected text (used in tests and by baselines that operate on raw
+// strings rather than token streams).
+func Restore(protected string, recs []Replacement) string {
+	var b strings.Builder
+	prev := 0
+	for _, r := range recs {
+		if r.Offset < prev || r.Offset+len(DummyWord) > len(protected) {
+			continue
+		}
+		b.WriteString(protected[prev:r.Offset])
+		b.WriteString(r.IOC.Text)
+		prev = r.Offset + len(DummyWord)
+	}
+	b.WriteString(protected[prev:])
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package ioc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func typesAndTexts(iocs []IOC) [][2]string {
+	out := make([][2]string, len(iocs))
+	for i, ic := range iocs {
+		out[i] = [2]string{string(ic.Type), ic.Text}
+	}
+	return out
+}
+
+func TestExtractLinuxPaths(t *testing.T) {
+	iocs := Extract("The attacker used /bin/tar to read /etc/passwd quickly.")
+	want := [][2]string{
+		{"FilepathLinux", "/bin/tar"},
+		{"FilepathLinux", "/etc/passwd"},
+	}
+	if !reflect.DeepEqual(typesAndTexts(iocs), want) {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+}
+
+func TestExtractTrailingPeriod(t *testing.T) {
+	iocs := Extract("It wrote to /tmp/upload.tar. Then it stopped.")
+	if len(iocs) != 1 || iocs[0].Text != "/tmp/upload.tar" {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+}
+
+func TestExtractIPv4AndCIDR(t *testing.T) {
+	iocs := Extract("connect to 192.168.29.128 and 10.0.0.0/8 but not 999.1.1.1")
+	want := [][2]string{
+		{"IPv4", "192.168.29.128"},
+		{"CIDR", "10.0.0.0/8"},
+	}
+	if !reflect.DeepEqual(typesAndTexts(iocs), want) {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+}
+
+func TestExtractWindowsPath(t *testing.T) {
+	iocs := Extract(`Dropped C:\Windows\System32\evil.dll on the host.`)
+	if len(iocs) != 1 || iocs[0].Type != TypeFilepathWin {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+	if iocs[0].Text != `C:\Windows\System32\evil.dll` {
+		t.Fatalf("text = %q", iocs[0].Text)
+	}
+}
+
+func TestExtractFilenamesAndHashes(t *testing.T) {
+	iocs := Extract("payload.exe has MD5 d41d8cd98f00b204e9800998ecf8427e and ships in john.zip")
+	got := typesAndTexts(iocs)
+	want := [][2]string{
+		{"Filename", "payload.exe"},
+		{"MD5", "d41d8cd98f00b204e9800998ecf8427e"},
+		{"Filename", "john.zip"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtractURLDomainEmailCVE(t *testing.T) {
+	iocs := Extract("See https://evil.example.com/a?b=1 report at badsite.ru, mail admin@corp.com about CVE-2014-6271.")
+	var types []string
+	for _, ic := range iocs {
+		types = append(types, string(ic.Type))
+	}
+	want := []string{"URL", "Domain", "Email", "CVE"}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("types = %v (%v)", types, typesAndTexts(iocs))
+	}
+}
+
+func TestExtractRegistry(t *testing.T) {
+	iocs := Extract(`Persists via HKEY_LOCAL_MACHINE\Software\Run\evil key.`)
+	if len(iocs) != 1 || iocs[0].Type != TypeRegistry {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+}
+
+func TestExtractAndroidPackage(t *testing.T) {
+	iocs := Extract("The process com.android.defcontainer opened MsgApp-instr.apk there.")
+	got := typesAndTexts(iocs)
+	want := [][2]string{
+		{"Package", "com.android.defcontainer"},
+		{"Filename", "MsgApp-instr.apk"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtractOverlapPrecedence(t *testing.T) {
+	// The URL contains a domain; URL must win.
+	iocs := Extract("visit http://evil.com/payload now")
+	if len(iocs) != 1 || iocs[0].Type != TypeURL {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+	// A SHA256 must not also match as two MD5-length substrings.
+	h := strings.Repeat("ab", 32)
+	iocs = Extract("hash " + h + " found")
+	if len(iocs) != 1 || iocs[0].Type != TypeSHA256 {
+		t.Fatalf("got %v", typesAndTexts(iocs))
+	}
+}
+
+func TestExtractOffsets(t *testing.T) {
+	text := "read /etc/passwd and /tmp/x.tar now"
+	for _, ic := range Extract(text) {
+		if text[ic.Start:ic.End] != ic.Text {
+			t.Errorf("offset mismatch for %q: %q", ic.Text, text[ic.Start:ic.End])
+		}
+	}
+}
+
+func TestExtractRejectsBadIPs(t *testing.T) {
+	for _, s := range []string{"256.1.1.1", "01.2.3.4"} {
+		for _, ic := range Extract("ip " + s + " here") {
+			if ic.Type == TypeIPv4 || ic.Type == TypeCIDR {
+				t.Errorf("%q must not extract as IP, got %v", s, ic)
+			}
+		}
+	}
+	// An invalid CIDR still yields the embedded valid IPv4.
+	for _, ic := range Extract("ip 1.2.3.4/40 here") {
+		if ic.Type == TypeCIDR {
+			t.Errorf("/40 mask must not parse as CIDR: %v", ic)
+		}
+	}
+}
+
+func TestProtectRestore(t *testing.T) {
+	text := "The attacker used /bin/tar to read /etc/passwd and connect to 192.168.29.128."
+	prot, recs := Protect(text)
+	if strings.Contains(prot, "/bin/tar") || strings.Contains(prot, "192.168") {
+		t.Fatalf("IOCs leaked into protected text: %q", prot)
+	}
+	if got := strings.Count(prot, DummyWord); got != 3 {
+		t.Fatalf("placeholders = %d, want 3: %q", got, prot)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if prot[r.Offset:r.Offset+len(DummyWord)] != DummyWord {
+			t.Errorf("record offset %d does not point at a placeholder", r.Offset)
+		}
+	}
+	if Restore(prot, recs) != text {
+		t.Fatalf("restore mismatch:\n%q\n%q", Restore(prot, recs), text)
+	}
+}
+
+func TestProtectNoIOCs(t *testing.T) {
+	text := "Nothing suspicious here."
+	prot, recs := Protect(text)
+	if prot != text || recs != nil {
+		t.Fatalf("no-op expected: %q %v", prot, recs)
+	}
+}
+
+func TestProtectLegitimateSomething(t *testing.T) {
+	// A pre-existing "something" must not confuse the replacement record.
+	text := "He did something with /bin/tar."
+	prot, recs := Protect(text)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if Restore(prot, recs) != text {
+		t.Fatalf("restore mismatch: %q", Restore(prot, recs))
+	}
+}
+
+// Property: Protect/Restore round-trips for ASCII text.
+func TestProtectRestoreProperty(t *testing.T) {
+	f := func(raw string) bool {
+		text := strings.Map(func(r rune) rune {
+			if r < 0x20 || r > 0x7e {
+				return ' '
+			}
+			return r
+		}, raw)
+		prot, recs := Protect(text)
+		return Restore(prot, recs) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractDataLeakReport(t *testing.T) {
+	// The paper's Figure 2 report must yield exactly its IOC list.
+	text := `As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After compression, the attacker used Gnu Privacy Guard (GnuPG) tool to encrypt the zipped file, which corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive information to /tmp/upload. Finally, the attacker leveraged the curl utility (/usr/bin/curl) to read the data from /tmp/upload. He leaked the gathered sensitive information back to the attacker C2 host by using /usr/bin/curl to connect to 192.168.29.128.`
+	want := map[string]int{
+		"/bin/tar": 1, "/etc/passwd": 1, "/tmp/upload.tar": 2,
+		"/bin/bzip2": 2, "/tmp/upload.tar.bz2": 2, "/usr/bin/gpg": 2,
+		"/tmp/upload": 2, "/usr/bin/curl": 2, "192.168.29.128": 1,
+	}
+	got := map[string]int{}
+	for _, ic := range Extract(text) {
+		got[ic.Text]++
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}

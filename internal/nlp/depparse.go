@@ -1,0 +1,473 @@
+package nlp
+
+import "strings"
+
+// Additional relation labels produced by clause attachment.
+const (
+	RelAcl   = "acl"   // clausal modifier of a noun (relative/gerund clause)
+	RelAdvcl = "advcl" // adverbial clause ("by using ...")
+)
+
+const unattached = -2
+
+// ParseDependencies builds a dependency tree over one sentence of tagged
+// tokens. The parser is a deterministic shallow clause parser:
+//
+//  1. Noun-phrase pass: contiguous DET/ADJ/NUM/NOUN/PROPN runs become NPs
+//     headed by their last noun-like token (det/amod/compound arcs).
+//  2. Verb attachment: the first verb is the root; later verbs attach as
+//     xcomp (to-infinitives), conj (coordination), acl (gerund or relative
+//     clauses on a noun), or advcl (preposition + gerund).
+//  3. Subjects: each finite verb takes the nearest preceding available NP
+//     head or pronoun as nsubj, skipping auxiliaries and prepositional
+//     phrases.
+//  4. Objects: scanning right of each verb, the first NP head becomes
+//     dobj; prepositions attach as prep with their NP head as pobj;
+//     coordinated NPs chain via conj.
+//
+// The output satisfies the properties the IOC relation extraction
+// algorithm needs: for a subject-verb-object assertion, the LCA of the two
+// nominals is the verb (or the subject noun for acl clauses), and the
+// connecting paths carry nsubj/dobj/pobj labels.
+func ParseDependencies(toks []Token) *DepTree {
+	n := len(toks)
+	d := &DepTree{
+		Tokens: toks,
+		Head:   make([]int, n),
+		Rel:    make([]string, n),
+		Root:   -1,
+	}
+	for i := range d.Head {
+		d.Head[i] = unattached
+	}
+	if n == 0 {
+		return d
+	}
+
+	npHead := nounPhrasePass(d)
+	verbs := verbIndexes(toks)
+
+	// Root selection.
+	switch {
+	case len(verbs) > 0:
+		d.Root = verbs[0]
+	default:
+		d.Root = fallbackRoot(toks, npHead)
+	}
+	d.Head[d.Root] = -1
+	d.Rel[d.Root] = RelRoot
+
+	// Clause pass, left to right: attach each verb, find its subject, then
+	// consume its right side up to the next verb.
+	for vi, v := range verbs {
+		prevVerb := -1
+		if vi > 0 {
+			prevVerb = verbs[vi-1]
+		}
+		nextVerb := n
+		if vi+1 < len(verbs) {
+			nextVerb = verbs[vi+1]
+		}
+		skipSubject := attachVerb(d, npHead, v, prevVerb)
+		if !skipSubject {
+			findSubject(d, npHead, v)
+		}
+		consumeRight(d, npHead, v, nextVerb)
+	}
+
+	attachStragglers(d, verbs, npHead)
+	return d
+}
+
+// nounPhrasePass links DET/ADJ/NUM/compound tokens to their NP head and
+// returns npHead[i] = the head index of the NP containing i (or i itself
+// when i is not in an NP).
+func nounPhrasePass(d *DepTree) []int {
+	toks := d.Tokens
+	n := len(toks)
+	npHead := make([]int, n)
+	for i := range npHead {
+		npHead[i] = i
+	}
+	inNP := func(t Tag) bool {
+		return t == TagDet || t == TagAdj || t == TagNum || t.IsNounLike()
+	}
+	i := 0
+	for i < n {
+		if !inNP(toks[i].POS) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && inNP(toks[j].POS) {
+			j++
+		}
+		// Head = last noun-like token of the run; if the run has no
+		// noun-like token (pure DET/ADJ), each token stands alone.
+		head := -1
+		for k := j - 1; k >= i; k-- {
+			if toks[k].POS.IsNounLike() {
+				head = k
+				break
+			}
+		}
+		if head >= 0 {
+			for k := i; k < j; k++ {
+				npHead[k] = head
+				if k == head {
+					continue
+				}
+				switch toks[k].POS {
+				case TagDet:
+					d.Head[k], d.Rel[k] = head, RelDet
+				case TagAdj:
+					d.Head[k], d.Rel[k] = head, RelAmod
+				case TagNum:
+					d.Head[k], d.Rel[k] = head, RelAmod
+				default:
+					d.Head[k], d.Rel[k] = head, RelCompound
+				}
+			}
+		}
+		i = j
+	}
+	return npHead
+}
+
+func verbIndexes(toks []Token) []int {
+	var verbs []int
+	for i, t := range toks {
+		if t.POS == TagVerb {
+			verbs = append(verbs, i)
+		}
+	}
+	if len(verbs) == 0 {
+		// Copular sentences: promote the first AUX.
+		for i, t := range toks {
+			if t.POS == TagAux {
+				return []int{i}
+			}
+		}
+	}
+	return verbs
+}
+
+func fallbackRoot(toks []Token, npHead []int) int {
+	for i, t := range toks {
+		if t.POS.IsNounLike() {
+			return npHead[i]
+		}
+	}
+	return 0
+}
+
+// attachVerb decides how verb v hangs off the existing structure and
+// reports whether the subject scan should be skipped (clauses whose
+// subject is structurally implied).
+func attachVerb(d *DepTree, npHead []int, v, prevVerb int) (skipSubject bool) {
+	if d.Head[v] == -1 { // root
+		return false
+	}
+	toks := d.Tokens
+	// Nearest preceding non-punct, non-adverb token.
+	p := v - 1
+	for p >= 0 && (toks[p].POS == TagPunct || toks[p].POS == TagAdv) {
+		p--
+	}
+	if p < 0 {
+		d.Head[v], d.Rel[v] = d.Root, RelConj
+		return false
+	}
+	switch {
+	case toks[p].POS == TagPart && lower(toks[p].Text) == "to":
+		d.Head[p], d.Rel[p] = v, RelMark
+		if prevVerb >= 0 {
+			d.Head[v], d.Rel[v] = prevVerb, RelXcomp
+		} else {
+			d.Head[v], d.Rel[v] = d.Root, RelDep
+		}
+		return true // infinitive: subject inherited
+	case toks[p].POS == TagAdp:
+		// "by using ...": preposition + gerund forms an adverbial clause.
+		d.Head[p], d.Rel[p] = v, RelMark
+		if prevVerb >= 0 {
+			d.Head[v], d.Rel[v] = prevVerb, RelAdvcl
+		} else {
+			d.Head[v], d.Rel[v] = d.Root, RelAdvcl
+		}
+		return true
+	case toks[p].POS == TagCconj:
+		d.Head[p], d.Rel[p] = v, RelCC
+		if prevVerb >= 0 {
+			d.Head[v], d.Rel[v] = prevVerb, RelConj
+		} else {
+			d.Head[v], d.Rel[v] = d.Root, RelConj
+		}
+		return true // coordinated verb shares the subject
+	case toks[p].POS.IsNounLike() && strings.HasSuffix(lower(toks[v].Text), "ing"):
+		// "process /usr/bin/gpg reading from ...": gerund clause on a noun.
+		d.Head[v], d.Rel[v] = npHead[p], RelAcl
+		return true // subject is the governing noun
+	case toks[p].POS == TagPron && isRelativePron(toks[p].Text):
+		// "..., which corresponds to ...": relative clause on the nearest
+		// preceding noun.
+		ant := antecedent(d, npHead, p)
+		d.Head[p], d.Rel[p] = v, RelNsubj
+		if ant >= 0 {
+			d.Head[v], d.Rel[v] = ant, RelAcl
+		} else {
+			d.Head[v], d.Rel[v] = d.Root, RelConj
+		}
+		return true
+	case toks[p].POS == TagAux:
+		// Passive/progressive: the AUX attaches to v; v joins the clause
+		// chain like a plain finite verb.
+		d.Head[p], d.Rel[p] = v, RelAux
+	}
+	if prevVerb >= 0 {
+		d.Head[v], d.Rel[v] = prevVerb, RelConj
+	} else {
+		d.Head[v], d.Rel[v] = d.Root, RelConj
+	}
+	return false
+}
+
+func isRelativePron(w string) bool {
+	lw := lower(w)
+	return lw == "which" || lw == "that" || lw == "who"
+}
+
+// antecedent finds the NP head preceding a relative pronoun.
+func antecedent(d *DepTree, npHead []int, pron int) int {
+	for j := pron - 1; j >= 0; j-- {
+		switch d.Tokens[j].POS {
+		case TagPunct:
+			continue
+		default:
+			if d.Tokens[j].POS.IsNounLike() {
+				return npHead[j]
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// findSubject scans left of verb v for its nsubj.
+func findSubject(d *DepTree, npHead []int, v int) {
+	toks := d.Tokens
+	j := v - 1
+	for j >= 0 {
+		switch t := toks[j]; {
+		case t.POS == TagAux, t.POS == TagAdv:
+			j--
+		case t.POS == TagPunct && t.Text == ",":
+			j--
+		case t.POS == TagPart:
+			return // infinitive marker: no local subject
+		case t.POS == TagCconj, t.POS == TagSconj, t.POS == TagVerb:
+			return // clause boundary: subject is shared/elsewhere
+		case t.POS == TagPron:
+			if d.Head[j] == unattached {
+				d.Head[j], d.Rel[j] = v, RelNsubj
+			}
+			return
+		case t.POS.IsNounLike():
+			h := npHead[j]
+			// If the NP is governed by a preposition, skip the whole PP.
+			start := npStart(d, npHead, h)
+			if start > 0 && toks[start-1].POS == TagAdp {
+				j = start - 2
+				continue
+			}
+			if d.Head[h] == unattached {
+				d.Head[h], d.Rel[h] = v, RelNsubj
+			}
+			return
+		case t.POS == TagDet, t.POS == TagAdj, t.POS == TagNum:
+			j-- // NP-internal token whose head sits to the right
+		default:
+			return
+		}
+	}
+}
+
+// npStart returns the first token index of the NP headed at h.
+func npStart(d *DepTree, npHead []int, h int) int {
+	start := h
+	for start > 0 && npHead[start-1] == h {
+		start--
+	}
+	return start
+}
+
+// consumeRight attaches the complement structure right of verb v, up to
+// (not including) boundary.
+func consumeRight(d *DepTree, npHead []int, v, boundary int) {
+	toks := d.Tokens
+	dobj := -1
+	lastNP := -1
+	j := v + 1
+	for j < boundary {
+		t := toks[j]
+		switch {
+		case t.POS == TagPunct:
+			j++
+		case t.POS == TagAdv:
+			if d.Head[j] == unattached {
+				d.Head[j], d.Rel[j] = v, RelAdvmod
+			}
+			j++
+		case t.POS == TagPart:
+			// "to"/"not" before the boundary verb belongs to that verb and
+			// is claimed by attachVerb; otherwise attach here.
+			if lower(t.Text) != "to" && d.Head[j] == unattached {
+				d.Head[j], d.Rel[j] = v, RelAdvmod
+			}
+			j++
+		case t.POS == TagAux:
+			j++ // claimed by the following verb
+		case t.POS == TagSconj:
+			j++ // claimed as mark by the following clause
+		case t.POS == TagAdp:
+			// Preposition: attach to the verb; its object is the next NP.
+			objHead, npEnd := nextNP(d, npHead, j+1, boundary)
+			if objHead < 0 {
+				// No NP before the boundary: gerund clause marker, claimed
+				// by attachVerb of the next verb.
+				j++
+				continue
+			}
+			if d.Head[j] == unattached {
+				d.Head[j], d.Rel[j] = v, RelPrep
+			}
+			if d.Head[objHead] == unattached {
+				d.Head[objHead], d.Rel[objHead] = j, RelPobj
+			}
+			lastNP = objHead
+			j = npEnd
+		case t.POS == TagCconj:
+			// Coordinated NP: conj chained on the previous nominal — but
+			// only when the NP is not itself the subject of a following
+			// verb ("X read A and Y wrote B": Y belongs to "wrote").
+			objHead, npEnd := nextNP(d, npHead, j+1, boundary)
+			if objHead < 0 {
+				j++
+				continue
+			}
+			if npEnd < len(toks) && (toks[npEnd].POS == TagVerb || toks[npEnd].POS == TagAux) {
+				return // clause coordination: leave the NP for that verb
+			}
+			attachTo := lastNP
+			if attachTo < 0 {
+				attachTo = v
+			}
+			if d.Head[j] == unattached {
+				d.Head[j], d.Rel[j] = objHead, RelCC
+			}
+			if d.Head[objHead] == unattached {
+				if attachTo == v {
+					d.Head[objHead], d.Rel[objHead] = v, RelDobj
+				} else {
+					d.Head[objHead], d.Rel[objHead] = attachTo, RelConj
+				}
+			}
+			lastNP = objHead
+			j = npEnd
+		case t.POS.IsNounLike() || t.POS == TagDet || t.POS == TagAdj || t.POS == TagNum:
+			h := npHead[j]
+			npEnd := h + 1
+			for npEnd < boundary && npHead[npEnd] == h {
+				npEnd++
+			}
+			if d.Head[h] == unattached {
+				if dobj < 0 {
+					d.Head[h], d.Rel[h] = v, RelDobj
+					dobj = h
+				} else {
+					d.Head[h], d.Rel[h] = v, RelDep
+				}
+			}
+			lastNP = h
+			j = npEnd
+		case t.POS == TagPron:
+			if d.Head[j] == unattached {
+				if dobj < 0 {
+					d.Head[j], d.Rel[j] = v, RelDobj
+					dobj = j
+				} else {
+					d.Head[j], d.Rel[j] = v, RelDep
+				}
+			}
+			lastNP = j
+			j++
+		default:
+			j++
+		}
+	}
+}
+
+// nextNP finds the head and end of the next noun phrase at or after from.
+func nextNP(d *DepTree, npHead []int, from, boundary int) (head, end int) {
+	for j := from; j < boundary; j++ {
+		t := d.Tokens[j].POS
+		if t.IsNounLike() {
+			h := npHead[j]
+			e := h + 1
+			for e < boundary && npHead[e] == h {
+				e++
+			}
+			return h, e
+		}
+		if t == TagDet || t == TagAdj || t == TagNum || t == TagPunct {
+			continue
+		}
+		return -1, from
+	}
+	return -1, from
+}
+
+// attachStragglers gives every remaining token a head.
+func attachStragglers(d *DepTree, verbs []int, npHead []int) {
+	toks := d.Tokens
+	for i := range toks {
+		if d.Head[i] != unattached {
+			continue
+		}
+		switch toks[i].POS {
+		case TagPunct:
+			d.Head[i], d.Rel[i] = d.Root, RelPunct
+		case TagAux:
+			// Attach to the nearest following verb, else the root.
+			target := d.Root
+			for _, v := range verbs {
+				if v > i {
+					target = v
+					break
+				}
+			}
+			if target == i {
+				target = d.Root
+			}
+			if target == i {
+				d.Head[i], d.Rel[i] = -1, RelRoot
+			} else {
+				d.Head[i], d.Rel[i] = target, RelAux
+			}
+		default:
+			if i != d.Root {
+				d.Head[i], d.Rel[i] = d.Root, RelDep
+			}
+		}
+	}
+	// Safety: break any accidental self-loop.
+	for i := range toks {
+		if d.Head[i] == i {
+			d.Head[i], d.Rel[i] = d.Root, RelDep
+			if i == d.Root {
+				d.Head[i] = -1
+				d.Rel[i] = RelRoot
+			}
+		}
+	}
+}

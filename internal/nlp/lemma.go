@@ -1,0 +1,127 @@
+package nlp
+
+import "strings"
+
+// irregular maps irregular verb forms to their lemmas.
+var irregular = map[string]string{
+	"wrote": "write", "written": "write",
+	"read": "read", "ran": "run", "run": "run",
+	"sent": "send", "stole": "steal", "stolen": "steal",
+	"got": "get", "gotten": "get", "made": "make",
+	"took": "take", "taken": "take", "left": "leave",
+	"sought": "seek", "was": "be", "were": "be", "is": "be",
+	"are": "be", "been": "be", "being": "be", "am": "be",
+	"has": "have", "had": "have", "did": "do", "does": "do",
+	"went": "go", "gone": "go", "came": "come", "saw": "see",
+	"seen": "see", "found": "find", "held": "hold", "kept": "keep",
+	"led": "lead", "met": "meet", "put": "put", "set": "set",
+	"began": "begin", "begun": "begin", "chose": "choose",
+	"chosen": "choose", "gave": "give", "given": "give",
+	"knew": "know", "known": "know", "grew": "grow", "grown": "grow",
+}
+
+// doubledConsonant recognizes CVC doubling before -ed/-ing
+// ("transferred" → "transfer", "dropped" → "drop").
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && !isVowel(stem[n-1]) &&
+		stem[n-1] != 'l' && stem[n-1] != 's' { // keep "install", "access"
+		return stem[:n-1]
+	}
+	return stem
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// knownLemma reports whether w is a base verb form in the lexicon, used to
+// choose between candidate stems during verb lemmatization.
+func knownLemma(w string) bool {
+	tag, ok := lexicon[w]
+	return ok && (tag == TagVerb || tag == TagAux)
+}
+
+// Lemma returns the dictionary form of a word given its POS tag. It is
+// rule-based: an irregular-form table plus suffix stripping with e-restore
+// and consonant undoubling.
+func Lemma(word string, pos Tag) string {
+	lw := strings.ToLower(word)
+	if pos == TagPropn || pos == TagNum || pos == TagPunct {
+		return word // indicators and numbers keep their exact form
+	}
+	if base, ok := irregular[lw]; ok {
+		return base
+	}
+	if pos == TagVerb || pos == TagAux {
+		return lemmaVerb(lw)
+	}
+	if pos == TagNoun {
+		return lemmaNoun(lw)
+	}
+	return lw
+}
+
+func lemmaVerb(lw string) string {
+	switch {
+	case strings.HasSuffix(lw, "ies") && len(lw) > 4:
+		return lw[:len(lw)-3] + "y" // copies → copy
+	case strings.HasSuffix(lw, "sses"), strings.HasSuffix(lw, "shes"),
+		strings.HasSuffix(lw, "ches"), strings.HasSuffix(lw, "xes"),
+		strings.HasSuffix(lw, "zes"):
+		return lw[:len(lw)-2] // accesses → access
+	case strings.HasSuffix(lw, "s") && !strings.HasSuffix(lw, "ss") && len(lw) > 3:
+		return lw[:len(lw)-1] // reads → read
+	case strings.HasSuffix(lw, "ied") && len(lw) > 4:
+		return lw[:len(lw)-3] + "y" // copied → copy
+	case strings.HasSuffix(lw, "ed") && len(lw) > 3:
+		stem := lw[:len(lw)-2]
+		if knownLemma(stem) {
+			return stem // opened → open
+		}
+		if knownLemma(stem + "e") {
+			return stem + "e" // used → use
+		}
+		if u := undouble(stem); u != stem && knownLemma(u) {
+			return u // dropped → drop
+		}
+		// Unknown stem: prefer e-restore for stems ending in typical
+		// e-dropping clusters, else the bare stem.
+		if strings.HasSuffix(stem, "at") || strings.HasSuffix(stem, "iz") ||
+			strings.HasSuffix(stem, "dl") || strings.HasSuffix(stem, "v") {
+			return stem + "e"
+		}
+		return undouble(stem)
+	case strings.HasSuffix(lw, "ing") && len(lw) > 4:
+		stem := lw[:len(lw)-3]
+		if knownLemma(stem) {
+			return stem
+		}
+		if knownLemma(stem + "e") {
+			return stem + "e"
+		}
+		if u := undouble(stem); u != stem && knownLemma(u) {
+			return u
+		}
+		return undouble(stem)
+	}
+	return lw
+}
+
+func lemmaNoun(lw string) string {
+	switch {
+	case strings.HasSuffix(lw, "ies") && len(lw) > 4:
+		return lw[:len(lw)-3] + "y" // activities → activity
+	case strings.HasSuffix(lw, "sses"), strings.HasSuffix(lw, "shes"),
+		strings.HasSuffix(lw, "ches"), strings.HasSuffix(lw, "xes"):
+		return lw[:len(lw)-2]
+	case strings.HasSuffix(lw, "s") && !strings.HasSuffix(lw, "ss") &&
+		!strings.HasSuffix(lw, "us") && len(lw) > 3:
+		return lw[:len(lw)-1]
+	}
+	return lw
+}

@@ -1,0 +1,299 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexicon maps lowercase word forms to their most likely tag. Context
+// repair rules in TagTokens fix the systematic ambiguities (e.g. "the
+// read" as a noun, "to" as particle vs preposition).
+var lexicon = map[string]Tag{}
+
+func addWords(tag Tag, words ...string) {
+	for _, w := range words {
+		lexicon[w] = tag
+	}
+}
+
+func init() {
+	addWords(TagDet,
+		"the", "a", "an", "this", "that", "these", "those", "its", "his",
+		"her", "their", "our", "your", "my", "each", "every", "some",
+		"all", "both", "any", "no", "another", "such")
+	addWords(TagPron,
+		"it", "he", "she", "they", "we", "you", "i", "him", "them", "us",
+		"who", "whom", "what", "itself", "himself", "themselves", "which")
+	addWords(TagAdp,
+		"of", "in", "on", "at", "from", "with", "by", "for", "into",
+		"onto", "over", "under", "through", "via", "against", "during",
+		"within", "across", "between", "behind", "toward", "towards",
+		"upon", "without", "inside", "outside", "off", "back")
+	addWords(TagCconj, "and", "or", "but", "nor")
+	addWords(TagSconj,
+		"after", "before", "when", "while", "because", "if", "since",
+		"once", "as", "until", "where", "whereas", "although", "though")
+	addWords(TagAux,
+		"is", "are", "was", "were", "be", "been", "being", "am",
+		"has", "have", "had", "having", "does", "do", "did",
+		"will", "would", "can", "could", "may", "might", "must",
+		"should", "shall")
+	addWords(TagPart, "to", "not", "n't")
+	addWords(TagAdv,
+		"then", "finally", "first", "next", "also", "remotely", "locally",
+		"subsequently", "later", "directly", "again", "already", "soon",
+		"there", "here", "now", "mainly", "further", "instead", "thus",
+		"however", "moreover", "still", "even", "just", "only")
+	addWords(TagAdj,
+		"malicious", "sensitive", "valuable", "important", "remote",
+		"local", "initial", "direct", "notorious", "clear", "public",
+		"known", "new", "multiple", "several", "various", "own", "same",
+		"different", "common", "suspicious", "infected", "vulnerable",
+		"zero-day", "second", "third", "final", "following", "gathered",
+		"zipped", "encoded", "compromised", "lateral")
+	// Verbs, including the inflections that appear in OSCTI prose.
+	addWords(TagVerb,
+		"use", "used", "uses", "using",
+		"read", "reads", "reading",
+		"write", "writes", "wrote", "written", "writing",
+		"download", "downloads", "downloaded", "downloading",
+		"upload", "uploads", "uploaded", "uploading",
+		"execute", "executes", "executed", "executing",
+		"run", "runs", "ran", "running",
+		"launch", "launches", "launched", "launching",
+		"connect", "connects", "connected", "connecting",
+		"send", "sends", "sent", "sending",
+		"receive", "receives", "received", "receiving",
+		"leak", "leaks", "leaked", "leaking",
+		"steal", "steals", "stole", "stolen", "stealing",
+		"compress", "compresses", "compressed", "compressing",
+		"encrypt", "encrypts", "encrypted", "encrypting",
+		"decrypt", "decrypts", "decrypted",
+		"scan", "scans", "scanned", "scanning",
+		"copy", "copies", "copied", "copying",
+		"transfer", "transfers", "transferred", "transferring",
+		"gather", "gathers", "gathering",
+		"exploit", "exploits", "exploited", "exploiting",
+		"penetrate", "penetrates", "penetrated",
+		"infect", "infects", "infecting",
+		"install", "installs", "installed", "installing",
+		"create", "creates", "created", "creating",
+		"open", "opens", "opened", "opening",
+		"access", "accesses", "accessed", "accessing",
+		"modify", "modifies", "modified", "modifying",
+		"delete", "deletes", "deleted", "deleting",
+		"spawn", "spawns", "spawned",
+		"drop", "drops", "dropped", "dropping",
+		"fetch", "fetches", "fetched",
+		"extract", "extracts", "extracted", "extracting",
+		"attempt", "attempts", "attempted", "attempting",
+		"leverage", "leverages", "leveraged", "leveraging",
+		"correspond", "corresponds", "corresponded",
+		"involve", "involves", "involved", "involving",
+		"include", "includes", "included", "including",
+		"contain", "contains", "contained", "containing",
+		"establish", "establishes", "established",
+		"maintain", "maintains", "maintained",
+		"obtain", "obtains", "obtained",
+		"perform", "performs", "performed", "performing",
+		"utilize", "utilizes", "utilized", "utilizing",
+		"encode", "encodes",
+		"decode", "decodes", "decoded",
+		"get", "gets", "got", "gotten", "getting",
+		"make", "makes", "made", "making",
+		"start", "starts", "started", "starting",
+		"exfiltrate", "exfiltrates", "exfiltrated",
+		"save", "saves", "saved", "saving",
+		"store", "stores", "stored", "storing",
+		"load", "loads", "loading",
+		"request", "requests", "requested",
+		"visit", "visits", "visited",
+		"click", "clicks", "clicked",
+		"inject", "injects", "injected",
+		"communicate", "communicates", "communicated",
+		"resolve", "resolves", "resolved",
+		"wrote", "place", "places", "placed",
+		"crack", "cracks", "cracked", "cracking",
+		"dump", "dumps", "dumped",
+		"collect", "collects", "collecting",
+		"seek", "seeks", "sought",
+		"convince", "convinces", "convinced",
+		"evade", "evades", "evaded",
+		"attack", "attacked", "scrape", "scrapes", "scraped", "scraping")
+	addWords(TagNoun,
+		"attacker", "attackers", "file", "files", "process", "processes",
+		"information", "data", "credential", "credentials", "host",
+		"hosts", "server", "servers", "system", "systems", "malware",
+		"tool", "tools", "utility", "image", "images", "metadata",
+		"address", "addresses", "connection", "connections", "stage",
+		"stages", "step", "steps", "behavior", "behaviors", "victim",
+		"victims", "password", "passwords", "cracker", "text", "user",
+		"users", "vulnerability", "vulnerabilities", "payload",
+		"payloads", "script", "scripts", "backdoor", "attachment",
+		"email", "emails", "browser", "extension", "repository", "asset",
+		"assets", "activity", "activities", "details", "reconnaissance",
+		"penetration", "movement", "exfiltration", "shell", "command",
+		"commands", "control", "service", "services", "cloud", "device",
+		"devices", "network", "kernel", "log", "logs", "account",
+		"accounts", "machine", "link", "macro", "document", "documents",
+		"memory", "registry", "entry", "entries", "folder", "directory",
+		"website", "page", "compression",
+		"gathering", "leakage", "scanning", "collection", "shadow",
+		"part", "way", "time", "practice", "detection", "blacklisting",
+		"ip", "url", "domain", "hash", "port", "protocol",
+		// Indefinite pronouns act as NP heads; crucially, "something" is
+		// the IOC-protection dummy word and must parse as a nominal.
+		"something", "anything", "everything", "nothing", "someone")
+	addWords(TagNum,
+		"one", "two", "three", "four", "five", "six", "seven", "eight",
+		"nine", "ten", "zero")
+}
+
+// looksLikeIOC reports whether a raw token resembles an indicator string
+// (path, IP, URL, hash); these are tagged PROPN so the parser treats them
+// as noun-phrase heads.
+func looksLikeIOC(w string) bool {
+	if strings.ContainsAny(w, "/\\") {
+		return true
+	}
+	if strings.Count(w, ".") >= 2 {
+		return true
+	}
+	digits := 0
+	for _, r := range w {
+		if unicode.IsDigit(r) {
+			digits++
+		}
+	}
+	return len(w) >= 8 && digits > len(w)/2
+}
+
+// TagTokens assigns POS tags in place: lexicon lookup, then suffix
+// heuristics, then contextual repair.
+func (p *Pipeline) TagTokens(toks []Token) {
+	for i := range toks {
+		toks[i].POS = initialTag(toks[i].Text, i == 0)
+	}
+	repairTags(toks)
+}
+
+func initialTag(w string, sentenceInitial bool) Tag {
+	if w == "" {
+		return TagX
+	}
+	if len(w) == 1 && !unicode.IsLetter(rune(w[0])) && !unicode.IsDigit(rune(w[0])) {
+		return TagPunct
+	}
+	lw := lower(w)
+	if tag, ok := lexicon[lw]; ok {
+		return tag
+	}
+	if looksLikeIOC(w) {
+		return TagPropn
+	}
+	if isNumeric(w) {
+		return TagNum
+	}
+	if unicode.IsUpper(rune(w[0])) && !sentenceInitial {
+		return TagPropn
+	}
+	// Suffix heuristics.
+	switch {
+	case strings.HasSuffix(lw, "ly"):
+		return TagAdv
+	case strings.HasSuffix(lw, "ing"), strings.HasSuffix(lw, "ed"):
+		return TagVerb
+	case strings.HasSuffix(lw, "tion"), strings.HasSuffix(lw, "sion"),
+		strings.HasSuffix(lw, "ment"), strings.HasSuffix(lw, "ness"),
+		strings.HasSuffix(lw, "ity"), strings.HasSuffix(lw, "ware"),
+		strings.HasSuffix(lw, "er"), strings.HasSuffix(lw, "ers"),
+		strings.HasSuffix(lw, "or"), strings.HasSuffix(lw, "ors"):
+		return TagNoun
+	case strings.HasSuffix(lw, "ous"), strings.HasSuffix(lw, "ful"),
+		strings.HasSuffix(lw, "ive"), strings.HasSuffix(lw, "able"):
+		return TagAdj
+	}
+	return TagNoun
+}
+
+func isNumeric(w string) bool {
+	hasDigit := false
+	for _, r := range w {
+		if unicode.IsDigit(r) {
+			hasDigit = true
+		} else if r != '.' && r != ',' && r != '-' && r != ':' && r != '/' {
+			return false
+		}
+	}
+	return hasDigit
+}
+
+// repairTags applies contextual rules over the initial tags.
+func repairTags(toks []Token) {
+	for i := range toks {
+		lw := lower(toks[i].Text)
+		switch {
+		case lw == "to":
+			// Particle before a verb ("to read"), preposition otherwise.
+			if i+1 < len(toks) && wouldBeVerb(toks[i+1].Text) {
+				toks[i].POS = TagPart
+			} else {
+				toks[i].POS = TagAdp
+			}
+		case toks[i].POS == TagVerb && i > 0:
+			prev := toks[i-1].POS
+			// "This corresponds ...": a demonstrative standing alone
+			// before a verb is a pronoun subject, not a determiner.
+			if prev == TagDet && isDemonstrative(toks[i-1].Text) {
+				toks[i-1].POS = TagPron
+				continue
+			}
+			// "the read", "a write": nominal use of a verb form — unless
+			// the form is a participle modifying a following noun ("the
+			// launched process"), which acts adjectivally.
+			if prev == TagDet || prev == TagAdj || prev == TagAdp {
+				if strings.HasSuffix(lw, "ing") && prev == TagAdp {
+					break // keep VERB after "by"/"of"+gerund ("by using")
+				}
+				if strings.HasSuffix(lw, "ed") && i+1 < len(toks) && toks[i+1].POS.IsNounLike() {
+					toks[i].POS = TagAdj
+				} else {
+					toks[i].POS = TagNoun
+				}
+			}
+		case toks[i].POS == TagSconj:
+			// "after the penetration" → preposition-like; "after it
+			// connected" → subordinator. Treat as ADP before a noun phrase.
+			if i+1 < len(toks) {
+				next := toks[i+1].POS
+				if next == TagDet || next == TagNoun || next == TagPropn {
+					toks[i].POS = TagAdp
+				}
+			}
+		}
+	}
+	// Gerund as noun: "the copying and compressing of ..." handled above;
+	// participles before nouns act as adjectives: "the launched process".
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].POS == TagVerb && strings.HasSuffix(lower(toks[i].Text), "ed") &&
+			(toks[i+1].POS.IsNounLike()) && i > 0 &&
+			(toks[i-1].POS == TagDet || toks[i-1].POS == TagAdj) {
+			toks[i].POS = TagAdj
+		}
+	}
+}
+
+func isDemonstrative(w string) bool {
+	switch lower(w) {
+	case "this", "that", "these", "those":
+		return true
+	}
+	return false
+}
+
+func wouldBeVerb(w string) bool {
+	if tag, ok := lexicon[lower(w)]; ok {
+		return tag == TagVerb || tag == TagAux
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package nlp
+
+import "testing"
+
+// tagOf runs the tagger on a sentence and returns the tag of one word.
+func tagOf(t *testing.T, sentence, word string) Tag {
+	t.Helper()
+	p := NewPipeline()
+	toks := Tokenize(sentence)
+	p.TagTokens(toks)
+	for _, tok := range toks {
+		if tok.Text == word {
+			return tok.POS
+		}
+	}
+	t.Fatalf("word %q not found in %q", word, sentence)
+	return TagX
+}
+
+func TestTaggerContextRules(t *testing.T) {
+	cases := []struct {
+		sentence, word string
+		want           Tag
+	}{
+		// "to" particle vs preposition.
+		{"He wants to read the file.", "to", TagPart},
+		{"He went to the server.", "to", TagAdp},
+		// Nominal use of verb forms after determiners.
+		{"The write failed.", "write", TagNoun},
+		{"They write data.", "write", TagVerb},
+		// Gerund after preposition stays verbal.
+		{"He did it by using the tool.", "using", TagVerb},
+		// Demonstrative pronoun before a verb.
+		{"This corresponds to the process.", "This", TagPron},
+		{"This file is malicious.", "This", TagDet},
+		// Participle before a noun acts adjectivally.
+		{"The launched process connected out.", "launched", TagAdj},
+		// Subordinator vs preposition-like "after".
+		{"After the penetration, he left.", "After", TagAdp},
+		// Sentence-initial capitalized common word is not a proper noun.
+		{"Attacker used the tool.", "Attacker", TagNoun},
+	}
+	for _, c := range cases {
+		if got := tagOf(t, c.sentence, c.word); got != c.want {
+			t.Errorf("%q in %q = %s, want %s", c.word, c.sentence, got, c.want)
+		}
+	}
+}
+
+func TestTaggerSuffixHeuristics(t *testing.T) {
+	cases := []struct {
+		word string
+		want Tag
+	}{
+		{"quickly", TagAdv},
+		{"obfuscation", TagNoun},
+		{"dangerous", TagAdj},
+		{"beaconing", TagVerb},
+		{"implanted", TagVerb},
+		{"12345", TagNum},
+		{"three", TagNum},
+	}
+	for _, c := range cases {
+		if got := initialTag(c.word, false); got != c.want {
+			t.Errorf("initialTag(%q) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestLooksLikeIOC(t *testing.T) {
+	yes := []string{"/etc/passwd", `C:\x\y.exe`, "192.168.1.1", "com.android.email", "d41d8cd98f00b204"}
+	no := []string{"attacker", "read", "e-mail", "3.5"}
+	for _, w := range yes {
+		if !looksLikeIOC(w) {
+			t.Errorf("looksLikeIOC(%q) = false", w)
+		}
+	}
+	for _, w := range no {
+		if looksLikeIOC(w) {
+			t.Errorf("looksLikeIOC(%q) = true", w)
+		}
+	}
+}
+
+func TestLemmaIrregulars(t *testing.T) {
+	cases := map[string]string{
+		"wrote": "write", "written": "write", "sent": "send",
+		"stole": "steal", "ran": "run", "got": "get", "made": "make",
+		"was": "be", "did": "do", "found": "find", "gave": "give",
+	}
+	for form, want := range cases {
+		if got := Lemma(form, TagVerb); got != want {
+			t.Errorf("Lemma(%q) = %q, want %q", form, got, want)
+		}
+	}
+}
+
+func TestLemmaSuffixRules(t *testing.T) {
+	cases := map[string]string{
+		"scans": "scan", "scanned": "scan", "scanning": "scan",
+		"copies": "copy", "copied": "copy",
+		"accesses": "access", "launches": "launch",
+		"exfiltrated": "exfiltrate", "communicates": "communicate",
+		"dropping": "drop", "transferred": "transfer",
+	}
+	for form, want := range cases {
+		if got := Lemma(form, TagVerb); got != want {
+			t.Errorf("Lemma(%q) = %q, want %q", form, got, want)
+		}
+	}
+	nouns := map[string]string{
+		"entries": "entry", "processes": "process", "viruses": "viruse",
+		"files": "file", "status": "status",
+	}
+	for form, want := range nouns {
+		if got := Lemma(form, TagNoun); got != want {
+			t.Errorf("noun Lemma(%q) = %q, want %q", form, got, want)
+		}
+	}
+}
+
+func TestSentenceSplitAfterDummy(t *testing.T) {
+	// Protected text: a placeholder can begin a sentence.
+	p := NewPipeline()
+	sents := p.SplitSentences("He ran the tool. something read the file.")
+	if len(sents) != 2 {
+		t.Fatalf("sentences = %d, want 2", len(sents))
+	}
+}
+
+func TestTokenizeGeneralShattersPaths(t *testing.T) {
+	toks := TokenizeGeneral("read /etc/passwd and 192.168.1.1 from upload.tar")
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	// Paths shatter; IPs and dotted filenames survive.
+	joined := ""
+	for _, s := range texts {
+		joined += s + "|"
+	}
+	for _, want := range []string{"etc|", "passwd|", "192.168.1.1|", "upload.tar|"} {
+		found := false
+		for _, s := range texts {
+			if s+"|" == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing token %q in %v", want, texts)
+		}
+	}
+	for _, s := range texts {
+		if s == "/etc/passwd" {
+			t.Error("general tokenizer must shatter absolute paths")
+		}
+	}
+}

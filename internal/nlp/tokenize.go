@@ -1,0 +1,208 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Tokenize splits text into tokens with byte offsets. Words are runs of
+// letters, digits, and intra-word connectors (apostrophes, hyphens,
+// underscores, dots and slashes inside path-like runs); punctuation marks
+// are single-character tokens. A trailing sentence period is split off a
+// word, but an internal dot (e.g. in a protected placeholder or a version
+// number) is kept.
+//
+// Note: the extraction pipeline replaces IOCs with a plain dummy word
+// before tokenization (IOC protection), so in practice the tokenizer sees
+// ordinary English; the path-run handling is a safety net for unprotected
+// text and for the open-IE baselines that run without protection.
+func Tokenize(text string) []Token {
+	var toks []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case isWordRune(r):
+			start := i
+			for i < n {
+				rr, sz := utf8.DecodeRuneInString(text[i:])
+				if isWordRune(rr) || isConnector(text, i, sz) {
+					i += sz
+					continue
+				}
+				break
+			}
+			// Split trailing dots/commas off (sentence period glued to a
+			// word).
+			end := i
+			for end > start+1 && (text[end-1] == '.' || text[end-1] == ',') {
+				end--
+			}
+			toks = append(toks, Token{Text: text[start:end], Start: start, End: end})
+			for p := end; p < i; p++ {
+				toks = append(toks, Token{Text: string(text[p]), Start: p, End: p + 1})
+			}
+		default:
+			toks = append(toks, Token{Text: text[i : i+size], Start: i, End: i + size})
+			i += size
+		}
+	}
+	return toks
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '/' || r == '$' || r == '\\'
+}
+
+// isConnector reports whether the rune at byte position i continues a
+// word: apostrophes and hyphens between letters, and dots/colons/at-signs
+// between word runes (file extensions, IPs, versions, emails).
+func isConnector(text string, i, size int) bool {
+	if size != 1 {
+		return false
+	}
+	b := text[i]
+	if b != '\'' && b != '-' && b != '.' && b != ':' && b != '@' {
+		return false
+	}
+	if i == 0 || i+1 >= len(text) {
+		return false
+	}
+	prev, _ := utf8.DecodeLastRuneInString(text[:i])
+	next, _ := utf8.DecodeRuneInString(text[i+1:])
+	return isWordRune(prev) && isWordRune(next)
+}
+
+// SplitSentences segments text into sentences and tokenizes each. A
+// sentence ends at '.', '!', '?' or ';', provided the period is not part
+// of a word (abbreviations and IOCs keep their dots during tokenization)
+// and the next token starts a new clause.
+func (p *Pipeline) SplitSentences(text string) []Sentence {
+	return p.SplitSentencesTokens(Tokenize(text))
+}
+
+func startsClause(next string) bool {
+	if next == "" {
+		return false
+	}
+	// The IOC-protection dummy word can legitimately start a sentence
+	// (protected text replaces sentence-initial indicators with it).
+	if next == "something" {
+		return true
+	}
+	r := rune(next[0])
+	return unicode.IsUpper(r) || next[0] == '/' || unicode.IsDigit(r) || next[0] == '"'
+}
+
+func textEnd(toks []Token) int {
+	if len(toks) == 0 {
+		return 0
+	}
+	return toks[len(toks)-1].End
+}
+
+// words lowercases w for lexicon lookups.
+func lower(w string) string { return strings.ToLower(w) }
+
+// TokenizeGeneral splits text the way a general-English tokenizer (e.g.
+// spaCy's) does: slashes, backslashes, and most punctuation are separators;
+// only apostrophes, hyphens, and dots/colons between alphanumerics stay
+// inside words. Under this mode an IP or a bare filename survives as one
+// token, but a file path like /etc/passwd shatters into pieces — the
+// behaviour that motivates IOC protection (Table V of the paper).
+func TokenizeGeneral(text string) []Token {
+	var toks []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			start := i
+			for i < n {
+				rr, sz := utf8.DecodeRuneInString(text[i:])
+				if unicode.IsLetter(rr) || unicode.IsDigit(rr) || generalConnector(text, i, sz) {
+					i += sz
+					continue
+				}
+				break
+			}
+			end := i
+			for end > start+1 && (text[end-1] == '.' || text[end-1] == ',') {
+				end--
+			}
+			toks = append(toks, Token{Text: text[start:end], Start: start, End: end})
+			for p := end; p < i; p++ {
+				toks = append(toks, Token{Text: string(text[p]), Start: p, End: p + 1})
+			}
+		default:
+			toks = append(toks, Token{Text: text[i : i+size], Start: i, End: i + size})
+			i += size
+		}
+	}
+	return toks
+}
+
+func generalConnector(text string, i, size int) bool {
+	if size != 1 {
+		return false
+	}
+	b := text[i]
+	if b != '\'' && b != '-' && b != '.' && b != ':' {
+		return false
+	}
+	if i == 0 || i+1 >= len(text) {
+		return false
+	}
+	prev, _ := utf8.DecodeLastRuneInString(text[:i])
+	next, _ := utf8.DecodeRuneInString(text[i+1:])
+	return (unicode.IsLetter(prev) || unicode.IsDigit(prev)) &&
+		(unicode.IsLetter(next) || unicode.IsDigit(next))
+}
+
+// SplitSentencesTokens segments a pre-tokenized stream into sentences,
+// using the same boundary rules as SplitSentences.
+func (p *Pipeline) SplitSentencesTokens(toks []Token) []Sentence {
+	var sents []Sentence
+	begin := 0
+	flush := func(endTok int, endOff int) {
+		if endTok > begin {
+			span := toks[begin:endTok]
+			sents = append(sents, Sentence{
+				Tokens: append([]Token(nil), span...),
+				Start:  span[0].Start,
+				End:    endOff,
+			})
+		}
+		begin = endTok
+	}
+	for i, t := range toks {
+		if t.Text == "." || t.Text == "!" || t.Text == "?" || t.Text == ";" {
+			if i+1 >= len(toks) || startsClause(toks[i+1].Text) {
+				flush(i+1, t.End)
+			}
+		}
+	}
+	flush(len(toks), textEnd(toks))
+	return sents
+}
+
+// ProcessTokens tags, lemmatizes, and parses a pre-tokenized text.
+func (p *Pipeline) ProcessTokens(toks []Token) []*DepTree {
+	sents := p.SplitSentencesTokens(toks)
+	trees := make([]*DepTree, 0, len(sents))
+	for _, s := range sents {
+		p.TagTokens(s.Tokens)
+		for i := range s.Tokens {
+			s.Tokens[i].Lemma = Lemma(s.Tokens[i].Text, s.Tokens[i].POS)
+		}
+		trees = append(trees, ParseDependencies(s.Tokens))
+	}
+	return trees
+}

@@ -1,0 +1,177 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("The attacker used something to read credentials.")
+	want := []string{"The", "attacker", "used", "something", "to", "read", "credentials", "."}
+	if !reflect.DeepEqual(texts(toks), want) {
+		t.Fatalf("got %v", texts(toks))
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "He ran /bin/tar."
+	toks := Tokenize(text)
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeKeepsPathsAndIPs(t *testing.T) {
+	toks := Tokenize("Run /usr/bin/gpg against 192.168.29.128 now.")
+	got := texts(toks)
+	want := []string{"Run", "/usr/bin/gpg", "against", "192.168.29.128", "now", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeSplitsTrailingPeriod(t *testing.T) {
+	toks := Tokenize("see /tmp/upload.tar.")
+	got := texts(toks)
+	want := []string{"see", "/tmp/upload.tar", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizePunctuationRuns(t *testing.T) {
+	toks := Tokenize("files, processes, and connections")
+	got := texts(toks)
+	want := []string{"files", ",", "processes", ",", "and", "connections"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	p := NewPipeline()
+	text := "The attacker used something. It wrote data to something. Then it stopped."
+	sents := p.SplitSentences(text)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d, want 3: %+v", len(sents), sents)
+	}
+	if texts(sents[0].Tokens)[0] != "The" || texts(sents[2].Tokens)[0] != "Then" {
+		t.Fatalf("wrong boundaries: %v", sents)
+	}
+}
+
+func TestSplitSentencesIOCSubject(t *testing.T) {
+	p := NewPipeline()
+	// A sentence starting with an IOC (lowercase '/') must still be split.
+	text := "He compressed the file. /bin/bzip2 read from the archive."
+	sents := p.SplitSentences(text)
+	if len(sents) != 2 {
+		t.Fatalf("sentences = %d, want 2", len(sents))
+	}
+}
+
+func TestSplitSentencesNoFalseSplitOnDecimal(t *testing.T) {
+	p := NewPipeline()
+	text := "Version 2.5 of the malware connected to the server."
+	sents := p.SplitSentences(text)
+	if len(sents) != 1 {
+		t.Fatalf("sentences = %d, want 1 (no split inside 2.5)", len(sents))
+	}
+}
+
+// Property: token offsets are strictly increasing, within bounds, and
+// round-trip to the token text.
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prev := -1
+		for _, tok := range toks {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if tok.Start < prev {
+				return false
+			}
+			prev = tok.End
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma(t *testing.T) {
+	cases := []struct {
+		word string
+		pos  Tag
+		want string
+	}{
+		{"wrote", TagVerb, "write"},
+		{"reads", TagVerb, "read"},
+		{"used", TagVerb, "use"},
+		{"copied", TagVerb, "copy"},
+		{"dropped", TagVerb, "drop"},
+		{"transferred", TagVerb, "transfer"},
+		{"connecting", TagVerb, "connect"},
+		{"using", TagVerb, "use"},
+		{"downloads", TagVerb, "download"},
+		{"accesses", TagVerb, "access"},
+		{"ran", TagVerb, "run"},
+		{"sent", TagVerb, "send"},
+		{"stole", TagVerb, "steal"},
+		{"leaked", TagVerb, "leak"},
+		{"installed", TagVerb, "install"},
+		{"executes", TagVerb, "execute"},
+		{"launched", TagVerb, "launch"},
+		{"activities", TagNoun, "activity"},
+		{"files", TagNoun, "file"},
+		{"processes", TagNoun, "process"},
+		{"credentials", TagNoun, "credential"},
+		{"/bin/tar", TagPropn, "/bin/tar"}, // IOCs keep their exact form
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.pos); got != c.want {
+			t.Errorf("Lemma(%q, %s) = %q, want %q", c.word, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestVectors(t *testing.T) {
+	v := NewVectors(64)
+	if s := v.Similarity("upload.tar", "upload.tar"); s < 0.999 {
+		t.Errorf("self-similarity = %v", s)
+	}
+	same := v.Similarity("/tmp/upload.tar", "/tmp/upload.tar.bz2")
+	diff := v.Similarity("/tmp/upload.tar", "/etc/passwd")
+	if same <= diff {
+		t.Errorf("related strings must be closer: same=%v diff=%v", same, diff)
+	}
+	morph := v.Similarity("download", "downloads")
+	unrel := v.Similarity("download", "passwd")
+	if morph <= unrel {
+		t.Errorf("morphological variants must be closer: %v vs %v", morph, unrel)
+	}
+}
+
+func TestVectorsDeterministic(t *testing.T) {
+	a := NewVectors(64).Vector("hello")
+	b := NewVectors(64).Vector("hello")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("vectors must be deterministic across instances")
+	}
+}

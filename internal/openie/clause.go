@@ -1,0 +1,129 @@
+package openie
+
+import (
+	"strings"
+
+	"threatraptor/internal/nlp"
+)
+
+// ClauseIE is the Stanford-Open-IE-style baseline: it splits sentences
+// into clauses at coordinations, commas, and relative pronouns, then emits
+// one triple per clause verb using the nearest noun phrases on each side.
+// All noun phrases become entity candidates.
+type ClauseIE struct {
+	pipe    *nlp.Pipeline
+	protect bool
+}
+
+// NewClauseIE returns the clause-splitting baseline; protect toggles the
+// "+ IOC Protection" variant.
+func NewClauseIE(protect bool) *ClauseIE {
+	return &ClauseIE{pipe: nlp.NewPipeline(), protect: protect}
+}
+
+// Name identifies the baseline in reports.
+func (c *ClauseIE) Name() string {
+	if c.protect {
+		return "Stanford Open IE + IOC Protection"
+	}
+	return "Stanford Open IE"
+}
+
+// Extract runs the baseline over a document.
+func (c *ClauseIE) Extract(text string) Output {
+	toks := prepTokens(text, c.protect)
+	sents := c.pipe.SplitSentencesTokens(toks)
+	var out Output
+	seenEnt := make(map[string]bool)
+	for _, s := range sents {
+		c.pipe.TagTokens(s.Tokens)
+		for i := range s.Tokens {
+			s.Tokens[i].Lemma = nlp.Lemma(s.Tokens[i].Text, s.Tokens[i].POS)
+		}
+		for _, clause := range splitClauses(s.Tokens) {
+			for _, e := range npSpans(clause) {
+				if !seenEnt[e] {
+					seenEnt[e] = true
+					out.Entities = append(out.Entities, e)
+				}
+			}
+			out.Triples = append(out.Triples, clauseTriples(clause)...)
+		}
+	}
+	return out
+}
+
+// splitClauses cuts a sentence at coordinating conjunctions, semicolons,
+// commas followed by a verb-bearing segment, and relative pronouns.
+func splitClauses(toks []nlp.Token) [][]nlp.Token {
+	var clauses [][]nlp.Token
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			clauses = append(clauses, toks[start:end])
+		}
+		start = end + 1
+	}
+	for i, t := range toks {
+		switch {
+		case t.POS == nlp.TagCconj:
+			flush(i)
+		case t.POS == nlp.TagPron && (strings.EqualFold(t.Text, "which") || strings.EqualFold(t.Text, "who")):
+			flush(i)
+		case t.Text == ";":
+			flush(i)
+		}
+	}
+	if start < len(toks) {
+		clauses = append(clauses, toks[start:])
+	}
+	return clauses
+}
+
+// clauseTriples emits (nearest left NP, verb lemma, nearest right NP) for
+// every verb in the clause.
+func clauseTriples(toks []nlp.Token) []Triple {
+	var out []Triple
+	for i, t := range toks {
+		if t.POS != nlp.TagVerb {
+			continue
+		}
+		subj := nearestNP(toks, i, -1)
+		obj := nearestNP(toks, i, +1)
+		if subj == "" || obj == "" {
+			continue
+		}
+		out = append(out, Triple{Subj: subj, Rel: t.Lemma, Obj: obj})
+	}
+	return out
+}
+
+// nearestNP returns the phrase of the noun-phrase closest to position i in
+// the given direction.
+func nearestNP(toks []nlp.Token, i, dir int) string {
+	j := i + dir
+	for j >= 0 && j < len(toks) {
+		if toks[j].POS.IsNounLike() {
+			// Expand to the containing NP.
+			lo, hi := j, j
+			for lo-1 >= 0 && isNPWord(toks[lo-1]) {
+				lo--
+			}
+			for hi+1 < len(toks) && isNPWord(toks[hi+1]) {
+				hi++
+			}
+			var words []string
+			for k := lo; k <= hi; k++ {
+				if toks[k].POS != nlp.TagDet {
+					words = append(words, toks[k].Text)
+				}
+			}
+			return strings.Join(words, " ")
+		}
+		if toks[j].POS == nlp.TagVerb {
+			return "" // another clause
+		}
+		j += dir
+	}
+	return ""
+}

@@ -1,0 +1,205 @@
+package openie
+
+import (
+	"sort"
+	"strings"
+
+	"threatraptor/internal/nlp"
+)
+
+// ExhaustiveIE is the Open-IE-5-style baseline: for every verb it
+// enumerates all candidate argument spans on both sides, scores each
+// (subject, verb, object) combination, and keeps the best per verb. A
+// final cross-candidate consistency pass compares every pair of candidate
+// triples by string alignment, mirroring the heavy confidence machinery
+// that makes Open IE 5 an order of magnitude slower than light-weight
+// pipelines (Table VII of the paper).
+type ExhaustiveIE struct {
+	pipe    *nlp.Pipeline
+	protect bool
+	// MaxSpan bounds candidate argument length in tokens.
+	MaxSpan int
+}
+
+// NewExhaustiveIE returns the exhaustive baseline; protect toggles the
+// "+ IOC Protection" variant.
+func NewExhaustiveIE(protect bool) *ExhaustiveIE {
+	return &ExhaustiveIE{pipe: nlp.NewPipeline(), protect: protect, MaxSpan: 6}
+}
+
+// Name identifies the baseline in reports.
+func (e *ExhaustiveIE) Name() string {
+	if e.protect {
+		return "Open IE 5 + IOC Protection"
+	}
+	return "Open IE 5"
+}
+
+type scoredTriple struct {
+	Triple
+	score float64
+}
+
+// Extract runs the baseline over a document.
+func (e *ExhaustiveIE) Extract(text string) Output {
+	toks := prepTokens(text, e.protect)
+	sents := e.pipe.SplitSentencesTokens(toks)
+	var out Output
+	var candidates []scoredTriple
+	seenEnt := make(map[string]bool)
+	for _, s := range sents {
+		e.pipe.TagTokens(s.Tokens)
+		for i := range s.Tokens {
+			s.Tokens[i].Lemma = nlp.Lemma(s.Tokens[i].Text, s.Tokens[i].POS)
+		}
+		for _, ent := range npSpans(s.Tokens) {
+			if !seenEnt[ent] {
+				seenEnt[ent] = true
+				out.Entities = append(out.Entities, ent)
+			}
+		}
+		candidates = append(candidates, e.sentenceCandidates(s.Tokens)...)
+	}
+
+	// Consistency pass: each candidate's confidence is adjusted by its
+	// alignment with every other candidate (bounded edit similarity).
+	for i := range candidates {
+		var support float64
+		for j := range candidates {
+			if i == j {
+				continue
+			}
+			support += boundedSimilarity(candidates[i].key(), candidates[j].key())
+		}
+		if len(candidates) > 1 {
+			candidates[i].score += support / float64(len(candidates)-1)
+		}
+	}
+
+	// Keep the best-scoring candidate per (sentence verb) — approximated
+	// by deduplicating on (Rel, Subj) after sorting by score.
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return candidates[a].score > candidates[b].score
+	})
+	seen := make(map[string]bool)
+	for _, c := range candidates {
+		k := c.Rel + "\x00" + c.Subj
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Triples = append(out.Triples, c.Triple)
+	}
+	return out
+}
+
+func (t scoredTriple) key() string { return t.Subj + " " + t.Rel + " " + t.Obj }
+
+// sentenceCandidates enumerates (subject span, verb, object span)
+// combinations around each verb.
+func (e *ExhaustiveIE) sentenceCandidates(toks []nlp.Token) []scoredTriple {
+	var cands []scoredTriple
+	n := len(toks)
+	for v := 0; v < n; v++ {
+		if toks[v].POS != nlp.TagVerb {
+			continue
+		}
+		for sl := 0; sl < v; sl++ {
+			for sr := sl; sr < v && sr-sl < e.MaxSpan; sr++ {
+				subj, sScore := spanPhrase(toks, sl, sr)
+				if subj == "" {
+					continue
+				}
+				for ol := v + 1; ol < n; ol++ {
+					for or := ol; or < n && or-ol < e.MaxSpan; or++ {
+						obj, oScore := spanPhrase(toks, ol, or)
+						if obj == "" {
+							continue
+						}
+						score := sScore + oScore -
+							0.1*float64(v-sr) - 0.1*float64(ol-v)
+						cands = append(cands, scoredTriple{
+							Triple: Triple{Subj: subj, Rel: toks[v].Lemma, Obj: obj},
+							score:  score,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// spanPhrase renders a candidate argument span, scoring it by how
+// noun-phrase-like it is. Spans containing verbs or punctuation are
+// rejected.
+func spanPhrase(toks []nlp.Token, lo, hi int) (string, float64) {
+	var words []string
+	var score float64
+	for k := lo; k <= hi; k++ {
+		switch {
+		case toks[k].POS == nlp.TagVerb || toks[k].POS == nlp.TagPunct:
+			return "", 0
+		case toks[k].POS.IsNounLike():
+			score += 1
+		case toks[k].POS == nlp.TagDet:
+			continue // dropped from the phrase
+		default:
+			score -= 0.5
+		}
+		words = append(words, toks[k].Text)
+	}
+	if score <= 0 {
+		return "", 0
+	}
+	return strings.Join(words, " "), score / float64(hi-lo+1)
+}
+
+// boundedSimilarity is a normalized edit-distance similarity over prefixes
+// capped at 24 bytes (the cap bounds the consistency pass's cost while
+// keeping it meaningfully expensive).
+func boundedSimilarity(a, b string) float64 {
+	const cap = 24
+	if len(a) > cap {
+		a = a[:cap]
+	}
+	if len(b) > cap {
+		b = b[:cap]
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	d := editDistance(a, b)
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	return 1 - float64(d)/float64(max)
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,89 @@
+// Package openie implements two general-purpose open information
+// extraction baselines, stand-ins for Stanford Open IE and Open IE 5 in
+// the paper's RQ1/RQ3 comparison (Table V and Table VII).
+//
+// Both extract ⟨subject phrase, relation, object phrase⟩ triples from
+// arbitrary English without any security-domain knowledge. They tokenize
+// with the general-English tokenizer, so unprotected indicators shatter —
+// which is exactly why the paper's specialized pipeline wins. Each
+// baseline optionally runs with IOC protection applied first (the
+// "+ IOC Protection" table rows).
+package openie
+
+import (
+	"strings"
+
+	"threatraptor/internal/ioc"
+	"threatraptor/internal/nlp"
+)
+
+// Triple is one extracted open-domain relation.
+type Triple struct {
+	Subj, Rel, Obj string
+}
+
+// Output is an extraction result: the entity phrases and relation triples.
+type Output struct {
+	Entities []string
+	Triples  []Triple
+}
+
+// Extractor is a generic open IE system.
+type Extractor interface {
+	Name() string
+	Extract(text string) Output
+}
+
+// prepTokens tokenizes text in general-English mode, optionally applying
+// IOC protection first and substituting indicators back into the matching
+// placeholder tokens.
+func prepTokens(text string, protect bool) []nlp.Token {
+	if !protect {
+		return nlp.TokenizeGeneral(text)
+	}
+	prot, recs := ioc.Protect(text)
+	toks := nlp.TokenizeGeneral(prot)
+	bySpan := make(map[int]ioc.IOC, len(recs))
+	for _, r := range recs {
+		bySpan[r.Offset] = r.IOC
+	}
+	for i := range toks {
+		if toks[i].Text != ioc.DummyWord {
+			continue
+		}
+		if ic, ok := bySpan[toks[i].Start]; ok {
+			toks[i].Text = ic.Text
+		}
+	}
+	return toks
+}
+
+// npSpans finds maximal noun-phrase spans over tagged tokens and returns
+// their phrase texts (determiners dropped, like open IE arg extraction).
+func npSpans(toks []nlp.Token) []string {
+	var out []string
+	i := 0
+	for i < len(toks) {
+		if !isNPWord(toks[i]) {
+			i++
+			continue
+		}
+		j := i
+		var words []string
+		for j < len(toks) && isNPWord(toks[j]) {
+			if toks[j].POS != nlp.TagDet {
+				words = append(words, toks[j].Text)
+			}
+			j++
+		}
+		if len(words) > 0 {
+			out = append(out, strings.Join(words, " "))
+		}
+		i = j
+	}
+	return out
+}
+
+func isNPWord(t nlp.Token) bool {
+	return t.POS.IsNounLike() || t.POS == nlp.TagDet || t.POS == nlp.TagAdj
+}

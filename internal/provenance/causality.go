@@ -1,0 +1,118 @@
+package provenance
+
+import "sort"
+
+// Causality analysis over the provenance graph: backward tracking finds
+// the root causes of a detection point (everything that could have
+// influenced an entity), forward tracking finds its ramifications
+// (everything the entity could have influenced). This is the classic
+// BackTracker-style analysis the paper's related work section builds on
+// (King & Chen, SOSP 2003), and it is what an analyst runs on the entities
+// a TBQL hunt returns.
+
+// TrackResult is the causal slice reachable from a starting entity.
+type TrackResult struct {
+	// Entities maps reachable entity IDs to their causal depth (number of
+	// events on the shortest causal path from the start).
+	Entities map[int64]int
+	// Events lists the IDs of the events on the causal paths, in event-ID
+	// order.
+	Events []int64
+}
+
+// BackTrack returns everything that causally precedes entity id: events
+// that wrote into the entity (or into its transitive causes) at or before
+// their influence time. An event e(u→v) propagates influence from u to v,
+// so backward tracking follows events where the frontier entity is the
+// object, and for processes also the events they read (a process is
+// influenced by what it reads: frontier as subject of read-like events).
+//
+// maxDepth bounds the traversal (0 means unbounded). Time monotonicity is
+// enforced: a cause must start no later than the effect it explains.
+func (g *Graph) BackTrack(id int64, maxDepth int) TrackResult {
+	return g.track(id, maxDepth, true)
+}
+
+// ForwardTrack returns everything entity id could have influenced:
+// events it initiated, entities those events wrote, and so on forward in
+// time.
+func (g *Graph) ForwardTrack(id int64, maxDepth int) TrackResult {
+	return g.track(id, maxDepth, false)
+}
+
+// influenceDirection reports whether an event propagates data INTO its
+// subject (reads, receives) rather than into its object.
+func intoSubject(op string) bool {
+	switch op {
+	case "read", "receive":
+		return true
+	}
+	return false
+}
+
+func (g *Graph) track(start int64, maxDepth int, backward bool) TrackResult {
+	res := TrackResult{Entities: map[int64]int{start: 0}}
+	eventSet := make(map[int64]bool)
+	type frontier struct {
+		ent   int64
+		depth int
+		// bound is the time constraint carried along the path: for
+		// backward tracking causes must start before it; for forward
+		// tracking effects must end after it.
+		bound int64
+	}
+	var init int64
+	if backward {
+		init = int64(1) << 62
+	}
+	queue := []frontier{{ent: start, depth: 0, bound: init}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if maxDepth > 0 && f.depth >= maxDepth {
+			continue
+		}
+		for _, ref := range g.Neighbors(f.ent) {
+			ev := &g.Log.Events[ref.Event]
+			// Determine the data-flow direction of this event relative to
+			// the frontier entity.
+			var flowsIn bool // data flows INTO the frontier entity
+			if ev.ObjectID == f.ent {
+				flowsIn = !intoSubject(ev.Op.String())
+			} else {
+				flowsIn = intoSubject(ev.Op.String())
+			}
+			// Backward tracking follows edges that flow INTO the frontier;
+			// forward tracking follows edges that flow OUT of it.
+			if backward != flowsIn {
+				continue
+			}
+			// Time monotonicity.
+			if backward {
+				if ev.StartTime > f.bound {
+					continue
+				}
+			} else if ev.EndTime < f.bound {
+				continue
+			}
+			eventSet[ev.ID] = true
+			next := ref.Other
+			if d, seen := res.Entities[next]; !seen || d > f.depth+1 {
+				res.Entities[next] = f.depth + 1
+				var bound int64
+				if backward {
+					bound = ev.StartTime
+				} else {
+					bound = ev.EndTime
+				}
+				queue = append(queue, frontier{ent: next, depth: f.depth + 1, bound: bound})
+			}
+		}
+	}
+	res.Events = make([]int64, 0, len(eventSet))
+	for id := range eventSet {
+		res.Events = append(res.Events, id)
+	}
+	sort.Slice(res.Events, func(a, b int) bool { return res.Events[a] < res.Events[b] })
+	return res
+}

@@ -1,0 +1,75 @@
+// Package provenance builds the system provenance graph used by the fuzzy
+// search mode: nodes are system entities, edges are system events, with
+// forward and backward adjacency for information-flow traversal.
+package provenance
+
+import (
+	"threatraptor/internal/audit"
+)
+
+// EdgeRef points from an entity to one incident event and the entity on
+// the other side.
+type EdgeRef struct {
+	Event int   // index into Log.Events
+	Other int64 // the other endpoint's entity ID
+}
+
+// Graph is the provenance graph over one audit log.
+type Graph struct {
+	Log *audit.Log
+	// Fwd[subject] lists events initiated by the subject; Bwd[object]
+	// lists events targeting the object.
+	Fwd map[int64][]EdgeRef
+	Bwd map[int64][]EdgeRef
+}
+
+// Build constructs the provenance graph (the preprocessing phase of
+// Table IX).
+func Build(log *audit.Log) *Graph {
+	g := &Graph{
+		Log: log,
+		Fwd: make(map[int64][]EdgeRef),
+		Bwd: make(map[int64][]EdgeRef),
+	}
+	for i := range log.Events {
+		ev := &log.Events[i]
+		g.Fwd[ev.SubjectID] = append(g.Fwd[ev.SubjectID], EdgeRef{Event: i, Other: ev.ObjectID})
+		g.Bwd[ev.ObjectID] = append(g.Bwd[ev.ObjectID], EdgeRef{Event: i, Other: ev.SubjectID})
+	}
+	return g
+}
+
+// NumNodes and NumEdges report graph sizes.
+func (g *Graph) NumNodes() int { return g.Log.Entities.Len() }
+func (g *Graph) NumEdges() int { return len(g.Log.Events) }
+
+// AvgDegree returns edges per node, the density metric the paper uses to
+// explain the tc_theia bottleneck.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// DefaultName returns the default security-analysis attribute of an entity
+// (file name / process exename / destination IP).
+func (g *Graph) DefaultName(id int64) string {
+	e := g.Log.Entities.Lookup(id)
+	if e == nil {
+		return ""
+	}
+	v, _ := e.Attr(audit.DefaultAttr(e.Kind))
+	return v
+}
+
+// Neighbors lists both incident directions of an entity.
+func (g *Graph) Neighbors(id int64) []EdgeRef {
+	fwd := g.Fwd[id]
+	bwd := g.Bwd[id]
+	out := make([]EdgeRef, 0, len(fwd)+len(bwd))
+	out = append(out, fwd...)
+	out = append(out, bwd...)
+	return out
+}

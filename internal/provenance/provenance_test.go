@@ -1,0 +1,143 @@
+package provenance
+
+import (
+	"testing"
+
+	"threatraptor/internal/audit"
+)
+
+// chainLog builds the canonical exfiltration chain:
+//
+//	tar reads passwd (t=10..11), tar writes upload (t=20..21),
+//	curl reads upload (t=30..31), curl sends to c2 (t=40..41),
+//	vim writes notes (t=50..51)  — causally unrelated.
+func chainLog(t testing.TB) (*audit.Log, map[string]int64) {
+	t.Helper()
+	log := audit.NewLog()
+	ids := map[string]int64{}
+	intern := func(name string, e *audit.Entity) int64 {
+		got := log.Entities.Intern(e)
+		ids[name] = got.ID
+		return got.ID
+	}
+	tar := intern("tar", audit.NewProcessEntity(1, "/bin/tar", "root", "root", ""))
+	passwd := intern("passwd", audit.NewFileEntity("/etc/passwd", "root", "root"))
+	upload := intern("upload", audit.NewFileEntity("/tmp/upload.tar", "root", "root"))
+	curl := intern("curl", audit.NewProcessEntity(2, "/usr/bin/curl", "root", "root", ""))
+	c2 := intern("c2", audit.NewNetConnEntity("10.0.0.1", 4000, "192.168.29.128", 443, "tcp"))
+	vim := intern("vim", audit.NewProcessEntity(3, "/usr/bin/vim", "alice", "staff", ""))
+	notes := intern("notes", audit.NewFileEntity("/home/alice/notes.txt", "alice", "staff"))
+
+	log.Append(audit.Event{SubjectID: tar, ObjectID: passwd, Op: audit.OpRead, StartTime: 10, EndTime: 11})
+	log.Append(audit.Event{SubjectID: tar, ObjectID: upload, Op: audit.OpWrite, StartTime: 20, EndTime: 21})
+	log.Append(audit.Event{SubjectID: curl, ObjectID: upload, Op: audit.OpRead, StartTime: 30, EndTime: 31})
+	log.Append(audit.Event{SubjectID: curl, ObjectID: c2, Op: audit.OpSend, StartTime: 40, EndTime: 41})
+	log.Append(audit.Event{SubjectID: vim, ObjectID: notes, Op: audit.OpWrite, StartTime: 50, EndTime: 51})
+	return log, ids
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	log, ids := chainLog(t)
+	g := Build(log)
+	if g.NumNodes() != 7 || g.NumEdges() != 5 {
+		t.Fatalf("graph = %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(g.Fwd[ids["tar"]]) != 2 {
+		t.Errorf("tar initiates 2 events, got %d", len(g.Fwd[ids["tar"]]))
+	}
+	if len(g.Bwd[ids["upload"]]) != 2 {
+		t.Errorf("upload is object of 2 events, got %d", len(g.Bwd[ids["upload"]]))
+	}
+	if g.AvgDegree() != 5.0/7.0 {
+		t.Errorf("avg degree = %v", g.AvgDegree())
+	}
+	if g.DefaultName(ids["c2"]) != "192.168.29.128" {
+		t.Errorf("c2 name = %q", g.DefaultName(ids["c2"]))
+	}
+	if g.DefaultName(99999) != "" {
+		t.Error("unknown entity should have empty name")
+	}
+}
+
+func TestBackTrackFromC2(t *testing.T) {
+	log, ids := chainLog(t)
+	g := Build(log)
+	res := g.BackTrack(ids["c2"], 0)
+	// The full causal chain: c2 <- curl <- upload <- tar <- passwd.
+	for _, name := range []string{"curl", "upload", "tar", "passwd"} {
+		if _, ok := res.Entities[ids[name]]; !ok {
+			t.Errorf("backward slice missing %s: %v", name, res.Entities)
+		}
+	}
+	// The unrelated editor session must not appear.
+	for _, name := range []string{"vim", "notes"} {
+		if _, ok := res.Entities[ids[name]]; ok {
+			t.Errorf("backward slice must not contain %s", name)
+		}
+	}
+	if len(res.Events) != 4 {
+		t.Errorf("causal events = %v, want the 4 attack events", res.Events)
+	}
+	// Depths increase along the chain.
+	if res.Entities[ids["curl"]] >= res.Entities[ids["tar"]] {
+		t.Errorf("curl (depth %d) should be closer than tar (depth %d)",
+			res.Entities[ids["curl"]], res.Entities[ids["tar"]])
+	}
+}
+
+func TestForwardTrackFromPasswd(t *testing.T) {
+	log, ids := chainLog(t)
+	g := Build(log)
+	res := g.ForwardTrack(ids["passwd"], 0)
+	for _, name := range []string{"tar", "upload", "curl", "c2"} {
+		if _, ok := res.Entities[ids[name]]; !ok {
+			t.Errorf("forward slice missing %s: %v", name, res.Entities)
+		}
+	}
+	if _, ok := res.Entities[ids["notes"]]; ok {
+		t.Error("forward slice must not contain the unrelated file")
+	}
+}
+
+func TestTrackDepthBound(t *testing.T) {
+	log, ids := chainLog(t)
+	g := Build(log)
+	res := g.BackTrack(ids["c2"], 2)
+	if _, ok := res.Entities[ids["upload"]]; !ok {
+		t.Error("depth 2 should reach the staged file")
+	}
+	if _, ok := res.Entities[ids["passwd"]]; ok {
+		t.Error("depth 2 must not reach the root cause at depth 4")
+	}
+}
+
+func TestTrackTimeMonotonicity(t *testing.T) {
+	// A write that happens AFTER the read cannot be its cause.
+	log := audit.NewLog()
+	p1 := log.Entities.Intern(audit.NewProcessEntity(1, "/bin/a", "", "", ""))
+	p2 := log.Entities.Intern(audit.NewProcessEntity(2, "/bin/b", "", "", ""))
+	f := log.Entities.Intern(audit.NewFileEntity("/tmp/x", "", ""))
+	// p2 reads f at t=10; p1 writes f at t=100 (later!).
+	log.Append(audit.Event{SubjectID: p2.ID, ObjectID: f.ID, Op: audit.OpRead, StartTime: 10, EndTime: 11})
+	log.Append(audit.Event{SubjectID: p1.ID, ObjectID: f.ID, Op: audit.OpWrite, StartTime: 100, EndTime: 101})
+	g := Build(log)
+	res := g.BackTrack(p2.ID, 0)
+	if _, ok := res.Entities[p1.ID]; ok {
+		t.Errorf("future write must not backward-explain a past read: %v", res.Entities)
+	}
+	// Forward from p1: the write at t=100 cannot influence the read at t=10.
+	res = g.ForwardTrack(p1.ID, 0)
+	if _, ok := res.Entities[p2.ID]; ok {
+		t.Errorf("forward influence must respect time: %v", res.Entities)
+	}
+}
+
+func TestTrackSelfOnly(t *testing.T) {
+	log := audit.NewLog()
+	p := log.Entities.Intern(audit.NewProcessEntity(1, "/bin/a", "", "", ""))
+	g := Build(log)
+	res := g.BackTrack(p.ID, 0)
+	if len(res.Entities) != 1 || len(res.Events) != 0 {
+		t.Fatalf("isolated entity slice = %+v", res)
+	}
+}

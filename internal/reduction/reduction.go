@@ -1,0 +1,108 @@
+// Package reduction merges excessive system events before storage,
+// following Section III-B of the ThreatRaptor paper (inspired by Xu et al.,
+// "High fidelity data reduction for big data security dependency analyses",
+// CCS 2016).
+//
+// The OS finishes a logical read/write task by distributing the data over
+// multiple system calls, so audit logs contain many near-duplicate events
+// between the same entity pair. Two events e1(u1,v1) and e2(u2,v2) with e1
+// before e2 are merged when:
+//
+//	u1 == u2 && v1 == v2 && e1.Op == e2.Op &&
+//	0 <= e2.StartTime - e1.EndTime <= threshold
+//
+// The merged event keeps e1's start time, e2's end time, and the summed
+// data amount.
+package reduction
+
+import (
+	"sort"
+
+	"threatraptor/internal/audit"
+)
+
+// Config controls reduction behaviour.
+type Config struct {
+	// ThresholdUS is the maximum gap, in µs, between the end of one event
+	// and the start of the next for them to merge. The paper chose 1 second
+	// after experimenting with different thresholds.
+	ThresholdUS int64
+}
+
+// DefaultConfig returns the paper's chosen configuration (1 s threshold).
+func DefaultConfig() Config { return Config{ThresholdUS: 1_000_000} }
+
+// Result summarizes one reduction run.
+type Result struct {
+	Before  int
+	After   int
+	Dropped int // Before - After
+}
+
+// ReductionFactor returns Before/After (1.0 when nothing merged).
+func (r Result) ReductionFactor() float64 {
+	if r.After == 0 {
+		return 1
+	}
+	return float64(r.Before) / float64(r.After)
+}
+
+type mergeKey struct {
+	subj, obj int64
+	op        audit.OpType
+}
+
+// Reduce merges the events of log in place according to cfg and returns the
+// summary. Event ordering by start time is preserved in the output, and
+// failed events (FailureCode != 0) are never merged so that failure
+// information survives reduction.
+func Reduce(log *audit.Log, cfg Config) Result {
+	before := len(log.Events)
+	if before == 0 {
+		return Result{}
+	}
+
+	// Process in start-time order; sort a copy of indexes to keep stability.
+	idx := make([]int, before)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return log.Events[idx[a]].StartTime < log.Events[idx[b]].StartTime
+	})
+
+	// open holds, per (subject, object, op), the position in out of the
+	// last mergeable event.
+	open := make(map[mergeKey]int)
+	out := make([]audit.Event, 0, before)
+
+	for _, i := range idx {
+		ev := log.Events[i]
+		key := mergeKey{ev.SubjectID, ev.ObjectID, ev.Op}
+		if ev.FailureCode == 0 {
+			if pos, ok := open[key]; ok {
+				prev := &out[pos]
+				gap := ev.StartTime - prev.EndTime
+				if gap >= 0 && gap <= cfg.ThresholdUS {
+					prev.EndTime = ev.EndTime
+					prev.DataAmount += ev.DataAmount
+					continue
+				}
+			}
+		}
+		out = append(out, ev)
+		if ev.FailureCode == 0 {
+			open[key] = len(out) - 1
+		} else {
+			// A failed event breaks the merge chain for its key.
+			delete(open, key)
+		}
+	}
+
+	// Reassign sequential IDs so downstream storage sees a dense space.
+	for i := range out {
+		out[i].ID = int64(i + 1)
+	}
+	log.Events = out
+	return Result{Before: before, After: len(out), Dropped: before - len(out)}
+}

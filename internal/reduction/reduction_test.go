@@ -1,0 +1,194 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threatraptor/internal/audit"
+)
+
+// buildLog makes a log with one process and one file plus the given events.
+func buildLog(events []audit.Event) *audit.Log {
+	log := audit.NewLog()
+	p := log.Entities.Intern(audit.NewProcessEntity(1, "/bin/tar", "root", "root", ""))
+	f := log.Entities.Intern(audit.NewFileEntity("/etc/passwd", "root", "root"))
+	for _, ev := range events {
+		if ev.SubjectID == 0 {
+			ev.SubjectID = p.ID
+		}
+		if ev.ObjectID == 0 {
+			ev.ObjectID = f.ID
+		}
+		log.Append(ev)
+	}
+	return log
+}
+
+func TestReduceMergesAdjacentSameKeyEvents(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 0, EndTime: 100, DataAmount: 4096},
+		{Op: audit.OpRead, StartTime: 200, EndTime: 300, DataAmount: 4096},
+		{Op: audit.OpRead, StartTime: 400, EndTime: 500, DataAmount: 1808},
+	})
+	res := Reduce(log, Config{ThresholdUS: 1_000_000})
+	if res.After != 1 {
+		t.Fatalf("after = %d, want 1", res.After)
+	}
+	ev := log.Events[0]
+	if ev.StartTime != 0 || ev.EndTime != 500 {
+		t.Errorf("merged window = [%d,%d], want [0,500]", ev.StartTime, ev.EndTime)
+	}
+	if ev.DataAmount != 4096+4096+1808 {
+		t.Errorf("merged data = %d", ev.DataAmount)
+	}
+	if res.ReductionFactor() != 3 {
+		t.Errorf("factor = %v, want 3", res.ReductionFactor())
+	}
+}
+
+func TestReduceRespectsThreshold(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 0, EndTime: 100, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 2_000_000, EndTime: 2_000_100, DataAmount: 1},
+	})
+	res := Reduce(log, Config{ThresholdUS: 1_000_000})
+	if res.After != 2 {
+		t.Fatalf("events beyond the threshold must not merge; after = %d", res.After)
+	}
+}
+
+func TestReduceDoesNotMergeAcrossOps(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 0, EndTime: 10, DataAmount: 1},
+		{Op: audit.OpWrite, StartTime: 20, EndTime: 30, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 40, EndTime: 50, DataAmount: 1},
+	})
+	res := Reduce(log, DefaultConfig())
+	// read(0) and read(40) share a key and are within threshold: the paper's
+	// criteria compare each event to the previous mergeable event of the
+	// same key, so they merge even with an interleaved write.
+	if res.After != 2 {
+		t.Fatalf("after = %d, want 2 (merged reads + write)", res.After)
+	}
+}
+
+func TestReduceDoesNotMergeAcrossEntities(t *testing.T) {
+	log := audit.NewLog()
+	p := log.Entities.Intern(audit.NewProcessEntity(1, "/bin/tar", "", "", ""))
+	f1 := log.Entities.Intern(audit.NewFileEntity("/a", "", ""))
+	f2 := log.Entities.Intern(audit.NewFileEntity("/b", "", ""))
+	log.Append(audit.Event{SubjectID: p.ID, ObjectID: f1.ID, Op: audit.OpRead, StartTime: 0, EndTime: 1})
+	log.Append(audit.Event{SubjectID: p.ID, ObjectID: f2.ID, Op: audit.OpRead, StartTime: 2, EndTime: 3})
+	if res := Reduce(log, DefaultConfig()); res.After != 2 {
+		t.Fatalf("after = %d, want 2", res.After)
+	}
+}
+
+func TestReducePreservesFailedEvents(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 0, EndTime: 10, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 20, EndTime: 30, DataAmount: 1, FailureCode: -13},
+		{Op: audit.OpRead, StartTime: 40, EndTime: 50, DataAmount: 1},
+	})
+	res := Reduce(log, DefaultConfig())
+	if res.After != 3 {
+		t.Fatalf("failed events must survive reduction; after = %d", res.After)
+	}
+}
+
+func TestReduceOutOfOrderInput(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 400, EndTime: 500, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 0, EndTime: 100, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 200, EndTime: 300, DataAmount: 1},
+	})
+	res := Reduce(log, DefaultConfig())
+	if res.After != 1 {
+		t.Fatalf("reduction must sort by start time; after = %d", res.After)
+	}
+}
+
+func TestReduceEmptyLog(t *testing.T) {
+	log := audit.NewLog()
+	res := Reduce(log, DefaultConfig())
+	if res.Before != 0 || res.After != 0 || res.ReductionFactor() != 1 {
+		t.Fatalf("empty log result = %+v", res)
+	}
+}
+
+func TestReduceReassignsDenseIDs(t *testing.T) {
+	log := buildLog([]audit.Event{
+		{Op: audit.OpRead, StartTime: 0, EndTime: 1, DataAmount: 1},
+		{Op: audit.OpRead, StartTime: 2, EndTime: 3, DataAmount: 1},
+		{Op: audit.OpWrite, StartTime: 9_000_000, EndTime: 9_000_001, DataAmount: 1},
+	})
+	Reduce(log, DefaultConfig())
+	for i, ev := range log.Events {
+		if ev.ID != int64(i+1) {
+			t.Fatalf("event %d has ID %d, want %d", i, ev.ID, i+1)
+		}
+	}
+}
+
+// Property: reduction preserves total data amount and never increases the
+// event count; output start times are sorted.
+func TestReduceInvariantsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]audit.Event, 0, n)
+		tcur := int64(0)
+		for i := 0; i < int(n); i++ {
+			tcur += rng.Int63n(2_000_000)
+			events = append(events, audit.Event{
+				Op:         audit.OpType(1 + rng.Intn(2)), // read or write
+				StartTime:  tcur,
+				EndTime:    tcur + rng.Int63n(1000),
+				DataAmount: rng.Int63n(8192),
+			})
+		}
+		log := buildLog(events)
+		var before int64
+		for _, ev := range log.Events {
+			before += ev.DataAmount
+		}
+		res := Reduce(log, DefaultConfig())
+		var after int64
+		last := int64(-1)
+		for _, ev := range log.Events {
+			after += ev.DataAmount
+			if ev.StartTime < last {
+				return false
+			}
+			last = ev.StartTime
+		}
+		return after == before && res.After <= res.Before && res.After == len(log.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceSimulatedWorkload(t *testing.T) {
+	// A simulator-produced log of chunked transfers should reduce well;
+	// the paper reports high reduction for file manipulations/transfers.
+	s := audit.NewSimulator(99, 0)
+	p := audit.Proc{PID: 1, Exe: "/bin/dd", User: "root"}
+	for i := 0; i < 10; i++ {
+		s.ReadFile(p, "/data/blob", 64*1024) // 16 chunks each
+	}
+	parser := audit.NewParser()
+	for _, r := range s.Records() {
+		if err := parser.Feed(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := parser.Log()
+	res := Reduce(log, DefaultConfig())
+	if res.Before != 160 {
+		t.Fatalf("before = %d, want 160", res.Before)
+	}
+	if res.After != 1 {
+		t.Fatalf("after = %d, want 1 (all chunks within 1s)", res.After)
+	}
+}

@@ -1,0 +1,76 @@
+package relational
+
+// SQL abstract syntax tree for the supported SELECT subset.
+
+// SelectStmt is a parsed SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem // empty means '*'
+	From     []TableRef
+	Joins    []Join // explicit JOIN ... ON clauses, applied after From
+	Where    Expr   // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr Expr
+	As   string
+}
+
+// TableRef is a table in the FROM list with its binding alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Join is an explicit inner join.
+type Join struct {
+	Ref TableRef
+	On  Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a SQL expression node.
+type Expr interface{ isExpr() }
+
+// ColRef is a column reference, optionally qualified by a table alias.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// BinOp is a binary operation. Op is one of:
+// "=", "<>", "<", "<=", ">", ">=", "like", "and", "or".
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp is a unary operation; Op is "not".
+type UnOp struct {
+	Op string
+	E  Expr
+}
+
+// InList is "expr [NOT] IN (v1, v2, ...)".
+type InList struct {
+	E      Expr
+	Vals   []Expr
+	Negate bool
+}
+
+func (ColRef) isExpr() {}
+func (Lit) isExpr()    {}
+func (BinOp) isExpr()  {}
+func (UnOp) isExpr()   {}
+func (InList) isExpr() {}

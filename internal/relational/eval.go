@@ -1,0 +1,115 @@
+package relational
+
+import "fmt"
+
+// EvalExpr evaluates a SQL/Cypher expression tree against an arbitrary
+// column resolver. Both the relational executor and the graph engine use
+// this single evaluator so that comparison, LIKE, and boolean semantics are
+// identical across backends.
+func EvalExpr(e Expr, resolve func(ColRef) (Value, error)) (Value, error) {
+	switch v := e.(type) {
+	case Lit:
+		return v.V, nil
+	case ColRef:
+		return resolve(v)
+	case UnOp:
+		x, err := EvalExpr(v.E, resolve)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(!x.Truthy()), nil
+	case InList:
+		x, err := EvalExpr(v.E, resolve)
+		if err != nil {
+			return Null(), err
+		}
+		match := false
+		for _, ve := range v.Vals {
+			y, err := EvalExpr(ve, resolve)
+			if err != nil {
+				return Null(), err
+			}
+			if x.Equal(y) {
+				match = true
+				break
+			}
+		}
+		return Bool(match != v.Negate), nil
+	case BinOp:
+		switch v.Op {
+		case "and":
+			l, err := EvalExpr(v.L, resolve)
+			if err != nil {
+				return Null(), err
+			}
+			if !l.Truthy() {
+				return Bool(false), nil
+			}
+			r, err := EvalExpr(v.R, resolve)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(r.Truthy()), nil
+		case "or":
+			l, err := EvalExpr(v.L, resolve)
+			if err != nil {
+				return Null(), err
+			}
+			if l.Truthy() {
+				return Bool(true), nil
+			}
+			r, err := EvalExpr(v.R, resolve)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(r.Truthy()), nil
+		}
+		l, err := EvalExpr(v.L, resolve)
+		if err != nil {
+			return Null(), err
+		}
+		r, err := EvalExpr(v.R, resolve)
+		if err != nil {
+			return Null(), err
+		}
+		switch v.Op {
+		case "=":
+			return Bool(l.Equal(r)), nil
+		case "<>":
+			if l.IsNull() || r.IsNull() {
+				return Bool(false), nil
+			}
+			return Bool(!l.Equal(r)), nil
+		case "like":
+			if l.K != KindString || r.K != KindString {
+				return Bool(false), nil
+			}
+			return Bool(Like(l.S, r.S)), nil
+		case "+", "-":
+			if l.K != KindInt || r.K != KindInt {
+				return Null(), fmt.Errorf("relational: arithmetic requires integers")
+			}
+			if v.Op == "+" {
+				return Int(l.I + r.I), nil
+			}
+			return Int(l.I - r.I), nil
+		case "<", "<=", ">", ">=":
+			cmp, err := l.Compare(r)
+			if err != nil {
+				return Null(), err
+			}
+			switch v.Op {
+			case "<":
+				return Bool(cmp < 0), nil
+			case "<=":
+				return Bool(cmp <= 0), nil
+			case ">":
+				return Bool(cmp > 0), nil
+			default:
+				return Bool(cmp >= 0), nil
+			}
+		}
+		return Null(), fmt.Errorf("relational: unknown operator %q", v.Op)
+	}
+	return Null(), fmt.Errorf("relational: cannot evaluate %T", e)
+}

@@ -1,0 +1,148 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a heap of rows plus optional hash indexes on single columns.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Rows    [][]Value
+	indexes map[string]*hashIndex // column name -> index
+}
+
+// hashIndex maps a column value key to the row positions holding it.
+type hashIndex struct {
+	col  int
+	rows map[string][]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: make(map[string]*hashIndex)}
+}
+
+// Insert appends a row after validating arity and kinds (NULLs allowed in
+// any column). Indexes are maintained incrementally.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("relational: table %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
+	}
+	for i, v := range row {
+		if v.K != KindNull && v.K != t.Schema[i].Kind {
+			return fmt.Errorf("relational: table %s column %s expects kind %v, got %v",
+				t.Name, t.Schema[i].Name, t.Schema[i].Kind, v.K)
+		}
+	}
+	pos := len(t.Rows)
+	t.Rows = append(t.Rows, row)
+	for _, idx := range t.indexes {
+		k := row[idx.col].Key()
+		idx.rows[k] = append(idx.rows[k], pos)
+	}
+	return nil
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column. The
+// paper creates indexes on key attributes (file name, process executable
+// name, source/destination IP) to speed up the search.
+func (t *Table) CreateIndex(column string) error {
+	col := t.Schema.IndexOf(column)
+	if col < 0 {
+		return fmt.Errorf("relational: table %s has no column %s", t.Name, column)
+	}
+	idx := &hashIndex{col: col, rows: make(map[string][]int)}
+	for pos, row := range t.Rows {
+		k := row[col].Key()
+		idx.rows[k] = append(idx.rows[k], pos)
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// HasIndex reports whether column has a hash index.
+func (t *Table) HasIndex(column string) bool {
+	_, ok := t.indexes[column]
+	return ok
+}
+
+// lookup returns the positions of rows whose column equals v, using the
+// index. ok is false when the column is not indexed.
+func (t *Table) lookup(column string, v Value) (positions []int, ok bool) {
+	idx, ok := t.indexes[column]
+	if !ok {
+		return nil, false
+	}
+	return idx.rows[v.Key()], true
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// CreateTable registers a new empty table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("relational: table %s already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
+
+// Tables returns the number of tables.
+func (db *DB) Tables() int { return len(db.tables) }
+
+// ResultSet is the output of a query: column labels plus rows.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *ResultSet) Len() int { return len(r.Rows) }
+
+// Strings renders every row as a []string, for display and tests.
+func (r *ResultSet) Strings() [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = v.String()
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"/bin/tar", "%/bin/tar%", true},
+		{"/usr/bin/tar", "%/bin/tar%", true},
+		{"/bin/tar.bak", "%/bin/tar%", true},
+		{"/bin/ta", "%/bin/tar%", false},
+		{"hello", "hello", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"abc", "%", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a%c", true},
+		{"ac", "a%c", true},
+		{"abbbc", "a%c", true},
+		{"abc", "a_c", true},
+		{"192.168.29.128", "192.168.29.128", true},
+		{"192.168.29.128", "192.168.%", true},
+		{"/tmp/upload.tar.bz2", "%upload.tar%", true},
+		{"aaa", "%a%a%a%", true},
+		{"aa", "%a%a%a%", false},
+	}
+	for _, c := range cases {
+		if got := Like(c.s, c.p); got != c.want {
+			t.Errorf("Like(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: a pattern with the string itself always matches; '%'+s+'%'
+// matches any superstring.
+func TestLikeProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			if r < 0x20 || r > 0x7e {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	f := func(a, b, c string) bool {
+		mid := sanitize(b)
+		full := sanitize(a) + mid + sanitize(c)
+		return Like(mid, mid) && Like(full, "%"+mid+"%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("int equality broken")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Error("string equality broken")
+	}
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL must be false (SQL semantics)")
+	}
+	if !Str("42").Equal(Int(42)) || !Int(42).Equal(Str("42")) {
+		t.Error("numeric-string leniency broken")
+	}
+	if Str("4x2").Equal(Int(42)) {
+		t.Error("non-numeric string must not equal int")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, _ := Int(1).Compare(Int(2)); c != -1 {
+		t.Error("1 < 2")
+	}
+	if c, _ := Str("b").Compare(Str("a")); c != 1 {
+		t.Error("b > a")
+	}
+	if c, _ := Null().Compare(Int(0)); c != -1 {
+		t.Error("NULL sorts first")
+	}
+	if _, err := Int(1).Compare(Str("a")); err == nil {
+		t.Error("cross-kind compare must error")
+	}
+}
+
+func TestValueTruthyAndString(t *testing.T) {
+	if Null().Truthy() || Int(0).Truthy() || Str("").Truthy() {
+		t.Error("falsy values misjudged")
+	}
+	if !Int(1).Truthy() || !Str("x").Truthy() {
+		t.Error("truthy values misjudged")
+	}
+	if Int(42).String() != "42" || Str("a").String() != "a" || Null().String() != "NULL" {
+		t.Error("String rendering wrong")
+	}
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool wrong")
+	}
+}
+
+func TestValueKeyDisambiguates(t *testing.T) {
+	if Int(42).Key() == Str("42").Key() {
+		t.Error("int and string keys must differ")
+	}
+	if Null().Key() == Str("").Key() {
+		t.Error("null and empty string keys must differ")
+	}
+}

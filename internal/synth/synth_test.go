@@ -1,0 +1,193 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"threatraptor/internal/extract"
+	"threatraptor/internal/tbql"
+)
+
+const dataLeakReport = `As a first step, the attacker used /bin/tar to read user credentials from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After compression, the attacker used Gnu Privacy Guard (GnuPG) tool to encrypt the zipped file, which corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive information to /tmp/upload. Finally, the attacker leveraged the curl utility (/usr/bin/curl) to read the data from /tmp/upload. He leaked the gathered sensitive information back to the attacker C2 host by using /usr/bin/curl to connect to 192.168.29.128.`
+
+func dataLeakGraph(t *testing.T) *extract.Graph {
+	t.Helper()
+	return extract.New(extract.DefaultOptions()).Extract(dataLeakReport).Graph
+}
+
+func TestSynthesizeFigure2(t *testing.T) {
+	q, rep, err := Synthesize(dataLeakGraph(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DroppedNodes) != 0 || len(rep.DroppedEdges) != 0 {
+		t.Fatalf("nothing should be screened out: %+v", rep)
+	}
+	if len(q.Patterns) != 8 {
+		t.Fatalf("patterns = %d, want 8\n%s", len(q.Patterns), tbql.Format(q))
+	}
+	if len(q.Relations) != 7 {
+		t.Fatalf("relations = %d, want 7", len(q.Relations))
+	}
+	if !q.Return.Distinct || len(q.Return.Items) != 9 {
+		t.Fatalf("return = %+v", q.Return)
+	}
+	// The synthesized query must analyze and match Figure 2's structure.
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		t.Fatalf("synthesized query must analyze: %v\n%s", err, tbql.Format(q))
+	}
+	if len(a.Entities) != 9 {
+		t.Fatalf("entities = %d, want 9", len(a.Entities))
+	}
+	text := tbql.Format(q)
+	for _, want := range []string{
+		`proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1`,
+		`proc p1 write file f2["%/tmp/upload.tar%"] as evt2`,
+		// Unlike the paper's Figure 2 (which repeats p4's filter), the
+		// synthesizer relies on entity-ID reuse for later occurrences.
+		`proc p4 connect ip i1["192.168.29.128"] as evt8`,
+		`with evt1 before evt2`,
+		`return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("synthesized text missing %q:\n%s", want, text)
+		}
+	}
+	// Round trip: the textual form reparses to the same structure.
+	q2, err := tbql.Parse(text)
+	if err != nil {
+		t.Fatalf("synthesized text must parse: %v\n%s", err, text)
+	}
+	if len(q2.Patterns) != 8 || len(q2.Relations) != 7 {
+		t.Fatalf("round trip mismatch:\n%s", text)
+	}
+}
+
+func TestSynthesizeLength1Paths(t *testing.T) {
+	q, _, err := Synthesize(dataLeakGraph(t), Options{Mode: ModeLength1Paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range q.Patterns {
+		if p.Path == nil || p.Path.MinLen != 1 || p.Path.MaxLen != 1 {
+			t.Fatalf("pattern %s should be a length-1 path", p.ID)
+		}
+	}
+	text := tbql.Format(q)
+	if !strings.Contains(text, "->[read]") {
+		t.Fatalf("length-1 path syntax missing:\n%s", text)
+	}
+	if _, err := tbql.Parse(text); err != nil {
+		t.Fatalf("formatted path query must reparse: %v", err)
+	}
+}
+
+func TestSynthesizeVarLenPaths(t *testing.T) {
+	q, _, err := Synthesize(dataLeakGraph(t), Options{Mode: ModeVarLenPaths, MaxPathLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 0 {
+		t.Fatal("path patterns must carry no temporal relations")
+	}
+	for _, p := range q.Patterns {
+		if p.Path == nil || p.Path.MaxLen != 4 {
+			t.Fatalf("pattern %s bounds wrong: %+v", p.ID, p.Path)
+		}
+	}
+	if _, err := tbql.Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScreeningDropsUncapturedTypes(t *testing.T) {
+	report := "/tmp/evil.sh downloaded instructions from badsite.ru there. /tmp/evil.sh connected to 10.8.7.6."
+	g := extract.New(extract.DefaultOptions()).Extract(report).Graph
+	q, rep, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDomain := false
+	for _, n := range rep.DroppedNodes {
+		if n == "badsite.ru" {
+			foundDomain = true
+		}
+	}
+	if !foundDomain {
+		t.Errorf("domain IOC should be screened out: %+v", rep)
+	}
+	for _, p := range q.Patterns {
+		if f := p.Subject.Filter; f != nil && strings.Contains(tbql.Format(q), "badsite") {
+			t.Errorf("screened node leaked into query:\n%s", tbql.Format(q))
+		}
+	}
+}
+
+func TestRelationMappingDependsOnObjectType(t *testing.T) {
+	// "download" to a file is a write; "download" from an IP is a receive.
+	if op, _ := mapRelation("download", tbql.EntFile); op != "write" {
+		t.Errorf("download->file = %q, want write", op)
+	}
+	if op, _ := mapRelation("download", tbql.EntIP); op != "receive" {
+		t.Errorf("download->ip = %q, want receive", op)
+	}
+	if _, ok := mapRelation("meditate", tbql.EntFile); ok {
+		t.Error("unknown verbs must not map")
+	}
+}
+
+func TestCIDRPatterns(t *testing.T) {
+	cases := map[string]string{
+		"192.168.29.128":    "192.168.29.128",
+		"192.168.29.128/32": "192.168.29.128",
+		"10.0.0.0/8":        "10.%",
+		"10.20.0.0/16":      "10.20.%",
+		"10.20.30.0/24":     "10.20.30.%",
+		"10.0.0.0/12":       "10.0.0.0",
+	}
+	for in, want := range cases {
+		if got := cidrToPattern(in); got != want {
+			t.Errorf("cidrToPattern(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestProcessCreationSynthesizesProcObject(t *testing.T) {
+	report := "/tmp/dropper.sh started the process /usr/bin/miner there. /usr/bin/miner connected to 10.1.1.1."
+	g := extract.New(extract.DefaultOptions()).Extract(report).Graph
+	q, _, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, g)
+	}
+	var started *tbql.Pattern
+	for _, p := range q.Patterns {
+		if p.Op != nil && p.Op.Ops()["start"] {
+			started = p
+		}
+	}
+	if started == nil {
+		t.Fatalf("no start pattern:\n%s", tbql.Format(q))
+	}
+	if started.Object.Type != tbql.EntProc {
+		t.Fatalf("start object should be proc, got %s", started.Object.Type)
+	}
+	// The started process must reuse the same entity ID as the later
+	// connect pattern's subject.
+	var connSubj string
+	for _, p := range q.Patterns {
+		if p.Object.Type == tbql.EntIP {
+			connSubj = p.Subject.ID
+		}
+	}
+	if connSubj != started.Object.ID {
+		t.Errorf("process chain should reuse entity ID: start object %s vs connect subject %s\n%s",
+			started.Object.ID, connSubj, tbql.Format(q))
+	}
+}
+
+func TestSynthesizeEmptyGraphFails(t *testing.T) {
+	if _, _, err := Synthesize(&extract.Graph{}, Options{}); err == nil {
+		t.Fatal("empty graph must fail")
+	}
+}

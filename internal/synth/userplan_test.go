@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"threatraptor/internal/extract"
+	"threatraptor/internal/tbql"
+)
+
+// TestUserDefinedSynthesisPlan covers the paper's Section III-E tail: the
+// user plan overwrites the default plan with a time window and extra
+// return attributes the threat behavior graph does not carry.
+func TestUserDefinedSynthesisPlan(t *testing.T) {
+	g := extract.New(extract.DefaultOptions()).
+		Extract("/bin/evil.sh read the shadow file /etc/shadow and sent the data to 6.6.6.6.").Graph
+	win := &tbql.Window{Kind: tbql.WindLast, Dur: 2 * time.Hour}
+	q, _, err := Synthesize(g, Options{
+		Window: win,
+		ReturnAttrs: map[tbql.EntityType][]string{
+			tbql.EntProc: {"pid", "user"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GlobalWindow != win {
+		t.Fatal("user window not attached")
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		t.Fatalf("user-plan query must analyze: %v\n%s", err, tbql.Format(q))
+	}
+	var attrs []string
+	for _, item := range a.ReturnItems {
+		attrs = append(attrs, item.EntityID+"."+item.Attr)
+	}
+	joined := strings.Join(attrs, " ")
+	for _, want := range []string{"p1.exename", "p1.pid", "p1.user"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("return missing %s: %v", want, attrs)
+		}
+	}
+	// The formatted query must round-trip with the window.
+	text := tbql.Format(q)
+	if !strings.Contains(text, "last 2 hour") {
+		t.Errorf("window missing from text:\n%s", text)
+	}
+	if _, err := tbql.Parse(text); err != nil {
+		t.Fatalf("user-plan text must reparse: %v\n%s", err, text)
+	}
+}
+
+func TestUserPlanInvalidAttrRejected(t *testing.T) {
+	g := extract.New(extract.DefaultOptions()).
+		Extract("/bin/evil.sh read the file /etc/shadow there.").Graph
+	q, _, err := Synthesize(g, Options{
+		ReturnAttrs: map[tbql.EntityType][]string{
+			tbql.EntFile: {"nosuchattr"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbql.Analyze(q); err == nil {
+		t.Fatal("analysis must reject unknown user-plan attributes")
+	}
+}

@@ -1,0 +1,281 @@
+package tbql
+
+import (
+	"fmt"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/relational"
+)
+
+// EntityDecl is one logical entity after entity-ID-reuse resolution: the
+// same ID used in multiple patterns denotes the same entity, and its
+// filters are conjoined.
+type EntityDecl struct {
+	ID     string
+	Type   EntityType
+	Filter relational.Expr // nil when unconstrained
+}
+
+// Analyzed is a validated query with all syntactic sugars resolved.
+type Analyzed struct {
+	Query       *Query
+	Entities    map[string]*EntityDecl
+	EntityOrder []string       // first-use order
+	PatternID   map[string]int // pattern ID -> index into Query.Patterns
+	// Return items with default attributes filled in.
+	ReturnItems []Attr
+}
+
+// Kind converts a TBQL entity type to the audit entity kind.
+func (t EntityType) Kind() audit.EntityKind {
+	switch t {
+	case EntFile:
+		return audit.EntityFile
+	case EntProc:
+		return audit.EntityProcess
+	case EntIP:
+		return audit.EntityNetConn
+	}
+	return audit.EntityInvalid
+}
+
+// eventAttrs are the attributes of system events addressable through a
+// pattern ID (paper Table III).
+var eventAttrs = map[string]string{
+	"start_time": "start_time", "starttime": "start_time",
+	"end_time": "end_time", "endtime": "end_time",
+	"amount": "amount", "data_amount": "amount",
+	"failure_code": "failure_code", "failurecode": "failure_code",
+	"optype": "op", "op": "op",
+}
+
+// errSkipEntity marks a global filter as inapplicable to one entity.
+var errSkipEntity = fmt.Errorf("tbql: filter does not apply to this entity")
+
+// Analyze validates q and resolves its syntactic sugars: default
+// attributes for bare values and bare return IDs, and entity ID reuse.
+func Analyze(q *Query) (*Analyzed, error) {
+	a := &Analyzed{
+		Query:     q,
+		Entities:  make(map[string]*EntityDecl),
+		PatternID: make(map[string]int),
+	}
+
+	declare := func(e *Entity) error {
+		kind := e.Type.Kind()
+		filter, err := resolveEntityFilter(e, kind)
+		if err != nil {
+			return err
+		}
+		decl, exists := a.Entities[e.ID]
+		if !exists {
+			a.Entities[e.ID] = &EntityDecl{ID: e.ID, Type: e.Type, Filter: filter}
+			a.EntityOrder = append(a.EntityOrder, e.ID)
+			return nil
+		}
+		if decl.Type != e.Type {
+			return fmt.Errorf("tbql: entity %s redeclared as %s (was %s)", e.ID, e.Type, decl.Type)
+		}
+		if filter != nil {
+			if decl.Filter == nil {
+				decl.Filter = filter
+			} else {
+				decl.Filter = relational.BinOp{Op: "and", L: decl.Filter, R: filter}
+			}
+		}
+		return nil
+	}
+
+	for i, patt := range q.Patterns {
+		if patt.Subject.Type != EntProc {
+			return nil, fmt.Errorf("tbql: pattern %d: subject entity must be proc (events are initiated by processes)", i+1)
+		}
+		if err := declare(&patt.Subject); err != nil {
+			return nil, err
+		}
+		if err := declare(&patt.Object); err != nil {
+			return nil, err
+		}
+		if patt.ID == "" {
+			patt.ID = fmt.Sprintf("_evt%d", i+1)
+		}
+		if _, dup := a.PatternID[patt.ID]; dup {
+			return nil, fmt.Errorf("tbql: duplicate pattern ID %q", patt.ID)
+		}
+		a.PatternID[patt.ID] = i
+		if patt.IDFilter != nil {
+			if err := validateEventFilter(patt.IDFilter, patt.ID); err != nil {
+				return nil, err
+			}
+		}
+		if patt.Op != nil && len(patt.Op.Ops()) == 0 {
+			return nil, fmt.Errorf("tbql: pattern %s: operation expression matches no operation", patt.ID)
+		}
+	}
+
+	// Global attribute filters apply to every declared entity that carries
+	// the referenced attribute (e.g. `user = "root"` constrains files and
+	// processes alike); qualified filters apply to the named entity only.
+	for _, gf := range q.GlobalFilters {
+		applied := false
+		for _, id := range a.EntityOrder {
+			decl := a.Entities[id]
+			kind := decl.Type.Kind()
+			resolved, err := rewriteExpr(gf, func(c relational.ColRef) (relational.ColRef, error) {
+				if c.Qualifier != "" && c.Qualifier != id {
+					return c, errSkipEntity
+				}
+				col := c.Column
+				if col == "" {
+					col = audit.DefaultAttr(kind)
+				}
+				if !audit.HasAttr(kind, col) {
+					return c, errSkipEntity
+				}
+				return relational.ColRef{Column: col}, nil
+			})
+			if err != nil {
+				continue // filter does not apply to this entity kind
+			}
+			applied = true
+			if decl.Filter == nil {
+				decl.Filter = resolved
+			} else {
+				decl.Filter = relational.BinOp{Op: "and", L: decl.Filter, R: resolved}
+			}
+		}
+		if !applied {
+			return nil, fmt.Errorf("tbql: global filter applies to no declared entity")
+		}
+	}
+
+	for _, rel := range q.Relations {
+		if rel.Kind == RelAttr {
+			if err := validateAttrRelation(a, rel.Attr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, id := range []string{rel.A, rel.B} {
+			pi, ok := a.PatternID[id]
+			if !ok {
+				return nil, fmt.Errorf("tbql: temporal relation references unknown pattern %q", id)
+			}
+			if q.Patterns[pi].Path != nil && q.Patterns[pi].Path.MaxLen != 1 {
+				return nil, fmt.Errorf("tbql: temporal relation on variable-length path pattern %q", id)
+			}
+		}
+	}
+
+	for _, item := range q.Return.Items {
+		decl, ok := a.Entities[item.EntityID]
+		if !ok {
+			return nil, fmt.Errorf("tbql: return references unknown entity %q", item.EntityID)
+		}
+		attr := item.Attr
+		if attr == "" {
+			attr = audit.DefaultAttr(decl.Type.Kind()) // sugar
+		}
+		if !audit.HasAttr(decl.Type.Kind(), attr) {
+			return nil, fmt.Errorf("tbql: entity %s (%s) has no attribute %q", item.EntityID, decl.Type, attr)
+		}
+		a.ReturnItems = append(a.ReturnItems, Attr{EntityID: item.EntityID, Attr: attr})
+	}
+	if len(a.ReturnItems) == 0 {
+		return nil, fmt.Errorf("tbql: empty return clause")
+	}
+	return a, nil
+}
+
+// resolveEntityFilter fills default attribute names into bare-value
+// comparisons and validates attribute names against the entity kind.
+func resolveEntityFilter(e *Entity, kind audit.EntityKind) (relational.Expr, error) {
+	if e.Filter == nil {
+		return nil, nil
+	}
+	return rewriteExpr(e.Filter, func(c relational.ColRef) (relational.ColRef, error) {
+		if c.Qualifier != "" && c.Qualifier != e.ID {
+			return c, fmt.Errorf("tbql: filter on entity %s references %s", e.ID, c.Qualifier)
+		}
+		col := c.Column
+		if col == "" {
+			col = audit.DefaultAttr(kind)
+		}
+		if !audit.HasAttr(kind, col) {
+			return c, fmt.Errorf("tbql: entity %s (%s) has no attribute %q", e.ID, e.Type, col)
+		}
+		return relational.ColRef{Column: col}, nil
+	})
+}
+
+func validateEventFilter(e relational.Expr, pattID string) error {
+	_, err := rewriteExpr(e, func(c relational.ColRef) (relational.ColRef, error) {
+		if c.Qualifier != "" && c.Qualifier != pattID {
+			return c, fmt.Errorf("tbql: event filter on %s references %s", pattID, c.Qualifier)
+		}
+		canon, ok := eventAttrs[c.Column]
+		if !ok {
+			return c, fmt.Errorf("tbql: unknown event attribute %q", c.Column)
+		}
+		return relational.ColRef{Column: canon}, nil
+	})
+	return err
+}
+
+func validateAttrRelation(a *Analyzed, e relational.Expr) error {
+	_, err := rewriteExpr(e, func(c relational.ColRef) (relational.ColRef, error) {
+		if c.Qualifier == "" {
+			return c, fmt.Errorf("tbql: attribute relation requires qualified attributes")
+		}
+		decl, ok := a.Entities[c.Qualifier]
+		if !ok {
+			return c, fmt.Errorf("tbql: attribute relation references unknown entity %q", c.Qualifier)
+		}
+		if !audit.HasAttr(decl.Type.Kind(), c.Column) {
+			return c, fmt.Errorf("tbql: entity %s has no attribute %q", c.Qualifier, c.Column)
+		}
+		return c, nil
+	})
+	return err
+}
+
+// rewriteExpr maps every column reference through fn, rebuilding the tree.
+func rewriteExpr(e relational.Expr, fn func(relational.ColRef) (relational.ColRef, error)) (relational.Expr, error) {
+	switch v := e.(type) {
+	case relational.ColRef:
+		return fn(v)
+	case relational.Lit:
+		return v, nil
+	case relational.BinOp:
+		l, err := rewriteExpr(v.L, fn)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteExpr(v.R, fn)
+		if err != nil {
+			return nil, err
+		}
+		return relational.BinOp{Op: v.Op, L: l, R: r}, nil
+	case relational.UnOp:
+		x, err := rewriteExpr(v.E, fn)
+		if err != nil {
+			return nil, err
+		}
+		return relational.UnOp{Op: v.Op, E: x}, nil
+	case relational.InList:
+		x, err := rewriteExpr(v.E, fn)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]relational.Expr, len(v.Vals))
+		for i, ve := range v.Vals {
+			w, err := rewriteExpr(ve, fn)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = w
+		}
+		return relational.InList{E: x, Vals: vals, Negate: v.Negate}, nil
+	}
+	return nil, fmt.Errorf("tbql: cannot rewrite %T", e)
+}

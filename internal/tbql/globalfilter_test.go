@@ -1,0 +1,100 @@
+package tbql
+
+import (
+	"testing"
+
+	"threatraptor/internal/relational"
+)
+
+func TestGlobalFilterAppliesByAttribute(t *testing.T) {
+	q, err := Parse(`user = "root"
+proc p read file f return distinct p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GlobalFilters) != 1 {
+		t.Fatalf("global filters = %d", len(q.GlobalFilters))
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both proc and file carry "user": both entities gain the filter.
+	if a.Entities["p"].Filter == nil || a.Entities["f"].Filter == nil {
+		t.Fatalf("global filter not distributed: p=%v f=%v",
+			a.Entities["p"].Filter, a.Entities["f"].Filter)
+	}
+}
+
+func TestGlobalFilterQualified(t *testing.T) {
+	q, err := Parse(`p.pid = 42
+proc p read file f return distinct f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entities["p"].Filter == nil {
+		t.Fatal("qualified global filter must reach p")
+	}
+	if a.Entities["f"].Filter != nil {
+		t.Fatal("qualified global filter must not reach f")
+	}
+}
+
+func TestGlobalFilterSkipsInapplicableKinds(t *testing.T) {
+	// "dstip" only exists on network connections.
+	q, err := Parse(`dstip = "1.2.3.4"
+proc p connect ip i return distinct p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Entities["p"].Filter != nil {
+		t.Fatal("proc has no dstip; filter must not attach")
+	}
+	if a.Entities["i"].Filter == nil {
+		t.Fatal("ip entity must receive the dstip filter")
+	}
+}
+
+func TestGlobalFilterNoTargetFails(t *testing.T) {
+	q, err := Parse(`dstip = "1.2.3.4"
+proc p read file f return distinct p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(q); err == nil {
+		t.Fatal("a global filter applying to no entity must fail analysis")
+	}
+}
+
+func TestGlobalFilterConjoinsWithLocal(t *testing.T) {
+	q, err := Parse(`user = "root"
+proc p["%/bin/tar%"] read file f return distinct p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p's filter must now be (exename LIKE ...) AND (user = root): two
+	// conjuncts.
+	n := countConj(a.Entities["p"].Filter)
+	if n != 2 {
+		t.Fatalf("p filter conjuncts = %d, want 2", n)
+	}
+}
+
+func countConj(e relational.Expr) int {
+	if bin, ok := e.(relational.BinOp); ok && bin.Op == "and" {
+		return countConj(bin.L) + countConj(bin.R)
+	}
+	return 1
+}

@@ -1,0 +1,723 @@
+package tbql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"threatraptor/internal/relational"
+)
+
+// opKeywords maps accepted operation keywords to their canonical form.
+var opKeywords = map[string]string{
+	"read": "read", "open": "read", "write": "write", "execute": "execute",
+	"start": "start", "end": "end", "rename": "rename",
+	"connect": "connect", "send": "send", "receive": "receive",
+}
+
+// Parse parses a TBQL query (Grammar 1).
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("tbql: unexpected %q after query", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+func (p *parser) advance()    { p.i++ }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) kw(word string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKw(words ...string) bool {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.text, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) sym(s string) bool {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.sym(s) {
+		return fmt.Errorf("tbql: expected %q, found %q at %d", s, p.cur().text, p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("tbql: expected identifier, found %q at %d", t.text, t.pos)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	// Global filters: windows and attribute expressions before the first
+	// pattern.
+	for {
+		switch {
+		case p.peekKw("from", "at", "last"):
+			w, err := p.parseWindow()
+			if err != nil {
+				return nil, err
+			}
+			q.GlobalWindow = w
+		case p.peekKw("before", "after") && p.peek().kind == tokString:
+			w, err := p.parseWindow()
+			if err != nil {
+				return nil, err
+			}
+			q.GlobalWindow = w
+		case p.peekKw("file", "proc", "ip", "with", "return"):
+			goto patterns
+		case p.cur().kind == tokIdent:
+			// Global attribute filter (e.g. hostname = "web01").
+			e, err := p.parseAttrExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GlobalFilters = append(q.GlobalFilters, e)
+		default:
+			goto patterns
+		}
+	}
+patterns:
+	for p.peekKw("file", "proc", "ip") {
+		patt, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, patt)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("tbql: query must declare at least one pattern")
+	}
+	for p.kw("with") {
+		for {
+			rel, err := p.parseRelation()
+			if err != nil {
+				return nil, err
+			}
+			q.Relations = append(q.Relations, rel)
+			if !p.sym(",") {
+				break
+			}
+		}
+	}
+	if !p.kw("return") {
+		return nil, fmt.Errorf("tbql: missing return clause at %d", p.cur().pos)
+	}
+	q.Return.Distinct = p.kw("distinct")
+	for {
+		a, err := p.parseReturnAttr()
+		if err != nil {
+			return nil, err
+		}
+		q.Return.Items = append(q.Return.Items, a)
+		if !p.sym(",") {
+			break
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parsePattern() (*Pattern, error) {
+	patt := &Pattern{}
+	subj, err := p.parseEntity()
+	if err != nil {
+		return nil, err
+	}
+	patt.Subject = subj
+
+	switch {
+	case p.cur().kind == tokSymbol && (p.cur().text == "~>" || p.cur().text == "->"):
+		path, op, err := p.parseOpPath()
+		if err != nil {
+			return nil, err
+		}
+		patt.Path, patt.Op = path, op
+	default:
+		op, err := p.parseOpExpr()
+		if err != nil {
+			return nil, err
+		}
+		patt.Op = op
+	}
+
+	obj, err := p.parseEntity()
+	if err != nil {
+		return nil, err
+	}
+	patt.Object = obj
+
+	if p.kw("as") {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		patt.ID = id
+		if p.sym("[") {
+			e, err := p.parseAttrExpr()
+			if err != nil {
+				return nil, err
+			}
+			patt.IDFilter = e
+			if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.peekKw("from", "at", "last") ||
+		(p.peekKw("before", "after") && p.peek().kind == tokString) {
+		w, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		patt.Window = w
+	}
+	return patt, nil
+}
+
+func (p *parser) parseEntity() (Entity, error) {
+	var e Entity
+	t := p.cur()
+	switch {
+	case p.kw("file"):
+		e.Type = EntFile
+	case p.kw("proc"):
+		e.Type = EntProc
+	case p.kw("ip"):
+		e.Type = EntIP
+	default:
+		return e, fmt.Errorf("tbql: expected entity type (file/proc/ip), found %q at %d", t.text, t.pos)
+	}
+	id, err := p.ident()
+	if err != nil {
+		return e, err
+	}
+	e.ID = id
+	if p.sym("[") {
+		expr, err := p.parseAttrExpr()
+		if err != nil {
+			return e, err
+		}
+		e.Filter = expr
+		if err := p.expectSym("]"); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// parseOpPath parses the ⟨op_path⟩ rule.
+func (p *parser) parseOpPath() (*PathSpec, *OpExpr, error) {
+	spec := &PathSpec{MinLen: 1, MaxLen: -1}
+	switch {
+	case p.sym("~>"):
+		// defaults: arbitrary length
+	case p.sym("->"):
+		spec.MinLen, spec.MaxLen = 1, 1
+	default:
+		return nil, nil, fmt.Errorf("tbql: expected path operator at %d", p.cur().pos)
+	}
+	if p.sym("(") {
+		spec.MinLen, spec.MaxLen = 1, -1
+		sawLow := false
+		if p.cur().kind == tokNumber {
+			n, _ := strconv.Atoi(p.cur().text)
+			p.advance()
+			spec.MinLen = n
+			spec.MaxLen = n
+			sawLow = true
+		}
+		if p.sym("~") {
+			spec.MaxLen = -1
+			if p.cur().kind == tokNumber {
+				m, _ := strconv.Atoi(p.cur().text)
+				p.advance()
+				spec.MaxLen = m
+			}
+			if !sawLow {
+				spec.MinLen = 1
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, nil, err
+		}
+		if spec.MaxLen != -1 && spec.MaxLen < spec.MinLen {
+			return nil, nil, fmt.Errorf("tbql: invalid path bounds (%d~%d)", spec.MinLen, spec.MaxLen)
+		}
+	}
+	var op *OpExpr
+	if p.sym("[") {
+		e, err := p.parseOpExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		op = e
+		if err := p.expectSym("]"); err != nil {
+			return nil, nil, err
+		}
+	}
+	return spec, op, nil
+}
+
+// Operation expression precedence: ||, &&, !, primary.
+func (p *parser) parseOpExpr() (*OpExpr, error) {
+	l, err := p.parseOpAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.sym("||") {
+		r, err := p.parseOpAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OpExpr{Or: [2]*OpExpr{l, r}}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOpAnd() (*OpExpr, error) {
+	l, err := p.parseOpUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.sym("&&") {
+		r, err := p.parseOpUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &OpExpr{And: [2]*OpExpr{l, r}}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOpUnary() (*OpExpr, error) {
+	if p.sym("!") {
+		e, err := p.parseOpUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &OpExpr{Not: e}, nil
+	}
+	if p.sym("(") {
+		e, err := p.parseOpExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectSym(")")
+	}
+	t := p.cur()
+	if t.kind == tokIdent {
+		if canon, ok := opKeywords[strings.ToLower(t.text)]; ok {
+			p.advance()
+			return &OpExpr{Op: canon}, nil
+		}
+	}
+	return nil, fmt.Errorf("tbql: expected operation keyword, found %q at %d", t.text, t.pos)
+}
+
+// parseAttrExpr parses the ⟨attr_exp⟩ rule into a relational.Expr. A bare
+// value is represented as "= value" against the empty column name; the
+// analyzer resolves it to the entity's default attribute.
+func (p *parser) parseAttrExpr() (relational.Expr, error) {
+	l, err := p.parseAttrAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.sym("||") {
+		r, err := p.parseAttrAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = relational.BinOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAttrAnd() (relational.Expr, error) {
+	l, err := p.parseAttrUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.sym("&&") {
+		r, err := p.parseAttrUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = relational.BinOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAttrUnary() (relational.Expr, error) {
+	if p.sym("!") {
+		e, err := p.parseAttrUnary()
+		if err != nil {
+			return nil, err
+		}
+		return relational.UnOp{Op: "not", E: e}, nil
+	}
+	if p.sym("(") {
+		e, err := p.parseAttrExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectSym(")")
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		// Bare value sugar: match against the default attribute.
+		p.advance()
+		return valueComparison(relational.ColRef{}, "=", relational.Str(t.text)), nil
+	case tokNumber:
+		p.advance()
+		n, _ := strconv.ParseInt(t.text, 10, 64)
+		return relational.BinOp{Op: "=", L: relational.ColRef{}, R: relational.Lit{V: relational.Int(n)}}, nil
+	case tokIdent:
+		attr, err := p.parseAttrRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.kw("not") {
+			if !p.kw("in") {
+				return nil, fmt.Errorf("tbql: expected 'in' after 'not' at %d", p.cur().pos)
+			}
+			vals, err := p.parseValSet()
+			if err != nil {
+				return nil, err
+			}
+			return relational.InList{E: attr, Vals: vals, Negate: true}, nil
+		}
+		if p.kw("in") {
+			vals, err := p.parseValSet()
+			if err != nil {
+				return nil, err
+			}
+			return relational.InList{E: attr, Vals: vals}, nil
+		}
+		for _, op := range []string{"=", "!=", "<>", "<=", ">=", "<", ">"} {
+			if p.sym(op) {
+				v, err := p.parseVal()
+				if err != nil {
+					return nil, err
+				}
+				if op == "!=" {
+					op = "<>"
+				}
+				return valueComparison(attr, op, v), nil
+			}
+		}
+		return nil, fmt.Errorf("tbql: expected comparison after attribute at %d", p.cur().pos)
+	}
+	return nil, fmt.Errorf("tbql: unexpected token %q at %d", t.text, t.pos)
+}
+
+// valueComparison maps '=' with a wildcard string to LIKE (and '<>' to NOT
+// LIKE), keeping TBQL's "%" matching semantics.
+func valueComparison(attr relational.ColRef, op string, v relational.Value) relational.Expr {
+	lit := relational.Lit{V: v}
+	if v.K == relational.KindString && strings.ContainsAny(v.S, "%_") {
+		switch op {
+		case "=":
+			return relational.BinOp{Op: "like", L: attr, R: lit}
+		case "<>":
+			return relational.UnOp{Op: "not", E: relational.BinOp{Op: "like", L: attr, R: lit}}
+		}
+	}
+	return relational.BinOp{Op: op, L: attr, R: lit}
+}
+
+func (p *parser) parseAttrRef() (relational.ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return relational.ColRef{}, err
+	}
+	if p.sym(".") {
+		second, err := p.ident()
+		if err != nil {
+			return relational.ColRef{}, err
+		}
+		return relational.ColRef{Qualifier: first, Column: second}, nil
+	}
+	return relational.ColRef{Column: first}, nil
+}
+
+func (p *parser) parseVal() (relational.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return relational.Str(t.text), nil
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return relational.Null(), err
+		}
+		return relational.Int(n), nil
+	}
+	return relational.Null(), fmt.Errorf("tbql: expected value, found %q at %d", t.text, t.pos)
+}
+
+func (p *parser) parseValSet() ([]relational.Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var vals []relational.Expr
+	for {
+		v, err := p.parseVal()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, relational.Lit{V: v})
+		if !p.sym(",") {
+			break
+		}
+	}
+	return vals, p.expectSym(")")
+}
+
+// Datetime layouts accepted in windows.
+var dtLayouts = []string{
+	"2006-01-02 15:04:05",
+	"2006-01-02 15:04",
+	"2006-01-02",
+	time.RFC3339,
+}
+
+func parseDatetime(s string) (time.Time, error) {
+	for _, layout := range dtLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("tbql: cannot parse datetime %q", s)
+}
+
+func (p *parser) datetime() (time.Time, error) {
+	t := p.cur()
+	if t.kind != tokString {
+		return time.Time{}, fmt.Errorf("tbql: expected quoted datetime, found %q at %d", t.text, t.pos)
+	}
+	p.advance()
+	return parseDatetime(t.text)
+}
+
+func (p *parser) parseWindow() (*Window, error) {
+	switch {
+	case p.kw("from"):
+		from, err := p.datetime()
+		if err != nil {
+			return nil, err
+		}
+		if !p.kw("to") {
+			return nil, fmt.Errorf("tbql: expected 'to' in window at %d", p.cur().pos)
+		}
+		to, err := p.datetime()
+		if err != nil {
+			return nil, err
+		}
+		return &Window{Kind: WindRange, From: from, To: to}, nil
+	case p.kw("at"):
+		t, err := p.datetime()
+		if err != nil {
+			return nil, err
+		}
+		return &Window{Kind: WindAt, From: t}, nil
+	case p.kw("before"):
+		t, err := p.datetime()
+		if err != nil {
+			return nil, err
+		}
+		return &Window{Kind: WindBefore, To: t}, nil
+	case p.kw("after"):
+		t, err := p.datetime()
+		if err != nil {
+			return nil, err
+		}
+		return &Window{Kind: WindAfter, From: t}, nil
+	case p.kw("last"):
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("tbql: expected number after 'last' at %d", t.pos)
+		}
+		p.advance()
+		n, _ := strconv.Atoi(t.text)
+		unit, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		return &Window{Kind: WindLast, Dur: time.Duration(n) * unit}, nil
+	}
+	return nil, fmt.Errorf("tbql: expected window at %d", p.cur().pos)
+}
+
+func (p *parser) parseUnit() (time.Duration, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return 0, fmt.Errorf("tbql: expected time unit, found %q at %d", t.text, t.pos)
+	}
+	p.advance()
+	switch strings.ToLower(t.text) {
+	case "sec", "second", "seconds", "s":
+		return time.Second, nil
+	case "min", "minute", "minutes", "m":
+		return time.Minute, nil
+	case "hour", "hours", "h":
+		return time.Hour, nil
+	case "day", "days", "d":
+		return 24 * time.Hour, nil
+	case "ms", "millisecond", "milliseconds":
+		return time.Millisecond, nil
+	}
+	return 0, fmt.Errorf("tbql: unknown time unit %q at %d", t.text, t.pos)
+}
+
+func (p *parser) parseRelation() (Relation, error) {
+	var rel Relation
+	first, err := p.ident()
+	if err != nil {
+		return rel, err
+	}
+	if p.sym(".") {
+		// Attribute relation: attr bop attr.
+		second, err := p.ident()
+		if err != nil {
+			return rel, err
+		}
+		left := relational.ColRef{Qualifier: first, Column: second}
+		var op string
+		for _, o := range []string{"=", "!=", "<>", "<=", ">=", "<", ">"} {
+			if p.sym(o) {
+				op = o
+				break
+			}
+		}
+		if op == "" {
+			return rel, fmt.Errorf("tbql: expected comparison in attribute relation at %d", p.cur().pos)
+		}
+		if op == "!=" {
+			op = "<>"
+		}
+		right, err := p.parseAttrRef()
+		if err != nil {
+			return rel, err
+		}
+		rel.Kind = RelAttr
+		rel.Attr = relational.BinOp{Op: op, L: left, R: right}
+		return rel, nil
+	}
+	rel.A = first
+	switch {
+	case p.kw("before"):
+		rel.Kind = RelBefore
+	case p.kw("after"):
+		rel.Kind = RelAfter
+	case p.kw("within"):
+		rel.Kind = RelWithin
+	default:
+		return rel, fmt.Errorf("tbql: expected before/after/within at %d", p.cur().pos)
+	}
+	if p.sym("[") {
+		lo := p.cur()
+		if lo.kind != tokNumber {
+			return rel, fmt.Errorf("tbql: expected number in duration range at %d", lo.pos)
+		}
+		p.advance()
+		if err := p.expectSym("-"); err != nil {
+			return rel, err
+		}
+		hi := p.cur()
+		if hi.kind != tokNumber {
+			return rel, fmt.Errorf("tbql: expected number in duration range at %d", hi.pos)
+		}
+		p.advance()
+		unit, err := p.parseUnit()
+		if err != nil {
+			return rel, err
+		}
+		loN, _ := strconv.Atoi(lo.text)
+		hiN, _ := strconv.Atoi(hi.text)
+		if hiN < loN {
+			return rel, fmt.Errorf("tbql: invalid duration range [%d-%d]", loN, hiN)
+		}
+		rel.LoDur = time.Duration(loN) * unit
+		rel.HiDur = time.Duration(hiN) * unit
+		rel.HasDur = true
+		if err := p.expectSym("]"); err != nil {
+			return rel, err
+		}
+	}
+	b, err := p.ident()
+	if err != nil {
+		return rel, err
+	}
+	rel.B = b
+	return rel, nil
+}
+
+func (p *parser) parseReturnAttr() (Attr, error) {
+	id, err := p.ident()
+	if err != nil {
+		return Attr{}, err
+	}
+	a := Attr{EntityID: id}
+	if p.sym(".") {
+		attr, err := p.ident()
+		if err != nil {
+			return Attr{}, err
+		}
+		a.Attr = attr
+	}
+	return a, nil
+}

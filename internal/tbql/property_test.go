@@ -1,0 +1,205 @@
+package tbql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"threatraptor/internal/relational"
+)
+
+// randomQuery generates a structurally valid random TBQL query.
+func randomQuery(rng *rand.Rand) *Query {
+	nPatterns := 1 + rng.Intn(5)
+	q := &Query{}
+	ops := []string{"read", "write", "execute", "connect", "send", "receive", "start", "rename"}
+	objTypes := []EntityType{EntFile, EntProc, EntIP}
+
+	type entdecl struct {
+		id  string
+		typ EntityType
+	}
+	var procs, objs []entdecl
+
+	newProc := func() Entity {
+		// Reuse an existing proc sometimes.
+		if len(procs) > 0 && rng.Intn(2) == 0 {
+			d := procs[rng.Intn(len(procs))]
+			return Entity{Type: EntProc, ID: d.id}
+		}
+		id := fmt.Sprintf("p%d", len(procs)+1)
+		procs = append(procs, entdecl{id, EntProc})
+		e := Entity{Type: EntProc, ID: id}
+		if rng.Intn(2) == 0 {
+			e.Filter = relational.BinOp{
+				Op: "like",
+				L:  relational.ColRef{},
+				R:  relational.Lit{V: relational.Str(fmt.Sprintf("%%/bin/x%d%%", rng.Intn(9)))},
+			}
+		}
+		return e
+	}
+	newObj := func(typ EntityType) Entity {
+		for _, d := range objs {
+			if d.typ == typ && rng.Intn(3) == 0 {
+				return Entity{Type: typ, ID: d.id}
+			}
+		}
+		id := fmt.Sprintf("o%d", len(objs)+1)
+		objs = append(objs, entdecl{id, typ})
+		e := Entity{Type: typ, ID: id}
+		if rng.Intn(2) == 0 {
+			val := fmt.Sprintf("%%/tmp/f%d%%", rng.Intn(9))
+			if typ == EntIP {
+				val = fmt.Sprintf("10.0.0.%d", 1+rng.Intn(250))
+			}
+			e.Filter = relational.BinOp{Op: "like", L: relational.ColRef{}, R: relational.Lit{V: relational.Str(val)}}
+			if typ == EntIP {
+				e.Filter = relational.BinOp{Op: "=", L: relational.ColRef{}, R: relational.Lit{V: relational.Str(val)}}
+			}
+		}
+		return e
+	}
+
+	for i := 0; i < nPatterns; i++ {
+		objType := objTypes[rng.Intn(len(objTypes))]
+		var op string
+		switch objType {
+		case EntIP:
+			op = []string{"connect", "send", "receive"}[rng.Intn(3)]
+		case EntProc:
+			op = []string{"start", "end"}[rng.Intn(2)]
+		default:
+			op = ops[rng.Intn(4)]
+		}
+		patt := &Pattern{
+			Subject: newProc(),
+			Object:  newObj(objType),
+			Op:      &OpExpr{Op: op},
+			ID:      fmt.Sprintf("evt%d", i+1),
+		}
+		if rng.Intn(4) == 0 {
+			patt.Path = &PathSpec{MinLen: 1, MaxLen: 1}
+		}
+		q.Patterns = append(q.Patterns, patt)
+	}
+	// Temporal chain over a random prefix of event patterns.
+	for i := 0; i+1 < len(q.Patterns) && rng.Intn(2) == 0; i++ {
+		q.Relations = append(q.Relations, Relation{
+			Kind: RelBefore,
+			A:    q.Patterns[i].ID,
+			B:    q.Patterns[i+1].ID,
+		})
+	}
+	q.Return.Distinct = true
+	seen := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, id := range []string{p.Subject.ID, p.Object.ID} {
+			if !seen[id] {
+				seen[id] = true
+				q.Return.Items = append(q.Return.Items, Attr{EntityID: id})
+			}
+		}
+	}
+	return q
+}
+
+// TestFormatParseRoundTripProperty: Format(q) reparses and re-analyzes to
+// the same structure for randomly generated queries.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		q := randomQuery(rng)
+		text := Format(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: formatted query must parse: %v\n%s", i, err, text)
+		}
+		if len(q2.Patterns) != len(q.Patterns) {
+			t.Fatalf("iteration %d: pattern count %d != %d\n%s", i, len(q2.Patterns), len(q.Patterns), text)
+		}
+		if len(q2.Relations) != len(q.Relations) {
+			t.Fatalf("iteration %d: relation count %d != %d\n%s", i, len(q2.Relations), len(q.Relations), text)
+		}
+		a1, err := Analyze(q)
+		if err != nil {
+			t.Fatalf("iteration %d: original must analyze: %v\n%s", i, err, text)
+		}
+		a2, err := Analyze(q2)
+		if err != nil {
+			t.Fatalf("iteration %d: reparsed must analyze: %v\n%s", i, err, text)
+		}
+		if len(a1.Entities) != len(a2.Entities) {
+			t.Fatalf("iteration %d: entity count %d != %d\n%s", i, len(a1.Entities), len(a2.Entities), text)
+		}
+		// Second format is a fixpoint.
+		text2 := Format(q2)
+		if text != text2 {
+			t.Fatalf("iteration %d: Format is not a fixpoint:\n%s\nvs\n%s", i, text, text2)
+		}
+	}
+}
+
+// TestOpExprProperty: De Morgan behaviour of the op-expression evaluator.
+func TestOpExprProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	atoms := []string{"read", "write", "execute", "connect"}
+	var gen func(depth int) *OpExpr
+	gen = func(depth int) *OpExpr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return &OpExpr{Op: atoms[rng.Intn(len(atoms))]}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return &OpExpr{Not: gen(depth - 1)}
+		case 1:
+			return &OpExpr{And: [2]*OpExpr{gen(depth - 1), gen(depth - 1)}}
+		default:
+			return &OpExpr{Or: [2]*OpExpr{gen(depth - 1), gen(depth - 1)}}
+		}
+	}
+	universe := []string{"read", "write", "execute", "start", "end", "rename", "connect", "send", "receive"}
+	for i := 0; i < 500; i++ {
+		a, b := gen(3), gen(3)
+		notAnd := (&OpExpr{Not: &OpExpr{And: [2]*OpExpr{a, b}}}).Ops()
+		orNots := (&OpExpr{Or: [2]*OpExpr{{Not: a}, {Not: b}}}).Ops()
+		for _, op := range universe {
+			if notAnd[op] != orNots[op] {
+				t.Fatalf("De Morgan violated for %q", op)
+			}
+		}
+		// Double negation.
+		if got, want := (&OpExpr{Not: &OpExpr{Not: a}}).Ops(), a.Ops(); !sameSet(got, want) {
+			t.Fatal("double negation violated")
+		}
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFormatStableUnderWhitespace: parsing is insensitive to extra spaces.
+func TestFormatStableUnderWhitespace(t *testing.T) {
+	src := `proc   p1["%/bin/tar%"]   read    file f1["%/etc/passwd%"]  as e1
+	   return   distinct   p1 , f1`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 || len(q.Return.Items) != 2 {
+		t.Fatalf("structure lost: %+v", q)
+	}
+	if !strings.Contains(Format(q), `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"]`) {
+		t.Fatalf("format normalizes spacing:\n%s", Format(q))
+	}
+}

@@ -1,0 +1,266 @@
+package tbql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// figure2Query is the synthesized TBQL query of the paper's Figure 2.
+const figure2Query = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+proc p2["%/bin/bzip2%"] read file f2 as evt3
+proc p2 write file f3["%/tmp/upload.tar.bz2%"] as evt4
+proc p3["%/usr/bin/gpg%"] read file f3 as evt5
+proc p3 write file f4["%/tmp/upload%"] as evt6
+proc p4["%/usr/bin/curl%"] read file f4 as evt7
+proc p4["%/usr/bin/curl%"] connect ip i1["192.168.29.128"] as evt8
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5, evt5 before evt6, evt6 before evt7, evt7 before evt8
+return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1`
+
+func TestParseFigure2(t *testing.T) {
+	q, err := Parse(figure2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 8 {
+		t.Fatalf("patterns = %d, want 8", len(q.Patterns))
+	}
+	if len(q.Relations) != 7 {
+		t.Fatalf("relations = %d, want 7", len(q.Relations))
+	}
+	if !q.Return.Distinct || len(q.Return.Items) != 9 {
+		t.Fatalf("return = %+v", q.Return)
+	}
+	if q.Patterns[0].ID != "evt1" || q.Patterns[7].ID != "evt8" {
+		t.Fatalf("pattern IDs wrong: %q %q", q.Patterns[0].ID, q.Patterns[7].ID)
+	}
+	if q.Patterns[7].Object.Type != EntIP {
+		t.Fatalf("last object should be ip")
+	}
+}
+
+func TestAnalyzeFigure2(t *testing.T) {
+	q, err := Parse(figure2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 distinct entities (p1 reused across evt1/evt2, etc.).
+	if len(a.Entities) != 9 {
+		t.Fatalf("entities = %d, want 9", len(a.Entities))
+	}
+	// Return sugar: bare p1 resolves to exename, f1 to name, i1 to dstip.
+	wantAttrs := map[string]string{"p1": "exename", "f1": "name", "i1": "dstip"}
+	for _, item := range a.ReturnItems {
+		if want, ok := wantAttrs[item.EntityID]; ok && item.Attr != want {
+			t.Errorf("return %s resolved to %q, want %q", item.EntityID, item.Attr, want)
+		}
+	}
+	// Entity-ID reuse: p4 declared twice with the same filter conjoins.
+	if a.Entities["p4"].Filter == nil {
+		t.Error("p4 filter missing")
+	}
+}
+
+func TestParseOpExpressions(t *testing.T) {
+	q, err := Parse(`proc p[pid = 1 && exename = "%chrome.exe%"] read || write file f return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := q.Patterns[0].Op.Ops()
+	if !ops["read"] || !ops["write"] || ops["execute"] {
+		t.Fatalf("ops = %v", ops)
+	}
+	q, err = Parse(`proc p !read && !write file f return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = q.Patterns[0].Op.Ops()
+	if ops["read"] || ops["write"] || !ops["execute"] {
+		t.Fatalf("negated ops = %v", ops)
+	}
+}
+
+func TestParseOpenAliasesToRead(t *testing.T) {
+	q, err := Parse(`proc p open file f return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Patterns[0].Op.Ops()["read"] {
+		t.Fatal("open must canonicalize to read")
+	}
+}
+
+func TestParsePathPatterns(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+		finalOp  string
+	}{
+		{`proc p ~>[read] file f return f`, 1, -1, "read"},
+		{`proc p ~>(2~4)[read] file f return f`, 2, 4, "read"},
+		{`proc p ~>(2~)[read] file f return f`, 2, -1, "read"},
+		{`proc p ~>(~4)[read] file f return f`, 1, 4, "read"},
+		{`proc p ->[read] file f return f`, 1, 1, "read"},
+		{`proc p ~> file f return f`, 1, -1, ""},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		p := q.Patterns[0]
+		if p.Path == nil {
+			t.Fatalf("%s: no path", c.src)
+		}
+		if p.Path.MinLen != c.min || p.Path.MaxLen != c.max {
+			t.Errorf("%s: bounds (%d,%d), want (%d,%d)", c.src, p.Path.MinLen, p.Path.MaxLen, c.min, c.max)
+		}
+		if c.finalOp == "" && p.Op != nil {
+			t.Errorf("%s: unexpected final op", c.src)
+		}
+		if c.finalOp != "" && (p.Op == nil || !p.Op.Ops()[c.finalOp]) {
+			t.Errorf("%s: final op missing", c.src)
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	q, err := Parse(`proc p read file f from "2018-04-06 11:00:00" to "2018-04-06 12:30:00" return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Patterns[0].Window
+	if w == nil || w.Kind != WindRange {
+		t.Fatalf("window = %+v", w)
+	}
+	if w.To.Sub(w.From) != 90*time.Minute {
+		t.Fatalf("range = %v", w.To.Sub(w.From))
+	}
+	q, err = Parse(`last 2 hour proc p read file f return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GlobalWindow == nil || q.GlobalWindow.Dur != 2*time.Hour {
+		t.Fatalf("global window = %+v", q.GlobalWindow)
+	}
+}
+
+func TestParseTemporalRelationWithDuration(t *testing.T) {
+	q, err := Parse(`proc p read file f as e1
+proc p write file g as e2
+with e1 before[0-5 min] e2
+return f, g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := q.Relations[0]
+	if r.Kind != RelBefore || !r.HasDur || r.HiDur != 5*time.Minute {
+		t.Fatalf("relation = %+v", r)
+	}
+}
+
+func TestParseAttrRelation(t *testing.T) {
+	q, err := Parse(`proc p1 read file f as e1
+proc p2 write file g as e2
+with p1.pid = p2.pid
+return f, g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Relations[0].Kind != RelAttr {
+		t.Fatalf("relation = %+v", q.Relations[0])
+	}
+	if _, err := Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []string{
+		`file f read proc p return p`,                                                     // file subject
+		`proc p read file f return q`,                                                     // unknown return entity
+		`proc p read file f return f.pid`,                                                 // wrong attribute
+		`proc p[nosuch = "x"] read file f return f`,                                       // unknown filter attr
+		`proc p read file p return p`,                                                     // entity type conflict
+		`proc p read file f as e1 proc p write file g as e1 return f`,                     // dup pattern ID
+		`proc p read file f as e1 with e1 before e9 return f`,                             // unknown rel pattern
+		`proc p ~>(2~4) file f as e1 proc p read file g as e2 with e1 before e2 return f`, // temporal on path
+		`proc p read && !read file f return f`,                                            // empty op set
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			continue // parse error also acceptable for malformed inputs
+		}
+		if _, err := Analyze(q); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`return f`,
+		`proc p read file f`,              // missing return
+		`proc p teleport file f return f`, // unknown op
+		`proc p read file f as`,           // missing id
+		`proc p ~>(4~2) file f return f`,  // invalid bounds
+		`proc p read file f with e1 before return f`,
+		`proc p read file f return f extra`,
+		`proc p[pid = ] read file f return f`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	q, err := Parse(figure2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(q)
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted query must reparse: %v\n%s", err, text)
+	}
+	if len(q2.Patterns) != len(q.Patterns) || len(q2.Relations) != len(q.Relations) {
+		t.Fatalf("round trip lost structure:\n%s", text)
+	}
+	if _, err := Analyze(q2); err != nil {
+		t.Fatalf("round-tripped query must analyze: %v", err)
+	}
+}
+
+func TestFormatConcise(t *testing.T) {
+	q, err := Parse(figure2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(q)
+	// The sugar forms must be preserved: bare values, bare return IDs.
+	if strings.Contains(text, "exename =") || strings.Contains(text, "name =") {
+		t.Errorf("default-attribute sugar lost:\n%s", text)
+	}
+	if strings.Contains(text, "p1.exename") {
+		t.Errorf("return sugar lost:\n%s", text)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q, err := Parse(`proc p[exename in ("%/bin/a%", "%/bin/b%")] read file f[name not in ("/tmp/x")] return f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package threatraptor is a from-scratch Go implementation of
+// ThreatRaptor (Gao et al., "Enabling Efficient Cyber Threat Hunting With
+// Cyber Threat Intelligence", ICDE 2021): a system that facilitates threat
+// hunting in computer systems using open-source Cyber Threat Intelligence
+// (OSCTI).
+//
+// The System type is the façade over the full pipeline:
+//
+//	sys := threatraptor.New()
+//	sys.LoadAuditLog(logFile)              // system audit logging data
+//	res := sys.ExtractBehaviorGraph(text)  // OSCTI text -> threat behavior graph
+//	query, _ := sys.SynthesizeQuery(res.Graph)
+//	hits, _, _ := sys.Hunt(query)          // TBQL execution
+//
+// Every stage is also usable on its own through the internal packages:
+// audit (system auditing), reduction (data reduction), nlp (the NLP
+// substrate), ioc (IOC recognition and protection), extract (threat
+// behavior extraction), tbql (the query language), synth (query
+// synthesis), engine (storage and scheduled execution), provenance and
+// fuzzy (the Poirot-style fuzzy search mode).
+package threatraptor
+
+import (
+	"fmt"
+	"io"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/extract"
+	"threatraptor/internal/fuzzy"
+	"threatraptor/internal/provenance"
+	"threatraptor/internal/reduction"
+	"threatraptor/internal/synth"
+	"threatraptor/internal/tbql"
+)
+
+// Options configures a System.
+type Options struct {
+	// IOCProtection toggles the extraction pipeline's IOC protection
+	// (default on; disabling reproduces the paper's ablation).
+	IOCProtection bool
+	// ReductionThresholdUS is the data reduction merge threshold in µs
+	// (default 1 second, the paper's choice).
+	ReductionThresholdUS int64
+	// SynthesisMode selects the synthesized pattern syntax.
+	SynthesisMode synth.Mode
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		IOCProtection:        true,
+		ReductionThresholdUS: 1_000_000,
+		SynthesisMode:        synth.ModeEventPatterns,
+	}
+}
+
+// System bundles the threat behavior extraction pipeline and the query
+// subsystem over one audit log store.
+type System struct {
+	opts      Options
+	extractor *extract.Extractor
+	store     *engine.Store
+	engine    *engine.Engine
+}
+
+// New creates a System with the given options.
+func New(opts Options) *System {
+	return &System{
+		opts: opts,
+		extractor: extract.New(extract.Options{
+			IOCProtection: opts.IOCProtection,
+		}),
+	}
+}
+
+// LoadAuditLog parses newline-delimited raw audit records from r, applies
+// data reduction, and loads the result into the relational and graph
+// storage backends.
+func (s *System) LoadAuditLog(r io.Reader) error {
+	log, err := audit.ParseStream(r)
+	if err != nil {
+		return err
+	}
+	return s.LoadLog(log)
+}
+
+// LoadLog applies data reduction to an already-parsed log and loads it
+// into the storage backends.
+func (s *System) LoadLog(log *audit.Log) error {
+	reduction.Reduce(log, reduction.Config{ThresholdUS: s.opts.ReductionThresholdUS})
+	store, err := engine.NewStore(log)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	s.engine = &engine.Engine{Store: store}
+	return nil
+}
+
+// Store exposes the loaded storage backends (nil before LoadLog).
+func (s *System) Store() *engine.Store { return s.store }
+
+// ExtractBehaviorGraph runs the threat behavior extraction pipeline over
+// OSCTI text, returning the recognized IOCs, the extracted relation
+// triplets, and the constructed threat behavior graph.
+func (s *System) ExtractBehaviorGraph(osctiText string) *extract.Result {
+	return s.extractor.Extract(osctiText)
+}
+
+// SynthesizeQuery synthesizes a TBQL query (as text, ready for analyst
+// revision) from a threat behavior graph.
+func (s *System) SynthesizeQuery(g *extract.Graph) (string, error) {
+	q, _, err := synth.Synthesize(g, synth.Options{Mode: s.opts.SynthesisMode})
+	if err != nil {
+		return "", err
+	}
+	return tbql.Format(q), nil
+}
+
+// Hunt parses and executes a TBQL query against the loaded store using
+// the scheduled (exact search) execution plan.
+func (s *System) Hunt(tbqlSrc string) (*engine.Result, engine.Stats, error) {
+	if s.engine == nil {
+		return nil, engine.Stats{}, fmt.Errorf("threatraptor: no audit log loaded")
+	}
+	return s.engine.Hunt(tbqlSrc)
+}
+
+// HuntOSCTI runs the whole pipeline end to end: extract the threat
+// behavior graph from the report, synthesize a TBQL query, and execute it.
+// It returns the synthesized query text alongside the results.
+func (s *System) HuntOSCTI(osctiText string) (string, *engine.Result, error) {
+	res := s.ExtractBehaviorGraph(osctiText)
+	query, err := s.SynthesizeQuery(res.Graph)
+	if err != nil {
+		return "", nil, err
+	}
+	hits, _, err := s.Hunt(query)
+	return query, hits, err
+}
+
+// FuzzyAlignment is one accepted fuzzy-search alignment, reported with
+// entity names.
+type FuzzyAlignment struct {
+	Score    float64
+	Entities map[string]string // query entity ID -> aligned attribute value
+	Events   []int64           // covered audit event IDs
+}
+
+// FuzzyHunt executes a TBQL query in the fuzzy search mode (inexact graph
+// pattern matching, extending Poirot): node-level alignment tolerates IOC
+// typos and changes, and flow paths substitute for missing direct events.
+func (s *System) FuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("threatraptor: no audit log loaded")
+	}
+	q, err := tbql.Parse(tbqlSrc)
+	if err != nil {
+		return nil, err
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	qg, err := fuzzy.FromTBQL(a)
+	if err != nil {
+		return nil, err
+	}
+	mode := fuzzy.ModeFirstAcceptable
+	if exhaustive {
+		mode = fuzzy.ModeExhaustive
+	}
+	prov := provenance.Build(s.store.Log)
+	searcher := fuzzy.NewSearcher(prov, qg, fuzzy.DefaultOptions(mode))
+	var out []FuzzyAlignment
+	for _, al := range searcher.Search() {
+		fa := FuzzyAlignment{
+			Score:    al.Score,
+			Entities: make(map[string]string, len(qg.Nodes)),
+			Events:   al.Events,
+		}
+		for i, qn := range qg.Nodes {
+			if al.NodeMap[i] != 0 {
+				fa.Entities[qn.ID] = prov.DefaultName(al.NodeMap[i])
+			}
+		}
+		out = append(out, fa)
+	}
+	return out, nil
+}

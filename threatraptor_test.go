@@ -1,0 +1,136 @@
+package threatraptor
+
+import (
+	"strings"
+	"testing"
+
+	"threatraptor/internal/cases"
+)
+
+func loadCase(t *testing.T, id string) (*System, *cases.GeneratedLog) {
+	t.Helper()
+	c := cases.ByID(id)
+	if c == nil {
+		t.Fatalf("case %s missing", id)
+	}
+	gen, err := c.Generate(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(DefaultOptions())
+	if err := sys.LoadLog(gen.Log); err != nil {
+		t.Fatal(err)
+	}
+	return sys, gen
+}
+
+func TestEndToEndDataLeak(t *testing.T) {
+	sys, gen := loadCase(t, "data_leak")
+	c := cases.ByID("data_leak")
+
+	query, hits, err := sys.HuntOSCTI(c.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(query, `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"]`) {
+		t.Errorf("unexpected synthesized query:\n%s", query)
+	}
+	if hits.Set.Len() != 1 {
+		t.Fatalf("rows = %d: %v", hits.Set.Len(), hits.Set.Strings())
+	}
+	// Every matched event must be a ground-truth attack event.
+	attack := map[int64]bool{}
+	for _, id := range gen.AttackEventIDs {
+		attack[id] = true
+	}
+	for ev := range hits.MatchedEvents {
+		if !attack[ev] {
+			t.Errorf("false positive event %d", ev)
+		}
+	}
+	if len(hits.MatchedEvents) == 0 {
+		t.Fatal("no events matched")
+	}
+}
+
+func TestHuntWithoutLogFails(t *testing.T) {
+	sys := New(DefaultOptions())
+	if _, _, err := sys.Hunt("proc p read file f return f"); err == nil {
+		t.Fatal("hunting before loading a log must fail")
+	}
+	if _, err := sys.FuzzyHunt("proc p read file f return f", true); err == nil {
+		t.Fatal("fuzzy hunting before loading a log must fail")
+	}
+}
+
+func TestLoadAuditLogFromStream(t *testing.T) {
+	raw := strings.Join([]string{
+		"ts=1700000000000000 call=read pid=9 exe=/bin/evil.sh fd=file path=/etc/shadow bytes=100",
+		"ts=1700000001000000 call=sendto pid=9 exe=/bin/evil.sh fd=ipv4 src=10.0.0.1:9999 dst=6.6.6.6:443 proto=tcp bytes=100",
+	}, "\n")
+	sys := New(DefaultOptions())
+	if err := sys.LoadAuditLog(strings.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sys.Hunt(`proc p["%evil%"] read file f return distinct f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set.Len() != 1 || res.Set.Rows[0][0].S != "/etc/shadow" {
+		t.Fatalf("got %v", res.Set.Strings())
+	}
+}
+
+func TestFuzzyHuntToleratesTypos(t *testing.T) {
+	sys, _ := loadCase(t, "data_leak")
+	// "pasword" is a typo: exact search misses, fuzzy search aligns.
+	query := `proc p1["%/bin/tar%"] read file f1["%/etc/pasword%"] as e1
+return distinct p1, f1`
+	exact, _, err := sys.Hunt(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Set.Len() != 0 {
+		t.Fatalf("exact search should miss the typo: %v", exact.Set.Strings())
+	}
+	als, err := sys.FuzzyHunt(query, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) == 0 {
+		t.Fatal("fuzzy search should align despite the typo")
+	}
+	found := false
+	for _, al := range als {
+		if al.Entities["f1"] == "/etc/passwd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected /etc/passwd alignment: %+v", als)
+	}
+}
+
+func TestSynthesisModes(t *testing.T) {
+	c := cases.ByID("data_leak")
+	gen, err := c.Generate(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SynthesisMode = 1 // length-1 paths
+	sys := New(opts)
+	if err := sys.LoadLog(gen.Log); err != nil {
+		t.Fatal(err)
+	}
+	query, hits, err := sys.HuntOSCTI(c.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(query, "->[") {
+		t.Errorf("length-1 path syntax missing:\n%s", query)
+	}
+	if hits.Set.Len() != 1 {
+		t.Fatalf("rows = %d", hits.Set.Len())
+	}
+}
