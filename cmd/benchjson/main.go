@@ -1,0 +1,105 @@
+// Command benchjson runs the engine benchmarks and writes their ns/op,
+// B/op, and allocs/op to a JSON file, establishing the performance
+// trajectory that future changes are measured against.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-o BENCH_engine.json] [-benchtime 2s]
+//
+// It shells out to `go test -bench` so the numbers are exactly what the
+// standard tooling reports, then parses the benchmark lines into JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the emitted document.
+type File struct {
+	GoVersion string            `json:"go_version"`
+	Package   string            `json:"package"`
+	Date      string            `json:"date"`
+	Results   []Result          `json:"results"`
+	Baseline  map[string]Result `json:"baseline,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output file")
+	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
+	pattern := flag.String("bench", "BenchmarkExecuteScheduled|BenchmarkExecuteParallel|BenchmarkExecuteUnscheduled|BenchmarkStoreLoadEngine", "benchmark regexp")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "./internal/engine",
+		"-run", "NONE", "-bench", *pattern, "-benchmem", "-benchtime", *benchtime)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	doc := File{
+		Package: "threatraptor/internal/engine",
+		Date:    time.Now().UTC().Format("2006-01-02"),
+	}
+	if v, err := exec.Command("go", "version").Output(); err == nil {
+		doc.GoVersion = string(v[:len(v)-1])
+	}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bytes, _ := strconv.ParseInt(m[4], 10, 64)
+		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		doc.Results = append(doc.Results, Result{
+			Name: m[1], Iterations: iters, NsPerOp: ns,
+			BytesPerOp: bytes, AllocsPerOp: allocs,
+		})
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	// Preserve a previously recorded baseline block so before/after
+	// numbers travel together.
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old File
+		if json.Unmarshal(prev, &old) == nil && old.Baseline != nil {
+			doc.Baseline = old.Baseline
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(doc.Results))
+}

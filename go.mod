@@ -1,0 +1,3 @@
+module threatraptor
+
+go 1.24

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"threatraptor/internal/cases"
+	"threatraptor/internal/tbql"
+)
+
+// benchStore loads the generated data_leak case at the given scale.
+func benchStore(b *testing.B, scale float64) *Store {
+	b.Helper()
+	gen, err := cases.ByID("data_leak").Generate(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := NewStore(gen.Log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func benchAnalyzed(b *testing.B) *tbql.Analyzed {
+	b.Helper()
+	q, err := tbql.Parse(dataLeakTBQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkExecuteScheduled measures the scheduled TBQL hot path
+// (Section III-F / RQ4) on the data_leak case at scale 1.0.
+func BenchmarkExecuteScheduled(b *testing.B) {
+	store := benchStore(b, 1.0)
+	en := &Engine{Store: store}
+	a := benchAnalyzed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := en.Execute(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteParallel measures the per-level parallel path on the
+// same workload.
+func BenchmarkExecuteParallel(b *testing.B) {
+	store := benchStore(b, 1.0)
+	en := &Engine{Store: store, Parallel: true}
+	a := benchAnalyzed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := en.Execute(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteUnscheduled is the scheduling ablation on the same
+// workload (declaration order, no constraint feeding).
+func BenchmarkExecuteUnscheduled(b *testing.B) {
+	store := benchStore(b, 1.0)
+	en := &Engine{Store: store, DisableScheduling: true}
+	a := benchAnalyzed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := en.Execute(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreLoadEngine measures NewStore: batch-loading the reduced
+// log into the columnar relational backend and the graph arena.
+func BenchmarkStoreLoadEngine(b *testing.B) {
+	gen, err := cases.ByID("data_leak").Generate(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewStore(gen.Log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

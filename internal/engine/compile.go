@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"threatraptor/internal/relational"
@@ -147,18 +148,72 @@ func kindLiteral(t tbql.EntityType) string { return string(t) }
 // inList renders "alias.id IN (...)" for a binding set, in sorted order
 // for determinism.
 func inList(alias string, ids []int64) string {
-	strs := make([]string, len(ids))
+	var sb strings.Builder
+	var scratch [20]byte
+	sb.Grow(len(alias) + 10 + len(ids)*8)
+	sb.WriteString(alias)
+	sb.WriteString(".id IN (")
 	for i, id := range ids {
-		strs[i] = fmt.Sprintf("%d", id)
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.Write(strconv.AppendInt(scratch[:0], id, 10))
 	}
-	return alias + ".id IN (" + strings.Join(strs, ", ") + ")"
+	sb.WriteString(")")
+	return sb.String()
 }
 
-// CompilePatternSQL compiles one TBQL event pattern into a small SQL data
-// query (Section III-F): a three-way join of the two entity tables with
-// the event table, with all filters in WHERE. extra carries the
-// scheduler's added constraints.
-func CompilePatternSQL(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
+// sqlPatternParts is the compiled static text of one pattern's SQL data
+// query; only the scheduler's per-execution extras vary, so the engine
+// compiles the parts once per analyzed query and assembles the final text
+// with a couple of appends.
+type sqlPatternParts struct {
+	conds string // static conjuncts joined with AND
+	// subjScore/objScore drive the anchor-side choice, which depends on
+	// how many scheduler extras are fed in (see assemble).
+	subjScore, objScore int
+}
+
+const (
+	sqlSelect      = "SELECT e.id, s.id, o.id, e.start_time, e.end_time FROM "
+	sqlFromSubject = "entities s, events e, entities o"
+	sqlFromObject  = "entities o, events e, entities s"
+)
+
+// assemble builds the final query text: static conds plus the scheduler's
+// extra constraints, anchored on the more constrained entity side. The
+// anchor choice matches the pruning-power estimate the scheduler uses:
+// the events table is reached through its subject/object index and the
+// far entity through the id index.
+func (pp *sqlPatternParts) assemble(extra []string) string {
+	from := sqlFromSubject
+	if pp.objScore > pp.subjScore+len(extra) {
+		from = sqlFromObject
+	}
+	if len(extra) == 0 {
+		return sqlSelect + from + " WHERE " + pp.conds
+	}
+	var sb strings.Builder
+	n := len(sqlSelect) + len(from) + 7 + len(pp.conds)
+	for _, ex := range extra {
+		n += 5 + len(ex)
+	}
+	sb.Grow(n)
+	sb.WriteString(sqlSelect)
+	sb.WriteString(from)
+	sb.WriteString(" WHERE ")
+	sb.WriteString(pp.conds)
+	for _, ex := range extra {
+		sb.WriteString(" AND ")
+		sb.WriteString(ex)
+	}
+	return sb.String()
+}
+
+// compilePatternSQLParts compiles the static text of one pattern's SQL
+// data query (Section III-F): a three-way join of the two entity tables
+// with the event table, with all filters in WHERE.
+func compilePatternSQLParts(s *Store, a *tbql.Analyzed, idx int) sqlPatternParts {
 	p := a.Query.Patterns[idx]
 	var conds []string
 	conds = append(conds,
@@ -184,19 +239,18 @@ func CompilePatternSQL(s *Store, a *tbql.Analyzed, idx int, extra []string) stri
 		conds = append(conds, fmt.Sprintf("e.start_time >= %d", lo),
 			fmt.Sprintf("e.start_time <= %d", hi))
 	}
-	conds = append(conds, extra...)
-	// Anchor the nested-loop scan on the more constrained entity side: the
-	// events table is then reached through its subject/object index and
-	// the far entity through the id index (part of the estimated pruning
-	// power the scheduler relies on).
-	from := "entities s, events e, entities o"
-	subjScore := countConjuncts(orTrue(a.Entities[p.Subject.ID].Filter)) + len(extra)
-	objScore := countConjuncts(orTrue(a.Entities[p.Object.ID].Filter))
-	if objScore > subjScore {
-		from = "entities o, events e, entities s"
+	return sqlPatternParts{
+		conds:     strings.Join(conds, " AND "),
+		subjScore: countConjuncts(orTrue(a.Entities[p.Subject.ID].Filter)),
+		objScore:  countConjuncts(orTrue(a.Entities[p.Object.ID].Filter)),
 	}
-	return "SELECT e.id, s.id, o.id, e.start_time, e.end_time " +
-		"FROM " + from + " WHERE " + strings.Join(conds, " AND ")
+}
+
+// CompilePatternSQL compiles one TBQL event pattern into a small SQL data
+// query. extra carries the scheduler's added constraints.
+func CompilePatternSQL(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
+	parts := compilePatternSQLParts(s, a, idx)
+	return parts.assemble(extra)
 }
 
 func orTrue(e relational.Expr) relational.Expr {
@@ -213,10 +267,41 @@ func windowOf(q *tbql.Query, p *tbql.Pattern) *tbql.Window {
 	return q.GlobalWindow
 }
 
-// CompilePatternCypher compiles one TBQL pattern (event pattern, length-1
-// path, or variable-length path) into a Cypher data query on the graph
-// backend.
-func CompilePatternCypher(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
+// cyPatternParts is the compiled static text of one pattern's Cypher data
+// query, assembled with the scheduler's extras per execution.
+type cyPatternParts struct {
+	match string // MATCH clause
+	conds string // static WHERE conjuncts joined with AND ("" when none)
+	ret   string // RETURN clause
+}
+
+func (pp *cyPatternParts) assemble(extra []string) string {
+	var sb strings.Builder
+	n := len(pp.match) + 8 + len(pp.conds) + 1 + len(pp.ret)
+	for _, ex := range extra {
+		n += 5 + len(ex)
+	}
+	sb.Grow(n)
+	sb.WriteString(pp.match)
+	if pp.conds != "" || len(extra) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(pp.conds)
+		for i, ex := range extra {
+			if pp.conds != "" || i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(ex)
+		}
+	}
+	sb.WriteString(" ")
+	sb.WriteString(pp.ret)
+	return sb.String()
+}
+
+// compilePatternCypherParts compiles the static text of one TBQL pattern
+// (event pattern, length-1 path, or variable-length path) as a Cypher
+// data query on the graph backend.
+func compilePatternCypherParts(s *Store, a *tbql.Analyzed, idx int) cyPatternParts {
 	p := a.Query.Patterns[idx]
 	subjLabel := LabelProcess
 	objLabel := labelOf(p.Object.Type.Kind())
@@ -268,17 +353,19 @@ func CompilePatternCypher(s *Store, a *tbql.Analyzed, idx int, extra []string) s
 		conds = append(conds, fmt.Sprintf("e.start_time >= %d", lo),
 			fmt.Sprintf("e.start_time <= %d", hi))
 	}
-	conds = append(conds, extra...)
 
 	ret := "RETURN s.id, o.id"
 	if edgeVar != "" {
 		ret = "RETURN e.id, s.id, o.id, e.start_time, e.end_time"
 	}
-	q := match
-	if len(conds) > 0 {
-		q += " WHERE " + strings.Join(conds, " AND ")
-	}
-	return q + " " + ret
+	return cyPatternParts{match: match, conds: strings.Join(conds, " AND "), ret: ret}
+}
+
+// CompilePatternCypher compiles one TBQL pattern into a Cypher data
+// query. extra carries the scheduler's added constraints.
+func CompilePatternCypher(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
+	parts := compilePatternCypherParts(s, a, idx)
+	return parts.assemble(extra)
 }
 
 // typeSuffix renders the relationship type constraint ":read|write" for an

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"threatraptor/internal/graphdb"
 	"threatraptor/internal/relational"
@@ -34,6 +35,16 @@ type Engine struct {
 	// feeding (the ablation of the paper's core RQ4 optimization): data
 	// queries run in declaration order without added constraints.
 	DisableScheduling bool
+	// Parallel runs each dependency level's data queries in concurrent
+	// goroutines (patterns in one level share no entity variable, so no
+	// constraint can flow between them). The result set is identical to
+	// the serial scheduled plan; only Stats.DataQueries can differ when a
+	// pattern comes up empty, because a whole level completes before the
+	// short-circuit is taken.
+	Parallel bool
+
+	planMu sync.Mutex
+	plans  map[planKey]*queryPlan
 }
 
 // Result is the outcome of a scheduled TBQL execution: the projected
@@ -53,74 +64,108 @@ type patternRows struct {
 	hasEvent bool
 }
 
+// runPattern executes one pattern's data query with the given scheduler
+// extras, against the backend the pattern compiles to.
+func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, extra []string) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
+	p := a.Query.Patterns[idx]
+	pr := patternRows{idx: idx, hasEvent: true}
+	if plan.pats[idx].usesGraph {
+		query := plan.pats[idx].cy.assemble(extra)
+		rs, gs, err := en.Store.Graph.QueryStats(query)
+		if err != nil {
+			return pr, relational.ExecStats{}, gs, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+		}
+		pr.hasEvent = len(rs.Columns) == 5
+		pr.rows = make([][5]int64, 0, len(rs.Rows))
+		for _, row := range rs.Rows {
+			var r [5]int64
+			if pr.hasEvent {
+				for i := 0; i < 5; i++ {
+					r[i] = row[i].I
+				}
+			} else {
+				r[1], r[2] = row[0].I, row[1].I
+			}
+			pr.rows = append(pr.rows, r)
+		}
+		return pr, relational.ExecStats{}, gs, nil
+	}
+	query := plan.pats[idx].sql.assemble(extra)
+	rs, qs, err := en.Store.Rel.QueryStats(query)
+	if err != nil {
+		return pr, qs, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+	}
+	pr.rows = make([][5]int64, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		pr.rows = append(pr.rows, [5]int64{row[0].I, row[1].I, row[2].I, row[3].I, row[4].I})
+	}
+	return pr, qs, graphdb.ExecStats{}, nil
+}
+
+// patternExtras builds the scheduler's IN constraints for a pattern from
+// the current binding sets (shared between the SQL and Cypher compilers,
+// whose id-list syntax is identical).
+func (en *Engine) patternExtras(p *tbql.Pattern, bindings map[string]map[int64]bool, maxIn int) []string {
+	var extras []string
+	for _, side := range []struct{ id, alias string }{
+		{p.Subject.ID, "s"}, {p.Object.ID, "o"},
+	} {
+		set := bindings[side.id]
+		if len(set) == 0 || len(set) > maxIn {
+			continue
+		}
+		extras = append(extras, inList(side.alias, sortedIDs(set)))
+	}
+	return extras
+}
+
+func (en *Engine) maxIn() int {
+	if en.MaxInList > 0 {
+		return en.MaxInList
+	}
+	return 2000
+}
+
+// emptyResult is the short-circuit outcome when a pattern matches nothing.
+func emptyResult(a *tbql.Analyzed) *Result {
+	return &Result{
+		Set:           &relational.ResultSet{Columns: returnColumns(a)},
+		MatchedEvents: map[int64]bool{},
+	}
+}
+
 // Execute runs a TBQL query with the ThreatRaptor plan: each pattern
 // compiles to a small data query (SQL for event patterns, Cypher for path
 // patterns), the scheduler orders them by pruning score, feeds entity
 // bindings forward as constraints, and a final in-engine join applies the
-// temporal and attribute relationships.
+// temporal and attribute relationships. With Parallel set, independent
+// patterns within one dependency level run concurrently.
 func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
-	var stats Stats
-	order := en.schedule(a)
-
-	bindings := make(map[string]map[int64]bool) // entity ID -> allowed rows
-	results := make([]patternRows, len(a.Query.Patterns))
-	maxIn := en.MaxInList
-	if maxIn <= 0 {
-		maxIn = 2000
+	plan := en.planFor(a)
+	if en.Parallel && !en.DisableScheduling {
+		return en.executeLevels(a, plan)
 	}
 
-	for _, idx := range order {
-		p := a.Query.Patterns[idx]
-		var extraSQL, extraCy []string
-		if !en.DisableScheduling {
-			for _, side := range []struct{ id, alias string }{
-				{p.Subject.ID, "s"}, {p.Object.ID, "o"},
-			} {
-				set := bindings[side.id]
-				if set == nil || len(set) == 0 || len(set) > maxIn {
-					continue
-				}
-				ids := sortedIDs(set)
-				extraSQL = append(extraSQL, inList(side.alias, ids))
-				extraCy = append(extraCy, inList(side.alias, ids))
-			}
-		}
+	var stats Stats
+	bindings := make(map[string]map[int64]bool) // entity ID -> allowed rows
+	results := make([]patternRows, len(a.Query.Patterns))
+	maxIn := en.maxIn()
 
-		pr := patternRows{idx: idx, hasEvent: true}
-		usesGraph := p.Path != nil
-		if usesGraph {
-			query := CompilePatternCypher(en.Store, a, idx, extraCy)
-			rs, gs, err := en.Store.Graph.QueryStats(query)
-			if err != nil {
-				return nil, stats, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
-			}
-			stats.Graph.NodesVisited += gs.NodesVisited
-			stats.Graph.EdgesTraversed += gs.EdgesTraversed
-			stats.Graph.IndexLookups += gs.IndexLookups
-			pr.hasEvent = len(rs.Columns) == 5
-			for _, row := range rs.Rows {
-				var r [5]int64
-				if pr.hasEvent {
-					for i := 0; i < 5; i++ {
-						r[i] = row[i].I
-					}
-				} else {
-					r[1], r[2] = row[0].I, row[1].I
-				}
-				pr.rows = append(pr.rows, r)
-			}
-		} else {
-			query := CompilePatternSQL(en.Store, a, idx, extraSQL)
-			rs, qs, err := en.Store.Rel.QueryStats(query)
-			if err != nil {
-				return nil, stats, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
-			}
-			stats.Rel.RowsScanned += qs.RowsScanned
-			stats.Rel.IndexLookups += qs.IndexLookups
-			for _, row := range rs.Rows {
-				pr.rows = append(pr.rows, [5]int64{row[0].I, row[1].I, row[2].I, row[3].I, row[4].I})
-			}
+	for _, idx := range plan.order {
+		p := a.Query.Patterns[idx]
+		var extras []string
+		if !en.DisableScheduling {
+			extras = en.patternExtras(p, bindings, maxIn)
 		}
+		pr, qs, gs, err := en.runPattern(a, plan, idx, extras)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rel.RowsScanned += qs.RowsScanned
+		stats.Rel.IndexLookups += qs.IndexLookups
+		stats.Graph.NodesVisited += gs.NodesVisited
+		stats.Graph.EdgesTraversed += gs.EdgesTraversed
+		stats.Graph.IndexLookups += gs.IndexLookups
 		stats.DataQueries++
 		stats.PatternRows += len(pr.rows)
 		results[idx] = pr
@@ -128,10 +173,7 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 		if len(pr.rows) == 0 {
 			// A pattern with no matches empties the whole conjunction.
 			stats.EmptyPatternID = p.ID
-			return &Result{
-				Set:           &relational.ResultSet{Columns: returnColumns(a)},
-				MatchedEvents: map[int64]bool{},
-			}, stats, nil
+			return emptyResult(a), stats, nil
 		}
 		if !en.DisableScheduling {
 			narrow(bindings, p.Subject.ID, pr.rows, 1)
@@ -147,54 +189,89 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 	return res, stats, nil
 }
 
-// schedule orders pattern indexes by descending pruning score
-// (Section III-F): more declared constraints score higher; variable-length
-// paths score lower the longer their maximum length.
-func (en *Engine) schedule(a *tbql.Analyzed) []int {
-	n := len(a.Query.Patterns)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	if en.DisableScheduling {
-		return order
-	}
-	scores := make([]int, n)
-	for i, p := range a.Query.Patterns {
-		scores[i] = en.pruningScore(a, p)
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return scores[order[x]] > scores[order[y]]
-	})
-	return order
-}
+// executeLevels is the parallel scheduled plan: the scheduler's order is
+// partitioned into dependency levels, each level's patterns execute in
+// concurrent goroutines (they share no entity variable, so no constraint
+// could flow between them), and binding sets are narrowed between levels.
+func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
+	var stats Stats
+	bindings := make(map[string]map[int64]bool)
+	results := make([]patternRows, len(a.Query.Patterns))
+	maxIn := en.maxIn()
 
-func (en *Engine) pruningScore(a *tbql.Analyzed, p *tbql.Pattern) int {
-	score := 0
-	if f := a.Entities[p.Subject.ID].Filter; f != nil {
-		score += countConjuncts(f)
+	type outcome struct {
+		pr  patternRows
+		rel relational.ExecStats
+		gr  graphdb.ExecStats
+		err error
 	}
-	if f := a.Entities[p.Object.ID].Filter; f != nil {
-		score += countConjuncts(f)
-	}
-	if p.IDFilter != nil {
-		score += countConjuncts(p.IDFilter)
-	}
-	if p.Op != nil && len(p.Op.Ops()) < 9 {
-		score++
-	}
-	if windowOf(a.Query, p) != nil {
-		score++
-	}
-	score *= 8 // constraints dominate path length
-	if p.Path != nil {
-		if p.Path.MaxLen < 0 {
-			score -= 64
+	for _, level := range plan.levels {
+		outs := make([]outcome, len(level))
+		levelExtras := func(idx int) []string {
+			if en.DisableScheduling {
+				return nil
+			}
+			return en.patternExtras(a.Query.Patterns[idx], bindings, maxIn)
+		}
+		if len(level) == 1 {
+			o := &outs[0]
+			o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, level[0], levelExtras(level[0]))
 		} else {
-			score -= p.Path.MaxLen
+			var wg sync.WaitGroup
+			for i, idx := range level {
+				extras := levelExtras(idx)
+				wg.Add(1)
+				go func(i, idx int, extras []string) {
+					defer wg.Done()
+					o := &outs[i]
+					o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, idx, extras)
+				}(i, idx, extras)
+			}
+			wg.Wait()
+		}
+		empty := -1
+		for i, idx := range level {
+			o := &outs[i]
+			if o.err != nil {
+				return nil, stats, o.err
+			}
+			stats.Rel.RowsScanned += o.rel.RowsScanned
+			stats.Rel.IndexLookups += o.rel.IndexLookups
+			stats.Graph.NodesVisited += o.gr.NodesVisited
+			stats.Graph.EdgesTraversed += o.gr.EdgesTraversed
+			stats.Graph.IndexLookups += o.gr.IndexLookups
+			stats.DataQueries++
+			stats.PatternRows += len(o.pr.rows)
+			results[idx] = o.pr
+			if len(o.pr.rows) == 0 && empty < 0 {
+				empty = idx
+			}
+		}
+		if empty >= 0 {
+			stats.EmptyPatternID = a.Query.Patterns[empty].ID
+			return emptyResult(a), stats, nil
+		}
+		if !en.DisableScheduling {
+			for _, idx := range level {
+				p := a.Query.Patterns[idx]
+				narrow(bindings, p.Subject.ID, results[idx].rows, 1)
+				narrow(bindings, p.Object.ID, results[idx].rows, 2)
+			}
 		}
 	}
-	return score
+
+	res, joined, err := en.join(a, results)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.JoinBindings = joined
+	return res, stats, nil
+}
+
+// ExecuteParallel runs the scheduled plan with per-level concurrency
+// regardless of the Parallel flag.
+func (en *Engine) ExecuteParallel(a *tbql.Analyzed) (*Result, Stats, error) {
+	return en.executeLevels(a, en.planFor(a))
 }
 
 func countConjuncts(e relational.Expr) int {
@@ -242,7 +319,9 @@ func returnColumns(a *tbql.Analyzed) []string {
 
 // join combines per-pattern rows into complete bindings, enforcing shared
 // entity identity, temporal relationships, attribute relationships, and
-// global filters, then projects the return clause.
+// global filters, then projects the return clause. The 2-pattern case
+// hash-joins on the shared entity variables; larger conjunctions use the
+// backtracking walk.
 func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, error) {
 	q := a.Query
 	rs := &relational.ResultSet{Columns: returnColumns(a)}
@@ -296,70 +375,183 @@ func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, e
 		return true, nil
 	}
 
-	var walk func(k int) error
-	walk = func(k int) error {
-		if k == len(order) {
-			ok, err := checkRelations()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			joined++
-			for _, ev := range pattEvent {
-				matched[ev] = true
-			}
-			row := make([]relational.Value, len(a.ReturnItems))
-			for i, item := range a.ReturnItems {
-				row[i] = en.Store.EntityAttr(entityBind[item.EntityID], item.Attr)
-			}
-			rs.Rows = append(rs.Rows, row)
+	// emit runs on every complete binding: relation checks, event
+	// collection, and return projection. Shared by the hash join and the
+	// backtracking walk.
+	emit := func() error {
+		ok, err := checkRelations()
+		if err != nil {
+			return err
+		}
+		if !ok {
 			return nil
 		}
-		pr := results[order[k]]
+		joined++
+		for _, ev := range pattEvent {
+			matched[ev] = true
+		}
+		row := make([]relational.Value, len(a.ReturnItems))
+		for i, item := range a.ReturnItems {
+			row[i] = en.Store.EntityAttr(entityBind[item.EntityID], item.Attr)
+		}
+		rs.Rows = append(rs.Rows, row)
+		return nil
+	}
+
+	// bindRow binds one pattern's row, returning false when it conflicts
+	// with existing bindings, plus an undo closure.
+	bindRow := func(pr patternRows, r [5]int64) (bool, func()) {
 		p := q.Patterns[pr.idx]
-		for _, r := range pr.rows {
-			sPrev, sBound := entityBind[p.Subject.ID]
-			if sBound && sPrev != r[1] {
-				continue
-			}
-			oPrev, oBound := entityBind[p.Object.ID]
-			if oBound && oPrev != r[2] {
-				continue
-			}
-			if !sBound {
-				entityBind[p.Subject.ID] = r[1]
-			}
-			if !oBound {
-				entityBind[p.Object.ID] = r[2]
-			}
-			if pr.hasEvent {
-				pattTimes[p.ID] = [2]int64{r[3], r[4]}
-				pattEvent[p.ID] = r[0]
-			}
-			if err := walk(k + 1); err != nil {
-				return err
-			}
-			delete(pattTimes, p.ID)
-			delete(pattEvent, p.ID)
+		sPrev, sBound := entityBind[p.Subject.ID]
+		if sBound && sPrev != r[1] {
+			return false, nil
+		}
+		oPrev, oBound := entityBind[p.Object.ID]
+		if oBound && oPrev != r[2] {
+			return false, nil
+		}
+		if !sBound {
+			entityBind[p.Subject.ID] = r[1]
+		}
+		// Re-check the object binding: binding the subject may have bound
+		// the same variable when subject and object share it.
+		oPrev, oBound = entityBind[p.Object.ID]
+		if oBound && oPrev != r[2] {
 			if !sBound {
 				delete(entityBind, p.Subject.ID)
+			}
+			return false, nil
+		}
+		if !oBound {
+			entityBind[p.Object.ID] = r[2]
+		}
+		if pr.hasEvent {
+			pattTimes[p.ID] = [2]int64{r[3], r[4]}
+			pattEvent[p.ID] = r[0]
+		}
+		return true, func() {
+			if pr.hasEvent {
+				delete(pattTimes, p.ID)
+				delete(pattEvent, p.ID)
 			}
 			if !oBound {
 				delete(entityBind, p.Object.ID)
 			}
+			if !sBound {
+				delete(entityBind, p.Subject.ID)
+			}
 		}
-		return nil
 	}
-	if err := walk(0); err != nil {
+
+	runJoin := func() error {
+		if len(order) == 2 {
+			if ok, err := en.hashJoin2(q, results, order, bindRow, emit); ok {
+				return err
+			}
+		}
+		var walk func(k int) error
+		walk = func(k int) error {
+			if k == len(order) {
+				return emit()
+			}
+			pr := results[order[k]]
+			for _, r := range pr.rows {
+				ok, undo := bindRow(pr, r)
+				if !ok {
+					continue
+				}
+				if err := walk(k + 1); err != nil {
+					undo()
+					return err
+				}
+				undo()
+			}
+			return nil
+		}
+		return walk(0)
+	}
+	if err := runJoin(); err != nil {
 		return nil, joined, err
 	}
 
 	if q.Return.Distinct {
-		rs.Rows = dedupValueRows(rs.Rows)
+		rs.Rows = relational.DedupRows(rs.Rows)
 	}
 	return &Result{Set: rs, MatchedEvents: matched}, joined, nil
+}
+
+// hashJoin2 joins exactly two patterns on their shared entity variables:
+// the smaller side is indexed by its shared-variable values, the larger
+// side probes. Returns ok=false (and does nothing) when the patterns
+// share no entity variable — the cross-product walk handles that case.
+func (en *Engine) hashJoin2(q *tbql.Query, results []patternRows, order []int,
+	bindRow func(patternRows, [5]int64) (bool, func()), emit func() error) (bool, error) {
+
+	small, large := results[order[0]], results[order[1]]
+	ps, pl := q.Patterns[small.idx], q.Patterns[large.idx]
+
+	// Shared entity variables, as (column in small row, column in large
+	// row) pairs; row columns 1 and 2 hold subject and object IDs. Up to
+	// four pairs arise when a pattern uses one variable as both subject
+	// and object (self-loop) on each side.
+	type colPair struct{ s, l int }
+	var shared []colPair
+	for _, sc := range []struct {
+		id  string
+		col int
+	}{{ps.Subject.ID, 1}, {ps.Object.ID, 2}} {
+		if sc.id == pl.Subject.ID {
+			shared = append(shared, colPair{sc.col, 1})
+		}
+		if sc.id == pl.Object.ID {
+			shared = append(shared, colPair{sc.col, 2})
+		}
+	}
+	if len(shared) == 0 {
+		return false, nil
+	}
+
+	type key [4]int64
+	keyOfSmall := func(r [5]int64) key {
+		var k key
+		for i, cp := range shared {
+			k[i] = r[cp.s]
+		}
+		return k
+	}
+	keyOfLarge := func(r [5]int64) key {
+		var k key
+		for i, cp := range shared {
+			k[i] = r[cp.l]
+		}
+		return k
+	}
+
+	idx := make(map[key][][5]int64, len(small.rows))
+	for _, r := range small.rows {
+		k := keyOfSmall(r)
+		idx[k] = append(idx[k], r)
+	}
+	for _, rl := range large.rows {
+		for _, rsm := range idx[keyOfLarge(rl)] {
+			okS, undoS := bindRow(small, rsm)
+			if !okS {
+				continue
+			}
+			okL, undoL := bindRow(large, rl)
+			if !okL {
+				undoS()
+				continue
+			}
+			err := emit()
+			undoL()
+			undoS()
+			if err != nil {
+				return true, err
+			}
+		}
+	}
+	return true, nil
 }
 
 func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
@@ -390,22 +582,6 @@ func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
 		return d <= rel.HiDur.Microseconds()
 	}
 	return false
-}
-
-func dedupValueRows(rows [][]relational.Value) [][]relational.Value {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, row := range rows {
-		key := ""
-		for _, v := range row {
-			key += v.Key() + "\x00"
-		}
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, row)
-		}
-	}
-	return out
 }
 
 // ExecuteMonolithicSQL compiles the query into one giant SQL statement and
@@ -450,27 +626,17 @@ func (en *Engine) ExecuteMonolithicCypher(a *tbql.Analyzed) (*relational.ResultS
 // not empty the other patterns' findings.
 func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error) {
 	matched := make(map[int64]bool)
-	for idx, p := range a.Query.Patterns {
-		if p.Path != nil {
-			query := CompilePatternCypher(en.Store, a, idx, nil)
-			rs, err := en.Store.Graph.Query(query)
-			if err != nil {
-				return nil, err
-			}
-			if len(rs.Columns) == 5 {
-				for _, row := range rs.Rows {
-					matched[row[0].I] = true
-				}
-			}
-			continue
-		}
-		query := CompilePatternSQL(en.Store, a, idx, nil)
-		rs, err := en.Store.Rel.Query(query)
+	plan := en.planFor(a)
+	for idx := range a.Query.Patterns {
+		pr, _, _, err := en.runPattern(a, plan, idx, nil)
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rs.Rows {
-			matched[row[0].I] = true
+		if !pr.hasEvent {
+			continue
+		}
+		for _, r := range pr.rows {
+			matched[r[0]] = true
 		}
 	}
 	return matched, nil

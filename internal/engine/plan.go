@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"sort"
+
+	"threatraptor/internal/tbql"
+)
+
+// patternPlan is one pattern's compiled data query: the static SQL or
+// Cypher text parts, assembled with the scheduler's extras at run time.
+type patternPlan struct {
+	usesGraph bool
+	sql       sqlPatternParts
+	cy        cyPatternParts
+}
+
+// queryPlan caches everything about an analyzed TBQL query that does not
+// change between executions: the pruning-score order, the dependency
+// levels for the parallel path, and each pattern's compiled query text.
+type queryPlan struct {
+	order []int
+	// levels partitions the scheduled order into dependency levels:
+	// patterns within one level share no entity variable with each other,
+	// so they cannot feed constraints to one another and may execute
+	// concurrently; every pattern shares at least one entity variable
+	// with some earlier level (or is in level 0).
+	levels [][]int
+	pats   []patternPlan
+}
+
+type planKey struct {
+	a     *tbql.Analyzed
+	sched bool
+}
+
+// maxCachedQueryPlans bounds the per-engine plan cache; entries are keyed
+// by *tbql.Analyzed identity, so callers that re-analyze per call (Hunt)
+// miss and would otherwise grow the map without bound. On overflow the
+// cache is flushed wholesale.
+const maxCachedQueryPlans = 256
+
+// planFor returns the cached plan for a, building it on first use.
+func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
+	key := planKey{a: a, sched: !en.DisableScheduling}
+	en.planMu.Lock()
+	defer en.planMu.Unlock()
+	if p, ok := en.plans[key]; ok {
+		return p
+	}
+	if len(en.plans) >= maxCachedQueryPlans {
+		en.plans = nil
+	}
+	p := &queryPlan{order: en.schedule(a)}
+	p.levels = dependencyLevels(a.Query.Patterns, p.order)
+	p.pats = make([]patternPlan, len(a.Query.Patterns))
+	for i := range a.Query.Patterns {
+		pp := &p.pats[i]
+		pp.usesGraph = a.Query.Patterns[i].Path != nil
+		if pp.usesGraph {
+			pp.cy = compilePatternCypherParts(en.Store, a, i)
+		} else {
+			pp.sql = compilePatternSQLParts(en.Store, a, i)
+		}
+	}
+	if en.plans == nil {
+		en.plans = make(map[planKey]*queryPlan)
+	}
+	en.plans[key] = p
+	return p
+}
+
+// schedule orders pattern indexes by descending pruning score
+// (Section III-F): more declared constraints score higher; variable-length
+// paths score lower the longer their maximum length.
+func (en *Engine) schedule(a *tbql.Analyzed) []int {
+	n := len(a.Query.Patterns)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if en.DisableScheduling {
+		return order
+	}
+	scores := make([]int, n)
+	for i, p := range a.Query.Patterns {
+		scores[i] = en.pruningScore(a, p)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return scores[order[x]] > scores[order[y]]
+	})
+	return order
+}
+
+func (en *Engine) pruningScore(a *tbql.Analyzed, p *tbql.Pattern) int {
+	score := 0
+	if f := a.Entities[p.Subject.ID].Filter; f != nil {
+		score += countConjuncts(f)
+	}
+	if f := a.Entities[p.Object.ID].Filter; f != nil {
+		score += countConjuncts(f)
+	}
+	if p.IDFilter != nil {
+		score += countConjuncts(p.IDFilter)
+	}
+	if p.Op != nil && len(p.Op.Ops()) < 9 {
+		score++
+	}
+	if windowOf(a.Query, p) != nil {
+		score++
+	}
+	score *= 8 // constraints dominate path length
+	if p.Path != nil {
+		if p.Path.MaxLen < 0 {
+			score -= 64
+		} else {
+			score -= p.Path.MaxLen
+		}
+	}
+	return score
+}
+
+// dependencyLevels walks the scheduled order and assigns each pattern to
+// the earliest level after every earlier pattern it shares an entity
+// variable with: a pattern that shares nothing with anything before it
+// lands in an existing level and runs concurrently with that level's
+// patterns, while chained patterns serialize so the scheduler can feed
+// bindings forward.
+func dependencyLevels(patterns []*tbql.Pattern, order []int) [][]int {
+	var levels [][]int
+	entLevel := make(map[string]int) // entity var -> highest level seen
+	for _, idx := range order {
+		p := patterns[idx]
+		lvl := 0
+		for _, id := range []string{p.Subject.ID, p.Object.ID} {
+			if l, ok := entLevel[id]; ok && l+1 > lvl {
+				lvl = l + 1
+			}
+		}
+		for len(levels) <= lvl {
+			levels = append(levels, nil)
+		}
+		levels[lvl] = append(levels[lvl], idx)
+		for _, id := range []string{p.Subject.ID, p.Object.ID} {
+			if l, ok := entLevel[id]; !ok || lvl > l {
+				entLevel[id] = lvl
+			}
+		}
+	}
+	return levels
+}

@@ -86,15 +86,26 @@ func NewStore(log *audit.Log) (*Store, error) {
 		return nil, err
 	}
 
-	for _, e := range log.Entities.All() {
-		if err := entities.Insert(entityRow(e)); err != nil {
-			return nil, err
-		}
+	// Batch-load both backends with capacity preallocated from the log
+	// sizes: column vectors, the graph arenas, and adjacency never grow
+	// incrementally during the load.
+	all := log.Entities.All()
+	s.Graph.ReserveNodes(len(all))
+	s.Graph.ReserveEdges(len(log.Events))
+
+	entityRows := make([][]relational.Value, len(all))
+	for i, e := range all {
+		entityRows[i] = entityRow(e)
 		s.Graph.AddNodeWithID(e.ID, labelOf(e.Kind), entityProps(e))
 	}
+	if err := entities.InsertBatch(entityRows); err != nil {
+		return nil, err
+	}
+
+	eventRows := make([][]relational.Value, len(log.Events))
 	for i := range log.Events {
 		ev := &log.Events[i]
-		if err := events.Insert([]relational.Value{
+		eventRows[i] = []relational.Value{
 			relational.Int(ev.ID),
 			relational.Int(ev.SubjectID),
 			relational.Int(ev.ObjectID),
@@ -103,8 +114,6 @@ func NewStore(log *audit.Log) (*Store, error) {
 			relational.Int(ev.EndTime),
 			relational.Int(ev.DataAmount),
 			relational.Int(int64(ev.FailureCode)),
-		}); err != nil {
-			return nil, err
 		}
 		if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
 			"id":         relational.Int(ev.ID),
@@ -120,6 +129,9 @@ func NewStore(log *audit.Log) (*Store, error) {
 		if ev.EndTime > s.MaxTime {
 			s.MaxTime = ev.EndTime
 		}
+	}
+	if err := events.InsertBatch(eventRows); err != nil {
+		return nil, err
 	}
 
 	for _, col := range []string{"id", "name", "exename", "dstip"} {

@@ -225,7 +225,7 @@ func (g *Graph) bindingResolver(b binding) func(relational.ColRef) (Value, error
 			name = c.Column
 		}
 		if id, ok := b["n:"+name]; ok {
-			n := g.nodes[id]
+			n := g.node(id)
 			switch c.Column {
 			case "", "id":
 				return relational.Int(id), nil
@@ -241,7 +241,7 @@ func (g *Graph) bindingResolver(b binding) func(relational.ColRef) (Value, error
 			return relational.Null(), nil
 		}
 		if id, ok := b["e:"+name]; ok {
-			e := g.edges[id]
+			e := g.edgeByID(id)
 			switch c.Column {
 			case "", "id":
 				return relational.Int(id), nil

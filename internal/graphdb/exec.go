@@ -2,6 +2,7 @@ package graphdb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -46,6 +47,10 @@ type matcher struct {
 	// bindings accumulate (predicate pushdown, as production graph
 	// databases do).
 	conjuncts []relational.Expr
+	// windows are per-edge-variable [lo, hi] start_time bounds extracted
+	// from the conjuncts; hops with a window binary-search the
+	// time-sorted adjacency lists instead of scanning them.
+	windows map[string][2]int64
 	// capture, when set, replaces row emission: the clause-at-a-time
 	// executor uses it to collect raw variable bindings.
 	capture func() error
@@ -78,6 +83,7 @@ func (m *matcher) pruneOK() bool {
 
 // Exec runs a parsed query.
 func (g *Graph) Exec(q *Query) (*ResultSet, ExecStats, error) {
+	g.ensureAdjSorted()
 	if q.ClauseAtATime && len(q.Patterns) > 1 {
 		return g.execClauseAtATime(q)
 	}
@@ -89,6 +95,7 @@ func (g *Graph) Exec(q *Query) (*ResultSet, ExecStats, error) {
 	}
 	if q.Where != nil {
 		m.conjuncts = flattenConjuncts(q.Where, nil)
+		m.windows = timeWindows(m.conjuncts)
 	}
 	cols := make([]string, len(q.Return))
 	for i, item := range q.Return {
@@ -217,8 +224,16 @@ func (m *matcher) matchHop(pi, ni int) error {
 	}
 
 	if !rel.IsVarLen() {
-		for _, eid := range m.adjacent(src, rel.Dir) {
-			e := m.g.edges[eid]
+		adj := m.adjacent(src, rel.Dir)
+		if rel.Var != "" && rel.Dir != DirBoth {
+			// A declared time window narrows the sorted adjacency list to
+			// the in-window span by binary search.
+			if w, ok := m.windows[rel.Var]; ok {
+				adj = m.g.windowSlice(adj, w[0], w[1])
+			}
+		}
+		for _, ei := range adj {
+			e := &m.g.edges[ei]
 			m.stats.EdgesTraversed++
 			if !typeMatches(rel.Types, e.Type) {
 				continue
@@ -229,7 +244,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 			} else if rel.Dir == DirIn {
 				dst = e.From
 			}
-			if err := tryDst(eid, dst); err != nil {
+			if err := tryDst(int64(ei)+1, dst); err != nil {
 				return err
 			}
 		}
@@ -242,7 +257,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 	if maxDepth < 0 {
 		maxDepth = m.g.NumEdges() // bounded by edge-uniqueness anyway
 	}
-	used := make(map[int64]bool)
+	used := make(map[int32]bool)
 	var dfs func(cur int64, depth int) error
 	dfs = func(cur int64, depth int) error {
 		if depth >= rel.Min {
@@ -254,11 +269,11 @@ func (m *matcher) matchHop(pi, ni int) error {
 		if depth == maxDepth {
 			return nil
 		}
-		for _, eid := range m.adjacent(cur, rel.Dir) {
-			if used[eid] {
+		for _, ei := range m.adjacent(cur, rel.Dir) {
+			if used[ei] {
 				continue
 			}
-			e := m.g.edges[eid]
+			e := &m.g.edges[ei]
 			m.stats.EdgesTraversed++
 			if !typeMatches(rel.Types, e.Type) {
 				continue
@@ -269,32 +284,89 @@ func (m *matcher) matchHop(pi, ni int) error {
 			} else if rel.Dir == DirBoth && e.To == cur {
 				next = e.From
 			}
-			used[eid] = true
+			used[ei] = true
 			if err := dfs(next, depth+1); err != nil {
 				return err
 			}
-			delete(used, eid)
+			delete(used, ei)
 		}
 		return nil
 	}
 	return dfs(src, 0)
 }
 
-// adjacent returns the candidate edge IDs from node id in the direction.
-func (m *matcher) adjacent(id int64, dir Direction) []int64 {
+// adjacent returns the candidate edge arena offsets from node id in the
+// direction.
+func (m *matcher) adjacent(id int64, dir Direction) []int32 {
 	switch dir {
 	case DirOut:
-		return m.g.out[id]
+		return m.g.outOffsets(id)
 	case DirIn:
-		return m.g.in[id]
+		return m.g.inOffsets(id)
 	default:
-		out := m.g.out[id]
-		in := m.g.in[id]
-		both := make([]int64, 0, len(out)+len(in))
+		out := m.g.outOffsets(id)
+		in := m.g.inOffsets(id)
+		both := make([]int32, 0, len(out)+len(in))
 		both = append(both, out...)
 		both = append(both, in...)
 		return both
 	}
+}
+
+// timeWindows extracts per-variable start_time bounds from literal
+// comparison conjuncts ("e.start_time >= 123", in either operand order).
+func timeWindows(conjuncts []relational.Expr) map[string][2]int64 {
+	var windows map[string][2]int64
+	narrow := func(name string, op string, k int64) {
+		if windows == nil {
+			windows = make(map[string][2]int64)
+		}
+		w, ok := windows[name]
+		if !ok {
+			w = [2]int64{math.MinInt64, math.MaxInt64}
+		}
+		switch op {
+		case ">=":
+			if k > w[0] {
+				w[0] = k
+			}
+		case ">":
+			if k+1 > w[0] {
+				w[0] = k + 1
+			}
+		case "<=":
+			if k < w[1] {
+				w[1] = k
+			}
+		case "<":
+			if k-1 < w[1] {
+				w[1] = k - 1
+			}
+		}
+		windows[name] = w
+	}
+	flip := map[string]string{">=": "<=", ">": "<", "<=": ">=", "<": ">"}
+	for _, c := range conjuncts {
+		bin, ok := c.(relational.BinOp)
+		if !ok {
+			continue
+		}
+		if _, cmp := flip[bin.Op]; !cmp {
+			continue
+		}
+		if col, ok := bin.L.(relational.ColRef); ok && col.Column == "start_time" && col.Qualifier != "" {
+			if lit, ok := bin.R.(relational.Lit); ok && lit.V.K == relational.KindInt {
+				narrow(col.Qualifier, bin.Op, lit.V.I)
+				continue
+			}
+		}
+		if col, ok := bin.R.(relational.ColRef); ok && col.Column == "start_time" && col.Qualifier != "" {
+			if lit, ok := bin.L.(relational.Lit); ok && lit.V.K == relational.KindInt {
+				narrow(col.Qualifier, flip[bin.Op], lit.V.I)
+			}
+		}
+	}
+	return windows
 }
 
 func typeMatches(types []string, t string) bool {
@@ -314,7 +386,7 @@ func typeMatches(types []string, t string) bool {
 // this call created the binding (the caller must remove it when
 // backtracking).
 func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
-	n := m.g.nodes[id]
+	n := m.g.node(id)
 	if n == nil {
 		return false, false, nil
 	}
@@ -443,7 +515,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		return relational.Null(), fmt.Errorf("cypher: unknown variable %q", c.Column)
 	}
 	if id, ok := m.nodes[name]; ok {
-		n := m.g.nodes[id]
+		n := m.g.node(id)
 		switch c.Column {
 		case "", "id":
 			return relational.Int(id), nil
@@ -456,7 +528,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		return relational.Null(), nil
 	}
 	if id, ok := m.edges[name]; ok {
-		e := m.g.edges[id]
+		e := m.g.edgeByID(id)
 		switch c.Column {
 		case "", "id":
 			return relational.Int(id), nil
@@ -472,22 +544,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 }
 
 func dedupRows(rows [][]Value) [][]Value {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	var sb strings.Builder
-	for _, row := range rows {
-		sb.Reset()
-		for _, v := range row {
-			sb.WriteString(v.Key())
-			sb.WriteByte(0)
-		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, row)
-		}
-	}
-	return out
+	return relational.DedupRows(rows)
 }
 
 func orderRows(rs *ResultSet, q *Query) error {

@@ -14,6 +14,9 @@ package graphdb
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"threatraptor/internal/relational"
 )
@@ -38,31 +41,91 @@ type Edge struct {
 	To    int64
 	Type  string
 	Props Props
+	// startTime caches the "start_time" property (math.MinInt64 when
+	// absent) so adjacency lists can sort and binary-search by time
+	// without a property-map lookup per edge.
+	startTime int64
 }
 
-// Graph is the property graph store with adjacency lists and optional
-// property indexes.
+// noStartTime marks edges without a start_time property; they sort before
+// every timestamped edge, matching NULL-sorts-first comparison semantics.
+const noStartTime = math.MinInt64
+
+// Graph stores nodes and edges in slice-backed arenas: node and edge
+// structs live contiguously, adjacency is per-node []int32 arena offsets
+// (CSR-style), and each node's outgoing/incoming edge list is kept sorted
+// by the edges' start_time so windowed traversals binary-search to the
+// first in-window edge instead of scanning the whole neighborhood.
 type Graph struct {
-	nodes   map[int64]*Node
-	edges   map[int64]*Edge
-	out     map[int64][]int64 // node -> outgoing edge IDs
-	in      map[int64][]int64 // node -> incoming edge IDs
+	nodes   []Node
+	nodeIdx map[int64]int32 // node ID -> arena offset
+	edges   []Edge          // edge ID i lives at arena offset i-1
+	out     [][]int32       // node arena offset -> outgoing edge offsets
+	in      [][]int32       // node arena offset -> incoming edge offsets
 	byLabel map[string][]int64
-	// propIndex[label][prop][valueKey] -> node IDs
-	propIndex map[string]map[string]map[string][]int64
+	// propIndex[label][prop][value] -> node IDs. Values are used as map
+	// keys directly (the Value struct is comparable), so inserts and
+	// probes allocate no key representation.
+	propIndex map[string]map[string]map[Value][]int64
 	nextNode  int64
-	nextEdge  int64
+
+	// adjDirty is set when an edge is appended out of time order; the
+	// affected adjacency lists are re-sorted lazily before the next query.
+	adjDirty bool
+	sortMu   sync.Mutex
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		nodes:     make(map[int64]*Node),
-		edges:     make(map[int64]*Edge),
-		out:       make(map[int64][]int64),
-		in:        make(map[int64][]int64),
+		nodeIdx:   make(map[int64]int32),
 		byLabel:   make(map[string][]int64),
-		propIndex: make(map[string]map[string]map[string][]int64),
+		propIndex: make(map[string]map[string]map[Value][]int64),
+	}
+}
+
+// ReserveNodes preallocates arena capacity for n additional nodes.
+func (g *Graph) ReserveNodes(n int) {
+	need := len(g.nodes) + n
+	if cap(g.nodes) < need {
+		grown := make([]Node, len(g.nodes), need)
+		copy(grown, g.nodes)
+		g.nodes = grown
+	}
+	growAdj := func(adj [][]int32) [][]int32 {
+		if cap(adj) < need {
+			grown := make([][]int32, len(adj), need)
+			copy(grown, adj)
+			return grown
+		}
+		return adj
+	}
+	g.out = growAdj(g.out)
+	g.in = growAdj(g.in)
+}
+
+// ReserveEdges preallocates arena capacity for n additional edges.
+func (g *Graph) ReserveEdges(n int) {
+	need := len(g.edges) + n
+	if cap(g.edges) < need {
+		grown := make([]Edge, len(g.edges), need)
+		copy(grown, g.edges)
+		g.edges = grown
+	}
+}
+
+func (g *Graph) addNode(id int64, label string, props Props) {
+	g.nodeIdx[id] = int32(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label, Props: props})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[label] = append(g.byLabel[label], id)
+	if byProp, ok := g.propIndex[label]; ok {
+		for prop, vals := range byProp {
+			if v, has := props[prop]; has {
+				vals[v] = append(vals[v], id)
+			}
+		}
 	}
 }
 
@@ -70,52 +133,71 @@ func NewGraph() *Graph {
 func (g *Graph) AddNode(label string, props Props) int64 {
 	g.nextNode++
 	id := g.nextNode
-	n := &Node{ID: id, Label: label, Props: props}
-	g.nodes[id] = n
-	g.byLabel[label] = append(g.byLabel[label], id)
-	if byProp, ok := g.propIndex[label]; ok {
-		for prop, vals := range byProp {
-			if v, has := props[prop]; has {
-				vals[v.Key()] = append(vals[v.Key()], id)
-			}
-		}
-	}
+	g.addNode(id, label, props)
 	return id
 }
 
 // AddNodeWithID inserts a node with a caller-chosen ID (used when mirroring
 // entity IDs from the relational store). It panics on duplicate IDs.
 func (g *Graph) AddNodeWithID(id int64, label string, props Props) {
-	if _, dup := g.nodes[id]; dup {
+	if _, dup := g.nodeIdx[id]; dup {
 		panic(fmt.Sprintf("graphdb: duplicate node id %d", id))
 	}
 	if id > g.nextNode {
 		g.nextNode = id
 	}
-	n := &Node{ID: id, Label: label, Props: props}
-	g.nodes[id] = n
-	g.byLabel[label] = append(g.byLabel[label], id)
-	if byProp, ok := g.propIndex[label]; ok {
-		for prop, vals := range byProp {
-			if v, has := props[prop]; has {
-				vals[v.Key()] = append(vals[v.Key()], id)
-			}
-		}
-	}
+	g.addNode(id, label, props)
 }
 
 // AddEdge inserts a directed edge and returns its ID. Both endpoints must
 // exist.
 func (g *Graph) AddEdge(from, to int64, typ string, props Props) (int64, error) {
-	if g.nodes[from] == nil || g.nodes[to] == nil {
+	fi, okF := g.nodeIdx[from]
+	ti, okT := g.nodeIdx[to]
+	if !okF || !okT {
 		return 0, fmt.Errorf("graphdb: edge endpoints must exist (%d -> %d)", from, to)
 	}
-	g.nextEdge++
-	id := g.nextEdge
-	g.edges[id] = &Edge{ID: id, From: from, To: to, Type: typ, Props: props}
-	g.out[from] = append(g.out[from], id)
-	g.in[to] = append(g.in[to], id)
+	st := int64(noStartTime)
+	if v, has := props["start_time"]; has && v.K == relational.KindInt {
+		st = v.I
+	}
+	ei := int32(len(g.edges))
+	id := int64(ei) + 1
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: typ, Props: props, startTime: st})
+	if l := g.out[fi]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
+		g.adjDirty = true
+	}
+	g.out[fi] = append(g.out[fi], ei)
+	if l := g.in[ti]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
+		g.adjDirty = true
+	}
+	g.in[ti] = append(g.in[ti], ei)
 	return id, nil
+}
+
+// ensureAdjSorted restores the by-start_time order of every adjacency
+// list after out-of-order inserts. Queries call it once on entry; audit
+// logs arrive in time order, so in the steady state it is a flag check.
+func (g *Graph) ensureAdjSorted() {
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if !g.adjDirty {
+		return
+	}
+	sortLists := func(adj [][]int32) {
+		for _, l := range adj {
+			sort.Slice(l, func(a, b int) bool {
+				ea, eb := &g.edges[l[a]], &g.edges[l[b]]
+				if ea.startTime != eb.startTime {
+					return ea.startTime < eb.startTime
+				}
+				return l[a] < l[b]
+			})
+		}
+	}
+	sortLists(g.out)
+	sortLists(g.in)
+	g.adjDirty = false
 }
 
 // CreateIndex builds a property index on (label, prop) over existing and
@@ -123,26 +205,47 @@ func (g *Graph) AddEdge(from, to int64, typ string, props Props) (int64, error) 
 func (g *Graph) CreateIndex(label, prop string) {
 	byProp, ok := g.propIndex[label]
 	if !ok {
-		byProp = make(map[string]map[string][]int64)
+		byProp = make(map[string]map[Value][]int64)
 		g.propIndex[label] = byProp
 	}
 	if _, exists := byProp[prop]; exists {
 		return
 	}
-	vals := make(map[string][]int64)
+	vals := make(map[Value][]int64)
 	for _, id := range g.byLabel[label] {
-		if v, has := g.nodes[id].Props[prop]; has {
-			vals[v.Key()] = append(vals[v.Key()], id)
+		if v, has := g.node(id).Props[prop]; has {
+			vals[v] = append(vals[v], id)
 		}
 	}
 	byProp[prop] = vals
 }
 
-// Node returns the node with the given ID, or nil.
-func (g *Graph) Node(id int64) *Node { return g.nodes[id] }
+// node returns a pointer into the node arena, or nil. The pointer is
+// valid until the next node insert (arena growth may relocate it).
+func (g *Graph) node(id int64) *Node {
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return nil
+	}
+	return &g.nodes[i]
+}
 
-// Edge returns the edge with the given ID, or nil.
-func (g *Graph) Edge(id int64) *Edge { return g.edges[id] }
+// edgeByID returns a pointer into the edge arena, or nil; edge IDs are
+// dense (arena offset + 1), so this is a bounds check, not a map lookup.
+func (g *Graph) edgeByID(id int64) *Edge {
+	if id < 1 || id > int64(len(g.edges)) {
+		return nil
+	}
+	return &g.edges[id-1]
+}
+
+// Node returns the node with the given ID, or nil. The pointer is valid
+// until the next insert.
+func (g *Graph) Node(id int64) *Node { return g.node(id) }
+
+// Edge returns the edge with the given ID, or nil. The pointer is valid
+// until the next insert.
+func (g *Graph) Edge(id int64) *Edge { return g.edgeByID(id) }
 
 // NumNodes and NumEdges report store sizes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
@@ -151,18 +254,59 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // NodesByLabel returns the IDs of all nodes with the label.
 func (g *Graph) NodesByLabel(label string) []int64 { return g.byLabel[label] }
 
-// AllNodeIDs returns every node ID (order unspecified).
+// AllNodeIDs returns every node ID in insertion order.
 func (g *Graph) AllNodeIDs() []int64 {
-	out := make([]int64, 0, len(g.nodes))
-	for id := range g.nodes {
-		out = append(out, id)
+	out := make([]int64, len(g.nodes))
+	for i := range g.nodes {
+		out[i] = g.nodes[i].ID
 	}
 	return out
 }
 
-// Out and In return the outgoing/incoming edge IDs of a node.
-func (g *Graph) Out(id int64) []int64 { return g.out[id] }
-func (g *Graph) In(id int64) []int64  { return g.in[id] }
+// Out and In return the outgoing/incoming edge IDs of a node, ordered by
+// the edges' start_time.
+func (g *Graph) Out(id int64) []int64 { return g.edgeIDs(g.outOffsets(id)) }
+func (g *Graph) In(id int64) []int64  { return g.edgeIDs(g.inOffsets(id)) }
+
+func (g *Graph) edgeIDs(offsets []int32) []int64 {
+	ids := make([]int64, len(offsets))
+	for i, o := range offsets {
+		ids[i] = int64(o) + 1
+	}
+	return ids
+}
+
+// outOffsets and inOffsets return adjacency as edge arena offsets.
+func (g *Graph) outOffsets(id int64) []int32 {
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return nil
+	}
+	return g.out[i]
+}
+
+func (g *Graph) inOffsets(id int64) []int32 {
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return nil
+	}
+	return g.in[i]
+}
+
+// windowSlice narrows a time-sorted adjacency list to the edges whose
+// start_time lies in [lo, hi], via binary search on both bounds.
+func (g *Graph) windowSlice(adj []int32, lo, hi int64) []int32 {
+	start := sort.Search(len(adj), func(i int) bool {
+		return g.edges[adj[i]].startTime >= lo
+	})
+	end := sort.Search(len(adj), func(i int) bool {
+		return g.edges[adj[i]].startTime > hi
+	})
+	if start >= end {
+		return nil
+	}
+	return adj[start:end]
+}
 
 // lookupIndexed returns node IDs where label.prop == v, and whether an
 // index served the lookup.
@@ -175,5 +319,5 @@ func (g *Graph) lookupIndexed(label, prop string, v Value) ([]int64, bool) {
 	if !ok {
 		return nil, false
 	}
-	return vals[v.Key()], true
+	return vals[v], true
 }

@@ -1,0 +1,65 @@
+package relational
+
+// DedupRows removes duplicate rows in place, preserving first-seen order.
+// Rows are hashed value-wise (FNV-1a over kind, integer, and string
+// content) and compared field-wise on collision, so no per-row string key
+// is ever built. Both query backends and the TBQL engine's DISTINCT use
+// this one helper so duplicate semantics stay identical everywhere.
+func DedupRows(rows [][]Value) [][]Value {
+	if len(rows) < 2 {
+		return rows
+	}
+	// buckets maps a row hash to indexes into out holding that hash.
+	buckets := make(map[uint64][]int32, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		h := hashRow(row)
+		dup := false
+		for _, i := range buckets[h] {
+			if rowsEqual(out[i], row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		buckets[h] = append(buckets[h], int32(len(out)))
+		out = append(out, row)
+	}
+	return out
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashRow(row []Value) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range row {
+		h ^= uint64(v.K)
+		h *= fnvPrime
+		h ^= uint64(v.I)
+		h *= fnvPrime
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// rowsEqual is strict structural equality (NULLs compare equal to NULLs,
+// matching the previous key-string dedup semantics).
+func rowsEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -19,115 +19,88 @@ func (db *DB) Query(sql string) (*ResultSet, error) {
 	return rs, err
 }
 
-// QueryStats is Query plus execution statistics.
+// QueryStats is Query plus execution statistics. Plans are cached per
+// distinct SQL text, so repeated data queries skip parsing and planning.
 func (db *DB) QueryStats(sql string) (*ResultSet, ExecStats, error) {
-	stmt, err := ParseSelect(sql)
+	p, err := db.prepare(sql)
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	return db.Exec(stmt)
+	return p.run()
 }
 
-// Exec runs a parsed SELECT statement.
+// Exec runs a parsed SELECT statement (planned fresh, uncached).
 func (db *DB) Exec(stmt *SelectStmt) (*ResultSet, ExecStats, error) {
-	var stats ExecStats
-	bind, err := newBinding(db, stmt)
+	p, err := db.plan(stmt)
 	if err != nil {
-		return nil, stats, err
+		return nil, ExecStats{}, err
 	}
+	return p.run()
+}
 
-	// Gather all filter conjuncts: WHERE plus every JOIN ... ON.
-	var conjuncts []Expr
-	if stmt.Where != nil {
-		conjuncts = flattenAnd(stmt.Where, conjuncts)
-	}
-	for _, j := range stmt.Joins {
-		conjuncts = flattenAnd(j.On, conjuncts)
-	}
+// run executes a compiled plan: an index-accelerated nested-loop join
+// whose predicates and projection are pre-compiled closures over the
+// columnar storage. The plan is read-only; all mutable state is local, so
+// one plan may run on many goroutines concurrently.
+func (p *plan) run() (*ResultSet, ExecStats, error) {
+	st := &execState{rows: make([]int32, len(p.tables))}
+	rs := &ResultSet{Columns: p.cols}
 
-	// Attach each conjunct to the deepest table it references so it is
-	// evaluated as early as possible (predicate pushdown).
-	levelPreds := make([][]Expr, len(bind.tables))
-	for _, c := range conjuncts {
-		lvl, err := bind.deepestLevel(c)
-		if err != nil {
-			return nil, stats, err
-		}
-		levelPreds[lvl] = append(levelPreds[lvl], c)
-	}
-
-	// Pre-plan index access per level: an equality conjunct at level k of
-	// the form tk.col = X, where X is a literal or references only earlier
-	// levels and tk.col is indexed, lets us probe instead of scan.
-	access := make([]*indexAccess, len(bind.tables))
-	for lvl := range bind.tables {
-		access[lvl] = bind.planIndexAccess(lvl, levelPreds[lvl])
-	}
-
-	// Projection setup.
-	cols, projector, err := bind.projection(stmt)
-	if err != nil {
-		return nil, stats, err
-	}
-
-	rs := &ResultSet{Columns: cols}
-	env := make([][]Value, len(bind.tables))
 	var walk func(lvl int) error
 	walk = func(lvl int) error {
-		if lvl == len(bind.tables) {
-			row, err := projector(env)
+		if lvl == len(p.tables) {
+			row, err := p.project(st)
 			if err != nil {
 				return err
 			}
 			rs.Rows = append(rs.Rows, row)
 			return nil
 		}
-		tbl := bind.tables[lvl]
-		var candidates []int
-		if ia := access[lvl]; ia != nil {
-			if ia.keyList != nil {
-				for _, key := range ia.keyList {
-					pos, ok := tbl.lookup(ia.column, key)
-					if ok {
-						stats.IndexLookups++
-						candidates = append(candidates, pos...)
-					}
-				}
-			} else {
-				key, err := bind.eval(ia.keyExpr, env)
+		tbl := p.tables[lvl]
+		preds := p.levelPreds[lvl]
+		tryRow := func(row int32) error {
+			st.stats.RowsScanned++
+			st.rows[lvl] = row
+			for _, pred := range preds {
+				ok, err := pred(st)
 				if err != nil {
 					return err
 				}
-				pos, ok := tbl.lookup(ia.column, key)
-				if ok {
-					stats.IndexLookups++
-					candidates = pos
-				}
-			}
-		}
-		tryRow := func(row []Value) error {
-			stats.RowsScanned++
-			env[lvl] = row
-			for _, pred := range levelPreds[lvl] {
-				v, err := bind.eval(pred, env)
-				if err != nil {
-					return err
-				}
-				if !v.Truthy() {
+				if !ok {
 					return nil
 				}
 			}
 			return walk(lvl + 1)
 		}
-		if candidates != nil || access[lvl] != nil && access[lvl].indexed {
-			for _, p := range candidates {
-				if err := tryRow(tbl.Rows[p]); err != nil {
-					return err
+		if ia := p.access[lvl]; ia != nil {
+			probe := func(key Value) error {
+				pos, ok := tbl.lookup(ia.col, key)
+				if !ok {
+					return nil
 				}
+				st.stats.IndexLookups++
+				for _, r := range pos {
+					if err := tryRow(r); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
-			return nil
+			if ia.keyList != nil {
+				for _, key := range ia.keyList {
+					if err := probe(key); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			key, err := ia.keyFn(st)
+			if err != nil {
+				return err
+			}
+			return probe(key)
 		}
-		for _, row := range tbl.Rows {
+		for row, n := int32(0), int32(tbl.Len()); row < n; row++ {
 			if err := tryRow(row); err != nil {
 				return err
 			}
@@ -135,293 +108,24 @@ func (db *DB) Exec(stmt *SelectStmt) (*ResultSet, ExecStats, error) {
 		return nil
 	}
 	if err := walk(0); err != nil {
-		return nil, stats, err
+		return nil, st.stats, err
 	}
-	env = nil
 
-	if stmt.Distinct {
-		rs.Rows = dedupRows(rs.Rows)
+	if p.stmt.Distinct {
+		rs.Rows = DedupRows(rs.Rows)
 	}
-	if len(stmt.OrderBy) > 0 {
-		if err := bind.orderRows(rs, stmt); err != nil {
-			return nil, stats, err
+	if len(p.stmt.OrderBy) > 0 {
+		if err := orderResultRows(rs, p.stmt); err != nil {
+			return nil, st.stats, err
 		}
 	}
-	if stmt.Limit >= 0 && len(rs.Rows) > stmt.Limit {
-		rs.Rows = rs.Rows[:stmt.Limit]
+	if p.stmt.Limit >= 0 && len(rs.Rows) > p.stmt.Limit {
+		rs.Rows = rs.Rows[:p.stmt.Limit]
 	}
-	return rs, stats, nil
+	return rs, st.stats, nil
 }
 
-// binding resolves aliases and columns for one statement.
-type binding struct {
-	aliases []string
-	tables  []*Table
-	byAlias map[string]int
-}
-
-func newBinding(db *DB, stmt *SelectStmt) (*binding, error) {
-	b := &binding{byAlias: make(map[string]int)}
-	add := func(ref TableRef) error {
-		tbl := db.Table(ref.Table)
-		if tbl == nil {
-			return fmt.Errorf("sql: unknown table %q", ref.Table)
-		}
-		alias := strings.ToLower(ref.Alias)
-		if _, dup := b.byAlias[alias]; dup {
-			return fmt.Errorf("sql: duplicate table alias %q", ref.Alias)
-		}
-		b.byAlias[alias] = len(b.tables)
-		b.aliases = append(b.aliases, alias)
-		b.tables = append(b.tables, tbl)
-		return nil
-	}
-	for _, ref := range stmt.From {
-		if err := add(ref); err != nil {
-			return nil, err
-		}
-	}
-	for _, j := range stmt.Joins {
-		if err := add(j.Ref); err != nil {
-			return nil, err
-		}
-	}
-	if len(b.tables) == 0 {
-		return nil, fmt.Errorf("sql: empty FROM clause")
-	}
-	return b, nil
-}
-
-// resolve maps a column reference to (table level, column position).
-func (b *binding) resolve(c ColRef) (int, int, error) {
-	if c.Qualifier != "" {
-		lvl, ok := b.byAlias[strings.ToLower(c.Qualifier)]
-		if !ok {
-			return 0, 0, fmt.Errorf("sql: unknown alias %q", c.Qualifier)
-		}
-		col := b.tables[lvl].Schema.IndexOf(strings.ToLower(c.Column))
-		if col < 0 {
-			return 0, 0, fmt.Errorf("sql: table %s has no column %q", b.tables[lvl].Name, c.Column)
-		}
-		return lvl, col, nil
-	}
-	found := -1
-	var foundCol int
-	for lvl, tbl := range b.tables {
-		if col := tbl.Schema.IndexOf(strings.ToLower(c.Column)); col >= 0 {
-			if found >= 0 {
-				return 0, 0, fmt.Errorf("sql: ambiguous column %q", c.Column)
-			}
-			found, foundCol = lvl, col
-		}
-	}
-	if found < 0 {
-		return 0, 0, fmt.Errorf("sql: unknown column %q", c.Column)
-	}
-	return found, foundCol, nil
-}
-
-// deepestLevel returns the highest table level referenced by e (0 for
-// constant expressions).
-func (b *binding) deepestLevel(e Expr) (int, error) {
-	max := 0
-	var visit func(Expr) error
-	visit = func(e Expr) error {
-		switch v := e.(type) {
-		case ColRef:
-			lvl, _, err := b.resolve(v)
-			if err != nil {
-				return err
-			}
-			if lvl > max {
-				max = lvl
-			}
-		case BinOp:
-			if err := visit(v.L); err != nil {
-				return err
-			}
-			return visit(v.R)
-		case UnOp:
-			return visit(v.E)
-		case InList:
-			if err := visit(v.E); err != nil {
-				return err
-			}
-			for _, x := range v.Vals {
-				if err := visit(x); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := visit(e); err != nil {
-		return 0, err
-	}
-	return max, nil
-}
-
-// indexAccess describes a hash-index probe for one nested-loop level.
-// Either keyExpr (single probe) or keyList (multi-probe from an IN list)
-// is set.
-type indexAccess struct {
-	column  string
-	keyExpr Expr    // evaluated against earlier levels
-	keyList []Value // literal IN-list probes
-	indexed bool
-}
-
-// planInListAccess turns "tbl.col IN (literals...)" into a multi-probe.
-func (b *binding) planInListAccess(lvl int, in InList) *indexAccess {
-	c, ok := in.E.(ColRef)
-	if !ok {
-		return nil
-	}
-	clvl, ccol, err := b.resolve(c)
-	if err != nil || clvl != lvl {
-		return nil
-	}
-	colName := b.tables[lvl].Schema[ccol].Name
-	if !b.tables[lvl].HasIndex(colName) {
-		return nil
-	}
-	vals := make([]Value, 0, len(in.Vals))
-	for _, ve := range in.Vals {
-		lit, ok := ve.(Lit)
-		if !ok {
-			return nil
-		}
-		vals = append(vals, lit.V)
-	}
-	return &indexAccess{column: colName, keyList: vals, indexed: true}
-}
-
-// planIndexAccess finds an equality conjunct "tbl.col = key" (or an
-// all-literal "tbl.col IN (...)") usable as an index probe at the given
-// level.
-func (b *binding) planIndexAccess(lvl int, preds []Expr) *indexAccess {
-	tbl := b.tables[lvl]
-	for _, p := range preds {
-		if in, ok := p.(InList); ok && !in.Negate {
-			if ia := b.planInListAccess(lvl, in); ia != nil {
-				return ia
-			}
-			continue
-		}
-		bin, ok := p.(BinOp)
-		if !ok || bin.Op != "=" {
-			continue
-		}
-		try := func(colSide, keySide Expr) *indexAccess {
-			c, ok := colSide.(ColRef)
-			if !ok {
-				return nil
-			}
-			clvl, ccol, err := b.resolve(c)
-			if err != nil || clvl != lvl {
-				return nil
-			}
-			keyLvl, err := b.deepestLevel(keySide)
-			if err != nil {
-				return nil
-			}
-			if _, isCol := keySide.(ColRef); !isCol {
-				if _, isLit := keySide.(Lit); !isLit {
-					return nil
-				}
-			}
-			if keyLvl >= lvl {
-				if _, isLit := keySide.(Lit); !isLit {
-					return nil
-				}
-			}
-			colName := tbl.Schema[ccol].Name
-			if !tbl.HasIndex(colName) {
-				return nil
-			}
-			return &indexAccess{column: colName, keyExpr: keySide, indexed: true}
-		}
-		if ia := try(bin.L, bin.R); ia != nil {
-			return ia
-		}
-		if ia := try(bin.R, bin.L); ia != nil {
-			return ia
-		}
-	}
-	return nil
-}
-
-// eval evaluates e against the current environment (one row per level;
-// levels above the current nesting depth are nil and must not be
-// referenced, which the pushdown planner guarantees).
-func (b *binding) eval(e Expr, env [][]Value) (Value, error) {
-	return EvalExpr(e, func(c ColRef) (Value, error) {
-		lvl, col, err := b.resolve(c)
-		if err != nil {
-			return Null(), err
-		}
-		if env[lvl] == nil {
-			return Null(), fmt.Errorf("sql: internal: reference to unbound table %s", b.aliases[lvl])
-		}
-		return env[lvl][col], nil
-	})
-}
-
-// projection builds the output column labels and a row projector.
-func (b *binding) projection(stmt *SelectStmt) ([]string, func([][]Value) ([]Value, error), error) {
-	if len(stmt.Select) == 0 { // SELECT *
-		var cols []string
-		type src struct{ lvl, col int }
-		var srcs []src
-		for lvl, tbl := range b.tables {
-			for col, c := range tbl.Schema {
-				label := c.Name
-				if len(b.tables) > 1 {
-					label = b.aliases[lvl] + "." + c.Name
-				}
-				cols = append(cols, label)
-				srcs = append(srcs, src{lvl, col})
-			}
-		}
-		return cols, func(env [][]Value) ([]Value, error) {
-			row := make([]Value, len(srcs))
-			for i, s := range srcs {
-				row[i] = env[s.lvl][s.col]
-			}
-			return row, nil
-		}, nil
-	}
-	cols := make([]string, len(stmt.Select))
-	for i, item := range stmt.Select {
-		switch {
-		case item.As != "":
-			cols[i] = item.As
-		default:
-			if c, ok := item.Expr.(ColRef); ok {
-				if c.Qualifier != "" {
-					cols[i] = c.Qualifier + "." + c.Column
-				} else {
-					cols[i] = c.Column
-				}
-			} else {
-				cols[i] = fmt.Sprintf("col%d", i+1)
-			}
-		}
-	}
-	return cols, func(env [][]Value) ([]Value, error) {
-		row := make([]Value, len(stmt.Select))
-		for i, item := range stmt.Select {
-			v, err := b.eval(item.Expr, env)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		return row, nil
-	}, nil
-}
-
-func (b *binding) orderRows(rs *ResultSet, stmt *SelectStmt) error {
+func orderResultRows(rs *ResultSet, stmt *SelectStmt) error {
 	// ORDER BY keys must be projected columns (by name) or positions.
 	keyIdx := make([]int, len(stmt.OrderBy))
 	for i, item := range stmt.OrderBy {
@@ -472,31 +176,4 @@ func (b *binding) orderRows(rs *ResultSet, stmt *SelectStmt) error {
 		return false
 	})
 	return sortErr
-}
-
-func flattenAnd(e Expr, acc []Expr) []Expr {
-	if bin, ok := e.(BinOp); ok && bin.Op == "and" {
-		acc = flattenAnd(bin.L, acc)
-		return flattenAnd(bin.R, acc)
-	}
-	return append(acc, e)
-}
-
-func dedupRows(rows [][]Value) [][]Value {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	var sb strings.Builder
-	for _, row := range rows {
-		sb.Reset()
-		for _, v := range row {
-			sb.WriteString(v.Key())
-			sb.WriteByte(0)
-		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, row)
-		}
-	}
-	return out
 }

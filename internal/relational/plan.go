@@ -1,0 +1,916 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the query planner: a parsed SELECT is compiled once into a
+// plan of closures that read the columnar storage directly — column
+// references resolve to (level, column-position) at plan time, predicates
+// specialize on the column kinds they touch (typed comparisons, prepared
+// LIKE matchers, IN-list hash sets), and projection is a straight column
+// gather. Execution then runs the closures with zero per-row name
+// resolution and zero per-row allocation outside result rows.
+
+// plan is a fully compiled SELECT, safe for concurrent reuse: all mutable
+// execution state lives in execState.
+type plan struct {
+	stmt       *SelectStmt
+	tables     []*Table
+	levelPreds [][]predFn
+	access     []*indexAccess
+	cols       []string
+	project    projFn
+}
+
+// execState is the per-execution mutable state: the current row index of
+// every nested-loop level plus the work counters.
+type execState struct {
+	rows  []int32
+	stats ExecStats
+}
+
+type evalFn func(st *execState) (Value, error)
+type predFn func(st *execState) (bool, error)
+type projFn func(st *execState) ([]Value, error)
+
+// indexAccess describes a hash-index probe for one nested-loop level.
+// Either keyFn (single probe, evaluated against earlier levels) or keyList
+// (multi-probe from a literal IN list) is set.
+type indexAccess struct {
+	col     int
+	keyFn   evalFn
+	keyList []Value
+}
+
+// binding resolves aliases and columns for one statement.
+type binding struct {
+	aliases []string
+	tables  []*Table
+	byAlias map[string]int
+}
+
+func newBinding(db *DB, stmt *SelectStmt) (*binding, error) {
+	b := &binding{byAlias: make(map[string]int)}
+	add := func(ref TableRef) error {
+		tbl := db.Table(ref.Table)
+		if tbl == nil {
+			return fmt.Errorf("sql: unknown table %q", ref.Table)
+		}
+		alias := strings.ToLower(ref.Alias)
+		if _, dup := b.byAlias[alias]; dup {
+			return fmt.Errorf("sql: duplicate table alias %q", ref.Alias)
+		}
+		b.byAlias[alias] = len(b.tables)
+		b.aliases = append(b.aliases, alias)
+		b.tables = append(b.tables, tbl)
+		return nil
+	}
+	for _, ref := range stmt.From {
+		if err := add(ref); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		if err := add(j.Ref); err != nil {
+			return nil, err
+		}
+	}
+	if len(b.tables) == 0 {
+		return nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	return b, nil
+}
+
+// resolve maps a column reference to (table level, column position).
+func (b *binding) resolve(c ColRef) (int, int, error) {
+	if c.Qualifier != "" {
+		lvl, ok := b.byAlias[strings.ToLower(c.Qualifier)]
+		if !ok {
+			return 0, 0, fmt.Errorf("sql: unknown alias %q", c.Qualifier)
+		}
+		col := b.tables[lvl].Schema.IndexOf(strings.ToLower(c.Column))
+		if col < 0 {
+			return 0, 0, fmt.Errorf("sql: table %s has no column %q", b.tables[lvl].Name, c.Column)
+		}
+		return lvl, col, nil
+	}
+	found := -1
+	var foundCol int
+	for lvl, tbl := range b.tables {
+		if col := tbl.Schema.IndexOf(strings.ToLower(c.Column)); col >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sql: ambiguous column %q", c.Column)
+			}
+			found, foundCol = lvl, col
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sql: unknown column %q", c.Column)
+	}
+	return found, foundCol, nil
+}
+
+// deepestLevel returns the highest table level referenced by e (0 for
+// constant expressions).
+func (b *binding) deepestLevel(e Expr) (int, error) {
+	max := 0
+	var visit func(Expr) error
+	visit = func(e Expr) error {
+		switch v := e.(type) {
+		case ColRef:
+			lvl, _, err := b.resolve(v)
+			if err != nil {
+				return err
+			}
+			if lvl > max {
+				max = lvl
+			}
+		case BinOp:
+			if err := visit(v.L); err != nil {
+				return err
+			}
+			return visit(v.R)
+		case UnOp:
+			return visit(v.E)
+		case InList:
+			if err := visit(v.E); err != nil {
+				return err
+			}
+			for _, x := range v.Vals {
+				if err := visit(x); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := visit(e); err != nil {
+		return 0, err
+	}
+	return max, nil
+}
+
+// plan compiles a parsed SELECT against the database's current tables.
+func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
+	b, err := newBinding(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather all filter conjuncts: WHERE plus every JOIN ... ON.
+	var conjuncts []Expr
+	if stmt.Where != nil {
+		conjuncts = flattenAnd(stmt.Where, conjuncts)
+	}
+	for _, j := range stmt.Joins {
+		conjuncts = flattenAnd(j.On, conjuncts)
+	}
+
+	// Attach each conjunct to the deepest table it references so it is
+	// evaluated as early as possible (predicate pushdown).
+	levelExprs := make([][]Expr, len(b.tables))
+	for _, c := range conjuncts {
+		lvl, err := b.deepestLevel(c)
+		if err != nil {
+			return nil, err
+		}
+		levelExprs[lvl] = append(levelExprs[lvl], c)
+	}
+
+	p := &plan{
+		stmt:       stmt,
+		tables:     b.tables,
+		levelPreds: make([][]predFn, len(b.tables)),
+		access:     make([]*indexAccess, len(b.tables)),
+	}
+	for lvl := range b.tables {
+		ia, err := b.planIndexAccess(lvl, levelExprs[lvl])
+		if err != nil {
+			return nil, err
+		}
+		p.access[lvl] = ia
+		for _, e := range levelExprs[lvl] {
+			pf, err := b.compilePred(e)
+			if err != nil {
+				return nil, err
+			}
+			p.levelPreds[lvl] = append(p.levelPreds[lvl], pf)
+		}
+	}
+
+	p.cols, p.project, err = b.compileProjection(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// planInListAccess turns "tbl.col IN (literals...)" into a multi-probe.
+func (b *binding) planInListAccess(lvl int, in InList) *indexAccess {
+	c, ok := in.E.(ColRef)
+	if !ok {
+		return nil
+	}
+	clvl, ccol, err := b.resolve(c)
+	if err != nil || clvl != lvl {
+		return nil
+	}
+	if b.tables[lvl].indexes[ccol] == nil {
+		return nil
+	}
+	vals := make([]Value, 0, len(in.Vals))
+	for _, ve := range in.Vals {
+		lit, ok := ve.(Lit)
+		if !ok {
+			return nil
+		}
+		vals = append(vals, lit.V)
+	}
+	return &indexAccess{col: ccol, keyList: vals}
+}
+
+// planIndexAccess finds an equality conjunct "tbl.col = key" (or an
+// all-literal "tbl.col IN (...)") usable as an index probe at the given
+// level.
+func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
+	tbl := b.tables[lvl]
+	for _, p := range preds {
+		if in, ok := p.(InList); ok && !in.Negate {
+			if ia := b.planInListAccess(lvl, in); ia != nil {
+				return ia, nil
+			}
+			continue
+		}
+		bin, ok := p.(BinOp)
+		if !ok || bin.Op != "=" {
+			continue
+		}
+		try := func(colSide, keySide Expr) *indexAccess {
+			c, ok := colSide.(ColRef)
+			if !ok {
+				return nil
+			}
+			clvl, ccol, err := b.resolve(c)
+			if err != nil || clvl != lvl {
+				return nil
+			}
+			keyLvl, err := b.deepestLevel(keySide)
+			if err != nil {
+				return nil
+			}
+			if _, isCol := keySide.(ColRef); !isCol {
+				if _, isLit := keySide.(Lit); !isLit {
+					return nil
+				}
+			}
+			if keyLvl >= lvl {
+				if _, isLit := keySide.(Lit); !isLit {
+					return nil
+				}
+			}
+			if tbl.indexes[ccol] == nil {
+				return nil
+			}
+			keyFn, err := b.compileEval(keySide)
+			if err != nil {
+				return nil
+			}
+			return &indexAccess{col: ccol, keyFn: keyFn}
+		}
+		if ia := try(bin.L, bin.R); ia != nil {
+			return ia, nil
+		}
+		if ia := try(bin.R, bin.L); ia != nil {
+			return ia, nil
+		}
+	}
+	return nil, nil
+}
+
+// compileEval compiles an expression to a closure with the exact
+// semantics of EvalExpr (NULL rules, numeric-string equality leniency,
+// comparison errors on kind mismatch).
+func (b *binding) compileEval(e Expr) (evalFn, error) {
+	switch v := e.(type) {
+	case Lit:
+		val := v.V
+		return func(*execState) (Value, error) { return val, nil }, nil
+	case ColRef:
+		lvl, col, err := b.resolve(v)
+		if err != nil {
+			return nil, err
+		}
+		tbl := b.tables[lvl]
+		return func(st *execState) (Value, error) {
+			return tbl.cell(int(st.rows[lvl]), col), nil
+		}, nil
+	case UnOp:
+		inner, err := b.compileEval(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(st *execState) (Value, error) {
+			x, err := inner(st)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(!x.Truthy()), nil
+		}, nil
+	case InList:
+		ef, err := b.compileEval(v.E)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]evalFn, len(v.Vals))
+		for i, ve := range v.Vals {
+			if vals[i], err = b.compileEval(ve); err != nil {
+				return nil, err
+			}
+		}
+		negate := v.Negate
+		return func(st *execState) (Value, error) {
+			x, err := ef(st)
+			if err != nil {
+				return Null(), err
+			}
+			match := false
+			for _, vf := range vals {
+				y, err := vf(st)
+				if err != nil {
+					return Null(), err
+				}
+				if x.Equal(y) {
+					match = true
+					break
+				}
+			}
+			return Bool(match != negate), nil
+		}, nil
+	case BinOp:
+		l, err := b.compileEval(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compileEval(v.R)
+		if err != nil {
+			return nil, err
+		}
+		switch op := v.Op; op {
+		case "and":
+			return func(st *execState) (Value, error) {
+				lv, err := l(st)
+				if err != nil {
+					return Null(), err
+				}
+				if !lv.Truthy() {
+					return Bool(false), nil
+				}
+				rv, err := r(st)
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(rv.Truthy()), nil
+			}, nil
+		case "or":
+			return func(st *execState) (Value, error) {
+				lv, err := l(st)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.Truthy() {
+					return Bool(true), nil
+				}
+				rv, err := r(st)
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(rv.Truthy()), nil
+			}, nil
+		case "=":
+			return func(st *execState) (Value, error) {
+				lv, rv, err := eval2(l, r, st)
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(lv.Equal(rv)), nil
+			}, nil
+		case "<>":
+			return func(st *execState) (Value, error) {
+				lv, rv, err := eval2(l, r, st)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return Bool(false), nil
+				}
+				return Bool(!lv.Equal(rv)), nil
+			}, nil
+		case "like":
+			if lit, ok := v.R.(Lit); ok && lit.V.K == KindString {
+				match := compileLikePattern(lit.V.S)
+				return func(st *execState) (Value, error) {
+					lv, err := l(st)
+					if err != nil {
+						return Null(), err
+					}
+					return Bool(lv.K == KindString && match(lv.S)), nil
+				}, nil
+			}
+			return func(st *execState) (Value, error) {
+				lv, rv, err := eval2(l, r, st)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.K != KindString || rv.K != KindString {
+					return Bool(false), nil
+				}
+				return Bool(Like(lv.S, rv.S)), nil
+			}, nil
+		case "+", "-":
+			plus := op == "+"
+			return func(st *execState) (Value, error) {
+				lv, rv, err := eval2(l, r, st)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.K != KindInt || rv.K != KindInt {
+					return Null(), fmt.Errorf("relational: arithmetic requires integers")
+				}
+				if plus {
+					return Int(lv.I + rv.I), nil
+				}
+				return Int(lv.I - rv.I), nil
+			}, nil
+		case "<", "<=", ">", ">=":
+			op := op
+			return func(st *execState) (Value, error) {
+				lv, rv, err := eval2(l, r, st)
+				if err != nil {
+					return Null(), err
+				}
+				cmp, err := lv.Compare(rv)
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(cmpHolds(op, cmp)), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("relational: unknown operator %q", v.Op)
+	}
+	return nil, fmt.Errorf("relational: cannot evaluate %T", e)
+}
+
+func eval2(l, r evalFn, st *execState) (Value, Value, error) {
+	lv, err := l(st)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	rv, err := r(st)
+	if err != nil {
+		return Value{}, Value{}, err
+	}
+	return lv, rv, nil
+}
+
+func cmpHolds(op string, cmp int) bool {
+	switch op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// compilePred compiles a boolean conjunct, specializing the typed hot
+// shapes (column-vs-literal, column-vs-column, prepared LIKE, literal IN
+// lists) to direct columnar reads.
+func (b *binding) compilePred(e Expr) (predFn, error) {
+	switch v := e.(type) {
+	case BinOp:
+		switch v.Op {
+		case "and":
+			l, err := b.compilePred(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compilePred(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(st *execState) (bool, error) {
+				ok, err := l(st)
+				if err != nil || !ok {
+					return false, err
+				}
+				return r(st)
+			}, nil
+		case "or":
+			l, err := b.compilePred(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.compilePred(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(st *execState) (bool, error) {
+				ok, err := l(st)
+				if err != nil || ok {
+					return ok, err
+				}
+				return r(st)
+			}, nil
+		case "=", "<>", "<", "<=", ">", ">=", "like":
+			if pf := b.specializeCmp(v); pf != nil {
+				return pf, nil
+			}
+		}
+	case UnOp:
+		inner, err := b.compilePred(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(st *execState) (bool, error) {
+			ok, err := inner(st)
+			return !ok, err
+		}, nil
+	case InList:
+		if pf := b.specializeInList(v); pf != nil {
+			return pf, nil
+		}
+	}
+	ef, err := b.compileEval(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(st *execState) (bool, error) {
+		val, err := ef(st)
+		if err != nil {
+			return false, err
+		}
+		return val.Truthy(), nil
+	}, nil
+}
+
+// colAccess is a resolved column read used by the specialized predicates.
+type colAccess struct {
+	tbl  *Table
+	lvl  int
+	col  int
+	kind Kind
+}
+
+func (b *binding) colAccess(c ColRef) (colAccess, bool) {
+	lvl, col, err := b.resolve(c)
+	if err != nil {
+		return colAccess{}, false
+	}
+	return colAccess{tbl: b.tables[lvl], lvl: lvl, col: col, kind: b.tables[lvl].Schema[col].Kind}, true
+}
+
+func (a colAccess) intAt(st *execState) (int64, bool) {
+	row := int(st.rows[a.lvl])
+	c := &a.tbl.cols[a.col]
+	if len(c.null) > row>>6 && c.null.get(row) {
+		return 0, true
+	}
+	return c.ints[row], false
+}
+
+func (a colAccess) strAt(st *execState) (string, bool) {
+	row := int(st.rows[a.lvl])
+	c := &a.tbl.cols[a.col]
+	if len(c.null) > row>>6 && c.null.get(row) {
+		return "", true
+	}
+	return c.strs[row], false
+}
+
+// specializeCmp returns a typed predicate for column-vs-literal and
+// column-vs-column comparisons where both sides share one kind, or nil
+// when the shape needs the generic evaluator (mixed kinds keep EvalExpr's
+// leniency and error semantics).
+func (b *binding) specializeCmp(v BinOp) predFn {
+	op := v.Op
+	// Normalize literal-on-the-left to column-vs-literal with flipped op.
+	l, r := v.L, v.R
+	if _, isLit := l.(Lit); isLit {
+		if _, isCol := r.(ColRef); isCol {
+			l, r = r, l
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			case "like":
+				return nil // pattern on the left is not a column match
+			}
+		}
+	}
+	lc, ok := l.(ColRef)
+	if !ok {
+		return nil
+	}
+	la, ok := b.colAccess(lc)
+	if !ok {
+		return nil
+	}
+	switch rv := r.(type) {
+	case Lit:
+		if la.kind != rv.V.K {
+			return nil
+		}
+		if la.kind == KindInt {
+			k := rv.V.I
+			switch op {
+			case "=":
+				return func(st *execState) (bool, error) {
+					x, null := la.intAt(st)
+					return !null && x == k, nil
+				}
+			case "<>":
+				return func(st *execState) (bool, error) {
+					x, null := la.intAt(st)
+					return !null && x != k, nil
+				}
+			case "<", "<=", ">", ">=":
+				op := op
+				return func(st *execState) (bool, error) {
+					x, null := la.intAt(st)
+					if null {
+						return cmpHolds(op, -1), nil // NULL sorts first
+					}
+					return cmpHolds(op, cmpInt(x, k)), nil
+				}
+			}
+			return nil
+		}
+		k := rv.V.S
+		switch op {
+		case "=":
+			return func(st *execState) (bool, error) {
+				s, null := la.strAt(st)
+				return !null && s == k, nil
+			}
+		case "<>":
+			return func(st *execState) (bool, error) {
+				s, null := la.strAt(st)
+				return !null && s != k, nil
+			}
+		case "like":
+			match := compileLikePattern(k)
+			return func(st *execState) (bool, error) {
+				s, null := la.strAt(st)
+				return !null && match(s), nil
+			}
+		case "<", "<=", ">", ">=":
+			op := op
+			return func(st *execState) (bool, error) {
+				s, null := la.strAt(st)
+				if null {
+					return cmpHolds(op, -1), nil
+				}
+				return cmpHolds(op, strings.Compare(s, k)), nil
+			}
+		}
+		return nil
+	case ColRef:
+		ra, ok := b.colAccess(rv)
+		if !ok || la.kind != ra.kind {
+			return nil
+		}
+		if la.kind == KindInt {
+			switch op {
+			case "=":
+				return func(st *execState) (bool, error) {
+					x, nx := la.intAt(st)
+					y, ny := ra.intAt(st)
+					return !nx && !ny && x == y, nil
+				}
+			case "<>":
+				return func(st *execState) (bool, error) {
+					x, nx := la.intAt(st)
+					y, ny := ra.intAt(st)
+					return !nx && !ny && x != y, nil
+				}
+			case "<", "<=", ">", ">=":
+				op := op
+				return func(st *execState) (bool, error) {
+					x, nx := la.intAt(st)
+					y, ny := ra.intAt(st)
+					return cmpHolds(op, nullCmp(nx, ny, func() int { return cmpInt(x, y) })), nil
+				}
+			}
+			return nil
+		}
+		switch op {
+		case "=":
+			return func(st *execState) (bool, error) {
+				x, nx := la.strAt(st)
+				y, ny := ra.strAt(st)
+				return !nx && !ny && x == y, nil
+			}
+		case "<>":
+			return func(st *execState) (bool, error) {
+				x, nx := la.strAt(st)
+				y, ny := ra.strAt(st)
+				return !nx && !ny && x != y, nil
+			}
+		case "like":
+			return func(st *execState) (bool, error) {
+				x, nx := la.strAt(st)
+				y, ny := ra.strAt(st)
+				return !nx && !ny && Like(x, y), nil
+			}
+		case "<", "<=", ">", ">=":
+			op := op
+			return func(st *execState) (bool, error) {
+				x, nx := la.strAt(st)
+				y, ny := ra.strAt(st)
+				return cmpHolds(op, nullCmp(nx, ny, func() int { return strings.Compare(x, y) })), nil
+			}
+		}
+	}
+	return nil
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// nullCmp mirrors Value.Compare's NULL ordering: NULL sorts before
+// everything and equals NULL.
+func nullCmp(nx, ny bool, cmp func() int) int {
+	switch {
+	case nx && ny:
+		return 0
+	case nx:
+		return -1
+	case ny:
+		return 1
+	default:
+		return cmp()
+	}
+}
+
+// specializeInList compiles "col [NOT] IN (literals...)" over a same-kind
+// literal list into a hash-set membership test, or nil for other shapes.
+func (b *binding) specializeInList(v InList) predFn {
+	c, ok := v.E.(ColRef)
+	if !ok {
+		return nil
+	}
+	a, ok := b.colAccess(c)
+	if !ok {
+		return nil
+	}
+	negate := v.Negate
+	if a.kind == KindInt {
+		set := make(map[int64]struct{}, len(v.Vals))
+		for _, ve := range v.Vals {
+			lit, ok := ve.(Lit)
+			if !ok || lit.V.K != KindInt {
+				return nil
+			}
+			set[lit.V.I] = struct{}{}
+		}
+		return func(st *execState) (bool, error) {
+			x, null := a.intAt(st)
+			if null {
+				return negate, nil
+			}
+			_, member := set[x]
+			return member != negate, nil
+		}
+	}
+	set := make(map[string]struct{}, len(v.Vals))
+	for _, ve := range v.Vals {
+		lit, ok := ve.(Lit)
+		if !ok || lit.V.K != KindString {
+			return nil
+		}
+		set[lit.V.S] = struct{}{}
+	}
+	return func(st *execState) (bool, error) {
+		s, null := a.strAt(st)
+		if null {
+			return negate, nil
+		}
+		_, member := set[s]
+		return member != negate, nil
+	}
+}
+
+// compileLikePattern prepares a matcher for a constant LIKE pattern,
+// lowering the dominant shapes ('%sub%', 'pre%', '%suf', exact) to
+// stdlib string primitives and falling back to the generic matcher.
+func compileLikePattern(p string) func(string) bool {
+	if !strings.ContainsAny(p, "%_") {
+		return func(s string) bool { return s == p }
+	}
+	if len(p) >= 2 && p[0] == '%' && p[len(p)-1] == '%' {
+		if mid := p[1 : len(p)-1]; !strings.ContainsAny(mid, "%_") {
+			return func(s string) bool { return strings.Contains(s, mid) }
+		}
+	}
+	if p[len(p)-1] == '%' {
+		if pre := p[:len(p)-1]; !strings.ContainsAny(pre, "%_") {
+			return func(s string) bool { return strings.HasPrefix(s, pre) }
+		}
+	}
+	if p[0] == '%' {
+		if suf := p[1:]; !strings.ContainsAny(suf, "%_") {
+			return func(s string) bool { return strings.HasSuffix(s, suf) }
+		}
+	}
+	return func(s string) bool { return likeMatch(s, p) }
+}
+
+// compileProjection builds the output column labels and a compiled row
+// projector.
+func (b *binding) compileProjection(stmt *SelectStmt) ([]string, projFn, error) {
+	if len(stmt.Select) == 0 { // SELECT *
+		var cols []string
+		type src struct {
+			tbl      *Table
+			lvl, col int
+		}
+		var srcs []src
+		for lvl, tbl := range b.tables {
+			for col, c := range tbl.Schema {
+				label := c.Name
+				if len(b.tables) > 1 {
+					label = b.aliases[lvl] + "." + c.Name
+				}
+				cols = append(cols, label)
+				srcs = append(srcs, src{tbl, lvl, col})
+			}
+		}
+		return cols, func(st *execState) ([]Value, error) {
+			row := make([]Value, len(srcs))
+			for i, s := range srcs {
+				row[i] = s.tbl.cell(int(st.rows[s.lvl]), s.col)
+			}
+			return row, nil
+		}, nil
+	}
+	cols := make([]string, len(stmt.Select))
+	fns := make([]evalFn, len(stmt.Select))
+	for i, item := range stmt.Select {
+		switch {
+		case item.As != "":
+			cols[i] = item.As
+		default:
+			if c, ok := item.Expr.(ColRef); ok {
+				if c.Qualifier != "" {
+					cols[i] = c.Qualifier + "." + c.Column
+				} else {
+					cols[i] = c.Column
+				}
+			} else {
+				cols[i] = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		fn, err := b.compileEval(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fns[i] = fn
+	}
+	return cols, func(st *execState) ([]Value, error) {
+		row := make([]Value, len(fns))
+		for i, fn := range fns {
+			v, err := fn(st)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}, nil
+}
+
+func flattenAnd(e Expr, acc []Expr) []Expr {
+	if bin, ok := e.(BinOp); ok && bin.Op == "and" {
+		acc = flattenAnd(bin.L, acc)
+		return flattenAnd(bin.R, acc)
+	}
+	return append(acc, e)
+}

@@ -2,7 +2,6 @@ package relational
 
 import (
 	"fmt"
-	"strings"
 )
 
 // Column describes one table column.
@@ -24,28 +23,108 @@ func (s Schema) IndexOf(name string) int {
 	return -1
 }
 
-// Table is a heap of rows plus optional hash indexes on single columns.
-type Table struct {
-	Name    string
-	Schema  Schema
-	Rows    [][]Value
-	indexes map[string]*hashIndex // column name -> index
+// col is one column's storage: a dense typed vector plus a null bitmap.
+// Only the vector matching the declared kind is populated, so a table of
+// n rows with k int columns and m string columns costs exactly
+// n*(8k) + n*(16m) bytes of payload, laid out contiguously per column.
+type col struct {
+	kind Kind
+	ints []int64
+	strs []string
+	null bitmap
 }
 
-// hashIndex maps a column value key to the row positions holding it.
+// bitmap is a packed null bitmap (bit i set = row i is NULL).
+type bitmap []uint64
+
+func (b bitmap) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b *bitmap) set(i int) {
+	for len(*b) <= i>>6 {
+		*b = append(*b, 0)
+	}
+	(*b)[i>>6] |= 1 << (uint(i) & 63)
+}
+
+func (b *bitmap) grow(n int) {
+	words := (n + 63) / 64
+	for len(*b) < words {
+		*b = append(*b, 0)
+	}
+}
+
+// Table stores rows column-major: each column is a dense typed vector
+// ([]int64 or []string) with a null bitmap, and hash indexes are
+// kind-specialized (int64 or string keys) so neither inserts nor probes
+// allocate a key representation.
+type Table struct {
+	Name   string
+	Schema Schema
+	cols   []col
+	rows   int
+	// indexes[i] is the hash index on column position i, or nil.
+	indexes []*hashIndex
+	// db points back to the owning database (nil for standalone tables)
+	// so index creation can invalidate cached plans that were compiled
+	// without the index.
+	db *DB
+}
+
+// hashIndex is a kind-specialized hash index on a single column: int
+// columns hash their raw int64, string columns their raw string. NULLs are
+// not indexed (SQL equality never matches NULL, and every probe feeds a
+// predicate re-check).
 type hashIndex struct {
 	col  int
-	rows map[string][]int
+	kind Kind
+	ints map[int64][]int32
+	strs map[string][]int32
+}
+
+func (ix *hashIndex) add(v Value, pos int32) {
+	switch {
+	case v.K == KindNull:
+	case ix.kind == KindInt:
+		ix.ints[v.I] = append(ix.ints[v.I], pos)
+	default:
+		ix.strs[v.S] = append(ix.strs[v.S], pos)
+	}
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: make(map[string]*hashIndex)}
+	t := &Table{Name: name, Schema: schema}
+	t.cols = make([]col, len(schema))
+	for i, c := range schema {
+		t.cols[i].kind = c.Kind
+	}
+	t.indexes = make([]*hashIndex, len(schema))
+	return t
 }
 
-// Insert appends a row after validating arity and kinds (NULLs allowed in
-// any column). Indexes are maintained incrementally.
-func (t *Table) Insert(row []Value) error {
+// Reserve preallocates column storage for n additional rows.
+func (t *Table) Reserve(n int) {
+	need := t.rows + n
+	for i := range t.cols {
+		c := &t.cols[i]
+		switch c.kind {
+		case KindInt:
+			if cap(c.ints) < need {
+				grown := make([]int64, len(c.ints), need)
+				copy(grown, c.ints)
+				c.ints = grown
+			}
+		case KindString:
+			if cap(c.strs) < need {
+				grown := make([]string, len(c.strs), need)
+				copy(grown, c.strs)
+				c.strs = grown
+			}
+		}
+	}
+}
+
+func (t *Table) checkRow(row []Value) error {
 	if len(row) != len(t.Schema) {
 		return fmt.Errorf("relational: table %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
 	}
@@ -55,13 +134,80 @@ func (t *Table) Insert(row []Value) error {
 				t.Name, t.Schema[i].Name, t.Schema[i].Kind, v.K)
 		}
 	}
-	pos := len(t.Rows)
-	t.Rows = append(t.Rows, row)
-	for _, idx := range t.indexes {
-		k := row[idx.col].Key()
-		idx.rows[k] = append(idx.rows[k], pos)
+	return nil
+}
+
+func (t *Table) appendRow(row []Value) {
+	pos := int32(t.rows)
+	for i, v := range row {
+		c := &t.cols[i]
+		switch c.kind {
+		case KindInt:
+			c.ints = append(c.ints, v.I)
+		case KindString:
+			c.strs = append(c.strs, v.S)
+		}
+		if v.K == KindNull {
+			c.null.set(t.rows)
+		}
+	}
+	t.rows++
+	for _, ix := range t.indexes {
+		if ix != nil {
+			ix.add(row[ix.col], pos)
+		}
+	}
+}
+
+// Insert appends a row after validating arity and kinds (NULLs allowed in
+// any column). Indexes are maintained incrementally.
+func (t *Table) Insert(row []Value) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	t.appendRow(row)
+	return nil
+}
+
+// InsertBatch validates and appends many rows at once, reserving column
+// capacity up front. On a validation error nothing is inserted.
+func (t *Table) InsertBatch(rows [][]Value) error {
+	for _, row := range rows {
+		if err := t.checkRow(row); err != nil {
+			return err
+		}
+	}
+	t.Reserve(len(rows))
+	for _, row := range rows {
+		t.appendRow(row)
 	}
 	return nil
+}
+
+// cell materializes the value at (row, col). Value is a small struct, so
+// this performs no heap allocation.
+func (t *Table) cell(row, col int) Value {
+	c := &t.cols[col]
+	if len(c.null) > row>>6 && c.null.get(row) {
+		return Null()
+	}
+	switch c.kind {
+	case KindInt:
+		return Value{K: KindInt, I: c.ints[row]}
+	case KindString:
+		return Value{K: KindString, S: c.strs[row]}
+	}
+	return Null()
+}
+
+// Row materializes row i as a []Value (for debugging and generic callers;
+// the executor reads columns directly).
+func (t *Table) Row(i int) []Value {
+	row := make([]Value, len(t.cols))
+	for c := range t.cols {
+		row[c] = t.cell(i, c)
+	}
+	return row
 }
 
 // CreateIndex builds (or rebuilds) a hash index on the named column. The
@@ -72,58 +218,60 @@ func (t *Table) CreateIndex(column string) error {
 	if col < 0 {
 		return fmt.Errorf("relational: table %s has no column %s", t.Name, column)
 	}
-	idx := &hashIndex{col: col, rows: make(map[string][]int)}
-	for pos, row := range t.Rows {
-		k := row[col].Key()
-		idx.rows[k] = append(idx.rows[k], pos)
+	if t.db != nil {
+		// Plans compiled before the index exists would scan forever.
+		t.db.invalidatePlans()
 	}
-	t.indexes[column] = idx
+	ix := &hashIndex{col: col, kind: t.Schema[col].Kind}
+	c := &t.cols[col]
+	switch ix.kind {
+	case KindInt:
+		ix.ints = make(map[int64][]int32, t.rows)
+		for pos, v := range c.ints {
+			if len(c.null) > pos>>6 && c.null.get(pos) {
+				continue
+			}
+			ix.ints[v] = append(ix.ints[v], int32(pos))
+		}
+	default:
+		ix.strs = make(map[string][]int32, t.rows)
+		for pos, v := range c.strs {
+			if len(c.null) > pos>>6 && c.null.get(pos) {
+				continue
+			}
+			ix.strs[v] = append(ix.strs[v], int32(pos))
+		}
+	}
+	t.indexes[col] = ix
 	return nil
 }
 
 // HasIndex reports whether column has a hash index.
 func (t *Table) HasIndex(column string) bool {
-	_, ok := t.indexes[column]
-	return ok
+	col := t.Schema.IndexOf(column)
+	return col >= 0 && t.indexes[col] != nil
 }
 
-// lookup returns the positions of rows whose column equals v, using the
-// index. ok is false when the column is not indexed.
-func (t *Table) lookup(column string, v Value) (positions []int, ok bool) {
-	idx, ok := t.indexes[column]
-	if !ok {
+// lookup returns the positions of rows whose column equals v, probing the
+// kind-specialized index without allocating. ok is false when the column
+// is not indexed. Probes whose value kind cannot equal the column kind
+// return no rows (matching strict index-probe semantics).
+func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
+	ix := t.indexes[col]
+	if ix == nil {
 		return nil, false
 	}
-	return idx.rows[v.Key()], true
+	if v.K != ix.kind {
+		return nil, true
+	}
+	if ix.kind == KindInt {
+		return ix.ints[v.I], true
+	}
+	return ix.strs[v.S], true
 }
 
 // Len returns the row count.
-func (t *Table) Len() int { return len(t.Rows) }
-
-// DB is a named collection of tables.
-type DB struct {
-	tables map[string]*Table
-}
-
-// NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
-
-// CreateTable registers a new empty table.
-func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
-	key := strings.ToLower(name)
-	if _, exists := db.tables[key]; exists {
-		return nil, fmt.Errorf("relational: table %s already exists", name)
-	}
-	t := NewTable(name, schema)
-	db.tables[key] = t
-	return t, nil
-}
-
-// Table returns the named table, or nil.
-func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
-
-// Tables returns the number of tables.
-func (db *DB) Tables() int { return len(db.tables) }
+func (t *Table) Len() int { return t.rows }
 
 // ResultSet is the output of a query: column labels plus rows.
 type ResultSet struct {
