@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"runtime"
 	"testing"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/cases"
 	"threatraptor/internal/extract"
+	"threatraptor/internal/relational"
 	"threatraptor/internal/synth"
 	"threatraptor/internal/tbql"
 )
@@ -77,6 +79,75 @@ func TestExecutionPathEquivalence(t *testing.T) {
 				t.Errorf("monolithic SQL differs:\n%v\n%v", want, mres.Strings())
 			}
 		})
+	}
+}
+
+// TestBatchSizeEquivalence sweeps the vectorized executor's batch size
+// across degenerate (1), tiny, and whole-table settings — so the case
+// tables land on 0, 1, exactly-one-batch, batch±1, and many-batch
+// boundaries — and forces the sharded scan path, asserting every
+// configuration returns exactly the default configuration's results on
+// the scheduled, parallel, and monolithic SQL plans.
+func TestBatchSizeEquivalence(t *testing.T) {
+	origBS, origShard := relational.BatchSize, relational.ShardMinRows
+	defer func() {
+		relational.BatchSize = origBS
+		relational.ShardMinRows = origShard
+	}()
+	// The forced-sharding configuration needs GOMAXPROCS > 1 to actually
+	// take the sharded path; make that true on single-CPU machines too.
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+
+	store, _ := dataLeakStore(t, 400)
+	a := analyzed(t, dataLeakTBQL)
+
+	execAll := func(en *Engine) [][][]string {
+		t.Helper()
+		res, _, err := en.Execute(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, _, err := en.ExecuteParallel(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mres, _, err := en.ExecuteMonolithicSQL(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [][][]string{res.Set.Strings(), pres.Set.Strings(), mres.Strings()}
+	}
+
+	want := execAll(&Engine{Store: store})
+	if len(want[0]) == 0 {
+		t.Fatal("default execution returned no rows; boundary sweep would be vacuous")
+	}
+	configs := []struct {
+		name     string
+		batch    int
+		shardMin int
+	}{
+		{"batch1", 1, 1 << 30},
+		{"batch2", 2, 1 << 30},
+		{"batch7", 7, 1 << 30},
+		{"batch64", 64, 1 << 30},
+		{"wholeTable", 1 << 20, 1 << 30},
+		{"sharded", 64, 64},
+	}
+	for _, cfg := range configs {
+		relational.BatchSize = cfg.batch
+		relational.ShardMinRows = cfg.shardMin
+		// Fresh engine: plans cache fine (batch size is read per
+		// execution), but a fresh one also exercises re-planning.
+		got := execAll(&Engine{Store: store})
+		for path := range want {
+			if !sameRows(want[path], got[path]) {
+				t.Errorf("%s path %d differs from default:\n%v\n%v",
+					cfg.name, path, want[path], got[path])
+			}
+		}
 	}
 }
 

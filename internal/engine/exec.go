@@ -104,8 +104,9 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, extra [
 
 // patternExtras builds the scheduler's IN constraints for a pattern from
 // the current binding sets (shared between the SQL and Cypher compilers,
-// whose id-list syntax is identical).
-func (en *Engine) patternExtras(p *tbql.Pattern, bindings map[string]map[int64]bool, maxIn int) []string {
+// whose id-list syntax is identical). Binding sets are kept as sorted
+// unique ID slices, so the list is emitted directly.
+func (en *Engine) patternExtras(p *tbql.Pattern, bindings map[string][]int64, maxIn int) []string {
 	var extras []string
 	for _, side := range []struct{ id, alias string }{
 		{p.Subject.ID, "s"}, {p.Object.ID, "o"},
@@ -114,7 +115,7 @@ func (en *Engine) patternExtras(p *tbql.Pattern, bindings map[string]map[int64]b
 		if len(set) == 0 || len(set) > maxIn {
 			continue
 		}
-		extras = append(extras, inList(side.alias, sortedIDs(set)))
+		extras = append(extras, inList(side.alias, set))
 	}
 	return extras
 }
@@ -147,7 +148,7 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 	}
 
 	var stats Stats
-	bindings := make(map[string]map[int64]bool) // entity ID -> allowed rows
+	bindings := make(map[string][]int64) // entity ID -> allowed IDs, sorted unique
 	results := make([]patternRows, len(a.Query.Patterns))
 	maxIn := en.maxIn()
 
@@ -195,7 +196,7 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 // could flow between them), and binding sets are narrowed between levels.
 func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
 	var stats Stats
-	bindings := make(map[string]map[int64]bool)
+	bindings := make(map[string][]int64)
 	results := make([]patternRows, len(a.Query.Patterns))
 	maxIn := en.maxIn()
 
@@ -281,32 +282,54 @@ func countConjuncts(e relational.Expr) int {
 	return 1
 }
 
-func sortedIDs(set map[int64]bool) []int64 {
-	ids := make([]int64, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
+// narrow intersects the binding set of an entity with the IDs seen in a
+// pattern's rows (column col). Sets are sorted unique slices: the new IDs
+// are sorted and deduplicated in place, and an existing set shrinks via a
+// linear merge-intersection — no per-pattern hash maps.
+func narrow(bindings map[string][]int64, entityID string, rows [][5]int64, col int) {
+	ids := make([]int64, len(rows))
+	for i, r := range rows {
+		ids[i] = r[col]
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return ids
-}
-
-// narrow intersects the binding set of an entity with the IDs seen in a
-// pattern's rows (column col).
-func narrow(bindings map[string]map[int64]bool, entityID string, rows [][5]int64, col int) {
-	seen := make(map[int64]bool, len(rows))
-	for _, r := range rows {
-		seen[r[col]] = true
-	}
+	ids = dedupSorted(ids)
 	prev, ok := bindings[entityID]
 	if !ok {
-		bindings[entityID] = seen
+		bindings[entityID] = ids
 		return
 	}
-	for id := range prev {
-		if !seen[id] {
-			delete(prev, id)
+	bindings[entityID] = intersectSorted(prev, ids)
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(ids []int64) []int64 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
 		}
 	}
+	return out
+}
+
+// intersectSorted writes the intersection of two sorted unique slices into
+// a's prefix.
+func intersectSorted(a, b []int64) []int64 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 func returnColumns(a *tbql.Analyzed) []string {

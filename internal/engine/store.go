@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/graphdb"
@@ -88,70 +89,107 @@ func NewStore(log *audit.Log) (*Store, error) {
 
 	// Batch-load both backends with capacity preallocated from the log
 	// sizes: column vectors, the graph arenas, and adjacency never grow
-	// incrementally during the load.
+	// incrementally during the load. The three load streams are
+	// independent and run concurrently: relational entities, relational
+	// events (plus the time bounds), and the graph (nodes must precede
+	// edges, so the graph keeps its own serial goroutine). Each stream
+	// also builds its own indexes; the two relational index builders only
+	// share the plan-cache mutex.
 	all := log.Entities.All()
-	s.Graph.ReserveNodes(len(all))
-	s.Graph.ReserveEdges(len(log.Events))
+	var errEntities, errEvents, errGraph error
+	var wg sync.WaitGroup
+	wg.Add(3)
 
-	entityRows := make([][]relational.Value, len(all))
-	for i, e := range all {
-		entityRows[i] = entityRow(e)
-		s.Graph.AddNodeWithID(e.ID, labelOf(e.Kind), entityProps(e))
-	}
-	if err := entities.InsertBatch(entityRows); err != nil {
-		return nil, err
-	}
+	go func() {
+		defer wg.Done()
+		// One slab backs every row: InsertBatch copies values into the
+		// column vectors, so the rows are transient and need not be
+		// individually allocated.
+		entityRows := make([][]relational.Value, len(all))
+		slab := make([]relational.Value, len(all)*len(entities.Schema))
+		w := len(entities.Schema)
+		for i, e := range all {
+			entityRows[i] = entityRow(e, slab[i*w:(i+1)*w:(i+1)*w])
+		}
+		if errEntities = entities.InsertBatch(entityRows); errEntities != nil {
+			return
+		}
+		for _, col := range []string{"id", "name", "exename", "dstip"} {
+			if errEntities = entities.CreateIndex(col); errEntities != nil {
+				return
+			}
+		}
+	}()
 
-	eventRows := make([][]relational.Value, len(log.Events))
-	for i := range log.Events {
-		ev := &log.Events[i]
-		eventRows[i] = []relational.Value{
-			relational.Int(ev.ID),
-			relational.Int(ev.SubjectID),
-			relational.Int(ev.ObjectID),
-			relational.Str(ev.Op.String()),
-			relational.Int(ev.StartTime),
-			relational.Int(ev.EndTime),
-			relational.Int(ev.DataAmount),
-			relational.Int(int64(ev.FailureCode)),
+	go func() {
+		defer wg.Done()
+		eventRows := make([][]relational.Value, len(log.Events))
+		slab := make([]relational.Value, len(log.Events)*len(events.Schema))
+		w := len(events.Schema)
+		for i := range log.Events {
+			ev := &log.Events[i]
+			row := slab[i*w : (i+1)*w : (i+1)*w]
+			row[0] = relational.Int(ev.ID)
+			row[1] = relational.Int(ev.SubjectID)
+			row[2] = relational.Int(ev.ObjectID)
+			row[3] = relational.Str(ev.Op.String())
+			row[4] = relational.Int(ev.StartTime)
+			row[5] = relational.Int(ev.EndTime)
+			row[6] = relational.Int(ev.DataAmount)
+			row[7] = relational.Int(int64(ev.FailureCode))
+			eventRows[i] = row
+			if s.MinTime == 0 || ev.StartTime < s.MinTime {
+				s.MinTime = ev.StartTime
+			}
+			if ev.EndTime > s.MaxTime {
+				s.MaxTime = ev.EndTime
+			}
 		}
-		if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
-			"id":         relational.Int(ev.ID),
-			"start_time": relational.Int(ev.StartTime),
-			"end_time":   relational.Int(ev.EndTime),
-			"amount":     relational.Int(ev.DataAmount),
-		}); err != nil {
-			return nil, fmt.Errorf("engine: event %d: %w", ev.ID, err)
+		if errEvents = events.InsertBatch(eventRows); errEvents != nil {
+			return
 		}
-		if s.MinTime == 0 || ev.StartTime < s.MinTime {
-			s.MinTime = ev.StartTime
+		for _, col := range []string{"subject_id", "object_id", "op"} {
+			if errEvents = events.CreateIndex(col); errEvents != nil {
+				return
+			}
 		}
-		if ev.EndTime > s.MaxTime {
-			s.MaxTime = ev.EndTime
-		}
-	}
-	if err := events.InsertBatch(eventRows); err != nil {
-		return nil, err
-	}
+	}()
 
-	for _, col := range []string{"id", "name", "exename", "dstip"} {
-		if err := entities.CreateIndex(col); err != nil {
+	go func() {
+		defer wg.Done()
+		s.Graph.ReserveNodes(len(all))
+		s.Graph.ReserveEdges(len(log.Events))
+		for _, e := range all {
+			s.Graph.AddNodeWithID(e.ID, labelOf(e.Kind), entityProps(e))
+		}
+		for i := range log.Events {
+			ev := &log.Events[i]
+			if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
+				"id":         relational.Int(ev.ID),
+				"start_time": relational.Int(ev.StartTime),
+				"end_time":   relational.Int(ev.EndTime),
+				"amount":     relational.Int(ev.DataAmount),
+			}); err != nil {
+				errGraph = fmt.Errorf("engine: event %d: %w", ev.ID, err)
+				return
+			}
+		}
+		s.Graph.CreateIndex(LabelProcess, "exename")
+		s.Graph.CreateIndex(LabelFile, "name")
+		s.Graph.CreateIndex(LabelNetConn, "dstip")
+	}()
+
+	wg.Wait()
+	for _, err := range []error{errEntities, errEvents, errGraph} {
+		if err != nil {
 			return nil, err
 		}
 	}
-	for _, col := range []string{"subject_id", "object_id", "op"} {
-		if err := events.CreateIndex(col); err != nil {
-			return nil, err
-		}
-	}
-	s.Graph.CreateIndex(LabelProcess, "exename")
-	s.Graph.CreateIndex(LabelFile, "name")
-	s.Graph.CreateIndex(LabelNetConn, "dstip")
 	return s, nil
 }
 
-func entityRow(e *audit.Entity) []relational.Value {
-	row := make([]relational.Value, 14)
+// entityRow fills row (of entities-schema width) for one entity.
+func entityRow(e *audit.Entity, row []relational.Value) []relational.Value {
 	for i := range row {
 		row[i] = relational.Null()
 	}

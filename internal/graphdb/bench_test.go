@@ -1,0 +1,76 @@
+package graphdb
+
+import (
+	"fmt"
+	"testing"
+
+	"threatraptor/internal/relational"
+)
+
+// chainGraph builds n nodes n0 -> n1 -> ... -> n(n-1) linked by "hop"
+// edges in time order.
+func chainGraph(n int) *Graph {
+	g := NewGraph()
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode("N", Props{"name": relational.Str(fmt.Sprintf("n%d", i))})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(ids[i], ids[i+1], "hop", Props{"start_time": relational.Int(int64(i))})
+	}
+	return g
+}
+
+func exactDepthQuery(t testing.TB, depth int) *Query {
+	q, err := ParseQuery(fmt.Sprintf(
+		`MATCH (a:N {name: 'n0'})-[*%d..%d]->(x:N) RETURN x.name`, depth, depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestVarLenDFSConstantAllocs guards the visited-bitset traversal: the
+// per-hop cost of a variable-length DFS must not allocate, so executions
+// at depth 8 and depth 64 differ by at most the bitset sizing — with the
+// old map-per-hop tracking, the deeper walk paid growing map allocations.
+func TestVarLenDFSConstantAllocs(t *testing.T) {
+	g := chainGraph(80)
+	g.ensureAdjSorted()
+	measure := func(depth int) float64 {
+		q := exactDepthQuery(t, depth)
+		// Warm once so lazy structures exist before measuring.
+		if _, _, err := g.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, _, err := g.Exec(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	shallow := measure(8)
+	deep := measure(64)
+	if deep-shallow > 4 {
+		t.Fatalf("var-length DFS allocs grow with depth: %v at depth 8 vs %v at depth 64", shallow, deep)
+	}
+}
+
+// BenchmarkVarLenDFS measures the edge-unique DFS over a 256-node chain
+// (255 hops explored per execution, one anchored traversal).
+func BenchmarkVarLenDFS(b *testing.B) {
+	g := chainGraph(256)
+	g.ensureAdjSorted()
+	q := exactDepthQuery(b, 255)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, _, err := g.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 1 {
+			b.Fatalf("rows = %d", rs.Len())
+		}
+	}
+}

@@ -51,6 +51,11 @@ type matcher struct {
 	// from the conjuncts; hops with a window binary-search the
 	// time-sorted adjacency lists instead of scanning them.
 	windows map[string][2]int64
+	// visitedPool holds reusable edge-visited bitsets for var-length DFS:
+	// one bitset per concurrently active traversal (nested var-length hops
+	// stack), sized to the edge arena and handed back clean — the DFS
+	// clears each bit on backtrack, so no reset pass is needed.
+	visitedPool [][]uint64
 	// capture, when set, replaces row emission: the clause-at-a-time
 	// executor uses it to collect raw variable bindings.
 	capture func() error
@@ -252,12 +257,16 @@ func (m *matcher) matchHop(pi, ni int) error {
 	}
 
 	// Variable-length hop: edge-unique DFS from src, trying every node
-	// reached within [Min, Max] hops as the destination.
+	// reached within [Min, Max] hops as the destination. Edge uniqueness
+	// is tracked in a pooled bitset over the edge arena instead of a
+	// per-hop map: the DFS clears each bit when it backtracks, so the
+	// bitset returns to the pool clean and one allocation serves every
+	// traversal of the query.
 	maxDepth := rel.Max
 	if maxDepth < 0 {
 		maxDepth = m.g.NumEdges() // bounded by edge-uniqueness anyway
 	}
-	used := make(map[int32]bool)
+	used := m.acquireVisited()
 	var dfs func(cur int64, depth int) error
 	dfs = func(cur int64, depth int) error {
 		if depth >= rel.Min {
@@ -270,7 +279,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 			return nil
 		}
 		for _, ei := range m.adjacent(cur, rel.Dir) {
-			if used[ei] {
+			if used[ei>>6]&(1<<(uint(ei)&63)) != 0 {
 				continue
 			}
 			e := &m.g.edges[ei]
@@ -284,15 +293,35 @@ func (m *matcher) matchHop(pi, ni int) error {
 			} else if rel.Dir == DirBoth && e.To == cur {
 				next = e.From
 			}
-			used[ei] = true
-			if err := dfs(next, depth+1); err != nil {
+			used[ei>>6] |= 1 << (uint(ei) & 63)
+			err := dfs(next, depth+1)
+			used[ei>>6] &^= 1 << (uint(ei) & 63)
+			if err != nil {
 				return err
 			}
-			delete(used, ei)
 		}
 		return nil
 	}
-	return dfs(src, 0)
+	err := dfs(src, 0)
+	m.releaseVisited(used)
+	return err
+}
+
+// acquireVisited pops a clean edge bitset from the pool, or allocates one
+// sized to the edge arena. Nested variable-length hops (one var-length
+// relationship reached while another's DFS is on the stack) each take
+// their own bitset, preserving per-hop edge-uniqueness semantics.
+func (m *matcher) acquireVisited() []uint64 {
+	if n := len(m.visitedPool); n > 0 {
+		bs := m.visitedPool[n-1]
+		m.visitedPool = m.visitedPool[:n-1]
+		return bs
+	}
+	return make([]uint64, (m.g.NumEdges()+63)/64)
+}
+
+func (m *matcher) releaseVisited(bs []uint64) {
+	m.visitedPool = append(m.visitedPool, bs)
 }
 
 // adjacent returns the candidate edge arena offsets from node id in the

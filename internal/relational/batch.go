@@ -1,0 +1,650 @@
+package relational
+
+// This file is the vectorized half of the executor: predicates whose shape
+// allows it are compiled to batch kernels that evaluate a whole selection
+// vector per call with tight typed loops over the column vectors, instead
+// of one closure call per row. Shapes the kernels do not cover stay on the
+// row-at-a-time closures from plan.go, applied to the surviving selection
+// in the same conjunct order.
+
+// BatchSize is the number of rows a full-table scan feeds through the
+// vectorized filters per batch. It is a variable (not a constant) so tests
+// can shrink it to force many-batch executions on small tables; production
+// code must treat it as read-only.
+var BatchSize = 1024
+
+// ShardMinRows is the minimum level-0 table size for the sharded scan
+// path: full scans over at least this many rows are split into contiguous
+// row ranges executed by concurrent workers. A variable for the same
+// test-only reason as BatchSize.
+var ShardMinRows = 8192
+
+// vecPred is one batch-compilable predicate: filterSel appends to dst the
+// rows of sel that satisfy it, filterRange does the same for the dense row
+// range [lo, hi). dst may share backing storage with sel (the write index
+// never passes the read index), which is how the executor filters a
+// selection in place.
+type vecPred struct {
+	filterSel   func(st *execState, sel, dst []int32) []int32
+	filterRange func(st *execState, lo, hi int32, dst []int32) []int32
+}
+
+// nullAt reports whether bit r is set in a bitmap known to cover row r
+// (appendRow keeps non-empty bitmaps grown to the full row count).
+func nullAt(nb bitmap, r int32) bool {
+	return nb[r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// The generic kernels below are instantiated for int64 and string columns.
+// Each comes in a selection-vector and a dense-range variant, and each
+// branches once on bitmap presence so the no-NULL loop carries no per-row
+// null check. NULL ordering follows the engine convention (NULL sorts
+// before every value): < and <= keep NULL rows, =, <>, > and >= drop them.
+
+type orderedCol interface{ ~int64 | ~string }
+
+func filterEq[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] == k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if !nullAt(nb, r) && col[r] == k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterEqRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] == k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if !nullAt(nb, r) && col[r] == k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterNe[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] != k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if !nullAt(nb, r) && col[r] != k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterNeRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] != k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if !nullAt(nb, r) && col[r] != k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterLt[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] < k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if nullAt(nb, r) || col[r] < k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterLtRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] < k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if nullAt(nb, r) || col[r] < k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterLe[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] <= k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if nullAt(nb, r) || col[r] <= k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterLeRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] <= k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if nullAt(nb, r) || col[r] <= k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterGt[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] > k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if !nullAt(nb, r) && col[r] > k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterGtRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] > k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if !nullAt(nb, r) && col[r] > k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterGe[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if col[r] >= k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if !nullAt(nb, r) && col[r] >= k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterGeRange[T orderedCol](col []T, nb bitmap, k T, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if col[r] >= k {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if !nullAt(nb, r) && col[r] >= k {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// filterCmp dispatches one comparison over a selection by operator. The
+// op switch runs once per batch; the chosen kernel loops.
+func filterCmp[T orderedCol](col []T, nb bitmap, op string, k T, sel, dst []int32) []int32 {
+	switch op {
+	case "=":
+		return filterEq(col, nb, k, sel, dst)
+	case "<>":
+		return filterNe(col, nb, k, sel, dst)
+	case "<":
+		return filterLt(col, nb, k, sel, dst)
+	case "<=":
+		return filterLe(col, nb, k, sel, dst)
+	case ">":
+		return filterGt(col, nb, k, sel, dst)
+	default:
+		return filterGe(col, nb, k, sel, dst)
+	}
+}
+
+func filterCmpRange[T orderedCol](col []T, nb bitmap, op string, k T, lo, hi int32, dst []int32) []int32 {
+	switch op {
+	case "=":
+		return filterEqRange(col, nb, k, lo, hi, dst)
+	case "<>":
+		return filterNeRange(col, nb, k, lo, hi, dst)
+	case "<":
+		return filterLtRange(col, nb, k, lo, hi, dst)
+	case "<=":
+		return filterLeRange(col, nb, k, lo, hi, dst)
+	case ">":
+		return filterGtRange(col, nb, k, lo, hi, dst)
+	default:
+		return filterGeRange(col, nb, k, lo, hi, dst)
+	}
+}
+
+// colVec fetches a column's current typed vector and bitmap at filter
+// time. Capturing the slices at plan time would go stale: cached plans
+// outlive inserts, and append can relocate the vectors.
+func intVec(a colAccess) ([]int64, bitmap) {
+	c := &a.tbl.cols[a.col]
+	return c.ints, c.null
+}
+
+func strVec(a colAccess) ([]string, bitmap) {
+	c := &a.tbl.cols[a.col]
+	return c.strs, c.null
+}
+
+// vecCmpLit builds the kernels for "col OP literal" where both sides share
+// one kind.
+func vecCmpLit(a colAccess, op string, k Value) *vecPred {
+	if a.kind == KindInt {
+		kv := k.I
+		return &vecPred{
+			filterSel: func(_ *execState, sel, dst []int32) []int32 {
+				col, nb := intVec(a)
+				return filterCmp(col, nb, op, kv, sel, dst)
+			},
+			filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+				col, nb := intVec(a)
+				return filterCmpRange(col, nb, op, kv, lo, hi, dst)
+			},
+		}
+	}
+	kv := k.S
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a)
+			return filterCmp(col, nb, op, kv, sel, dst)
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a)
+			return filterCmpRange(col, nb, op, kv, lo, hi, dst)
+		},
+	}
+}
+
+// vecCmpOuter builds the kernels for "col OP outer-column" where the other
+// column belongs to an earlier nested-loop level: its value is fixed while
+// this level scans, so each batch reads it once and reuses the literal
+// kernels. A NULL outer value falls into the rare nullCmp cases, handled
+// by the null-combination filters below.
+func vecCmpOuter(a colAccess, op string, outer colAccess) *vecPred {
+	if a.kind == KindInt {
+		return &vecPred{
+			filterSel: func(st *execState, sel, dst []int32) []int32 {
+				col, nb := intVec(a)
+				k, knull := outer.intAt(st)
+				if knull {
+					return filterVsNull(nb, op, sel, dst)
+				}
+				return filterCmp(col, nb, op, k, sel, dst)
+			},
+			filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+				col, nb := intVec(a)
+				k, knull := outer.intAt(st)
+				if knull {
+					return filterVsNullRange(nb, op, lo, hi, dst)
+				}
+				return filterCmpRange(col, nb, op, k, lo, hi, dst)
+			},
+		}
+	}
+	return &vecPred{
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a)
+			k, knull := outer.strAt(st)
+			if knull {
+				return filterVsNull(nb, op, sel, dst)
+			}
+			return filterCmp(col, nb, op, k, sel, dst)
+		},
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a)
+			k, knull := outer.strAt(st)
+			if knull {
+				return filterVsNullRange(nb, op, lo, hi, dst)
+			}
+			return filterCmpRange(col, nb, op, k, lo, hi, dst)
+		},
+	}
+}
+
+// filterVsNull applies "col OP NULL" row filtering with the engine's
+// nullCmp ordering: = and <> never match, < matches nothing (NULL is not
+// before NULL), <= keeps exactly the NULL rows, > keeps the non-NULL rows,
+// >= keeps everything.
+func filterVsNull(nb bitmap, op string, sel, dst []int32) []int32 {
+	switch op {
+	case ">=":
+		return append(dst, sel...)
+	case "<=":
+		if len(nb) == 0 {
+			return dst
+		}
+		for _, r := range sel {
+			if nullAt(nb, r) {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	case ">":
+		if len(nb) == 0 {
+			return append(dst, sel...)
+		}
+		for _, r := range sel {
+			if !nullAt(nb, r) {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	default: // "=", "<>", "<"
+		return dst
+	}
+}
+
+func filterVsNullRange(nb bitmap, op string, lo, hi int32, dst []int32) []int32 {
+	switch op {
+	case ">=":
+		for r := lo; r < hi; r++ {
+			dst = append(dst, r)
+		}
+		return dst
+	case "<=", ">":
+		wantNull := op == "<="
+		if len(nb) == 0 {
+			if wantNull {
+				return dst
+			}
+			for r := lo; r < hi; r++ {
+				dst = append(dst, r)
+			}
+			return dst
+		}
+		for r := lo; r < hi; r++ {
+			if nullAt(nb, r) == wantNull {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+// vecLike builds the kernels for "col LIKE 'pattern'" with the pattern
+// prepared once (compileLikePattern's Contains/HasPrefix/... lowering).
+func vecLike(a colAccess, pattern string) *vecPred {
+	match := compileLikePattern(pattern)
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a)
+			if len(nb) == 0 {
+				for _, r := range sel {
+					if match(col[r]) {
+						dst = append(dst, r)
+					}
+				}
+				return dst
+			}
+			for _, r := range sel {
+				if !nullAt(nb, r) && match(col[r]) {
+					dst = append(dst, r)
+				}
+			}
+			return dst
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a)
+			if len(nb) == 0 {
+				for r := lo; r < hi; r++ {
+					if match(col[r]) {
+						dst = append(dst, r)
+					}
+				}
+				return dst
+			}
+			for r := lo; r < hi; r++ {
+				if !nullAt(nb, r) && match(col[r]) {
+					dst = append(dst, r)
+				}
+			}
+			return dst
+		},
+	}
+}
+
+// vecInSet builds the kernels for "col [NOT] IN (literals...)" over a
+// same-kind literal set. A NULL cell is a member of nothing: it passes
+// exactly when the list is negated.
+func filterIn[T orderedCol](col []T, nb bitmap, set map[T]struct{}, negate bool, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if _, member := set[col[r]]; member != negate {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if nullAt(nb, r) {
+			if negate {
+				dst = append(dst, r)
+			}
+			continue
+		}
+		if _, member := set[col[r]]; member != negate {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterInRange[T orderedCol](col []T, nb bitmap, set map[T]struct{}, negate bool, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if _, member := set[col[r]]; member != negate {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if nullAt(nb, r) {
+			if negate {
+				dst = append(dst, r)
+			}
+			continue
+		}
+		if _, member := set[col[r]]; member != negate {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func vecInInt(a colAccess, set map[int64]struct{}, negate bool) *vecPred {
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			col, nb := intVec(a)
+			return filterIn(col, nb, set, negate, sel, dst)
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := intVec(a)
+			return filterInRange(col, nb, set, negate, lo, hi, dst)
+		},
+	}
+}
+
+func vecInStr(a colAccess, set map[string]struct{}, negate bool) *vecPred {
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a)
+			return filterIn(col, nb, set, negate, sel, dst)
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a)
+			return filterInRange(col, nb, set, negate, lo, hi, dst)
+		},
+	}
+}
+
+// compileVecPred compiles conjunct e into a batch kernel when its shape is
+// vectorizable at level lvl: a comparison or LIKE between a level-lvl
+// column and a same-kind literal or earlier-level column, or a literal IN
+// list over a level-lvl column. Returns nil for every other shape; those
+// stay on the row-at-a-time closures.
+func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
+	switch v := e.(type) {
+	case BinOp:
+		op := v.Op
+		switch op {
+		case "=", "<>", "<", "<=", ">", ">=", "like":
+		default:
+			return nil
+		}
+		l, r := v.L, v.R
+		// Normalize the level-lvl column to the left, flipping the
+		// operator (a LIKE pattern on the left is not a column match).
+		if !b.isColAt(lvl, l) && b.isColAt(lvl, r) {
+			if op == "like" {
+				return nil
+			}
+			l, r = r, l
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+		lc, ok := l.(ColRef)
+		if !ok {
+			return nil
+		}
+		la, ok := b.colAccess(lc)
+		if !ok || la.lvl != lvl {
+			return nil
+		}
+		switch rv := r.(type) {
+		case Lit:
+			if op == "like" {
+				if la.kind != KindString || rv.V.K != KindString {
+					return nil
+				}
+				return vecLike(la, rv.V.S)
+			}
+			if la.kind != rv.V.K {
+				return nil
+			}
+			return vecCmpLit(la, op, rv.V)
+		case ColRef:
+			if op == "like" {
+				return nil
+			}
+			ra, ok := b.colAccess(rv)
+			if !ok || ra.lvl >= lvl || la.kind != ra.kind {
+				return nil
+			}
+			return vecCmpOuter(la, op, ra)
+		}
+		return nil
+	case InList:
+		c, ok := v.E.(ColRef)
+		if !ok {
+			return nil
+		}
+		a, ok := b.colAccess(c)
+		if !ok || a.lvl != lvl {
+			return nil
+		}
+		if a.kind == KindInt {
+			set, ok := buildIntSet(v.Vals)
+			if !ok {
+				return nil
+			}
+			return vecInInt(a, set, v.Negate)
+		}
+		set, ok := buildStrSet(v.Vals)
+		if !ok {
+			return nil
+		}
+		return vecInStr(a, set, v.Negate)
+	}
+	return nil
+}
+
+// isColAt reports whether e is a column reference resolving to level lvl.
+func (b *binding) isColAt(lvl int, e Expr) bool {
+	c, ok := e.(ColRef)
+	if !ok {
+		return false
+	}
+	clvl, _, err := b.resolve(c)
+	return err == nil && clvl == lvl
+}

@@ -30,6 +30,33 @@ func DedupRows(rows [][]Value) [][]Value {
 	return out
 }
 
+// dedupSet is the streaming form of DedupRows, used by the batch executor
+// to drop duplicate rows as they are emitted instead of accumulating them:
+// same FNV-1a hashing, same field-wise equality on collision, same
+// first-seen-wins order. It indexes into the ResultSet it guards, so a
+// surviving row is stored exactly once.
+type dedupSet struct {
+	rs      *ResultSet
+	buckets map[uint64][]int32
+}
+
+func newDedupSet(rs *ResultSet) *dedupSet {
+	return &dedupSet{rs: rs, buckets: make(map[uint64][]int32)}
+}
+
+// seen reports whether row duplicates an already-emitted row; when it does
+// not, it records the slot the caller is about to append the row to.
+func (d *dedupSet) seen(row []Value) bool {
+	h := hashRow(row)
+	for _, i := range d.buckets[h] {
+		if rowsEqual(d.rs.Rows[i], row) {
+			return true
+		}
+	}
+	d.buckets[h] = append(d.buckets[h], int32(len(d.rs.Rows)))
+	return false
+}
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211

@@ -1,9 +1,12 @@
 package relational
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ExecStats counts the work done by a query execution, for benchmarking
@@ -38,91 +41,325 @@ func (db *DB) Exec(stmt *SelectStmt) (*ResultSet, ExecStats, error) {
 	return p.run()
 }
 
-// run executes a compiled plan: an index-accelerated nested-loop join
-// whose predicates and projection are pre-compiled closures over the
-// columnar storage. The plan is read-only; all mutable state is local, so
-// one plan may run on many goroutines concurrently.
+// errStopScan aborts the nested-loop walk once a LIMIT (with no ORDER BY)
+// is satisfied; it never escapes run.
+var errStopScan = errors.New("relational: scan limit reached")
+
+// maxSlabRows caps how many result rows one projection slab holds:
+// emitted rows are sub-slices of a shared backing array, so result
+// materialization costs one allocation per slab instead of one per row.
+// Slabs start small (most data queries emit a handful of rows) and grow
+// geometrically toward the cap.
+const maxSlabRows = 256
+
+// rowSink collects projected result rows: slab-backed batch allocation,
+// optional streaming DISTINCT (duplicates are dropped as they are emitted,
+// with DedupRows' exact hash/equality semantics), and optional early exit
+// when LIMIT is reached.
+type rowSink struct {
+	rs       *ResultSet
+	width    int
+	slab     []Value
+	slabRows int
+	dedup    *dedupSet
+	limit    int // -1: no early exit
+}
+
+func (s *rowSink) emit(p *plan, st *execState) error {
+	if len(s.slab) < s.width {
+		if s.slabRows < maxSlabRows {
+			s.slabRows = s.slabRows*8 + 4
+			if s.slabRows > maxSlabRows {
+				s.slabRows = maxSlabRows
+			}
+		}
+		s.slab = make([]Value, s.width*s.slabRows)
+	}
+	dst := s.slab[:s.width:s.width]
+	if err := p.project(st, dst); err != nil {
+		return err
+	}
+	if s.dedup != nil && s.dedup.seen(dst) {
+		return nil // duplicate: the slab space is reused for the next row
+	}
+	s.slab = s.slab[s.width:]
+	s.rs.Rows = append(s.rs.Rows, dst)
+	if s.limit >= 0 && len(s.rs.Rows) >= s.limit {
+		return errStopScan
+	}
+	return nil
+}
+
+// run executes a compiled plan batch-at-a-time: each nested-loop level
+// turns its candidate rows (a dense scan range or an index probe's
+// positions) into a selection vector, the level's vectorized predicates
+// filter the whole selection per call, row-only predicates filter the
+// survivors in the same conjunct order, and each surviving row recurses
+// into the next level. Full scans feed the filters BatchSize rows at a
+// time; level-0 scans over at least ShardMinRows rows are sharded across
+// workers on contiguous row ranges (concatenation preserves scan order).
+// The plan is read-only; all mutable state is per-execution, so one plan
+// may run on many goroutines concurrently.
 func (p *plan) run() (*ResultSet, ExecStats, error) {
-	st := &execState{rows: make([]int32, len(p.tables))}
 	rs := &ResultSet{Columns: p.cols}
-
-	var walk func(lvl int) error
-	walk = func(lvl int) error {
-		if lvl == len(p.tables) {
-			row, err := p.project(st)
-			if err != nil {
-				return err
-			}
-			rs.Rows = append(rs.Rows, row)
-			return nil
+	n0 := int32(p.tables[0].Len())
+	var stats ExecStats
+	sharded := p.access[0] == nil && int(n0) >= ShardMinRows && runtime.GOMAXPROCS(0) > 1
+	if sharded {
+		if err := p.runSharded(rs, &stats, n0); err != nil {
+			return nil, stats, err
 		}
-		tbl := p.tables[lvl]
-		preds := p.levelPreds[lvl]
-		tryRow := func(row int32) error {
-			st.stats.RowsScanned++
-			st.rows[lvl] = row
-			for _, pred := range preds {
-				ok, err := pred(st)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-			}
-			return walk(lvl + 1)
+		if p.stmt.Distinct {
+			// Per-shard streaming dedup leaves only cross-shard
+			// duplicates; one global pass removes those.
+			rs.Rows = DedupRows(rs.Rows)
 		}
-		if ia := p.access[lvl]; ia != nil {
-			probe := func(key Value) error {
-				pos, ok := tbl.lookup(ia.col, key)
-				if !ok {
-					return nil
-				}
-				st.stats.IndexLookups++
-				for _, r := range pos {
-					if err := tryRow(r); err != nil {
-						return err
-					}
-				}
-				return nil
-			}
-			if ia.keyList != nil {
-				for _, key := range ia.keyList {
-					if err := probe(key); err != nil {
-						return err
-					}
-				}
-				return nil
-			}
-			key, err := ia.keyFn(st)
-			if err != nil {
-				return err
-			}
-			return probe(key)
+	} else {
+		st := p.state()
+		sink := p.newSink(rs)
+		err := p.walk(st, sink, 0, 0, n0)
+		stats = st.stats
+		p.release(st)
+		if err != nil && err != errStopScan {
+			return nil, stats, err
 		}
-		for row, n := int32(0), int32(tbl.Len()); row < n; row++ {
-			if err := tryRow(row); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(0); err != nil {
-		return nil, st.stats, err
-	}
-
-	if p.stmt.Distinct {
-		rs.Rows = DedupRows(rs.Rows)
 	}
 	if len(p.stmt.OrderBy) > 0 {
 		if err := orderResultRows(rs, p.stmt); err != nil {
-			return nil, st.stats, err
+			return nil, stats, err
 		}
 	}
 	if p.stmt.Limit >= 0 && len(rs.Rows) > p.stmt.Limit {
 		rs.Rows = rs.Rows[:p.stmt.Limit]
 	}
-	return rs, st.stats, nil
+	return rs, stats, nil
+}
+
+// newSink builds a collector for one walk: streaming DISTINCT when the
+// statement asks for it, and early LIMIT exit when no ORDER BY needs the
+// full row set first.
+func (p *plan) newSink(rs *ResultSet) *rowSink {
+	sink := &rowSink{rs: rs, width: len(p.cols), limit: -1}
+	if p.stmt.Distinct {
+		sink.dedup = newDedupSet(rs)
+	}
+	if p.stmt.Limit >= 0 && len(p.stmt.OrderBy) == 0 {
+		sink.limit = p.stmt.Limit
+	}
+	return sink
+}
+
+// runSharded splits the level-0 scan range into contiguous chunks, walks
+// each on its own worker with private state and sink, and concatenates the
+// per-shard rows in shard order (identical row order to the serial scan).
+func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	minChunk := ShardMinRows / 4
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if max := int(n0) / minChunk; workers > max {
+		workers = max
+	}
+	chunk := (n0 + int32(workers) - 1) / int32(workers)
+
+	type shard struct {
+		rs    ResultSet
+		stats ExecStats
+		err   error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int32(w) * chunk
+		hi := lo + chunk
+		if hi > n0 {
+			hi = n0
+		}
+		wg.Add(1)
+		go func(sh *shard, lo, hi int32) {
+			defer wg.Done()
+			st := p.state()
+			sink := p.newSink(&sh.rs)
+			err := p.walk(st, sink, 0, lo, hi)
+			sh.stats = st.stats
+			p.release(st)
+			if err != nil && err != errStopScan {
+				sh.err = err
+			}
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range shards {
+		if err := shards[i].err; err != nil {
+			return err // lowest shard's error, for determinism
+		}
+		total += len(shards[i].rs.Rows)
+	}
+	rs.Rows = make([][]Value, 0, total)
+	for i := range shards {
+		rs.Rows = append(rs.Rows, shards[i].rs.Rows...)
+		stats.RowsScanned += shards[i].stats.RowsScanned
+		stats.IndexLookups += shards[i].stats.IndexLookups
+	}
+	return nil
+}
+
+// walk processes nested-loop level lvl. lo and hi bound the scan range
+// (used by the shard workers at level 0; full range everywhere else); they
+// are ignored when the level probes an index.
+func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
+	if lvl == len(p.tables) {
+		return sink.emit(p, st)
+	}
+	tbl := p.tables[lvl]
+	if ia := p.access[lvl]; ia != nil {
+		if ia.keyList != nil {
+			for _, key := range ia.keyList {
+				if err := p.probe(st, sink, lvl, tbl, ia, key); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		key, err := ia.keyFn(st)
+		if err != nil {
+			return err
+		}
+		return p.probe(st, sink, lvl, tbl, ia, key)
+	}
+	bs := int32(BatchSize)
+	for b := lo; b < hi; b += bs {
+		end := b + bs
+		if end > hi {
+			end = hi
+		}
+		if err := p.scanRange(st, sink, lvl, b, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probe runs one hash-index lookup and feeds the resulting positions
+// through the level's filters.
+func (p *plan) probe(st *execState, sink *rowSink, lvl int, tbl *Table, ia *indexAccess, key Value) error {
+	pos, ok := tbl.lookup(ia.col, key)
+	if !ok {
+		return nil
+	}
+	st.stats.IndexLookups++
+	st.stats.RowsScanned += len(pos)
+	preds := p.levelPreds[lvl]
+	if len(preds) == 0 {
+		return p.descend(st, sink, lvl, pos)
+	}
+	// The positions slice belongs to the index; the first filter reads it
+	// and writes survivors into the level's own buffer.
+	sel := p.applyPred(st, lvl, preds[0], pos, st.selbuf(lvl, len(pos)))
+	sel = p.filterRest(st, lvl, preds[1:], sel)
+	return p.descend(st, sink, lvl, sel)
+}
+
+// scanRange feeds the dense row range [lo, hi) through the level's
+// filters. With no predicates the rows descend directly; otherwise the
+// first predicate materializes the surviving selection (a vectorized first
+// predicate never materializes the identity selection at all).
+func (p *plan) scanRange(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
+	st.stats.RowsScanned += int(hi - lo)
+	preds := p.levelPreds[lvl]
+	if len(preds) == 0 {
+		for r := lo; r < hi; r++ {
+			st.rows[lvl] = r
+			if err := p.walk(st, sink, lvl+1, 0, int32(p.nextLen(lvl))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buf := st.selbuf(lvl, int(hi-lo))
+	var sel []int32
+	if first := preds[0]; first.vec != nil {
+		sel = first.vec.filterRange(st, lo, hi, buf)
+	} else {
+		out := buf
+		for r := lo; r < hi; r++ {
+			st.rows[lvl] = r
+			ok, err := first.row(st)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		sel = out
+	}
+	sel = p.filterRest(st, lvl, preds[1:], sel)
+	return p.descend(st, sink, lvl, sel)
+}
+
+// filterRest applies the remaining predicates, in conjunct order, to the
+// selection in place.
+func (p *plan) filterRest(st *execState, lvl int, preds []levelPred, sel []int32) []int32 {
+	for _, pr := range preds {
+		if len(sel) == 0 || st.pendErr != nil {
+			return sel
+		}
+		sel = p.applyPred(st, lvl, pr, sel, sel[:0])
+	}
+	return sel
+}
+
+// applyPred filters src into dst (which may alias src's prefix) with one
+// predicate. Row-predicate errors are deferred onto the state and
+// re-raised by descend, keeping the kernels' append-only signatures.
+func (p *plan) applyPred(st *execState, lvl int, pr levelPred, src, dst []int32) []int32 {
+	if pr.vec != nil {
+		return pr.vec.filterSel(st, src, dst)
+	}
+	for _, r := range src {
+		st.rows[lvl] = r
+		ok, err := pr.row(st)
+		if err != nil {
+			st.pendErr = err
+			return dst
+		}
+		if ok {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// descend recurses into the next level for every selected row.
+func (p *plan) descend(st *execState, sink *rowSink, lvl int, sel []int32) error {
+	if st.pendErr != nil {
+		err := st.pendErr
+		st.pendErr = nil
+		return err
+	}
+	next := int32(p.nextLen(lvl))
+	for _, r := range sel {
+		st.rows[lvl] = r
+		if err := p.walk(st, sink, lvl+1, 0, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextLen returns the scan length of level lvl+1 (0 past the last level).
+func (p *plan) nextLen(lvl int) int {
+	if lvl+1 >= len(p.tables) {
+		return 0
+	}
+	return p.tables[lvl+1].Len()
 }
 
 func orderResultRows(rs *ResultSet, stmt *SelectStmt) error {

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // This file is the query planner: a parsed SELECT is compiled once into a
@@ -14,26 +15,69 @@ import (
 // resolution and zero per-row allocation outside result rows.
 
 // plan is a fully compiled SELECT, safe for concurrent reuse: all mutable
-// execution state lives in execState.
+// execution state lives in execState (pooled across executions).
 type plan struct {
 	stmt       *SelectStmt
 	tables     []*Table
-	levelPreds [][]predFn
+	levelPreds [][]levelPred
 	access     []*indexAccess
 	cols       []string
 	project    projFn
+
+	statePool sync.Pool
+}
+
+// levelPred is one compiled WHERE conjunct attached to a nested-loop
+// level: either a vectorized batch kernel (vec) or a row-at-a-time closure
+// (row). Exactly one is set.
+type levelPred struct {
+	vec *vecPred
+	row predFn
 }
 
 // execState is the per-execution mutable state: the current row index of
-// every nested-loop level plus the work counters.
+// every nested-loop level, the per-level selection-vector buffers, and the
+// work counters. States are pooled per plan so steady-state executions
+// reuse the selection buffers.
 type execState struct {
 	rows  []int32
+	sels  [][]int32
 	stats ExecStats
+	// pendErr carries a row-predicate error out of the append-only filter
+	// kernels; descend re-raises it before visiting any row.
+	pendErr error
 }
+
+// selbuf returns level lvl's selection buffer, empty, with capacity for at
+// least n rows.
+func (st *execState) selbuf(lvl, n int) []int32 {
+	if cap(st.sels[lvl]) < n {
+		st.sels[lvl] = make([]int32, 0, n)
+	}
+	return st.sels[lvl][:0]
+}
+
+func (p *plan) state() *execState {
+	if st, ok := p.statePool.Get().(*execState); ok {
+		st.stats = ExecStats{}
+		st.pendErr = nil
+		return st
+	}
+	return &execState{
+		rows: make([]int32, len(p.tables)),
+		sels: make([][]int32, len(p.tables)),
+	}
+}
+
+func (p *plan) release(st *execState) { p.statePool.Put(st) }
 
 type evalFn func(st *execState) (Value, error)
 type predFn func(st *execState) (bool, error)
-type projFn func(st *execState) ([]Value, error)
+
+// projFn fills dst (of projection width) with the output row for the
+// current bindings. Callers hand out slab-backed slices so a batch of
+// result rows costs one allocation, not one per row.
+type projFn func(st *execState, dst []Value) error
 
 // indexAccess describes a hash-index probe for one nested-loop level.
 // Either keyFn (single probe, evaluated against earlier levels) or keyList
@@ -182,7 +226,7 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 	p := &plan{
 		stmt:       stmt,
 		tables:     b.tables,
-		levelPreds: make([][]predFn, len(b.tables)),
+		levelPreds: make([][]levelPred, len(b.tables)),
 		access:     make([]*indexAccess, len(b.tables)),
 	}
 	for lvl := range b.tables {
@@ -192,11 +236,15 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 		}
 		p.access[lvl] = ia
 		for _, e := range levelExprs[lvl] {
+			if vp := b.compileVecPred(lvl, e); vp != nil {
+				p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{vec: vp})
+				continue
+			}
 			pf, err := b.compilePred(e)
 			if err != nil {
 				return nil, err
 			}
-			p.levelPreds[lvl] = append(p.levelPreds[lvl], pf)
+			p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{row: pf})
 		}
 	}
 
@@ -783,13 +831,9 @@ func (b *binding) specializeInList(v InList) predFn {
 	}
 	negate := v.Negate
 	if a.kind == KindInt {
-		set := make(map[int64]struct{}, len(v.Vals))
-		for _, ve := range v.Vals {
-			lit, ok := ve.(Lit)
-			if !ok || lit.V.K != KindInt {
-				return nil
-			}
-			set[lit.V.I] = struct{}{}
+		set, ok := buildIntSet(v.Vals)
+		if !ok {
+			return nil
 		}
 		return func(st *execState) (bool, error) {
 			x, null := a.intAt(st)
@@ -800,13 +844,9 @@ func (b *binding) specializeInList(v InList) predFn {
 			return member != negate, nil
 		}
 	}
-	set := make(map[string]struct{}, len(v.Vals))
-	for _, ve := range v.Vals {
-		lit, ok := ve.(Lit)
-		if !ok || lit.V.K != KindString {
-			return nil
-		}
-		set[lit.V.S] = struct{}{}
+	set, ok := buildStrSet(v.Vals)
+	if !ok {
+		return nil
 	}
 	return func(st *execState) (bool, error) {
 		s, null := a.strAt(st)
@@ -816,6 +856,34 @@ func (b *binding) specializeInList(v InList) predFn {
 		_, member := set[s]
 		return member != negate, nil
 	}
+}
+
+// buildIntSet and buildStrSet turn an all-literal, single-kind IN list
+// into a membership set; ok is false for any other list shape. Both the
+// row-at-a-time and the vectorized IN paths build their sets here, so the
+// two can never diverge on which lists qualify.
+func buildIntSet(vals []Expr) (map[int64]struct{}, bool) {
+	set := make(map[int64]struct{}, len(vals))
+	for _, ve := range vals {
+		lit, ok := ve.(Lit)
+		if !ok || lit.V.K != KindInt {
+			return nil, false
+		}
+		set[lit.V.I] = struct{}{}
+	}
+	return set, true
+}
+
+func buildStrSet(vals []Expr) (map[string]struct{}, bool) {
+	set := make(map[string]struct{}, len(vals))
+	for _, ve := range vals {
+		lit, ok := ve.(Lit)
+		if !ok || lit.V.K != KindString {
+			return nil, false
+		}
+		set[lit.V.S] = struct{}{}
+	}
+	return set, true
 }
 
 // compileLikePattern prepares a matcher for a constant LIKE pattern,
@@ -863,12 +931,11 @@ func (b *binding) compileProjection(stmt *SelectStmt) ([]string, projFn, error) 
 				srcs = append(srcs, src{tbl, lvl, col})
 			}
 		}
-		return cols, func(st *execState) ([]Value, error) {
-			row := make([]Value, len(srcs))
+		return cols, func(st *execState, dst []Value) error {
 			for i, s := range srcs {
-				row[i] = s.tbl.cell(int(st.rows[s.lvl]), s.col)
+				dst[i] = s.tbl.cell(int(st.rows[s.lvl]), s.col)
 			}
-			return row, nil
+			return nil
 		}, nil
 	}
 	cols := make([]string, len(stmt.Select))
@@ -894,16 +961,15 @@ func (b *binding) compileProjection(stmt *SelectStmt) ([]string, projFn, error) 
 		}
 		fns[i] = fn
 	}
-	return cols, func(st *execState) ([]Value, error) {
-		row := make([]Value, len(fns))
+	return cols, func(st *execState, dst []Value) error {
 		for i, fn := range fns {
 			v, err := fn(st)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row[i] = v
+			dst[i] = v
 		}
-		return row, nil
+		return nil
 	}, nil
 }
 

@@ -150,6 +150,11 @@ func (t *Table) appendRow(row []Value) {
 		if v.K == KindNull {
 			c.null.set(t.rows)
 		}
+		// A non-empty bitmap always covers every row, so the vectorized
+		// kernels index it without a per-row length guard.
+		if len(c.null) > 0 {
+			c.null.grow(t.rows + 1)
+		}
 	}
 	t.rows++
 	for _, ix := range t.indexes {
