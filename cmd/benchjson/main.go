@@ -1,6 +1,6 @@
-// Command benchjson runs the engine benchmarks and writes their ns/op,
-// B/op, and allocs/op to a JSON file, establishing the performance
-// trajectory that future changes are measured against.
+// Command benchjson runs the engine and stream benchmarks and writes
+// their ns/op, B/op, and allocs/op to a JSON file, establishing the
+// performance trajectory that future changes are measured against.
 //
 // Usage:
 //
@@ -55,16 +55,16 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (in -gate mode: the committed baseline to compare against)")
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
-	pattern := flag.String("bench", "BenchmarkExecuteScheduled|BenchmarkExecuteParallel|BenchmarkExecuteUnscheduled|BenchmarkStoreLoadEngine", "benchmark regexp")
+	pattern := flag.String("bench", "BenchmarkExecuteScheduled|BenchmarkExecuteParallel|BenchmarkExecuteUnscheduled|BenchmarkStoreLoadEngine|BenchmarkStreamIngest|BenchmarkStandingQuery", "benchmark regexp")
 	gate := flag.Bool("gate", false, "compare against the committed baseline instead of rewriting it; exit 1 on regression")
 	gateThreshold := flag.Float64("gate-threshold", 0.25, "fractional regression tolerated by -gate (0.25 = 25%)")
-	gateBench := flag.String("gate-bench", "BenchmarkExecuteScheduled", "comma-separated benchmarks checked by -gate")
+	gateBench := flag.String("gate-bench", "BenchmarkExecuteScheduled,BenchmarkStreamIngest", "comma-separated benchmarks checked by -gate")
 	flag.Parse()
 
 	if *gate {
 		*pattern = strings.Join(strings.Split(*gateBench, ","), "|")
 	}
-	cmd := exec.Command("go", "test", "./internal/engine",
+	cmd := exec.Command("go", "test", "./internal/engine", "./internal/stream",
 		"-run", "NONE", "-bench", *pattern, "-benchmem", "-benchtime", *benchtime)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -74,7 +74,7 @@ func main() {
 	}
 
 	doc := File{
-		Package: "threatraptor/internal/engine",
+		Package: "threatraptor/internal/engine threatraptor/internal/stream",
 		Date:    time.Now().UTC().Format("2006-01-02"),
 	}
 	if v, err := exec.Command("go", "version").Output(); err == nil {

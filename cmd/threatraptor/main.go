@@ -1,6 +1,8 @@
 // Command threatraptor runs the end-to-end OSCTI-driven threat hunting
 // pipeline: it loads system audit logs, extracts a threat behavior graph
-// from an OSCTI report, synthesizes a TBQL query, and executes it.
+// from an OSCTI report, synthesizes a TBQL query, and executes it. In
+// watch mode it instead tails a growing audit log and fires registered
+// standing queries as matching behaviors appear.
 //
 // Usage:
 //
@@ -8,17 +10,22 @@
 //	threatraptor -log audit.log -report attack.txt -fuzzy   # fuzzy mode
 //	threatraptor -report attack.txt -synthesize-only        # no execution
 //	threatraptor -demo data_leak                            # built-in case
+//	threatraptor -watch -log audit.log -query hunt.tbql     # live hunting
+//	threatraptor -watch -log audit.log -report attack.txt   # live, synthesized
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"threatraptor"
 	"threatraptor/internal/cases"
+	"threatraptor/internal/stream"
 )
 
 func main() {
@@ -29,9 +36,30 @@ func main() {
 	useFuzzy := flag.Bool("fuzzy", false, "execute in fuzzy search mode")
 	demo := flag.String("demo", "", "run a built-in benchmark case (e.g. data_leak)")
 	scale := flag.Float64("scale", 1.0, "benign noise scale for -demo")
+	watch := flag.Bool("watch", false, "tail -log continuously, firing the query as behaviors appear")
+	queryPath := flag.String("query", "", "TBQL query file (watch mode; skips report synthesis)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "watch mode poll interval")
+	watchIdle := flag.Int("watch-idle", 0, "exit watch mode after N consecutive polls without new data (0 = run until interrupted)")
 	flag.Parse()
 
 	sys := threatraptor.New(threatraptor.DefaultOptions())
+
+	if *watch {
+		if *logPath == "" {
+			log.Fatal("-watch requires -log (the file to tail)")
+		}
+		query, err := watchQuery(sys, *queryPath, *reportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("--- standing query ---")
+		fmt.Println(query)
+		if err := runWatch(sys, *logPath, query, *poll, *watchIdle); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var report string
 
 	switch {
@@ -128,5 +156,99 @@ func main() {
 	if stats.EmptyPatternID != "" {
 		fmt.Printf("note: pattern %s matched no events and emptied the conjunction;\n", stats.EmptyPatternID)
 		fmt.Println("      revise the query (remove/relax the pattern) or try -fuzzy")
+	}
+}
+
+// watchQuery resolves the standing query: an explicit TBQL file wins,
+// otherwise the report is extracted and a query synthesized (no store is
+// needed for synthesis).
+func watchQuery(sys *threatraptor.System, queryPath, reportPath string) (string, error) {
+	if queryPath != "" {
+		data, err := os.ReadFile(queryPath)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	if reportPath == "" {
+		return "", fmt.Errorf("watch mode needs -query or -report")
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		return "", err
+	}
+	res := sys.ExtractBehaviorGraph(string(data))
+	return sys.SynthesizeQuery(res.Graph)
+}
+
+// runWatch tails the log file: each poll ingests whatever bytes were
+// appended since the last one (the open file keeps its offset, and a
+// half-written final line stays buffered inside the parser), then prints
+// any standing-query firings.
+func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duration, idleLimit int) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sub, err := sys.Watch(query)
+	if err != nil {
+		return err
+	}
+	printMatches := func() int {
+		n := 0
+		for {
+			select {
+			case m, ok := <-sub.C:
+				if !ok {
+					return n
+				}
+				fmt.Printf("MATCH batch=%d", m.Batch)
+				for i, col := range m.Columns {
+					fmt.Printf(" %s=%s", col, m.Row[i].String())
+				}
+				fmt.Println()
+				n++
+			default:
+				return n
+			}
+		}
+	}
+
+	fmt.Printf("watching %s (poll %s)\n", logPath, poll)
+	idle := 0
+	lastPartial := 0
+	for {
+		st, err := sys.Ingest(f)
+		var pe *stream.ParseError
+		if errors.As(err, &pe) {
+			// One corrupt record must not kill a live watch: the valid
+			// lines around it were ingested; warn and keep tailing.
+			fmt.Fprintf(os.Stderr, "watch: %v\n", pe)
+		} else if err != nil {
+			return err
+		}
+		fired := printMatches()
+		// A grown partial line is progress too: the producer is
+		// mid-write, not idle.
+		if st.EventsParsed > 0 || st.EventsSealed > 0 || fired > 0 || st.PartialBuffered != lastPartial {
+			idle = 0
+		} else {
+			idle++
+			if idleLimit > 0 && idle >= idleLimit {
+				if st.PartialBuffered > 0 {
+					fmt.Printf("watch: warning: flushing a %d-byte unterminated trailing line\n", st.PartialBuffered)
+				}
+				if _, err := sys.FlushStream(); err != nil {
+					return err
+				}
+				printMatches()
+				fmt.Println("watch: idle limit reached; flushed and exiting")
+				return nil
+			}
+		}
+		lastPartial = st.PartialBuffered
+		time.Sleep(poll)
 	}
 }

@@ -1,0 +1,139 @@
+// Livehunt demonstrates the streaming ingestion + standing-query
+// subsystem: a standing TBQL query is registered over a live audit log
+// file, the file grows while we watch — benign traffic first, then a data
+// exfiltration — and the hunt fires the moment the malicious behavior
+// seals, with no store rebuild and no batch re-run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"threatraptor"
+	"threatraptor/internal/audit"
+)
+
+// rec renders one wire-format audit record line.
+func rec(r audit.Record) string { return r.Format() + "\n" }
+
+func main() {
+	dir, err := os.MkdirTemp("", "livehunt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "audit.log")
+
+	// The monitoring agent's log starts with benign traffic.
+	f, err := os.Create(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	benign := func(ts int64, pid int, exe, path string) string {
+		return rec(audit.Record{Time: ts, Call: audit.SysRead, PID: pid, Exe: exe,
+			User: "alice", FD: audit.FDFile, Path: path, Bytes: 512})
+	}
+	if _, err := f.WriteString(
+		benign(1_000_000, 101, "/usr/bin/vim", "/home/alice/notes.txt") +
+			benign(2_000_000, 102, "/usr/bin/python3", "/home/alice/report.py")); err != nil {
+		log.Fatal(err)
+	}
+
+	// An analyst registers the standing hunt before anything bad happens.
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	const hunt = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/stolen.tar%"] as evt2
+proc p2["%/usr/bin/curl%"] read file f2 as evt3
+proc p2 connect ip i1["203.0.113.66"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f1, f2, p2, i1`
+	sub, err := sys.Watch(hunt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== standing query registered ===")
+	fmt.Println(hunt)
+	fmt.Println()
+
+	// Tail the log: same open file, each Ingest reads what was appended.
+	tail, err := os.Open(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tail.Close()
+	st, err := sys.Ingest(tail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("caught up: %d events parsed, %d sealed, %d matches — benign traffic only\n\n",
+		st.EventsParsed, st.EventsSealed, st.Firings)
+
+	// The attack happens live: the log grows while we watch.
+	attacker := audit.Record{PID: 666, Exe: "/bin/tar", User: "mallory", Group: "users"}
+	exfil := audit.Record{PID: 667, Exe: "/usr/bin/curl", User: "mallory", Group: "users"}
+	steps := []string{
+		rec(func(r audit.Record) audit.Record {
+			r.Time, r.Call, r.FD, r.Path, r.Bytes = 10_000_000, audit.SysRead, audit.FDFile, "/etc/passwd", 4096
+			return r
+		}(attacker)),
+		rec(func(r audit.Record) audit.Record {
+			r.Time, r.Call, r.FD, r.Path, r.Bytes = 11_000_000, audit.SysWrite, audit.FDFile, "/tmp/stolen.tar", 4096
+			return r
+		}(attacker)),
+		rec(func(r audit.Record) audit.Record {
+			r.Time, r.Call, r.FD, r.Path, r.Bytes = 12_500_000, audit.SysRead, audit.FDFile, "/tmp/stolen.tar", 4096
+			return r
+		}(exfil)),
+		rec(func(r audit.Record) audit.Record {
+			r.Time, r.Call, r.FD = 13_000_000, audit.SysConnect, audit.FDIPv4
+			r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto = "10.0.0.8", 49152, "203.0.113.66", 443, "tcp"
+			return r
+		}(exfil)),
+		// Later benign traffic pushes the watermark past the attack.
+		benign(30_000_000, 101, "/usr/bin/vim", "/home/alice/notes.txt"),
+	}
+	for _, line := range steps {
+		if _, err := f.WriteString(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("=== attacker acts; log grows ===")
+	st, err = sys.Ingest(tail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tail pass: %d events parsed, %d sealed into batch %d, watermark %dµs\n\n",
+		st.EventsParsed, st.EventsSealed, st.Batch, st.Watermark)
+
+	fmt.Println("=== standing query fired ===")
+	for {
+		select {
+		case m := <-sub.C:
+			fmt.Printf("match (batch %d):\n", m.Batch)
+			for i, col := range m.Columns {
+				fmt.Printf("  %-12s %s\n", col, m.Row[i].String())
+			}
+		default:
+			goto drained
+		}
+	}
+drained:
+
+	// The same store answers ad-hoc hunts over everything ingested so far.
+	if _, err := sys.FlushStream(); err != nil {
+		log.Fatal(err)
+	}
+	res, stats, err := sys.Hunt(`proc p read file f["%/etc/passwd%"] return p, f`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== ad-hoc hunt over the live store ===")
+	for _, row := range res.Set.Strings() {
+		fmt.Printf("  %v\n", row)
+	}
+	fmt.Printf("(%d data queries, %d rows scanned — no store rebuild at any point)\n",
+		stats.DataQueries, stats.Rel.RowsScanned)
+}

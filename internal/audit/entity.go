@@ -226,6 +226,25 @@ func (t *EntityTable) LookupKey(key string) *Entity { return t.byKey[key] }
 // Len returns the number of distinct entities interned.
 func (t *EntityTable) Len() int { return len(t.byKey) }
 
+// Since returns the entities with ID > after in ascending ID order: the
+// entities interned since the caller last recorded MaxID. The live append
+// path uses it to ship only new entities to the storage backends.
+func (t *EntityTable) Since(after int64) []*Entity {
+	if after < 0 {
+		after = 0
+	}
+	var out []*Entity
+	for id := after + 1; id < t.next; id++ {
+		if e, ok := t.byID[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaxID returns the highest entity ID assigned so far (0 when empty).
+func (t *EntityTable) MaxID() int64 { return t.next - 1 }
+
 // All returns all entities in ascending ID order.
 func (t *EntityTable) All() []*Entity {
 	out := make([]*Entity, 0, len(t.byID))

@@ -133,6 +133,16 @@ func (l *Log) Append(ev Event) {
 	l.Events = append(l.Events, ev)
 }
 
+// TakeEvents returns the accumulated events and resets the log's event
+// buffer, keeping the entity table. The live ingestion path drains a
+// parser's log batch-by-batch: event IDs are provisional (the streaming
+// reducer reassigns them at seal time).
+func (l *Log) TakeEvents() []Event {
+	evs := l.Events
+	l.Events = nil
+	return evs
+}
+
 // Subject returns the subject entity of ev.
 func (l *Log) Subject(ev *Event) *Entity { return l.Entities.Lookup(ev.SubjectID) }
 

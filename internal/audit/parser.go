@@ -2,6 +2,7 @@ package audit
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -14,11 +15,23 @@ type Parser struct {
 	log *Log
 	// skipped counts records for unmonitored syscalls (not errors).
 	skipped int
+	// partial buffers an incomplete trailing line between FeedChunk
+	// calls: when tailing a live file the final line is frequently
+	// half-written, so it is held back until its newline (or FlushChunk)
+	// arrives instead of being parsed as a malformed record.
+	partial []byte
 }
 
 // NewParser returns a parser accumulating into a fresh Log.
 func NewParser() *Parser {
 	return &Parser{log: NewLog()}
+}
+
+// NewParserWith returns a parser accumulating into the given log, so live
+// ingestion can intern entities into an already-loaded store's entity
+// table while draining events batch-by-batch.
+func NewParserWith(log *Log) *Parser {
+	return &Parser{log: log}
 }
 
 // Log returns the accumulated log.
@@ -84,6 +97,59 @@ func (p *Parser) FeedLine(line string) error {
 	}
 	return p.Feed(&r)
 }
+
+// FeedChunk consumes an arbitrary byte chunk of the newline-delimited wire
+// stream: every complete line is parsed and fed, and a trailing partial
+// line (no '\n' yet) is buffered until the next chunk completes it. This is
+// the tail-safe entry point for live ingestion, where reads routinely stop
+// mid-line.
+//
+// Unlike ParseStream, a malformed line does not stop the chunk: the
+// remaining lines are still consumed (and the trailing partial still
+// buffered) so the line framing of a long-lived tail survives one bad
+// record, and the first error is returned after the chunk is processed.
+func (p *Parser) FeedChunk(data []byte) error {
+	var firstErr error
+	feed := func(line string) {
+		if err := p.FeedLine(line); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			p.partial = append(p.partial, data...)
+			return firstErr
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(p.partial) > 0 {
+			p.partial = append(p.partial, line...)
+			full := string(p.partial)
+			p.partial = p.partial[:0]
+			feed(full)
+			continue
+		}
+		feed(string(line))
+	}
+	return firstErr
+}
+
+// FlushChunk parses any buffered partial line as if it were complete. Call
+// it at true end-of-input; while tailing a growing file, don't — the
+// buffered bytes are the head of a line still being written.
+func (p *Parser) FlushChunk() error {
+	if len(p.partial) == 0 {
+		return nil
+	}
+	line := string(p.partial)
+	p.partial = p.partial[:0]
+	return p.FeedLine(line)
+}
+
+// PartialLen reports how many bytes of an incomplete trailing line are
+// buffered.
+func (p *Parser) PartialLen() int { return len(p.partial) }
 
 // ParseStream reads newline-delimited audit records from rd and returns the
 // resulting log. Blank lines and '#' comments are ignored. Parsing stops at

@@ -183,3 +183,122 @@ func TestSimulatorRecordsParse(t *testing.T) {
 		t.Fatalf("simulator must only emit monitored syscalls, skipped=%d", p.Skipped())
 	}
 }
+
+// TestFeedChunkPartialLines verifies that FeedChunk parses only complete
+// lines and buffers a trailing partial line across arbitrary chunk splits,
+// which is the invariant live tailing depends on.
+func TestFeedChunkPartialLines(t *testing.T) {
+	recs := []Record{
+		{Time: 10, Call: SysRead, PID: 101, Exe: "/bin/tar", User: "root", FD: FDFile, Path: "/etc/passwd", Bytes: 100},
+		{Time: 20, Call: SysWrite, PID: 101, Exe: "/bin/tar", User: "root", FD: FDFile, Path: "/tmp/upload.tar", Bytes: 50},
+		{Time: 30, Call: SysConnect, PID: 102, Exe: "/usr/bin/curl", FD: FDIPv4, SrcIP: "10.0.0.5", SrcPort: 40000, DstIP: "1.2.3.4", DstPort: 443, Proto: "tcp"},
+	}
+	var sb strings.Builder
+	if err := WriteRecords(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	wire := sb.String()
+
+	// Every possible split point of the wire text, including mid-line.
+	for cut := 0; cut <= len(wire); cut++ {
+		p := NewParser()
+		if err := p.FeedChunk([]byte(wire[:cut])); err != nil {
+			t.Fatalf("cut %d first chunk: %v", cut, err)
+		}
+		if err := p.FeedChunk([]byte(wire[cut:])); err != nil {
+			t.Fatalf("cut %d second chunk: %v", cut, err)
+		}
+		if got := len(p.Log().Events); got != len(recs) {
+			t.Fatalf("cut %d: events = %d, want %d", cut, got, len(recs))
+		}
+		if p.PartialLen() != 0 {
+			t.Fatalf("cut %d: %d partial bytes left after final newline", cut, p.PartialLen())
+		}
+	}
+}
+
+// TestFeedChunkBuffersTrailingPartialLine is the tail-of-a-live-file case:
+// a chunk ending mid-record must not error, and FlushChunk completes it.
+func TestFeedChunkBuffersTrailingPartialLine(t *testing.T) {
+	full := (&Record{Time: 10, Call: SysRead, PID: 1, Exe: "/bin/cat", FD: FDFile, Path: "/etc/hosts", Bytes: 9}).Format()
+	half := full[:len(full)/2]
+
+	p := NewParser()
+	if err := p.FeedChunk([]byte(half)); err != nil {
+		t.Fatalf("partial line must be buffered, not parsed: %v", err)
+	}
+	if len(p.Log().Events) != 0 {
+		t.Fatal("no event should be produced from a partial line")
+	}
+	if p.PartialLen() != len(half) {
+		t.Fatalf("PartialLen = %d, want %d", p.PartialLen(), len(half))
+	}
+	// The rest of the line arrives, newline-terminated.
+	if err := p.FeedChunk([]byte(full[len(half):] + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Log().Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(p.Log().Events))
+	}
+
+	// A final unterminated line is parsed by FlushChunk.
+	if err := p.FeedChunk([]byte(full)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Log().Events) != 1 {
+		t.Fatal("unterminated line must wait for FlushChunk")
+	}
+	if err := p.FlushChunk(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Log().Events) != 2 {
+		t.Fatalf("events after flush = %d, want 2", len(p.Log().Events))
+	}
+}
+
+func TestEntityTableSince(t *testing.T) {
+	tab := NewEntityTable()
+	a := tab.Intern(NewFileEntity("/a", "u", "g"))
+	mark := tab.MaxID()
+	if mark != a.ID {
+		t.Fatalf("MaxID = %d, want %d", mark, a.ID)
+	}
+	b := tab.Intern(NewFileEntity("/b", "u", "g"))
+	c := tab.Intern(NewProcessEntity(1, "/bin/sh", "u", "g", "sh"))
+	tab.Intern(NewFileEntity("/a", "u", "g")) // re-intern: no new entity
+	got := tab.Since(mark)
+	if len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("Since(%d) = %v", mark, got)
+	}
+	if len(tab.Since(tab.MaxID())) != 0 {
+		t.Fatal("Since(MaxID) must be empty")
+	}
+}
+
+// TestFeedChunkSurvivesMalformedLine: one bad record must not eat the
+// rest of the chunk or break line framing — live tails keep going.
+func TestFeedChunkSurvivesMalformedLine(t *testing.T) {
+	good := func(ts int64, path string) string {
+		return (&Record{Time: ts, Call: SysRead, PID: 1, Exe: "/bin/cat", FD: FDFile, Path: path, Bytes: 1}).Format()
+	}
+	chunk := good(1, "/a") + "\nts=notanumber call=read pid=1 exe=/bin/cat fd=file path=/bad\n" +
+		good(2, "/b") + "\n" + good(3, "/c")[:10] // trailing partial
+	p := NewParser()
+	err := p.FeedChunk([]byte(chunk))
+	if err == nil {
+		t.Fatal("malformed line must surface an error")
+	}
+	if got := len(p.Log().Events); got != 2 {
+		t.Fatalf("events = %d, want 2 (lines after the bad one must still parse)", got)
+	}
+	if p.PartialLen() != 10 {
+		t.Fatalf("PartialLen = %d, want 10 (framing must survive the error)", p.PartialLen())
+	}
+	// The rest of the split line still completes cleanly.
+	if err := p.FeedChunk([]byte(good(3, "/c")[10:] + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Log().Events); got != 3 {
+		t.Fatalf("events = %d, want 3", got)
+	}
+}

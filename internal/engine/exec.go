@@ -45,7 +45,17 @@ type Engine struct {
 
 	planMu sync.Mutex
 	plans  map[planKey]*queryPlan
+
+	// huntMu guards the parse/analyze cache keyed by TBQL source text, so
+	// repeat Hunt calls reuse one *tbql.Analyzed — which in turn keeps the
+	// query-plan and binding-set text caches hot across hunts.
+	huntMu   sync.Mutex
+	analyzed map[string]*tbql.Analyzed
 }
+
+// maxCachedAnalyzed bounds the Hunt source cache (flushed wholesale on
+// overflow, like the other engine caches).
+const maxCachedAnalyzed = 256
 
 // Result is the outcome of a scheduled TBQL execution: the projected
 // return rows plus the audit event IDs that participated in at least one
@@ -64,13 +74,15 @@ type patternRows struct {
 	hasEvent bool
 }
 
-// runPattern executes one pattern's data query with the given scheduler
-// extras, against the backend the pattern compiles to.
-func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, extra []string) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
+// runPattern executes one pattern's data query with the given extras spec
+// (scheduler binding sets plus the delta floor), against the backend the
+// pattern compiles to. The assembled text comes from the binding-set-keyed
+// cache, so repeat hunts skip the string build and the backend's re-parse.
+func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extrasSpec) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
 	p := a.Query.Patterns[idx]
 	pr := patternRows{idx: idx, hasEvent: true}
+	query := plan.pats[idx].text(sp)
 	if plan.pats[idx].usesGraph {
-		query := plan.pats[idx].cy.assemble(extra)
 		rs, gs, err := en.Store.Graph.QueryStats(query)
 		if err != nil {
 			return pr, relational.ExecStats{}, gs, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
@@ -90,7 +102,6 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, extra [
 		}
 		return pr, relational.ExecStats{}, gs, nil
 	}
-	query := plan.pats[idx].sql.assemble(extra)
 	rs, qs, err := en.Store.Rel.QueryStats(query)
 	if err != nil {
 		return pr, qs, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
@@ -102,22 +113,18 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, extra [
 	return pr, qs, graphdb.ExecStats{}, nil
 }
 
-// patternExtras builds the scheduler's IN constraints for a pattern from
+// bindingSpec selects the scheduler's IN constraints for a pattern from
 // the current binding sets (shared between the SQL and Cypher compilers,
 // whose id-list syntax is identical). Binding sets are kept as sorted
-// unique ID slices, so the list is emitted directly.
-func (en *Engine) patternExtras(p *tbql.Pattern, bindings map[string][]int64, maxIn int) []string {
-	var extras []string
-	for _, side := range []struct{ id, alias string }{
-		{p.Subject.ID, "s"}, {p.Object.ID, "o"},
-	} {
-		set := bindings[side.id]
-		if len(set) == 0 || len(set) > maxIn {
-			continue
-		}
-		extras = append(extras, inList(side.alias, set))
+// unique ID slices, so they double as canonical cache keys.
+func (en *Engine) bindingSpec(p *tbql.Pattern, bindings map[string][]int64, maxIn int) (subj, obj []int64) {
+	if set := bindings[p.Subject.ID]; len(set) > 0 && len(set) <= maxIn {
+		subj = set
 	}
-	return extras
+	if set := bindings[p.Object.ID]; len(set) > 0 && len(set) <= maxIn {
+		obj = set
+	}
+	return subj, obj
 }
 
 func (en *Engine) maxIn() int {
@@ -142,9 +149,36 @@ func emptyResult(a *tbql.Analyzed) *Result {
 // temporal and attribute relationships. With Parallel set, independent
 // patterns within one dependency level run concurrently.
 func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
+	return en.execute(a, nil)
+}
+
+// execute is Execute with an optional per-pattern delta floor: deltaFor
+// (nil for none) returns the minimum event ID pattern idx may match, the
+// hook standing queries use to join only new rows against history. Delta
+// rounds run the serial scheduled plan with the delta-constrained patterns
+// hoisted to the front: a floor over a small append usually matches
+// nothing (short-circuiting the round after one data query) or a handful
+// of rows whose bindings prune every later pattern.
+func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Result, Stats, error) {
 	plan := en.planFor(a)
-	if en.Parallel && !en.DisableScheduling {
+	if en.Parallel && !en.DisableScheduling && deltaFor == nil {
 		return en.executeLevels(a, plan)
+	}
+
+	order := plan.order
+	if deltaFor != nil {
+		hoisted := make([]int, 0, len(order))
+		for _, idx := range order {
+			if deltaFor(idx) > 0 {
+				hoisted = append(hoisted, idx)
+			}
+		}
+		for _, idx := range order {
+			if deltaFor(idx) <= 0 {
+				hoisted = append(hoisted, idx)
+			}
+		}
+		order = hoisted
 	}
 
 	var stats Stats
@@ -152,13 +186,16 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 	results := make([]patternRows, len(a.Query.Patterns))
 	maxIn := en.maxIn()
 
-	for _, idx := range plan.order {
+	for _, idx := range order {
 		p := a.Query.Patterns[idx]
-		var extras []string
+		var sp extrasSpec
 		if !en.DisableScheduling {
-			extras = en.patternExtras(p, bindings, maxIn)
+			sp.subj, sp.obj = en.bindingSpec(p, bindings, maxIn)
 		}
-		pr, qs, gs, err := en.runPattern(a, plan, idx, extras)
+		if deltaFor != nil {
+			sp.delta = deltaFor(idx)
+		}
+		pr, qs, gs, err := en.runPattern(a, plan, idx, sp)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -194,6 +231,8 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 // partitioned into dependency levels, each level's patterns execute in
 // concurrent goroutines (they share no entity variable, so no constraint
 // could flow between them), and binding sets are narrowed between levels.
+// Delta rounds never come here: execute() routes them through the serial
+// plan, whose binding feed the hoisted delta patterns rely on.
 func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
 	var stats Stats
 	bindings := make(map[string][]int64)
@@ -208,25 +247,26 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 	}
 	for _, level := range plan.levels {
 		outs := make([]outcome, len(level))
-		levelExtras := func(idx int) []string {
-			if en.DisableScheduling {
-				return nil
+		levelSpec := func(idx int) extrasSpec {
+			var sp extrasSpec
+			if !en.DisableScheduling {
+				sp.subj, sp.obj = en.bindingSpec(a.Query.Patterns[idx], bindings, maxIn)
 			}
-			return en.patternExtras(a.Query.Patterns[idx], bindings, maxIn)
+			return sp
 		}
 		if len(level) == 1 {
 			o := &outs[0]
-			o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, level[0], levelExtras(level[0]))
+			o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, level[0], levelSpec(level[0]))
 		} else {
 			var wg sync.WaitGroup
 			for i, idx := range level {
-				extras := levelExtras(idx)
+				sp := levelSpec(idx)
 				wg.Add(1)
-				go func(i, idx int, extras []string) {
+				go func(i, idx int, sp extrasSpec) {
 					defer wg.Done()
 					o := &outs[i]
-					o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, idx, extras)
-				}(i, idx, extras)
+					o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, idx, sp)
+				}(i, idx, sp)
 			}
 			wg.Wait()
 		}
@@ -273,6 +313,67 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 // regardless of the Parallel flag.
 func (en *Engine) ExecuteParallel(a *tbql.Analyzed) (*Result, Stats, error) {
 	return en.executeLevels(a, en.planFor(a))
+}
+
+// ExecuteDelta evaluates a query incrementally after an append: it returns
+// the complete bindings that use at least one event with ID >= minEventID,
+// joining each pattern's new rows against the full indexed history. One
+// constrained execution runs per pattern (the standard delta-join rule);
+// a binding with several new events appears once per such pattern, so
+// callers deduplicate firings. Queries containing a variable-length path
+// pattern fall back to one full execution: even a typed path binds the
+// event variable only on its final hop, so an ID floor would miss paths
+// completed by a newly appended intermediate edge.
+func (en *Engine) ExecuteDelta(a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
+	if HasVarLenPath(a) {
+		return en.execute(a, nil)
+	}
+	combined := &Result{
+		Set:           &relational.ResultSet{Columns: returnColumns(a)},
+		MatchedEvents: map[int64]bool{},
+	}
+	var total Stats
+	for i := range a.Query.Patterns {
+		i := i
+		res, stats, err := en.execute(a, func(idx int) int64 {
+			if idx == i {
+				return minEventID
+			}
+			return 0
+		})
+		if err != nil {
+			return nil, total, err
+		}
+		total.DataQueries += stats.DataQueries
+		total.PatternRows += stats.PatternRows
+		total.JoinBindings += stats.JoinBindings
+		total.Rel.RowsScanned += stats.Rel.RowsScanned
+		total.Rel.IndexLookups += stats.Rel.IndexLookups
+		total.Graph.NodesVisited += stats.Graph.NodesVisited
+		total.Graph.EdgesTraversed += stats.Graph.EdgesTraversed
+		total.Graph.IndexLookups += stats.Graph.IndexLookups
+		combined.Set.Rows = append(combined.Set.Rows, res.Set.Rows...)
+		for ev := range res.MatchedEvents {
+			combined.MatchedEvents[ev] = true
+		}
+	}
+	if a.Query.Return.Distinct {
+		combined.Set.Rows = relational.DedupRows(combined.Set.Rows)
+	}
+	return combined, total, nil
+}
+
+// HasVarLenPath reports whether any pattern is a variable-length path —
+// the ExecuteDelta full-evaluation fallback criterion, shared with the
+// standing-query layer (which seeds its dedup set for exactly these
+// queries).
+func HasVarLenPath(a *tbql.Analyzed) bool {
+	for _, p := range a.Query.Patterns {
+		if p.Path != nil && (p.Path.MinLen != 1 || p.Path.MaxLen != 1) {
+			return true
+		}
+	}
+	return false
 }
 
 func countConjuncts(e relational.Expr) int {
@@ -651,7 +752,7 @@ func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error
 	matched := make(map[int64]bool)
 	plan := en.planFor(a)
 	for idx := range a.Query.Patterns {
-		pr, _, _, err := en.runPattern(a, plan, idx, nil)
+		pr, _, _, err := en.runPattern(a, plan, idx, extrasSpec{})
 		if err != nil {
 			return nil, err
 		}
@@ -665,15 +766,44 @@ func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error
 	return matched, nil
 }
 
-// Hunt parses, analyzes, and executes TBQL source with the scheduled plan.
+// Hunt parses, analyzes, and executes TBQL source with the scheduled
+// plan. The analyzed form is cached by source text, so a repeat hunt
+// reuses the compiled query plan and the binding-set-keyed data-query
+// texts instead of re-parsing anything.
 func (en *Engine) Hunt(src string) (*Result, Stats, error) {
-	q, err := tbql.Parse(src)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	a, err := tbql.Analyze(q)
+	a, err := en.analyzedFor(src)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	return en.Execute(a)
+}
+
+// analyzedFor returns the cached parse+analyze result for src.
+func (en *Engine) analyzedFor(src string) (*tbql.Analyzed, error) {
+	en.huntMu.Lock()
+	if a, ok := en.analyzed[src]; ok {
+		en.huntMu.Unlock()
+		return a, nil
+	}
+	en.huntMu.Unlock()
+
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+
+	en.huntMu.Lock()
+	if len(en.analyzed) >= maxCachedAnalyzed {
+		en.analyzed = nil
+	}
+	if en.analyzed == nil {
+		en.analyzed = make(map[string]*tbql.Analyzed)
+	}
+	en.analyzed[src] = a
+	en.huntMu.Unlock()
+	return a, nil
 }

@@ -8,10 +8,14 @@ import (
 
 // patternPlan is one pattern's compiled data query: the static SQL or
 // Cypher text parts, assembled with the scheduler's extras at run time.
+// plain is the no-extras assembly, built once; cache keys the extra-bearing
+// assemblies by binding set (see textcache.go).
 type patternPlan struct {
 	usesGraph bool
 	sql       sqlPatternParts
 	cy        cyPatternParts
+	plain     string
+	cache     *patternTextCache
 }
 
 // queryPlan caches everything about an analyzed TBQL query that does not
@@ -26,6 +30,12 @@ type queryPlan struct {
 	// with some earlier level (or is in level 0).
 	levels [][]int
 	pats   []patternPlan
+	// windowSensitive marks plans whose compiled texts bake in the
+	// store's time bounds (LAST/BEFORE/AFTER windows resolve against
+	// MinTime/MaxTime); they are recompiled when a live append moves the
+	// bounds. boundsEpoch records the bounds generation compiled against.
+	windowSensitive bool
+	boundsEpoch     uint64
 }
 
 type planKey struct {
@@ -39,18 +49,24 @@ type planKey struct {
 // cache is flushed wholesale.
 const maxCachedQueryPlans = 256
 
-// planFor returns the cached plan for a, building it on first use.
+// planFor returns the cached plan for a, building it on first use. A
+// cached plan whose compiled window conditions depend on the store's time
+// bounds is rebuilt when a live append has moved the bounds; plans without
+// such windows survive appends untouched.
 func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 	key := planKey{a: a, sched: !en.DisableScheduling}
+	epoch := en.Store.BoundsEpoch()
 	en.planMu.Lock()
 	defer en.planMu.Unlock()
 	if p, ok := en.plans[key]; ok {
-		return p
+		if !p.windowSensitive || p.boundsEpoch == epoch {
+			return p
+		}
 	}
 	if len(en.plans) >= maxCachedQueryPlans {
 		en.plans = nil
 	}
-	p := &queryPlan{order: en.schedule(a)}
+	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch}
 	p.levels = dependencyLevels(a.Query.Patterns, p.order)
 	p.pats = make([]patternPlan, len(a.Query.Patterns))
 	for i := range a.Query.Patterns {
@@ -58,8 +74,17 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 		pp.usesGraph = a.Query.Patterns[i].Path != nil
 		if pp.usesGraph {
 			pp.cy = compilePatternCypherParts(en.Store, a, i)
+			pp.plain = pp.cy.assemble(nil)
 		} else {
 			pp.sql = compilePatternSQLParts(en.Store, a, i)
+			pp.plain = pp.sql.assemble(nil)
+		}
+		pp.cache = &patternTextCache{}
+		if w := windowOf(a.Query, a.Query.Patterns[i]); w != nil {
+			switch w.Kind {
+			case tbql.WindBefore, tbql.WindAfter, tbql.WindLast:
+				p.windowSensitive = true
+			}
 		}
 	}
 	if en.plans == nil {

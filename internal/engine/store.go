@@ -27,7 +27,22 @@ type Store struct {
 	// "last N unit" windows.
 	MinTime int64
 	MaxTime int64
+	// epoch increments whenever AppendBatch moves the time bounds, so
+	// cached query plans that baked the bounds into a window condition
+	// (LAST/BEFORE/AFTER) know to recompile. Plain writes: appends and
+	// queries are externally synchronized (the stream session's lock).
+	epoch uint64
+	// nextEventID is the ID the next appended event will take; appended
+	// logs keep the dense 1..n space NewStore-built logs have.
+	nextEventID int64
 }
+
+// BoundsEpoch identifies the current MinTime/MaxTime generation.
+func (s *Store) BoundsEpoch() uint64 { return s.epoch }
+
+// NextEventID returns the ID the next appended event will be assigned —
+// the delta floor standing queries evaluate against after an append.
+func (s *Store) NextEventID() int64 { return s.nextEventID }
 
 // Labels used in the graph backend.
 const (
@@ -73,6 +88,11 @@ func NewStore(log *audit.Log) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The kind discriminator appears in every data query's WHERE; with at
+	// most four distinct values it dictionary-encodes to int compares.
+	if err := entities.DictEncode("kind"); err != nil {
+		return nil, err
+	}
 	events, err := s.Rel.CreateTable("events", relational.Schema{
 		{Name: "id", Kind: relational.KindInt},
 		{Name: "subject_id", Kind: relational.KindInt},
@@ -84,6 +104,10 @@ func NewStore(log *audit.Log) (*Store, error) {
 		{Name: "failure_code", Kind: relational.KindInt},
 	})
 	if err != nil {
+		return nil, err
+	}
+	// Nine operation verbs at most: op scans compare codes, not strings.
+	if err := events.DictEncode("op"); err != nil {
 		return nil, err
 	}
 
@@ -185,6 +209,7 @@ func NewStore(log *audit.Log) (*Store, error) {
 			return nil, err
 		}
 	}
+	s.nextEventID = int64(len(log.Events)) + 1
 	return s, nil
 }
 

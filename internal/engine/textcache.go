@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+)
+
+// The scheduler re-assembles each pattern's data-query text per execution:
+// the static parts are compiled once, but the IN-list extras derived from
+// the current binding sets used to be rebuilt (and the resulting SQL
+// re-hashed by the prepared-plan cache) on every repeat hunt. This file
+// keys the assembled texts by the binding sets themselves — repeat hunts
+// with the same bindings skip both the string build and the re-parse.
+
+// extrasSpec is everything that can vary in one pattern's data query
+// between executions: the scheduler's subject/object binding sets and the
+// standing-query delta floor (only events with ID >= delta match; 0 means
+// no floor).
+type extrasSpec struct {
+	subj, obj []int64
+	delta     int64
+}
+
+func (sp extrasSpec) empty() bool {
+	return len(sp.subj) == 0 && len(sp.obj) == 0 && sp.delta == 0
+}
+
+// render builds the extra condition strings (shared SQL/Cypher syntax).
+func (sp extrasSpec) render() []string {
+	var extras []string
+	if len(sp.subj) > 0 {
+		extras = append(extras, inList("s", sp.subj))
+	}
+	if len(sp.obj) > 0 {
+		extras = append(extras, inList("o", sp.obj))
+	}
+	if sp.delta > 0 {
+		extras = append(extras, "e.id >= "+strconv.FormatInt(sp.delta, 10))
+	}
+	return extras
+}
+
+// hash mixes the spec FNV-1a style. Collisions are resolved by the
+// chain's full equality check, never by trusting the hash.
+func (sp extrasSpec) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(sp.subj)))
+	for _, id := range sp.subj {
+		mix(uint64(id))
+	}
+	mix(uint64(len(sp.obj)))
+	for _, id := range sp.obj {
+		mix(uint64(id))
+	}
+	mix(uint64(sp.delta))
+	return h
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cachedText is one assembled data-query text with the spec that produced
+// it. Binding slices are copied in: the scheduler reuses its slices across
+// executions.
+type cachedText struct {
+	subj, obj []int64
+	delta     int64
+	text      string
+}
+
+// maxCachedTexts bounds one pattern's cache; on overflow it is flushed
+// wholesale (the working set of repeat hunts is tiny).
+const maxCachedTexts = 256
+
+// patternTextCache caches assembled query texts per pattern, keyed by
+// extrasSpec. Safe for concurrent use: patterns in one dependency level
+// assemble their texts on separate goroutines.
+type patternTextCache struct {
+	mu      sync.Mutex
+	entries map[uint64][]*cachedText
+	n       int
+}
+
+// get returns the cached text for spec, or "" on a miss. Equality of the
+// binding sets is verified element-wise; binding sets are sorted unique
+// slices, so equality is canonical.
+func (c *patternTextCache) get(sp extrasSpec) string {
+	h := sp.hash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries[h] {
+		if e.delta == sp.delta && equalIDs(e.subj, sp.subj) && equalIDs(e.obj, sp.obj) {
+			return e.text
+		}
+	}
+	return ""
+}
+
+func (c *patternTextCache) put(sp extrasSpec, text string) {
+	h := sp.hash()
+	e := &cachedText{
+		subj:  append([]int64(nil), sp.subj...),
+		obj:   append([]int64(nil), sp.obj...),
+		delta: sp.delta,
+		text:  text,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n >= maxCachedTexts {
+		c.entries = nil
+		c.n = 0
+	}
+	if c.entries == nil {
+		c.entries = make(map[uint64][]*cachedText)
+	}
+	c.entries[h] = append(c.entries[h], e)
+	c.n++
+}
+
+// text returns the pattern's final data-query text for spec: the static
+// plain text when no extras apply, the cached assembly when the same
+// binding sets were fed before, and a fresh assembly (recorded for next
+// time) otherwise.
+func (pp *patternPlan) text(sp extrasSpec) string {
+	if sp.empty() {
+		return pp.plain
+	}
+	if t := pp.cache.get(sp); t != "" {
+		return t
+	}
+	extras := sp.render()
+	var t string
+	if pp.usesGraph {
+		t = pp.cy.assemble(extras)
+	} else {
+		t = pp.sql.assemble(extras)
+	}
+	pp.cache.put(sp, t)
+	return t
+}

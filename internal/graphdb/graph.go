@@ -69,9 +69,13 @@ type Graph struct {
 	propIndex map[string]map[string]map[Value][]int64
 	nextNode  int64
 
-	// adjDirty is set when an edge is appended out of time order; the
-	// affected adjacency lists are re-sorted lazily before the next query.
-	adjDirty bool
+	// dirtyOut/dirtyIn hold the node arena offsets whose adjacency list
+	// received an out-of-time-order edge append; only those lists are
+	// re-sorted lazily before the next query. Keeping the dirt per node
+	// makes live ingestion sublinear: a late event re-sorts two
+	// neighborhoods, not the whole graph.
+	dirtyOut map[int32]struct{}
+	dirtyIn  map[int32]struct{}
 	sortMu   sync.Mutex
 }
 
@@ -84,17 +88,19 @@ func NewGraph() *Graph {
 	}
 }
 
-// ReserveNodes preallocates arena capacity for n additional nodes.
+// ReserveNodes preallocates arena capacity for n additional nodes. Growth
+// follows relational.GrowCap so live append batches amortize to O(1)
+// copies per element (a cold arena still gets exactly the requested size).
 func (g *Graph) ReserveNodes(n int) {
 	need := len(g.nodes) + n
 	if cap(g.nodes) < need {
-		grown := make([]Node, len(g.nodes), need)
+		grown := make([]Node, len(g.nodes), relational.GrowCap(cap(g.nodes), need))
 		copy(grown, g.nodes)
 		g.nodes = grown
 	}
 	growAdj := func(adj [][]int32) [][]int32 {
 		if cap(adj) < need {
-			grown := make([][]int32, len(adj), need)
+			grown := make([][]int32, len(adj), relational.GrowCap(cap(adj), need))
 			copy(grown, adj)
 			return grown
 		}
@@ -108,7 +114,7 @@ func (g *Graph) ReserveNodes(n int) {
 func (g *Graph) ReserveEdges(n int) {
 	need := len(g.edges) + n
 	if cap(g.edges) < need {
-		grown := make([]Edge, len(g.edges), need)
+		grown := make([]Edge, len(g.edges), relational.GrowCap(cap(g.edges), need))
 		copy(grown, g.edges)
 		g.edges = grown
 	}
@@ -165,39 +171,50 @@ func (g *Graph) AddEdge(from, to int64, typ string, props Props) (int64, error) 
 	id := int64(ei) + 1
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: typ, Props: props, startTime: st})
 	if l := g.out[fi]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
-		g.adjDirty = true
+		if g.dirtyOut == nil {
+			g.dirtyOut = make(map[int32]struct{})
+		}
+		g.dirtyOut[fi] = struct{}{}
 	}
 	g.out[fi] = append(g.out[fi], ei)
 	if l := g.in[ti]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
-		g.adjDirty = true
+		if g.dirtyIn == nil {
+			g.dirtyIn = make(map[int32]struct{})
+		}
+		g.dirtyIn[ti] = struct{}{}
 	}
 	g.in[ti] = append(g.in[ti], ei)
 	return id, nil
 }
 
-// ensureAdjSorted restores the by-start_time order of every adjacency
-// list after out-of-order inserts. Queries call it once on entry; audit
-// logs arrive in time order, so in the steady state it is a flag check.
+// ensureAdjSorted restores the by-start_time order of the adjacency lists
+// touched by out-of-order inserts. Queries call it once on entry; audit
+// logs arrive mostly in time order, so in the steady state it is two map
+// checks, and a late event costs two neighborhood sorts — never a
+// whole-graph pass.
 func (g *Graph) ensureAdjSorted() {
 	g.sortMu.Lock()
 	defer g.sortMu.Unlock()
-	if !g.adjDirty {
+	if len(g.dirtyOut) == 0 && len(g.dirtyIn) == 0 {
 		return
 	}
-	sortLists := func(adj [][]int32) {
-		for _, l := range adj {
-			sort.Slice(l, func(a, b int) bool {
-				ea, eb := &g.edges[l[a]], &g.edges[l[b]]
-				if ea.startTime != eb.startTime {
-					return ea.startTime < eb.startTime
-				}
-				return l[a] < l[b]
-			})
-		}
+	sortList := func(l []int32) {
+		sort.Slice(l, func(a, b int) bool {
+			ea, eb := &g.edges[l[a]], &g.edges[l[b]]
+			if ea.startTime != eb.startTime {
+				return ea.startTime < eb.startTime
+			}
+			return l[a] < l[b]
+		})
 	}
-	sortLists(g.out)
-	sortLists(g.in)
-	g.adjDirty = false
+	for fi := range g.dirtyOut {
+		sortList(g.out[fi])
+	}
+	for ti := range g.dirtyIn {
+		sortList(g.in[ti])
+	}
+	g.dirtyOut = nil
+	g.dirtyIn = nil
 }
 
 // CreateIndex builds a property index on (label, prop) over existing and

@@ -77,26 +77,7 @@ func Reduce(log *audit.Log, cfg Config) Result {
 	out := make([]audit.Event, 0, before)
 
 	for _, i := range idx {
-		ev := log.Events[i]
-		key := mergeKey{ev.SubjectID, ev.ObjectID, ev.Op}
-		if ev.FailureCode == 0 {
-			if pos, ok := open[key]; ok {
-				prev := &out[pos]
-				gap := ev.StartTime - prev.EndTime
-				if gap >= 0 && gap <= cfg.ThresholdUS {
-					prev.EndTime = ev.EndTime
-					prev.DataAmount += ev.DataAmount
-					continue
-				}
-			}
-		}
-		out = append(out, ev)
-		if ev.FailureCode == 0 {
-			open[key] = len(out) - 1
-		} else {
-			// A failed event breaks the merge chain for its key.
-			delete(open, key)
-		}
+		out = mergeStep(out, open, log.Events[i], cfg.ThresholdUS)
 	}
 
 	// Reassign sequential IDs so downstream storage sees a dense space.
@@ -105,4 +86,32 @@ func Reduce(log *audit.Log, cfg Config) Result {
 	}
 	log.Events = out
 	return Result{Before: before, After: len(out), Dropped: before - len(out)}
+}
+
+// mergeStep applies one event (in start-time order) to the merge state:
+// out is the merged output so far, open maps each key to the position in
+// out of its last mergeable event. This single function IS the paper's
+// merge rule; the batch Reduce and the streaming Streamer both call it,
+// so their outputs cannot diverge by construction.
+func mergeStep(out []audit.Event, open map[mergeKey]int, ev audit.Event, thresholdUS int64) []audit.Event {
+	key := mergeKey{ev.SubjectID, ev.ObjectID, ev.Op}
+	if ev.FailureCode == 0 {
+		if pos, ok := open[key]; ok {
+			prev := &out[pos]
+			gap := ev.StartTime - prev.EndTime
+			if gap >= 0 && gap <= thresholdUS {
+				prev.EndTime = ev.EndTime
+				prev.DataAmount += ev.DataAmount
+				return out
+			}
+		}
+	}
+	out = append(out, ev)
+	if ev.FailureCode == 0 {
+		open[key] = len(out) - 1
+	} else {
+		// A failed event breaks the merge chain for its key.
+		delete(open, key)
+	}
+	return out
 }

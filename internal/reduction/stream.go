@@ -1,0 +1,141 @@
+package reduction
+
+import (
+	"math"
+	"sort"
+
+	"threatraptor/internal/audit"
+)
+
+// Streamer applies the data-reduction merge over a sliding watermark
+// window, for live ingestion where the log never "finishes". Arriving
+// events are buffered until the watermark (max observed start time minus an
+// allowed lateness) passes them, then merged with exactly the batch Reduce
+// algorithm; merged events are sealed — emitted as immutable output — once
+// no event that respects the lateness bound could still merge into them.
+//
+// For an event stream whose arrival order matches start-time order (the
+// normal shape of an audit log), Observe/Seal batches followed by a final
+// Flush produce byte-for-byte the same event sequence as one batch
+// Reduce over the concatenated log. Events later than the lateness bound
+// are still ingested, but may stay unmerged where the batch run would have
+// merged them.
+type Streamer struct {
+	cfg Config
+	// latenessUS is how far behind the max observed start time the
+	// watermark trails. Events arriving with a start time older than the
+	// watermark are "too late": still processed, but without the ordering
+	// guarantee that makes streaming merges match batch merges.
+	latenessUS int64
+
+	// arrivals buffers observed events not yet passed by the watermark,
+	// in arrival order (the stable-sort tiebreak of batch Reduce).
+	arrivals []audit.Event
+	// pending holds merged events awaiting seal, in processing order.
+	pending []audit.Event
+	// open maps a (subject, object, op) key to the index in pending of
+	// the last mergeable event for that key, exactly like batch Reduce.
+	open map[mergeKey]int
+	// maxSeen is the largest start time observed.
+	maxSeen int64
+}
+
+// NewStreamer returns a streaming reducer. latenessUS below the merge
+// threshold is raised to it: an event can attract merges for a full
+// threshold after its end, so sealing earlier would diverge from batch
+// reduction even for perfectly ordered streams.
+func NewStreamer(cfg Config, latenessUS int64) *Streamer {
+	if latenessUS < cfg.ThresholdUS {
+		latenessUS = cfg.ThresholdUS
+	}
+	return &Streamer{cfg: cfg, latenessUS: latenessUS, open: make(map[mergeKey]int)}
+}
+
+// Observe buffers newly arrived events (IDs are ignored; Seal output is
+// re-numbered by the caller) and advances the watermark clock.
+func (st *Streamer) Observe(evs []audit.Event) {
+	for i := range evs {
+		if evs[i].StartTime > st.maxSeen {
+			st.maxSeen = evs[i].StartTime
+		}
+	}
+	st.arrivals = append(st.arrivals, evs...)
+}
+
+// Watermark returns the current watermark: events at or before it are
+// eligible for merging, and merged events ending a threshold before it are
+// sealed.
+func (st *Streamer) Watermark() int64 {
+	return st.maxSeen - st.latenessUS
+}
+
+// Pending reports how many events are buffered (arrived but unsealed).
+func (st *Streamer) Pending() int { return len(st.arrivals) + len(st.pending) }
+
+// Seal advances the pipeline to the current watermark and returns the
+// newly sealed (immutable) merged events, in the exact order and with the
+// same merge decisions batch Reduce would make. Returned events carry ID 0;
+// the caller assigns store IDs sequentially.
+func (st *Streamer) Seal() []audit.Event {
+	return st.sealTo(st.Watermark())
+}
+
+// Flush seals everything regardless of the watermark — the end-of-stream
+// (or end-of-test) barrier that makes streamed output equal batch output.
+func (st *Streamer) Flush() []audit.Event {
+	return st.sealTo(math.MaxInt64)
+}
+
+func (st *Streamer) sealTo(w int64) []audit.Event {
+	// Move the arrivals the watermark has passed into the merge stage, in
+	// start-time order with arrival-order tiebreak (matching the stable
+	// sort of batch Reduce). Both sides keep their relative order; kept
+	// aliases the arrivals prefix, which is safe because its write index
+	// never passes the read index.
+	var due []audit.Event
+	kept := st.arrivals[:0]
+	for _, ev := range st.arrivals {
+		if ev.StartTime <= w {
+			due = append(due, ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	st.arrivals = kept
+	sort.SliceStable(due, func(a, b int) bool { return due[a].StartTime < due[b].StartTime })
+	for i := range due {
+		st.pending = mergeStep(st.pending, st.open, due[i], st.cfg.ThresholdUS)
+	}
+
+	// Seal the longest pending prefix that can no longer attract a merge:
+	// any future in-lateness event starts at or after w, so a pending
+	// event whose merge window (EndTime + threshold) ends before w is
+	// final. Prefix-only sealing keeps ID assignment in processing order.
+	n := 0
+	for n < len(st.pending) {
+		ev := &st.pending[n]
+		if w != math.MaxInt64 && ev.EndTime+st.cfg.ThresholdUS >= w {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	sealed := make([]audit.Event, n)
+	copy(sealed, st.pending[:n])
+	for i := range sealed {
+		sealed[i].ID = 0 // provisional parser IDs are meaningless here
+	}
+	st.pending = st.pending[n:]
+	// Drop open chains that pointed into the sealed prefix and shift the
+	// survivors down.
+	for key, pos := range st.open {
+		if pos < n {
+			delete(st.open, key)
+		} else {
+			st.open[key] = pos - n
+		}
+	}
+	return sealed
+}

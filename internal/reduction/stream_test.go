@@ -1,0 +1,122 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"threatraptor/internal/audit"
+)
+
+// randomOrderedEvents builds an event sequence in nondecreasing start-time
+// order with clustered repeats, the shape that makes reduction merge.
+func randomOrderedEvents(rng *rand.Rand, n int) []audit.Event {
+	evs := make([]audit.Event, n)
+	now := int64(1_000_000)
+	for i := range evs {
+		now += rng.Int63n(600_000) // 0–0.6 s advance: some gaps merge, some don't
+		dur := rng.Int63n(50_000)
+		fail := 0
+		if rng.Intn(20) == 0 {
+			fail = 5
+		}
+		evs[i] = audit.Event{
+			ID:          int64(i + 1),
+			SubjectID:   int64(1 + rng.Intn(3)),
+			ObjectID:    int64(10 + rng.Intn(4)),
+			Op:          audit.OpType(1 + rng.Intn(3)),
+			StartTime:   now,
+			EndTime:     now + dur,
+			DataAmount:  rng.Int63n(4096),
+			FailureCode: fail,
+		}
+	}
+	return evs
+}
+
+// TestStreamerMatchesBatchReduce is the core streaming-reduction property:
+// observing an ordered log in chunks and sealing per chunk, then flushing,
+// yields exactly the batch Reduce output (same merges, same order, same
+// times and amounts).
+func TestStreamerMatchesBatchReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		evs := randomOrderedEvents(rng, n)
+
+		batchLog := &audit.Log{Entities: audit.NewEntityTable(), Events: append([]audit.Event(nil), evs...)}
+		Reduce(batchLog, DefaultConfig())
+
+		st := NewStreamer(DefaultConfig(), 0)
+		var streamed []audit.Event
+		chunk := 1 + rng.Intn(50)
+		for lo := 0; lo < len(evs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			st.Observe(evs[lo:hi])
+			streamed = append(streamed, st.Seal()...)
+		}
+		streamed = append(streamed, st.Flush()...)
+
+		if len(streamed) != len(batchLog.Events) {
+			t.Fatalf("trial %d (n=%d chunk=%d): streamed %d events, batch %d",
+				trial, n, chunk, len(streamed), len(batchLog.Events))
+		}
+		for i := range streamed {
+			got, want := streamed[i], batchLog.Events[i]
+			got.ID = want.ID // streamer output is un-numbered by contract
+			if got != want {
+				t.Fatalf("trial %d event %d:\n got %+v\nwant %+v", trial, i, got, want)
+			}
+		}
+		if st.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left pending after Flush", trial, st.Pending())
+		}
+	}
+}
+
+// TestStreamerSealIsImmutable verifies the watermark contract: an event is
+// sealed only once no in-lateness arrival can merge into it, so a
+// just-inside-the-window late event still merges, while sealed output never
+// changes.
+func TestStreamerSealIsImmutable(t *testing.T) {
+	cfg := Config{ThresholdUS: 1_000_000}
+	st := NewStreamer(cfg, 1_000_000)
+
+	ev := func(start, end int64) audit.Event {
+		return audit.Event{SubjectID: 1, ObjectID: 2, Op: audit.OpRead, StartTime: start, EndTime: end, DataAmount: 1}
+	}
+	st.Observe([]audit.Event{ev(0, 100)})
+	if got := st.Seal(); len(got) != 0 {
+		t.Fatalf("event inside the merge window sealed early: %v", got)
+	}
+	// A second event 0.5 s later merges into the still-pending first.
+	st.Observe([]audit.Event{ev(500_100, 500_200)})
+	if got := st.Seal(); len(got) != 0 {
+		t.Fatalf("merged event sealed while still mergeable: %v", got)
+	}
+	// Advancing the clock far past the merge window seals the merged pair.
+	st.Observe([]audit.Event{ev(9_000_000, 9_000_010)})
+	sealed := st.Seal()
+	if len(sealed) != 1 {
+		t.Fatalf("sealed %d events, want 1", len(sealed))
+	}
+	if sealed[0].StartTime != 0 || sealed[0].EndTime != 500_200 || sealed[0].DataAmount != 2 {
+		t.Fatalf("sealed event is not the merged pair: %+v", sealed[0])
+	}
+	rest := st.Flush()
+	if len(rest) != 1 || rest[0].StartTime != 9_000_000 {
+		t.Fatalf("flush = %+v, want the clock event", rest)
+	}
+}
+
+// TestStreamerWatermark checks the watermark arithmetic and the lateness
+// floor at the merge threshold.
+func TestStreamerWatermark(t *testing.T) {
+	st := NewStreamer(Config{ThresholdUS: 1_000_000}, 0) // lateness raised to threshold
+	st.Observe([]audit.Event{{StartTime: 5_000_000, EndTime: 5_000_000}})
+	if got := st.Watermark(); got != 4_000_000 {
+		t.Fatalf("watermark = %d, want 4000000", got)
+	}
+}

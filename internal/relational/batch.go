@@ -41,7 +41,7 @@ func nullAt(nb bitmap, r int32) bool {
 // null check. NULL ordering follows the engine convention (NULL sorts
 // before every value): < and <= keep NULL rows, =, <>, > and >= drop them.
 
-type orderedCol interface{ ~int64 | ~string }
+type orderedCol interface{ ~int32 | ~int64 | ~string }
 
 func filterEq[T orderedCol](col []T, nb bitmap, k T, sel, dst []int32) []int32 {
 	if len(nb) == 0 {
@@ -597,10 +597,16 @@ func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
 				if la.kind != KindString || rv.V.K != KindString {
 					return nil
 				}
+				if la.dictOf() != nil {
+					return vecDictLike(la, rv.V.S)
+				}
 				return vecLike(la, rv.V.S)
 			}
 			if la.kind != rv.V.K {
 				return nil
+			}
+			if la.dictOf() != nil {
+				return vecDictCmp(la, op, rv.V.S)
 			}
 			return vecCmpLit(la, op, rv.V)
 		case ColRef:
@@ -609,6 +615,11 @@ func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
 			}
 			ra, ok := b.colAccess(rv)
 			if !ok || ra.lvl >= lvl || la.kind != ra.kind {
+				return nil
+			}
+			if la.dictOf() != nil {
+				// Dict codes cannot compare against a varying outer
+				// value; the row-at-a-time closure decodes instead.
 				return nil
 			}
 			return vecCmpOuter(la, op, ra)
@@ -633,6 +644,9 @@ func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
 		set, ok := buildStrSet(v.Vals)
 		if !ok {
 			return nil
+		}
+		if a.dictOf() != nil {
+			return vecDictIn(a, set, v.Negate)
 		}
 		return vecInStr(a, set, v.Negate)
 	}

@@ -57,6 +57,37 @@ func (d *dedupSet) seen(row []Value) bool {
 	return false
 }
 
+// RowSet is a standalone accumulating row-identity set with the exact
+// hash/equality semantics of DedupRows. The standing-query layer uses it
+// to deduplicate firings across batches: a binding re-derived by a later
+// delta round must not fire twice.
+type RowSet struct {
+	buckets map[uint64][]int32
+	rows    [][]Value
+}
+
+// NewRowSet returns an empty set.
+func NewRowSet() *RowSet {
+	return &RowSet{buckets: make(map[uint64][]int32)}
+}
+
+// Add inserts row and reports whether it was new. The row is retained;
+// callers must not mutate it afterwards.
+func (s *RowSet) Add(row []Value) bool {
+	h := hashRow(row)
+	for _, i := range s.buckets[h] {
+		if rowsEqual(s.rows[i], row) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], int32(len(s.rows)))
+	s.rows = append(s.rows, row)
+	return true
+}
+
+// Len returns the number of distinct rows added.
+func (s *RowSet) Len() int { return len(s.rows) }
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211

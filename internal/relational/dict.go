@@ -1,0 +1,173 @@
+package relational
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// This file is the vectorized executor's dictionary-encoding support:
+// predicates over dict-encoded string columns compare int32 codes (or a
+// per-code boolean table) instead of full strings. Codes are first-seen
+// ordered, not string-ordered, so equality shapes map a literal to its
+// code once per batch, and every other shape (ordered comparisons, LIKE,
+// IN) evaluates the predicate once per distinct dictionary value and then
+// filters rows through the resulting code table.
+
+// codeVec fetches a dict column's code vector, bitmap, and dictionary at
+// filter time (cached plans outlive appends, so nothing is captured at
+// plan time; see intVec/strVec).
+func codeVec(a colAccess) ([]int32, bitmap, *dictionary) {
+	c := &a.tbl.cols[a.col]
+	return c.codes, c.null, c.dict
+}
+
+// noCode is a sentinel that matches no row: real codes are non-negative,
+// so filterEq with noCode selects nothing and filterNe selects every
+// non-NULL row — exactly the semantics of comparing against a value the
+// dictionary has never seen.
+const noCode int32 = -1
+
+// vecDictEq builds the kernels for "dictcol = literal" / "dictcol <>
+// literal": the literal resolves to its code per batch (the dictionary may
+// have grown since the last batch), then the typed int32 kernels run.
+func vecDictEq(a colAccess, op string, k string) *vecPred {
+	codeOf := func(d *dictionary) int32 {
+		if c, ok := d.code[k]; ok {
+			return c
+		}
+		return noCode
+	}
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			codes, nb, d := codeVec(a)
+			return filterCmp(codes, nb, op, codeOf(d), sel, dst)
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			codes, nb, d := codeVec(a)
+			return filterCmpRange(codes, nb, op, codeOf(d), lo, hi, dst)
+		},
+	}
+}
+
+// codeTable is one cached evaluation of a predicate over the dictionary:
+// pass[code] holds the predicate's verdict for that distinct value. It is
+// rebuilt when the dictionary has grown past n (new values appended by
+// live ingestion) and shared across concurrent executions through an
+// atomic pointer.
+type codeTable struct {
+	n    int
+	pass []bool
+}
+
+// vecDictTable builds the kernels for predicate shapes evaluated per
+// distinct value: passFor fills pass[i] with the verdict for vals[i], and
+// keepNull states whether NULL rows survive (the engine's NULL-sorts-first
+// convention for < and <=, NOT IN semantics for negated lists).
+func vecDictTable(a colAccess, keepNull bool, passFor func(vals []string, pass []bool)) *vecPred {
+	var cache atomic.Pointer[codeTable]
+	table := func(d *dictionary) []bool {
+		n := len(d.vals)
+		if t := cache.Load(); t != nil && t.n == n {
+			return t.pass
+		}
+		pass := make([]bool, n)
+		passFor(d.vals, pass)
+		cache.Store(&codeTable{n: n, pass: pass})
+		return pass
+	}
+	return &vecPred{
+		filterSel: func(_ *execState, sel, dst []int32) []int32 {
+			codes, nb, d := codeVec(a)
+			return filterCodeTable(codes, nb, table(d), keepNull, sel, dst)
+		},
+		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
+			codes, nb, d := codeVec(a)
+			return filterCodeTableRange(codes, nb, table(d), keepNull, lo, hi, dst)
+		},
+	}
+}
+
+func filterCodeTable(codes []int32, nb bitmap, pass []bool, keepNull bool, sel, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for _, r := range sel {
+			if pass[codes[r]] {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for _, r := range sel {
+		if nullAt(nb, r) {
+			if keepNull {
+				dst = append(dst, r)
+			}
+			continue
+		}
+		if pass[codes[r]] {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func filterCodeTableRange(codes []int32, nb bitmap, pass []bool, keepNull bool, lo, hi int32, dst []int32) []int32 {
+	if len(nb) == 0 {
+		for r := lo; r < hi; r++ {
+			if pass[codes[r]] {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
+	for r := lo; r < hi; r++ {
+		if nullAt(nb, r) {
+			if keepNull {
+				dst = append(dst, r)
+			}
+			continue
+		}
+		if pass[codes[r]] {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// vecDictCmp routes "dictcol OP literal" to the right dict kernel: codes
+// for equality shapes, a code table for ordered comparisons (codes carry
+// no string order).
+func vecDictCmp(a colAccess, op string, k string) *vecPred {
+	switch op {
+	case "=", "<>":
+		return vecDictEq(a, op, k)
+	default: // "<", "<=", ">", ">="
+		keepNull := op == "<" || op == "<="
+		return vecDictTable(a, keepNull, func(vals []string, pass []bool) {
+			for i, v := range vals {
+				pass[i] = cmpHolds(op, strings.Compare(v, k))
+			}
+		})
+	}
+}
+
+// vecDictLike builds the kernel for "dictcol LIKE 'pattern'": the pattern
+// runs once per distinct value instead of once per row.
+func vecDictLike(a colAccess, pattern string) *vecPred {
+	match := compileLikePattern(pattern)
+	return vecDictTable(a, false, func(vals []string, pass []bool) {
+		for i, v := range vals {
+			pass[i] = match(v)
+		}
+	})
+}
+
+// vecDictIn builds the kernel for "dictcol [NOT] IN (literals...)". A NULL
+// cell is a member of nothing: it passes exactly when the list is negated.
+func vecDictIn(a colAccess, set map[string]struct{}, negate bool) *vecPred {
+	return vecDictTable(a, negate, func(vals []string, pass []bool) {
+		for i, v := range vals {
+			_, member := set[v]
+			pass[i] = member != negate
+		}
+	})
+}

@@ -637,8 +637,14 @@ func (a colAccess) strAt(st *execState) (string, bool) {
 	if len(c.null) > row>>6 && c.null.get(row) {
 		return "", true
 	}
+	if c.dict != nil {
+		return c.dict.vals[c.codes[row]], false
+	}
 	return c.strs[row], false
 }
+
+// dictOf returns the column's dictionary, or nil for plain columns.
+func (a colAccess) dictOf() *dictionary { return a.tbl.cols[a.col].dict }
 
 // specializeCmp returns a typed predicate for column-vs-literal and
 // column-vs-column comparisons where both sides share one kind, or nil

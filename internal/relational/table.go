@@ -27,12 +27,46 @@ func (s Schema) IndexOf(name string) int {
 // Only the vector matching the declared kind is populated, so a table of
 // n rows with k int columns and m string columns costs exactly
 // n*(8k) + n*(16m) bytes of payload, laid out contiguously per column.
+// A dictionary-encoded string column stores 4-byte codes instead of
+// string headers; the distinct strings live once in the dictionary.
 type col struct {
 	kind Kind
 	ints []int64
 	strs []string
 	null bitmap
+	// dict, when non-nil, dictionary-encodes this string column: codes
+	// holds one code per row and strs stays empty. Scans compare codes
+	// (ints), projection decodes through dict.vals.
+	dict  *dictionary
+	codes []int32
 }
+
+// dictionary maps the distinct values of a low-cardinality string column
+// to dense int32 codes. Codes are assigned in first-seen order and are not
+// ordered like the strings they stand for, so only equality-shaped
+// comparisons run on raw codes.
+type dictionary struct {
+	vals []string
+	code map[string]int32
+}
+
+func newDictionary() *dictionary {
+	return &dictionary{code: make(map[string]int32)}
+}
+
+// encode interns s, assigning a fresh code on first sight.
+func (d *dictionary) encode(s string) int32 {
+	if c, ok := d.code[s]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.code[s] = c
+	return c
+}
+
+// Cardinality returns the number of distinct values seen.
+func (d *dictionary) Cardinality() int { return len(d.vals) }
 
 // bitmap is a packed null bitmap (bit i set = row i is NULL).
 type bitmap []uint64
@@ -102,6 +136,52 @@ func NewTable(name string, schema Schema) *Table {
 	return t
 }
 
+// DictEncode switches the named string column to dictionary encoding.
+// It must be called before any rows are inserted: existing plans could
+// have compiled raw-string kernels against it. Intended for the
+// low-cardinality discriminator columns (entity kind, event op) whose
+// full-string comparisons otherwise dominate scan cost.
+func (t *Table) DictEncode(column string) error {
+	colIdx := t.Schema.IndexOf(column)
+	if colIdx < 0 {
+		return fmt.Errorf("relational: table %s has no column %s", t.Name, column)
+	}
+	c := &t.cols[colIdx]
+	if c.kind != KindString {
+		return fmt.Errorf("relational: column %s.%s is not a string column", t.Name, column)
+	}
+	if t.rows > 0 {
+		return fmt.Errorf("relational: cannot dictionary-encode %s.%s after rows exist", t.Name, column)
+	}
+	if c.dict != nil {
+		return nil
+	}
+	c.dict = newDictionary()
+	if t.db != nil {
+		t.db.invalidatePlans()
+	}
+	return nil
+}
+
+// DictEncoded reports whether the named column is dictionary-encoded.
+func (t *Table) DictEncoded(column string) bool {
+	colIdx := t.Schema.IndexOf(column)
+	return colIdx >= 0 && t.cols[colIdx].dict != nil
+}
+
+// GrowCap sizes a reallocation: at least need, and at least double the
+// current capacity, so a stream of append batches amortizes to O(1)
+// copies per element instead of copying the whole store per batch. A cold
+// vector (cap 0) gets exactly need, which keeps one-shot batch loads
+// tight. It is the shared growth policy for columnar vectors here and the
+// graph backend's arenas.
+func GrowCap(cur, need int) int {
+	if cur*2 > need {
+		return cur * 2
+	}
+	return need
+}
+
 // Reserve preallocates column storage for n additional rows.
 func (t *Table) Reserve(n int) {
 	need := t.rows + n
@@ -110,13 +190,21 @@ func (t *Table) Reserve(n int) {
 		switch c.kind {
 		case KindInt:
 			if cap(c.ints) < need {
-				grown := make([]int64, len(c.ints), need)
+				grown := make([]int64, len(c.ints), GrowCap(cap(c.ints), need))
 				copy(grown, c.ints)
 				c.ints = grown
 			}
 		case KindString:
+			if c.dict != nil {
+				if cap(c.codes) < need {
+					grown := make([]int32, len(c.codes), GrowCap(cap(c.codes), need))
+					copy(grown, c.codes)
+					c.codes = grown
+				}
+				break
+			}
 			if cap(c.strs) < need {
-				grown := make([]string, len(c.strs), need)
+				grown := make([]string, len(c.strs), GrowCap(cap(c.strs), need))
 				copy(grown, c.strs)
 				c.strs = grown
 			}
@@ -145,7 +233,11 @@ func (t *Table) appendRow(row []Value) {
 		case KindInt:
 			c.ints = append(c.ints, v.I)
 		case KindString:
-			c.strs = append(c.strs, v.S)
+			if c.dict != nil {
+				c.codes = append(c.codes, c.dict.encode(v.S))
+			} else {
+				c.strs = append(c.strs, v.S)
+			}
 		}
 		if v.K == KindNull {
 			c.null.set(t.rows)
@@ -200,6 +292,9 @@ func (t *Table) cell(row, col int) Value {
 	case KindInt:
 		return Value{K: KindInt, I: c.ints[row]}
 	case KindString:
+		if c.dict != nil {
+			return Value{K: KindString, S: c.dict.vals[c.codes[row]]}
+		}
 		return Value{K: KindString, S: c.strs[row]}
 	}
 	return Null()
@@ -240,6 +335,16 @@ func (t *Table) CreateIndex(column string) error {
 		}
 	default:
 		ix.strs = make(map[string][]int32, t.rows)
+		if c.dict != nil {
+			for pos, code := range c.codes {
+				if len(c.null) > pos>>6 && c.null.get(pos) {
+					continue
+				}
+				v := c.dict.vals[code]
+				ix.strs[v] = append(ix.strs[v], int32(pos))
+			}
+			break
+		}
 		for pos, v := range c.strs {
 			if len(c.null) > pos>>6 && c.null.get(pos) {
 				continue

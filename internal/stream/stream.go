@@ -1,0 +1,292 @@
+// Package stream is ThreatRaptor's streaming ingestion and continuous
+// hunting subsystem: an append-only audit stream is parsed incrementally,
+// reduced over a sliding watermark window, appended batch-by-batch into
+// the live storage backends, and evaluated against registered standing
+// TBQL queries so hunts fire as behaviors appear — no store rebuild, no
+// batch re-run.
+//
+// A Session wires four stages together:
+//
+//	raw bytes -> audit.Parser (chunked, partial-line safe)
+//	          -> reduction.Streamer (watermarked merge; sealed = immutable)
+//	          -> engine.Store.AppendBatch (incremental indexes/adjacency)
+//	          -> standing queries (delta-constrained scheduled execution)
+//
+// Writers (Ingest, Flush) take the session's write lock; queries (Hunt,
+// standing-query evaluation) run under the read lock, so the storage
+// backends never see a torn append.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/reduction"
+)
+
+// Config tunes a Session.
+type Config struct {
+	// ReductionThresholdUS is the data-reduction merge threshold in µs
+	// (default 1 s, the paper's choice).
+	ReductionThresholdUS int64
+	// LatenessUS is how long the watermark trails the newest observed
+	// event time, bounding how late an event may arrive and still merge.
+	// Values below the threshold are raised to it. Default: threshold.
+	LatenessUS int64
+	// MatchBuffer is each subscription's channel capacity; when a
+	// consumer lags further than this, matches are counted as dropped
+	// rather than blocking ingestion. Default 256.
+	MatchBuffer int
+}
+
+// DefaultConfig mirrors the batch pipeline's defaults.
+func DefaultConfig() Config {
+	return Config{ReductionThresholdUS: 1_000_000}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReductionThresholdUS <= 0 {
+		c.ReductionThresholdUS = 1_000_000
+	}
+	if c.LatenessUS < c.ReductionThresholdUS {
+		c.LatenessUS = c.ReductionThresholdUS
+	}
+	if c.MatchBuffer <= 0 {
+		c.MatchBuffer = 256
+	}
+	return c
+}
+
+// IngestStats summarizes one Ingest (or Flush) call.
+type IngestStats struct {
+	// EventsParsed counts raw events parsed from the input this call.
+	EventsParsed int
+	// EventsSealed counts reduced events made immutable and appended to
+	// the store this call.
+	EventsSealed int
+	// EntitiesAdded counts entities first seen this call.
+	EntitiesAdded int
+	// Pending counts events buffered behind the watermark (arrived,
+	// unsealed).
+	Pending int
+	// PartialBuffered is the byte length of an incomplete trailing line
+	// held for the next read — nonzero means the producer was caught
+	// mid-write, which pollers should not mistake for idleness.
+	PartialBuffered int
+	// Watermark is the current watermark (µs since epoch).
+	Watermark int64
+	// Firings counts standing-query matches delivered this call.
+	Firings int
+	// Batch is the sealed-batch sequence number after this call.
+	Batch int64
+}
+
+// Session is a live ingestion session over one engine store. Create it
+// with New, feed it with Ingest, register standing queries with Watch.
+type Session struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	store  *engine.Store
+	engine *engine.Engine
+	parser *audit.Parser
+	// parserLog shares the store's entity table but drains its events
+	// into the reducer; its event IDs are provisional.
+	parserLog *audit.Log
+	reducer   *reduction.Streamer
+
+	lastEntityID int64
+	batch        int64
+	closed       bool
+
+	subs    map[int64]*Subscription
+	nextSub int64
+
+	readBuf []byte
+}
+
+// New opens a live session over the given store and engine. The store may
+// be freshly empty or already loaded from a batch log; either way the
+// session appends to it in place.
+func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	parserLog := &audit.Log{Entities: store.Log.Entities}
+	return &Session{
+		cfg:          cfg,
+		store:        store,
+		engine:       en,
+		parser:       audit.NewParserWith(parserLog),
+		parserLog:    parserLog,
+		reducer:      reduction.NewStreamer(reduction.Config{ThresholdUS: cfg.ReductionThresholdUS}, cfg.LatenessUS),
+		lastEntityID: store.Log.Entities.MaxID(),
+		subs:         make(map[int64]*Subscription),
+		readBuf:      make([]byte, 64*1024),
+	}
+}
+
+// Store returns the live store (reads require no ingest in flight).
+func (s *Session) Store() *engine.Store { return s.store }
+
+// ParseError reports malformed wire records encountered during an Ingest
+// that otherwise succeeded: the remaining lines were still parsed, the
+// watermark advanced, and sealed batches were appended. A long-lived tail
+// should log it and keep going; only non-ParseError errors are fatal to
+// the stream.
+type ParseError struct {
+	// First is the first malformed-record error of the call.
+	First error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("stream: malformed record skipped: %v", e.First)
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *ParseError) Unwrap() error { return e.First }
+
+// Ingest reads every byte currently available from r (typically a file
+// being tailed: the reader keeps its offset, EOF just means "caught up"),
+// parses complete lines, advances the watermark, appends newly sealed
+// batches to the store, and evaluates standing queries against the delta.
+// A trailing partial line stays buffered for the next call.
+//
+// A malformed record does not abort the call: valid lines around it are
+// still ingested, and the first such error is reported as a *ParseError
+// alongside otherwise-complete stats.
+func (s *Session) Ingest(r io.Reader) (IngestStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return IngestStats{}, fmt.Errorf("stream: session closed")
+	}
+	var parseErr error
+	for {
+		n, err := r.Read(s.readBuf)
+		if n > 0 {
+			if ferr := s.parser.FeedChunk(s.readBuf[:n]); ferr != nil && parseErr == nil {
+				parseErr = ferr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return IngestStats{}, err
+		}
+	}
+	st, err := s.advanceLocked(false)
+	if err != nil {
+		return st, err
+	}
+	if parseErr != nil {
+		return st, &ParseError{First: parseErr}
+	}
+	return st, nil
+}
+
+// IngestRecords feeds already-parsed records (for in-process producers
+// such as simulators), then advances exactly like Ingest.
+func (s *Session) IngestRecords(records []audit.Record) (IngestStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return IngestStats{}, fmt.Errorf("stream: session closed")
+	}
+	for i := range records {
+		if err := s.parser.Feed(&records[i]); err != nil {
+			return IngestStats{}, err
+		}
+	}
+	return s.advanceLocked(false)
+}
+
+// Flush force-seals everything buffered — the trailing partial line, the
+// arrival buffer, and every pending merge — and appends it to the store.
+// After Flush the store equals a batch build over everything ingested.
+func (s *Session) Flush() (IngestStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return IngestStats{}, fmt.Errorf("stream: session closed")
+	}
+	return s.advanceLocked(true)
+}
+
+// Close flushes, terminates every subscription (channels are closed), and
+// marks the session unusable for further ingestion. The store remains
+// queryable.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	_, err := s.advanceLocked(true)
+	for id, sub := range s.subs {
+		close(sub.c)
+		delete(s.subs, id)
+	}
+	s.closed = true
+	return err
+}
+
+// Hunt executes a TBQL query against the live store under the read lock,
+// so it can run concurrently with other hunts but never against a torn
+// append.
+func (s *Session) Hunt(src string) (*engine.Result, engine.Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Hunt(src)
+}
+
+// ReadLocked runs fn under the session read lock, for callers that read
+// the store through other paths (provenance graphs, fuzzy search).
+func (s *Session) ReadLocked(fn func() error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn()
+}
+
+// advanceLocked moves parsed events through the reducer, appends whatever
+// sealed, and fires standing queries. Callers hold the write lock.
+func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
+	var st IngestStats
+	if flush {
+		if err := s.parser.FlushChunk(); err != nil {
+			return st, err
+		}
+	}
+	parsed := s.parserLog.TakeEvents()
+	st.EventsParsed = len(parsed)
+	s.reducer.Observe(parsed)
+
+	var sealed []audit.Event
+	if flush {
+		sealed = s.reducer.Flush()
+	} else {
+		sealed = s.reducer.Seal()
+	}
+	newEntities := s.store.Log.Entities.Since(s.lastEntityID)
+	st.EventsSealed = len(sealed)
+	st.EntitiesAdded = len(newEntities)
+
+	if len(sealed) > 0 || len(newEntities) > 0 {
+		deltaFloor := s.store.NextEventID()
+		if err := s.store.AppendBatch(newEntities, sealed); err != nil {
+			return st, err
+		}
+		s.lastEntityID = s.store.Log.Entities.MaxID()
+		if len(sealed) > 0 {
+			s.batch++
+			st.Firings = s.fireLocked(deltaFloor)
+		}
+	}
+	st.Pending = s.reducer.Pending()
+	st.PartialBuffered = s.parser.PartialLen()
+	st.Watermark = s.reducer.Watermark()
+	st.Batch = s.batch
+	return st, nil
+}

@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"sync"
+
+	"threatraptor/internal/engine"
+	"threatraptor/internal/relational"
+	"threatraptor/internal/tbql"
+)
+
+// Match is one standing-query firing: a complete binding's projected
+// return row, delivered once (deduplicated against every prior firing of
+// the same subscription).
+type Match struct {
+	// Batch is the sealed-batch sequence number whose append produced
+	// the firing.
+	Batch int64
+	// Columns labels Row, in the query's RETURN order.
+	Columns []string
+	// Row is the projected return row.
+	Row []relational.Value
+}
+
+// Subscription is one registered standing query. Matches arrive on C;
+// the channel is closed by Unwatch or Session.Close.
+type Subscription struct {
+	// ID identifies the subscription within its session.
+	ID int64
+	// Query is the TBQL source as registered.
+	Query string
+	// C delivers matches. The channel is buffered (Config.MatchBuffer);
+	// when the consumer lags past the buffer, matches are dropped and
+	// counted rather than stalling ingestion.
+	C <-chan Match
+
+	c        chan Match
+	analyzed *tbql.Analyzed
+	seen     *relational.RowSet
+
+	mu      sync.Mutex
+	dropped int64
+	err     error
+}
+
+// Dropped reports how many matches were discarded because C's buffer was
+// full.
+func (sub *Subscription) Dropped() int64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.dropped
+}
+
+// Err returns the last evaluation error (nil when every batch evaluated
+// cleanly). An erroring subscription stays registered; the error is
+// overwritten by the next evaluation.
+func (sub *Subscription) Err() error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.err
+}
+
+// Watch compiles a TBQL query and subscribes it to the stream: each
+// sealed batch is evaluated incrementally (only new rows join against the
+// indexed history) and previously unseen complete bindings are delivered
+// on the returned subscription's channel. Matches fire only for bindings
+// that use at least one event sealed after Watch — query history with
+// Session.Hunt instead.
+func (s *Session) Watch(src string) (*Subscription, error) {
+	q, err := tbql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSub++
+	c := make(chan Match, s.cfg.MatchBuffer)
+	sub := &Subscription{
+		ID:       s.nextSub,
+		Query:    src,
+		C:        c,
+		c:        c,
+		analyzed: a,
+		seen:     relational.NewRowSet(),
+	}
+	// Queries with a variable-length path pattern evaluate by full
+	// re-execution (ExecuteDelta's fallback), so seed the dedup set with
+	// the current history — otherwise the first sealed batch would
+	// deliver every pre-Watch binding as a fresh match.
+	if engine.HasVarLenPath(a) {
+		res, _, err := s.engine.Execute(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Set.Rows {
+			sub.seen.Add(row)
+		}
+	}
+	s.subs[sub.ID] = sub
+	return sub, nil
+}
+
+// Unwatch removes a subscription and closes its channel. It is a no-op
+// for subscriptions of other sessions or already-removed ones.
+func (s *Session) Unwatch(sub *Subscription) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.subs[sub.ID]; ok && cur == sub {
+		delete(s.subs, sub.ID)
+		close(sub.c)
+	}
+}
+
+// Subscriptions returns how many standing queries are registered.
+func (s *Session) Subscriptions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.subs)
+}
+
+// fireLocked evaluates every standing query against the freshly appended
+// batch (events with ID >= deltaFloor) and delivers new matches. Callers
+// hold the write lock, which also serializes evaluation against the next
+// append.
+func (s *Session) fireLocked(deltaFloor int64) int {
+	fired := 0
+	for _, sub := range s.subs {
+		res, _, err := s.engine.ExecuteDelta(sub.analyzed, deltaFloor)
+		sub.mu.Lock()
+		sub.err = err
+		sub.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		for _, row := range res.Set.Rows {
+			if !sub.seen.Add(row) {
+				continue
+			}
+			m := Match{Batch: s.batch, Columns: res.Set.Columns, Row: row}
+			select {
+			case sub.c <- m:
+				fired++
+			default:
+				sub.mu.Lock()
+				sub.dropped++
+				sub.mu.Unlock()
+			}
+		}
+	}
+	return fired
+}

@@ -30,6 +30,7 @@ import (
 	"threatraptor/internal/fuzzy"
 	"threatraptor/internal/provenance"
 	"threatraptor/internal/reduction"
+	"threatraptor/internal/stream"
 	"threatraptor/internal/synth"
 	"threatraptor/internal/tbql"
 )
@@ -42,6 +43,10 @@ type Options struct {
 	// ReductionThresholdUS is the data reduction merge threshold in µs
 	// (default 1 second, the paper's choice).
 	ReductionThresholdUS int64
+	// StreamLatenessUS bounds how late an event may arrive on the live
+	// ingest path and still merge (watermark lag). Values below the
+	// reduction threshold are raised to it; zero means "threshold".
+	StreamLatenessUS int64
 	// SynthesisMode selects the synthesized pattern syntax.
 	SynthesisMode synth.Mode
 }
@@ -62,6 +67,10 @@ type System struct {
 	extractor *extract.Extractor
 	store     *engine.Store
 	engine    *engine.Engine
+	// live is the streaming ingestion session, created lazily by the
+	// first Ingest or Watch call. While it exists, hunts go through its
+	// reader lock so they never race a live append.
+	live *stream.Session
 }
 
 // New creates a System with the given options.
@@ -86,8 +95,12 @@ func (s *System) LoadAuditLog(r io.Reader) error {
 }
 
 // LoadLog applies data reduction to an already-parsed log and loads it
-// into the storage backends.
+// into the storage backends. It cannot replace the store while a live
+// ingestion session is active (close or flush the stream first).
 func (s *System) LoadLog(log *audit.Log) error {
+	if s.live != nil {
+		return fmt.Errorf("threatraptor: live ingestion active; the stream owns the store")
+	}
 	reduction.Reduce(log, reduction.Config{ThresholdUS: s.opts.ReductionThresholdUS})
 	store, err := engine.NewStore(log)
 	if err != nil {
@@ -96,6 +109,67 @@ func (s *System) LoadLog(log *audit.Log) error {
 	s.store = store
 	s.engine = &engine.Engine{Store: store}
 	return nil
+}
+
+// Live returns the streaming ingestion session, creating it on first use.
+// If an audit log was already loaded, the stream appends to that store;
+// otherwise it starts from an empty one. Advanced callers use the session
+// directly (Unwatch, Close, IngestRecords); Ingest/Watch/FlushStream
+// below cover the common path.
+func (s *System) Live() (*stream.Session, error) {
+	if s.live != nil {
+		return s.live, nil
+	}
+	if s.store == nil {
+		store, err := engine.NewStore(audit.NewLog())
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.engine = &engine.Engine{Store: store}
+	}
+	s.live = stream.New(s.store, s.engine, stream.Config{
+		ReductionThresholdUS: s.opts.ReductionThresholdUS,
+		LatenessUS:           s.opts.StreamLatenessUS,
+	})
+	return s.live, nil
+}
+
+// Ingest reads every currently available raw audit record from r into the
+// live stream: complete lines are parsed (a trailing partial line is
+// buffered for the next call), the watermark advances, newly sealed
+// batches are appended to the store in place, and standing queries fire.
+// Typical use tails a growing log file by calling Ingest on the same
+// *os.File whenever it grows.
+func (s *System) Ingest(r io.Reader) (stream.IngestStats, error) {
+	live, err := s.Live()
+	if err != nil {
+		return stream.IngestStats{}, err
+	}
+	return live.Ingest(r)
+}
+
+// Watch registers a standing TBQL query against the live stream: every
+// sealed batch is evaluated incrementally and previously unseen complete
+// bindings are delivered on the returned subscription's channel. Watch
+// covers the future; use Hunt for history.
+func (s *System) Watch(tbqlSrc string) (*stream.Subscription, error) {
+	live, err := s.Live()
+	if err != nil {
+		return nil, err
+	}
+	return live.Watch(tbqlSrc)
+}
+
+// FlushStream force-seals everything buffered on the live stream (partial
+// line, arrival buffer, pending merges) so the store reflects every byte
+// ingested — the end-of-stream barrier after which a Hunt sees exactly
+// what a batch load would have seen.
+func (s *System) FlushStream() (stream.IngestStats, error) {
+	if s.live == nil {
+		return stream.IngestStats{}, nil
+	}
+	return s.live.Flush()
 }
 
 // Store exposes the loaded storage backends (nil before LoadLog).
@@ -119,10 +193,14 @@ func (s *System) SynthesizeQuery(g *extract.Graph) (string, error) {
 }
 
 // Hunt parses and executes a TBQL query against the loaded store using
-// the scheduled (exact search) execution plan.
+// the scheduled (exact search) execution plan. With a live stream active,
+// the hunt runs under the stream's reader lock.
 func (s *System) Hunt(tbqlSrc string) (*engine.Result, engine.Stats, error) {
 	if s.engine == nil {
 		return nil, engine.Stats{}, fmt.Errorf("threatraptor: no audit log loaded")
+	}
+	if s.live != nil {
+		return s.live.Hunt(tbqlSrc)
 	}
 	return s.engine.Hunt(tbqlSrc)
 }
@@ -151,7 +229,21 @@ type FuzzyAlignment struct {
 // FuzzyHunt executes a TBQL query in the fuzzy search mode (inexact graph
 // pattern matching, extending Poirot): node-level alignment tolerates IOC
 // typos and changes, and flow paths substitute for missing direct events.
+// With a live stream active it runs under the stream's reader lock.
 func (s *System) FuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
+	if s.live != nil {
+		var out []FuzzyAlignment
+		err := s.live.ReadLocked(func() error {
+			var err error
+			out, err = s.fuzzyHunt(tbqlSrc, exhaustive)
+			return err
+		})
+		return out, err
+	}
+	return s.fuzzyHunt(tbqlSrc, exhaustive)
+}
+
+func (s *System) fuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
 	if s.store == nil {
 		return nil, fmt.Errorf("threatraptor: no audit log loaded")
 	}

@@ -134,3 +134,41 @@ func TestSynthesisModes(t *testing.T) {
 		t.Fatalf("rows = %d", hits.Set.Len())
 	}
 }
+
+// TestLiveIngestAndWatch drives the façade's streaming surface: Ingest
+// tails a byte stream, Watch fires on a newly appended behavior, and
+// FlushStream makes the store batch-equivalent for a subsequent Hunt.
+func TestLiveIngestAndWatch(t *testing.T) {
+	sys := New(DefaultOptions())
+	sub, err := sys.Watch(`proc p["%/bin/tar%"] read file f["%/etc/shadow%"] return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := "ts=1000000 call=read pid=7 exe=/bin/tar user=root fd=file path=/etc/shadow bytes=128\n" +
+		"ts=9000000 call=read pid=8 exe=/usr/bin/vim user=alice fd=file path=/home/alice/x bytes=1\n"
+	if _, err := sys.Ingest(strings.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub.C:
+		if len(m.Row) != 2 || m.Row[0].S != "/bin/tar" || m.Row[1].S != "/etc/shadow" {
+			t.Fatalf("match = %+v", m)
+		}
+	default:
+		t.Fatal("standing query did not fire on the appended behavior")
+	}
+	if _, err := sys.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sys.Hunt(`proc p read file f["%/home/alice/x%"] return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set.Len() != 1 {
+		t.Fatalf("hunt over flushed stream = %v", res.Set.Strings())
+	}
+	// The stream owns the store: batch loads must be refused while live.
+	if err := sys.LoadAuditLog(strings.NewReader(wire)); err == nil {
+		t.Fatal("LoadAuditLog must fail while a live session is active")
+	}
+}
