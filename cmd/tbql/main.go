@@ -6,7 +6,7 @@
 //	tbql -log audit.log 'proc p read file f["%/etc/passwd%"] return distinct p'
 //	tbql -demo password_crack 'proc p read file f["%shadow%"] return p'
 //	echo 'proc p read file f return distinct p' | tbql -log audit.log
-//	tbql -log audit.log -explain '...'   # show the compiled data queries
+//	tbql -log audit.log -explain '...'   # show the IR and compiled plans
 //	tbql -demo data_leak -i              # interactive hunting session
 package main
 
@@ -21,15 +21,13 @@ import (
 
 	"threatraptor"
 	"threatraptor/internal/cases"
-	"threatraptor/internal/engine"
-	"threatraptor/internal/tbql"
 )
 
 func main() {
 	logPath := flag.String("log", "", "audit log file (newline-delimited raw records)")
 	demo := flag.String("demo", "", "use a built-in benchmark case's log")
 	scale := flag.Float64("scale", 1.0, "benign noise scale for -demo")
-	explain := flag.Bool("explain", false, "print the compiled SQL/Cypher data queries")
+	explain := flag.Bool("explain", false, "print the compiled logical-plan IR, physical plans, and equivalent SQL/Cypher")
 	useFuzzy := flag.Bool("fuzzy", false, "execute in fuzzy search mode")
 	interactive := flag.Bool("i", false, "interactive session: one query per line, blank line executes")
 	flag.Parse()
@@ -44,7 +42,6 @@ func main() {
 	}
 
 	sys := threatraptor.New(threatraptor.DefaultOptions())
-	var store *engine.Store
 	switch {
 	case *demo != "":
 		c := cases.ByID(*demo)
@@ -70,7 +67,6 @@ func main() {
 	default:
 		log.Fatal("one of -log or -demo is required")
 	}
-	store = sys.Store()
 
 	if *interactive {
 		repl(sys)
@@ -78,30 +74,11 @@ func main() {
 	}
 
 	if *explain {
-		q, err := tbql.Parse(query)
+		report, err := sys.Explain(query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		a, err := tbql.Analyze(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("--- per-pattern data queries (scheduled plan) ---")
-		for i, p := range a.Query.Patterns {
-			if p.Path != nil {
-				fmt.Printf("%s (Cypher): %s\n", p.ID, engine.CompilePatternCypher(store, a, i, nil))
-			} else {
-				fmt.Printf("%s (SQL): %s\n", p.ID, engine.CompilePatternSQL(store, a, i, nil))
-			}
-		}
-		if sql, err := engine.CompileMonolithicSQL(store, a); err == nil {
-			fmt.Println("--- monolithic SQL ---")
-			fmt.Println(sql)
-		}
-		if cy, err := engine.CompileMonolithicCypher(store, a); err == nil {
-			fmt.Println("--- monolithic Cypher ---")
-			fmt.Println(cy)
-		}
+		fmt.Print(report)
 		return
 	}
 

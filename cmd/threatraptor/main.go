@@ -36,6 +36,7 @@ func main() {
 	useFuzzy := flag.Bool("fuzzy", false, "execute in fuzzy search mode")
 	demo := flag.String("demo", "", "run a built-in benchmark case (e.g. data_leak)")
 	scale := flag.Float64("scale", 1.0, "benign noise scale for -demo")
+	explain := flag.Bool("explain", false, "print the compiled logical-plan IR and physical plans before executing")
 	watch := flag.Bool("watch", false, "tail -log continuously, firing the query as behaviors appear")
 	queryPath := flag.String("query", "", "TBQL query file (watch mode; skips report synthesis)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "watch mode poll interval")
@@ -129,6 +130,14 @@ func main() {
 	fmt.Println(query)
 	if *synthOnly {
 		return
+	}
+
+	if *explain {
+		report, err := sys.Explain(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
 	}
 
 	if *useFuzzy {

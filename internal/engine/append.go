@@ -12,7 +12,6 @@ import (
 	"fmt"
 
 	"threatraptor/internal/audit"
-	"threatraptor/internal/graphdb"
 	"threatraptor/internal/relational"
 )
 
@@ -109,12 +108,10 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) erro
 	s.Graph.ReserveEdges(len(events))
 	for i := range events {
 		ev := &events[i]
-		if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
-			"id":         relational.Int(ev.ID),
-			"start_time": relational.Int(ev.StartTime),
-			"end_time":   relational.Int(ev.EndTime),
-			"amount":     relational.Int(ev.DataAmount),
-		}); err != nil {
+		// Event edges use the columnar attribute fields — no per-edge
+		// property map is allocated on the ingest path.
+		if _, err := s.Graph.AddEventEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(),
+			ev.ID, ev.StartTime, ev.EndTime, ev.DataAmount); err != nil {
 			return fmt.Errorf("engine: append event %d: %w", ev.ID, err)
 		}
 	}

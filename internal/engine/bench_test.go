@@ -94,3 +94,39 @@ func BenchmarkStoreLoadEngine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompile measures the compilation spine itself on the data_leak
+// query: "cold" lowers the analyzed query to IR and compiles every
+// pattern's no-extras physical plan from a cold engine; "hit" measures the
+// steady-state cost of reaching the compiled plans through the caches
+// (what every execution pays before running a single data query).
+func BenchmarkCompile(b *testing.B) {
+	store := benchStore(b, 1.0)
+	a := benchAnalyzed(b)
+	compileAll := func(en *Engine) {
+		plan := en.planFor(a)
+		for i := range plan.pats {
+			if plan.pats[i].usesGraph {
+				continue
+			}
+			if _, err := plan.pats[i].prepared(en.Store, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			compileAll(&Engine{Store: store})
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		en := &Engine{Store: store}
+		compileAll(en)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			compileAll(en)
+		}
+	})
+}

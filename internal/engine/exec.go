@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"threatraptor/internal/graphdb"
+	"threatraptor/internal/qir"
 	"threatraptor/internal/relational"
 	"threatraptor/internal/tbql"
 )
@@ -48,7 +49,7 @@ type Engine struct {
 
 	// huntMu guards the parse/analyze cache keyed by TBQL source text, so
 	// repeat Hunt calls reuse one *tbql.Analyzed — which in turn keeps the
-	// query-plan and binding-set text caches hot across hunts.
+	// compiled query plans (IR and backend plan variants) hot across hunts.
 	huntMu   sync.Mutex
 	analyzed map[string]*tbql.Analyzed
 }
@@ -74,16 +75,62 @@ type patternRows struct {
 	hasEvent bool
 }
 
+// extrasSpec is everything that can vary in one pattern's data query
+// between executions: the scheduler's subject/object binding sets (sorted
+// unique ID slices) and the standing-query delta floor (only events with
+// ID >= delta match; 0 means no floor). The spec selects a compiled plan
+// variant and binds its parameter values — nothing is rendered to text.
+type extrasSpec struct {
+	subj, obj []int64
+	delta     int64
+}
+
+// variant maps the spec to the relational plan-variant bits.
+func (sp extrasSpec) variant() int {
+	v := 0
+	if len(sp.subj) > 0 {
+		v |= varSubj
+	}
+	if len(sp.obj) > 0 {
+		v |= varObj
+	}
+	if sp.delta > 0 {
+		v |= varDelta
+	}
+	return v
+}
+
 // runPattern executes one pattern's data query with the given extras spec
 // (scheduler binding sets plus the delta floor), against the backend the
-// pattern compiles to. The assembled text comes from the binding-set-keyed
-// cache, so repeat hunts skip the string build and the backend's re-parse.
+// pattern lowers to. Both backends consume the pattern's compiled plan
+// directly; the extras bind as parameter values, so no query text is
+// assembled and no parser runs.
 func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extrasSpec) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
 	p := a.Query.Patterns[idx]
 	pr := patternRows{idx: idx, hasEvent: true}
-	query := plan.pats[idx].text(sp)
-	if plan.pats[idx].usesGraph {
-		rs, gs, err := en.Store.Graph.QueryStats(query)
+	pp := &plan.pats[idx]
+	if pp.usesGraph {
+		var params *graphdb.ExecParams
+		if sp.variant() != 0 {
+			var gp graphdb.ExecParams
+			var nb [2]graphdb.NodeBinding
+			n := 0
+			if len(sp.subj) > 0 {
+				nb[n] = graphdb.NodeBinding{Var: "s", IDs: sp.subj}
+				n++
+			}
+			if len(sp.obj) > 0 {
+				nb[n] = graphdb.NodeBinding{Var: "o", IDs: sp.obj}
+				n++
+			}
+			gp.Nodes = nb[:n]
+			if sp.delta > 0 && pp.ir.Path.HasEdgeVar {
+				gp.EdgeVar = "e"
+				gp.MinEdgeID = sp.delta
+			}
+			params = &gp
+		}
+		rs, gs, err := en.Store.Graph.ExecWith(pp.gq, params)
 		if err != nil {
 			return pr, relational.ExecStats{}, gs, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
 		}
@@ -102,7 +149,15 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 		}
 		return pr, relational.ExecStats{}, gs, nil
 	}
-	rs, qs, err := en.Store.Rel.QueryStats(query)
+	prep, err := pp.prepared(en.Store, sp.variant())
+	if err != nil {
+		return pr, relational.ExecStats{}, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+	}
+	var params relational.Params
+	params.Lists[qir.SlotSubjIDs] = sp.subj
+	params.Lists[qir.SlotObjIDs] = sp.obj
+	params.Ints[qir.SlotDelta] = sp.delta
+	rs, qs, err := prep.Query(&params)
 	if err != nil {
 		return pr, qs, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
 	}
@@ -113,10 +168,10 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 	return pr, qs, graphdb.ExecStats{}, nil
 }
 
-// bindingSpec selects the scheduler's IN constraints for a pattern from
-// the current binding sets (shared between the SQL and Cypher compilers,
-// whose id-list syntax is identical). Binding sets are kept as sorted
-// unique ID slices, so they double as canonical cache keys.
+// bindingSpec selects the scheduler's binding-set constraints for a
+// pattern. Binding sets are kept as sorted unique ID slices — the
+// representation both backends' membership checks and index probes
+// consume directly as bound parameters.
 func (en *Engine) bindingSpec(p *tbql.Pattern, bindings map[string][]int64, maxIn int) (subj, obj []int64) {
 	if set := bindings[p.Subject.ID]; len(set) > 0 && len(set) <= maxIn {
 		subj = set
@@ -143,10 +198,11 @@ func emptyResult(a *tbql.Analyzed) *Result {
 }
 
 // Execute runs a TBQL query with the ThreatRaptor plan: each pattern
-// compiles to a small data query (SQL for event patterns, Cypher for path
+// lowers to a small data query in the shared logical-plan IR (executed by
+// the relational backend for event patterns, the graph backend for path
 // patterns), the scheduler orders them by pruning score, feeds entity
-// bindings forward as constraints, and a final in-engine join applies the
-// temporal and attribute relationships. With Parallel set, independent
+// bindings forward as bound parameters, and a final in-engine join applies
+// the temporal and attribute relationships. With Parallel set, independent
 // patterns within one dependency level run concurrently.
 func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 	return en.execute(a, nil)
@@ -185,6 +241,7 @@ func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Resu
 	bindings := make(map[string][]int64) // entity ID -> allowed IDs, sorted unique
 	results := make([]patternRows, len(a.Query.Patterns))
 	maxIn := en.maxIn()
+	var scratch []int64
 
 	for _, idx := range order {
 		p := a.Query.Patterns[idx]
@@ -214,8 +271,8 @@ func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Resu
 			return emptyResult(a), stats, nil
 		}
 		if !en.DisableScheduling {
-			narrow(bindings, p.Subject.ID, pr.rows, 1)
-			narrow(bindings, p.Object.ID, pr.rows, 2)
+			narrow(bindings, p.Subject.ID, pr.rows, 1, &scratch)
+			narrow(bindings, p.Object.ID, pr.rows, 2, &scratch)
 		}
 	}
 
@@ -238,6 +295,7 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 	bindings := make(map[string][]int64)
 	results := make([]patternRows, len(a.Query.Patterns))
 	maxIn := en.maxIn()
+	var scratch []int64
 
 	type outcome struct {
 		pr  patternRows
@@ -295,8 +353,8 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 		if !en.DisableScheduling {
 			for _, idx := range level {
 				p := a.Query.Patterns[idx]
-				narrow(bindings, p.Subject.ID, results[idx].rows, 1)
-				narrow(bindings, p.Object.ID, results[idx].rows, 2)
+				narrow(bindings, p.Subject.ID, results[idx].rows, 1, &scratch)
+				narrow(bindings, p.Object.ID, results[idx].rows, 2, &scratch)
 			}
 		}
 	}
@@ -386,20 +444,28 @@ func countConjuncts(e relational.Expr) int {
 // narrow intersects the binding set of an entity with the IDs seen in a
 // pattern's rows (column col). Sets are sorted unique slices: the new IDs
 // are sorted and deduplicated in place, and an existing set shrinks via a
-// linear merge-intersection — no per-pattern hash maps.
-func narrow(bindings map[string][]int64, entityID string, rows [][5]int64, col int) {
-	ids := make([]int64, len(rows))
-	for i, r := range rows {
-		ids[i] = r[col]
+// linear merge-intersection — no per-pattern hash maps. scratch is the
+// execution's reusable ID buffer: a first-time binding keeps the buffer
+// (ownership transfers into the map), an intersection returns it for the
+// next call.
+func narrow(bindings map[string][]int64, entityID string, rows [][5]int64, col int, scratch *[]int64) {
+	ids := (*scratch)[:0]
+	if cap(ids) < len(rows) {
+		ids = make([]int64, 0, len(rows))
+	}
+	for _, r := range rows {
+		ids = append(ids, r[col])
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	ids = dedupSorted(ids)
 	prev, ok := bindings[entityID]
 	if !ok {
 		bindings[entityID] = ids
+		*scratch = nil
 		return
 	}
 	bindings[entityID] = intersectSorted(prev, ids)
+	*scratch = ids
 }
 
 // dedupSorted removes adjacent duplicates in place.
@@ -708,35 +774,30 @@ func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
 	return false
 }
 
-// ExecuteMonolithicSQL compiles the query into one giant SQL statement and
-// runs it on the relational backend (query type (b) in RQ4).
+// ExecuteMonolithicSQL lowers the query into one giant statement and runs
+// it on the relational backend (query type (b) in RQ4). The statement is
+// lowered to an AST and compiled once per plan — no SQL text, no parser.
 func (en *Engine) ExecuteMonolithicSQL(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
 	var stats Stats
-	sql, err := CompileMonolithicSQL(en.Store, a)
+	pr, err := en.planFor(a).monolithicSQL(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
-	rs, qs, err := en.Store.Rel.QueryStats(sql)
+	rs, qs, err := pr.Query(nil)
 	stats.DataQueries = 1
 	stats.Rel = qs
 	return rs, stats, err
 }
 
-// ExecuteMonolithicCypher compiles the query into one giant Cypher
-// statement and runs it on the graph backend with the clause-at-a-time
-// plan that production graph databases use for multi-MATCH statements
-// (query type (d) in RQ4).
+// ExecuteMonolithicCypher lowers the query into one giant multi-MATCH
+// graph query and runs it with the clause-at-a-time plan that production
+// graph databases use for multi-MATCH statements (query type (d) in RQ4).
 func (en *Engine) ExecuteMonolithicCypher(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
 	var stats Stats
-	cy, err := CompileMonolithicCypher(en.Store, a)
+	q, err := en.planFor(a).monolithicCypher(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
-	q, err := graphdb.ParseQuery(cy)
-	if err != nil {
-		return nil, stats, err
-	}
-	q.ClauseAtATime = true
 	rs, gs, err := en.Store.Graph.Exec(q)
 	stats.DataQueries = 1
 	stats.Graph = gs
@@ -768,8 +829,8 @@ func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error
 
 // Hunt parses, analyzes, and executes TBQL source with the scheduled
 // plan. The analyzed form is cached by source text, so a repeat hunt
-// reuses the compiled query plan and the binding-set-keyed data-query
-// texts instead of re-parsing anything.
+// reuses the compiled query plan (IR and backend plan variants) instead of
+// re-parsing anything.
 func (en *Engine) Hunt(src string) (*Result, Stats, error) {
 	a, err := en.analyzedFor(src)
 	if err != nil {

@@ -1,5 +1,12 @@
 package engine
 
+// This file is the EXPLAIN/debug path: human-readable SQL and Cypher text
+// rendered from analyzed queries so `tbql -explain` (and tests) can show
+// what the compiled data queries are equivalent to. Nothing here runs on
+// any Execute* path — execution lowers the logical-plan IR straight to
+// backend plan ASTs (see lower.go); a test pins that no backend parser is
+// ever invoked during execution.
+
 import (
 	"fmt"
 	"sort"
@@ -581,4 +588,51 @@ func CompileMonolithicCypher(s *Store, a *tbql.Analyzed) (string, error) {
 		distinct = "DISTINCT "
 	}
 	return strings.Join(clauses, " ") + " RETURN " + distinct + strings.Join(proj, ", "), nil
+}
+
+// Explain renders a human-readable compilation report for an analyzed
+// query: each pattern's logical-plan IR, the chosen physical plan, and the
+// equivalent SQL/Cypher text. This is the only consumer of the text
+// generators above — execution never renders or parses query text.
+func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
+	plan := en.planFor(a)
+	var sb strings.Builder
+	sb.WriteString("--- per-pattern logical plans (IR) and physical plans ---\n")
+	for i := range a.Query.Patterns {
+		pp := &plan.pats[i]
+		sb.WriteString(pp.ir.String())
+		sb.WriteString("\n")
+		if pp.usesGraph {
+			sb.WriteString("physical: graph traversal plan\n")
+			sb.WriteString("  equivalent Cypher: " + CompilePatternCypher(en.Store, a, i, nil) + "\n")
+		} else {
+			pr, err := pp.prepared(en.Store, 0)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString("physical: relational plan (no-extras variant)\n")
+			sb.WriteString(indent(pr.Describe(), "  "))
+			sb.WriteString("  equivalent SQL: " + CompilePatternSQL(en.Store, a, i, nil) + "\n")
+		}
+	}
+	sb.WriteString("--- scheduled order ---\n")
+	for _, idx := range plan.order {
+		fmt.Fprintf(&sb, "%s ", a.Query.Patterns[idx].ID)
+	}
+	sb.WriteString("\n")
+	if sql, err := CompileMonolithicSQL(en.Store, a); err == nil {
+		sb.WriteString("--- monolithic SQL (RQ4 comparison) ---\n" + sql + "\n")
+	}
+	if cy, err := CompileMonolithicCypher(en.Store, a); err == nil {
+		sb.WriteString("--- monolithic Cypher (RQ4 comparison) ---\n" + cy + "\n")
+	}
+	return sb.String(), nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

@@ -2,25 +2,50 @@ package engine
 
 import (
 	"sort"
+	"sync"
 
+	"threatraptor/internal/graphdb"
+	"threatraptor/internal/qir"
+	"threatraptor/internal/relational"
 	"threatraptor/internal/tbql"
 )
 
-// patternPlan is one pattern's compiled data query: the static SQL or
-// Cypher text parts, assembled with the scheduler's extras at run time.
-// plain is the no-extras assembly, built once; cache keys the extra-bearing
-// assemblies by binding set (see textcache.go).
+// patternPlan is one pattern's compiled data query: its logical-plan IR
+// plus the lowered backend plans. Graph patterns lower eagerly to one
+// traversal plan (parameters bind per execution); event patterns lower
+// lazily to up to eight relational statement variants, one per combination
+// of parameter constraints actually seen (subject/object binding sets,
+// delta floor), so every execution reuses a compiled physical plan and
+// binds values — no text, no parsing, no per-binding-set cache.
 type patternPlan struct {
 	usesGraph bool
-	sql       sqlPatternParts
-	cy        cyPatternParts
-	plain     string
-	cache     *patternTextCache
+	ir        *qir.DataQuery
+	gq        *graphdb.Query
+
+	mu  sync.Mutex
+	rel [8]*relational.Prepared // indexed by variant bits
+}
+
+// prepared returns the pattern's compiled relational plan for a parameter
+// variant, lowering and compiling it on first use.
+func (pp *patternPlan) prepared(s *Store, variant int) (*relational.Prepared, error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pr := pp.rel[variant]; pr != nil {
+		return pr, nil
+	}
+	pr, err := s.Rel.Prepare(lowerEventStmt(s, pp.ir.Event, variant))
+	if err != nil {
+		return nil, err
+	}
+	pp.rel[variant] = pr
+	return pr, nil
 }
 
 // queryPlan caches everything about an analyzed TBQL query that does not
 // change between executions: the pruning-score order, the dependency
-// levels for the parallel path, and each pattern's compiled query text.
+// levels for the parallel path, the per-pattern IR, and the lowered
+// backend plans.
 type queryPlan struct {
 	order []int
 	// levels partitions the scheduled order into dependency levels:
@@ -29,13 +54,21 @@ type queryPlan struct {
 	// concurrently; every pattern shares at least one entity variable
 	// with some earlier level (or is in level 0).
 	levels [][]int
+	irs    []*qir.DataQuery
 	pats   []patternPlan
-	// windowSensitive marks plans whose compiled texts bake in the
-	// store's time bounds (LAST/BEFORE/AFTER windows resolve against
-	// MinTime/MaxTime); they are recompiled when a live append moves the
-	// bounds. boundsEpoch records the bounds generation compiled against.
+	// windowSensitive marks plans whose lowered window conditions resolve
+	// against the store's time bounds (LAST/BEFORE/AFTER); they are
+	// re-lowered from the cached IR when a live append moves the bounds.
+	// boundsEpoch records the bounds generation lowered against.
 	windowSensitive bool
 	boundsEpoch     uint64
+
+	// Monolithic plans (the paper's RQ4 naive comparison), lowered lazily.
+	monoMu     sync.Mutex
+	monoSQL    *relational.Prepared
+	monoSQLErr error
+	monoCy     *graphdb.Query
+	monoCyErr  error
 }
 
 type planKey struct {
@@ -50,41 +83,40 @@ type planKey struct {
 const maxCachedQueryPlans = 256
 
 // planFor returns the cached plan for a, building it on first use. A
-// cached plan whose compiled window conditions depend on the store's time
-// bounds is rebuilt when a live append has moved the bounds; plans without
-// such windows survive appends untouched.
+// cached plan whose lowered window conditions depend on the store's time
+// bounds is re-lowered (from the cached IR, never from source) when a live
+// append has moved the bounds; plans without such windows survive appends
+// untouched.
 func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 	key := planKey{a: a, sched: !en.DisableScheduling}
 	epoch := en.Store.BoundsEpoch()
 	en.planMu.Lock()
 	defer en.planMu.Unlock()
-	if p, ok := en.plans[key]; ok {
-		if !p.windowSensitive || p.boundsEpoch == epoch {
-			return p
-		}
+	prev := en.plans[key]
+	if prev != nil && (!prev.windowSensitive || prev.boundsEpoch == epoch) {
+		return prev
 	}
 	if len(en.plans) >= maxCachedQueryPlans {
 		en.plans = nil
 	}
-	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch}
+	var irs []*qir.DataQuery
+	if prev != nil {
+		irs = prev.irs // bounds moved: recompile from the cached IR
+	} else {
+		irs = tbql.Lower(a)
+	}
+	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch, irs: irs}
 	p.levels = dependencyLevels(a.Query.Patterns, p.order)
-	p.pats = make([]patternPlan, len(a.Query.Patterns))
-	for i := range a.Query.Patterns {
+	p.pats = make([]patternPlan, len(irs))
+	for i, ir := range irs {
 		pp := &p.pats[i]
-		pp.usesGraph = a.Query.Patterns[i].Path != nil
+		pp.ir = ir
+		pp.usesGraph = ir.UsesGraph()
 		if pp.usesGraph {
-			pp.cy = compilePatternCypherParts(en.Store, a, i)
-			pp.plain = pp.cy.assemble(nil)
-		} else {
-			pp.sql = compilePatternSQLParts(en.Store, a, i)
-			pp.plain = pp.sql.assemble(nil)
+			pp.gq = lowerPathQuery(en.Store, ir.Path)
 		}
-		pp.cache = &patternTextCache{}
-		if w := windowOf(a.Query, a.Query.Patterns[i]); w != nil {
-			switch w.Kind {
-			case tbql.WindBefore, tbql.WindAfter, tbql.WindLast:
-				p.windowSensitive = true
-			}
+		if ir.Window().Sensitive() {
+			p.windowSensitive = true
 		}
 	}
 	if en.plans == nil {
@@ -92,6 +124,38 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 	}
 	en.plans[key] = p
 	return p
+}
+
+// monolithicSQL returns the plan's compiled monolithic statement, lowering
+// it on first use.
+func (p *queryPlan) monolithicSQL(s *Store, a *tbql.Analyzed) (*relational.Prepared, error) {
+	p.monoMu.Lock()
+	defer p.monoMu.Unlock()
+	if p.monoSQL != nil || p.monoSQLErr != nil {
+		return p.monoSQL, p.monoSQLErr
+	}
+	stmt, err := lowerMonolithicStmt(s, a)
+	if err == nil {
+		p.monoSQL, err = s.Rel.Prepare(stmt)
+	}
+	p.monoSQLErr = err
+	return p.monoSQL, err
+}
+
+// monolithicCypher returns the plan's lowered monolithic graph query (the
+// clause-at-a-time flag is set here, as the RQ4 comparison requires).
+func (p *queryPlan) monolithicCypher(s *Store, a *tbql.Analyzed) (*graphdb.Query, error) {
+	p.monoMu.Lock()
+	defer p.monoMu.Unlock()
+	if p.monoCy != nil || p.monoCyErr != nil {
+		return p.monoCy, p.monoCyErr
+	}
+	q, err := lowerMonolithicCypher(s, a)
+	if err == nil {
+		q.ClauseAtATime = true
+	}
+	p.monoCy, p.monoCyErr = q, err
+	return q, err
 }
 
 // schedule orders pattern indexes by descending pruning score

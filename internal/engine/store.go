@@ -1,10 +1,11 @@
 // Package engine implements ThreatRaptor's TBQL query execution
 // (Section III-F): system audit logging data is stored in both a
 // relational backend (PostgreSQL stand-in) and a graph backend (Neo4j
-// stand-in); TBQL patterns compile into small SQL or Cypher data queries;
-// and a scheduler orders those data queries by estimated pruning power and
-// semantic dependencies, feeding each query's results into the next as
-// added constraints.
+// stand-in); TBQL patterns compile into small data queries through the
+// shared logical-plan IR (internal/qir), each lowered to the owning
+// backend's plan form with parameter slots; and a scheduler orders those
+// data queries by estimated pruning power and semantic dependencies,
+// feeding each query's results into the next as bound parameters.
 package engine
 
 import (
@@ -188,12 +189,8 @@ func NewStore(log *audit.Log) (*Store, error) {
 		}
 		for i := range log.Events {
 			ev := &log.Events[i]
-			if _, err := s.Graph.AddEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(), graphdb.Props{
-				"id":         relational.Int(ev.ID),
-				"start_time": relational.Int(ev.StartTime),
-				"end_time":   relational.Int(ev.EndTime),
-				"amount":     relational.Int(ev.DataAmount),
-			}); err != nil {
+			if _, err := s.Graph.AddEventEdge(ev.SubjectID, ev.ObjectID, ev.Op.String(),
+				ev.ID, ev.StartTime, ev.EndTime, ev.DataAmount); err != nil {
 				errGraph = fmt.Errorf("engine: event %d: %w", ev.ID, err)
 				return
 			}

@@ -251,7 +251,7 @@ func (g *Graph) bindingResolver(b binding) func(relational.ColRef) (Value, error
 			if c.Qualifier == "" {
 				return relational.Int(id), nil
 			}
-			if v, has := e.Props[c.Column]; has {
+			if v, has := e.Prop(c.Column); has {
 				return v, nil
 			}
 			return relational.Null(), nil

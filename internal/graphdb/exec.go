@@ -34,15 +34,51 @@ func (g *Graph) QueryStats(src string) (*ResultSet, ExecStats, error) {
 	return g.Exec(q)
 }
 
+// NodeBinding constrains one named node variable to membership in a
+// sorted unique ID list.
+type NodeBinding struct {
+	Var string
+	IDs []int64
+}
+
+// ExecParams carries one execution's bound parameters for a prepared
+// Query: the TBQL engine binds the scheduler's entity binding sets and the
+// standing-query delta floor here instead of splicing them into fresh
+// query text.
+type ExecParams struct {
+	// Nodes constrains named node variables: a variable with a binding
+	// may only match the listed node IDs. Anchor enumeration uses the
+	// list directly when the variable anchors a pattern.
+	Nodes []NodeBinding
+	// MinEdgeID floors the edge IDs the named single-hop relationship
+	// variable EdgeVar may bind (0 = unconstrained).
+	MinEdgeID int64
+	EdgeVar   string
+}
+
+// nodeBinding returns the ID list bound to a variable, or nil.
+func (p *ExecParams) nodeBinding(varName string) []int64 {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i].Var == varName {
+			return p.Nodes[i].IDs
+		}
+	}
+	return nil
+}
+
 // matcher holds the state of one pattern-matching run.
 type matcher struct {
-	g     *Graph
-	q     *Query
-	stats ExecStats
-	nodes map[string]int64 // node variable bindings
-	edges map[string]int64 // single-hop edge variable bindings
-	rs    *ResultSet
-	proj  []ReturnItem
+	g      *Graph
+	q      *Query
+	params *ExecParams
+	stats  ExecStats
+	nodes  map[string]int64 // node variable bindings
+	edges  map[string]int64 // single-hop edge variable bindings
+	rs     *ResultSet
+	proj   []ReturnItem
 	// conjuncts are the AND-split WHERE terms, evaluated eagerly as
 	// bindings accumulate (predicate pushdown, as production graph
 	// databases do).
@@ -88,15 +124,28 @@ func (m *matcher) pruneOK() bool {
 
 // Exec runs a parsed query.
 func (g *Graph) Exec(q *Query) (*ResultSet, ExecStats, error) {
+	return g.ExecWith(q, nil)
+}
+
+// ExecWith runs a parsed query with execution-time parameter bindings.
+// The query itself stays immutable (and so can be prepared once and
+// reused); the parameters vary per call. The clause-at-a-time execution
+// model (multi-pattern queries with ClauseAtATime set — the naive RQ4
+// comparison plan) does not support parameters.
+func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, error) {
 	g.ensureAdjSorted()
 	if q.ClauseAtATime && len(q.Patterns) > 1 {
+		if params != nil {
+			return nil, ExecStats{}, fmt.Errorf("graphdb: parameters are not supported with clause-at-a-time execution")
+		}
 		return g.execClauseAtATime(q)
 	}
 	m := &matcher{
-		g:     g,
-		q:     q,
-		nodes: make(map[string]int64),
-		edges: make(map[string]int64),
+		g:      g,
+		q:      q,
+		params: params,
+		nodes:  make(map[string]int64),
+		edges:  make(map[string]int64),
 	}
 	if q.Where != nil {
 		m.conjuncts = flattenConjuncts(q.Where, nil)
@@ -237,7 +286,20 @@ func (m *matcher) matchHop(pi, ni int) error {
 				adj = m.g.windowSlice(adj, w[0], w[1])
 			}
 		}
+		// The floor compares edge element IDs (ei+1) — exactly what a
+		// "e.id >= N" WHERE conjunct compares, since resolve answers "id"
+		// with the element ID. Callers flooring by an external ID space
+		// (the TBQL engine's audit event IDs) rely on their own
+		// element-ID == external-ID invariant; the engine pins its dense
+		// event-ID mapping with TestGraphEdgeIDsMatchEventIDs.
+		var edgeFloor int64
+		if m.params != nil && rel.Var != "" && rel.Var == m.params.EdgeVar {
+			edgeFloor = m.params.MinEdgeID
+		}
 		for _, ei := range adj {
+			if int64(ei)+1 < edgeFloor {
+				continue
+			}
 			e := &m.g.edges[ei]
 			m.stats.EdgesTraversed++
 			if !typeMatches(rel.Types, e.Type) {
@@ -432,11 +494,20 @@ func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
 	if np.Var == "" {
 		return true, false, nil
 	}
+	if ids := m.params.nodeBinding(np.Var); ids != nil && !containsID(ids, id) {
+		return false, false, nil
+	}
 	if prev, exists := m.nodes[np.Var]; exists {
 		return prev == id, false, nil
 	}
 	m.nodes[np.Var] = id
 	return true, true, nil
+}
+
+// containsID binary-searches a sorted unique ID list.
+func containsID(ids []int64, id int64) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	return i < len(ids) && ids[i] == id
 }
 
 // candidates enumerates anchor candidates for a node pattern, preferring
@@ -447,6 +518,10 @@ func (m *matcher) candidates(np NodePat) ([]int64, error) {
 	if np.Var != "" {
 		if id, bound := m.nodes[np.Var]; bound {
 			return []int64{id}, nil
+		}
+		if ids := m.params.nodeBinding(np.Var); ids != nil {
+			m.stats.IndexLookups++
+			return ids, nil
 		}
 		if ids, ok := m.idConstraint(np.Var); ok {
 			m.stats.IndexLookups++
@@ -564,7 +639,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		case "type":
 			return relational.Str(e.Type), nil
 		}
-		if v, has := e.Props[c.Column]; has {
+		if v, has := e.Prop(c.Column); has {
 			return v, nil
 		}
 		return relational.Null(), nil

@@ -34,17 +34,49 @@ type Node struct {
 	Props Props
 }
 
-// Edge is a typed, directed property edge.
+// Edge is a typed, directed property edge. Event edges (the dominant
+// population: one per audit event) carry their four attributes in the
+// typed columnar fields below with a nil Props map — AddEventEdge inserts
+// them without allocating any per-edge property bag. Generic edges keep
+// the Props map.
 type Edge struct {
 	ID    int64
 	From  int64
 	To    int64
 	Type  string
-	Props Props
+	Props Props // nil for event edges; see the typed fields
 	// startTime caches the "start_time" property (math.MinInt64 when
 	// absent) so adjacency lists can sort and binary-search by time
 	// without a property-map lookup per edge.
 	startTime int64
+	// endTime, amount, and evID are the remaining event-edge attributes
+	// ("end_time", "amount", "id"), valid when typed is set.
+	endTime int64
+	amount  int64
+	evID    int64
+	typed   bool
+}
+
+// Prop returns one edge property. Event edges resolve the four typed
+// attributes from their columnar fields; generic edges consult the bag.
+func (e *Edge) Prop(name string) (Value, bool) {
+	if !e.typed {
+		v, ok := e.Props[name]
+		return v, ok
+	}
+	switch name {
+	case "id":
+		return relational.Int(e.evID), true
+	case "start_time":
+		if e.startTime != noStartTime {
+			return relational.Int(e.startTime), true
+		}
+	case "end_time":
+		return relational.Int(e.endTime), true
+	case "amount":
+		return relational.Int(e.amount), true
+	}
+	return Value{}, false
 }
 
 // noStartTime marks edges without a start_time property; they sort before
@@ -68,6 +100,10 @@ type Graph struct {
 	// probes allocate no key representation.
 	propIndex map[string]map[string]map[Value][]int64
 	nextNode  int64
+	// adjArena is the spare backing store new adjacency lists are carved
+	// from (see appendAdj); it keeps per-edge ingest allocation-free for
+	// the dominant low-degree nodes.
+	adjArena []int32
 
 	// dirtyOut/dirtyIn hold the node arena offsets whose adjacency list
 	// received an out-of-time-order edge append; only those lists are
@@ -158,33 +194,74 @@ func (g *Graph) AddNodeWithID(id int64, label string, props Props) {
 // AddEdge inserts a directed edge and returns its ID. Both endpoints must
 // exist.
 func (g *Graph) AddEdge(from, to int64, typ string, props Props) (int64, error) {
-	fi, okF := g.nodeIdx[from]
-	ti, okT := g.nodeIdx[to]
-	if !okF || !okT {
-		return 0, fmt.Errorf("graphdb: edge endpoints must exist (%d -> %d)", from, to)
-	}
 	st := int64(noStartTime)
 	if v, has := props["start_time"]; has && v.K == relational.KindInt {
 		st = v.I
 	}
+	return g.addEdge(Edge{From: from, To: to, Type: typ, Props: props, startTime: st})
+}
+
+// AddEventEdge inserts a directed event edge carrying the four standard
+// audit-event attributes (id, start_time, end_time, amount) in the edge's
+// typed fields — no per-edge property map is allocated. This is the bulk
+// ingest path for both store loading and live appends.
+func (g *Graph) AddEventEdge(from, to int64, typ string, evID, start, end, amount int64) (int64, error) {
+	return g.addEdge(Edge{
+		From: from, To: to, Type: typ,
+		startTime: start, endTime: end, amount: amount, evID: evID, typed: true,
+	})
+}
+
+func (g *Graph) addEdge(e Edge) (int64, error) {
+	fi, okF := g.nodeIdx[e.From]
+	ti, okT := g.nodeIdx[e.To]
+	if !okF || !okT {
+		return 0, fmt.Errorf("graphdb: edge endpoints must exist (%d -> %d)", e.From, e.To)
+	}
+	st := e.startTime
 	ei := int32(len(g.edges))
-	id := int64(ei) + 1
-	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: typ, Props: props, startTime: st})
+	e.ID = int64(ei) + 1
+	g.edges = append(g.edges, e)
 	if l := g.out[fi]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
 		if g.dirtyOut == nil {
 			g.dirtyOut = make(map[int32]struct{})
 		}
 		g.dirtyOut[fi] = struct{}{}
 	}
-	g.out[fi] = append(g.out[fi], ei)
+	g.out[fi] = g.appendAdj(g.out[fi], ei)
 	if l := g.in[ti]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
 		if g.dirtyIn == nil {
 			g.dirtyIn = make(map[int32]struct{})
 		}
 		g.dirtyIn[ti] = struct{}{}
 	}
-	g.in[ti] = append(g.in[ti], ei)
-	return id, nil
+	g.in[ti] = g.appendAdj(g.in[ti], ei)
+	return e.ID, nil
+}
+
+// appendAdj appends to an adjacency list. New lists are carved from the
+// graph's shared arena at capacity 4 (low-degree nodes dominate audit
+// graphs), so the dominant "first edge of a node" case allocates nothing;
+// lists that outgrow their carve fall back to ordinary doubling.
+func (g *Graph) appendAdj(l []int32, ei int32) []int32 {
+	if cap(l) == 0 {
+		l = carveList(&g.adjArena)
+	}
+	return append(l, ei)
+}
+
+// carveList cuts a len-0 cap-4 slice from the arena, refilling it in bulk
+// when exhausted. Abandoned carve remainders (lists that grew past 4 and
+// relocated) stay unreferenced inside old chunks — a bounded waste of at
+// most 16 bytes per high-degree node.
+func carveList(arena *[]int32) []int32 {
+	a := *arena
+	if cap(a) < 4 {
+		a = make([]int32, 4096)
+	}
+	s := a[0:0:4]
+	*arena = a[4:]
+	return s
 }
 
 // ensureAdjSorted restores the by-start_time order of the adjacency lists

@@ -4,10 +4,19 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"unicode"
 
 	"threatraptor/internal/relational"
 )
+
+// parseCalls counts ParseQuery invocations. The TBQL engine's execution
+// paths build query ASTs directly and must never come through the parser;
+// a test pins that invariant by sampling this counter.
+var parseCalls atomic.Uint64
+
+// ParseCalls reports how many times ParseQuery has run in this process.
+func ParseCalls() uint64 { return parseCalls.Load() }
 
 // ParseQuery parses a Cypher-subset query:
 //
@@ -24,6 +33,7 @@ import (
 // WHERE supports the same operators as the relational engine, with LIKE as
 // a portability extension.
 func ParseQuery(src string) (*Query, error) {
+	parseCalls.Add(1)
 	toks, err := lexCypher(src)
 	if err != nil {
 		return nil, err

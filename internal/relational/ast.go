@@ -69,8 +69,37 @@ type InList struct {
 	Negate bool
 }
 
-func (ColRef) isExpr() {}
-func (Lit) isExpr()    {}
-func (BinOp) isExpr()  {}
-func (UnOp) isExpr()   {}
-func (InList) isExpr() {}
+// Param is a placeholder for an integer value bound at execution time
+// through Params.Ints[Slot]. Parameters never appear in parsed SQL text;
+// statement builders (the TBQL engine's logical-plan lowering) insert them
+// so one compiled plan serves every execution, with the varying values
+// bound per call instead of spliced into a fresh statement.
+type Param struct{ Slot int }
+
+// ParamIDs is "expr IN <runtime ID list>": membership of an integer
+// expression in the sorted unique []int64 bound at Params.Lists[Slot].
+// An empty or unbound list matches nothing, like an empty IN list.
+type ParamIDs struct {
+	E    Expr
+	Slot int
+}
+
+func (ColRef) isExpr()   {}
+func (Lit) isExpr()      {}
+func (BinOp) isExpr()    {}
+func (UnOp) isExpr()     {}
+func (InList) isExpr()   {}
+func (Param) isExpr()    {}
+func (ParamIDs) isExpr() {}
+
+// MaxParamSlots is the number of parameter slots a statement may use.
+const MaxParamSlots = 4
+
+// Params carries one execution's bound parameter values. Lists must be
+// sorted unique (the membership and index-probe paths rely on it). The
+// zero value binds every integer slot to 0 and every list slot to the
+// empty list.
+type Params struct {
+	Ints  [MaxParamSlots]int64
+	Lists [MaxParamSlots][]int64
+}

@@ -592,6 +592,15 @@ func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
 			return nil
 		}
 		switch rv := r.(type) {
+		case Param:
+			if op == "like" || la.kind != KindInt || la.dictOf() != nil {
+				return nil
+			}
+			slot, err := checkSlot(rv.Slot)
+			if err != nil {
+				return nil
+			}
+			return vecCmpParam(la, op, slot)
 		case Lit:
 			if op == "like" {
 				if la.kind != KindString || rv.V.K != KindString {
@@ -625,6 +634,20 @@ func (b *binding) compileVecPred(lvl int, e Expr) *vecPred {
 			return vecCmpOuter(la, op, ra)
 		}
 		return nil
+	case ParamIDs:
+		c, ok := v.E.(ColRef)
+		if !ok {
+			return nil
+		}
+		a, ok := b.colAccess(c)
+		if !ok || a.lvl != lvl || a.kind != KindInt {
+			return nil
+		}
+		slot, err := checkSlot(v.Slot)
+		if err != nil {
+			return nil
+		}
+		return vecParamIDs(a, slot)
 	case InList:
 		c, ok := v.E.(ColRef)
 		if !ok {

@@ -29,7 +29,7 @@ func (db *DB) QueryStats(sql string) (*ResultSet, ExecStats, error) {
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	return p.run()
+	return p.run(nil)
 }
 
 // Exec runs a parsed SELECT statement (planned fresh, uncached).
@@ -38,7 +38,7 @@ func (db *DB) Exec(stmt *SelectStmt) (*ResultSet, ExecStats, error) {
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	return p.run()
+	return p.run(nil)
 }
 
 // errStopScan aborts the nested-loop walk once a LIMIT (with no ORDER BY)
@@ -100,13 +100,20 @@ func (s *rowSink) emit(p *plan, st *execState) error {
 // workers on contiguous row ranges (concatenation preserves scan order).
 // The plan is read-only; all mutable state is per-execution, so one plan
 // may run on many goroutines concurrently.
-func (p *plan) run() (*ResultSet, ExecStats, error) {
+func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
 	rs := &ResultSet{Columns: p.cols}
 	n0 := int32(p.tables[0].Len())
 	var stats ExecStats
 	sharded := p.access[0] == nil && int(n0) >= ShardMinRows && runtime.GOMAXPROCS(0) > 1
 	if sharded {
-		if err := p.runSharded(rs, &stats, n0); err != nil {
+		// The shard workers receive the parameters by value: capturing the
+		// pointer in the worker closures would force every caller's Params
+		// to escape to the heap, sharded or not.
+		var pv Params
+		if params != nil {
+			pv = *params
+		}
+		if err := p.runSharded(rs, &stats, n0, pv); err != nil {
 			return nil, stats, err
 		}
 		if p.stmt.Distinct {
@@ -116,6 +123,9 @@ func (p *plan) run() (*ResultSet, ExecStats, error) {
 		}
 	} else {
 		st := p.state()
+		if params != nil {
+			st.params = *params
+		}
 		sink := p.newSink(rs)
 		err := p.walk(st, sink, 0, 0, n0)
 		stats = st.stats
@@ -152,7 +162,7 @@ func (p *plan) newSink(rs *ResultSet) *rowSink {
 // runSharded splits the level-0 scan range into contiguous chunks, walks
 // each on its own worker with private state and sink, and concatenates the
 // per-shard rows in shard order (identical row order to the serial scan).
-func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32) error {
+func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32, params Params) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8
@@ -183,6 +193,7 @@ func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32) error {
 		go func(sh *shard, lo, hi int32) {
 			defer wg.Done()
 			st := p.state()
+			st.params = params
 			sink := p.newSink(&sh.rs)
 			err := p.walk(st, sink, 0, lo, hi)
 			sh.stats = st.stats
@@ -222,6 +233,14 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 		if ia.keyList != nil {
 			for _, key := range ia.keyList {
 				if err := p.probe(st, sink, lvl, tbl, ia, key); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if ia.listSlot >= 0 {
+			for _, id := range st.params.Lists[ia.listSlot] {
+				if err := p.probe(st, sink, lvl, tbl, ia, Int(id)); err != nil {
 					return err
 				}
 			}

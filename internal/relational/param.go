@@ -1,0 +1,206 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the bound-parameter execution path: a statement built with
+// Param / ParamIDs placeholders compiles once into a Prepared plan, and
+// each execution binds the varying values through a Params struct instead
+// of splicing them into fresh SQL text. The TBQL engine's logical-plan
+// lowering uses it for the scheduler's binding sets and the standing-query
+// delta floor.
+
+// Prepared is a compiled statement executable with per-call parameters.
+// It is safe for concurrent use: all mutable execution state is per-call.
+type Prepared struct {
+	p *plan
+}
+
+// Prepare compiles a statement AST against the database's current tables.
+// The plan survives row appends (column vectors are re-fetched per batch)
+// but not schema changes.
+func (db *DB) Prepare(stmt *SelectStmt) (*Prepared, error) {
+	p, err := db.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{p: p}, nil
+}
+
+// Query executes the prepared plan with the given parameter bindings
+// (nil binds every slot to its zero value).
+func (pr *Prepared) Query(params *Params) (*ResultSet, ExecStats, error) {
+	return pr.p.run(params)
+}
+
+// Describe renders the physical plan for EXPLAIN output: one line per
+// nested-loop level with its access path and filter counts.
+func (pr *Prepared) Describe() string {
+	p := pr.p
+	refs := append([]TableRef(nil), p.stmt.From...)
+	for _, j := range p.stmt.Joins {
+		refs = append(refs, j.Ref)
+	}
+	var sb strings.Builder
+	for lvl, tbl := range p.tables {
+		alias := tbl.Name
+		if lvl < len(refs) && refs[lvl].Alias != "" {
+			alias = refs[lvl].Alias
+		}
+		access := "full scan"
+		if ia := p.access[lvl]; ia != nil {
+			col := tbl.Schema[ia.col].Name
+			switch {
+			case ia.listSlot >= 0:
+				access = fmt.Sprintf("index multi-probe on %s from param list %d", col, ia.listSlot)
+			case ia.keyList != nil:
+				access = fmt.Sprintf("index multi-probe on %s (%d keys)", col, len(ia.keyList))
+			default:
+				access = "index probe on " + col
+			}
+		}
+		vec, row := 0, 0
+		for _, pred := range p.levelPreds[lvl] {
+			if pred.vec != nil {
+				vec++
+			} else {
+				row++
+			}
+		}
+		fmt.Fprintf(&sb, "L%d %s %s: %s; %d vectorized + %d row filters\n",
+			lvl, tbl.Name, alias, access, vec, row)
+	}
+	return sb.String()
+}
+
+func checkSlot(slot int) (int, error) {
+	if slot < 0 || slot >= MaxParamSlots {
+		return 0, fmt.Errorf("relational: parameter slot %d out of range", slot)
+	}
+	return slot, nil
+}
+
+// contains reports membership of k in the sorted unique list bound at
+// slot; an unbound list contains nothing.
+func (p *Params) contains(slot int, k int64) bool {
+	l := p.Lists[slot]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= k })
+	return i < len(l) && l[i] == k
+}
+
+// specializeParamIDs compiles "intcol IN <param list>" into a typed
+// binary-search membership test, or nil when the expression is not a
+// plain integer column.
+func (b *binding) specializeParamIDs(v ParamIDs) predFn {
+	c, ok := v.E.(ColRef)
+	if !ok {
+		return nil
+	}
+	a, ok := b.colAccess(c)
+	if !ok || a.kind != KindInt {
+		return nil
+	}
+	slot, err := checkSlot(v.Slot)
+	if err != nil {
+		return nil
+	}
+	return func(st *execState) (bool, error) {
+		x, null := a.intAt(st)
+		return !null && st.params.contains(slot, x), nil
+	}
+}
+
+// specializeCmpParam compiles "intcol OP <param int>" into a typed
+// comparison reading the bound value per row (the vectorized form reads it
+// once per batch; see vecCmpParam).
+func (b *binding) specializeCmpParam(op string, l Expr, r Param) predFn {
+	lc, ok := l.(ColRef)
+	if !ok {
+		return nil
+	}
+	la, ok := b.colAccess(lc)
+	if !ok || la.kind != KindInt {
+		return nil
+	}
+	slot, err := checkSlot(r.Slot)
+	if err != nil {
+		return nil
+	}
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil
+	}
+	return func(st *execState) (bool, error) {
+		k := st.params.Ints[slot]
+		x, null := la.intAt(st)
+		if null {
+			switch op {
+			case "<", "<=":
+				return true, nil // NULL sorts first
+			}
+			return false, nil
+		}
+		return cmpHolds(op, cmpInt(x, k)), nil
+	}
+}
+
+// vecCmpParam is the batch kernel for "intcol OP <param int>": the bound
+// value is read once per batch, then the literal comparison kernels run.
+func vecCmpParam(a colAccess, op string, slot int) *vecPred {
+	return &vecPred{
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := intVec(a)
+			return filterCmp(col, nb, op, st.params.Ints[slot], sel, dst)
+		},
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := intVec(a)
+			return filterCmpRange(col, nb, op, st.params.Ints[slot], lo, hi, dst)
+		},
+	}
+}
+
+// vecParamIDs is the batch kernel for "intcol IN <param list>": a
+// binary-search membership test against the sorted unique bound list.
+// NULL cells are members of nothing.
+func vecParamIDs(a colAccess, slot int) *vecPred {
+	return &vecPred{
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := intVec(a)
+			if len(nb) == 0 {
+				for _, r := range sel {
+					if st.params.contains(slot, col[r]) {
+						dst = append(dst, r)
+					}
+				}
+				return dst
+			}
+			for _, r := range sel {
+				if !nullAt(nb, r) && st.params.contains(slot, col[r]) {
+					dst = append(dst, r)
+				}
+			}
+			return dst
+		},
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := intVec(a)
+			if len(nb) == 0 {
+				for r := lo; r < hi; r++ {
+					if st.params.contains(slot, col[r]) {
+						dst = append(dst, r)
+					}
+				}
+				return dst
+			}
+			for r := lo; r < hi; r++ {
+				if !nullAt(nb, r) && st.params.contains(slot, col[r]) {
+					dst = append(dst, r)
+				}
+			}
+			return dst
+		},
+	}
+}

@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
+
+// parseCalls counts ParseSelect invocations. The TBQL engine's execution
+// paths compile statement ASTs directly and must never come through the
+// parser; a test pins that invariant by sampling this counter.
+var parseCalls atomic.Uint64
+
+// ParseCalls reports how many times ParseSelect has run in this process.
+func ParseCalls() uint64 { return parseCalls.Load() }
 
 // ParseSelect parses a SELECT statement in the supported SQL subset:
 //
@@ -19,6 +28,7 @@ import (
 // AND, OR, NOT, parentheses, integer and 'string' literals, and
 // alias.column references.
 func ParseSelect(src string) (*SelectStmt, error) {
+	parseCalls.Add(1)
 	toks, err := lexSQL(src)
 	if err != nil {
 		return nil, err

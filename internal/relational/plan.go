@@ -43,6 +43,10 @@ type execState struct {
 	rows  []int32
 	sels  [][]int32
 	stats ExecStats
+	// params are this execution's bound parameter values (zero when the
+	// statement uses none); copied in by run, cleared on release. Held by
+	// value so binding parameters never allocates.
+	params Params
 	// pendErr carries a row-predicate error out of the append-only filter
 	// kernels; descend re-raises it before visiting any row.
 	pendErr error
@@ -69,7 +73,10 @@ func (p *plan) state() *execState {
 	}
 }
 
-func (p *plan) release(st *execState) { p.statePool.Put(st) }
+func (p *plan) release(st *execState) {
+	st.params = Params{}
+	p.statePool.Put(st)
+}
 
 type evalFn func(st *execState) (Value, error)
 type predFn func(st *execState) (bool, error)
@@ -80,12 +87,14 @@ type predFn func(st *execState) (bool, error)
 type projFn func(st *execState, dst []Value) error
 
 // indexAccess describes a hash-index probe for one nested-loop level.
-// Either keyFn (single probe, evaluated against earlier levels) or keyList
-// (multi-probe from a literal IN list) is set.
+// Exactly one of keyFn (single probe, evaluated against earlier levels),
+// keyList (multi-probe from a literal IN list), or listSlot >= 0
+// (multi-probe from the parameter list bound at execution) is set.
 type indexAccess struct {
-	col     int
-	keyFn   evalFn
-	keyList []Value
+	col      int
+	keyFn    evalFn
+	keyList  []Value
+	listSlot int // -1 when not a parameter-list probe
 }
 
 // binding resolves aliases and columns for one statement.
@@ -187,6 +196,8 @@ func (b *binding) deepestLevel(e Expr) (int, error) {
 					return err
 				}
 			}
+		case ParamIDs:
+			return visit(v.E)
 		}
 		return nil
 	}
@@ -276,7 +287,28 @@ func (b *binding) planInListAccess(lvl int, in InList) *indexAccess {
 		}
 		vals = append(vals, lit.V)
 	}
-	return &indexAccess{col: ccol, keyList: vals}
+	return &indexAccess{col: ccol, keyList: vals, listSlot: -1}
+}
+
+// planParamIDsAccess turns "tbl.col IN <param list>" into a multi-probe
+// whose keys are read from the bound parameter list at execution time.
+func (b *binding) planParamIDsAccess(lvl int, pi ParamIDs) *indexAccess {
+	c, ok := pi.E.(ColRef)
+	if !ok {
+		return nil
+	}
+	clvl, ccol, err := b.resolve(c)
+	if err != nil || clvl != lvl {
+		return nil
+	}
+	if b.tables[lvl].indexes[ccol] == nil {
+		return nil
+	}
+	slot, err := checkSlot(pi.Slot)
+	if err != nil {
+		return nil
+	}
+	return &indexAccess{col: ccol, listSlot: slot}
 }
 
 // planIndexAccess finds an equality conjunct "tbl.col = key" (or an
@@ -287,6 +319,12 @@ func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
 	for _, p := range preds {
 		if in, ok := p.(InList); ok && !in.Negate {
 			if ia := b.planInListAccess(lvl, in); ia != nil {
+				return ia, nil
+			}
+			continue
+		}
+		if pi, ok := p.(ParamIDs); ok {
+			if ia := b.planParamIDsAccess(lvl, pi); ia != nil {
 				return ia, nil
 			}
 			continue
@@ -325,7 +363,7 @@ func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
 			if err != nil {
 				return nil
 			}
-			return &indexAccess{col: ccol, keyFn: keyFn}
+			return &indexAccess{col: ccol, keyFn: keyFn, listSlot: -1}
 		}
 		if ia := try(bin.L, bin.R); ia != nil {
 			return ia, nil
@@ -345,6 +383,30 @@ func (b *binding) compileEval(e Expr) (evalFn, error) {
 	case Lit:
 		val := v.V
 		return func(*execState) (Value, error) { return val, nil }, nil
+	case Param:
+		slot, err := checkSlot(v.Slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(st *execState) (Value, error) {
+			return Int(st.params.Ints[slot]), nil
+		}, nil
+	case ParamIDs:
+		ef, err := b.compileEval(v.E)
+		if err != nil {
+			return nil, err
+		}
+		slot, err := checkSlot(v.Slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(st *execState) (Value, error) {
+			x, err := ef(st)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(x.K == KindInt && st.params.contains(slot, x.I)), nil
+		}, nil
 	case ColRef:
 		lvl, col, err := b.resolve(v)
 		if err != nil {
@@ -575,6 +637,11 @@ func (b *binding) compilePred(e Expr) (predFn, error) {
 				return r(st)
 			}, nil
 		case "=", "<>", "<", "<=", ">", ">=", "like":
+			if p, ok := v.R.(Param); ok {
+				if pf := b.specializeCmpParam(v.Op, v.L, p); pf != nil {
+					return pf, nil
+				}
+			}
 			if pf := b.specializeCmp(v); pf != nil {
 				return pf, nil
 			}
@@ -590,6 +657,10 @@ func (b *binding) compilePred(e Expr) (predFn, error) {
 		}, nil
 	case InList:
 		if pf := b.specializeInList(v); pf != nil {
+			return pf, nil
+		}
+	case ParamIDs:
+		if pf := b.specializeParamIDs(v); pf != nil {
 			return pf, nil
 		}
 	}

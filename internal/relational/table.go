@@ -113,16 +113,34 @@ type hashIndex struct {
 	kind Kind
 	ints map[int64][]int32
 	strs map[string][]int32
+	// arena is the spare backing store new position lists are carved from
+	// (see appendPos); most keys index a handful of rows, so the carved
+	// capacity-4 lists make steady-state index maintenance allocation-free.
+	arena []int32
 }
 
 func (ix *hashIndex) add(v Value, pos int32) {
 	switch {
 	case v.K == KindNull:
 	case ix.kind == KindInt:
-		ix.ints[v.I] = append(ix.ints[v.I], pos)
+		ix.ints[v.I] = ix.appendPos(ix.ints[v.I], pos)
 	default:
-		ix.strs[v.S] = append(ix.strs[v.S], pos)
+		ix.strs[v.S] = ix.appendPos(ix.strs[v.S], pos)
 	}
+}
+
+// appendPos appends to a position list; new lists are carved from the
+// index's arena, lists that outgrow their carve fall back to ordinary
+// doubling.
+func (ix *hashIndex) appendPos(l []int32, pos int32) []int32 {
+	if cap(l) == 0 {
+		if cap(ix.arena) < 4 {
+			ix.arena = make([]int32, 4096)
+		}
+		l = ix.arena[0:0:4]
+		ix.arena = ix.arena[4:]
+	}
+	return append(l, pos)
 }
 
 // NewTable creates an empty table with the given schema.

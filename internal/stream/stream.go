@@ -40,6 +40,18 @@ type Config struct {
 	// consumer lags further than this, matches are counted as dropped
 	// rather than blocking ingestion. Default 256.
 	MatchBuffer int
+	// DedupHighWater caps each subscription's firing-dedup set so a
+	// long-running watch cannot grow memory without bound. When the set
+	// reaches the cap it is flushed wholesale (the idiom every engine
+	// cache uses) and Subscription.DedupResets increments; after a flush
+	// a binding first delivered before it may be delivered again if a
+	// later batch re-derives it — delivery is exactly-once below the cap
+	// and at-least-once beyond it, never lossy. Variable-length-path
+	// subscriptions are exempt: their dedup set is seeded with pre-Watch
+	// history (full re-evaluation needs it), so flushing it would
+	// re-deliver that history as fresh alerts. Default 65536 distinct
+	// firings; negative disables the cap.
+	DedupHighWater int
 }
 
 // DefaultConfig mirrors the batch pipeline's defaults.
@@ -56,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MatchBuffer <= 0 {
 		c.MatchBuffer = 256
+	}
+	if c.DedupHighWater == 0 {
+		c.DedupHighWater = 65536
 	}
 	return c
 }

@@ -453,3 +453,54 @@ func TestIngestSurvivesMalformedRecord(t *testing.T) {
 		t.Fatalf("stored events = %d, want 2", got)
 	}
 }
+
+// TestStandingQueryDedupHighWater pins the bounded-dedup semantics: when a
+// subscription's firing-dedup set reaches Config.DedupHighWater it is
+// flushed wholesale (DedupResets counts the flushes), so memory stays
+// bounded on long watches and delivery degrades from exactly-once to
+// at-least-once — a binding seen before the flush may fire again, but no
+// new binding is ever lost.
+func TestStandingQueryDedupHighWater(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DedupHighWater = 2
+	sess, _ := emptySession(t, cfg)
+	sub, err := sess.Watch(`proc p["%/bin/tar%"] read file f return distinct f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feed := func(ts int64, path string) {
+		r := audit.Record{Time: ts, Call: audit.SysRead, PID: 300, Exe: "/bin/tar",
+			User: "root", FD: audit.FDFile, Path: path, Bytes: 64}
+		if _, err := sess.Ingest(bytes.NewBufferString(r.Format() + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Events 10 s apart: each ingest seals the previous one (default 1 s
+	// lateness), so every distinct file fires in its own batch. The
+	// fourth event repeats the first file after the set has been flushed.
+	feed(10_000_000, "/etc/passwd")
+	feed(20_000_000, "/etc/shadow")
+	feed(30_000_000, "/etc/hosts")
+	feed(40_000_000, "/etc/passwd")
+	if _, err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := drainMatches(sub)
+	want := []string{"/etc/passwd", "/etc/shadow", "/etc/hosts", "/etc/passwd"}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v, want %v (repeat after flush must re-fire)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if n := sub.DedupResets(); n < 1 {
+		t.Fatalf("DedupResets = %d, want >= 1", n)
+	}
+	if sub.seen.Len() > cfg.DedupHighWater {
+		t.Fatalf("dedup set grew past the high-water cap: %d", sub.seen.Len())
+	}
+}

@@ -36,9 +36,16 @@ type Subscription struct {
 	c        chan Match
 	analyzed *tbql.Analyzed
 	seen     *relational.RowSet
+	// seeded marks variable-length-path subscriptions, whose seen set was
+	// pre-filled with the store's history at Watch time (their delta
+	// evaluation is a full re-execution). Flushing a seeded set would
+	// re-deliver all of pre-Watch history as fresh alerts, so the
+	// DedupHighWater cap does not apply to them.
+	seeded bool
 
 	mu      sync.Mutex
 	dropped int64
+	resets  int64
 	err     error
 }
 
@@ -48,6 +55,16 @@ func (sub *Subscription) Dropped() int64 {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	return sub.dropped
+}
+
+// DedupResets reports how many times the firing-dedup set hit
+// Config.DedupHighWater and was flushed. A nonzero value means delivery
+// degraded from exactly-once to at-least-once: bindings delivered before a
+// flush may be delivered again if a later batch re-derives them.
+func (sub *Subscription) DedupResets() int64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.resets
 }
 
 // Err returns the last evaluation error (nil when every batch evaluated
@@ -91,6 +108,7 @@ func (s *Session) Watch(src string) (*Subscription, error) {
 	// the current history — otherwise the first sealed batch would
 	// deliver every pre-Watch binding as a fresh match.
 	if engine.HasVarLenPath(a) {
+		sub.seeded = true
 		res, _, err := s.engine.Execute(a)
 		if err != nil {
 			return nil, err
@@ -128,6 +146,17 @@ func (s *Session) Subscriptions() int {
 func (s *Session) fireLocked(deltaFloor int64) int {
 	fired := 0
 	for _, sub := range s.subs {
+		// Bound the dedup set before evaluating so one batch's matches
+		// dedup against a consistent set (see Config.DedupHighWater for
+		// the at-least-once semantics past a flush). History-seeded sets
+		// (variable-length-path queries) are exempt: flushing one would
+		// re-deliver all pre-Watch matches as fresh alerts.
+		if !sub.seeded && s.cfg.DedupHighWater > 0 && sub.seen.Len() >= s.cfg.DedupHighWater {
+			sub.seen = relational.NewRowSet()
+			sub.mu.Lock()
+			sub.resets++
+			sub.mu.Unlock()
+		}
 		res, _, err := s.engine.ExecuteDelta(sub.analyzed, deltaFloor)
 		sub.mu.Lock()
 		sub.err = err

@@ -205,6 +205,33 @@ func (s *System) Hunt(tbqlSrc string) (*engine.Result, engine.Stats, error) {
 	return s.engine.Hunt(tbqlSrc)
 }
 
+// Explain compiles a TBQL query without executing it and renders the
+// compilation report: per-pattern logical-plan IR, chosen physical plans,
+// and the equivalent SQL/Cypher texts (the EXPLAIN/debug path).
+func (s *System) Explain(tbqlSrc string) (string, error) {
+	if s.engine == nil {
+		return "", fmt.Errorf("threatraptor: no audit log loaded")
+	}
+	q, err := tbql.Parse(tbqlSrc)
+	if err != nil {
+		return "", err
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		return "", err
+	}
+	if s.live != nil {
+		var out string
+		err := s.live.ReadLocked(func() error {
+			var err error
+			out, err = s.engine.Explain(a)
+			return err
+		})
+		return out, err
+	}
+	return s.engine.Explain(a)
+}
+
 // HuntOSCTI runs the whole pipeline end to end: extract the threat
 // behavior graph from the report, synthesize a TBQL query, and execute it.
 // It returns the synthesized query text alongside the results.
