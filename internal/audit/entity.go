@@ -184,20 +184,45 @@ func (e *Entity) String() string {
 	return fmt.Sprintf("%s(%d:%s)", e.Kind, e.ID, v)
 }
 
+// procKey and netKey are the comparable-struct identities behind the
+// allocation-free intern paths: probing a Go map with a struct key builds
+// no string, so the steady-state "entity already known" case — every
+// record of a long-running stream after warm-up — costs two hash lookups
+// and zero allocations.
+type procKey struct {
+	exe string
+	pid int
+}
+
+type netKey struct {
+	srcIP   string
+	srcPort int
+	dstIP   string
+	dstPort int
+	proto   string
+}
+
 // EntityTable interns system entities by their unique key and assigns
 // stable IDs. It is the in-memory registry produced by log parsing.
 type EntityTable struct {
 	byKey map[string]*Entity
 	byID  map[int64]*Entity
-	next  int64
+	// Typed identity maps, maintained alongside byKey (see procKey).
+	byProc map[procKey]*Entity
+	byFile map[string]*Entity
+	byNet  map[netKey]*Entity
+	next   int64
 }
 
 // NewEntityTable returns an empty entity table.
 func NewEntityTable() *EntityTable {
 	return &EntityTable{
-		byKey: make(map[string]*Entity),
-		byID:  make(map[int64]*Entity),
-		next:  1,
+		byKey:  make(map[string]*Entity),
+		byID:   make(map[int64]*Entity),
+		byProc: make(map[procKey]*Entity),
+		byFile: make(map[string]*Entity),
+		byNet:  make(map[netKey]*Entity),
+		next:   1,
 	}
 }
 
@@ -214,7 +239,41 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	t.next++
 	t.byKey[key] = e
 	t.byID[e.ID] = e
+	switch e.Kind {
+	case EntityProcess:
+		t.byProc[procKey{e.Proc.ExeName, e.Proc.PID}] = e
+	case EntityFile:
+		t.byFile[e.File.Name] = e
+	case EntityNetConn:
+		n := e.Net
+		t.byNet[netKey{n.SrcIP, n.SrcPort, n.DstIP, n.DstPort, n.Protocol}] = e
+	}
 	return e
+}
+
+// InternProcess interns a process entity, allocating nothing when the
+// process is already known — the parser's per-record hot path.
+func (t *EntityTable) InternProcess(pid int, exe, user, group, cmd string) *Entity {
+	if e, ok := t.byProc[procKey{exe, pid}]; ok {
+		return e
+	}
+	return t.Intern(NewProcessEntity(pid, exe, user, group, cmd))
+}
+
+// InternFile is InternProcess for file entities.
+func (t *EntityTable) InternFile(name, user, group string) *Entity {
+	if e, ok := t.byFile[name]; ok {
+		return e
+	}
+	return t.Intern(NewFileEntity(name, user, group))
+}
+
+// InternNetConn is InternProcess for network connection entities.
+func (t *EntityTable) InternNetConn(srcIP string, srcPort int, dstIP string, dstPort int, proto string) *Entity {
+	if e, ok := t.byNet[netKey{srcIP, srcPort, dstIP, dstPort, proto}]; ok {
+		return e
+	}
+	return t.Intern(NewNetConnEntity(srcIP, srcPort, dstIP, dstPort, proto))
 }
 
 // Lookup returns the entity with the given ID, or nil.

@@ -49,7 +49,9 @@ func (p *Parser) Feed(r *Record) error {
 		p.skipped++
 		return nil
 	}
-	subj := p.log.Entities.Intern(NewProcessEntity(r.PID, r.Exe, r.User, r.Group, r.CMD))
+	// The typed intern paths allocate nothing when the entity is already
+	// known — the steady state of a long-running stream.
+	subj := p.log.Entities.InternProcess(r.PID, r.Exe, r.User, r.Group, r.CMD)
 
 	var obj *Entity
 	switch r.FD {
@@ -57,7 +59,7 @@ func (p *Parser) Feed(r *Record) error {
 		if r.Path == "" {
 			return fmt.Errorf("audit: file record missing path: %+v", r)
 		}
-		obj = p.log.Entities.Intern(NewFileEntity(r.Path, r.User, r.Group))
+		obj = p.log.Entities.InternFile(r.Path, r.User, r.Group)
 	case FDProc:
 		if r.ChildPID == 0 && r.Call != SysExit {
 			return fmt.Errorf("audit: process record missing child pid: %+v", r)
@@ -66,9 +68,9 @@ func (p *Parser) Feed(r *Record) error {
 		if r.Call == SysExit {
 			cexe, cpid = r.Exe, r.PID
 		}
-		obj = p.log.Entities.Intern(NewProcessEntity(cpid, cexe, r.User, r.Group, r.ChildCMD))
+		obj = p.log.Entities.InternProcess(cpid, cexe, r.User, r.Group, r.ChildCMD)
 	case FDIPv4:
-		obj = p.log.Entities.Intern(NewNetConnEntity(r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto))
+		obj = p.log.Entities.InternNetConn(r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto)
 	default:
 		return fmt.Errorf("audit: unknown fd type %q", r.FD)
 	}

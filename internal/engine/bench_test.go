@@ -97,9 +97,12 @@ func BenchmarkStoreLoadEngine(b *testing.B) {
 
 // BenchmarkCompile measures the compilation spine itself on the data_leak
 // query: "cold" lowers the analyzed query to IR and compiles every
-// pattern's no-extras physical plan from a cold engine; "hit" measures the
-// steady-state cost of reaching the compiled plans through the caches
-// (what every execution pays before running a single data query).
+// pattern's single runtime-pruned physical plan from a cold engine; "hit"
+// measures the steady-state cost of reaching the compiled plans through
+// the caches (what every execution pays before running a single data
+// query). One plan now serves every extras shape the scheduler produces,
+// so cold compile work no longer scales with the shapes a workload
+// touches (previously up to eight lazily-compiled variants per pattern).
 func BenchmarkCompile(b *testing.B) {
 	store := benchStore(b, 1.0)
 	a := benchAnalyzed(b)
@@ -109,7 +112,7 @@ func BenchmarkCompile(b *testing.B) {
 			if plan.pats[i].usesGraph {
 				continue
 			}
-			if _, err := plan.pats[i].prepared(en.Store, 0); err != nil {
+			if _, err := plan.pats[i].prepared(en.Store); err != nil {
 				b.Fatal(err)
 			}
 		}

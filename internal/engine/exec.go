@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"threatraptor/internal/graphdb"
 	"threatraptor/internal/qir"
@@ -43,9 +44,24 @@ type Engine struct {
 	// pattern comes up empty, because a whole level completes before the
 	// short-circuit is taken.
 	Parallel bool
+	// ViewHighWater caps the total rows the engine may hold in
+	// materialized pattern views (the standing-query match caches): 0
+	// selects DefaultViewHighWater, a negative value disables views
+	// entirely. A query whose views would cross the cap evaluates through
+	// the recompute path instead — delta rounds stay correct, just not
+	// O(delta).
+	ViewHighWater int
 
 	planMu sync.Mutex
 	plans  map[planKey]*queryPlan
+
+	// Materialized-view accounting and counters (see view.go).
+	viewRows             atomic.Int64
+	viewReleaseGen       atomic.Int64
+	viewMaterializations atomic.Int64
+	viewDeltaMerges      atomic.Int64
+	viewFallbacks        atomic.Int64
+	scratchPool          sync.Pool
 
 	// huntMu guards the parse/analyze cache keyed by TBQL source text, so
 	// repeat Hunt calls reuse one *tbql.Analyzed — which in turn keeps the
@@ -78,26 +94,18 @@ type patternRows struct {
 // extrasSpec is everything that can vary in one pattern's data query
 // between executions: the scheduler's subject/object binding sets (sorted
 // unique ID slices) and the standing-query delta floor (only events with
-// ID >= delta match; 0 means no floor). The spec selects a compiled plan
-// variant and binds its parameter values — nothing is rendered to text.
+// ID >= delta match; 0 means no floor). The spec binds as parameter
+// values on the pattern's one compiled plan (whose optional parameter
+// predicates prune themselves when a spec field is unset) — nothing is
+// rendered to text and no per-shape plan variant exists.
 type extrasSpec struct {
 	subj, obj []int64
 	delta     int64
 }
 
-// variant maps the spec to the relational plan-variant bits.
-func (sp extrasSpec) variant() int {
-	v := 0
-	if len(sp.subj) > 0 {
-		v |= varSubj
-	}
-	if len(sp.obj) > 0 {
-		v |= varObj
-	}
-	if sp.delta > 0 {
-		v |= varDelta
-	}
-	return v
+// any reports whether the spec carries any constraint at all.
+func (sp extrasSpec) any() bool {
+	return len(sp.subj) > 0 || len(sp.obj) > 0 || sp.delta > 0
 }
 
 // runPattern executes one pattern's data query with the given extras spec
@@ -111,7 +119,7 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 	pp := &plan.pats[idx]
 	if pp.usesGraph {
 		var params *graphdb.ExecParams
-		if sp.variant() != 0 {
+		if sp.any() {
 			var gp graphdb.ExecParams
 			var nb [2]graphdb.NodeBinding
 			n := 0
@@ -149,7 +157,15 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 		}
 		return pr, relational.ExecStats{}, gs, nil
 	}
-	prep, err := pp.prepared(en.Store, sp.variant())
+	var prep *relational.Prepared
+	var err error
+	if sp.delta > 0 {
+		// Delta rounds anchor on the events table so the scan starts at
+		// the floor instead of walking the entity anchor's history.
+		prep, err = pp.preparedDelta(en.Store)
+	} else {
+		prep, err = pp.prepared(en.Store)
+	}
 	if err != nil {
 		return pr, relational.ExecStats{}, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
 	}
@@ -375,9 +391,15 @@ func (en *Engine) ExecuteParallel(a *tbql.Analyzed) (*Result, Stats, error) {
 
 // ExecuteDelta evaluates a query incrementally after an append: it returns
 // the complete bindings that use at least one event with ID >= minEventID,
-// joining each pattern's new rows against the full indexed history. One
-// constrained execution runs per pattern (the standard delta-join rule);
-// a binding with several new events appears once per such pattern, so
+// joining each pattern's new rows against the full indexed history. On the
+// materialized-view path (the default), each pattern's cached match set is
+// brought up to the store frontier with one floored catch-up query —
+// O(new events) — and a delta pattern's fresh rows join against the other
+// patterns' cached sets, so a round costs O(delta), not O(store). When the
+// ViewHighWater cap disables a view (or ViewHighWater < 0 disables views),
+// the recompute path runs: one constrained execution per pattern (the
+// standard delta-join rule). Both paths produce the same binding set; a
+// binding with several new events appears once per delta pattern, so
 // callers deduplicate firings. Queries containing a variable-length path
 // pattern fall back to one full execution: even a typed path binds the
 // event variable only on its final hop, so an ID floor would miss paths
@@ -386,6 +408,23 @@ func (en *Engine) ExecuteDelta(a *tbql.Analyzed, minEventID int64) (*Result, Sta
 	if HasVarLenPath(a) {
 		return en.execute(a, nil)
 	}
+	plan := en.planFor(a)
+	if en.viewCap() > 0 {
+		res, stats, ok, err := en.executeDeltaViews(a, plan, minEventID)
+		if err != nil {
+			return nil, stats, err
+		}
+		if ok {
+			return res, stats, nil
+		}
+	}
+	return en.executeDeltaRecompute(a, minEventID)
+}
+
+// executeDeltaRecompute is the pre-view delta join: every pattern takes a
+// turn as the delta pattern and the others re-run their full data
+// queries, narrowed by the scheduler's binding feed.
+func (en *Engine) executeDeltaRecompute(a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
 	combined := &Result{
 		Set:           &relational.ResultSet{Columns: returnColumns(a)},
 		MatchedEvents: map[int64]bool{},
@@ -419,6 +458,39 @@ func (en *Engine) ExecuteDelta(a *tbql.Analyzed, minEventID int64) (*Result, Sta
 		combined.Set.Rows = relational.DedupRows(combined.Set.Rows)
 	}
 	return combined, total, nil
+}
+
+// deltaScratch is the reusable per-round state of a view-backed delta
+// join: the per-pattern result slots, the binding-set map, the narrow
+// scratch, and the per-pattern filter output buffers. Pooled on the
+// engine so steady-state standing-query rounds allocate almost nothing.
+type deltaScratch struct {
+	results  []patternRows
+	bindings map[string][]int64
+	ids      []int64
+	bufs     [][][5]int64
+}
+
+func (en *Engine) acquireDeltaScratch(n int) *deltaScratch {
+	sc, _ := en.scratchPool.Get().(*deltaScratch)
+	if sc == nil {
+		sc = &deltaScratch{bindings: make(map[string][]int64)}
+	}
+	if cap(sc.results) < n {
+		sc.results = make([]patternRows, n)
+		sc.bufs = make([][][5]int64, n)
+	}
+	sc.results = sc.results[:n]
+	sc.bufs = sc.bufs[:n]
+	return sc
+}
+
+func (en *Engine) releaseDeltaScratch(sc *deltaScratch) {
+	for i := range sc.results {
+		sc.results[i] = patternRows{}
+	}
+	clear(sc.bindings)
+	en.scratchPool.Put(sc)
 }
 
 // HasVarLenPath reports whether any pattern is a variable-length path —

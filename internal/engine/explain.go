@@ -606,11 +606,11 @@ func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
 			sb.WriteString("physical: graph traversal plan\n")
 			sb.WriteString("  equivalent Cypher: " + CompilePatternCypher(en.Store, a, i, nil) + "\n")
 		} else {
-			pr, err := pp.prepared(en.Store, 0)
+			pr, err := pp.prepared(en.Store)
 			if err != nil {
 				return "", err
 			}
-			sb.WriteString("physical: relational plan (no-extras variant)\n")
+			sb.WriteString("physical: relational plan (runtime-pruned parameters)\n")
 			sb.WriteString(indent(pr.Describe(), "  "))
 			sb.WriteString("  equivalent SQL: " + CompilePatternSQL(en.Store, a, i, nil) + "\n")
 		}

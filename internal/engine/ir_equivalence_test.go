@@ -223,6 +223,24 @@ func TestIRLiveAppendEquivalence(t *testing.T) {
 				t.Fatalf("live/append store differs from batch store:\n%v\n%v",
 					want.Set.Strings(), got.Set.Strings())
 			}
+
+			// Golden delta leg: for every case, the materialized-view
+			// delta round over the appended half must equal the recompute
+			// path's round, row for row.
+			floor := int64(half) + 1
+			enRecomp := &Engine{Store: live, ViewHighWater: -1}
+			vres, _, err := enLive.ExecuteDelta(a, floor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rres, _, err := enRecomp.ExecuteDelta(a, floor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameRows(vres.Set.Strings(), rres.Set.Strings()) {
+				t.Fatalf("view delta round differs from recompute:\n%v\n%v",
+					vres.Set.Strings(), rres.Set.Strings())
+			}
 		})
 	}
 }

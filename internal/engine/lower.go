@@ -10,22 +10,11 @@ package engine
 
 import (
 	"fmt"
-	"math/bits"
 
 	"threatraptor/internal/graphdb"
 	"threatraptor/internal/qir"
 	"threatraptor/internal/relational"
 	"threatraptor/internal/tbql"
-)
-
-// Variant bits select which parameter constraints a compiled relational
-// statement carries. One pattern compiles to at most eight statement
-// variants (lazily, most queries touch two or three); every execution
-// with the same extras shape reuses one compiled plan and binds values.
-const (
-	varSubj  = 1 // subject binding set: s.id IN ?subj
-	varObj   = 2 // object binding set: o.id IN ?obj
-	varDelta = 4 // standing-query floor: e.id >= ?delta
 )
 
 func colRef(alias, column string) relational.ColRef {
@@ -106,22 +95,57 @@ func eventSelect() []relational.SelectItem {
 	}
 }
 
-// lowerEventStmt lowers one event pattern's IR to a relational statement
-// AST for the given parameter variant. The join anchors on the more
-// constrained entity side — the same pruning-power estimate the scheduler
-// uses, counting the variant's parameter constraints as extras.
-func lowerEventStmt(s *Store, ej *qir.EventJoin, variant int) *relational.SelectStmt {
-	extras := bits.OnesCount8(uint8(variant))
+// lowerEventStmt lowers one event pattern's IR to a single relational
+// statement AST carrying every parameter constraint as an optional,
+// runtime-pruned conjunct: the subject/object binding sets (Optional
+// ParamIDs — an unbound list constrains nothing and an index access
+// planned from it falls back) and the standing-query delta floor (Prune
+// Param — a zero floor deactivates the conjunct). One compiled plan thus
+// serves all eight extras shapes the scheduler can produce, where the
+// previous design compiled up to eight lazily-materialized variants. The
+// join anchors on the statically more constrained entity side.
+func lowerEventStmt(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
 	from := []relational.TableRef{
 		{Table: "entities", Alias: "s"},
 		{Table: "events", Alias: "e"},
 		{Table: "entities", Alias: "o"},
 	}
-	if ej.ObjConjuncts > ej.SubjConjuncts+extras {
+	if ej.ObjConjuncts > ej.SubjConjuncts {
 		from[0], from[2] = from[2], from[0]
 	}
+	return &relational.SelectStmt{
+		Select: eventSelect(),
+		From:   from,
+		Where:  andChain(eventConds(s, ej)),
+		Limit:  -1,
+	}
+}
 
+// lowerEventStmtDeltaAnchored lowers the same pattern anchored on the
+// events table: the standing-query catch-up plan. With the delta floor at
+// level 0, the relational scan-floor optimization starts the events scan
+// at the binary-searched first new row (event IDs are dense and
+// ascending), and the entities join via id-index probes — so a delta
+// round's data query costs O(new events), however large the store is.
+func lowerEventStmtDeltaAnchored(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
+	return &relational.SelectStmt{
+		Select: eventSelect(),
+		From: []relational.TableRef{
+			{Table: "events", Alias: "e"},
+			{Table: "entities", Alias: "s"},
+			{Table: "entities", Alias: "o"},
+		},
+		Where: andChain(eventConds(s, ej)),
+		Limit: -1,
+	}
+}
+
+// eventConds builds the WHERE conjuncts shared by both anchorings of an
+// event pattern. The delta floor leads so the floor-anchored plan attaches
+// it to its level-0 scan.
+func eventConds(s *Store, ej *qir.EventJoin) []relational.Expr {
 	conds := []relational.Expr{
+		binOp(">=", colRef("e", "id"), relational.Param{Slot: qir.SlotDelta, Prune: true}),
 		binOp("=", colRef("e", "subject_id"), colRef("s", "id")),
 		binOp("=", colRef("e", "object_id"), colRef("o", "id")),
 		binOp("=", colRef("s", "kind"), strLit("proc")),
@@ -145,22 +169,10 @@ func lowerEventStmt(s *Store, ej *qir.EventJoin, variant int) *relational.Select
 			binOp(">=", colRef("e", "start_time"), intLit(lo)),
 			binOp("<=", colRef("e", "start_time"), intLit(hi)))
 	}
-	if variant&varSubj != 0 {
-		conds = append(conds, relational.ParamIDs{E: colRef("s", "id"), Slot: qir.SlotSubjIDs})
-	}
-	if variant&varObj != 0 {
-		conds = append(conds, relational.ParamIDs{E: colRef("o", "id"), Slot: qir.SlotObjIDs})
-	}
-	if variant&varDelta != 0 {
-		conds = append(conds, binOp(">=", colRef("e", "id"), relational.Param{Slot: qir.SlotDelta}))
-	}
-
-	return &relational.SelectStmt{
-		Select: eventSelect(),
-		From:   from,
-		Where:  andChain(conds),
-		Limit:  -1,
-	}
+	conds = append(conds,
+		relational.ParamIDs{E: colRef("s", "id"), Slot: qir.SlotSubjIDs, Optional: true},
+		relational.ParamIDs{E: colRef("o", "id"), Slot: qir.SlotObjIDs, Optional: true})
+	return conds
 }
 
 // lowerPathQuery lowers one path pattern's IR to a graph traversal plan.

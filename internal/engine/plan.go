@@ -13,33 +13,55 @@ import (
 // patternPlan is one pattern's compiled data query: its logical-plan IR
 // plus the lowered backend plans. Graph patterns lower eagerly to one
 // traversal plan (parameters bind per execution); event patterns lower
-// lazily to up to eight relational statement variants, one per combination
-// of parameter constraints actually seen (subject/object binding sets,
-// delta floor), so every execution reuses a compiled physical plan and
-// binds values — no text, no parsing, no per-binding-set cache.
+// lazily to exactly two relational statements — the entity-anchored plan
+// whose optional parameter predicates (binding sets, delta floor) prune
+// themselves at execution, and the events-anchored catch-up plan delta
+// rounds use so the scan starts at the floor. Every execution reuses a
+// compiled physical plan and binds values — no text, no parsing, no
+// per-binding-set cache, no per-extras-shape variants.
 type patternPlan struct {
 	usesGraph bool
 	ir        *qir.DataQuery
 	gq        *graphdb.Query
 
-	mu  sync.Mutex
-	rel [8]*relational.Prepared // indexed by variant bits
+	mu       sync.Mutex
+	rel      *relational.Prepared // entity-anchored, runtime-pruned params
+	relDelta *relational.Prepared // events-anchored, for delta floors
+
+	// view is the pattern's materialized match cache (standing queries;
+	// nil until ExecuteDelta first materializes it). Guarded by the owning
+	// queryPlan's viewMu.
+	view *matView
 }
 
-// prepared returns the pattern's compiled relational plan for a parameter
-// variant, lowering and compiling it on first use.
-func (pp *patternPlan) prepared(s *Store, variant int) (*relational.Prepared, error) {
+// prepared returns the pattern's compiled relational plan, lowering and
+// compiling it on first use.
+func (pp *patternPlan) prepared(s *Store) (*relational.Prepared, error) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	if pr := pp.rel[variant]; pr != nil {
-		return pr, nil
+	if pp.rel == nil {
+		pr, err := s.Rel.Prepare(lowerEventStmt(s, pp.ir.Event))
+		if err != nil {
+			return nil, err
+		}
+		pp.rel = pr
 	}
-	pr, err := s.Rel.Prepare(lowerEventStmt(s, pp.ir.Event, variant))
-	if err != nil {
-		return nil, err
+	return pp.rel, nil
+}
+
+// preparedDelta returns the pattern's events-anchored catch-up plan,
+// lowering and compiling it on first use.
+func (pp *patternPlan) preparedDelta(s *Store) (*relational.Prepared, error) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.relDelta == nil {
+		pr, err := s.Rel.Prepare(lowerEventStmtDeltaAnchored(s, pp.ir.Event))
+		if err != nil {
+			return nil, err
+		}
+		pp.relDelta = pr
 	}
-	pp.rel[variant] = pr
-	return pr, nil
+	return pp.relDelta, nil
 }
 
 // queryPlan caches everything about an analyzed TBQL query that does not
@@ -56,12 +78,29 @@ type queryPlan struct {
 	levels [][]int
 	irs    []*qir.DataQuery
 	pats   []patternPlan
+	// cols caches the query's projected column labels (shared by every
+	// delta round's result set).
+	cols []string
 	// windowSensitive marks plans whose lowered window conditions resolve
 	// against the store's time bounds (LAST/BEFORE/AFTER); they are
 	// re-lowered from the cached IR when a live append moves the bounds.
 	// boundsEpoch records the bounds generation lowered against.
 	windowSensitive bool
 	boundsEpoch     uint64
+
+	// viewMu guards every pattern's materialized view (pats[i].view) —
+	// ExecuteDelta holds it across catch-up and the view-backed join.
+	viewMu sync.Mutex
+	// viewsDisabled records that a view of this plan hit the row cap (or
+	// proved unmaintainable): the whole query evaluates through the
+	// recompute path and no view of the plan is maintained or charged
+	// against the cap. The latch is not permanent: disabledGen remembers
+	// the engine's view-release generation at fallback time, and the next
+	// delta round retries materialization once other views have released
+	// rows since (DropViews also re-arms directly). Under sustained cap
+	// pressure with no releases, no retry — no per-round O(store) waste.
+	viewsDisabled bool
+	disabledGen   int64
 
 	// Monolithic plans (the paper's RQ4 naive comparison), lowered lazily.
 	monoMu     sync.Mutex
@@ -97,6 +136,9 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 		return prev
 	}
 	if len(en.plans) >= maxCachedQueryPlans {
+		for _, old := range en.plans {
+			en.releasePlanViews(old)
+		}
 		en.plans = nil
 	}
 	var irs []*qir.DataQuery
@@ -105,7 +147,7 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 	} else {
 		irs = tbql.Lower(a)
 	}
-	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch, irs: irs}
+	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch, irs: irs, cols: returnColumns(a)}
 	p.levels = dependencyLevels(a.Query.Patterns, p.order)
 	p.pats = make([]patternPlan, len(irs))
 	for i, ir := range irs {
@@ -119,11 +161,63 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 			p.windowSensitive = true
 		}
 	}
+	if prev != nil {
+		// Bounds-epoch recompile: materialized views of window-insensitive
+		// patterns describe the same match set under the new plan, so they
+		// migrate instead of rematerializing; window-sensitive patterns'
+		// views are released (their match sets moved with the bounds). A
+		// fallen-back plan stays fallen back until DropViews re-arms it.
+		prev.viewMu.Lock()
+		p.viewsDisabled = prev.viewsDisabled
+		for i := range prev.pats {
+			old := &prev.pats[i]
+			if old.view == nil {
+				continue
+			}
+			if old.ir.Window().Sensitive() {
+				en.releaseViewRows(old.view.retained())
+			} else {
+				p.pats[i].view = old.view
+			}
+			old.view = nil
+		}
+		prev.viewMu.Unlock()
+	}
 	if en.plans == nil {
 		en.plans = make(map[planKey]*queryPlan)
 	}
 	en.plans[key] = p
 	return p
+}
+
+// releasePlanViews returns every materialized row of the plan's views to
+// the engine's accounting (called when a plan leaves the cache, and by
+// DropViews, which also re-arms a fallen-back plan for a fresh try).
+func (en *Engine) releasePlanViews(p *queryPlan) {
+	p.viewMu.Lock()
+	for i := range p.pats {
+		if v := p.pats[i].view; v != nil {
+			en.releaseViewRows(v.retained())
+			p.pats[i].view = nil
+		}
+	}
+	p.viewsDisabled = false
+	p.viewMu.Unlock()
+}
+
+// DropViews releases the materialized pattern views cached for an
+// analyzed query (both scheduling modes). The standing-query layer calls
+// it when a subscription is removed, so long-lived sessions do not keep
+// match caches for queries nobody watches; the plans themselves stay
+// cached and the next ExecuteDelta rematerializes on demand.
+func (en *Engine) DropViews(a *tbql.Analyzed) {
+	en.planMu.Lock()
+	defer en.planMu.Unlock()
+	for _, sched := range []bool{false, true} {
+		if p := en.plans[planKey{a: a, sched: sched}]; p != nil {
+			en.releasePlanViews(p)
+		}
+	}
 }
 
 // monolithicSQL returns the plan's compiled monolithic statement, lowering

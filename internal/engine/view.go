@@ -1,0 +1,332 @@
+package engine
+
+// This file is the incremental materialized-view layer behind standing
+// queries: every compiled pattern keeps a cached set of its match rows
+// inside the engine plan cache, maintained incrementally as the store
+// grows. Stores are append-only, so a view only ever receives insert
+// deltas: new rows are found by running the pattern's events-anchored
+// catch-up plan with an "e.id >= frontier" floor (O(new events) thanks to
+// the relational scan-floor and the graph edge-suffix fast path) and
+// merged into the cached set. ExecuteDelta then joins a delta pattern's
+// fresh rows against the other patterns' materialized sets — read through
+// sorted-ID binding intersection — instead of re-running their data
+// queries, which makes a standing-query round O(delta) end to end.
+//
+// Window-sensitive patterns (LAST/BEFORE/AFTER) rematerialize when the
+// store's bounds epoch moves, riding the existing plan-invalidation
+// machinery; window-insensitive views migrate across the recompile
+// untouched. Total materialized rows are capped by Engine.ViewHighWater:
+// a query that would exceed the cap falls back to the recompute path.
+
+import (
+	"sort"
+
+	"threatraptor/internal/relational"
+	"threatraptor/internal/tbql"
+)
+
+// DefaultViewHighWater is the default cap on materialized view rows
+// across the whole engine (one row is five int64s plus index entries —
+// the default bounds view memory to a few tens of MB).
+const DefaultViewHighWater = 1 << 20
+
+// ViewStats counts materialized-view activity since the engine started.
+type ViewStats struct {
+	// Materializations counts full (from-scratch) view builds.
+	Materializations int64
+	// DeltaMerges counts incremental catch-up merges into existing views.
+	DeltaMerges int64
+	// Fallbacks counts ExecuteDelta rounds that used the recompute path
+	// because a view was disabled by the ViewHighWater cap.
+	Fallbacks int64
+	// CachedRows is the current total of materialized rows.
+	CachedRows int64
+}
+
+// Views reports the engine's materialized-view counters.
+func (en *Engine) Views() ViewStats {
+	return ViewStats{
+		Materializations: en.viewMaterializations.Load(),
+		DeltaMerges:      en.viewDeltaMerges.Load(),
+		Fallbacks:        en.viewFallbacks.Load(),
+		CachedRows:       en.viewRows.Load(),
+	}
+}
+
+// viewCap resolves the effective row cap: Engine.ViewHighWater, the
+// default when zero, disabled entirely when negative.
+func (en *Engine) viewCap() int {
+	if en.ViewHighWater != 0 {
+		return en.ViewHighWater
+	}
+	return DefaultViewHighWater
+}
+
+// reserveViewRows charges n rows against the cap; false means the cap
+// would be exceeded and the caller must disable its view.
+func (en *Engine) reserveViewRows(n int) bool {
+	cap64 := int64(en.viewCap())
+	for {
+		cur := en.viewRows.Load()
+		if cur+int64(n) > cap64 {
+			return false
+		}
+		if en.viewRows.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+func (en *Engine) releaseViewRows(n int) {
+	if n > 0 {
+		en.viewRows.Add(-int64(n))
+		// Headroom appeared: fallen-back plans may retry materialization
+		// on their next round (they compare this generation against the
+		// one they fell back under).
+		en.viewReleaseGen.Add(1)
+	}
+}
+
+// matView is one pattern's materialized match cache: every row the
+// pattern's data query matches over the current store, sorted by event ID
+// (rows carry [event, subject, object, start, end]; a pattern matches each
+// event at most once, so event ID is a unique sort key), plus hash indexes
+// from subject and object entity ID to row positions for the binding-set
+// reads the scheduler does during a delta join.
+type matView struct {
+	rows    [][5]int64
+	subjIdx map[int64][]int32
+	objIdx  map[int64][]int32
+	// upTo is the exclusive event-ID frontier: rows cover every event with
+	// ID < upTo. Zero means not yet materialized.
+	upTo int64
+}
+
+// retained reports how many rows the view holds against the engine cap.
+func (v *matView) retained() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.rows)
+}
+
+// indexRows adds rows[from:] to the subject/object indexes.
+func (v *matView) indexRows(from int) {
+	if v.subjIdx == nil {
+		v.subjIdx = make(map[int64][]int32, len(v.rows)-from)
+		v.objIdx = make(map[int64][]int32, len(v.rows)-from)
+	}
+	for i := from; i < len(v.rows); i++ {
+		r := &v.rows[i]
+		v.subjIdx[r[1]] = append(v.subjIdx[r[1]], int32(i))
+		v.objIdx[r[2]] = append(v.objIdx[r[2]], int32(i))
+	}
+}
+
+// since returns the suffix of rows whose event ID is >= floor (no copy —
+// rows are sorted by event ID).
+func (v *matView) since(floor int64) [][5]int64 {
+	i := sort.Search(len(v.rows), func(i int) bool { return v.rows[i][0] >= floor })
+	return v.rows[i:]
+}
+
+// filter returns the view rows whose subject/object IDs lie in the given
+// sorted binding sets (nil = unconstrained; both nil returns the full set
+// without copying). The read drives from the smaller bound set through
+// the matching hash index — the sorted-ID analogue of the scheduler
+// feeding binding sets into a data query's index multi-probe — and checks
+// the other side by binary search in its sorted set. buf backs the output.
+func (v *matView) filter(subj, obj []int64, buf [][5]int64) [][5]int64 {
+	if subj == nil && obj == nil {
+		return v.rows
+	}
+	drive, idx := subj, v.subjIdx
+	other, otherCol := obj, 2
+	if subj == nil || (obj != nil && len(obj) < len(subj)) {
+		drive, idx = obj, v.objIdx
+		other, otherCol = subj, 1
+	}
+	out := buf[:0]
+	for _, id := range drive {
+		for _, ri := range idx[id] {
+			r := v.rows[ri]
+			if other != nil && !relational.ContainsSortedInt64(other, r[otherCol]) {
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sortRowsByEvent sorts pattern rows by their event ID.
+func sortRowsByEvent(rows [][5]int64) {
+	sort.Slice(rows, func(a, b int) bool { return rows[a][0] < rows[b][0] })
+}
+
+// disablePlanViewsLocked drops every view of the plan and marks the
+// whole query fallen back: once one pattern cannot hold a view, the
+// view-backed join can never run, so maintaining (and charging) the
+// others would be pure waste. DropViews re-arms the plan. Callers hold
+// plan.viewMu.
+func (en *Engine) disablePlanViewsLocked(plan *queryPlan) {
+	for i := range plan.pats {
+		if v := plan.pats[i].view; v != nil {
+			en.releaseViewRows(v.retained())
+			plan.pats[i].view = nil
+		}
+	}
+	plan.viewsDisabled = true
+	plan.disabledGen = en.viewReleaseGen.Load()
+}
+
+// ensureViews brings every pattern's view up to the store's current event
+// frontier, materializing on first use and catch-up-merging afterwards.
+// It returns false when the row cap is crossed — the plan's views are
+// then dropped wholesale and the caller evaluates through the recompute
+// path. Stats from the catch-up data queries accumulate into st. Callers
+// hold plan.viewMu.
+func (en *Engine) ensureViews(a *tbql.Analyzed, plan *queryPlan, st *Stats) (bool, error) {
+	next := en.Store.NextEventID()
+	for idx := range plan.pats {
+		pp := &plan.pats[idx]
+		v := pp.view
+		if v == nil {
+			v = &matView{}
+			pp.view = v
+		}
+		if v.upTo >= next {
+			continue
+		}
+		var sp extrasSpec
+		if v.upTo > 0 {
+			sp.delta = v.upTo
+		}
+		pr, qs, gs, err := en.runPattern(a, plan, idx, sp)
+		if err != nil {
+			return false, err
+		}
+		st.DataQueries++
+		st.PatternRows += len(pr.rows)
+		st.Rel.RowsScanned += qs.RowsScanned
+		st.Rel.IndexLookups += qs.IndexLookups
+		st.Graph.NodesVisited += gs.NodesVisited
+		st.Graph.EdgesTraversed += gs.EdgesTraversed
+		st.Graph.IndexLookups += gs.IndexLookups
+		if !pr.hasEvent || !en.reserveViewRows(len(pr.rows)) {
+			// !hasEvent is defensive: a view without event IDs cannot
+			// maintain its frontier (ExecuteDelta's var-len fallback
+			// should make it unreachable). Either way the query falls
+			// back to recompute as a whole.
+			en.disablePlanViewsLocked(plan)
+			return false, nil
+		}
+		sortRowsByEvent(pr.rows)
+		if v.upTo == 0 {
+			v.rows = pr.rows
+			v.indexRows(0)
+			en.viewMaterializations.Add(1)
+		} else {
+			fresh := len(v.rows)
+			v.rows = append(v.rows, pr.rows...)
+			v.indexRows(fresh)
+			en.viewDeltaMerges.Add(1)
+		}
+		v.upTo = next
+	}
+	return true, nil
+}
+
+// executeDeltaViews is the materialized-view delta round: for each
+// pattern, its fresh rows (event ID >= minEventID, read straight off the
+// view) join against the other patterns' cached sets, with the
+// scheduler's binding sets narrowing each read. Returns ok=false when a
+// view is capped and the recompute path must run instead.
+func (en *Engine) executeDeltaViews(a *tbql.Analyzed, plan *queryPlan, minEventID int64) (*Result, Stats, bool, error) {
+	var stats Stats
+	plan.viewMu.Lock()
+	defer plan.viewMu.Unlock()
+	if plan.viewsDisabled {
+		if en.viewReleaseGen.Load() == plan.disabledGen {
+			en.viewFallbacks.Add(1)
+			return nil, stats, false, nil
+		}
+		// Rows were released since the fallback (another query dropped
+		// its views): re-arm and retry materialization.
+		plan.viewsDisabled = false
+	}
+	viewsOK, err := en.ensureViews(a, plan, &stats)
+	if err != nil {
+		return nil, stats, false, err
+	}
+	if !viewsOK {
+		en.viewFallbacks.Add(1)
+		return nil, stats, false, nil
+	}
+
+	combined := &Result{
+		Set:           &relational.ResultSet{Columns: plan.cols},
+		MatchedEvents: map[int64]bool{},
+	}
+	sc := en.acquireDeltaScratch(len(plan.pats))
+	defer en.releaseDeltaScratch(sc)
+	maxIn := en.maxIn()
+
+	for i := range plan.pats {
+		deltaRows := plan.pats[i].view.since(minEventID)
+		if len(deltaRows) == 0 {
+			continue
+		}
+		// The delta pattern runs first (the recompute path hoists it the
+		// same way); the remaining patterns follow the scheduled order,
+		// reading their materialized sets narrowed by the binding feed.
+		clear(sc.bindings)
+		empty := false
+		bind := func(idx int, rows [][5]int64) {
+			p := a.Query.Patterns[idx]
+			sc.results[idx] = patternRows{idx: idx, rows: rows, hasEvent: true}
+			stats.PatternRows += len(rows)
+			if !en.DisableScheduling {
+				narrow(sc.bindings, p.Subject.ID, rows, 1, &sc.ids)
+				narrow(sc.bindings, p.Object.ID, rows, 2, &sc.ids)
+			}
+		}
+		bind(i, deltaRows)
+		for _, idx := range plan.order {
+			if idx == i {
+				continue
+			}
+			var subj, obj []int64
+			if !en.DisableScheduling {
+				subj, obj = en.bindingSpec(a.Query.Patterns[idx], sc.bindings, maxIn)
+			}
+			v := plan.pats[idx].view
+			rows := v.rows
+			if subj != nil || obj != nil {
+				rows = v.filter(subj, obj, sc.bufs[idx][:0])
+				sc.bufs[idx] = rows[:0:cap(rows)] // retain the grown buffer
+			}
+			if len(rows) == 0 {
+				empty = true
+				break
+			}
+			bind(idx, rows)
+		}
+		if empty {
+			continue
+		}
+		res, joined, err := en.join(a, sc.results)
+		if err != nil {
+			return nil, stats, false, err
+		}
+		stats.JoinBindings += joined
+		combined.Set.Rows = append(combined.Set.Rows, res.Set.Rows...)
+		for ev := range res.MatchedEvents {
+			combined.MatchedEvents[ev] = true
+		}
+	}
+	if a.Query.Return.Distinct {
+		combined.Set.Rows = relational.DedupRows(combined.Set.Rows)
+	}
+	return combined, stats, true, nil
+}

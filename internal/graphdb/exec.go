@@ -165,7 +165,11 @@ func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, e
 	m.rs = &ResultSet{Columns: cols}
 	m.proj = q.Return
 
-	if err := m.matchPattern(0, 0); err != nil {
+	if m.edgeDrivenOK() {
+		if err := m.matchEdgeDriven(); err != nil {
+			return nil, m.stats, err
+		}
+	} else if err := m.matchPattern(0, 0); err != nil {
 		return nil, m.stats, err
 	}
 
@@ -182,6 +186,70 @@ func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, e
 		rs.Rows = rs.Rows[:q.Limit]
 	}
 	return rs, m.stats, nil
+}
+
+// edgeDrivenOK reports whether the execution can be driven off the edge
+// arena suffix instead of anchor enumeration: a single-pattern, single-hop
+// outbound query whose floored edge variable (ExecParams.MinEdgeID) names
+// the pattern's one relationship. Edge IDs are dense arena offsets, so
+// "edges with ID >= floor" is a direct suffix slice — a standing-query
+// delta round visits O(new edges), not O(anchor nodes), no matter how
+// large the store has grown.
+func (m *matcher) edgeDrivenOK() bool {
+	if m.params == nil || m.params.MinEdgeID <= 0 || m.params.EdgeVar == "" {
+		return false
+	}
+	if len(m.q.Patterns) != 1 {
+		return false
+	}
+	pat := &m.q.Patterns[0]
+	if len(pat.Nodes) != 2 || len(pat.Rels) != 1 {
+		return false
+	}
+	rel := &pat.Rels[0]
+	return !rel.IsVarLen() && rel.Dir == DirOut && rel.Var == m.params.EdgeVar
+}
+
+// matchEdgeDriven enumerates edges from the floor upward and binds each
+// edge's endpoints against the pattern — semantically identical to the
+// anchor-driven walk restricted to edges with ID >= MinEdgeID (WHERE is
+// re-checked in full at emit), but linear in the number of new edges.
+func (m *matcher) matchEdgeDriven() error {
+	pat := &m.q.Patterns[0]
+	rel := &pat.Rels[0]
+	srcPat, dstPat := pat.Nodes[0], pat.Nodes[1]
+	for ei := m.params.MinEdgeID - 1; ei < int64(len(m.g.edges)); ei++ {
+		e := &m.g.edges[ei]
+		m.stats.EdgesTraversed++
+		if !typeMatches(rel.Types, e.Type) {
+			continue
+		}
+		okS, boundS, err := m.bindNode(srcPat, e.From)
+		if err != nil {
+			return err
+		}
+		if !okS {
+			continue
+		}
+		okD, boundD, err := m.bindNode(dstPat, e.To)
+		if err == nil && okD {
+			m.edges[rel.Var] = ei + 1
+			if m.pruneOK() {
+				err = m.emit()
+			}
+			delete(m.edges, rel.Var)
+		}
+		if boundD {
+			delete(m.nodes, dstPat.Var)
+		}
+		if boundS {
+			delete(m.nodes, srcPat.Var)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // matchPattern advances through pattern pi starting at node position ni.
@@ -506,8 +574,7 @@ func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
 
 // containsID binary-searches a sorted unique ID list.
 func containsID(ids []int64, id int64) bool {
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	return i < len(ids) && ids[i] == id
+	return relational.ContainsSortedInt64(ids, id)
 }
 
 // candidates enumerates anchor candidates for a node pattern, preferring
@@ -521,6 +588,17 @@ func (m *matcher) candidates(np NodePat) ([]int64, error) {
 		}
 		if ids := m.params.nodeBinding(np.Var); ids != nil {
 			m.stats.IndexLookups++
+			// The binding set and the label's ID list are both sorted:
+			// galloping intersection drops wrong-label candidates here,
+			// instead of a node lookup + label check per candidate inside
+			// bindNode.
+			if np.Label != "" {
+				if lbl, ok := m.g.sortedLabelIDs(np.Label); ok {
+					// Fresh slice: nested anchors (multi-pattern queries)
+					// may still be iterating an earlier result.
+					return intersectSortedIDs(ids, lbl, nil), nil
+				}
+			}
 			return ids, nil
 		}
 		if ids, ok := m.idConstraint(np.Var); ok {

@@ -1,0 +1,188 @@
+package graphdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"threatraptor/internal/relational"
+)
+
+// TestIntersectSortedIDs drives the galloping intersection against the
+// map-based oracle on random sorted unique lists of skewed sizes.
+func TestIntersectSortedIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	uniqueSorted := func(n, max int) []int64 {
+		seen := map[int64]bool{}
+		for len(seen) < n {
+			seen[int64(rng.Intn(max))] = true
+		}
+		out := make([]int64, 0, n)
+		for v := range seen {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := uniqueSorted(1+rng.Intn(20), 500)
+		b := uniqueSorted(1+rng.Intn(400), 500)
+		got := intersectSortedIDs(a, b, nil)
+		inB := map[int64]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		var want []int64
+		for _, v := range a {
+			if inB[v] {
+				want = append(want, v)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: a=%v b=%v got %v want %v", trial, a, b, got, want)
+		}
+	}
+	if got := intersectSortedIDs(nil, []int64{1, 2}, nil); len(got) != 0 {
+		t.Fatalf("empty small side: %v", got)
+	}
+}
+
+// floorGraph builds a small two-label graph with typed event edges whose
+// element IDs are dense 1..n, mirroring the engine's event-edge invariant.
+func floorGraph(t *testing.T, nProcs, nFiles, nEdges int, rng *rand.Rand) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < nProcs; i++ {
+		g.AddNode("Process", Props{"exename": relational.Str(fmt.Sprintf("/bin/p%d", i%5))})
+	}
+	for i := 0; i < nFiles; i++ {
+		g.AddNode("File", Props{"name": relational.Str(fmt.Sprintf("/tmp/f%d", i%7))})
+	}
+	for i := 0; i < nEdges; i++ {
+		typ := "read"
+		if i%3 == 0 {
+			typ = "write"
+		}
+		from := int64(1 + rng.Intn(nProcs))
+		to := int64(nProcs + 1 + rng.Intn(nFiles))
+		if _, err := g.AddEventEdge(from, to, typ, int64(i+1), int64(1000*(i+1)), int64(1000*(i+1)+1), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestEdgeDrivenFloorMatchesAnchorDriven pins the delta fast path: a
+// floored single-hop query answered by enumerating the edge-arena suffix
+// must return exactly the rows of the anchor-driven walk with the same
+// floor (which the multi-pattern shape still uses), under every floor and
+// with binding sets attached.
+func TestEdgeDrivenFloorMatchesAnchorDriven(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := floorGraph(t, 10, 12, 200, rng)
+
+	q, err := ParseQuery(`MATCH (s:Process)-[e:read]->(o:File) WHERE o.name = '/tmp/f3' RETURN e.id, s.id, o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := func(params *ExecParams) []string {
+		rs, _, err := g.ExecWith(q, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, r := range rs.Strings() {
+			out = append(out, fmt.Sprint(r))
+		}
+		sort.Strings(out)
+		return out
+	}
+	// The anchor-driven oracle: same floor, but EdgeVar routed through the
+	// per-edge skip (edgeDrivenOK requires the floor, so disable it by
+	// asking through a two-pattern query shape — instead, compare against
+	// the unfloored run filtered by edge ID).
+	all, _, err := g.ExecWith(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, floor := range []int64{1, 2, 57, 150, 200, 201} {
+		got := rows(&ExecParams{EdgeVar: "e", MinEdgeID: floor})
+		var want []string
+		for _, r := range all.Rows {
+			if r[0].I >= floor {
+				s := make([]string, len(r))
+				for i, v := range r {
+					s[i] = v.String()
+				}
+				want = append(want, fmt.Sprint(s))
+			}
+		}
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("floor %d: edge-driven %v, want %v", floor, got, want)
+		}
+	}
+
+	// With node binding sets on top of the floor (the scheduler's shape).
+	subj := []int64{2, 3, 9}
+	got := rows(&ExecParams{EdgeVar: "e", MinEdgeID: 50, Nodes: []NodeBinding{{Var: "s", IDs: subj}}})
+	var want []string
+	for _, r := range all.Rows {
+		if r[0].I >= 50 && containsID(subj, r[1].I) {
+			s := make([]string, len(r))
+			for i, v := range r {
+				s[i] = v.String()
+			}
+			want = append(want, fmt.Sprint(s))
+		}
+	}
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("floor+binding: edge-driven %v, want %v", got, want)
+	}
+}
+
+// TestSortedLabelIntersectionAnchors pins that anchor enumeration through
+// the label-list intersection returns the same matches as plain binding
+// enumeration, and that an out-of-order node insert falls back cleanly.
+func TestSortedLabelIntersectionAnchors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := floorGraph(t, 8, 8, 60, rng)
+	q, err := ParseQuery(`MATCH (s:Process)-[e:read]->(o:File) RETURN s.id, o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binding list straddling both labels: intersection must trim it to
+	// Process IDs (1..8) without changing the result.
+	bind := []int64{1, 4, 9, 12, 16}
+	objBind := []int64{9, 10, 11, 12, 13, 14, 15, 16, 999, 1000}
+	withBinding := func() []string {
+		rs, _, err := g.ExecWith(q, &ExecParams{Nodes: []NodeBinding{
+			{Var: "s", IDs: bind}, {Var: "o", IDs: objBind}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, r := range rs.Strings() {
+			out = append(out, fmt.Sprint(r))
+		}
+		sort.Strings(out)
+		return out
+	}
+	sorted := withBinding()
+
+	if _, ok := g.sortedLabelIDs("Process"); !ok {
+		t.Fatal("Process label list should be sorted")
+	}
+	// Force the unsorted fallback with an out-of-order ID and re-check.
+	g.AddNodeWithID(1000, "File", Props{"name": relational.Str("/tmp/late")})
+	g.AddNodeWithID(999, "File", Props{"name": relational.Str("/tmp/later")})
+	if _, ok := g.sortedLabelIDs("File"); ok {
+		t.Fatal("File label list must be marked unsorted after out-of-order insert")
+	}
+	unsortedPath := withBinding()
+	if fmt.Sprint(sorted) != fmt.Sprint(unsortedPath) {
+		t.Fatalf("sorted-intersection %v != fallback %v", sorted, unsortedPath)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"threatraptor/internal/relational"
@@ -113,6 +114,14 @@ type Graph struct {
 	dirtyOut map[int32]struct{}
 	dirtyIn  map[int32]struct{}
 	sortMu   sync.Mutex
+
+	// labelUnsorted marks labels whose byLabel list received an
+	// out-of-order node ID. Until then the list is ascending-sorted
+	// (AddNode assigns increasing IDs; stores mirror ascending entity IDs)
+	// and anchor enumeration can merge-intersect it against the sorted
+	// binding ID lists the TBQL scheduler feeds forward, instead of
+	// checking each candidate's label one node lookup at a time.
+	labelUnsorted map[string]bool
 }
 
 // NewGraph returns an empty graph.
@@ -161,6 +170,12 @@ func (g *Graph) addNode(id int64, label string, props Props) {
 	g.nodes = append(g.nodes, Node{ID: id, Label: label, Props: props})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	if l := g.byLabel[label]; len(l) > 0 && l[len(l)-1] > id && !g.labelUnsorted[label] {
+		if g.labelUnsorted == nil {
+			g.labelUnsorted = make(map[string]bool)
+		}
+		g.labelUnsorted[label] = true
+	}
 	g.byLabel[label] = append(g.byLabel[label], id)
 	if byProp, ok := g.propIndex[label]; ok {
 		for prop, vals := range byProp {
@@ -347,6 +362,66 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // NodesByLabel returns the IDs of all nodes with the label.
 func (g *Graph) NodesByLabel(label string) []int64 { return g.byLabel[label] }
+
+// sortedLabelIDs returns the node IDs of the label when they are usable
+// for sorted intersection: the label must resolve to exactly one stored
+// label under the case-insensitive match bindNode applies (EqualFold),
+// and that list must still be ascending-sorted (no out-of-order insert).
+// Any ambiguity or mismatch returns ok=false and the caller falls back
+// to per-candidate bindNode checks — never a semantic change, only a
+// lost shortcut.
+func (g *Graph) sortedLabelIDs(label string) ([]int64, bool) {
+	found, n := label, 0
+	if _, ok := g.byLabel[label]; ok {
+		n = 1
+	}
+	for stored := range g.byLabel {
+		if stored != label && strings.EqualFold(stored, label) {
+			found = stored
+			n++
+		}
+	}
+	if n != 1 || g.labelUnsorted[found] {
+		return nil, false
+	}
+	return g.byLabel[found], true
+}
+
+// intersectSortedIDs writes into dst (reset to length 0) the values
+// present in both sorted unique ID lists, iterating the smaller list and
+// galloping through the larger: exponential probing from the last match
+// position, then a binary search inside the bracketed window. For the
+// skewed sizes anchor enumeration sees — a scheduler binding set of a few
+// dozen IDs against a label list of many thousands — this costs
+// O(small · log(gap)) instead of O(small + large).
+func intersectSortedIDs(a, b, dst []int64) []int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	dst = dst[:0]
+	lo := 0
+	for _, v := range a {
+		// Gallop: bracket the window [lo, lo+step] containing v, then
+		// binary search for the first element >= v inside it.
+		step := 1
+		for lo+step < len(b) && b[lo+step] < v {
+			step <<= 1
+		}
+		hi := lo + step
+		if hi > len(b) {
+			hi = len(b)
+		}
+		lo += relational.LowerBoundInt64(b[lo:hi], v)
+		if lo >= len(b) {
+			break
+		}
+		if b[lo] == v {
+			dst = append(dst, v)
+			lo++
+		}
+	}
+	return dst
+}
 
 // AllNodeIDs returns every node ID in insertion order.
 func (g *Graph) AllNodeIDs() []int64 {

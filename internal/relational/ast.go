@@ -74,14 +74,31 @@ type InList struct {
 // statement builders (the TBQL engine's logical-plan lowering) insert them
 // so one compiled plan serves every execution, with the varying values
 // bound per call instead of spliced into a fresh statement.
-type Param struct{ Slot int }
+type Param struct {
+	Slot int
+	// Prune marks the parameter as an optional constraint: when the bound
+	// value is zero, the top-level WHERE conjunct containing this parameter
+	// is skipped entirely, as if the statement had been compiled without
+	// it. This is how one compiled plan stands in for a family of plan
+	// variants ("with floor" / "without floor") — the TBQL engine's
+	// standing-query delta floor uses it. Prune applies only to conjuncts;
+	// a pruned Param nested deeper in an expression still evaluates as the
+	// literal zero.
+	Prune bool
+}
 
 // ParamIDs is "expr IN <runtime ID list>": membership of an integer
 // expression in the sorted unique []int64 bound at Params.Lists[Slot].
-// An empty or unbound list matches nothing, like an empty IN list.
+// An empty or unbound list matches nothing, like an empty IN list —
+// unless Optional is set, in which case an unbound list constrains
+// nothing: the conjunct is skipped at execution and an index access
+// planned from it falls back to the access the level would otherwise use.
+// Optional is how the TBQL engine collapses its per-binding-set plan
+// variants into one compiled plan.
 type ParamIDs struct {
-	E    Expr
-	Slot int
+	E        Expr
+	Slot     int
+	Optional bool
 }
 
 func (ColRef) isExpr()   {}

@@ -104,7 +104,12 @@ func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
 	rs := &ResultSet{Columns: p.cols}
 	n0 := int32(p.tables[0].Len())
 	var stats ExecStats
-	sharded := p.access[0] == nil && int(n0) >= ShardMinRows && runtime.GOMAXPROCS(0) > 1
+	ia0 := p.effAccess(params, 0)
+	var lo0 int32
+	if ia0 == nil && len(p.floors[0]) > 0 {
+		lo0 = p.scanStart(params, 0)
+	}
+	sharded := ia0 == nil && int(n0-lo0) >= ShardMinRows && runtime.GOMAXPROCS(0) > 1
 	if sharded {
 		// The shard workers receive the parameters by value: capturing the
 		// pointer in the worker closures would force every caller's Params
@@ -113,7 +118,7 @@ func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
 		if params != nil {
 			pv = *params
 		}
-		if err := p.runSharded(rs, &stats, n0, pv); err != nil {
+		if err := p.runSharded(rs, &stats, lo0, n0, pv); err != nil {
 			return nil, stats, err
 		}
 		if p.stmt.Distinct {
@@ -159,10 +164,12 @@ func (p *plan) newSink(rs *ResultSet) *rowSink {
 	return sink
 }
 
-// runSharded splits the level-0 scan range into contiguous chunks, walks
-// each on its own worker with private state and sink, and concatenates the
-// per-shard rows in shard order (identical row order to the serial scan).
-func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32, params Params) error {
+// runSharded splits the level-0 scan range [lo0, n0) — already narrowed
+// by any active scan floor — into contiguous chunks, walks each on its
+// own worker with private state and sink, and concatenates the per-shard
+// rows in shard order (identical row order to the serial scan).
+func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, lo0, n0 int32, params Params) error {
+	span := n0 - lo0
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8
@@ -171,10 +178,10 @@ func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32, params Para
 	if minChunk < 1 {
 		minChunk = 1
 	}
-	if max := int(n0) / minChunk; workers > max {
+	if max := int(span) / minChunk; workers > max {
 		workers = max
 	}
-	chunk := (n0 + int32(workers) - 1) / int32(workers)
+	chunk := (span + int32(workers) - 1) / int32(workers)
 
 	type shard struct {
 		rs    ResultSet
@@ -184,7 +191,7 @@ func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32, params Para
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := int32(w) * chunk
+		lo := lo0 + int32(w)*chunk
 		hi := lo + chunk
 		if hi > n0 {
 			hi = n0
@@ -221,6 +228,23 @@ func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, n0 int32, params Para
 	return nil
 }
 
+// effAccess resolves the level's access path for this execution: an
+// optional parameter-list probe with no bound list falls back to the
+// access the level would otherwise use (possibly none — a full scan), and
+// a literal-keyed probe yields to an active parameter scan floor (the
+// suffix holds exactly the new rows; the probe would trawl all history).
+func (p *plan) effAccess(params *Params, lvl int) *indexAccess {
+	ia := p.access[lvl]
+	if ia != nil && ia.optional && ia.listSlot >= 0 &&
+		(params == nil || len(params.Lists[ia.listSlot]) == 0) {
+		ia = ia.fallback
+	}
+	if ia != nil && ia.litKey && p.paramFloorActive(params, lvl) {
+		return nil
+	}
+	return ia
+}
+
 // walk processes nested-loop level lvl. lo and hi bound the scan range
 // (used by the shard workers at level 0; full range everywhere else); they
 // are ignored when the level probes an index.
@@ -229,7 +253,7 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 		return sink.emit(p, st)
 	}
 	tbl := p.tables[lvl]
-	if ia := p.access[lvl]; ia != nil {
+	if ia := p.effAccess(&st.params, lvl); ia != nil {
 		if ia.keyList != nil {
 			for _, key := range ia.keyList {
 				if err := p.probe(st, sink, lvl, tbl, ia, key); err != nil {
@@ -251,6 +275,11 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 			return err
 		}
 		return p.probe(st, sink, lvl, tbl, ia, key)
+	}
+	if len(p.floors[lvl]) > 0 {
+		if s := p.scanStart(&st.params, lvl); s > lo {
+			lo = s
+		}
 	}
 	bs := int32(BatchSize)
 	for b := lo; b < hi; b += bs {
@@ -275,6 +304,10 @@ func (p *plan) probe(st *execState, sink *rowSink, lvl int, tbl *Table, ia *inde
 	st.stats.IndexLookups++
 	st.stats.RowsScanned += len(pos)
 	preds := p.levelPreds[lvl]
+	// Skip leading inactive predicates (pruned optional parameters).
+	for len(preds) > 0 && !preds[0].isActive(st) {
+		preds = preds[1:]
+	}
 	if len(preds) == 0 {
 		return p.descend(st, sink, lvl, pos)
 	}
@@ -292,6 +325,9 @@ func (p *plan) probe(st *execState, sink *rowSink, lvl int, tbl *Table, ia *inde
 func (p *plan) scanRange(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 	st.stats.RowsScanned += int(hi - lo)
 	preds := p.levelPreds[lvl]
+	for len(preds) > 0 && !preds[0].isActive(st) {
+		preds = preds[1:]
+	}
 	if len(preds) == 0 {
 		for r := lo; r < hi; r++ {
 			st.rows[lvl] = r
@@ -323,14 +359,17 @@ func (p *plan) scanRange(st *execState, sink *rowSink, lvl int, lo, hi int32) er
 	return p.descend(st, sink, lvl, sel)
 }
 
-// filterRest applies the remaining predicates, in conjunct order, to the
-// selection in place.
+// filterRest applies the remaining active predicates, in conjunct order,
+// to the selection in place.
 func (p *plan) filterRest(st *execState, lvl int, preds []levelPred, sel []int32) []int32 {
-	for _, pr := range preds {
+	for i := range preds {
 		if len(sel) == 0 || st.pendErr != nil {
 			return sel
 		}
-		sel = p.applyPred(st, lvl, pr, sel, sel[:0])
+		if !preds[i].isActive(st) {
+			continue
+		}
+		sel = p.applyPred(st, lvl, preds[i], sel, sel[:0])
 	}
 	return sel
 }

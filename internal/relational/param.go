@@ -2,7 +2,6 @@ package relational
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -56,11 +55,21 @@ func (pr *Prepared) Describe() string {
 			switch {
 			case ia.listSlot >= 0:
 				access = fmt.Sprintf("index multi-probe on %s from param list %d", col, ia.listSlot)
+				if ia.optional {
+					fb := "full scan"
+					if ia.fallback != nil {
+						fb = "index probe on " + tbl.Schema[ia.fallback.col].Name
+					}
+					access += " (optional; unbound -> " + fb + ")"
+				}
 			case ia.keyList != nil:
 				access = fmt.Sprintf("index multi-probe on %s (%d keys)", col, len(ia.keyList))
 			default:
 				access = "index probe on " + col
 			}
+		}
+		if n := len(p.floors[lvl]); n > 0 {
+			access += fmt.Sprintf("; %d scan floor(s)", n)
 		}
 		vec, row := 0, 0
 		for _, pred := range p.levelPreds[lvl] {
@@ -86,9 +95,7 @@ func checkSlot(slot int) (int, error) {
 // contains reports membership of k in the sorted unique list bound at
 // slot; an unbound list contains nothing.
 func (p *Params) contains(slot int, k int64) bool {
-	l := p.Lists[slot]
-	i := sort.Search(len(l), func(i int) bool { return l[i] >= k })
-	return i < len(l) && l[i] == k
+	return ContainsSortedInt64(p.Lists[slot], k)
 }
 
 // specializeParamIDs compiles "intcol IN <param list>" into a typed

@@ -21,8 +21,12 @@ type plan struct {
 	tables     []*Table
 	levelPreds [][]levelPred
 	access     []*indexAccess
-	cols       []string
-	project    projFn
+	// floors[lvl] holds the level's scan-floor conjuncts ("col >= bound"
+	// over an int column); the full-scan path starts at the binary-searched
+	// first in-range row when the column is ascending-sorted.
+	floors  [][]scanFloor
+	cols    []string
+	project projFn
 
 	statePool sync.Pool
 }
@@ -33,6 +37,70 @@ type plan struct {
 type levelPred struct {
 	vec *vecPred
 	row predFn
+	// active, when non-nil, gates the predicate per execution: an inactive
+	// predicate is skipped entirely, as if the statement had been compiled
+	// without the conjunct (Optional ParamIDs with no bound list, Prune
+	// Param bound to zero).
+	active func(st *execState) bool
+}
+
+// isActive reports whether the predicate applies to this execution.
+func (lp *levelPred) isActive(st *execState) bool {
+	return lp.active == nil || lp.active(st)
+}
+
+// pruneGate returns the activity gate of a conjunct built around an
+// optional parameter, or nil for always-active conjuncts. The gate is the
+// runtime stand-in for the compile-time plan variants it replaces: one
+// compiled plan carries every optional constraint and each execution keeps
+// exactly the bound ones.
+func pruneGate(e Expr) func(st *execState) bool {
+	gate := func(pm Param) func(st *execState) bool {
+		if !pm.Prune {
+			return nil
+		}
+		slot, err := checkSlot(pm.Slot)
+		if err != nil {
+			return nil
+		}
+		return func(st *execState) bool { return st.params.Ints[slot] != 0 }
+	}
+	switch v := e.(type) {
+	case ParamIDs:
+		if v.Optional {
+			slot, err := checkSlot(v.Slot)
+			if err == nil {
+				return func(st *execState) bool { return len(st.params.Lists[slot]) > 0 }
+			}
+		}
+	case BinOp:
+		if pm, ok := v.R.(Param); ok {
+			if g := gate(pm); g != nil {
+				return g
+			}
+		}
+		if pm, ok := v.L.(Param); ok {
+			if g := gate(pm); g != nil {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// scanFloor is one "col >= bound" (or "col > bound") conjunct over an int
+// column, usable to narrow the level's full scan: when the column's values
+// are ascending at execution time (dense event IDs, in-order timestamps),
+// rows before the binary-searched first in-range position cannot satisfy
+// the conjunct and are skipped wholesale. This is what makes delta-floored
+// standing-query scans cost O(delta), not O(store). Purely a scan
+// narrowing — the conjunct still runs as a filter, so an unsorted column
+// just loses the shortcut, never correctness.
+type scanFloor struct {
+	col  int
+	slot int   // parameter slot holding the bound, or -1 when lit is used
+	lit  int64 // literal bound when slot < 0
+	excl bool  // strict ">": the first in-range value is bound+1
 }
 
 // execState is the per-execution mutable state: the current row index of
@@ -95,6 +163,19 @@ type indexAccess struct {
 	keyFn    evalFn
 	keyList  []Value
 	listSlot int // -1 when not a parameter-list probe
+	// optional marks a parameter-list probe planned from an Optional
+	// ParamIDs conjunct: an execution with no bound list uses fallback
+	// (the access the level would otherwise have, nil = full scan)
+	// instead of probing an empty key set.
+	optional bool
+	fallback *indexAccess
+	// litKey marks accesses keyed purely by literals (keyList, or keyFn
+	// compiled from a literal). When the level also carries an active
+	// parameter scan floor, the floor's suffix scan wins at execution: a
+	// literal probe would visit matching rows from the whole history only
+	// to discard everything below the floor, while the suffix holds
+	// exactly the new rows.
+	litKey bool
 }
 
 // binding resolves aliases and columns for one statement.
@@ -239,6 +320,7 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 		tables:     b.tables,
 		levelPreds: make([][]levelPred, len(b.tables)),
 		access:     make([]*indexAccess, len(b.tables)),
+		floors:     make([][]scanFloor, len(b.tables)),
 	}
 	for lvl := range b.tables {
 		ia, err := b.planIndexAccess(lvl, levelExprs[lvl])
@@ -247,15 +329,19 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 		}
 		p.access[lvl] = ia
 		for _, e := range levelExprs[lvl] {
+			if f, ok := b.planScanFloor(lvl, e); ok {
+				p.floors[lvl] = append(p.floors[lvl], f)
+			}
+			act := pruneGate(e)
 			if vp := b.compileVecPred(lvl, e); vp != nil {
-				p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{vec: vp})
+				p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{vec: vp, active: act})
 				continue
 			}
 			pf, err := b.compilePred(e)
 			if err != nil {
 				return nil, err
 			}
-			p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{row: pf})
+			p.levelPreds[lvl] = append(p.levelPreds[lvl], levelPred{row: pf, active: act})
 		}
 	}
 
@@ -287,7 +373,7 @@ func (b *binding) planInListAccess(lvl int, in InList) *indexAccess {
 		}
 		vals = append(vals, lit.V)
 	}
-	return &indexAccess{col: ccol, keyList: vals, listSlot: -1}
+	return &indexAccess{col: ccol, keyList: vals, listSlot: -1, litKey: true}
 }
 
 // planParamIDsAccess turns "tbl.col IN <param list>" into a multi-probe
@@ -308,24 +394,131 @@ func (b *binding) planParamIDsAccess(lvl int, pi ParamIDs) *indexAccess {
 	if err != nil {
 		return nil
 	}
-	return &indexAccess{col: ccol, listSlot: slot}
+	return &indexAccess{col: ccol, listSlot: slot, optional: pi.Optional}
+}
+
+// planScanFloor recognizes "col >= bound" / "col > bound" conjuncts over
+// an int column of this level whose bound is a literal or an integer
+// parameter — the shapes the full-scan path can turn into a binary-searched
+// scan start when the column is ascending-sorted (see scanFloor).
+func (b *binding) planScanFloor(lvl int, e Expr) (scanFloor, bool) {
+	bin, ok := e.(BinOp)
+	if !ok || (bin.Op != ">=" && bin.Op != ">") {
+		return scanFloor{}, false
+	}
+	c, ok := bin.L.(ColRef)
+	if !ok {
+		return scanFloor{}, false
+	}
+	clvl, ccol, err := b.resolve(c)
+	if err != nil || clvl != lvl || b.tables[lvl].Schema[ccol].Kind != KindInt {
+		return scanFloor{}, false
+	}
+	f := scanFloor{col: ccol, slot: -1, excl: bin.Op == ">"}
+	switch r := bin.R.(type) {
+	case Lit:
+		if r.V.K != KindInt {
+			return scanFloor{}, false
+		}
+		f.lit = r.V.I
+	case Param:
+		slot, err := checkSlot(r.Slot)
+		if err != nil {
+			return scanFloor{}, false
+		}
+		f.slot = slot
+	default:
+		return scanFloor{}, false
+	}
+	return f, true
+}
+
+// scanStart resolves the scan start of a full-scanned level for this
+// execution: the largest lower bound across the level's active floors, or
+// 0 when the column order does not admit the shortcut. params may be nil
+// (every slot reads as zero).
+func (p *plan) scanStart(params *Params, lvl int) int32 {
+	var lo int32
+	tbl := p.tables[lvl]
+	for _, f := range p.floors[lvl] {
+		k := f.lit
+		if f.slot >= 0 {
+			if params == nil {
+				continue
+			}
+			k = params.Ints[f.slot]
+		}
+		if f.excl {
+			if k == int64(^uint64(0)>>1) { // MaxInt64: "> max" admits nothing
+				return int32(tbl.Len())
+			}
+			k++
+		}
+		if pos, ok := tbl.ascLowerBound(f.col, k); ok && pos > lo {
+			lo = pos
+		}
+	}
+	return lo
+}
+
+// paramFloorActive reports whether the level has a parameter-bound scan
+// floor that is both bound and usable (ascending column) this execution —
+// the signal that a suffix scan beats a literal-keyed index probe.
+func (p *plan) paramFloorActive(params *Params, lvl int) bool {
+	if params == nil {
+		return false
+	}
+	for _, f := range p.floors[lvl] {
+		if f.slot >= 0 && params.Ints[f.slot] > 0 {
+			if _, ok := p.tables[lvl].ascLowerBound(f.col, 0); ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // planIndexAccess finds an equality conjunct "tbl.col = key" (or an
-// all-literal "tbl.col IN (...)") usable as an index probe at the given
-// level.
+// all-literal "tbl.col IN (...)", or a runtime parameter list) usable as
+// an index probe at the given level. An Optional parameter-list access is
+// returned with the level's next-best access attached as its runtime
+// fallback, so one compiled plan serves bound and unbound executions.
 func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
+	var opt *indexAccess
+	// pick resolves a usable access against the pending optional one:
+	// optional parameter-list accesses are held back (returning nil)
+	// while the scan continues for a guaranteed access to use as their
+	// runtime fallback; the first guaranteed access wins, carrying the
+	// pending optional in front of it when one exists. Guaranteed input
+	// therefore always yields a non-nil result.
+	pick := func(ia *indexAccess) *indexAccess {
+		if ia.listSlot >= 0 && ia.optional {
+			if opt == nil {
+				opt = ia
+			}
+			return nil
+		}
+		if opt != nil {
+			opt.fallback = ia
+			return opt
+		}
+		return ia
+	}
 	tbl := b.tables[lvl]
 	for _, p := range preds {
 		if in, ok := p.(InList); ok && !in.Negate {
 			if ia := b.planInListAccess(lvl, in); ia != nil {
-				return ia, nil
+				if got := pick(ia); got != nil {
+					return got, nil
+				}
 			}
 			continue
 		}
 		if pi, ok := p.(ParamIDs); ok {
 			if ia := b.planParamIDsAccess(lvl, pi); ia != nil {
-				return ia, nil
+				if got := pick(ia); got != nil {
+					return got, nil
+				}
 			}
 			continue
 		}
@@ -363,16 +556,17 @@ func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
 			if err != nil {
 				return nil
 			}
-			return &indexAccess{col: ccol, keyFn: keyFn, listSlot: -1}
+			_, isLit := keySide.(Lit)
+			return &indexAccess{col: ccol, keyFn: keyFn, listSlot: -1, litKey: isLit}
 		}
 		if ia := try(bin.L, bin.R); ia != nil {
-			return ia, nil
+			return pick(ia), nil // try() accesses are never optional
 		}
 		if ia := try(bin.R, bin.L); ia != nil {
-			return ia, nil
+			return pick(ia), nil
 		}
 	}
-	return nil, nil
+	return opt, nil
 }
 
 // compileEval compiles an expression to a closure with the exact

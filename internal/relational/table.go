@@ -39,6 +39,12 @@ type col struct {
 	// (ints), projection decodes through dict.vals.
 	dict  *dictionary
 	codes []int32
+	// unsorted records that an int column has received a value smaller
+	// than its predecessor. Until then the column is ascending-sorted and
+	// range predicates over it (event-ID floors, time windows) can binary
+	// search their scan start instead of scanning from row 0. Tracked
+	// incrementally on append — one comparison per insert, never a scan.
+	unsorted bool
 }
 
 // dictionary maps the distinct values of a low-cardinality string column
@@ -249,6 +255,9 @@ func (t *Table) appendRow(row []Value) {
 		c := &t.cols[i]
 		switch c.kind {
 		case KindInt:
+			if n := len(c.ints); n > 0 && v.I < c.ints[n-1] {
+				c.unsorted = true
+			}
 			c.ints = append(c.ints, v.I)
 		case KindString:
 			if c.dict != nil {
@@ -372,6 +381,43 @@ func (t *Table) CreateIndex(column string) error {
 	}
 	t.indexes[col] = ix
 	return nil
+}
+
+// ascLowerBound returns the first row position whose value in the int
+// column at position col is >= k, when the column is ascending-sorted
+// (no NULLs, never a decreasing append); ok is false otherwise.
+// Sortedness is tracked incrementally on append, so the check is O(1) and
+// the search O(log n).
+func (t *Table) ascLowerBound(col int, k int64) (int32, bool) {
+	c := &t.cols[col]
+	if c.kind != KindInt || c.unsorted || len(c.null) > 0 {
+		return 0, false
+	}
+	return int32(LowerBoundInt64(c.ints, k)), true
+}
+
+// LowerBoundInt64 is sort.Search specialized to "first element >= k"
+// over an ascending []int64 (no interface indirection on the hot path).
+// It is the one sorted-ID search shared by the scan floors and parameter
+// membership here, the engine's view reads, and the graph backend's
+// anchor intersection; ContainsSortedInt64 is the membership form.
+func LowerBoundInt64(a []int64, k int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ContainsSortedInt64 binary-searches a sorted unique []int64 for k.
+func ContainsSortedInt64(a []int64, k int64) bool {
+	i := LowerBoundInt64(a, k)
+	return i < len(a) && a[i] == k
 }
 
 // HasIndex reports whether column has a hash index.

@@ -52,6 +52,15 @@ type Config struct {
 	// re-deliver that history as fresh alerts. Default 65536 distinct
 	// firings; negative disables the cap.
 	DedupHighWater int
+	// ViewHighWater bounds the engine-side materialized pattern views that
+	// make standing-query rounds O(delta): the total cached match rows
+	// across all watched queries. 0 keeps the engine default
+	// (engine.DefaultViewHighWater); a negative value disables the views,
+	// forcing every delta round through the recompute path (the
+	// correctness oracle the equivalence tests compare against). A query
+	// whose views would cross the cap falls back to recompute on its own;
+	// Unwatch releases a query's views immediately.
+	ViewHighWater int
 }
 
 // DefaultConfig mirrors the batch pipeline's defaults.
@@ -128,6 +137,9 @@ type Session struct {
 // session appends to it in place.
 func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
 	cfg = cfg.withDefaults()
+	if cfg.ViewHighWater != 0 {
+		en.ViewHighWater = cfg.ViewHighWater
+	}
 	parserLog := &audit.Log{Entities: store.Log.Entities}
 	return &Session{
 		cfg:          cfg,
@@ -241,6 +253,7 @@ func (s *Session) Close() error {
 	}
 	_, err := s.advanceLocked(true)
 	for id, sub := range s.subs {
+		s.engine.DropViews(sub.analyzed)
 		close(sub.c)
 		delete(s.subs, id)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -203,6 +204,146 @@ func TestIncrementalVsBatchEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// mixedTBQL joins a relational event pattern with a single-hop graph
+// pattern, so one standing query exercises both backends' views at once.
+const mixedTBQL = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 ->[write] file f2["%/tmp/upload.tar%"] as evt2
+with evt1 before evt2
+return distinct p1, f1, f2`
+
+// windowTBQL carries a bounds-sensitive LAST window, so every sealed
+// batch moves the bounds epoch and forces the window-sensitive views to
+// rematerialize through the plan-invalidation machinery.
+const windowTBQL = `last 9 hour proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+with evt1 before evt2
+return distinct p1, f1, f2`
+
+// TestMaterializedViewFiringEquivalence is the randomized append-schedule
+// property behind the incremental-view layer: under identical random
+// ingest schedules, a session evaluating standing queries through
+// materialized views (the default), a session with views disabled
+// (ViewHighWater < 0 — the recompute oracle), and a session whose tiny
+// view cap forces the mid-flight fallback must deliver byte-identical
+// firing sets for relational, graph single-hop, variable-length,
+// mixed-backend, and window-epoch-invalidated queries.
+func TestMaterializedViewFiringEquivalence(t *testing.T) {
+	recs := dataLeakRecords(t, 0.2)
+	queries := []string{dataLeakTBQL, graphTBQL, varlenTBQL, mixedTBQL, windowTBQL}
+
+	type lane struct {
+		name string
+		cfg  Config
+	}
+	lanes := []lane{
+		{"views", Config{MatchBuffer: 4096}},
+		{"recompute", Config{MatchBuffer: 4096, ViewHighWater: -1}},
+		{"capped", Config{MatchBuffer: 4096, ViewHighWater: 3}},
+	}
+
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// One random schedule per seed, shared by every lane.
+			rng := rand.New(rand.NewSource(seed))
+			var cuts []int
+			for lo := 0; lo < len(recs); {
+				n := 1 + rng.Intn(700)
+				if lo+n > len(recs) {
+					n = len(recs) - lo
+				}
+				cuts = append(cuts, n)
+				lo += n
+			}
+
+			fired := make(map[string][][]string) // lane -> per-query sorted firings
+			for _, ln := range lanes {
+				sess, en := emptySession(t, ln.cfg)
+				subs := make([]*Subscription, len(queries))
+				for i, q := range queries {
+					sub, err := sess.Watch(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					subs[i] = sub
+				}
+				lo := 0
+				for _, n := range cuts {
+					if _, err := sess.IngestRecords(recs[lo : lo+n]); err != nil {
+						t.Fatal(err)
+					}
+					lo += n
+				}
+				if _, err := sess.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				perQuery := make([][]string, len(queries))
+				for i, sub := range subs {
+					if err := sub.Err(); err != nil {
+						t.Fatalf("lane %s query %d: %v", ln.name, i, err)
+					}
+					if d := sub.Dropped(); d != 0 {
+						t.Fatalf("lane %s query %d dropped %d", ln.name, i, d)
+					}
+					got := drainMatches(sub)
+					sort.Strings(got)
+					perQuery[i] = got
+				}
+				fired[ln.name] = perQuery
+
+				switch ln.name {
+				case "views":
+					if vs := en.Views(); vs.Materializations == 0 {
+						t.Fatalf("views lane never materialized: %+v", vs)
+					}
+				case "recompute":
+					if vs := en.Views(); vs.CachedRows != 0 {
+						t.Fatalf("recompute lane cached rows: %+v", vs)
+					}
+				case "capped":
+					if vs := en.Views(); vs.Fallbacks == 0 {
+						t.Fatalf("capped lane never fell back: %+v", vs)
+					}
+				}
+			}
+
+			for i, q := range queries {
+				base := fired["recompute"][i]
+				for _, name := range []string{"views", "capped"} {
+					if fmt.Sprint(fired[name][i]) != fmt.Sprint(base) {
+						t.Fatalf("query %q: %s firings diverge from recompute:\n%s: %v\nrecompute: %v",
+							q, name, name, fired[name][i], base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnwatchReleasesViews pins stream-side eviction: removing the last
+// subscription for a query releases its materialized rows.
+func TestUnwatchReleasesViews(t *testing.T) {
+	recs := dataLeakRecords(t, 0.1)
+	sess, en := emptySession(t, Config{MatchBuffer: 4096})
+	sub, err := sess.Watch(dataLeakTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.IngestRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := en.Views(); vs.CachedRows == 0 {
+		t.Fatalf("expected cached view rows while watched: %+v", vs)
+	}
+	sess.Unwatch(sub)
+	if vs := en.Views(); vs.CachedRows != 0 {
+		t.Fatalf("Unwatch left %d cached rows", vs.CachedRows)
 	}
 }
 

@@ -121,13 +121,16 @@ func (s *Session) Watch(src string) (*Subscription, error) {
 	return sub, nil
 }
 
-// Unwatch removes a subscription and closes its channel. It is a no-op
-// for subscriptions of other sessions or already-removed ones.
+// Unwatch removes a subscription, closes its channel, and releases the
+// engine's materialized views for its query (a long-lived session must
+// not keep match caches for queries nobody watches). It is a no-op for
+// subscriptions of other sessions or already-removed ones.
 func (s *Session) Unwatch(sub *Subscription) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.subs[sub.ID]; ok && cur == sub {
 		delete(s.subs, sub.ID)
+		s.engine.DropViews(sub.analyzed)
 		close(sub.c)
 	}
 }
