@@ -94,7 +94,7 @@ func BenchmarkTable6Hunt(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sys.HuntOSCTI(c.Report); err != nil {
+		if _, _, err := sys.HuntOSCTI(nil, c.Report); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,28 +126,28 @@ func BenchmarkTable8QueryExecution(b *testing.B) {
 	en, aa, ac := dataLeakAnalyzed(b)
 	b.Run("tbql-scheduled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := en.Execute(aa); err != nil {
+			if _, _, err := en.Execute(nil, aa); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sql-monolithic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := en.ExecuteMonolithicSQL(aa); err != nil {
+			if _, _, err := en.ExecuteMonolithicSQL(nil, aa); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("tbql-len1-path", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := en.Execute(ac); err != nil {
+			if _, _, err := en.Execute(nil, ac); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cypher-monolithic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := en.ExecuteMonolithicCypher(aa); err != nil {
+			if _, _, err := en.ExecuteMonolithicCypher(nil, aa); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -162,14 +162,14 @@ func BenchmarkTable8SchedulerAblation(b *testing.B) {
 	naive := &engine.Engine{Store: en.Store, DisableScheduling: true}
 	b.Run("scheduled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := en.Execute(aa); err != nil {
+			if _, _, err := en.Execute(nil, aa); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("unscheduled", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := naive.Execute(aa); err != nil {
+			if _, _, err := naive.Execute(nil, aa); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -83,7 +83,7 @@ func main() {
 	}
 
 	if *useFuzzy {
-		als, err := sys.FuzzyHunt(query, true)
+		als, err := sys.FuzzyHunt(nil, query, true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func main() {
 		return
 	}
 
-	res, stats, err := sys.Hunt(query)
+	res, stats, err := sys.Hunt(nil, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func repl(sys *threatraptor.System) {
 		if query == "" {
 			return
 		}
-		res, stats, err := sys.Hunt(query)
+		res, stats, err := sys.Hunt(nil, query)
 		if err != nil {
 			fmt.Println("error:", err)
 			return

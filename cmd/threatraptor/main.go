@@ -15,12 +15,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"threatraptor"
@@ -41,9 +46,22 @@ func main() {
 	queryPath := flag.String("query", "", "TBQL query file (watch mode; skips report synthesis)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "watch mode poll interval")
 	watchIdle := flag.Int("watch-idle", 0, "exit watch mode after N consecutive polls without new data (0 = run until interrupted)")
+	huntTimeout := flag.Duration("hunt-timeout", 0, "cancel the hunt after this long (0 = no limit)")
+	maxHunts := flag.Int("max-hunts", 0, "max concurrent hunts before load shedding (0 = unlimited)")
+	huntQueueTimeout := flag.Duration("hunt-queue-timeout", 0, "how long a hunt queues for a slot when -max-hunts is reached")
 	flag.Parse()
 
-	sys := threatraptor.New(threatraptor.DefaultOptions())
+	opts := threatraptor.DefaultOptions()
+	opts.MaxConcurrentHunts = *maxHunts
+	opts.HuntQueueTimeout = *huntQueueTimeout
+	sys := threatraptor.New(opts)
+
+	ctx := context.Background()
+	if *huntTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *huntTimeout)
+		defer cancel()
+	}
 
 	if *watch {
 		if *logPath == "" {
@@ -141,7 +159,7 @@ func main() {
 	}
 
 	if *useFuzzy {
-		als, err := sys.FuzzyHunt(query, true)
+		als, err := sys.FuzzyHunt(ctx, query, true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,7 +170,7 @@ func main() {
 		return
 	}
 
-	hits, stats, err := sys.Hunt(query)
+	hits, stats, err := sys.Hunt(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -193,13 +211,22 @@ func watchQuery(sys *threatraptor.System, queryPath, reportPath string) (string,
 // runWatch tails the log file: each poll ingests whatever bytes were
 // appended since the last one (the open file keeps its offset, and a
 // half-written final line stays buffered inside the parser), then prints
-// any standing-query firings.
+// any standing-query firings. The tailer survives log rotation (the path
+// points at a new inode: the old file is drained once more, then the new
+// one is opened from the start) and truncation (the inode shrank below
+// the read offset: rewind to 0), retries transient read errors with
+// jittered exponential backoff, and on SIGINT/SIGTERM drains a final
+// ingest+flush before exiting so buffered events still fire.
 func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duration, idleLimit int) error {
 	f, err := os.Open(logPath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
 
 	sub, err := sys.Watch(query)
 	if err != nil {
@@ -213,6 +240,10 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 				if !ok {
 					return n
 				}
+				if m.Terminal {
+					fmt.Fprintf(os.Stderr, "watch: standing query quarantined: %v\n", sub.Err())
+					continue
+				}
 				fmt.Printf("MATCH batch=%d", m.Batch)
 				for i, col := range m.Columns {
 					fmt.Printf(" %s=%s", col, m.Row[i].String())
@@ -225,10 +256,95 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 		}
 	}
 
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	// finish drains whatever is still readable plus everything buffered
+	// (partial line, arrival buffer, pending merges) so a shutdown loses
+	// nothing that was already on disk.
+	finish := func(reason string) error {
+		if f != nil {
+			if _, err := sys.Ingest(f); err != nil {
+				var pe *stream.ParseError
+				if !errors.As(err, &pe) {
+					fmt.Fprintf(os.Stderr, "watch: final ingest: %v\n", err)
+				}
+			}
+		}
+		if _, err := sys.FlushStream(); err != nil {
+			return err
+		}
+		printMatches()
+		fmt.Printf("watch: %s; flushed and exiting\n", reason)
+		return nil
+	}
+
+	// sleep waits d or returns false on SIGINT/SIGTERM.
+	sleep := func(d time.Duration) bool {
+		select {
+		case <-sigc:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+
+	const maxBackoff = 10 * time.Second
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := time.Duration(0)
+	// fail sleeps one jittered exponential-backoff step; transient errors
+	// (a rotated-away file mid-reopen, an NFS hiccup) must not kill a
+	// long-lived watch, but hot-looping on them would burn the CPU.
+	fail := func(op string, err error) bool {
+		if backoff == 0 {
+			backoff = poll
+		} else if backoff < maxBackoff {
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		d := backoff + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		fmt.Fprintf(os.Stderr, "watch: %s: %v (retrying in %s)\n", op, err, d.Round(time.Millisecond))
+		return sleep(d)
+	}
+
 	fmt.Printf("watching %s (poll %s)\n", logPath, poll)
 	idle := 0
 	lastPartial := 0
 	for {
+		if f == nil {
+			nf, err := os.Open(logPath)
+			if err != nil {
+				if !fail("reopen", err) {
+					return finish("interrupted")
+				}
+				continue
+			}
+			f = nf
+		}
+		// Rotation: the path now names a different file. Drain the old
+		// inode below one last time, then reopen next iteration.
+		rotated := false
+		if cur, err := f.Stat(); err == nil {
+			if onDisk, err := os.Stat(logPath); err == nil {
+				rotated = !os.SameFile(cur, onDisk)
+			}
+			// Truncation in place: the inode shrank below our offset;
+			// start over from the top of the file.
+			if off, err := f.Seek(0, io.SeekCurrent); err == nil && cur.Size() < off {
+				fmt.Fprintf(os.Stderr, "watch: %s truncated (%d < %d); rewinding\n", logPath, cur.Size(), off)
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					f.Close()
+					f = nil
+					if !fail("rewind", err) {
+						return finish("interrupted")
+					}
+					continue
+				}
+			}
+		}
 		st, err := sys.Ingest(f)
 		var pe *stream.ParseError
 		if errors.As(err, &pe) {
@@ -236,7 +352,20 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 			// lines around it were ingested; warn and keep tailing.
 			fmt.Fprintf(os.Stderr, "watch: %v\n", pe)
 		} else if err != nil {
-			return err
+			if errors.Is(err, stream.ErrSessionClosed) {
+				return err
+			}
+			if !fail("ingest", err) {
+				return finish("interrupted")
+			}
+			continue
+		}
+		backoff = 0
+		if rotated {
+			fmt.Fprintf(os.Stderr, "watch: %s rotated; reopening\n", logPath)
+			f.Close()
+			f = nil
+			continue
 		}
 		fired := printMatches()
 		// A grown partial line is progress too: the producer is
@@ -249,15 +378,12 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 				if st.PartialBuffered > 0 {
 					fmt.Printf("watch: warning: flushing a %d-byte unterminated trailing line\n", st.PartialBuffered)
 				}
-				if _, err := sys.FlushStream(); err != nil {
-					return err
-				}
-				printMatches()
-				fmt.Println("watch: idle limit reached; flushed and exiting")
-				return nil
+				return finish("idle limit reached")
 			}
 		}
 		lastPartial = st.PartialBuffered
-		time.Sleep(poll)
+		if !sleep(poll) {
+			return finish("interrupted")
+		}
 	}
 }

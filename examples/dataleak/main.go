@@ -42,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	timeIt("TBQL (scheduled, PostgreSQL-style backend)", func() int {
-		res, _, err := en.Execute(aa)
+		res, _, err := en.Execute(nil, aa)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func main() {
 
 	// Query form (b): one giant SQL statement.
 	timeIt("SQL (monolithic)", func() int {
-		rs, _, err := en.ExecuteMonolithicSQL(aa)
+		rs, _, err := en.ExecuteMonolithicSQL(nil, aa)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 	timeIt("TBQL length-1 paths (scheduled, Neo4j-style backend)", func() int {
-		res, _, err := en.Execute(ac)
+		res, _, err := en.Execute(nil, ac)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func main() {
 
 	// Query form (d): one giant Cypher statement.
 	timeIt("Cypher (monolithic)", func() int {
-		rs, _, err := en.ExecuteMonolithicCypher(aa)
+		rs, _, err := en.ExecuteMonolithicCypher(nil, aa)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -126,7 +126,7 @@ drained:
 	if _, err := sys.FlushStream(); err != nil {
 		log.Fatal(err)
 	}
-	res, stats, err := sys.Hunt(`proc p read file f["%/etc/passwd%"] return p, f`)
+	res, stats, err := sys.Hunt(nil, `proc p read file f["%/etc/passwd%"] return p, f`)
 	if err != nil {
 		log.Fatal(err)
 	}

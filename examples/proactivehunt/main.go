@@ -26,7 +26,7 @@ func main() {
 	hunt := func(title, query string) {
 		fmt.Println("### " + title)
 		fmt.Println(query)
-		res, stats, err := sys.Hunt(query)
+		res, stats, err := sys.Hunt(nil, query)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +58,7 @@ return distinct p, i`)
 
 	// Fuzzy mode: the analyst misremembers the cracker's name.
 	fmt.Println("### Fuzzy search for a misremembered tool name (libfool.so)")
-	als, err := sys.FuzzyHunt(`proc p["%/tmp/libfool.so%"] read file f["%/etc/shadow%"] as e1
+	als, err := sys.FuzzyHunt(nil, `proc p["%/tmp/libfool.so%"] read file f["%/etc/shadow%"] as e1
 return distinct p, f`, true)
 	if err != nil {
 		log.Fatal(err)

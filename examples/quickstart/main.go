@@ -50,7 +50,7 @@ func main() {
 	fmt.Println()
 
 	// Step 3: query execution (exact search mode).
-	hits, execStats, err := sys.Hunt(query)
+	hits, execStats, err := sys.Hunt(nil, query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,8 +10,10 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"threatraptor/internal/audit"
+	"threatraptor/internal/faultinject"
 	"threatraptor/internal/relational"
 )
 
@@ -22,12 +24,18 @@ import (
 // caller tracks novelty, e.g. with audit.EntityTable.Since), and events
 // may only reference stored or batch-new entities.
 //
+// AppendBatch is atomic: it either applies the whole batch or leaves the
+// store exactly as it was. Contract violations are caught by an up-front
+// validation pass before anything mutates; a failure (or panic) past that
+// point rolls both backends back to their pre-append marks — table rows
+// and index tails truncate, graph arenas and adjacency tails pop, and the
+// event-ID sequence rewinds so a retried batch derives the same IDs. Time
+// bounds and their epoch publish last, only on success. A panic mid-append
+// resurfaces as a typed *InternalError after the rollback.
+//
 // AppendBatch is not safe to run concurrently with queries; the stream
-// session serializes writers against readers. Contract violations
-// (duplicate entities, events referencing unknown entities) are caught by
-// an up-front validation pass before anything mutates, so an error leaves
-// the store exactly as it was.
-func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) error {
+// session serializes writers against readers.
+func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err error) {
 	entTbl := s.Rel.Table("entities")
 	evTbl := s.Rel.Table("events")
 	if entTbl == nil || evTbl == nil {
@@ -51,7 +59,34 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) erro
 		}
 	}
 
+	// Pre-append marks: everything below must be unwound on failure.
+	entMark := entTbl.Len()
+	evMark := evTbl.Len()
+	gMark := s.Graph.Mark()
+	logMark := len(s.Log.Events)
+	idMark := s.nextEventID
+	defer func() {
+		r := recover()
+		if r == nil && err == nil {
+			return
+		}
+		// Roll back in reverse append order so every unwind pops tails.
+		s.Log.Events = s.Log.Events[:logMark]
+		s.Graph.Rollback(gMark)
+		evTbl.TruncateRows(evMark)
+		entTbl.TruncateRows(entMark)
+		s.nextEventID = idMark
+		// IDs assigned into the caller's events this attempt stay: the
+		// rewound sequence re-derives the same IDs on retry.
+		if r != nil {
+			err = &InternalError{Query: "append batch", Panic: r, Stack: debug.Stack()}
+		}
+	}()
+
 	if len(entities) > 0 {
+		if err := faultinject.Hit(FaultAppendEntitiesRel); err != nil {
+			return err
+		}
 		w := len(entTbl.Schema)
 		rows := make([][]relational.Value, len(entities))
 		slab := make([]relational.Value, len(entities)*w)
@@ -59,6 +94,9 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) erro
 			rows[i] = entityRow(e, slab[i*w:(i+1)*w:(i+1)*w])
 		}
 		if err := entTbl.InsertBatch(rows); err != nil {
+			return err
+		}
+		if err := faultinject.Hit(FaultAppendEntitiesGraph); err != nil {
 			return err
 		}
 		s.Graph.ReserveNodes(len(entities))
@@ -102,7 +140,13 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) erro
 			newMax = ev.EndTime
 		}
 	}
+	if err := faultinject.Hit(FaultAppendEventsRel); err != nil {
+		return err
+	}
 	if err := evTbl.InsertBatch(rows); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(FaultAppendEventsGraph); err != nil {
 		return err
 	}
 	s.Graph.ReserveEdges(len(events))
@@ -114,6 +158,9 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) erro
 			ev.ID, ev.StartTime, ev.EndTime, ev.DataAmount); err != nil {
 			return fmt.Errorf("engine: append event %d: %w", ev.ID, err)
 		}
+	}
+	if err := faultinject.Hit(FaultAppendLog); err != nil {
+		return err
 	}
 	s.Log.Events = append(s.Log.Events, events...)
 	if newMin != s.MinTime || newMax != s.MaxTime {

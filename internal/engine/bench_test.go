@@ -43,7 +43,7 @@ func BenchmarkExecuteScheduled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := en.Execute(a); err != nil {
+		if _, _, err := en.Execute(nil, a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func BenchmarkExecuteParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := en.Execute(a); err != nil {
+		if _, _, err := en.Execute(nil, a); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func BenchmarkExecuteUnscheduled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := en.Execute(a); err != nil {
+		if _, _, err := en.Execute(nil, a); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -104,7 +104,7 @@ func analyzed(t testing.TB, src string) *tbql.Analyzed {
 func TestScheduledExecutionFindsAttack(t *testing.T) {
 	store, _ := dataLeakStore(t, 400)
 	en := &Engine{Store: store}
-	res, stats, err := en.Execute(analyzed(t, dataLeakTBQL))
+	res, stats, err := en.Execute(nil, analyzed(t, dataLeakTBQL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestScheduledExecutionFindsAttack(t *testing.T) {
 func TestMatchedEventsAreTheAttack(t *testing.T) {
 	store, attackIDs := dataLeakStore(t, 400)
 	en := &Engine{Store: store}
-	res, _, err := en.Execute(analyzed(t, dataLeakTBQL))
+	res, _, err := en.Execute(nil, analyzed(t, dataLeakTBQL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +147,11 @@ func TestMonolithicSQLEquivalence(t *testing.T) {
 	store, _ := dataLeakStore(t, 300)
 	en := &Engine{Store: store}
 	a := analyzed(t, dataLeakTBQL)
-	sched, _, err := en.Execute(a)
+	sched, _, err := en.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mono, _, err := en.ExecuteMonolithicSQL(a)
+	mono, _, err := en.ExecuteMonolithicSQL(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +165,11 @@ func TestMonolithicCypherEquivalence(t *testing.T) {
 	store, _ := dataLeakStore(t, 300)
 	en := &Engine{Store: store}
 	a := analyzed(t, dataLeakTBQL)
-	sched, _, err := en.Execute(a)
+	sched, _, err := en.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mono, _, err := en.ExecuteMonolithicCypher(a)
+	mono, _, err := en.ExecuteMonolithicCypher(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestLength1PathExecution(t *testing.T) {
 proc p1 ->[write] file f2["%/tmp/upload.tar%"] as evt2
 with evt1 before evt2
 return distinct p1, f1, f2`
-	res, stats, err := en.Hunt(src)
+	res, stats, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestVariableLengthPathExecution(t *testing.T) {
 	// Information flow from tar to the C2 address spans 8 hops.
 	src := `proc p["%/bin/tar%"] ~>(1~8)[connect] ip i["192.168.29.128"]
 return distinct p, i`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestVariableLengthTooShortFindsNothing(t *testing.T) {
 	en := &Engine{Store: store}
 	src := `proc p["%/bin/tar%"] ~>(1~2)[connect] ip i["192.168.29.128"]
 return distinct p, i`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestTemporalOrderEnforced(t *testing.T) {
 proc p1 write file f2["%/tmp/upload.tar%"] as evt2
 with evt2 before evt1
 return distinct p1`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestAttrRelation(t *testing.T) {
 proc p2 write file f2["%/tmp/upload.tar%"] as evt2
 with p1.pid = p2.pid
 return distinct p1, p2`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestEarlyExitOnEmptyPattern(t *testing.T) {
 	src := `proc p1["%/bin/tar%"] read file f1["%/no/such/file%"] as evt1
 proc p2 read file f2 as evt2
 return distinct p2`
-	res, stats, err := en.Hunt(src)
+	res, stats, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,11 +296,11 @@ func TestSchedulerOutperformsNaive(t *testing.T) {
 	a := analyzed(t, dataLeakTBQL)
 	sched := &Engine{Store: store}
 	naive := &Engine{Store: store, DisableScheduling: true}
-	_, ss, err := sched.Execute(a)
+	_, ss, err := sched.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ns, err := naive.Execute(a)
+	_, ns, err := naive.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestSchedulerOutperformsNaive(t *testing.T) {
 			ss.PatternRows, ns.PatternRows)
 	}
 	monoRows := func() int {
-		_, ms, err := sched.ExecuteMonolithicSQL(a)
+		_, ms, err := sched.ExecuteMonolithicSQL(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -326,7 +326,7 @@ func TestWindowFilter(t *testing.T) {
 	en := &Engine{Store: store}
 	// A window far in the past excludes everything.
 	src := `proc p1["%/bin/tar%"] read file f1 from "2001-01-01" to "2001-01-02" return distinct p1`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestWindowFilter(t *testing.T) {
 	}
 	// A "last N days" window that covers the log finds the reads.
 	src = `last 3650 day proc p1["%/bin/tar%"] read file f1 return distinct f1`
-	res, _, err = en.Hunt(src)
+	res, _, err = en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,14 +40,14 @@ func TestExecutionPathEquivalence(t *testing.T) {
 			}
 
 			sched := &Engine{Store: store}
-			res, _, err := sched.Execute(a)
+			res, _, err := sched.Execute(nil, a)
 			if err != nil {
 				t.Fatalf("scheduled: %v", err)
 			}
 			want := res.Set.Strings()
 
 			unsched := &Engine{Store: store, DisableScheduling: true}
-			ures, _, err := unsched.Execute(a)
+			ures, _, err := unsched.Execute(nil, a)
 			if err != nil {
 				t.Fatalf("unscheduled: %v", err)
 			}
@@ -55,7 +55,7 @@ func TestExecutionPathEquivalence(t *testing.T) {
 				t.Errorf("unscheduled differs:\n%v\n%v", want, ures.Set.Strings())
 			}
 
-			pres, _, err := sched.ExecuteParallel(a)
+			pres, _, err := sched.ExecuteParallel(nil, a)
 			if err != nil {
 				t.Fatalf("parallel: %v", err)
 			}
@@ -67,7 +67,7 @@ func TestExecutionPathEquivalence(t *testing.T) {
 					len(pres.MatchedEvents), len(res.MatchedEvents))
 			}
 
-			mres, _, err := sched.ExecuteMonolithicSQL(a)
+			mres, _, err := sched.ExecuteMonolithicSQL(nil, a)
 			if err != nil {
 				// Variable-length path patterns cannot compile to one SQL
 				// statement; that is the documented monolithic limitation,
@@ -105,15 +105,15 @@ func TestBatchSizeEquivalence(t *testing.T) {
 
 	execAll := func(en *Engine) [][][]string {
 		t.Helper()
-		res, _, err := en.Execute(a)
+		res, _, err := en.Execute(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pres, _, err := en.ExecuteParallel(a)
+		pres, _, err := en.ExecuteParallel(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mres, _, err := en.ExecuteMonolithicSQL(a)
+		mres, _, err := en.ExecuteMonolithicSQL(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,11 +159,11 @@ func TestParallelFlagEquivalence(t *testing.T) {
 	parallel := &Engine{Store: store, Parallel: true}
 	a := analyzed(t, dataLeakTBQL)
 
-	sres, _, err := serial.Execute(a)
+	sres, _, err := serial.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pres, pstats, err := parallel.Execute(a)
+	pres, pstats, err := parallel.Execute(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestHashJoinSelfLoopPatterns(t *testing.T) {
 	src := `proc p start proc p as e1
 proc p end proc p as e2
 return distinct p`
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"threatraptor/internal/faultinject"
 	"threatraptor/internal/graphdb"
 	"threatraptor/internal/qir"
 	"threatraptor/internal/relational"
@@ -113,9 +116,15 @@ func (sp extrasSpec) any() bool {
 // pattern lowers to. Both backends consume the pattern's compiled plan
 // directly; the extras bind as parameter values, so no query text is
 // assembled and no parser runs.
-func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extrasSpec) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
+func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryPlan, idx int, sp extrasSpec) (patternRows, relational.ExecStats, graphdb.ExecStats, error) {
 	p := a.Query.Patterns[idx]
 	pr := patternRows{idx: idx, hasEvent: true}
+	if err := ctxErr(ctx); err != nil {
+		return pr, relational.ExecStats{}, graphdb.ExecStats{}, err
+	}
+	if err := faultinject.Hit(FaultExecutePattern); err != nil {
+		return pr, relational.ExecStats{}, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
+	}
 	pp := &plan.pats[idx]
 	if pp.usesGraph {
 		var params *graphdb.ExecParams
@@ -138,7 +147,7 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 			}
 			params = &gp
 		}
-		rs, gs, err := en.Store.Graph.ExecWith(pp.gq, params)
+		rs, gs, err := en.Store.Graph.ExecWithCtx(ctx, pp.gq, params)
 		if err != nil {
 			return pr, relational.ExecStats{}, gs, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
 		}
@@ -173,7 +182,7 @@ func (en *Engine) runPattern(a *tbql.Analyzed, plan *queryPlan, idx int, sp extr
 	params.Lists[qir.SlotSubjIDs] = sp.subj
 	params.Lists[qir.SlotObjIDs] = sp.obj
 	params.Ints[qir.SlotDelta] = sp.delta
-	rs, qs, err := prep.Query(&params)
+	rs, qs, err := prep.QueryCtx(ctx, &params)
 	if err != nil {
 		return pr, qs, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
 	}
@@ -220,8 +229,15 @@ func emptyResult(a *tbql.Analyzed) *Result {
 // bindings forward as bound parameters, and a final in-engine join applies
 // the temporal and attribute relationships. With Parallel set, independent
 // patterns within one dependency level run concurrently.
-func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
-	return en.execute(a, nil)
+//
+// ctx cancels cooperatively: the executors poll it at pattern and level
+// boundaries, relational batch boundaries, and graph DFS depth steps, and
+// the call returns ctx.Err() promptly. A nil context never cancels. Panics
+// anywhere in execution surface as a typed *InternalError instead of
+// unwinding into the caller.
+func (en *Engine) Execute(ctx context.Context, a *tbql.Analyzed) (res *Result, stats Stats, err error) {
+	defer guard(a, &err)
+	return en.execute(ctx, a, nil)
 }
 
 // execute is Execute with an optional per-pattern delta floor: deltaFor
@@ -231,10 +247,10 @@ func (en *Engine) Execute(a *tbql.Analyzed) (*Result, Stats, error) {
 // hoisted to the front: a floor over a small append usually matches
 // nothing (short-circuiting the round after one data query) or a handful
 // of rows whose bindings prune every later pattern.
-func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Result, Stats, error) {
+func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, deltaFor func(idx int) int64) (*Result, Stats, error) {
 	plan := en.planFor(a)
 	if en.Parallel && !en.DisableScheduling && deltaFor == nil {
-		return en.executeLevels(a, plan)
+		return en.executeLevels(ctx, a, plan)
 	}
 
 	order := plan.order
@@ -268,7 +284,7 @@ func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Resu
 		if deltaFor != nil {
 			sp.delta = deltaFor(idx)
 		}
-		pr, qs, gs, err := en.runPattern(a, plan, idx, sp)
+		pr, qs, gs, err := en.runPattern(ctx, a, plan, idx, sp)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -292,7 +308,7 @@ func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Resu
 		}
 	}
 
-	res, joined, err := en.join(a, results)
+	res, joined, err := en.join(ctx, a, results)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -306,7 +322,7 @@ func (en *Engine) execute(a *tbql.Analyzed, deltaFor func(idx int) int64) (*Resu
 // could flow between them), and binding sets are narrowed between levels.
 // Delta rounds never come here: execute() routes them through the serial
 // plan, whose binding feed the hoisted delta patterns rely on.
-func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
+func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
 	var stats Stats
 	bindings := make(map[string][]int64)
 	results := make([]patternRows, len(a.Query.Patterns))
@@ -330,7 +346,7 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 		}
 		if len(level) == 1 {
 			o := &outs[0]
-			o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, level[0], levelSpec(level[0]))
+			o.pr, o.rel, o.gr, o.err = en.runPattern(ctx, a, plan, level[0], levelSpec(level[0]))
 		} else {
 			var wg sync.WaitGroup
 			for i, idx := range level {
@@ -338,8 +354,20 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 				wg.Add(1)
 				go func(i, idx int, sp extrasSpec) {
 					defer wg.Done()
+					// A worker panic would kill the process (the caller's
+					// recover boundary cannot see it), so each worker has its
+					// own, producing the same typed error.
+					defer func() {
+						if r := recover(); r != nil {
+							outs[i].err = &InternalError{
+								Query: "pattern " + a.Query.Patterns[idx].ID,
+								Panic: r,
+								Stack: debug.Stack(),
+							}
+						}
+					}()
 					o := &outs[i]
-					o.pr, o.rel, o.gr, o.err = en.runPattern(a, plan, idx, sp)
+					o.pr, o.rel, o.gr, o.err = en.runPattern(ctx, a, plan, idx, sp)
 				}(i, idx, sp)
 			}
 			wg.Wait()
@@ -375,7 +403,7 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 		}
 	}
 
-	res, joined, err := en.join(a, results)
+	res, joined, err := en.join(ctx, a, results)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -385,8 +413,9 @@ func (en *Engine) executeLevels(a *tbql.Analyzed, plan *queryPlan) (*Result, Sta
 
 // ExecuteParallel runs the scheduled plan with per-level concurrency
 // regardless of the Parallel flag.
-func (en *Engine) ExecuteParallel(a *tbql.Analyzed) (*Result, Stats, error) {
-	return en.executeLevels(a, en.planFor(a))
+func (en *Engine) ExecuteParallel(ctx context.Context, a *tbql.Analyzed) (res *Result, stats Stats, err error) {
+	defer guard(a, &err)
+	return en.executeLevels(ctx, a, en.planFor(a))
 }
 
 // ExecuteDelta evaluates a query incrementally after an append: it returns
@@ -404,13 +433,14 @@ func (en *Engine) ExecuteParallel(a *tbql.Analyzed) (*Result, Stats, error) {
 // pattern fall back to one full execution: even a typed path binds the
 // event variable only on its final hop, so an ID floor would miss paths
 // completed by a newly appended intermediate edge.
-func (en *Engine) ExecuteDelta(a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
+func (en *Engine) ExecuteDelta(ctx context.Context, a *tbql.Analyzed, minEventID int64) (res *Result, stats Stats, err error) {
+	defer guard(a, &err)
 	if HasVarLenPath(a) {
-		return en.execute(a, nil)
+		return en.execute(ctx, a, nil)
 	}
 	plan := en.planFor(a)
 	if en.viewCap() > 0 {
-		res, stats, ok, err := en.executeDeltaViews(a, plan, minEventID)
+		res, stats, ok, err := en.executeDeltaViews(ctx, a, plan, minEventID)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -418,13 +448,13 @@ func (en *Engine) ExecuteDelta(a *tbql.Analyzed, minEventID int64) (*Result, Sta
 			return res, stats, nil
 		}
 	}
-	return en.executeDeltaRecompute(a, minEventID)
+	return en.executeDeltaRecompute(ctx, a, minEventID)
 }
 
 // executeDeltaRecompute is the pre-view delta join: every pattern takes a
 // turn as the delta pattern and the others re-run their full data
 // queries, narrowed by the scheduler's binding feed.
-func (en *Engine) executeDeltaRecompute(a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
+func (en *Engine) executeDeltaRecompute(ctx context.Context, a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
 	combined := &Result{
 		Set:           &relational.ResultSet{Columns: returnColumns(a)},
 		MatchedEvents: map[int64]bool{},
@@ -432,7 +462,7 @@ func (en *Engine) executeDeltaRecompute(a *tbql.Analyzed, minEventID int64) (*Re
 	var total Stats
 	for i := range a.Query.Patterns {
 		i := i
-		res, stats, err := en.execute(a, func(idx int) int64 {
+		res, stats, err := en.execute(ctx, a, func(idx int) int64 {
 			if idx == i {
 				return minEventID
 			}
@@ -584,11 +614,34 @@ func returnColumns(a *tbql.Analyzed) []string {
 // global filters, then projects the return clause. The 2-pattern case
 // hash-joins on the shared entity variables; larger conjunctions use the
 // backtracking walk.
-func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, error) {
+func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, results []patternRows) (*Result, int, error) {
 	q := a.Query
 	rs := &relational.ResultSet{Columns: returnColumns(a)}
 	matched := make(map[int64]bool)
 	joined := 0
+
+	// Amortized cancellation checkpoint for the join loops: the outer rows
+	// of the backtracking walk and the hash-join probe loop poll every 256
+	// iterations (a nil context makes it a nil compare).
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var tick uint32
+	checkCancel := func() error {
+		if done == nil {
+			return nil
+		}
+		if tick++; tick&255 != 1 {
+			return nil
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
 
 	// Join in ascending row-count order to keep intermediates small.
 	order := make([]int, len(results))
@@ -707,7 +760,7 @@ func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, e
 
 	runJoin := func() error {
 		if len(order) == 2 {
-			if ok, err := en.hashJoin2(q, results, order, bindRow, emit); ok {
+			if ok, err := en.hashJoin2(q, results, order, bindRow, emit, checkCancel); ok {
 				return err
 			}
 		}
@@ -718,6 +771,9 @@ func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, e
 			}
 			pr := results[order[k]]
 			for _, r := range pr.rows {
+				if err := checkCancel(); err != nil {
+					return err
+				}
 				ok, undo := bindRow(pr, r)
 				if !ok {
 					continue
@@ -747,7 +803,8 @@ func (en *Engine) join(a *tbql.Analyzed, results []patternRows) (*Result, int, e
 // side probes. Returns ok=false (and does nothing) when the patterns
 // share no entity variable — the cross-product walk handles that case.
 func (en *Engine) hashJoin2(q *tbql.Query, results []patternRows, order []int,
-	bindRow func(patternRows, [5]int64) (bool, func()), emit func() error) (bool, error) {
+	bindRow func(patternRows, [5]int64) (bool, func()), emit func() error,
+	checkCancel func() error) (bool, error) {
 
 	small, large := results[order[0]], results[order[1]]
 	ps, pl := q.Patterns[small.idx], q.Patterns[large.idx]
@@ -795,6 +852,9 @@ func (en *Engine) hashJoin2(q *tbql.Query, results []patternRows, order []int,
 		idx[k] = append(idx[k], r)
 	}
 	for _, rl := range large.rows {
+		if err := checkCancel(); err != nil {
+			return true, err
+		}
 		for _, rsm := range idx[keyOfLarge(rl)] {
 			okS, undoS := bindRow(small, rsm)
 			if !okS {
@@ -849,13 +909,13 @@ func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
 // ExecuteMonolithicSQL lowers the query into one giant statement and runs
 // it on the relational backend (query type (b) in RQ4). The statement is
 // lowered to an AST and compiled once per plan — no SQL text, no parser.
-func (en *Engine) ExecuteMonolithicSQL(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
-	var stats Stats
+func (en *Engine) ExecuteMonolithicSQL(ctx context.Context, a *tbql.Analyzed) (rs *relational.ResultSet, stats Stats, err error) {
+	defer guard(a, &err)
 	pr, err := en.planFor(a).monolithicSQL(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
-	rs, qs, err := pr.Query(nil)
+	rs, qs, err := pr.QueryCtx(ctx, nil)
 	stats.DataQueries = 1
 	stats.Rel = qs
 	return rs, stats, err
@@ -864,13 +924,13 @@ func (en *Engine) ExecuteMonolithicSQL(a *tbql.Analyzed) (*relational.ResultSet,
 // ExecuteMonolithicCypher lowers the query into one giant multi-MATCH
 // graph query and runs it with the clause-at-a-time plan that production
 // graph databases use for multi-MATCH statements (query type (d) in RQ4).
-func (en *Engine) ExecuteMonolithicCypher(a *tbql.Analyzed) (*relational.ResultSet, Stats, error) {
-	var stats Stats
+func (en *Engine) ExecuteMonolithicCypher(ctx context.Context, a *tbql.Analyzed) (rs *relational.ResultSet, stats Stats, err error) {
+	defer guard(a, &err)
 	q, err := en.planFor(a).monolithicCypher(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
-	rs, gs, err := en.Store.Graph.Exec(q)
+	rs, gs, err := en.Store.Graph.ExecWithCtx(ctx, q, nil)
 	stats.DataQueries = 1
 	stats.Graph = gs
 	return rs, stats, err
@@ -881,11 +941,12 @@ func (en *Engine) ExecuteMonolithicCypher(a *tbql.Analyzed) (*relational.ResultS
 // scoring semantics ("the system events found by the event patterns in the
 // synthesized TBQL query"): an excessive pattern that matches nothing does
 // not empty the other patterns' findings.
-func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error) {
-	matched := make(map[int64]bool)
+func (en *Engine) MatchEventsPerPattern(ctx context.Context, a *tbql.Analyzed) (matched map[int64]bool, err error) {
+	defer guard(a, &err)
+	matched = make(map[int64]bool)
 	plan := en.planFor(a)
 	for idx := range a.Query.Patterns {
-		pr, _, _, err := en.runPattern(a, plan, idx, extrasSpec{})
+		pr, _, _, err := en.runPattern(ctx, a, plan, idx, extrasSpec{})
 		if err != nil {
 			return nil, err
 		}
@@ -902,13 +963,14 @@ func (en *Engine) MatchEventsPerPattern(a *tbql.Analyzed) (map[int64]bool, error
 // Hunt parses, analyzes, and executes TBQL source with the scheduled
 // plan. The analyzed form is cached by source text, so a repeat hunt
 // reuses the compiled query plan (IR and backend plan variants) instead of
-// re-parsing anything.
-func (en *Engine) Hunt(src string) (*Result, Stats, error) {
+// re-parsing anything. ctx cancels the execution cooperatively (see
+// Execute); a nil context never cancels.
+func (en *Engine) Hunt(ctx context.Context, src string) (*Result, Stats, error) {
 	a, err := en.analyzedFor(src)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return en.Execute(a)
+	return en.Execute(ctx, a)
 }
 
 // analyzedFor returns the cached parse+analyze result for src.

@@ -132,7 +132,7 @@ func TestIRGoldenEquivalence(t *testing.T) {
 
 			for idx, p := range a.Query.Patterns {
 				// Unconstrained rows drive the binding-set samples.
-				base, _, _, err := en.runPattern(a, plan, idx, extrasSpec{})
+				base, _, _, err := en.runPattern(nil, a, plan, idx, extrasSpec{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -153,7 +153,7 @@ func TestIRGoldenEquivalence(t *testing.T) {
 					specs = append(specs, extrasSpec{delta: delta}, extrasSpec{subj: subj, delta: delta})
 				}
 				for si, sp := range specs {
-					got, _, _, err := en.runPattern(a, plan, idx, sp)
+					got, _, _, err := en.runPattern(nil, a, plan, idx, sp)
 					if err != nil {
 						t.Fatalf("pattern %s spec %d: %v", p.ID, si, err)
 					}
@@ -202,7 +202,7 @@ func TestIRLiveAppendEquivalence(t *testing.T) {
 
 			// Execute against the half store first so cached plans must
 			// survive (or correctly invalidate across) the append.
-			if _, _, err := enLive.Execute(a); err != nil {
+			if _, _, err := enLive.Execute(nil, a); err != nil {
 				t.Fatal(err)
 			}
 			rest := append([]audit.Event(nil), gen.Log.Events[half:]...)
@@ -211,11 +211,11 @@ func TestIRLiveAppendEquivalence(t *testing.T) {
 			}
 
 			enFull := &Engine{Store: full}
-			want, _, err := enFull.Execute(a)
+			want, _, err := enFull.Execute(nil, a)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, _, err := enLive.Execute(a)
+			got, _, err := enLive.Execute(nil, a)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -229,11 +229,11 @@ func TestIRLiveAppendEquivalence(t *testing.T) {
 			// path's round, row for row.
 			floor := int64(half) + 1
 			enRecomp := &Engine{Store: live, ViewHighWater: -1}
-			vres, _, err := enLive.ExecuteDelta(a, floor)
+			vres, _, err := enLive.ExecuteDelta(nil, a, floor)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rres, _, err := enRecomp.ExecuteDelta(a, floor)
+			rres, _, err := enRecomp.ExecuteDelta(nil, a, floor)
 			if err != nil {
 				t.Fatal(err)
 			}

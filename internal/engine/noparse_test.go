@@ -25,17 +25,17 @@ func TestExecutePathsInvokeNoParser(t *testing.T) {
 	rel0, gr0 := relational.ParseCalls(), graphdb.ParseCalls()
 
 	for _, run := range []func() error{
-		func() error { _, _, err := en.Execute(a); return err },
-		func() error { _, _, err := en.ExecuteParallel(a); return err },
-		func() error { _, _, err := enPar.Execute(a); return err },
-		func() error { _, _, err := enUnsched.Execute(a); return err },
-		func() error { _, _, err := en.ExecuteDelta(a, 1); return err },
-		func() error { _, _, err := en.ExecuteMonolithicSQL(a); return err },
-		func() error { _, _, err := en.ExecuteMonolithicCypher(a); return err },
-		func() error { _, _, err := en.Execute(aPath); return err },
-		func() error { _, _, err := en.ExecuteDelta(aPath, 1); return err },
-		func() error { _, err := en.MatchEventsPerPattern(a); return err },
-		func() error { _, _, err := en.Hunt(dataLeakTBQL); return err },
+		func() error { _, _, err := en.Execute(nil, a); return err },
+		func() error { _, _, err := en.ExecuteParallel(nil, a); return err },
+		func() error { _, _, err := enPar.Execute(nil, a); return err },
+		func() error { _, _, err := enUnsched.Execute(nil, a); return err },
+		func() error { _, _, err := en.ExecuteDelta(nil, a, 1); return err },
+		func() error { _, _, err := en.ExecuteMonolithicSQL(nil, a); return err },
+		func() error { _, _, err := en.ExecuteMonolithicCypher(nil, a); return err },
+		func() error { _, _, err := en.Execute(nil, aPath); return err },
+		func() error { _, _, err := en.ExecuteDelta(nil, aPath, 1); return err },
+		func() error { _, err := en.MatchEventsPerPattern(nil, a); return err },
+		func() error { _, _, err := en.Hunt(nil, dataLeakTBQL); return err },
 	} {
 		if err := run(); err != nil {
 			t.Fatal(err)

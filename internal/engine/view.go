@@ -19,6 +19,7 @@ package engine
 // a query that would exceed the cap falls back to the recompute path.
 
 import (
+	"context"
 	"sort"
 
 	"threatraptor/internal/relational"
@@ -186,7 +187,7 @@ func (en *Engine) disablePlanViewsLocked(plan *queryPlan) {
 // then dropped wholesale and the caller evaluates through the recompute
 // path. Stats from the catch-up data queries accumulate into st. Callers
 // hold plan.viewMu.
-func (en *Engine) ensureViews(a *tbql.Analyzed, plan *queryPlan, st *Stats) (bool, error) {
+func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, plan *queryPlan, st *Stats) (bool, error) {
 	next := en.Store.NextEventID()
 	for idx := range plan.pats {
 		pp := &plan.pats[idx]
@@ -202,7 +203,7 @@ func (en *Engine) ensureViews(a *tbql.Analyzed, plan *queryPlan, st *Stats) (boo
 		if v.upTo > 0 {
 			sp.delta = v.upTo
 		}
-		pr, qs, gs, err := en.runPattern(a, plan, idx, sp)
+		pr, qs, gs, err := en.runPattern(ctx, a, plan, idx, sp)
 		if err != nil {
 			return false, err
 		}
@@ -242,7 +243,7 @@ func (en *Engine) ensureViews(a *tbql.Analyzed, plan *queryPlan, st *Stats) (boo
 // view) join against the other patterns' cached sets, with the
 // scheduler's binding sets narrowing each read. Returns ok=false when a
 // view is capped and the recompute path must run instead.
-func (en *Engine) executeDeltaViews(a *tbql.Analyzed, plan *queryPlan, minEventID int64) (*Result, Stats, bool, error) {
+func (en *Engine) executeDeltaViews(ctx context.Context, a *tbql.Analyzed, plan *queryPlan, minEventID int64) (*Result, Stats, bool, error) {
 	var stats Stats
 	plan.viewMu.Lock()
 	defer plan.viewMu.Unlock()
@@ -255,7 +256,7 @@ func (en *Engine) executeDeltaViews(a *tbql.Analyzed, plan *queryPlan, minEventI
 		// its views): re-arm and retry materialization.
 		plan.viewsDisabled = false
 	}
-	viewsOK, err := en.ensureViews(a, plan, &stats)
+	viewsOK, err := en.ensureViews(ctx, a, plan, &stats)
 	if err != nil {
 		return nil, stats, false, err
 	}
@@ -315,7 +316,7 @@ func (en *Engine) executeDeltaViews(a *tbql.Analyzed, plan *queryPlan, minEventI
 		if empty {
 			continue
 		}
-		res, joined, err := en.join(a, sc.results)
+		res, joined, err := en.join(ctx, a, sc.results)
 		if err != nil {
 			return nil, stats, false, err
 		}

@@ -12,7 +12,7 @@ import (
 // deltaRows renders an ExecuteDelta result as sorted row strings.
 func deltaRows(t *testing.T, en *Engine, a *tbql.Analyzed, floor int64) []string {
 	t.Helper()
-	res, _, err := en.ExecuteDelta(a, floor)
+	res, _, err := en.ExecuteDelta(nil, a, floor)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestExecuteDeltaMatchedEventsEquivalent(t *testing.T) {
 	live, floor := appendHalves(t, full)
 	viewEn := &Engine{Store: live}
 	recompEn := &Engine{Store: live, ViewHighWater: -1}
-	vres, _, err := viewEn.ExecuteDelta(a, floor)
+	vres, _, err := viewEn.ExecuteDelta(nil, a, floor)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, _, err := recompEn.ExecuteDelta(a, floor)
+	rres, _, err := recompEn.ExecuteDelta(nil, a, floor)
 	if err != nil {
 		t.Fatal(err)
 	}

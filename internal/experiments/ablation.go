@@ -104,14 +104,14 @@ func SchedulerAblation(scale float64, rounds int) ([]SchedulerRow, error) {
 		var sStats, nStats engine.Stats
 		if row.Scheduled, err = timeRounds(rounds, func() error {
 			var err error
-			_, sStats, err = sched.Execute(a)
+			_, sStats, err = sched.Execute(nil, a)
 			return err
 		}); err != nil {
 			return nil, err
 		}
 		if row.Unscheduled, err = timeRounds(rounds, func() error {
 			var err error
-			_, nStats, err = naive.Execute(a)
+			_, nStats, err = naive.Execute(nil, a)
 			return err
 		}); err != nil {
 			return nil, err

@@ -182,7 +182,7 @@ func Table6(scale float64) ([]Table6Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c.ID, err)
 			}
-			matched, err = en.MatchEventsPerPattern(a)
+			matched, err = en.MatchEventsPerPattern(nil, a)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c.ID, err)
 			}
@@ -340,25 +340,25 @@ func Table8(scale float64, rounds int) ([]Table8Row, error) {
 
 		row := Table8Row{CaseID: c.ID, Patterns: len(qa.Patterns)}
 		if row.TBQL, err = timeRounds(rounds, func() error {
-			_, _, err := en.Execute(aa)
+			_, _, err := en.Execute(nil, aa)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("%s tbql: %w", c.ID, err)
 		}
 		if row.SQL, err = timeRounds(rounds, func() error {
-			_, _, err := en.ExecuteMonolithicSQL(aa)
+			_, _, err := en.ExecuteMonolithicSQL(nil, aa)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("%s sql: %w", c.ID, err)
 		}
 		if row.TBQLPath, err = timeRounds(rounds, func() error {
-			_, _, err := en.Execute(ac)
+			_, _, err := en.Execute(nil, ac)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("%s tbql-path: %w", c.ID, err)
 		}
 		if row.Cypher, err = timeRounds(rounds, func() error {
-			_, _, err := en.ExecuteMonolithicCypher(aa)
+			_, _, err := en.ExecuteMonolithicCypher(nil, aa)
 			return err
 		}); err != nil {
 			return nil, fmt.Errorf("%s cypher: %w", c.ID, err)

@@ -1,0 +1,122 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// robustness tests: production code threads named fault points through the
+// hot paths (parse, append, execute, deliver), and a test arms a Plan that
+// makes chosen hits of chosen points fail — as a returned error or as a
+// panic — in a fully reproducible way.
+//
+// The harness is built to be free when idle: a disarmed Hit is a single
+// atomic load and a nil return, so fault points can sit on paths that also
+// run in benchmarks. Arming is test-only and globally serialized; the
+// package is not meant to be armed by two tests at once (use t.Cleanup
+// with Disarm).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects how a triggered fault point fails.
+type Mode int
+
+const (
+	// ModeError makes the fault point return an *InjectedError.
+	ModeError Mode = iota
+	// ModePanic makes the fault point panic with an *InjectedError,
+	// exercising the recover boundaries.
+	ModePanic
+)
+
+// Trigger schedules failures for one fault point.
+type Trigger struct {
+	// Hits lists the 1-based hit numbers that fail; every other hit of
+	// the point passes. An empty list never fires.
+	Hits []int
+	// Mode selects error-return or panic.
+	Mode Mode
+}
+
+// Plan maps fault-point names to their trigger schedules.
+type Plan map[string]Trigger
+
+// ErrInjected is the sentinel every injected failure wraps, so callers can
+// errors.Is(err, faultinject.ErrInjected) regardless of point or hit.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedError is the concrete failure produced by a triggered point.
+type InjectedError struct {
+	// Point is the fault-point name that fired.
+	Point string
+	// Hit is the 1-based hit number at which it fired.
+	Hit int
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected fault at %s (hit %d)", e.Point, e.Hit)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+var (
+	// armed gates the slow path; when false, Hit is one atomic load.
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	plan   Plan
+	counts map[string]int
+)
+
+// Arm installs a plan, resetting all hit counts. It replaces any
+// previously armed plan.
+func Arm(p Plan) {
+	mu.Lock()
+	plan = p
+	counts = make(map[string]int, len(p))
+	mu.Unlock()
+	armed.Store(p != nil)
+}
+
+// Disarm removes the plan; every fault point becomes a no-op again.
+func Disarm() { Arm(nil) }
+
+// Armed reports whether a plan is installed.
+func Armed() bool { return armed.Load() }
+
+// Hit records one pass through the named fault point. Disarmed it returns
+// nil immediately. Armed, it increments the point's hit count and, if the
+// plan schedules this hit, fails: ModeError returns an *InjectedError,
+// ModePanic panics with one.
+func Hit(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	tr, ok := plan[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	counts[name]++
+	n := counts[name]
+	mu.Unlock()
+	for _, h := range tr.Hits {
+		if h == n {
+			err := &InjectedError{Point: name, Hit: n}
+			if tr.Mode == ModePanic {
+				panic(err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Count reports how many times the named point has been hit since Arm.
+func Count(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return counts[name]
+}

@@ -1,6 +1,7 @@
 package graphdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -95,6 +96,30 @@ type matcher struct {
 	// capture, when set, replaces row emission: the clause-at-a-time
 	// executor uses it to collect raw variable bindings.
 	capture func() error
+	// ctx/done drive cooperative cancellation: done caches ctx.Done() so
+	// the checkpoints cost a nil compare when no cancellable context is
+	// bound; tick amortizes the poll to every 64th step.
+	ctx  context.Context
+	done <-chan struct{}
+	tick uint32
+}
+
+// checkCancel is the cooperative cancellation checkpoint, placed at anchor
+// candidates, DFS depth steps, and edge-driven scan iterations — never per
+// property comparison.
+func (m *matcher) checkCancel() error {
+	if m.done == nil {
+		return nil
+	}
+	if m.tick++; m.tick&63 != 1 {
+		return nil
+	}
+	select {
+	case <-m.done:
+		return m.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func flattenConjuncts(e relational.Expr, acc []relational.Expr) []relational.Expr {
@@ -133,6 +158,14 @@ func (g *Graph) Exec(q *Query) (*ResultSet, ExecStats, error) {
 // model (multi-pattern queries with ClauseAtATime set — the naive RQ4
 // comparison plan) does not support parameters.
 func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, error) {
+	return g.ExecWithCtx(nil, q, params)
+}
+
+// ExecWithCtx is ExecWith with cooperative cancellation: the matcher polls
+// ctx.Done() at anchor candidates, variable-length DFS depth steps, and
+// edge-driven scan iterations, returning ctx.Err() promptly once the
+// context is cancelled. A nil or never-cancelled context adds no work.
+func (g *Graph) ExecWithCtx(ctx context.Context, q *Query, params *ExecParams) (*ResultSet, ExecStats, error) {
 	g.ensureAdjSorted()
 	if q.ClauseAtATime && len(q.Patterns) > 1 {
 		if params != nil {
@@ -146,6 +179,10 @@ func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, e
 		params: params,
 		nodes:  make(map[string]int64),
 		edges:  make(map[string]int64),
+	}
+	if ctx != nil {
+		m.ctx = ctx
+		m.done = ctx.Done()
 	}
 	if q.Where != nil {
 		m.conjuncts = flattenConjuncts(q.Where, nil)
@@ -219,6 +256,9 @@ func (m *matcher) matchEdgeDriven() error {
 	rel := &pat.Rels[0]
 	srcPat, dstPat := pat.Nodes[0], pat.Nodes[1]
 	for ei := m.params.MinEdgeID - 1; ei < int64(len(m.g.edges)); ei++ {
+		if err := m.checkCancel(); err != nil {
+			return err
+		}
 		e := &m.g.edges[ei]
 		m.stats.EdgesTraversed++
 		if !typeMatches(rel.Types, e.Type) {
@@ -270,6 +310,9 @@ func (m *matcher) matchPattern(pi, ni int) error {
 			return err
 		}
 		for _, id := range cands {
+			if err := m.checkCancel(); err != nil {
+				return err
+			}
 			ok, bound, err := m.bindNode(np, id)
 			if err != nil {
 				return err
@@ -399,6 +442,11 @@ func (m *matcher) matchHop(pi, ni int) error {
 	used := m.acquireVisited()
 	var dfs func(cur int64, depth int) error
 	dfs = func(cur int64, depth int) error {
+		// Depth-step cancellation checkpoint: a runaway var-length
+		// traversal is exactly the hunt that must stay cancellable.
+		if err := m.checkCancel(); err != nil {
+			return err
+		}
 		if depth >= rel.Min {
 			// A zero-length hop (Min=0) binds dst to src itself.
 			if err := tryDst(0, cur); err != nil {

@@ -309,6 +309,95 @@ func (g *Graph) ensureAdjSorted() {
 	g.dirtyIn = nil
 }
 
+// Mark captures the graph's append high-water marks so a failed batch
+// append can be rolled back with Rollback.
+type Mark struct {
+	nodes    int
+	edges    int
+	nextNode int64
+}
+
+// Mark returns the current append high-water marks. Take it immediately
+// before an append batch; no query may run between Mark and Rollback (the
+// store's append path holds the session write lock for the whole batch).
+func (g *Graph) Mark() Mark {
+	return Mark{nodes: len(g.nodes), edges: len(g.edges), nextNode: g.nextNode}
+}
+
+// Rollback removes every node and edge appended since the mark, restoring
+// the arenas, adjacency lists, label lists, property indexes, and ID
+// high-water mark. It relies on append-only tails: adjacency, label, and
+// property-index lists only ever append between Mark and Rollback (lazy
+// adjacency re-sorts happen on query entry, and queries are excluded), so
+// the appended suffix of each list is exactly what must be popped.
+func (g *Graph) Rollback(m Mark) {
+	// Pop edges newest-first so each one sits at the tail of its
+	// endpoints' adjacency lists when removed.
+	for ei := len(g.edges) - 1; ei >= m.edges; ei-- {
+		e := &g.edges[ei]
+		fi := g.nodeIdx[e.From]
+		if l := g.out[fi]; len(l) > 0 && l[len(l)-1] == int32(ei) {
+			g.out[fi] = l[:len(l)-1]
+		}
+		ti := g.nodeIdx[e.To]
+		if l := g.in[ti]; len(l) > 0 && l[len(l)-1] == int32(ei) {
+			g.in[ti] = l[:len(l)-1]
+		}
+		*e = Edge{} // release Props/string references held by the arena
+	}
+	g.edges = g.edges[:m.edges]
+
+	// Pop nodes newest-first: label and property-index lists appended the
+	// IDs in insertion order, so each removed ID is a list tail.
+	for ni := len(g.nodes) - 1; ni >= m.nodes; ni-- {
+		n := &g.nodes[ni]
+		delete(g.nodeIdx, n.ID)
+		if l := g.byLabel[n.Label]; len(l) > 0 && l[len(l)-1] == n.ID {
+			if len(l) == 1 {
+				delete(g.byLabel, n.Label)
+			} else {
+				g.byLabel[n.Label] = l[:len(l)-1]
+			}
+		}
+		if byProp, ok := g.propIndex[n.Label]; ok {
+			for prop, vals := range byProp {
+				v, has := n.Props[prop]
+				if !has {
+					continue
+				}
+				if l := vals[v]; len(l) > 0 && l[len(l)-1] == n.ID {
+					if len(l) == 1 {
+						delete(vals, v)
+					} else {
+						vals[v] = l[:len(l)-1]
+					}
+				}
+			}
+		}
+		*n = Node{}
+	}
+	g.nodes = g.nodes[:m.nodes]
+	g.out = g.out[:m.nodes]
+	g.in = g.in[:m.nodes]
+	g.nextNode = m.nextNode
+
+	// Dirty-list entries for removed nodes would make the next lazy
+	// re-sort index past the truncated adjacency arrays; entries for
+	// surviving nodes stay (re-sorting a clean list is harmless).
+	g.sortMu.Lock()
+	for fi := range g.dirtyOut {
+		if int(fi) >= m.nodes {
+			delete(g.dirtyOut, fi)
+		}
+	}
+	for ti := range g.dirtyIn {
+		if int(ti) >= m.nodes {
+			delete(g.dirtyIn, ti)
+		}
+	}
+	g.sortMu.Unlock()
+}
+
 // CreateIndex builds a property index on (label, prop) over existing and
 // future nodes.
 func (g *Graph) CreateIndex(label, prop string) {

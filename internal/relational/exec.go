@@ -1,13 +1,30 @@
 package relational
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// PanicError captures a panic raised inside a shard worker goroutine. A
+// panic in a goroutine cannot be recovered by the caller, so the worker
+// converts it into this error and the caller re-surfaces it; the engine's
+// query boundary wraps it into an *engine.InternalError.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("relational: executor panic: %v", e.Value)
+}
 
 // ExecStats counts the work done by a query execution, for benchmarking
 // and for comparing naive monolithic plans against scheduled plans.
@@ -29,7 +46,7 @@ func (db *DB) QueryStats(sql string) (*ResultSet, ExecStats, error) {
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	return p.run(nil)
+	return p.run(nil, nil)
 }
 
 // Exec runs a parsed SELECT statement (planned fresh, uncached).
@@ -38,7 +55,7 @@ func (db *DB) Exec(stmt *SelectStmt) (*ResultSet, ExecStats, error) {
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	return p.run(nil)
+	return p.run(nil, nil)
 }
 
 // errStopScan aborts the nested-loop walk once a LIMIT (with no ORDER BY)
@@ -100,7 +117,7 @@ func (s *rowSink) emit(p *plan, st *execState) error {
 // workers on contiguous row ranges (concatenation preserves scan order).
 // The plan is read-only; all mutable state is per-execution, so one plan
 // may run on many goroutines concurrently.
-func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
+func (p *plan) run(ctx context.Context, params *Params) (*ResultSet, ExecStats, error) {
 	rs := &ResultSet{Columns: p.cols}
 	n0 := int32(p.tables[0].Len())
 	var stats ExecStats
@@ -118,7 +135,7 @@ func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
 		if params != nil {
 			pv = *params
 		}
-		if err := p.runSharded(rs, &stats, lo0, n0, pv); err != nil {
+		if err := p.runSharded(ctx, rs, &stats, lo0, n0, pv); err != nil {
 			return nil, stats, err
 		}
 		if p.stmt.Distinct {
@@ -128,6 +145,7 @@ func (p *plan) run(params *Params) (*ResultSet, ExecStats, error) {
 		}
 	} else {
 		st := p.state()
+		st.bindCtx(ctx)
 		if params != nil {
 			st.params = *params
 		}
@@ -168,7 +186,7 @@ func (p *plan) newSink(rs *ResultSet) *rowSink {
 // by any active scan floor — into contiguous chunks, walks each on its
 // own worker with private state and sink, and concatenates the per-shard
 // rows in shard order (identical row order to the serial scan).
-func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, lo0, n0 int32, params Params) error {
+func (p *plan) runSharded(ctx context.Context, rs *ResultSet, stats *ExecStats, lo0, n0 int32, params Params) error {
 	span := n0 - lo0
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
@@ -199,7 +217,16 @@ func (p *plan) runSharded(rs *ResultSet, stats *ExecStats, lo0, n0 int32, params
 		wg.Add(1)
 		go func(sh *shard, lo, hi int32) {
 			defer wg.Done()
+			// A panic here would kill the process (goroutine panics are
+			// unrecoverable by the caller), so convert it to an error the
+			// engine's query boundary can type.
+			defer func() {
+				if r := recover(); r != nil {
+					sh.err = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
 			st := p.state()
+			st.bindCtx(ctx)
 			st.params = params
 			sink := p.newSink(&sh.rs)
 			err := p.walk(st, sink, 0, lo, hi)
@@ -256,6 +283,9 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 	if ia := p.effAccess(&st.params, lvl); ia != nil {
 		if ia.keyList != nil {
 			for _, key := range ia.keyList {
+				if err := st.checkCancel(); err != nil {
+					return err
+				}
 				if err := p.probe(st, sink, lvl, tbl, ia, key); err != nil {
 					return err
 				}
@@ -264,6 +294,9 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 		}
 		if ia.listSlot >= 0 {
 			for _, id := range st.params.Lists[ia.listSlot] {
+				if err := st.checkCancel(); err != nil {
+					return err
+				}
 				if err := p.probe(st, sink, lvl, tbl, ia, Int(id)); err != nil {
 					return err
 				}
@@ -283,6 +316,15 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 	}
 	bs := int32(BatchSize)
 	for b := lo; b < hi; b += bs {
+		// One cancellation poll per batch: off the per-row path, and the
+		// nil-done fast path makes it free when no context is bound.
+		if st.done != nil {
+			select {
+			case <-st.done:
+				return st.ctx.Err()
+			default:
+			}
+		}
 		end := b + bs
 		if end > hi {
 			end = hi

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -32,7 +33,15 @@ func (db *DB) Prepare(stmt *SelectStmt) (*Prepared, error) {
 // Query executes the prepared plan with the given parameter bindings
 // (nil binds every slot to its zero value).
 func (pr *Prepared) Query(params *Params) (*ResultSet, ExecStats, error) {
-	return pr.p.run(params)
+	return pr.p.run(nil, params)
+}
+
+// QueryCtx is Query with cooperative cancellation: the executor polls
+// ctx.Done() at batch boundaries and (amortized) in index-probe loops and
+// returns ctx.Err() promptly once the context is cancelled. A nil or
+// never-cancelled context adds no per-row work.
+func (pr *Prepared) QueryCtx(ctx context.Context, params *Params) (*ResultSet, ExecStats, error) {
+	return pr.p.run(ctx, params)
 }
 
 // Describe renders the physical plan for EXPLAIN output: one line per

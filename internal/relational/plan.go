@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -118,6 +119,40 @@ type execState struct {
 	// pendErr carries a row-predicate error out of the append-only filter
 	// kernels; descend re-raises it before visiting any row.
 	pendErr error
+	// ctx/done drive cooperative cancellation: done caches ctx.Done() so
+	// the checkpoint fast path is a nil compare when no context (or a
+	// never-cancelled one) is bound. tick amortizes the poll on the probe
+	// loops.
+	ctx  context.Context
+	done <-chan struct{}
+	tick uint32
+}
+
+// bindCtx attaches a context's cancellation signal to this execution.
+func (st *execState) bindCtx(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	st.ctx = ctx
+	st.done = ctx.Done()
+}
+
+// checkCancel is the amortized cancellation checkpoint for index-probe
+// loops: with no cancellable context bound it is a nil compare; otherwise
+// it polls the done channel every 64 iterations.
+func (st *execState) checkCancel() error {
+	if st.done == nil {
+		return nil
+	}
+	if st.tick++; st.tick&63 != 1 {
+		return nil
+	}
+	select {
+	case <-st.done:
+		return st.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // selbuf returns level lvl's selection buffer, empty, with capacity for at
@@ -143,6 +178,9 @@ func (p *plan) state() *execState {
 
 func (p *plan) release(st *execState) {
 	st.params = Params{}
+	st.ctx = nil
+	st.done = nil
+	st.tick = 0
 	p.statePool.Put(st)
 }
 

@@ -93,6 +93,19 @@ func (b *bitmap) grow(n int) {
 	}
 }
 
+// clearFrom zeroes every bit at position >= n: a row slot reused by a
+// later append must not inherit a stale null bit from a rolled-back row.
+func (b bitmap) clearFrom(n int) {
+	w := n >> 6
+	if w >= len(b) {
+		return
+	}
+	b[w] &= (1 << (uint(n) & 63)) - 1
+	for i := w + 1; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
 // Table stores rows column-major: each column is a dense typed vector
 // ([]int64 or []string) with a null bitmap, and hash indexes are
 // kind-specialized (int64 or string keys) so neither inserts nor probes
@@ -132,6 +145,33 @@ func (ix *hashIndex) add(v Value, pos int32) {
 		ix.ints[v.I] = ix.appendPos(ix.ints[v.I], pos)
 	default:
 		ix.strs[v.S] = ix.appendPos(ix.strs[v.S], pos)
+	}
+}
+
+// remove pops position pos for value v from the index. Positions are
+// appended in row order, so rollback unwinds them strictly from each
+// list's tail; a list emptied by the pop has its key deleted.
+func (ix *hashIndex) remove(v Value, pos int32) {
+	switch {
+	case v.K == KindNull:
+	case ix.kind == KindInt:
+		l := ix.ints[v.I]
+		if n := len(l); n > 0 && l[n-1] == pos {
+			if n == 1 {
+				delete(ix.ints, v.I)
+			} else {
+				ix.ints[v.I] = l[:n-1]
+			}
+		}
+	default:
+		l := ix.strs[v.S]
+		if n := len(l); n > 0 && l[n-1] == pos {
+			if n == 1 {
+				delete(ix.strs, v.S)
+			} else {
+				ix.strs[v.S] = l[:n-1]
+			}
+		}
 	}
 }
 
@@ -446,6 +486,53 @@ func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
 
 // Len returns the row count.
 func (t *Table) Len() int { return t.rows }
+
+// TruncateRows discards every row at position >= n, restoring the table to
+// exactly n rows: index position lists pop the dropped rows from their
+// tails, column vectors are cut back (dropped string headers are zeroed so
+// the backing arrays stop pinning them), and null bits past the cut are
+// cleared. It is the rollback half of the store's crash-consistent append;
+// callers must not retain result sets referencing the dropped rows. The
+// sorted-append shortcut flag is left as-is (conservative: a rollback may
+// keep a column marked unsorted that became sorted again, costing only the
+// binary-search fast path, never correctness).
+func (t *Table) TruncateRows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= t.rows {
+		return
+	}
+	// Unwind the indexes first, while cell() still sees the dropped rows.
+	for _, ix := range t.indexes {
+		if ix == nil {
+			continue
+		}
+		for pos := t.rows - 1; pos >= n; pos-- {
+			ix.remove(t.cell(pos, ix.col), int32(pos))
+		}
+	}
+	for i := range t.cols {
+		c := &t.cols[i]
+		switch c.kind {
+		case KindInt:
+			c.ints = c.ints[:n]
+		case KindString:
+			if c.dict != nil {
+				// Strings interned by rolled-back rows stay in the
+				// dictionary: harmless (nothing references their codes).
+				c.codes = c.codes[:n]
+				break
+			}
+			for r := n; r < len(c.strs); r++ {
+				c.strs[r] = ""
+			}
+			c.strs = c.strs[:n]
+		}
+		c.null.clearFrom(n)
+	}
+	t.rows = n
+}
 
 // ResultSet is the output of a query: column labels plus rows.
 type ResultSet struct {

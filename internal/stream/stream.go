@@ -18,14 +18,31 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
+	"threatraptor/internal/faultinject"
 	"threatraptor/internal/reduction"
 )
+
+// Fault-injection point names (see internal/faultinject).
+const (
+	// FaultParse fires inside Ingest after the input bytes are fed to the
+	// parser, before the pipeline advances.
+	FaultParse = "stream/parse"
+	// FaultDeliver fires per standing-query evaluation in fireLocked,
+	// after the engine's delta execution — the quarantine counter's probe.
+	FaultDeliver = "stream/deliver"
+)
+
+// ErrSessionClosed is returned by Ingest, IngestRecords, Flush, and Watch
+// once the session is closed.
+var ErrSessionClosed = errors.New("stream: session closed")
 
 // Config tunes a Session.
 type Config struct {
@@ -52,6 +69,14 @@ type Config struct {
 	// re-deliver that history as fresh alerts. Default 65536 distinct
 	// firings; negative disables the cap.
 	DedupHighWater int
+	// QuarantineAfter is how many consecutive failed evaluations a
+	// standing query survives before it is quarantined: its views are
+	// dropped, Subscription.Err latches the last error, a terminal Match
+	// (Terminal set) is delivered best-effort, and the channel closes. A
+	// query that recovers before the threshold resets its failure count.
+	// Default 3; negative disables quarantine (errors latch but the
+	// subscription stays registered).
+	QuarantineAfter int
 	// ViewHighWater bounds the engine-side materialized pattern views that
 	// make standing-query rounds O(delta): the total cached match rows
 	// across all watched queries. 0 keeps the engine default
@@ -80,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DedupHighWater == 0 {
 		c.DedupHighWater = 65536
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
 	}
 	return c
 }
@@ -125,6 +153,12 @@ type Session struct {
 	lastEntityID int64
 	batch        int64
 	closed       bool
+
+	// replay holds a sealed batch whose store append failed: the reducer
+	// has already drained it, so it would otherwise be lost. The next
+	// advance retries it ahead of newly sealed events (AppendBatch rolls
+	// back atomically, so the retry converges on the same store).
+	replay []audit.Event
 
 	subs    map[int64]*Subscription
 	nextSub int64
@@ -187,7 +221,7 @@ func (s *Session) Ingest(r io.Reader) (IngestStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return IngestStats{}, fmt.Errorf("stream: session closed")
+		return IngestStats{}, ErrSessionClosed
 	}
 	var parseErr error
 	for {
@@ -203,6 +237,11 @@ func (s *Session) Ingest(r io.Reader) (IngestStats, error) {
 		if err != nil {
 			return IngestStats{}, err
 		}
+	}
+	if err := faultinject.Hit(FaultParse); err != nil {
+		// Parsed records stay buffered in the parser log; the next call
+		// picks them up — injected parse faults lose no input.
+		return IngestStats{}, err
 	}
 	st, err := s.advanceLocked(false)
 	if err != nil {
@@ -220,7 +259,7 @@ func (s *Session) IngestRecords(records []audit.Record) (IngestStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return IngestStats{}, fmt.Errorf("stream: session closed")
+		return IngestStats{}, ErrSessionClosed
 	}
 	for i := range records {
 		if err := s.parser.Feed(&records[i]); err != nil {
@@ -237,7 +276,7 @@ func (s *Session) Flush() (IngestStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return IngestStats{}, fmt.Errorf("stream: session closed")
+		return IngestStats{}, ErrSessionClosed
 	}
 	return s.advanceLocked(true)
 }
@@ -263,11 +302,12 @@ func (s *Session) Close() error {
 
 // Hunt executes a TBQL query against the live store under the read lock,
 // so it can run concurrently with other hunts but never against a torn
-// append.
-func (s *Session) Hunt(src string) (*engine.Result, engine.Stats, error) {
+// append. The context cancels the hunt cooperatively; nil means no
+// cancellation.
+func (s *Session) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.engine.Hunt(src)
+	return s.engine.Hunt(ctx, src)
 }
 
 // ReadLocked runs fn under the session read lock, for callers that read
@@ -297,13 +337,23 @@ func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
 	} else {
 		sealed = s.reducer.Seal()
 	}
-	newEntities := s.store.Log.Entities.Since(s.lastEntityID)
 	st.EventsSealed = len(sealed)
+	if len(s.replay) > 0 {
+		// A previous append failed after the reducer drained these events;
+		// retry them ahead of the newly sealed batch.
+		sealed = append(s.replay, sealed...)
+		s.replay = nil
+	}
+	newEntities := s.store.Log.Entities.Since(s.lastEntityID)
 	st.EntitiesAdded = len(newEntities)
 
 	if len(sealed) > 0 || len(newEntities) > 0 {
 		deltaFloor := s.store.NextEventID()
 		if err := s.store.AppendBatch(newEntities, sealed); err != nil {
+			// AppendBatch rolled back; stash the sealed events (the reducer
+			// no longer holds them) and leave lastEntityID where it was so
+			// the retry re-collects the same entity delta.
+			s.replay = sealed
 			return st, err
 		}
 		s.lastEntityID = s.store.Log.Entities.MaxID()

@@ -87,7 +87,7 @@ func emptySession(t testing.TB, cfg Config) (*Session, *engine.Engine) {
 
 func huntStrings(t testing.TB, en *engine.Engine, src string) []string {
 	t.Helper()
-	res, _, err := en.Hunt(src)
+	res, _, err := en.Hunt(nil, src)
 	if err != nil {
 		t.Fatalf("hunt %q: %v", src, err)
 	}
@@ -488,7 +488,7 @@ func TestConcurrentHuntsDuringIngest(t *testing.T) {
 					return
 				default:
 				}
-				if _, _, err := sess.Hunt(graphTBQL); err != nil {
+				if _, _, err := sess.Hunt(nil, graphTBQL); err != nil {
 					errc <- err
 					return
 				}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"threatraptor/internal/engine"
+	"threatraptor/internal/faultinject"
 	"threatraptor/internal/relational"
 	"threatraptor/internal/tbql"
 )
@@ -19,6 +20,11 @@ type Match struct {
 	Columns []string
 	// Row is the projected return row.
 	Row []relational.Value
+	// Terminal marks the final delivery of a quarantined subscription:
+	// the query failed Config.QuarantineAfter consecutive evaluations,
+	// its views were dropped, and the channel closes after this match.
+	// Terminal matches carry no row; Subscription.Err holds the cause.
+	Terminal bool
 }
 
 // Subscription is one registered standing query. Matches arrive on C;
@@ -47,6 +53,10 @@ type Subscription struct {
 	dropped int64
 	resets  int64
 	err     error
+	// failures counts consecutive failed evaluations; quarantine trips
+	// when it reaches Config.QuarantineAfter. A clean evaluation resets it.
+	failures    int
+	quarantined bool
 }
 
 // Dropped reports how many matches were discarded because C's buffer was
@@ -68,12 +78,22 @@ func (sub *Subscription) DedupResets() int64 {
 }
 
 // Err returns the last evaluation error (nil when every batch evaluated
-// cleanly). An erroring subscription stays registered; the error is
-// overwritten by the next evaluation.
+// cleanly). Below the quarantine threshold an erroring subscription stays
+// registered and the error is overwritten by the next evaluation; once
+// the subscription is quarantined the error latches permanently.
 func (sub *Subscription) Err() error {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	return sub.err
+}
+
+// Quarantined reports whether the subscription was removed after
+// Config.QuarantineAfter consecutive failed evaluations. Its channel is
+// closed (after a best-effort Terminal match) and Err is latched.
+func (sub *Subscription) Quarantined() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.quarantined
 }
 
 // Watch compiles a TBQL query and subscribes it to the stream: each
@@ -93,6 +113,9 @@ func (s *Session) Watch(src string) (*Subscription, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	s.nextSub++
 	c := make(chan Match, s.cfg.MatchBuffer)
 	sub := &Subscription{
@@ -109,7 +132,7 @@ func (s *Session) Watch(src string) (*Subscription, error) {
 	// deliver every pre-Watch binding as a fresh match.
 	if engine.HasVarLenPath(a) {
 		sub.seeded = true
-		res, _, err := s.engine.Execute(a)
+		res, _, err := s.engine.Execute(nil, a)
 		if err != nil {
 			return nil, err
 		}
@@ -160,13 +183,37 @@ func (s *Session) fireLocked(deltaFloor int64) int {
 			sub.resets++
 			sub.mu.Unlock()
 		}
-		res, _, err := s.engine.ExecuteDelta(sub.analyzed, deltaFloor)
-		sub.mu.Lock()
-		sub.err = err
-		sub.mu.Unlock()
+		res, _, err := s.engine.ExecuteDelta(nil, sub.analyzed, deltaFloor)
+		if err == nil {
+			err = faultinject.Hit(FaultDeliver)
+		}
 		if err != nil {
+			sub.mu.Lock()
+			sub.err = err
+			sub.failures++
+			trip := s.cfg.QuarantineAfter > 0 && sub.failures >= s.cfg.QuarantineAfter
+			if trip {
+				sub.quarantined = true
+			}
+			sub.mu.Unlock()
+			if trip {
+				// Quarantine: a persistently failing query must not keep
+				// burning every batch. Drop its views, deliver a terminal
+				// marker best-effort, and close the channel.
+				delete(s.subs, sub.ID)
+				s.engine.DropViews(sub.analyzed)
+				select {
+				case sub.c <- Match{Batch: s.batch, Terminal: true}:
+				default:
+				}
+				close(sub.c)
+			}
 			continue
 		}
+		sub.mu.Lock()
+		sub.err = nil
+		sub.failures = 0
+		sub.mu.Unlock()
 		for _, row := range res.Set.Rows {
 			if !sub.seen.Add(row) {
 				continue

@@ -10,7 +10,7 @@
 //	sys.LoadAuditLog(logFile)              // system audit logging data
 //	res := sys.ExtractBehaviorGraph(text)  // OSCTI text -> threat behavior graph
 //	query, _ := sys.SynthesizeQuery(res.Graph)
-//	hits, _, _ := sys.Hunt(query)          // TBQL execution
+//	hits, _, _ := sys.Hunt(ctx, query)     // TBQL execution
 //
 // Every stage is also usable on its own through the internal packages:
 // audit (system auditing), reduction (data reduction), nlp (the NLP
@@ -21,8 +21,10 @@
 package threatraptor
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
@@ -49,6 +51,14 @@ type Options struct {
 	StreamLatenessUS int64
 	// SynthesisMode selects the synthesized pattern syntax.
 	SynthesisMode synth.Mode
+	// MaxConcurrentHunts caps how many hunts (Hunt, FuzzyHunt, HuntOSCTI)
+	// run at once; later arrivals queue up to HuntQueueTimeout and are
+	// then shed with an error wrapping engine.ErrOverloaded. Zero or
+	// negative: unlimited (the default).
+	MaxConcurrentHunts int
+	// HuntQueueTimeout is how long a hunt waits for a slot when
+	// MaxConcurrentHunts is reached (zero: reject immediately when full).
+	HuntQueueTimeout time.Duration
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -71,6 +81,8 @@ type System struct {
 	// first Ingest or Watch call. While it exists, hunts go through its
 	// reader lock so they never race a live append.
 	live *stream.Session
+	// adm is the concurrent-hunt admission semaphore (nil: unlimited).
+	adm *engine.Admission
 }
 
 // New creates a System with the given options.
@@ -80,6 +92,7 @@ func New(opts Options) *System {
 		extractor: extract.New(extract.Options{
 			IOCProtection: opts.IOCProtection,
 		}),
+		adm: engine.NewAdmission(opts.MaxConcurrentHunts, opts.HuntQueueTimeout),
 	}
 }
 
@@ -194,15 +207,23 @@ func (s *System) SynthesizeQuery(g *extract.Graph) (string, error) {
 
 // Hunt parses and executes a TBQL query against the loaded store using
 // the scheduled (exact search) execution plan. With a live stream active,
-// the hunt runs under the stream's reader lock.
-func (s *System) Hunt(tbqlSrc string) (*engine.Result, engine.Stats, error) {
+// the hunt runs under the stream's reader lock. The context cancels the
+// hunt cooperatively (nil: no cancellation); when Options caps concurrent
+// hunts, the call may shed load with an error wrapping
+// engine.ErrOverloaded.
+func (s *System) Hunt(ctx context.Context, tbqlSrc string) (*engine.Result, engine.Stats, error) {
 	if s.engine == nil {
 		return nil, engine.Stats{}, fmt.Errorf("threatraptor: no audit log loaded")
 	}
-	if s.live != nil {
-		return s.live.Hunt(tbqlSrc)
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return nil, engine.Stats{}, err
 	}
-	return s.engine.Hunt(tbqlSrc)
+	defer release()
+	if s.live != nil {
+		return s.live.Hunt(ctx, tbqlSrc)
+	}
+	return s.engine.Hunt(ctx, tbqlSrc)
 }
 
 // Explain compiles a TBQL query without executing it and renders the
@@ -235,13 +256,13 @@ func (s *System) Explain(tbqlSrc string) (string, error) {
 // HuntOSCTI runs the whole pipeline end to end: extract the threat
 // behavior graph from the report, synthesize a TBQL query, and execute it.
 // It returns the synthesized query text alongside the results.
-func (s *System) HuntOSCTI(osctiText string) (string, *engine.Result, error) {
+func (s *System) HuntOSCTI(ctx context.Context, osctiText string) (string, *engine.Result, error) {
 	res := s.ExtractBehaviorGraph(osctiText)
 	query, err := s.SynthesizeQuery(res.Graph)
 	if err != nil {
 		return "", nil, err
 	}
-	hits, _, err := s.Hunt(query)
+	hits, _, err := s.Hunt(ctx, query)
 	return query, hits, err
 }
 
@@ -256,8 +277,15 @@ type FuzzyAlignment struct {
 // FuzzyHunt executes a TBQL query in the fuzzy search mode (inexact graph
 // pattern matching, extending Poirot): node-level alignment tolerates IOC
 // typos and changes, and flow paths substitute for missing direct events.
-// With a live stream active it runs under the stream's reader lock.
-func (s *System) FuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
+// With a live stream active it runs under the stream's reader lock. The
+// hunt counts against Options.MaxConcurrentHunts; the context bounds the
+// admission wait.
+func (s *System) FuzzyHunt(ctx context.Context, tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if s.live != nil {
 		var out []FuzzyAlignment
 		err := s.live.ReadLocked(func() error {

@@ -28,7 +28,7 @@ func TestEndToEndDataLeak(t *testing.T) {
 	sys, gen := loadCase(t, "data_leak")
 	c := cases.ByID("data_leak")
 
-	query, hits, err := sys.HuntOSCTI(c.Report)
+	query, hits, err := sys.HuntOSCTI(nil, c.Report)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +55,10 @@ func TestEndToEndDataLeak(t *testing.T) {
 
 func TestHuntWithoutLogFails(t *testing.T) {
 	sys := New(DefaultOptions())
-	if _, _, err := sys.Hunt("proc p read file f return f"); err == nil {
+	if _, _, err := sys.Hunt(nil, "proc p read file f return f"); err == nil {
 		t.Fatal("hunting before loading a log must fail")
 	}
-	if _, err := sys.FuzzyHunt("proc p read file f return f", true); err == nil {
+	if _, err := sys.FuzzyHunt(nil, "proc p read file f return f", true); err == nil {
 		t.Fatal("fuzzy hunting before loading a log must fail")
 	}
 }
@@ -72,7 +72,7 @@ func TestLoadAuditLogFromStream(t *testing.T) {
 	if err := sys.LoadAuditLog(strings.NewReader(raw)); err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := sys.Hunt(`proc p["%evil%"] read file f return distinct f`)
+	res, _, err := sys.Hunt(nil, `proc p["%evil%"] read file f return distinct f`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +86,14 @@ func TestFuzzyHuntToleratesTypos(t *testing.T) {
 	// "pasword" is a typo: exact search misses, fuzzy search aligns.
 	query := `proc p1["%/bin/tar%"] read file f1["%/etc/pasword%"] as e1
 return distinct p1, f1`
-	exact, _, err := sys.Hunt(query)
+	exact, _, err := sys.Hunt(nil, query)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if exact.Set.Len() != 0 {
 		t.Fatalf("exact search should miss the typo: %v", exact.Set.Strings())
 	}
-	als, err := sys.FuzzyHunt(query, true)
+	als, err := sys.FuzzyHunt(nil, query, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestSynthesisModes(t *testing.T) {
 	if err := sys.LoadLog(gen.Log); err != nil {
 		t.Fatal(err)
 	}
-	query, hits, err := sys.HuntOSCTI(c.Report)
+	query, hits, err := sys.HuntOSCTI(nil, c.Report)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestLiveIngestAndWatch(t *testing.T) {
 	if _, err := sys.FlushStream(); err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := sys.Hunt(`proc p read file f["%/home/alice/x%"] return p, f`)
+	res, _, err := sys.Hunt(nil, `proc p read file f["%/home/alice/x%"] return p, f`)
 	if err != nil {
 		t.Fatal(err)
 	}
