@@ -1,0 +1,482 @@
+// Command threatraptord serves the threat hunting engine over HTTP: it
+// loads (or live-ingests) audit logs into one store and exposes TBQL
+// hunts, EXPLAIN, standing-query subscriptions with firings streamed
+// over the response, raw-record ingestion, health/readiness probes, and
+// Prometheus-style metrics.
+//
+// Usage:
+//
+//	threatraptord -addr :7834 -log audit.log     # serve a loaded log
+//	threatraptord -addr :7834 -demo data_leak    # serve a built-in case
+//	threatraptord -addr :7834                    # start empty; POST /v1/ingest
+//
+// Endpoints:
+//
+//	POST /v1/hunt     TBQL in the body; JSON results. 429 + Retry-After
+//	                  when admission control sheds the hunt.
+//	POST /v1/explain  TBQL in the body; the compilation report as text.
+//	POST /v1/watch    TBQL in the body; firings stream back as
+//	                  Server-Sent Events (Accept: text/event-stream) or
+//	                  newline-delimited JSON until the client disconnects.
+//	POST /v1/ingest   raw audit records in the body; ingest stats as JSON.
+//	POST /v1/flush    force-seal everything buffered on the live stream
+//	                  (the end-of-stream barrier); stats as JSON.
+//	GET  /healthz     liveness (process up).
+//	GET  /readyz      readiness (store loaded and serving).
+//	GET  /metrics     Prometheus text exposition.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"threatraptor"
+	"threatraptor/internal/cases"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/metrics"
+	"threatraptor/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7834", "HTTP listen address")
+	logPath := flag.String("log", "", "audit log file to batch-load at startup")
+	demo := flag.String("demo", "", "load a built-in benchmark case (e.g. data_leak) instead of -log")
+	scale := flag.Float64("scale", 1.0, "benign noise scale for -demo")
+	maxHunts := flag.Int("max-hunts", 0, "max concurrent hunts before load shedding (0 = unlimited)")
+	huntQueueTimeout := flag.Duration("hunt-queue-timeout", 0, "how long a hunt queues for a slot when -max-hunts is reached")
+	huntTimeout := flag.Duration("hunt-timeout", 30*time.Second, "per-request hunt deadline (0 = no limit)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	opts := threatraptor.DefaultOptions()
+	opts.MaxConcurrentHunts = *maxHunts
+	opts.HuntQueueTimeout = *huntQueueTimeout
+	sys := threatraptor.New(opts)
+
+	switch {
+	case *demo != "":
+		c := cases.ByID(*demo)
+		if c == nil {
+			var ids []string
+			for _, cc := range cases.All() {
+				ids = append(ids, cc.ID)
+			}
+			log.Fatalf("unknown case %q; available: %v", *demo, ids)
+		}
+		gen, err := c.Generate(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadLog(gen.Log); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded case %s: %d entities, %d events",
+			c.ID, gen.Log.Stats().Entities, gen.Log.Stats().Events)
+	case *logPath != "":
+		f, err := os.Open(*logPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadAuditLog(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("loaded %s", *logPath)
+	default:
+		// Start with an empty live store; /v1/ingest fills it.
+		if _, err := sys.Live(); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("started empty; POST /v1/ingest to add events")
+	}
+
+	srv := newServer(sys, *huntTimeout)
+	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%s: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+// system is the facade surface the daemon drives — satisfied by
+// *threatraptor.System; tests substitute wrappers to force edge cases
+// (overload, failures) that are timing-dependent against the real thing.
+type system interface {
+	Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error)
+	Explain(src string) (string, error)
+	Ingest(r io.Reader) (stream.IngestStats, error)
+	FlushStream() (stream.IngestStats, error)
+	Live() (*stream.Session, error)
+	Store() *engine.Store
+	HuntsInFlight() int
+}
+
+// server wires the System facade to HTTP handlers and the metrics
+// registry.
+type server struct {
+	sys         system
+	huntTimeout time.Duration
+
+	reg           *metrics.Registry
+	huntSeconds   *metrics.Histogram
+	huntErrors    *metrics.Counter
+	huntSheds     *metrics.Counter
+	ingests       *metrics.Counter
+	eventsSealed  *metrics.Counter
+	entitiesAdded *metrics.Counter
+	firings       *metrics.Counter
+	quarantines   *metrics.Counter
+	watchesActive *metrics.Gauge
+}
+
+func newServer(sys system, huntTimeout time.Duration) *server {
+	reg := metrics.NewRegistry()
+	s := &server{
+		sys:         sys,
+		huntTimeout: huntTimeout,
+		reg:         reg,
+		huntSeconds: reg.NewHistogram("threatraptor_hunt_duration_seconds",
+			"Hunt latency (admission wait + execution); _count is total hunts.", nil),
+		huntErrors: reg.NewCounter("threatraptor_hunt_errors_total",
+			"Hunts that failed (parse, execution, timeout); excludes load sheds."),
+		huntSheds: reg.NewCounter("threatraptor_hunt_rejections_total",
+			"Hunts shed by admission control (HTTP 429)."),
+		ingests: reg.NewCounter("threatraptor_ingests_total",
+			"Successful /v1/ingest calls."),
+		eventsSealed: reg.NewCounter("threatraptor_events_sealed_total",
+			"Reduced events sealed and appended to the store."),
+		entitiesAdded: reg.NewCounter("threatraptor_entities_added_total",
+			"Entities first seen on the ingest path."),
+		firings: reg.NewCounter("threatraptor_firings_total",
+			"Standing-query matches delivered to watch streams."),
+		quarantines: reg.NewCounter("threatraptor_quarantines_total",
+			"Standing queries quarantined after consecutive failures."),
+		watchesActive: reg.NewGauge("threatraptor_watches_active",
+			"Standing-query streams currently connected."),
+	}
+	reg.NewGaugeFunc("threatraptor_hunts_in_flight",
+		"Admitted hunts currently running (0 when unlimited).",
+		func() float64 { return float64(sys.HuntsInFlight()) })
+	reg.NewGaugeFunc("threatraptor_snapshot_age_seconds",
+		"Seconds since the store last published a snapshot.",
+		func() float64 {
+			st := sys.Store()
+			if st == nil {
+				return 0
+			}
+			return time.Since(st.Snapshot().PublishedAt).Seconds()
+		})
+	reg.NewGaugeFunc("threatraptor_store_events",
+		"Events in the published store snapshot.",
+		func() float64 {
+			st := sys.Store()
+			if st == nil {
+				return 0
+			}
+			return float64(st.Snapshot().NextEventID - 1)
+		})
+	return s
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/hunt", s.handleHunt)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
+	mux.HandleFunc("/v1/watch", s.handleWatch)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/flush", s.handleFlush)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.Handle("/metrics", s.reg.Handler())
+	return mux
+}
+
+// maxQueryBytes bounds a posted TBQL query; audit-record ingest bodies
+// are unbounded (they stream).
+const maxQueryBytes = 1 << 20
+
+func readQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a TBQL query as the request body", http.StatusMethodNotAllowed)
+		return "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return "", false
+	}
+	if len(body) > maxQueryBytes {
+		http.Error(w, "query too large", http.StatusRequestEntityTooLarge)
+		return "", false
+	}
+	q := strings.TrimSpace(string(body))
+	if q == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return "", false
+	}
+	return q, true
+}
+
+// huntResponse is the JSON shape of a completed hunt.
+type huntResponse struct {
+	Columns       []string   `json:"columns"`
+	Rows          [][]string `json:"rows"`
+	MatchedEvents int        `json:"matched_events"`
+	DataQueries   int        `json:"data_queries"`
+	EmptyPattern  string     `json:"empty_pattern,omitempty"`
+	DurationMS    float64    `json:"duration_ms"`
+}
+
+func (s *server) handleHunt(w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	if s.huntTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.huntTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, stats, err := s.sys.Hunt(ctx, q)
+	elapsed := time.Since(start)
+	s.huntSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrOverloaded):
+			s.huntSheds.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.huntErrors.Inc()
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		default:
+			s.huntErrors.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	resp := huntResponse{
+		Columns:       res.Set.Columns,
+		Rows:          res.Set.Strings(),
+		MatchedEvents: len(res.MatchedEvents),
+		DataQueries:   stats.DataQueries,
+		EmptyPattern:  stats.EmptyPatternID,
+		DurationMS:    float64(elapsed.Microseconds()) / 1000,
+	}
+	if resp.Rows == nil {
+		resp.Rows = [][]string{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	out, err := s.sys.Explain(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+// watchEvent is one streamed standing-query delivery.
+type watchEvent struct {
+	Batch    int64    `json:"batch"`
+	Columns  []string `json:"columns,omitempty"`
+	Row      []string `json:"row,omitempty"`
+	Terminal bool     `json:"terminal,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	live, err := s.sys.Live()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sub, err := live.Watch(q)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, stream.ErrSessionClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	s.watchesActive.Inc()
+	defer s.watchesActive.Dec()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(ev watchEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", eventName(ev), data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client gone: deregister so the session stops evaluating the
+			// query and its views are released.
+			live.Unwatch(sub)
+			// Unwatch closed sub.C; drain so fireLocked's best-effort sends
+			// cannot have raced a buffered match we would strand.
+			for range sub.C {
+			}
+			return
+		case m, chanOpen := <-sub.C:
+			if !chanOpen {
+				// Quarantined (terminal already delivered) or session
+				// closed: end the stream.
+				return
+			}
+			ev := watchEvent{Batch: m.Batch, Terminal: m.Terminal}
+			if m.Terminal {
+				s.quarantines.Inc()
+				if err := sub.Err(); err != nil {
+					ev.Error = err.Error()
+				}
+				send(ev)
+				return
+			}
+			ev.Columns = m.Columns
+			ev.Row = make([]string, len(m.Row))
+			for i := range m.Row {
+				ev.Row[i] = m.Row[i].String()
+			}
+			if !send(ev) {
+				live.Unwatch(sub)
+				for range sub.C {
+				}
+				return
+			}
+			s.firings.Inc()
+		}
+	}
+}
+
+func eventName(ev watchEvent) string {
+	if ev.Terminal {
+		return "terminal"
+	}
+	return "match"
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST raw audit records as the request body", http.StatusMethodNotAllowed)
+		return
+	}
+	st, err := s.sys.Ingest(r.Body)
+	s.eventsSealed.Add(uint64(st.EventsSealed))
+	s.entitiesAdded.Add(uint64(st.EntitiesAdded))
+	if err != nil {
+		var pe *stream.ParseError
+		if errors.As(err, &pe) {
+			// The valid lines around the corrupt record were ingested;
+			// report both the stats and the rejection.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": pe.Error(), "stats": st,
+			})
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.ingests.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"stats": st})
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST to flush", http.StatusMethodNotAllowed)
+		return
+	}
+	st, err := s.sys.FlushStream()
+	s.eventsSealed.Add(uint64(st.EventsSealed))
+	s.entitiesAdded.Add(uint64(st.EntitiesAdded))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stats": st})
+}
+
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.sys.Store() == nil {
+		http.Error(w, "no store loaded", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"threatraptor"
+	"threatraptor/internal/audit"
+	"threatraptor/internal/engine"
+)
+
+// testServer starts the daemon's handler on an httptest server over an
+// empty live store.
+func testServer(t *testing.T, opts threatraptor.Options) (*httptest.Server, *threatraptor.System) {
+	t.Helper()
+	sys := threatraptor.New(opts)
+	if _, err := sys.Live(); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, 0)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+func readLine(ts int64, pid int, exe, path string) string {
+	r := audit.Record{Time: ts, Call: audit.SysRead, PID: pid, Exe: exe,
+		User: "root", FD: audit.FDFile, Path: path, Bytes: 10}
+	return r.Format() + "\n"
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// TestHTTPSmoke drives the daemon end to end over real HTTP: health and
+// readiness, raw-record ingest + flush, a hunt whose JSON rows reflect
+// the ingested events, EXPLAIN, and the metrics exposition.
+func TestHTTPSmoke(t *testing.T) {
+	ts, _ := testServer(t, threatraptor.DefaultOptions())
+
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz = %d, want 200", code)
+	}
+
+	lines := readLine(1_000_000, 100, "/bin/cat", "/etc/secret") +
+		readLine(2_000_000, 101, "/usr/bin/scp", "/etc/secret")
+	if code, body := post(t, ts.URL+"/v1/ingest", lines); code != 200 {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush = %d %q", code, body)
+	}
+
+	code, body := post(t, ts.URL+"/v1/hunt", `proc p read file f return p, f`)
+	if code != 200 {
+		t.Fatalf("hunt = %d %q", code, body)
+	}
+	var hr huntResponse
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("hunt response not JSON: %v\n%s", err, body)
+	}
+	if len(hr.Rows) != 2 {
+		t.Fatalf("hunt rows = %v, want 2 rows", hr.Rows)
+	}
+	joined := fmt.Sprint(hr.Rows)
+	for _, want := range []string{"/bin/cat", "/usr/bin/scp", "/etc/secret"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("hunt rows %v missing %q", hr.Rows, want)
+		}
+	}
+
+	// A malformed query is a client error, not a 500.
+	if code, _ := post(t, ts.URL+"/v1/hunt", `this is not tbql`); code != 400 {
+		t.Fatalf("bad hunt = %d, want 400", code)
+	}
+
+	code, body = post(t, ts.URL+"/v1/explain", `proc p read file f return p, f`)
+	if code != 200 || !strings.Contains(body, "pattern") {
+		t.Fatalf("explain = %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE threatraptor_hunt_duration_seconds histogram",
+		"threatraptor_hunt_duration_seconds_count 2",
+		"threatraptor_events_sealed_total 2",
+		"threatraptor_hunt_errors_total 1",
+		"threatraptor_snapshot_age_seconds",
+		"threatraptor_store_events 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWatchStreamsSSE subscribes a standing query over HTTP with
+// Accept: text/event-stream, ingests a matching event, and reads the
+// firing back as a server-sent event; closing the response body must
+// deregister the subscription.
+func TestWatchStreamsSSE(t *testing.T) {
+	ts, sys := testServer(t, threatraptor.DefaultOptions())
+	live, err := sys.Live()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/watch",
+		strings.NewReader(`proc p read file f return p, f`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("watch = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	waitFor(t, "subscription registered", func() bool { return live.Subscriptions() == 1 })
+
+	if code, body := post(t, ts.URL+"/v1/ingest", readLine(1_000_000, 100, "/bin/cat", "/etc/secret")); code != 200 {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush = %d %q", code, body)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var event, data string
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no SSE event before deadline")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if event != "match" {
+		t.Fatalf("event = %q, want match", event)
+	}
+	var ev watchEvent
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("SSE data not JSON: %v\n%s", err, data)
+	}
+	if len(ev.Row) != 2 || ev.Row[0] != "/bin/cat" || ev.Row[1] != "/etc/secret" {
+		t.Fatalf("firing row = %v", ev.Row)
+	}
+
+	// Disconnecting must unwatch: the handler sees the context cancel and
+	// deregisters the subscription.
+	resp.Body.Close()
+	waitFor(t, "subscription removed on disconnect", func() bool { return live.Subscriptions() == 0 })
+}
+
+// TestWatchStreamsNDJSON covers the non-SSE content type: without the
+// event-stream Accept header firings arrive as newline-delimited JSON.
+func TestWatchStreamsNDJSON(t *testing.T) {
+	ts, sys := testServer(t, threatraptor.DefaultOptions())
+	live, err := sys.Live()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/watch", "text/plain",
+		strings.NewReader(`proc p read file f return p, f`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	waitFor(t, "subscription registered", func() bool { return live.Subscriptions() == 1 })
+	post(t, ts.URL+"/v1/ingest", readLine(1_000_000, 100, "/bin/cat", "/etc/secret"))
+	post(t, ts.URL+"/v1/flush", "")
+
+	var ev watchEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Row) != 2 || ev.Row[0] != "/bin/cat" {
+		t.Fatalf("firing row = %v", ev.Row)
+	}
+}
+
+// overloadedSystem wraps the real facade but sheds every hunt, the way
+// a saturated admission semaphore would (overlap is timing-dependent on
+// the real thing; the mapping must not be).
+type overloadedSystem struct {
+	system
+}
+
+func (o overloadedSystem) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
+	return nil, engine.Stats{}, fmt.Errorf("hunt: %w", &engine.OverloadedError{Limit: 1})
+}
+
+// TestHuntOverloadMaps429 checks the admission-control surface of the
+// API: a shed hunt maps to 429 with a Retry-After header and counts as
+// a rejection, not an error, in the metrics.
+func TestHuntOverloadMaps429(t *testing.T) {
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	if _, err := sys.Live(); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(overloadedSystem{sys}, 0)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/hunt", "text/plain",
+		strings.NewReader(`proc p read file f return p, f`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed hunt = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if code, body := get(t, ts.URL+"/metrics"); code != 200 ||
+		!strings.Contains(body, "threatraptor_hunt_rejections_total 1") ||
+		!strings.Contains(body, "threatraptor_hunt_errors_total 0") {
+		t.Fatalf("rejection not counted:\n%s", body)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

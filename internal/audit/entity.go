@@ -212,6 +212,11 @@ type EntityTable struct {
 	byFile map[string]*Entity
 	byNet  map[netKey]*Entity
 	next   int64
+	// dense holds the entities in ID order at offset ID-1 (IDs are assigned
+	// densely from 1). The slice is append-only, so a captured header is an
+	// immutable prefix — the engine's published snapshots resolve entity
+	// attributes through it without touching the intern maps.
+	dense []*Entity
 }
 
 // NewEntityTable returns an empty entity table.
@@ -239,6 +244,7 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	t.next++
 	t.byKey[key] = e
 	t.byID[e.ID] = e
+	t.dense = append(t.dense, e)
 	switch e.Kind {
 	case EntityProcess:
 		t.byProc[procKey{e.Proc.ExeName, e.Proc.PID}] = e
@@ -303,6 +309,12 @@ func (t *EntityTable) Since(after int64) []*Entity {
 
 // MaxID returns the highest entity ID assigned so far (0 when empty).
 func (t *EntityTable) MaxID() int64 { return t.next - 1 }
+
+// Dense returns the entities in ID order, entity ID i at offset i-1. The
+// returned header is stable under concurrent interning (appends land
+// beyond its length), so callers may capture it as an immutable snapshot
+// of the first len(dense) entities.
+func (t *EntityTable) Dense() []*Entity { return t.dense }
 
 // All returns all entities in ascending ID order.
 func (t *EntityTable) All() []*Entity {

@@ -106,6 +106,7 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err
 	}
 
 	if len(events) == 0 {
+		s.publishSnapshot()
 		return nil
 	}
 	// Time bounds (and their epoch) move only after both backends accept
@@ -167,5 +168,9 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err
 		s.MinTime, s.MaxTime = newMin, newMax
 		s.epoch++
 	}
+	// Publish the new snapshot last: a batch becomes visible to concurrent
+	// readers all at once, or (on any failure above) not at all — readers
+	// keep the previous snapshot, which the rollback left fully intact.
+	s.publishSnapshot()
 	return nil
 }

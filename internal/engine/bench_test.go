@@ -107,12 +107,12 @@ func BenchmarkCompile(b *testing.B) {
 	store := benchStore(b, 1.0)
 	a := benchAnalyzed(b)
 	compileAll := func(en *Engine) {
-		plan := en.planFor(a)
+		plan := en.planFor(a, nil)
 		for i := range plan.pats {
 			if plan.pats[i].usesGraph {
 				continue
 			}
-			if _, err := plan.pats[i].prepared(en.Store); err != nil {
+			if _, err := plan.pats[i].prepared(en.Store, plan.bounds); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -96,14 +96,17 @@ type patternRows struct {
 
 // extrasSpec is everything that can vary in one pattern's data query
 // between executions: the scheduler's subject/object binding sets (sorted
-// unique ID slices) and the standing-query delta floor (only events with
-// ID >= delta match; 0 means no floor). The spec binds as parameter
-// values on the pattern's one compiled plan (whose optional parameter
-// predicates prune themselves when a spec field is unset) — nothing is
-// rendered to text and no per-shape plan variant exists.
+// unique ID slices), the standing-query delta floor (only events with
+// ID >= delta match; 0 means no floor), and the pinned snapshot the
+// execution reads (nil = live store, writer-synchronized paths only). The
+// spec binds as parameter values on the pattern's one compiled plan (whose
+// optional parameter predicates prune themselves when a spec field is
+// unset) — nothing is rendered to text and no per-shape plan variant
+// exists.
 type extrasSpec struct {
 	subj, obj []int64
 	delta     int64
+	snap      *Snapshot
 }
 
 // any reports whether the spec carries any constraint at all.
@@ -128,7 +131,7 @@ func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryP
 	pp := &plan.pats[idx]
 	if pp.usesGraph {
 		var params *graphdb.ExecParams
-		if sp.any() {
+		if sp.any() || sp.snap != nil {
 			var gp graphdb.ExecParams
 			var nb [2]graphdb.NodeBinding
 			n := 0
@@ -144,6 +147,9 @@ func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryP
 			if sp.delta > 0 && pp.ir.Path.HasEdgeVar {
 				gp.EdgeVar = "e"
 				gp.MinEdgeID = sp.delta
+			}
+			if sp.snap != nil {
+				gp.View = &sp.snap.Graph
 			}
 			params = &gp
 		}
@@ -171,9 +177,9 @@ func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryP
 	if sp.delta > 0 {
 		// Delta rounds anchor on the events table so the scan starts at
 		// the floor instead of walking the entity anchor's history.
-		prep, err = pp.preparedDelta(en.Store)
+		prep, err = pp.preparedDelta(en.Store, plan.bounds)
 	} else {
-		prep, err = pp.prepared(en.Store)
+		prep, err = pp.prepared(en.Store, plan.bounds)
 	}
 	if err != nil {
 		return pr, relational.ExecStats{}, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
@@ -182,6 +188,9 @@ func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryP
 	params.Lists[qir.SlotSubjIDs] = sp.subj
 	params.Lists[qir.SlotObjIDs] = sp.obj
 	params.Ints[qir.SlotDelta] = sp.delta
+	if sp.snap != nil {
+		params.Snap = &sp.snap.Rel
+	}
 	rs, qs, err := prep.QueryCtx(ctx, &params)
 	if err != nil {
 		return pr, qs, graphdb.ExecStats{}, fmt.Errorf("engine: pattern %s: %w", p.ID, err)
@@ -235,9 +244,15 @@ func emptyResult(a *tbql.Analyzed) *Result {
 // the call returns ctx.Err() promptly. A nil context never cancels. Panics
 // anywhere in execution surface as a typed *InternalError instead of
 // unwinding into the caller.
+//
+// Execute pins the latest published store snapshot at entry and runs
+// entirely against it: every data query, attribute resolution, and window
+// lowering reads that one frozen generation, so the call is safe to run
+// concurrently with AppendBatch (and with other executions) without any
+// session-wide lock.
 func (en *Engine) Execute(ctx context.Context, a *tbql.Analyzed) (res *Result, stats Stats, err error) {
 	defer guard(a, &err)
-	return en.execute(ctx, a, nil)
+	return en.execute(ctx, a, en.Store.Snapshot(), nil)
 }
 
 // execute is Execute with an optional per-pattern delta floor: deltaFor
@@ -247,10 +262,10 @@ func (en *Engine) Execute(ctx context.Context, a *tbql.Analyzed) (res *Result, s
 // hoisted to the front: a floor over a small append usually matches
 // nothing (short-circuiting the round after one data query) or a handful
 // of rows whose bindings prune every later pattern.
-func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, deltaFor func(idx int) int64) (*Result, Stats, error) {
-	plan := en.planFor(a)
+func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, deltaFor func(idx int) int64) (*Result, Stats, error) {
+	plan := en.planFor(a, snap)
 	if en.Parallel && !en.DisableScheduling && deltaFor == nil {
-		return en.executeLevels(ctx, a, plan)
+		return en.executeLevels(ctx, a, snap, plan)
 	}
 
 	order := plan.order
@@ -277,7 +292,7 @@ func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, deltaFor func(i
 
 	for _, idx := range order {
 		p := a.Query.Patterns[idx]
-		var sp extrasSpec
+		sp := extrasSpec{snap: snap}
 		if !en.DisableScheduling {
 			sp.subj, sp.obj = en.bindingSpec(p, bindings, maxIn)
 		}
@@ -308,7 +323,7 @@ func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, deltaFor func(i
 		}
 	}
 
-	res, joined, err := en.join(ctx, a, results)
+	res, joined, err := en.join(ctx, a, snap, results)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -322,7 +337,7 @@ func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, deltaFor func(i
 // could flow between them), and binding sets are narrowed between levels.
 // Delta rounds never come here: execute() routes them through the serial
 // plan, whose binding feed the hoisted delta patterns rely on.
-func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, plan *queryPlan) (*Result, Stats, error) {
+func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, plan *queryPlan) (*Result, Stats, error) {
 	var stats Stats
 	bindings := make(map[string][]int64)
 	results := make([]patternRows, len(a.Query.Patterns))
@@ -338,7 +353,7 @@ func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, plan *que
 	for _, level := range plan.levels {
 		outs := make([]outcome, len(level))
 		levelSpec := func(idx int) extrasSpec {
-			var sp extrasSpec
+			sp := extrasSpec{snap: snap}
 			if !en.DisableScheduling {
 				sp.subj, sp.obj = en.bindingSpec(a.Query.Patterns[idx], bindings, maxIn)
 			}
@@ -403,7 +418,7 @@ func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, plan *que
 		}
 	}
 
-	res, joined, err := en.join(ctx, a, results)
+	res, joined, err := en.join(ctx, a, snap, results)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -415,7 +430,8 @@ func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, plan *que
 // regardless of the Parallel flag.
 func (en *Engine) ExecuteParallel(ctx context.Context, a *tbql.Analyzed) (res *Result, stats Stats, err error) {
 	defer guard(a, &err)
-	return en.executeLevels(ctx, a, en.planFor(a))
+	snap := en.Store.Snapshot()
+	return en.executeLevels(ctx, a, snap, en.planFor(a, snap))
 }
 
 // ExecuteDelta evaluates a query incrementally after an append: it returns
@@ -435,12 +451,15 @@ func (en *Engine) ExecuteParallel(ctx context.Context, a *tbql.Analyzed) (res *R
 // completed by a newly appended intermediate edge.
 func (en *Engine) ExecuteDelta(ctx context.Context, a *tbql.Analyzed, minEventID int64) (res *Result, stats Stats, err error) {
 	defer guard(a, &err)
+	// One snapshot pins the whole round: the view catch-up frontier, every
+	// data query, and the join all read the same store generation.
+	snap := en.Store.Snapshot()
 	if HasVarLenPath(a) {
-		return en.execute(ctx, a, nil)
+		return en.execute(ctx, a, snap, nil)
 	}
-	plan := en.planFor(a)
+	plan := en.planFor(a, snap)
 	if en.viewCap() > 0 {
-		res, stats, ok, err := en.executeDeltaViews(ctx, a, plan, minEventID)
+		res, stats, ok, err := en.executeDeltaViews(ctx, a, snap, plan, minEventID)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -448,13 +467,13 @@ func (en *Engine) ExecuteDelta(ctx context.Context, a *tbql.Analyzed, minEventID
 			return res, stats, nil
 		}
 	}
-	return en.executeDeltaRecompute(ctx, a, minEventID)
+	return en.executeDeltaRecompute(ctx, a, snap, minEventID)
 }
 
 // executeDeltaRecompute is the pre-view delta join: every pattern takes a
 // turn as the delta pattern and the others re-run their full data
 // queries, narrowed by the scheduler's binding feed.
-func (en *Engine) executeDeltaRecompute(ctx context.Context, a *tbql.Analyzed, minEventID int64) (*Result, Stats, error) {
+func (en *Engine) executeDeltaRecompute(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, minEventID int64) (*Result, Stats, error) {
 	combined := &Result{
 		Set:           &relational.ResultSet{Columns: returnColumns(a)},
 		MatchedEvents: map[int64]bool{},
@@ -462,7 +481,7 @@ func (en *Engine) executeDeltaRecompute(ctx context.Context, a *tbql.Analyzed, m
 	var total Stats
 	for i := range a.Query.Patterns {
 		i := i
-		res, stats, err := en.execute(ctx, a, func(idx int) int64 {
+		res, stats, err := en.execute(ctx, a, snap, func(idx int) int64 {
 			if idx == i {
 				return minEventID
 			}
@@ -613,8 +632,10 @@ func returnColumns(a *tbql.Analyzed) []string {
 // entity identity, temporal relationships, attribute relationships, and
 // global filters, then projects the return clause. The 2-pattern case
 // hash-joins on the shared entity variables; larger conjunctions use the
-// backtracking walk.
-func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, results []patternRows) (*Result, int, error) {
+// backtracking walk. Entity attributes resolve through the pinned snapshot
+// when one is given (concurrent executions must not probe the live intern
+// maps, which the writer mutates).
+func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, results []patternRows) (*Result, int, error) {
 	q := a.Query
 	rs := &relational.ResultSet{Columns: returnColumns(a)}
 	matched := make(map[int64]bool)
@@ -656,13 +677,17 @@ func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, results []patternR
 	pattTimes := make(map[string][2]int64) // pattern ID -> start,end
 	pattEvent := make(map[string]int64)    // pattern ID -> event row ID
 
+	attrOf := en.Store.EntityAttr
+	if snap != nil {
+		attrOf = snap.EntityAttr
+	}
 	var resolveAttr func(c relational.ColRef) (relational.Value, error)
 	resolveAttr = func(c relational.ColRef) (relational.Value, error) {
 		id, ok := entityBind[c.Qualifier]
 		if !ok {
 			return relational.Null(), fmt.Errorf("engine: unbound entity %s", c.Qualifier)
 		}
-		return en.Store.EntityAttr(id, c.Column), nil
+		return attrOf(id, c.Column), nil
 	}
 
 	checkRelations := func() (bool, error) {
@@ -707,7 +732,7 @@ func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, results []patternR
 		}
 		row := make([]relational.Value, len(a.ReturnItems))
 		for i, item := range a.ReturnItems {
-			row[i] = en.Store.EntityAttr(entityBind[item.EntityID], item.Attr)
+			row[i] = attrOf(entityBind[item.EntityID], item.Attr)
 		}
 		rs.Rows = append(rs.Rows, row)
 		return nil
@@ -911,7 +936,7 @@ func temporalHolds(rel tbql.Relation, startA, startB int64) bool {
 // lowered to an AST and compiled once per plan — no SQL text, no parser.
 func (en *Engine) ExecuteMonolithicSQL(ctx context.Context, a *tbql.Analyzed) (rs *relational.ResultSet, stats Stats, err error) {
 	defer guard(a, &err)
-	pr, err := en.planFor(a).monolithicSQL(en.Store, a)
+	pr, err := en.planFor(a, nil).monolithicSQL(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -926,7 +951,7 @@ func (en *Engine) ExecuteMonolithicSQL(ctx context.Context, a *tbql.Analyzed) (r
 // graph databases use for multi-MATCH statements (query type (d) in RQ4).
 func (en *Engine) ExecuteMonolithicCypher(ctx context.Context, a *tbql.Analyzed) (rs *relational.ResultSet, stats Stats, err error) {
 	defer guard(a, &err)
-	q, err := en.planFor(a).monolithicCypher(en.Store, a)
+	q, err := en.planFor(a, nil).monolithicCypher(en.Store, a)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -944,9 +969,10 @@ func (en *Engine) ExecuteMonolithicCypher(ctx context.Context, a *tbql.Analyzed)
 func (en *Engine) MatchEventsPerPattern(ctx context.Context, a *tbql.Analyzed) (matched map[int64]bool, err error) {
 	defer guard(a, &err)
 	matched = make(map[int64]bool)
-	plan := en.planFor(a)
+	snap := en.Store.Snapshot()
+	plan := en.planFor(a, snap)
 	for idx := range a.Query.Patterns {
-		pr, _, _, err := en.runPattern(ctx, a, plan, idx, extrasSpec{})
+		pr, _, _, err := en.runPattern(ctx, a, plan, idx, extrasSpec{snap: snap})
 		if err != nil {
 			return nil, err
 		}

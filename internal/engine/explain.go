@@ -595,7 +595,7 @@ func CompileMonolithicCypher(s *Store, a *tbql.Analyzed) (string, error) {
 // equivalent SQL/Cypher text. This is the only consumer of the text
 // generators above — execution never renders or parses query text.
 func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
-	plan := en.planFor(a)
+	plan := en.planFor(a, en.Store.Snapshot())
 	var sb strings.Builder
 	sb.WriteString("--- per-pattern logical plans (IR) and physical plans ---\n")
 	for i := range a.Query.Patterns {
@@ -606,7 +606,7 @@ func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
 			sb.WriteString("physical: graph traversal plan\n")
 			sb.WriteString("  equivalent Cypher: " + CompilePatternCypher(en.Store, a, i, nil) + "\n")
 		} else {
-			pr, err := pp.prepared(en.Store)
+			pr, err := pp.prepared(en.Store, plan.bounds)
 			if err != nil {
 				return "", err
 			}

@@ -128,7 +128,7 @@ func TestIRGoldenEquivalence(t *testing.T) {
 			}
 			a := caseAnalyzed(t, c)
 			en := &Engine{Store: store}
-			plan := en.planFor(a)
+			plan := en.planFor(a, nil)
 
 			for idx, p := range a.Query.Patterns {
 				// Unconstrained rows drive the binding-set samples.

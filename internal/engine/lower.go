@@ -104,7 +104,7 @@ func eventSelect() []relational.SelectItem {
 // serves all eight extras shapes the scheduler can produce, where the
 // previous design compiled up to eight lazily-materialized variants. The
 // join anchors on the statically more constrained entity side.
-func lowerEventStmt(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
+func lowerEventStmt(b timeBounds, ej *qir.EventJoin) *relational.SelectStmt {
 	from := []relational.TableRef{
 		{Table: "entities", Alias: "s"},
 		{Table: "events", Alias: "e"},
@@ -116,7 +116,7 @@ func lowerEventStmt(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
 	return &relational.SelectStmt{
 		Select: eventSelect(),
 		From:   from,
-		Where:  andChain(eventConds(s, ej)),
+		Where:  andChain(eventConds(b, ej)),
 		Limit:  -1,
 	}
 }
@@ -127,7 +127,7 @@ func lowerEventStmt(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
 // at the binary-searched first new row (event IDs are dense and
 // ascending), and the entities join via id-index probes — so a delta
 // round's data query costs O(new events), however large the store is.
-func lowerEventStmtDeltaAnchored(s *Store, ej *qir.EventJoin) *relational.SelectStmt {
+func lowerEventStmtDeltaAnchored(b timeBounds, ej *qir.EventJoin) *relational.SelectStmt {
 	return &relational.SelectStmt{
 		Select: eventSelect(),
 		From: []relational.TableRef{
@@ -135,15 +135,16 @@ func lowerEventStmtDeltaAnchored(s *Store, ej *qir.EventJoin) *relational.Select
 			{Table: "entities", Alias: "s"},
 			{Table: "entities", Alias: "o"},
 		},
-		Where: andChain(eventConds(s, ej)),
+		Where: andChain(eventConds(b, ej)),
 		Limit: -1,
 	}
 }
 
 // eventConds builds the WHERE conjuncts shared by both anchorings of an
 // event pattern. The delta floor leads so the floor-anchored plan attaches
-// it to its level-0 scan.
-func eventConds(s *Store, ej *qir.EventJoin) []relational.Expr {
+// it to its level-0 scan. Windows resolve against the caller's fixed
+// bounds (the pinned snapshot's, for concurrent executions).
+func eventConds(b timeBounds, ej *qir.EventJoin) []relational.Expr {
 	conds := []relational.Expr{
 		binOp(">=", colRef("e", "id"), relational.Param{Slot: qir.SlotDelta, Prune: true}),
 		binOp("=", colRef("e", "subject_id"), colRef("s", "id")),
@@ -164,7 +165,7 @@ func eventConds(s *Store, ej *qir.EventJoin) []relational.Expr {
 		conds = append(conds, qualify(ej.EventPred, "e", nil))
 	}
 	if ej.Window != nil {
-		lo, hi := ej.Window.Bounds(s.MinTime, s.MaxTime)
+		lo, hi := ej.Window.Bounds(b.min, b.max)
 		conds = append(conds,
 			binOp(">=", colRef("e", "start_time"), intLit(lo)),
 			binOp("<=", colRef("e", "start_time"), intLit(hi)))
@@ -178,7 +179,7 @@ func eventConds(s *Store, ej *qir.EventJoin) []relational.Expr {
 // lowerPathQuery lowers one path pattern's IR to a graph traversal plan.
 // Binding sets and the delta floor stay out of the plan; they bind per
 // execution through graphdb.ExecParams (variables "s", "o", "e").
-func lowerPathQuery(s *Store, pm *qir.PathMatch) *graphdb.Query {
+func lowerPathQuery(b timeBounds, pm *qir.PathMatch) *graphdb.Query {
 	subjLabel := LabelProcess
 	objLabel := labelOf(pm.ObjKind)
 
@@ -224,7 +225,7 @@ func lowerPathQuery(s *Store, pm *qir.PathMatch) *graphdb.Query {
 			conds = append(conds, qualify(pm.EdgePred, "e", nil))
 		}
 		if pm.Window != nil {
-			lo, hi := pm.Window.Bounds(s.MinTime, s.MaxTime)
+			lo, hi := pm.Window.Bounds(b.min, b.max)
 			conds = append(conds,
 				binOp(">=", colRef("e", "start_time"), intLit(lo)),
 				binOp("<=", colRef("e", "start_time"), intLit(hi)))

@@ -35,12 +35,14 @@ type patternPlan struct {
 }
 
 // prepared returns the pattern's compiled relational plan, lowering and
-// compiling it on first use.
-func (pp *patternPlan) prepared(s *Store) (*relational.Prepared, error) {
+// compiling it on first use against the owning queryPlan's fixed bounds
+// (so lazy compilation on a reader goroutine never touches the writer's
+// live Store bounds).
+func (pp *patternPlan) prepared(s *Store, b timeBounds) (*relational.Prepared, error) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
 	if pp.rel == nil {
-		pr, err := s.Rel.Prepare(lowerEventStmt(s, pp.ir.Event))
+		pr, err := s.Rel.Prepare(lowerEventStmt(b, pp.ir.Event))
 		if err != nil {
 			return nil, err
 		}
@@ -51,11 +53,11 @@ func (pp *patternPlan) prepared(s *Store) (*relational.Prepared, error) {
 
 // preparedDelta returns the pattern's events-anchored catch-up plan,
 // lowering and compiling it on first use.
-func (pp *patternPlan) preparedDelta(s *Store) (*relational.Prepared, error) {
+func (pp *patternPlan) preparedDelta(s *Store, b timeBounds) (*relational.Prepared, error) {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
 	if pp.relDelta == nil {
-		pr, err := s.Rel.Prepare(lowerEventStmtDeltaAnchored(s, pp.ir.Event))
+		pr, err := s.Rel.Prepare(lowerEventStmtDeltaAnchored(b, pp.ir.Event))
 		if err != nil {
 			return nil, err
 		}
@@ -84,9 +86,12 @@ type queryPlan struct {
 	// windowSensitive marks plans whose lowered window conditions resolve
 	// against the store's time bounds (LAST/BEFORE/AFTER); they are
 	// re-lowered from the cached IR when a live append moves the bounds.
-	// boundsEpoch records the bounds generation lowered against.
+	// boundsEpoch records the bounds generation lowered against, and bounds
+	// the actual bound values — lazy per-pattern lowering reuses them so
+	// the whole plan is consistent with one epoch.
 	windowSensitive bool
 	boundsEpoch     uint64
+	bounds          timeBounds
 
 	// viewMu guards every pattern's materialized view (pats[i].view) —
 	// ExecuteDelta holds it across catch-up and the view-backed join.
@@ -125,10 +130,20 @@ const maxCachedQueryPlans = 256
 // cached plan whose lowered window conditions depend on the store's time
 // bounds is re-lowered (from the cached IR, never from source) when a live
 // append has moved the bounds; plans without such windows survive appends
-// untouched.
-func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
+// untouched. snap, when non-nil, is the execution's pinned snapshot: the
+// plan's epoch and window bounds come from it, so a hunt racing an append
+// gets a plan consistent with the store generation it reads (and never
+// loads the writer-mutated live bounds). A nil snap (writer-synchronized
+// paths: explain, the monolithic RQ4 comparisons) uses the live bounds.
+func (en *Engine) planFor(a *tbql.Analyzed, snap *Snapshot) *queryPlan {
 	key := planKey{a: a, sched: !en.DisableScheduling}
-	epoch := en.Store.BoundsEpoch()
+	var epoch uint64
+	var b timeBounds
+	if snap != nil {
+		epoch, b = snap.Epoch, snap.bounds()
+	} else {
+		epoch, b = en.Store.BoundsEpoch(), en.Store.bounds()
+	}
 	en.planMu.Lock()
 	defer en.planMu.Unlock()
 	prev := en.plans[key]
@@ -147,7 +162,7 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 	} else {
 		irs = tbql.Lower(a)
 	}
-	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch, irs: irs, cols: returnColumns(a)}
+	p := &queryPlan{order: en.schedule(a), boundsEpoch: epoch, bounds: b, irs: irs, cols: returnColumns(a)}
 	p.levels = dependencyLevels(a.Query.Patterns, p.order)
 	p.pats = make([]patternPlan, len(irs))
 	for i, ir := range irs {
@@ -155,7 +170,7 @@ func (en *Engine) planFor(a *tbql.Analyzed) *queryPlan {
 		pp.ir = ir
 		pp.usesGraph = ir.UsesGraph()
 		if pp.usesGraph {
-			pp.gq = lowerPathQuery(en.Store, ir.Path)
+			pp.gq = lowerPathQuery(b, ir.Path)
 		}
 		if ir.Window().Sensitive() {
 			p.windowSensitive = true

@@ -1,0 +1,89 @@
+package engine
+
+// This file splits the engine's state into an immutable published snapshot
+// and a mutable tail. The store has exactly one writer (AppendBatch, plus
+// the initial NewStore load) and many concurrent readers (hunts, delta
+// rounds, view catch-up). Every sealed batch publishes a Snapshot through
+// an atomic pointer; a reader pins the latest snapshot once at entry and
+// runs entirely against it — bounded relational scans (relational.Snap),
+// captured graph arenas (graphdb.View), the frozen entity slice, and the
+// time bounds/epoch as of the capture — so no execution path takes a
+// session-wide read lock and the writer never blocks readers.
+
+import (
+	"time"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/graphdb"
+	"threatraptor/internal/relational"
+)
+
+// Snapshot is one published generation of the store. All fields are
+// immutable after publication; the embedded Snap/View read the backends'
+// append-only arenas through captured headers, so a snapshot stays valid
+// (and cheap — no row data is copied) however far the store grows past it.
+type Snapshot struct {
+	// Rel bounds relational scans to the captured row counts.
+	Rel relational.Snap
+	// Graph pins traversals to the captured node/edge arenas and adjacency.
+	Graph graphdb.View
+	// Entities is the frozen dense entity slice: entity ID i at offset i-1.
+	// Attribute resolution (return projection, attribute relations) reads
+	// it instead of the live intern maps, which the writer mutates.
+	Entities []*audit.Entity
+	// MinTime/MaxTime are the store's event-time bounds at capture (µs);
+	// window-sensitive plans lower against them.
+	MinTime int64
+	MaxTime int64
+	// Epoch is the bounds generation at capture — the plan-cache key that
+	// decides whether a cached window-sensitive plan matches this snapshot.
+	Epoch uint64
+	// NextEventID is the event-ID frontier at capture: every stored event
+	// has ID < NextEventID. View catch-up advances to exactly this frontier,
+	// never past the pinned snapshot.
+	NextEventID int64
+	// PublishedAt timestamps the capture (drives the snapshot-age metric).
+	PublishedAt time.Time
+}
+
+// publishSnapshot captures and atomically publishes the store's current
+// state. Writer-side only: it must be mutually excluded with appends (it
+// runs at the end of NewStore and at AppendBatch's success tail).
+func (s *Store) publishSnapshot() {
+	sn := &Snapshot{
+		Entities:    s.Log.Entities.Dense(),
+		MinTime:     s.MinTime,
+		MaxTime:     s.MaxTime,
+		Epoch:       s.epoch,
+		NextEventID: s.nextEventID,
+		PublishedAt: time.Now(),
+	}
+	sn.Rel.Capture(s.Rel)
+	sn.Graph.Capture(s.Graph)
+	s.snap.Store(sn)
+}
+
+// Snapshot returns the latest published snapshot (nil only for a Store
+// that was never built through NewStore). Safe from any goroutine.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// EntityAttr resolves an entity attribute inside the snapshot, the
+// concurrent-read counterpart of Store.EntityAttr. IDs past the captured
+// frontier (or unknown) resolve to NULL.
+func (sn *Snapshot) EntityAttr(id int64, attr string) relational.Value {
+	if id < 1 || id > int64(len(sn.Entities)) {
+		return relational.Null()
+	}
+	return entityAttrValue(sn.Entities[id-1], attr)
+}
+
+// timeBounds is a fixed pair of store time bounds against which TBQL
+// windows resolve. Plans capture the bounds of the snapshot (or live
+// store) they were lowered for, so window lowering never reads the
+// writer-mutated Store fields from a reader goroutine.
+type timeBounds struct {
+	min, max int64
+}
+
+func (s *Store) bounds() timeBounds     { return timeBounds{s.MinTime, s.MaxTime} }
+func (sn *Snapshot) bounds() timeBounds { return timeBounds{sn.MinTime, sn.MaxTime} }

@@ -11,6 +11,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/graphdb"
@@ -36,6 +37,9 @@ type Store struct {
 	// nextEventID is the ID the next appended event will take; appended
 	// logs keep the dense 1..n space NewStore-built logs have.
 	nextEventID int64
+	// snap is the latest published snapshot (see snapshot.go): written by
+	// the single writer at every sealed-batch boundary, pinned by readers.
+	snap atomic.Pointer[Snapshot]
 }
 
 // BoundsEpoch identifies the current MinTime/MaxTime generation.
@@ -207,6 +211,7 @@ func NewStore(log *audit.Log) (*Store, error) {
 		}
 	}
 	s.nextEventID = int64(len(log.Events)) + 1
+	s.publishSnapshot()
 	return s, nil
 }
 
@@ -264,12 +269,20 @@ func entityProps(e *audit.Entity) graphdb.Props {
 }
 
 // EntityAttr returns the attribute value of a stored entity as a typed
-// value (used for return projection and attribute relations).
+// value (used for return projection and attribute relations). It reads the
+// live intern maps, so it is writer-synchronized only; concurrent readers
+// use Snapshot.EntityAttr.
 func (s *Store) EntityAttr(id int64, attr string) relational.Value {
 	e := s.Log.Entities.Lookup(id)
 	if e == nil {
 		return relational.Null()
 	}
+	return entityAttrValue(e, attr)
+}
+
+// entityAttrValue types an entity attribute: the numeric attributes stay
+// ints, everything else is the string form, unknown attributes are NULL.
+func entityAttrValue(e *audit.Entity, attr string) relational.Value {
 	if attr == "pid" && e.Kind == audit.EntityProcess {
 		return relational.Int(int64(e.Proc.PID))
 	}

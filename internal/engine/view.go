@@ -181,14 +181,21 @@ func (en *Engine) disablePlanViewsLocked(plan *queryPlan) {
 	plan.disabledGen = en.viewReleaseGen.Load()
 }
 
-// ensureViews brings every pattern's view up to the store's current event
-// frontier, materializing on first use and catch-up-merging afterwards.
-// It returns false when the row cap is crossed — the plan's views are
-// then dropped wholesale and the caller evaluates through the recompute
-// path. Stats from the catch-up data queries accumulate into st. Callers
-// hold plan.viewMu.
-func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, plan *queryPlan, st *Stats) (bool, error) {
+// ensureViews brings every pattern's view up to the pinned snapshot's
+// event frontier, materializing on first use and catch-up-merging
+// afterwards. The frontier is the snapshot's NextEventID — NOT the live
+// store's: reading the live frontier while an append is publishing would
+// let a view claim coverage of events its bounded catch-up query (which
+// scans only the snapshot) never saw, silently losing those rows from
+// every later round. It returns false when the row cap is crossed — the
+// plan's views are then dropped wholesale and the caller evaluates through
+// the recompute path. Stats from the catch-up data queries accumulate into
+// st. Callers hold plan.viewMu.
+func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, plan *queryPlan, st *Stats) (bool, error) {
 	next := en.Store.NextEventID()
+	if snap != nil {
+		next = snap.NextEventID
+	}
 	for idx := range plan.pats {
 		pp := &plan.pats[idx]
 		v := pp.view
@@ -199,7 +206,7 @@ func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, plan *query
 		if v.upTo >= next {
 			continue
 		}
-		var sp extrasSpec
+		sp := extrasSpec{snap: snap}
 		if v.upTo > 0 {
 			sp.delta = v.upTo
 		}
@@ -243,7 +250,7 @@ func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, plan *query
 // view) join against the other patterns' cached sets, with the
 // scheduler's binding sets narrowing each read. Returns ok=false when a
 // view is capped and the recompute path must run instead.
-func (en *Engine) executeDeltaViews(ctx context.Context, a *tbql.Analyzed, plan *queryPlan, minEventID int64) (*Result, Stats, bool, error) {
+func (en *Engine) executeDeltaViews(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, plan *queryPlan, minEventID int64) (*Result, Stats, bool, error) {
 	var stats Stats
 	plan.viewMu.Lock()
 	defer plan.viewMu.Unlock()
@@ -256,7 +263,7 @@ func (en *Engine) executeDeltaViews(ctx context.Context, a *tbql.Analyzed, plan 
 		// its views): re-arm and retry materialization.
 		plan.viewsDisabled = false
 	}
-	viewsOK, err := en.ensureViews(ctx, a, plan, &stats)
+	viewsOK, err := en.ensureViews(ctx, a, snap, plan, &stats)
 	if err != nil {
 		return nil, stats, false, err
 	}
@@ -316,7 +323,7 @@ func (en *Engine) executeDeltaViews(ctx context.Context, a *tbql.Analyzed, plan 
 		if empty {
 			continue
 		}
-		res, joined, err := en.join(ctx, a, sc.results)
+		res, joined, err := en.join(ctx, a, snap, sc.results)
 		if err != nil {
 			return nil, stats, false, err
 		}

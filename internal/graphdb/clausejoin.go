@@ -147,6 +147,7 @@ func (g *Graph) materializeClause(pat Pattern, conjuncts []relational.Expr) ([]b
 		edges:     make(map[string]int64),
 		conjuncts: conjuncts,
 	}
+	m.bindStore()
 	var rows []binding
 	m.capture = func() error {
 		// Re-check local conjuncts at completion (pruneOK skips any that

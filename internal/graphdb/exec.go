@@ -55,6 +55,11 @@ type ExecParams struct {
 	// variable EdgeVar may bind (0 = unconstrained).
 	MinEdgeID int64
 	EdgeVar   string
+	// View, when non-nil, pins the execution to a published snapshot of
+	// the graph (see View): the matcher reads only the captured arenas and
+	// adjacency, so the execution may run concurrently with the writer.
+	// The view must have been captured from the graph being queried.
+	View *View
 }
 
 // nodeBinding returns the ID list bound to a variable, or nil.
@@ -76,6 +81,11 @@ type matcher struct {
 	q      *Query
 	params *ExecParams
 	stats  ExecStats
+	// view is non-nil for snapshot-pinned executions; vedges is the edge
+	// arena the run reads (the view's captured header, or the live one),
+	// bound once by bindStore so hot loops skip the mode branch.
+	view   *View
+	vedges []Edge
 	nodes  map[string]int64 // node variable bindings
 	edges  map[string]int64 // single-hop edge variable bindings
 	rs     *ResultSet
@@ -102,6 +112,48 @@ type matcher struct {
 	ctx  context.Context
 	done <-chan struct{}
 	tick uint32
+}
+
+// bindStore points the matcher at the arenas it will read: the view's
+// captured headers for a snapshot-pinned run, the live ones otherwise.
+func (m *matcher) bindStore() {
+	if m.view != nil {
+		m.vedges = m.view.edges
+		return
+	}
+	m.vedges = m.g.edges
+}
+
+// node, edgeAt, and the adjacency accessors below dispatch on the
+// matcher's mode: live runs read the graph directly (writer-goroutine
+// only, lock-free), view runs read the captured arenas.
+func (m *matcher) node(id int64) *Node {
+	if m.view != nil {
+		return m.view.node(id)
+	}
+	return m.g.node(id)
+}
+
+// edgeAtID resolves a dense edge element ID against the bound arena.
+func (m *matcher) edgeAtID(id int64) *Edge {
+	if id < 1 || id > int64(len(m.vedges)) {
+		return nil
+	}
+	return &m.vedges[id-1]
+}
+
+func (m *matcher) outOffsets(id int64) []int32 {
+	if m.view != nil {
+		return m.view.outOffsets(id)
+	}
+	return m.g.outOffsets(id)
+}
+
+func (m *matcher) inOffsets(id int64) []int32 {
+	if m.view != nil {
+		return m.view.inOffsets(id)
+	}
+	return m.g.inOffsets(id)
 }
 
 // checkCancel is the cooperative cancellation checkpoint, placed at anchor
@@ -166,7 +218,15 @@ func (g *Graph) ExecWith(q *Query, params *ExecParams) (*ResultSet, ExecStats, e
 // edge-driven scan iterations, returning ctx.Err() promptly once the
 // context is cancelled. A nil or never-cancelled context adds no work.
 func (g *Graph) ExecWithCtx(ctx context.Context, q *Query, params *ExecParams) (*ResultSet, ExecStats, error) {
-	g.ensureAdjSorted()
+	var view *View
+	if params != nil {
+		view = params.View
+	}
+	if view == nil {
+		// Snapshot runs skip the lazy re-sort: their capture already
+		// sorted, and sorting here would race with the concurrent writer.
+		g.ensureAdjSorted()
+	}
 	if q.ClauseAtATime && len(q.Patterns) > 1 {
 		if params != nil {
 			return nil, ExecStats{}, fmt.Errorf("graphdb: parameters are not supported with clause-at-a-time execution")
@@ -177,9 +237,11 @@ func (g *Graph) ExecWithCtx(ctx context.Context, q *Query, params *ExecParams) (
 		g:      g,
 		q:      q,
 		params: params,
+		view:   view,
 		nodes:  make(map[string]int64),
 		edges:  make(map[string]int64),
 	}
+	m.bindStore()
 	if ctx != nil {
 		m.ctx = ctx
 		m.done = ctx.Done()
@@ -255,11 +317,11 @@ func (m *matcher) matchEdgeDriven() error {
 	pat := &m.q.Patterns[0]
 	rel := &pat.Rels[0]
 	srcPat, dstPat := pat.Nodes[0], pat.Nodes[1]
-	for ei := m.params.MinEdgeID - 1; ei < int64(len(m.g.edges)); ei++ {
+	for ei := m.params.MinEdgeID - 1; ei < int64(len(m.vedges)); ei++ {
 		if err := m.checkCancel(); err != nil {
 			return err
 		}
-		e := &m.g.edges[ei]
+		e := &m.vedges[ei]
 		m.stats.EdgesTraversed++
 		if !typeMatches(rel.Types, e.Type) {
 			continue
@@ -394,7 +456,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 			// A declared time window narrows the sorted adjacency list to
 			// the in-window span by binary search.
 			if w, ok := m.windows[rel.Var]; ok {
-				adj = m.g.windowSlice(adj, w[0], w[1])
+				adj = windowSliceIn(m.vedges, adj, w[0], w[1])
 			}
 		}
 		// The floor compares edge element IDs (ei+1) — exactly what a
@@ -411,7 +473,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 			if int64(ei)+1 < edgeFloor {
 				continue
 			}
-			e := &m.g.edges[ei]
+			e := &m.vedges[ei]
 			m.stats.EdgesTraversed++
 			if !typeMatches(rel.Types, e.Type) {
 				continue
@@ -437,7 +499,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 	// traversal of the query.
 	maxDepth := rel.Max
 	if maxDepth < 0 {
-		maxDepth = m.g.NumEdges() // bounded by edge-uniqueness anyway
+		maxDepth = len(m.vedges) // bounded by edge-uniqueness anyway
 	}
 	used := m.acquireVisited()
 	var dfs func(cur int64, depth int) error
@@ -460,7 +522,7 @@ func (m *matcher) matchHop(pi, ni int) error {
 			if used[ei>>6]&(1<<(uint(ei)&63)) != 0 {
 				continue
 			}
-			e := &m.g.edges[ei]
+			e := &m.vedges[ei]
 			m.stats.EdgesTraversed++
 			if !typeMatches(rel.Types, e.Type) {
 				continue
@@ -495,7 +557,7 @@ func (m *matcher) acquireVisited() []uint64 {
 		m.visitedPool = m.visitedPool[:n-1]
 		return bs
 	}
-	return make([]uint64, (m.g.NumEdges()+63)/64)
+	return make([]uint64, (len(m.vedges)+63)/64)
 }
 
 func (m *matcher) releaseVisited(bs []uint64) {
@@ -507,12 +569,12 @@ func (m *matcher) releaseVisited(bs []uint64) {
 func (m *matcher) adjacent(id int64, dir Direction) []int32 {
 	switch dir {
 	case DirOut:
-		return m.g.outOffsets(id)
+		return m.outOffsets(id)
 	case DirIn:
-		return m.g.inOffsets(id)
+		return m.inOffsets(id)
 	default:
-		out := m.g.outOffsets(id)
-		in := m.g.inOffsets(id)
+		out := m.outOffsets(id)
+		in := m.inOffsets(id)
 		both := make([]int32, 0, len(out)+len(in))
 		both = append(both, out...)
 		both = append(both, in...)
@@ -593,7 +655,7 @@ func typeMatches(types []string, t string) bool {
 // this call created the binding (the caller must remove it when
 // backtracking).
 func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
-	n := m.g.node(id)
+	n := m.node(id)
 	if n == nil {
 		return false, false, nil
 	}
@@ -641,7 +703,7 @@ func (m *matcher) candidates(np NodePat) ([]int64, error) {
 			// instead of a node lookup + label check per candidate inside
 			// bindNode.
 			if np.Label != "" {
-				if lbl, ok := m.g.sortedLabelIDs(np.Label); ok {
+				if lbl, ok := m.sortedLabelIDs(np.Label); ok {
 					// Fresh slice: nested anchors (multi-pattern queries)
 					// may still be iterating an earlier result.
 					return intersectSortedIDs(ids, lbl, nil), nil
@@ -656,14 +718,41 @@ func (m *matcher) candidates(np NodePat) ([]int64, error) {
 	}
 	if np.Label != "" {
 		for prop, v := range np.Props {
-			if ids, ok := m.g.lookupIndexed(np.Label, prop, v); ok {
+			if ids, ok := m.lookupIndexed(np.Label, prop, v); ok {
 				m.stats.IndexLookups++
 				return ids, nil
 			}
 		}
-		return m.g.byLabel[np.Label], nil
+		return m.labelIDs(np.Label), nil
+	}
+	if m.view != nil {
+		return m.view.allNodeIDs(), nil
 	}
 	return m.g.AllNodeIDs(), nil
+}
+
+// sortedLabelIDs, lookupIndexed, and labelIDs dispatch the anchor index
+// probes on the matcher's mode (view probes lock and trim; live probes
+// are the writer-goroutine fast path).
+func (m *matcher) sortedLabelIDs(label string) ([]int64, bool) {
+	if m.view != nil {
+		return m.view.sortedLabelIDs(label)
+	}
+	return m.g.sortedLabelIDs(label)
+}
+
+func (m *matcher) lookupIndexed(label, prop string, v Value) ([]int64, bool) {
+	if m.view != nil {
+		return m.view.lookupIndexed(label, prop, v)
+	}
+	return m.g.lookupIndexed(label, prop, v)
+}
+
+func (m *matcher) labelIDs(label string) []int64 {
+	if m.view != nil {
+		return m.view.labelIDs(label)
+	}
+	return m.g.byLabel[label]
 }
 
 // idConstraint scans the WHERE conjuncts for "var.id = n" or
@@ -745,7 +834,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		return relational.Null(), fmt.Errorf("cypher: unknown variable %q", c.Column)
 	}
 	if id, ok := m.nodes[name]; ok {
-		n := m.g.node(id)
+		n := m.node(id)
 		switch c.Column {
 		case "", "id":
 			return relational.Int(id), nil
@@ -758,7 +847,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		return relational.Null(), nil
 	}
 	if id, ok := m.edges[name]; ok {
-		e := m.g.edgeByID(id)
+		e := m.edgeAtID(id)
 		switch c.Column {
 		case "", "id":
 			return relational.Int(id), nil

@@ -115,6 +115,18 @@ type Graph struct {
 	dirtyIn  map[int32]struct{}
 	sortMu   sync.Mutex
 
+	// pubOut/pubIn are the published chunked adjacency copies handed to
+	// views (see view.go): the outer slice holds one chunk of adjChunkSize
+	// inner-list headers per adjChunkSize node offsets. Chunks are
+	// copy-on-write — a publish clones only the chunks whose dirty bit is
+	// set below, so publishing costs O(touched chunks), not O(nodes).
+	pubOut, pubIn [][][]int32
+	// dirtyPubOut/dirtyPubIn are bitsets over chunk indices: bit ci set
+	// means live adjacency inside chunk ci changed (edge append, node
+	// append, lazy re-sort, rollback) since the last publish, so pubOut/
+	// pubIn chunk ci must be re-cloned. Writer-only, like the arenas.
+	dirtyPubOut, dirtyPubIn []uint64
+
 	// labelUnsorted marks labels whose byLabel list received an
 	// out-of-order node ID. Until then the list is ascending-sorted
 	// (AddNode assigns increasing IDs; stores mirror ascending entity IDs)
@@ -122,6 +134,19 @@ type Graph struct {
 	// binding ID lists the TBQL scheduler feeds forward, instead of
 	// checking each candidate's label one node lookup at a time.
 	labelUnsorted map[string]bool
+
+	// mu synchronizes the map structures (nodeIdx, byLabel, propIndex,
+	// labelUnsorted) between the single writer and snapshot-view readers:
+	// node inserts, rollbacks, and index builds take the write lock; view
+	// probes take the read lock (see view.go). Live queries run on the
+	// writer's own goroutine and need no locking; edge appends mutate no
+	// map a view reads and stay lock-free.
+	mu sync.RWMutex
+
+	// idsDense records that every node's ID equals its arena offset + 1
+	// (the engine mirrors dense ascending entity IDs). Views exploit it to
+	// resolve nodes without the locked nodeIdx probe.
+	idsDense bool
 }
 
 // NewGraph returns an empty graph.
@@ -130,6 +155,7 @@ func NewGraph() *Graph {
 		nodeIdx:   make(map[int64]int32),
 		byLabel:   make(map[string][]int64),
 		propIndex: make(map[string]map[string]map[Value][]int64),
+		idsDense:  true,
 	}
 }
 
@@ -166,10 +192,18 @@ func (g *Graph) ReserveEdges(n int) {
 }
 
 func (g *Graph) addNode(id int64, label string, props Props) {
-	g.nodeIdx[id] = int32(len(g.nodes))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id != int64(len(g.nodes))+1 {
+		g.idsDense = false
+	}
+	ni := int32(len(g.nodes))
+	g.nodeIdx[id] = ni
 	g.nodes = append(g.nodes, Node{ID: id, Label: label, Props: props})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	markAdjChunkDirty(&g.dirtyPubOut, ni)
+	markAdjChunkDirty(&g.dirtyPubIn, ni)
 	if l := g.byLabel[label]; len(l) > 0 && l[len(l)-1] > id && !g.labelUnsorted[label] {
 		if g.labelUnsorted == nil {
 			g.labelUnsorted = make(map[string]bool)
@@ -244,6 +278,7 @@ func (g *Graph) addEdge(e Edge) (int64, error) {
 		g.dirtyOut[fi] = struct{}{}
 	}
 	g.out[fi] = g.appendAdj(g.out[fi], ei)
+	markAdjChunkDirty(&g.dirtyPubOut, fi)
 	if l := g.in[ti]; len(l) > 0 && g.edges[l[len(l)-1]].startTime > st {
 		if g.dirtyIn == nil {
 			g.dirtyIn = make(map[int32]struct{})
@@ -251,7 +286,92 @@ func (g *Graph) addEdge(e Edge) (int64, error) {
 		g.dirtyIn[ti] = struct{}{}
 	}
 	g.in[ti] = g.appendAdj(g.in[ti], ei)
+	markAdjChunkDirty(&g.dirtyPubIn, ti)
 	return e.ID, nil
+}
+
+// Published adjacency is chunked so a snapshot publish clones only the
+// chunks an append batch touched (audit batches touch few distinct
+// neighborhoods) instead of re-copying one slice header per node.
+const (
+	adjChunkShift = 6 // 64 node offsets per chunk
+	adjChunkSize  = 1 << adjChunkShift
+)
+
+// markAdjChunkDirty flags the published-adjacency chunk holding node
+// offset ni as stale. Writer-only.
+func markAdjChunkDirty(set *[]uint64, ni int32) {
+	ci := uint32(ni) >> adjChunkShift
+	w := ci >> 6
+	for uint32(len(*set)) <= w {
+		*set = append(*set, 0)
+	}
+	(*set)[w] |= 1 << (ci & 63)
+}
+
+// publishAdj refreshes and returns the published chunked copies of both
+// adjacency directions. It must run writer-synchronized (Capture's
+// contract): stale chunks are re-cloned from the live arrays, clean
+// chunks are shared with every previously published view. The returned
+// outer slices are immutable — the next publish builds fresh ones.
+func (g *Graph) publishAdj() (out, in [][][]int32) {
+	out = publishAdjChunks(&g.pubOut, g.out, g.dirtyPubOut)
+	in = publishAdjChunks(&g.pubIn, g.in, g.dirtyPubIn)
+	clear(g.dirtyPubOut)
+	clear(g.dirtyPubIn)
+	return out, in
+}
+
+func publishAdjChunks(pub *[][][]int32, live [][]int32, dirty []uint64) [][][]int32 {
+	nchunks := (len(live) + adjChunkSize - 1) >> adjChunkShift
+	old := *pub
+	clean := true
+	for _, w := range dirty {
+		if w != 0 {
+			clean = false
+			break
+		}
+	}
+	if clean && len(old) == nchunks {
+		return old
+	}
+	isStale := func(ci int) bool {
+		if ci >= len(old) {
+			return true
+		}
+		return ci>>6 < len(dirty) && dirty[ci>>6]&(1<<(uint(ci)&63)) != 0
+	}
+	next := make([][][]int32, nchunks)
+	copy(next, old)
+	// All stale-chunk clones share one backing allocation: a 512-event
+	// append batch can dirty dozens of chunks, and one allocation per
+	// chunk would put per-batch alloc count back on an O(batch) slope.
+	total := 0
+	for ci := 0; ci < nchunks; ci++ {
+		if isStale(ci) {
+			end := (ci + 1) << adjChunkShift
+			if end > len(live) {
+				end = len(live)
+			}
+			total += end - ci<<adjChunkShift
+		}
+	}
+	buf := make([][]int32, 0, total)
+	for ci := 0; ci < nchunks; ci++ {
+		if !isStale(ci) {
+			continue
+		}
+		start := ci << adjChunkShift
+		end := start + adjChunkSize
+		if end > len(live) {
+			end = len(live)
+		}
+		at := len(buf)
+		buf = append(buf, live[start:end]...)
+		next[ci] = buf[at:len(buf):len(buf)]
+	}
+	*pub = next
+	return next
 }
 
 // appendAdj appends to an adjacency list. New lists are carved from the
@@ -280,30 +400,37 @@ func carveList(arena *[]int32) []int32 {
 }
 
 // ensureAdjSorted restores the by-start_time order of the adjacency lists
-// touched by out-of-order inserts. Queries call it once on entry; audit
-// logs arrive mostly in time order, so in the steady state it is two map
-// checks, and a late event costs two neighborhood sorts — never a
-// whole-graph pass.
+// touched by out-of-order inserts. Live queries call it once on entry;
+// audit logs arrive mostly in time order, so in the steady state it is two
+// map checks, and a late event costs two neighborhood sorts — never a
+// whole-graph pass. The re-sort is copy-on-write: a freshly sorted array
+// is swapped into the adjacency slot rather than sorting in place, so
+// published views (which hold the old inner-list headers) keep reading the
+// order they captured.
 func (g *Graph) ensureAdjSorted() {
 	g.sortMu.Lock()
 	defer g.sortMu.Unlock()
 	if len(g.dirtyOut) == 0 && len(g.dirtyIn) == 0 {
 		return
 	}
-	sortList := func(l []int32) {
-		sort.Slice(l, func(a, b int) bool {
-			ea, eb := &g.edges[l[a]], &g.edges[l[b]]
+	sortList := func(l []int32) []int32 {
+		s := append([]int32(nil), l...)
+		sort.Slice(s, func(a, b int) bool {
+			ea, eb := &g.edges[s[a]], &g.edges[s[b]]
 			if ea.startTime != eb.startTime {
 				return ea.startTime < eb.startTime
 			}
-			return l[a] < l[b]
+			return s[a] < s[b]
 		})
+		return s
 	}
 	for fi := range g.dirtyOut {
-		sortList(g.out[fi])
+		g.out[fi] = sortList(g.out[fi])
+		markAdjChunkDirty(&g.dirtyPubOut, fi)
 	}
 	for ti := range g.dirtyIn {
-		sortList(g.in[ti])
+		g.in[ti] = sortList(g.in[ti])
+		markAdjChunkDirty(&g.dirtyPubIn, ti)
 	}
 	g.dirtyOut = nil
 	g.dirtyIn = nil
@@ -315,13 +442,16 @@ type Mark struct {
 	nodes    int
 	edges    int
 	nextNode int64
+	idsDense bool
 }
 
 // Mark returns the current append high-water marks. Take it immediately
-// before an append batch; no query may run between Mark and Rollback (the
-// store's append path holds the session write lock for the whole batch).
+// before an append batch; no live query may run between Mark and Rollback
+// (the append path is single-writer), though snapshot views published
+// before the mark may be read throughout — they never cover the elements
+// a rollback removes.
 func (g *Graph) Mark() Mark {
-	return Mark{nodes: len(g.nodes), edges: len(g.edges), nextNode: g.nextNode}
+	return Mark{nodes: len(g.nodes), edges: len(g.edges), nextNode: g.nextNode, idsDense: g.idsDense}
 }
 
 // Rollback removes every node and edge appended since the mark, restoring
@@ -338,17 +468,23 @@ func (g *Graph) Rollback(m Mark) {
 		fi := g.nodeIdx[e.From]
 		if l := g.out[fi]; len(l) > 0 && l[len(l)-1] == int32(ei) {
 			g.out[fi] = l[:len(l)-1]
+			markAdjChunkDirty(&g.dirtyPubOut, fi)
 		}
 		ti := g.nodeIdx[e.To]
 		if l := g.in[ti]; len(l) > 0 && l[len(l)-1] == int32(ei) {
 			g.in[ti] = l[:len(l)-1]
+			markAdjChunkDirty(&g.dirtyPubIn, ti)
 		}
 		*e = Edge{} // release Props/string references held by the arena
 	}
 	g.edges = g.edges[:m.edges]
 
 	// Pop nodes newest-first: label and property-index lists appended the
-	// IDs in insertion order, so each removed ID is a list tail.
+	// IDs in insertion order, so each removed ID is a list tail. The map
+	// mutations take the write lock so concurrent view probes never see a
+	// half-popped index (the popped entries are all post-capture IDs, so
+	// views lose nothing they covered).
+	g.mu.Lock()
 	for ni := len(g.nodes) - 1; ni >= m.nodes; ni-- {
 		n := &g.nodes[ni]
 		delete(g.nodeIdx, n.ID)
@@ -380,6 +516,8 @@ func (g *Graph) Rollback(m Mark) {
 	g.out = g.out[:m.nodes]
 	g.in = g.in[:m.nodes]
 	g.nextNode = m.nextNode
+	g.idsDense = m.idsDense
+	g.mu.Unlock()
 
 	// Dirty-list entries for removed nodes would make the next lazy
 	// re-sort index past the truncated adjacency arrays; entries for
@@ -401,6 +539,8 @@ func (g *Graph) Rollback(m Mark) {
 // CreateIndex builds a property index on (label, prop) over existing and
 // future nodes.
 func (g *Graph) CreateIndex(label, prop string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	byProp, ok := g.propIndex[label]
 	if !ok {
 		byProp = make(map[string]map[Value][]int64)
@@ -460,6 +600,17 @@ func (g *Graph) NodesByLabel(label string) []int64 { return g.byLabel[label] }
 // to per-candidate bindNode checks — never a semantic change, only a
 // lost shortcut.
 func (g *Graph) sortedLabelIDs(label string) ([]int64, bool) {
+	found, ok := g.resolveLabelLocked(label)
+	if !ok || g.labelUnsorted[found] {
+		return nil, false
+	}
+	return g.byLabel[found], true
+}
+
+// resolveLabelLocked maps a query label to the unique stored label it
+// case-insensitively matches, or ok=false on ambiguity. Callers must hold
+// g.mu (any mode) or be the writer.
+func (g *Graph) resolveLabelLocked(label string) (string, bool) {
 	found, n := label, 0
 	if _, ok := g.byLabel[label]; ok {
 		n = 1
@@ -470,10 +621,7 @@ func (g *Graph) sortedLabelIDs(label string) ([]int64, bool) {
 			n++
 		}
 	}
-	if n != 1 || g.labelUnsorted[found] {
-		return nil, false
-	}
-	return g.byLabel[found], true
+	return found, n == 1
 }
 
 // intersectSortedIDs writes into dst (reset to length 0) the values
@@ -554,11 +702,17 @@ func (g *Graph) inOffsets(id int64) []int32 {
 // windowSlice narrows a time-sorted adjacency list to the edges whose
 // start_time lies in [lo, hi], via binary search on both bounds.
 func (g *Graph) windowSlice(adj []int32, lo, hi int64) []int32 {
+	return windowSliceIn(g.edges, adj, lo, hi)
+}
+
+// windowSliceIn is windowSlice against an explicit edge arena (a view's
+// captured arena, or the live one).
+func windowSliceIn(edges []Edge, adj []int32, lo, hi int64) []int32 {
 	start := sort.Search(len(adj), func(i int) bool {
-		return g.edges[adj[i]].startTime >= lo
+		return edges[adj[i]].startTime >= lo
 	})
 	end := sort.Search(len(adj), func(i int) bool {
-		return g.edges[adj[i]].startTime > hi
+		return edges[adj[i]].startTime > hi
 	})
 	if start >= end {
 		return nil

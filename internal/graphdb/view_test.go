@@ -1,0 +1,117 @@
+package graphdb
+
+import (
+	"testing"
+)
+
+// addTestEdge appends an event edge with the given start time and fails
+// the test on error.
+func addTestEdge(t *testing.T, g *Graph, from, to, start int64) int64 {
+	t.Helper()
+	id, err := g.AddEventEdge(from, to, "read", start, start, start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// offsets returns a copy of a view's outgoing adjacency for a node.
+func offsets(v *View, id int64) []int32 {
+	return append([]int32(nil), v.outOffsets(id)...)
+}
+
+// TestViewChunkedPublishIsolation exercises the chunked copy-on-write
+// adjacency publication across its edge cases: a captured view must keep
+// answering from the adjacency it froze while later appends, node growth
+// across chunk boundaries, lazy re-sorts, and rollbacks mutate the live
+// graph and publish newer views.
+func TestViewChunkedPublishIsolation(t *testing.T) {
+	g := NewGraph()
+	// Span several chunks so clean-chunk sharing and per-chunk cloning
+	// both happen: 3 full chunks plus a partial tail.
+	n := int64(3*adjChunkSize + 7)
+	for i := int64(0); i < n; i++ {
+		g.AddNode("Node", nil)
+	}
+	// One edge inside each chunk region.
+	e1 := addTestEdge(t, g, 1, 2, 100)
+	mid := int64(adjChunkSize + 5)
+	e2 := addTestEdge(t, g, mid, mid+1, 200)
+
+	var v1 View
+	v1.Capture(g)
+	if got := offsets(&v1, 1); len(got) != 1 || got[0] != int32(e1-1) {
+		t.Fatalf("v1 out(1) = %v, want [%d]", got, e1-1)
+	}
+
+	// Appends after the capture: a new edge on node 1's list, a new edge
+	// on a fresh node past the old partial tail chunk, and an
+	// out-of-order edge that dirties node mid's list.
+	e3 := addTestEdge(t, g, 1, 3, 300)
+	tail := g.AddNode("Node", nil)
+	e4 := addTestEdge(t, g, tail, 1, 400)
+	addTestEdge(t, g, mid, mid+2, 50) // out of order: before e2
+
+	var v2 View
+	v2.Capture(g)
+
+	// v1 froze the pre-append adjacency everywhere.
+	if got := offsets(&v1, 1); len(got) != 1 || got[0] != int32(e1-1) {
+		t.Fatalf("v1 out(1) after appends = %v, want [%d]", got, e1-1)
+	}
+	if got := offsets(&v1, mid); len(got) != 1 || got[0] != int32(e2-1) {
+		t.Fatalf("v1 out(mid) after appends = %v, want [%d]", got, e2-1)
+	}
+	if v1.node(tail) != nil {
+		t.Fatalf("v1 resolves node %d added after its capture", tail)
+	}
+
+	// v2 sees the appends, with mid's list re-sorted by start time.
+	if got := offsets(&v2, 1); len(got) != 2 || got[0] != int32(e1-1) || got[1] != int32(e3-1) {
+		t.Fatalf("v2 out(1) = %v, want [%d %d]", got, e1-1, e3-1)
+	}
+	if got := offsets(&v2, mid); len(got) != 2 || got[1] != int32(e2-1) {
+		t.Fatalf("v2 out(mid) = %v, want the out-of-order edge sorted first", got)
+	}
+	if got := offsets(&v2, tail); len(got) != 1 || got[0] != int32(e4-1) {
+		t.Fatalf("v2 out(tail) = %v, want [%d]", got, e4-1)
+	}
+
+	// Roll back everything since v2's capture state and verify a capture
+	// after the rollback stops covering the popped elements while v2
+	// keeps its frozen answers.
+	m := g.Mark()
+	e5 := addTestEdge(t, g, 2, 1, 500)
+	extra := g.AddNode("Node", nil)
+	addTestEdge(t, g, extra, 2, 600)
+	g.Rollback(m)
+
+	var v3 View
+	v3.Capture(g)
+	if got := offsets(&v3, 2); len(got) != 0 {
+		t.Fatalf("v3 out(2) = %v, want the rolled-back edge %d gone", got, e5-1)
+	}
+	if v3.node(extra) != nil {
+		t.Fatalf("v3 resolves rolled-back node %d", extra)
+	}
+	if got := offsets(&v2, 1); len(got) != 2 {
+		t.Fatalf("v2 out(1) drifted across rollback: %v", got)
+	}
+
+	// Unchanged chunks are shared between consecutive publishes; a fresh
+	// append re-clones only its chunk.
+	var v4 View
+	v4.Capture(g)
+	if &v3.out[2][0] != &v4.out[2][0] {
+		t.Fatal("clean chunk was re-cloned between captures")
+	}
+	addTestEdge(t, g, 2, 3, 700)
+	var v5 View
+	v5.Capture(g)
+	if &v5.out[2][0] != &v4.out[2][0] {
+		t.Fatal("chunk 2 re-cloned though only chunk 0 changed")
+	}
+	if &v5.out[0][0] == &v4.out[0][0] {
+		t.Fatal("chunk 0 shared though an edge was appended inside it")
+	}
+}

@@ -1,0 +1,218 @@
+// Package metrics is a minimal, dependency-free instrumentation library
+// with Prometheus text exposition. It exists so the daemon
+// (cmd/threatraptord) can export operational counters, gauges, and
+// latency histograms without pulling a client library into the build:
+// the whole exposition surface is the subset of the Prometheus text
+// format (version 0.0.4) that counters, gauges, and cumulative
+// histograms need.
+//
+// A Registry owns an ordered set of named metrics and renders them all
+// with WritePrometheus (or serves them via Handler). Counters and gauges
+// are single atomics; histograms use fixed upper-bound buckets with
+// atomic per-bucket counts, so Observe on the hunt hot path costs a
+// binary search plus two atomic adds. GaugeFunc covers values that are
+// cheaper to read on scrape than to maintain (queue depth, snapshot
+// age).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never decrease).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative histogram over fixed upper-bound buckets
+// (Prometheus semantics: bucket le="x" counts observations <= x, and an
+// implicit +Inf bucket counts everything).
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond hunts to multi-second overload tails.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered, renderable metric.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them in registration order.
+// The zero value is unusable; use NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (nil: DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case m.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+		case m.hist != nil:
+			var cum uint64
+			for i, bound := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.hist.Count())
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(m.hist.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.hist.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tr_appends_total", "Sealed batches appended.")
+	g := r.NewGauge("tr_queue_depth", "Hunts in flight.")
+	r.NewGaugeFunc("tr_snapshot_age_seconds", "Age of the published snapshot.", func() float64 { return 1.5 })
+	h := r.NewHistogram("tr_hunt_seconds", "Hunt latency.", []float64{0.1, 1})
+
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP tr_appends_total Sealed batches appended.",
+		"# TYPE tr_appends_total counter",
+		"tr_appends_total 3",
+		"# TYPE tr_queue_depth gauge",
+		"tr_queue_depth 2",
+		"tr_snapshot_age_seconds 1.5",
+		"# TYPE tr_hunt_seconds histogram",
+		`tr_hunt_seconds_bucket{le="0.1"} 1`,
+		`tr_hunt_seconds_bucket{le="1"} 2`,
+		`tr_hunt_seconds_bucket{le="+Inf"} 3`,
+		"tr_hunt_seconds_sum 5.55",
+		"tr_hunt_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	// Prometheus buckets are <= upper bound: an observation exactly at a
+	// bound lands in that bucket.
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2})
+	h.Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("observation at bound not counted in its bucket:\n%s", b.String())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x", "")
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", nil)
+	c := r.NewCounter("c", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("lost updates: hist %d counter %d", h.Count(), c.Value())
+	}
+	if got := h.Sum(); got < 7.99 || got > 8.01 {
+		t.Fatalf("sum = %v, want ~8", got)
+	}
+}

@@ -119,4 +119,11 @@ const MaxParamSlots = 4
 type Params struct {
 	Ints  [MaxParamSlots]int64
 	Lists [MaxParamSlots][]int64
+	// Snap, when non-nil, pins the execution to a published table
+	// snapshot: every table read resolves through Snap.Table, so the
+	// execution sees exactly the rows that existed when the snapshot was
+	// captured even while the single writer appends to the live tables.
+	// Nil executes against the live tables (the only-writer or
+	// externally-locked paths).
+	Snap *Snap
 }

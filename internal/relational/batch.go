@@ -1,5 +1,7 @@
 package relational
 
+import "sync/atomic"
+
 // This file is the vectorized half of the executor: predicates whose shape
 // allows it are compiled to batch kernels that evaluate a whole selection
 // vector per call with tight typed loops over the column vectors, instead
@@ -30,9 +32,11 @@ type vecPred struct {
 }
 
 // nullAt reports whether bit r is set in a bitmap known to cover row r
-// (appendRow keeps non-empty bitmaps grown to the full row count).
+// (appendRow keeps non-empty bitmaps grown to the full row count). The
+// word load is atomic: the writer may set bits for post-snapshot rows in
+// the word that also covers the snapshot's tail rows (see bitmap).
 func nullAt(nb bitmap, r int32) bool {
-	return nb[r>>6]&(1<<(uint(r)&63)) != 0
+	return atomic.LoadUint64(&nb[r>>6])&(1<<(uint(r)&63)) != 0
 }
 
 // The generic kernels below are instantiated for int64 and string columns.
@@ -284,15 +288,16 @@ func filterCmpRange[T orderedCol](col []T, nb bitmap, op string, k T, lo, hi int
 }
 
 // colVec fetches a column's current typed vector and bitmap at filter
-// time. Capturing the slices at plan time would go stale: cached plans
-// outlive inserts, and append can relocate the vectors.
-func intVec(a colAccess) ([]int64, bitmap) {
-	c := &a.tbl.cols[a.col]
+// time, resolved through the execution's bound tables so a snapshot-pinned
+// run reads the frozen headers. Capturing the slices at plan time would go
+// stale: cached plans outlive inserts, and append can relocate the vectors.
+func intVec(a colAccess, st *execState) ([]int64, bitmap) {
+	c := &st.tabs[a.lvl].cols[a.col]
 	return c.ints, c.null
 }
 
-func strVec(a colAccess) ([]string, bitmap) {
-	c := &a.tbl.cols[a.col]
+func strVec(a colAccess, st *execState) ([]string, bitmap) {
+	c := &st.tabs[a.lvl].cols[a.col]
 	return c.strs, c.null
 }
 
@@ -302,24 +307,24 @@ func vecCmpLit(a colAccess, op string, k Value) *vecPred {
 	if a.kind == KindInt {
 		kv := k.I
 		return &vecPred{
-			filterSel: func(_ *execState, sel, dst []int32) []int32 {
-				col, nb := intVec(a)
+			filterSel: func(st *execState, sel, dst []int32) []int32 {
+				col, nb := intVec(a, st)
 				return filterCmp(col, nb, op, kv, sel, dst)
 			},
-			filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-				col, nb := intVec(a)
+			filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+				col, nb := intVec(a, st)
 				return filterCmpRange(col, nb, op, kv, lo, hi, dst)
 			},
 		}
 	}
 	kv := k.S
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			return filterCmp(col, nb, op, kv, sel, dst)
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			return filterCmpRange(col, nb, op, kv, lo, hi, dst)
 		},
 	}
@@ -334,7 +339,7 @@ func vecCmpOuter(a colAccess, op string, outer colAccess) *vecPred {
 	if a.kind == KindInt {
 		return &vecPred{
 			filterSel: func(st *execState, sel, dst []int32) []int32 {
-				col, nb := intVec(a)
+				col, nb := intVec(a, st)
 				k, knull := outer.intAt(st)
 				if knull {
 					return filterVsNull(nb, op, sel, dst)
@@ -342,7 +347,7 @@ func vecCmpOuter(a colAccess, op string, outer colAccess) *vecPred {
 				return filterCmp(col, nb, op, k, sel, dst)
 			},
 			filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
-				col, nb := intVec(a)
+				col, nb := intVec(a, st)
 				k, knull := outer.intAt(st)
 				if knull {
 					return filterVsNullRange(nb, op, lo, hi, dst)
@@ -353,7 +358,7 @@ func vecCmpOuter(a colAccess, op string, outer colAccess) *vecPred {
 	}
 	return &vecPred{
 		filterSel: func(st *execState, sel, dst []int32) []int32 {
-			col, nb := strVec(a)
+			col, nb := strVec(a, st)
 			k, knull := outer.strAt(st)
 			if knull {
 				return filterVsNull(nb, op, sel, dst)
@@ -361,7 +366,7 @@ func vecCmpOuter(a colAccess, op string, outer colAccess) *vecPred {
 			return filterCmp(col, nb, op, k, sel, dst)
 		},
 		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := strVec(a)
+			col, nb := strVec(a, st)
 			k, knull := outer.strAt(st)
 			if knull {
 				return filterVsNullRange(nb, op, lo, hi, dst)
@@ -438,8 +443,8 @@ func filterVsNullRange(nb bitmap, op string, lo, hi int32, dst []int32) []int32 
 func vecLike(a colAccess, pattern string) *vecPred {
 	match := compileLikePattern(pattern)
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			if len(nb) == 0 {
 				for _, r := range sel {
 					if match(col[r]) {
@@ -455,8 +460,8 @@ func vecLike(a colAccess, pattern string) *vecPred {
 			}
 			return dst
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			if len(nb) == 0 {
 				for r := lo; r < hi; r++ {
 					if match(col[r]) {
@@ -526,12 +531,12 @@ func filterInRange[T orderedCol](col []T, nb bitmap, set map[T]struct{}, negate 
 
 func vecInInt(a colAccess, set map[int64]struct{}, negate bool) *vecPred {
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			col, nb := intVec(a)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := intVec(a, st)
 			return filterIn(col, nb, set, negate, sel, dst)
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := intVec(a)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := intVec(a, st)
 			return filterInRange(col, nb, set, negate, lo, hi, dst)
 		},
 	}
@@ -539,12 +544,12 @@ func vecInInt(a colAccess, set map[int64]struct{}, negate bool) *vecPred {
 
 func vecInStr(a colAccess, set map[string]struct{}, negate bool) *vecPred {
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			return filterIn(col, nb, set, negate, sel, dst)
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := strVec(a)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			col, nb := strVec(a, st)
 			return filterInRange(col, nb, set, negate, lo, hi, dst)
 		},
 	}

@@ -13,12 +13,15 @@ import (
 // IN) evaluates the predicate once per distinct dictionary value and then
 // filters rows through the resulting code table.
 
-// codeVec fetches a dict column's code vector, bitmap, and dictionary at
+// codeVec fetches a dict column's code vector, bitmap, and decode slice at
 // filter time (cached plans outlive appends, so nothing is captured at
-// plan time; see intVec/strVec).
-func codeVec(a colAccess) ([]int32, bitmap, *dictionary) {
-	c := &a.tbl.cols[a.col]
-	return c.codes, c.null, c.dict
+// plan time; see intVec/strVec). The decode slice stands in for the
+// dictionary itself: a snapshot-pinned execution reads the frozen dvals
+// header, never the live dictionary's growing vals slice or code map, so
+// code resolution below scans the slice instead of probing the map.
+func codeVec(a colAccess, st *execState) ([]int32, bitmap, []string) {
+	c := &st.tabs[a.lvl].cols[a.col]
+	return c.codes, c.null, c.dictVals()
 }
 
 // noCode is a sentinel that matches no row: real codes are non-negative,
@@ -29,22 +32,27 @@ const noCode int32 = -1
 
 // vecDictEq builds the kernels for "dictcol = literal" / "dictcol <>
 // literal": the literal resolves to its code per batch (the dictionary may
-// have grown since the last batch), then the typed int32 kernels run.
+// have grown since the last batch), then the typed int32 kernels run. The
+// resolution is a linear scan over the decode slice — dict columns are
+// low-cardinality by design, the scan runs once per batch, and unlike the
+// dictionary's code map it is safe against a concurrently interning writer.
 func vecDictEq(a colAccess, op string, k string) *vecPred {
-	codeOf := func(d *dictionary) int32 {
-		if c, ok := d.code[k]; ok {
-			return c
+	codeOf := func(vals []string) int32 {
+		for i, v := range vals {
+			if v == k {
+				return int32(i)
+			}
 		}
 		return noCode
 	}
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			codes, nb, d := codeVec(a)
-			return filterCmp(codes, nb, op, codeOf(d), sel, dst)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			codes, nb, vals := codeVec(a, st)
+			return filterCmp(codes, nb, op, codeOf(vals), sel, dst)
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			codes, nb, d := codeVec(a)
-			return filterCmpRange(codes, nb, op, codeOf(d), lo, hi, dst)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			codes, nb, vals := codeVec(a, st)
+			return filterCmpRange(codes, nb, op, codeOf(vals), lo, hi, dst)
 		},
 	}
 }
@@ -62,27 +70,31 @@ type codeTable struct {
 // vecDictTable builds the kernels for predicate shapes evaluated per
 // distinct value: passFor fills pass[i] with the verdict for vals[i], and
 // keepNull states whether NULL rows survive (the engine's NULL-sorts-first
-// convention for < and <=, NOT IN semantics for negated lists).
+// convention for < and <=, NOT IN semantics for negated lists). The cache
+// is monotone: pass[i] depends only on vals[i] and vals is append-only, so
+// a table built for a longer decode slice serves every shorter (older
+// snapshot) execution — its extra entries simply go unread, since every
+// code in an older column is below that snapshot's vals length.
 func vecDictTable(a colAccess, keepNull bool, passFor func(vals []string, pass []bool)) *vecPred {
 	var cache atomic.Pointer[codeTable]
-	table := func(d *dictionary) []bool {
-		n := len(d.vals)
-		if t := cache.Load(); t != nil && t.n == n {
+	table := func(vals []string) []bool {
+		n := len(vals)
+		if t := cache.Load(); t != nil && t.n >= n {
 			return t.pass
 		}
 		pass := make([]bool, n)
-		passFor(d.vals, pass)
+		passFor(vals, pass)
 		cache.Store(&codeTable{n: n, pass: pass})
 		return pass
 	}
 	return &vecPred{
-		filterSel: func(_ *execState, sel, dst []int32) []int32 {
-			codes, nb, d := codeVec(a)
-			return filterCodeTable(codes, nb, table(d), keepNull, sel, dst)
+		filterSel: func(st *execState, sel, dst []int32) []int32 {
+			codes, nb, vals := codeVec(a, st)
+			return filterCodeTable(codes, nb, table(vals), keepNull, sel, dst)
 		},
-		filterRange: func(_ *execState, lo, hi int32, dst []int32) []int32 {
-			codes, nb, d := codeVec(a)
-			return filterCodeTableRange(codes, nb, table(d), keepNull, lo, hi, dst)
+		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
+			codes, nb, vals := codeVec(a, st)
+			return filterCodeTableRange(codes, nb, table(vals), keepNull, lo, hi, dst)
 		},
 	}
 }

@@ -119,7 +119,7 @@ func (s *rowSink) emit(p *plan, st *execState) error {
 // may run on many goroutines concurrently.
 func (p *plan) run(ctx context.Context, params *Params) (*ResultSet, ExecStats, error) {
 	rs := &ResultSet{Columns: p.cols}
-	n0 := int32(p.tables[0].Len())
+	n0 := int32(p.tableAt(params, 0).Len())
 	var stats ExecStats
 	ia0 := p.effAccess(params, 0)
 	var lo0 int32
@@ -149,6 +149,7 @@ func (p *plan) run(ctx context.Context, params *Params) (*ResultSet, ExecStats, 
 		if params != nil {
 			st.params = *params
 		}
+		p.bindTabs(st)
 		sink := p.newSink(rs)
 		err := p.walk(st, sink, 0, 0, n0)
 		stats = st.stats
@@ -228,6 +229,7 @@ func (p *plan) runSharded(ctx context.Context, rs *ResultSet, stats *ExecStats, 
 			st := p.state()
 			st.bindCtx(ctx)
 			st.params = params
+			p.bindTabs(st)
 			sink := p.newSink(&sh.rs)
 			err := p.walk(st, sink, 0, lo, hi)
 			sh.stats = st.stats
@@ -279,7 +281,7 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 	if lvl == len(p.tables) {
 		return sink.emit(p, st)
 	}
-	tbl := p.tables[lvl]
+	tbl := st.tabs[lvl]
 	if ia := p.effAccess(&st.params, lvl); ia != nil {
 		if ia.keyList != nil {
 			for _, key := range ia.keyList {
@@ -373,7 +375,7 @@ func (p *plan) scanRange(st *execState, sink *rowSink, lvl int, lo, hi int32) er
 	if len(preds) == 0 {
 		for r := lo; r < hi; r++ {
 			st.rows[lvl] = r
-			if err := p.walk(st, sink, lvl+1, 0, int32(p.nextLen(lvl))); err != nil {
+			if err := p.walk(st, sink, lvl+1, 0, int32(p.nextLen(st, lvl))); err != nil {
 				return err
 			}
 		}
@@ -444,7 +446,7 @@ func (p *plan) descend(st *execState, sink *rowSink, lvl int, sel []int32) error
 		st.pendErr = nil
 		return err
 	}
-	next := int32(p.nextLen(lvl))
+	next := int32(p.nextLen(st, lvl))
 	for _, r := range sel {
 		st.rows[lvl] = r
 		if err := p.walk(st, sink, lvl+1, 0, next); err != nil {
@@ -454,12 +456,14 @@ func (p *plan) descend(st *execState, sink *rowSink, lvl int, sel []int32) error
 	return nil
 }
 
-// nextLen returns the scan length of level lvl+1 (0 past the last level).
-func (p *plan) nextLen(lvl int) int {
+// nextLen returns the scan length of level lvl+1 (0 past the last level),
+// read through the execution's bound tables so a snapshot-pinned run never
+// scans rows appended after its snapshot.
+func (p *plan) nextLen(st *execState, lvl int) int {
 	if lvl+1 >= len(p.tables) {
 		return 0
 	}
-	return p.tables[lvl+1].Len()
+	return st.tabs[lvl+1].Len()
 }
 
 func orderResultRows(rs *ResultSet, stmt *SelectStmt) error {

@@ -169,11 +169,11 @@ func (b *binding) specializeCmpParam(op string, l Expr, r Param) predFn {
 func vecCmpParam(a colAccess, op string, slot int) *vecPred {
 	return &vecPred{
 		filterSel: func(st *execState, sel, dst []int32) []int32 {
-			col, nb := intVec(a)
+			col, nb := intVec(a, st)
 			return filterCmp(col, nb, op, st.params.Ints[slot], sel, dst)
 		},
 		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := intVec(a)
+			col, nb := intVec(a, st)
 			return filterCmpRange(col, nb, op, st.params.Ints[slot], lo, hi, dst)
 		},
 	}
@@ -185,7 +185,7 @@ func vecCmpParam(a colAccess, op string, slot int) *vecPred {
 func vecParamIDs(a colAccess, slot int) *vecPred {
 	return &vecPred{
 		filterSel: func(st *execState, sel, dst []int32) []int32 {
-			col, nb := intVec(a)
+			col, nb := intVec(a, st)
 			if len(nb) == 0 {
 				for _, r := range sel {
 					if st.params.contains(slot, col[r]) {
@@ -202,7 +202,7 @@ func vecParamIDs(a colAccess, slot int) *vecPred {
 			return dst
 		},
 		filterRange: func(st *execState, lo, hi int32, dst []int32) []int32 {
-			col, nb := intVec(a)
+			col, nb := intVec(a, st)
 			if len(nb) == 0 {
 				for r := lo; r < hi; r++ {
 					if st.params.contains(slot, col[r]) {

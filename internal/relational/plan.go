@@ -112,6 +112,11 @@ type execState struct {
 	rows  []int32
 	sels  [][]int32
 	stats ExecStats
+	// tabs are the tables this execution reads, parallel to plan.tables:
+	// the captured snapshot copies when params.Snap is set, the live
+	// tables otherwise. Bound by bindTabs before the walk starts; every
+	// compiled closure reads columns through tabs, never plan.tables.
+	tabs []*Table
 	// params are this execution's bound parameter values (zero when the
 	// statement uses none); copied in by run, cleared on release. Held by
 	// value so binding parameters never allocates.
@@ -173,11 +178,36 @@ func (p *plan) state() *execState {
 	return &execState{
 		rows: make([]int32, len(p.tables)),
 		sels: make([][]int32, len(p.tables)),
+		tabs: make([]*Table, len(p.tables)),
 	}
+}
+
+// bindTabs resolves the tables this execution reads: the snapshot copies
+// when the parameters pin a snapshot, the live tables otherwise.
+func (p *plan) bindTabs(st *execState) {
+	if snap := st.params.Snap; snap != nil {
+		for i, t := range p.tables {
+			st.tabs[i] = snap.Table(t)
+		}
+		return
+	}
+	copy(st.tabs, p.tables)
+}
+
+// tableAt resolves one level's table for an execution that has no bound
+// state yet (run's pre-walk sizing and the floor checks).
+func (p *plan) tableAt(params *Params, lvl int) *Table {
+	if params != nil && params.Snap != nil {
+		return params.Snap.Table(p.tables[lvl])
+	}
+	return p.tables[lvl]
 }
 
 func (p *plan) release(st *execState) {
 	st.params = Params{}
+	for i := range st.tabs {
+		st.tabs[i] = nil // do not pin a snapshot past the execution
+	}
 	st.ctx = nil
 	st.done = nil
 	st.tick = 0
@@ -477,7 +507,7 @@ func (b *binding) planScanFloor(lvl int, e Expr) (scanFloor, bool) {
 // (every slot reads as zero).
 func (p *plan) scanStart(params *Params, lvl int) int32 {
 	var lo int32
-	tbl := p.tables[lvl]
+	tbl := p.tableAt(params, lvl)
 	for _, f := range p.floors[lvl] {
 		k := f.lit
 		if f.slot >= 0 {
@@ -508,7 +538,7 @@ func (p *plan) paramFloorActive(params *Params, lvl int) bool {
 	}
 	for _, f := range p.floors[lvl] {
 		if f.slot >= 0 && params.Ints[f.slot] > 0 {
-			if _, ok := p.tables[lvl].ascLowerBound(f.col, 0); ok {
+			if _, ok := p.tableAt(params, lvl).ascLowerBound(f.col, 0); ok {
 				return true
 			}
 		}
@@ -644,9 +674,8 @@ func (b *binding) compileEval(e Expr) (evalFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl := b.tables[lvl]
 		return func(st *execState) (Value, error) {
-			return tbl.cell(int(st.rows[lvl]), col), nil
+			return st.tabs[lvl].cell(int(st.rows[lvl]), col), nil
 		}, nil
 	case UnOp:
 		inner, err := b.compileEval(v.E)
@@ -927,7 +956,7 @@ func (b *binding) colAccess(c ColRef) (colAccess, bool) {
 
 func (a colAccess) intAt(st *execState) (int64, bool) {
 	row := int(st.rows[a.lvl])
-	c := &a.tbl.cols[a.col]
+	c := &st.tabs[a.lvl].cols[a.col]
 	if len(c.null) > row>>6 && c.null.get(row) {
 		return 0, true
 	}
@@ -936,12 +965,12 @@ func (a colAccess) intAt(st *execState) (int64, bool) {
 
 func (a colAccess) strAt(st *execState) (string, bool) {
 	row := int(st.rows[a.lvl])
-	c := &a.tbl.cols[a.col]
+	c := &st.tabs[a.lvl].cols[a.col]
 	if len(c.null) > row>>6 && c.null.get(row) {
 		return "", true
 	}
 	if c.dict != nil {
-		return c.dict.vals[c.codes[row]], false
+		return c.decode(c.codes[row]), false
 	}
 	return c.strs[row], false
 }
@@ -1226,7 +1255,6 @@ func (b *binding) compileProjection(stmt *SelectStmt) ([]string, projFn, error) 
 	if len(stmt.Select) == 0 { // SELECT *
 		var cols []string
 		type src struct {
-			tbl      *Table
 			lvl, col int
 		}
 		var srcs []src
@@ -1237,12 +1265,12 @@ func (b *binding) compileProjection(stmt *SelectStmt) ([]string, projFn, error) 
 					label = b.aliases[lvl] + "." + c.Name
 				}
 				cols = append(cols, label)
-				srcs = append(srcs, src{tbl, lvl, col})
+				srcs = append(srcs, src{lvl, col})
 			}
 		}
 		return cols, func(st *execState, dst []Value) error {
 			for i, s := range srcs {
-				dst[i] = s.tbl.cell(int(st.rows[s.lvl]), s.col)
+				dst[i] = st.tabs[s.lvl].cell(int(st.rows[s.lvl]), s.col)
 			}
 			return nil
 		}, nil

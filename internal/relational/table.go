@@ -2,6 +2,8 @@ package relational
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Column describes one table column.
@@ -39,6 +41,11 @@ type col struct {
 	// (ints), projection decodes through dict.vals.
 	dict  *dictionary
 	codes []int32
+	// dvals is set only on snapshot copies of dict-encoded columns: the
+	// dict.vals slice header frozen at capture time. Snapshot reads decode
+	// and resolve codes through it instead of the live dictionary, whose
+	// vals slice and code map the single writer keeps growing.
+	dvals []string
 	// unsorted records that an int column has received a value smaller
 	// than its predecessor. Until then the column is ascending-sorted and
 	// range predicates over it (event-ID floors, time windows) can binary
@@ -74,16 +81,23 @@ func (d *dictionary) encode(s string) int32 {
 // Cardinality returns the number of distinct values seen.
 func (d *dictionary) Cardinality() int { return len(d.vals) }
 
-// bitmap is a packed null bitmap (bit i set = row i is NULL).
+// bitmap is a packed null bitmap (bit i set = row i is NULL). Word access
+// is atomic: the single writer may set a bit in the word that also covers
+// the last rows of a published snapshot, which a concurrent reader is
+// scanning. The writer's plain read-modify-write stays safe (there is only
+// one writer), but the store and the readers' loads must be atomic so the
+// race detector — and weaker memory models — see a well-ordered word.
 type bitmap []uint64
 
-func (b bitmap) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitmap) get(i int) bool {
+	return atomic.LoadUint64(&b[i>>6])&(1<<(uint(i)&63)) != 0
+}
 
 func (b *bitmap) set(i int) {
 	for len(*b) <= i>>6 {
 		*b = append(*b, 0)
 	}
-	(*b)[i>>6] |= 1 << (uint(i) & 63)
+	atomic.StoreUint64(&(*b)[i>>6], (*b)[i>>6]|1<<(uint(i)&63))
 }
 
 func (b *bitmap) grow(n int) {
@@ -100,9 +114,9 @@ func (b bitmap) clearFrom(n int) {
 	if w >= len(b) {
 		return
 	}
-	b[w] &= (1 << (uint(n) & 63)) - 1
+	atomic.StoreUint64(&b[w], b[w]&((1<<(uint(n)&63))-1))
 	for i := w + 1; i < len(b); i++ {
-		b[i] = 0
+		atomic.StoreUint64(&b[i], 0)
 	}
 }
 
@@ -121,6 +135,10 @@ type Table struct {
 	// so index creation can invalidate cached plans that were compiled
 	// without the index.
 	db *DB
+	// snapshot marks a captured copy (see snapInto): its column headers
+	// are frozen, and index probes route through the shared indexes'
+	// RWMutex with results trimmed to the captured row count.
+	snapshot bool
 }
 
 // hashIndex is a kind-specialized hash index on a single column: int
@@ -136,9 +154,17 @@ type hashIndex struct {
 	// (see appendPos); most keys index a handful of rows, so the carved
 	// capacity-4 lists make steady-state index maintenance allocation-free.
 	arena []int32
+	// mu orders the single writer's map mutations (add/remove) against
+	// snapshot readers' probes (lookupBounded). The writer's own probes on
+	// live tables stay lock-free: they run on the writer goroutine, which
+	// cannot race its own mutations. Bulk loads never touch mu at all —
+	// NewStore creates the indexes after the batch insert, so appendRow
+	// sees nil indexes while loading.
+	mu sync.RWMutex
 }
 
 func (ix *hashIndex) add(v Value, pos int32) {
+	ix.mu.Lock()
 	switch {
 	case v.K == KindNull:
 	case ix.kind == KindInt:
@@ -146,12 +172,15 @@ func (ix *hashIndex) add(v Value, pos int32) {
 	default:
 		ix.strs[v.S] = ix.appendPos(ix.strs[v.S], pos)
 	}
+	ix.mu.Unlock()
 }
 
 // remove pops position pos for value v from the index. Positions are
 // appended in row order, so rollback unwinds them strictly from each
 // list's tail; a list emptied by the pop has its key deleted.
 func (ix *hashIndex) remove(v Value, pos int32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	switch {
 	case v.K == KindNull:
 	case ix.kind == KindInt:
@@ -348,6 +377,24 @@ func (t *Table) InsertBatch(rows [][]Value) error {
 	return nil
 }
 
+// decode resolves a dictionary code to its string: snapshot copies read
+// the frozen dvals slice, live columns the dictionary's growing vals.
+func (c *col) decode(code int32) string {
+	if c.dvals != nil {
+		return c.dvals[code]
+	}
+	return c.dict.vals[code]
+}
+
+// dictVals returns the decode slice snapshot reads resolve codes through
+// (the frozen dvals on snapshot copies, the live vals otherwise).
+func (c *col) dictVals() []string {
+	if c.dvals != nil {
+		return c.dvals
+	}
+	return c.dict.vals
+}
+
 // cell materializes the value at (row, col). Value is a small struct, so
 // this performs no heap allocation.
 func (t *Table) cell(row, col int) Value {
@@ -360,7 +407,7 @@ func (t *Table) cell(row, col int) Value {
 		return Value{K: KindInt, I: c.ints[row]}
 	case KindString:
 		if c.dict != nil {
-			return Value{K: KindString, S: c.dict.vals[c.codes[row]]}
+			return Value{K: KindString, S: c.decode(c.codes[row])}
 		}
 		return Value{K: KindString, S: c.strs[row]}
 	}
@@ -469,11 +516,16 @@ func (t *Table) HasIndex(column string) bool {
 // lookup returns the positions of rows whose column equals v, probing the
 // kind-specialized index without allocating. ok is false when the column
 // is not indexed. Probes whose value kind cannot equal the column kind
-// return no rows (matching strict index-probe semantics).
+// return no rows (matching strict index-probe semantics). On a snapshot
+// copy the probe is synchronized with the writer and trimmed to the
+// snapshot's row count.
 func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
 	ix := t.indexes[col]
 	if ix == nil {
 		return nil, false
+	}
+	if t.snapshot {
+		return ix.lookupBounded(v, int32(t.rows)), true
 	}
 	if v.K != ix.kind {
 		return nil, true
@@ -482,6 +534,38 @@ func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
 		return ix.ints[v.I], true
 	}
 	return ix.strs[v.S], true
+}
+
+// lookupBounded probes the index under its read lock and trims the result
+// to positions < rows. The position lists are append-only in row order
+// (rollback pops only positions at or above its mark, which is never below
+// a published snapshot's row count), so the returned prefix is immutable
+// and safe to use after the lock is released.
+func (ix *hashIndex) lookupBounded(v Value, rows int32) []int32 {
+	if v.K != ix.kind {
+		return nil
+	}
+	ix.mu.RLock()
+	var pos []int32
+	if ix.kind == KindInt {
+		pos = ix.ints[v.I]
+	} else {
+		pos = ix.strs[v.S]
+	}
+	// Binary-search the first position >= rows; everything before it was
+	// present at capture time.
+	lo, hi := 0, len(pos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pos[mid] < rows {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos = pos[:lo]
+	ix.mu.RUnlock()
+	return pos
 }
 
 // Len returns the row count.

@@ -78,6 +78,29 @@ func BenchmarkStandingQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentHunts measures snapshot-pinned hunt throughput:
+// GOMAXPROCS goroutines each run the full 8-pattern data_leak hunt
+// against a live session in a tight loop. Hunts take no session lock —
+// each pins the store's published snapshot — so ns/op should improve
+// with GOMAXPROCS instead of serializing the way the old reader-lock
+// design did whenever a writer was queued.
+func BenchmarkConcurrentHunts(b *testing.B) {
+	sess, _ := benchSession(b, DefaultConfig())
+	if _, _, err := sess.Hunt(nil, dataLeakTBQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := sess.Hunt(nil, dataLeakTBQL); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkStandingQueryScale is the store-size sweep behind the O(delta)
 // claim: the same 64-record standing-query round as BenchmarkStandingQuery,
 // but with the pre-loaded history scaled 1×→8×. Near-flat ns/op across

@@ -225,6 +225,14 @@ func TestUnwatchDuringActiveFiring(t *testing.T) {
 // every failed call (injected faults leave the pipeline retryable), and
 // returns the session with the store fully flushed. A nil plan builds the
 // fault-free reference.
+//
+// While the build runs, a concurrent reader goroutine continuously pins
+// the store's published snapshot and hunts against it — snapshot reads
+// must stay consistent through injected append failures, rollbacks, and
+// panics: the frontier never moves backwards and never lands between a
+// batch's relational and graph halves (mid-append frontiers are whole
+// batch numbers or nothing). Hunt errors are tolerated only when fault
+// injection is armed and produced them.
 func chaosBuild(t *testing.T, lines []string, chunks int, plan faultinject.Plan) (*Session, *engine.Engine) {
 	t.Helper()
 	cfg := DefaultConfig()
@@ -235,6 +243,35 @@ func chaosBuild(t *testing.T, lines []string, chunks int, plan faultinject.Plan)
 	if plan != nil {
 		faultinject.Arm(plan)
 	}
+	readerStop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var lastNext int64
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			snap := sess.Store().Snapshot()
+			if snap.NextEventID < lastNext {
+				t.Errorf("snapshot frontier moved backwards: %d after %d", snap.NextEventID, lastNext)
+				return
+			}
+			lastNext = snap.NextEventID
+			_, _, err := sess.Hunt(nil, dataLeakTBQL)
+			if err != nil && !injectedHuntError(err) {
+				t.Errorf("concurrent hunt during chaos build: %v", err)
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(readerStop)
+		readerWG.Wait()
+	}()
 	retry := func(op string, fn func() error) {
 		for attempt := 1; ; attempt++ {
 			err := fn()
@@ -271,6 +308,22 @@ func chaosBuild(t *testing.T, lines []string, chunks int, plan faultinject.Plan)
 	})
 	faultinject.Disarm()
 	return sess, en
+}
+
+// injectedHuntError reports whether a concurrent hunt's failure traces
+// back to fault injection: an injected error in the chain, or an engine
+// panic boundary that caught an injected panic.
+func injectedHuntError(err error) bool {
+	if errors.Is(err, faultinject.ErrInjected) {
+		return true
+	}
+	var ie *engine.InternalError
+	if errors.As(err, &ie) {
+		if pe, ok := ie.Panic.(error); ok && errors.Is(pe, faultinject.ErrInjected) {
+			return true
+		}
+	}
+	return false
 }
 
 // TestChaosRandomFaultSchedules replays randomized fault schedules —

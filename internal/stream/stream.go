@@ -12,9 +12,14 @@
 //	          -> engine.Store.AppendBatch (incremental indexes/adjacency)
 //	          -> standing queries (delta-constrained scheduled execution)
 //
-// Writers (Ingest, Flush) take the session's write lock; queries (Hunt,
-// standing-query evaluation) run under the read lock, so the storage
-// backends never see a torn append.
+// Writers (Ingest, Flush) take the session's write lock, which serializes
+// appends and standing-query evaluation. Hunts take no session lock at
+// all: every engine execution pins the store's latest published snapshot
+// (see engine.Snapshot) and reads only that frozen generation, so hunts
+// run concurrently with each other and with an in-flight append without
+// ever seeing a torn batch. The read lock remains only for auxiliary read
+// paths that walk live structures directly (ReadLocked: provenance, fuzzy
+// search, explain).
 package stream
 
 import (
@@ -300,13 +305,14 @@ func (s *Session) Close() error {
 	return err
 }
 
-// Hunt executes a TBQL query against the live store under the read lock,
-// so it can run concurrently with other hunts but never against a torn
-// append. The context cancels the hunt cooperatively; nil means no
+// Hunt executes a TBQL query against the store's latest published
+// snapshot. It takes no session lock: the engine pins the snapshot at
+// entry and reads only that generation, so hunts run concurrently with
+// each other and with an in-flight append — an appending batch becomes
+// visible to hunts atomically when its snapshot publishes, never as a
+// torn prefix. The context cancels the hunt cooperatively; nil means no
 // cancellation.
 func (s *Session) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.engine.Hunt(ctx, src)
 }
 

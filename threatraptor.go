@@ -78,8 +78,9 @@ type System struct {
 	store     *engine.Store
 	engine    *engine.Engine
 	// live is the streaming ingestion session, created lazily by the
-	// first Ingest or Watch call. While it exists, hunts go through its
-	// reader lock so they never race a live append.
+	// first Ingest or Watch call. Hunts need no lock against it: they pin
+	// the engine's published store snapshot. Only the auxiliary read paths
+	// (fuzzy search, explain) still go through its reader lock.
 	live *stream.Session
 	// adm is the concurrent-hunt admission semaphore (nil: unlimited).
 	adm *engine.Admission
@@ -188,6 +189,11 @@ func (s *System) FlushStream() (stream.IngestStats, error) {
 // Store exposes the loaded storage backends (nil before LoadLog).
 func (s *System) Store() *engine.Store { return s.store }
 
+// HuntsInFlight reports how many admitted hunts are currently running
+// (always 0 when Options.MaxConcurrentHunts is unlimited — without a cap
+// there is no admission semaphore to count against).
+func (s *System) HuntsInFlight() int { return s.adm.InFlight() }
+
 // ExtractBehaviorGraph runs the threat behavior extraction pipeline over
 // OSCTI text, returning the recognized IOCs, the extracted relation
 // triplets, and the constructed threat behavior graph.
@@ -206,9 +212,10 @@ func (s *System) SynthesizeQuery(g *extract.Graph) (string, error) {
 }
 
 // Hunt parses and executes a TBQL query against the loaded store using
-// the scheduled (exact search) execution plan. With a live stream active,
-// the hunt runs under the stream's reader lock. The context cancels the
-// hunt cooperatively (nil: no cancellation); when Options caps concurrent
+// the scheduled (exact search) execution plan. The hunt pins the store's
+// latest published snapshot and takes no lock, so it runs concurrently
+// with live ingestion and with other hunts. The context cancels the hunt
+// cooperatively (nil: no cancellation); when Options caps concurrent
 // hunts, the call may shed load with an error wrapping
 // engine.ErrOverloaded.
 func (s *System) Hunt(ctx context.Context, tbqlSrc string) (*engine.Result, engine.Stats, error) {
