@@ -12,6 +12,8 @@
 //	threatraptor -demo data_leak                            # built-in case
 //	threatraptor -watch -log audit.log -query hunt.tbql     # live hunting
 //	threatraptor -watch -log audit.log -report attack.txt   # live, synthesized
+//	threatraptor -log audit.log -rules rules.json -incidents  # tactical ranking
+//	threatraptor -watch -log audit.log -query hunt.tbql -rules rules.json -incidents
 package main
 
 import (
@@ -30,7 +32,9 @@ import (
 
 	"threatraptor"
 	"threatraptor/internal/cases"
+	"threatraptor/internal/rules"
 	"threatraptor/internal/stream"
+	"threatraptor/internal/tactical"
 )
 
 func main() {
@@ -49,11 +53,26 @@ func main() {
 	huntTimeout := flag.Duration("hunt-timeout", 0, "cancel the hunt after this long (0 = no limit)")
 	maxHunts := flag.Int("max-hunts", 0, "max concurrent hunts before load shedding (0 = unlimited)")
 	huntQueueTimeout := flag.Duration("hunt-queue-timeout", 0, "how long a hunt queues for a slot when -max-hunts is reached")
+	rulesPath := flag.String("rules", "", "detection rule file (JSON) enabling the tactical layer")
+	showIncidents := flag.Bool("incidents", false, "print ranked tactical incidents (requires -rules)")
 	flag.Parse()
+
+	var ruleSet *rules.Set
+	if *rulesPath != "" {
+		set, err := rules.LoadFile(*rulesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ruleSet = set
+	}
+	if *showIncidents && ruleSet == nil {
+		log.Fatal("-incidents requires -rules")
+	}
 
 	opts := threatraptor.DefaultOptions()
 	opts.MaxConcurrentHunts = *maxHunts
 	opts.HuntQueueTimeout = *huntQueueTimeout
+	opts.Rules = ruleSet
 	sys := threatraptor.New(opts)
 
 	ctx := context.Background()
@@ -73,7 +92,7 @@ func main() {
 		}
 		fmt.Println("--- standing query ---")
 		fmt.Println(query)
-		if err := runWatch(sys, *logPath, query, *poll, *watchIdle); err != nil {
+		if err := runWatch(sys, *logPath, query, *poll, *watchIdle, ruleSet != nil, *showIncidents); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -102,15 +121,17 @@ func main() {
 		fmt.Printf("case %s: %d entities, %d events (%d attack)\n",
 			c.ID, gen.Log.Stats().Entities, gen.Log.Stats().Events, len(gen.AttackEventIDs))
 	default:
-		if *reportPath == "" {
+		if *reportPath == "" && !(*showIncidents && *logPath != "") {
 			flag.Usage()
 			os.Exit(2)
 		}
-		data, err := os.ReadFile(*reportPath)
-		if err != nil {
-			log.Fatal(err)
+		if *reportPath != "" {
+			data, err := os.ReadFile(*reportPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report = string(data)
 		}
-		report = string(data)
 		if *logPath != "" {
 			f, err := os.Open(*logPath)
 			if err != nil {
@@ -122,6 +143,22 @@ func main() {
 			}
 		} else if !*synthOnly {
 			log.Fatal("-log is required unless -synthesize-only is set")
+		}
+	}
+
+	if *showIncidents {
+		incs, err := sys.Analyze(ruleSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := tactical.MarshalIncidents(incs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("--- ranked incidents ---")
+		fmt.Println(string(data))
+		if report == "" {
+			return
 		}
 	}
 
@@ -216,8 +253,11 @@ func watchQuery(sys *threatraptor.System, queryPath, reportPath string) (string,
 // one is opened from the start) and truncation (the inode shrank below
 // the read offset: rewind to 0), retries transient read errors with
 // jittered exponential backoff, and on SIGINT/SIGTERM drains a final
-// ingest+flush before exiting so buffered events still fire.
-func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duration, idleLimit int) error {
+// ingest+flush before exiting so buffered events still fire. A
+// quarantined standing query (or an unexpectedly closed subscription) is
+// fatal: the watch can never fire again, so runWatch returns the cause
+// and the process exits nonzero.
+func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duration, idleLimit int, withTactical, showIncidents bool) error {
 	f, err := os.Open(logPath)
 	if err != nil {
 		return err
@@ -232,17 +272,25 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 	if err != nil {
 		return err
 	}
-	printMatches := func() int {
+	var isub *stream.IncidentSub
+	if withTactical {
+		isub, err = sys.WatchIncidents(0)
+		if err != nil {
+			return err
+		}
+	}
+	printMatches := func() (int, error) {
 		n := 0
 		for {
 			select {
 			case m, ok := <-sub.C:
-				if !ok {
-					return n
-				}
-				if m.Terminal {
-					fmt.Fprintf(os.Stderr, "watch: standing query quarantined: %v\n", sub.Err())
-					continue
+				if !ok || m.Terminal {
+					// The terminal marker is delivered best-effort before
+					// the close; either way the query is gone for good.
+					if cause := sub.Err(); cause != nil {
+						return n, fmt.Errorf("standing query quarantined: %w", cause)
+					}
+					return n, fmt.Errorf("standing query subscription closed")
 				}
 				fmt.Printf("MATCH batch=%d", m.Batch)
 				for i, col := range m.Columns {
@@ -251,7 +299,30 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 				fmt.Println()
 				n++
 			default:
-				return n
+				return n, nil
+			}
+		}
+	}
+	printIncidents := func() {
+		if isub == nil {
+			return
+		}
+		for {
+			select {
+			case u, ok := <-isub.C:
+				if !ok {
+					isub = nil
+					return
+				}
+				fmt.Printf("INCIDENTS batch=%d alerts=%d new=%d open=%d\n",
+					u.Batch, u.Alerts, u.NewIncidents, len(u.Incidents))
+				if len(u.Incidents) > 0 {
+					top := u.Incidents[0]
+					fmt.Printf("  top: #%d root=%s chain=%d score=%d alerts=%d\n",
+						top.ID, top.RootEntity, top.ChainLen, top.ChainScore, top.AlertCount)
+				}
+			default:
+				return
 			}
 		}
 	}
@@ -275,7 +346,23 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 		if _, err := sys.FlushStream(); err != nil {
 			return err
 		}
-		printMatches()
+		_, merr := printMatches()
+		printIncidents()
+		if showIncidents {
+			incs, err := sys.Incidents()
+			if err != nil {
+				return err
+			}
+			data, err := tactical.MarshalIncidents(incs)
+			if err != nil {
+				return err
+			}
+			fmt.Println("--- ranked incidents ---")
+			fmt.Println(string(data))
+		}
+		if merr != nil {
+			return merr
+		}
 		fmt.Printf("watch: %s; flushed and exiting\n", reason)
 		return nil
 	}
@@ -367,7 +454,11 @@ func runWatch(sys *threatraptor.System, logPath, query string, poll time.Duratio
 			f = nil
 			continue
 		}
-		fired := printMatches()
+		fired, merr := printMatches()
+		if merr != nil {
+			return merr
+		}
+		printIncidents()
 		// A grown partial line is progress too: the producer is
 		// mid-write, not idle.
 		if st.EventsParsed > 0 || st.EventsSealed > 0 || fired > 0 || st.PartialBuffered != lastPartial {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"threatraptor"
+	"threatraptor/internal/audit"
+	"threatraptor/internal/faultinject"
+	"threatraptor/internal/stream"
+)
+
+// readLine renders one read-syscall record as a wire line.
+func readLine(ts int64, pid int, exe, path string) string {
+	r := audit.Record{Time: ts, Call: audit.SysRead, PID: pid, Exe: exe,
+		User: "root", FD: audit.FDFile, Path: path, Bytes: 10}
+	return r.Format() + "\n"
+}
+
+// TestWatchExitsNonzeroOnQuarantine is the regression test for the watch
+// loop swallowing a quarantined standing query: the subscription channel
+// closed, printMatches treated it as "no more matches", and the tailer
+// kept polling a watch that could never fire again until the idle limit
+// exited it silently (exit code 0). runWatch must instead return the
+// quarantine cause so main exits nonzero with the reason printed.
+func TestWatchExitsNonzeroOnQuarantine(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "audit.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Fail three consecutive standing-query evaluations — the default
+	// quarantine threshold.
+	faultinject.Arm(faultinject.Plan{
+		stream.FaultDeliver: {Hits: []int{1, 2, 3}, Mode: faultinject.ModeError},
+	})
+	t.Cleanup(faultinject.Disarm)
+
+	// Grow the log while runWatch tails it; each appended line seals the
+	// previous one on the next poll, driving one evaluation per batch.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; i < 10; i++ {
+			line := readLine(int64(i+1)*2_000_000, 100+i, "/bin/cat", fmt.Sprintf("/data/f%d", i))
+			if _, err := f.WriteString(line); err != nil {
+				t.Errorf("append line %d: %v", i, err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	err = runWatch(sys, logPath, `proc p read file f return p, f`,
+		2*time.Millisecond, 100, false, false)
+	<-writerDone
+	if err == nil {
+		t.Fatal("runWatch returned nil after its standing query was quarantined")
+	}
+	if !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("error %q does not name the quarantine", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error %v does not wrap the quarantine cause", err)
+	}
+}

@@ -9,21 +9,25 @@
 //	threatraptord -addr :7834 -log audit.log     # serve a loaded log
 //	threatraptord -addr :7834 -demo data_leak    # serve a built-in case
 //	threatraptord -addr :7834                    # start empty; POST /v1/ingest
+//	threatraptord -addr :7834 -rules rules.json  # + tactical detection layer
 //
 // Endpoints:
 //
-//	POST /v1/hunt     TBQL in the body; JSON results. 429 + Retry-After
-//	                  when admission control sheds the hunt.
-//	POST /v1/explain  TBQL in the body; the compilation report as text.
-//	POST /v1/watch    TBQL in the body; firings stream back as
-//	                  Server-Sent Events (Accept: text/event-stream) or
-//	                  newline-delimited JSON until the client disconnects.
-//	POST /v1/ingest   raw audit records in the body; ingest stats as JSON.
-//	POST /v1/flush    force-seal everything buffered on the live stream
-//	                  (the end-of-stream barrier); stats as JSON.
-//	GET  /healthz     liveness (process up).
-//	GET  /readyz      readiness (store loaded and serving).
-//	GET  /metrics     Prometheus text exposition.
+//	POST /v1/hunt      TBQL in the body; JSON results. 429 + Retry-After
+//	                   when admission control sheds the hunt.
+//	POST /v1/explain   TBQL in the body; the compilation report as text.
+//	POST /v1/watch     TBQL in the body; firings stream back as
+//	                   Server-Sent Events (Accept: text/event-stream) or
+//	                   newline-delimited JSON until the client disconnects.
+//	POST /v1/ingest    raw audit records in the body; ingest stats as JSON.
+//	POST /v1/flush     force-seal everything buffered on the live stream
+//	                   (the end-of-stream barrier); stats as JSON.
+//	GET  /v1/incidents        ranked tactical incidents as JSON (-rules).
+//	GET  /v1/incidents/watch  per-round incident updates streamed as SSE
+//	                          or newline-delimited JSON (-rules).
+//	GET  /healthz      liveness (process up).
+//	GET  /readyz       readiness (store loaded and serving).
+//	GET  /metrics      Prometheus text exposition.
 package main
 
 import (
@@ -45,7 +49,9 @@ import (
 	"threatraptor/internal/cases"
 	"threatraptor/internal/engine"
 	"threatraptor/internal/metrics"
+	"threatraptor/internal/rules"
 	"threatraptor/internal/stream"
+	"threatraptor/internal/tactical"
 )
 
 func main() {
@@ -57,11 +63,29 @@ func main() {
 	huntQueueTimeout := flag.Duration("hunt-queue-timeout", 0, "how long a hunt queues for a slot when -max-hunts is reached")
 	huntTimeout := flag.Duration("hunt-timeout", 30*time.Second, "per-request hunt deadline (0 = no limit)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	rulesPath := flag.String("rules", "", "detection rule file (JSON) enabling the tactical layer and /v1/incidents")
 	flag.Parse()
 
 	opts := threatraptor.DefaultOptions()
 	opts.MaxConcurrentHunts = *maxHunts
 	opts.HuntQueueTimeout = *huntQueueTimeout
+	if *rulesPath != "" {
+		set, err := rules.LoadFile(*rulesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Rules = set
+		log.Printf("loaded %d detection rules from %s", set.Len(), *rulesPath)
+	}
+	// The tactical observer feeds server metrics; the server is built
+	// after the system, so bind it late (rounds only run once ingestion
+	// starts, well after newServer below).
+	var srv *server
+	opts.OnTacticalRound = func(d time.Duration, rs tactical.RoundStats) {
+		if srv != nil {
+			srv.observeTacticalRound(d, rs)
+		}
+	}
 	sys := threatraptor.New(opts)
 
 	switch {
@@ -102,7 +126,7 @@ func main() {
 		log.Print("started empty; POST /v1/ingest to add events")
 	}
 
-	srv := newServer(sys, *huntTimeout)
+	srv = newServer(sys, *huntTimeout)
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
 
 	errc := make(chan error, 1)
@@ -135,6 +159,9 @@ type system interface {
 	Live() (*stream.Session, error)
 	Store() *engine.Store
 	HuntsInFlight() int
+	Incidents() ([]tactical.Incident, error)
+	WatchIncidents(buf int) (*stream.IncidentSub, error)
+	TacticalStats() tactical.Stats
 }
 
 // server wires the System facade to HTTP handlers and the metrics
@@ -153,6 +180,10 @@ type server struct {
 	firings       *metrics.Counter
 	quarantines   *metrics.Counter
 	watchesActive *metrics.Gauge
+
+	alertsTagged   *metrics.Counter
+	incidentsOpen  *metrics.Gauge
+	tacticalRounds *metrics.Histogram
 }
 
 func newServer(sys system, huntTimeout time.Duration) *server {
@@ -179,6 +210,12 @@ func newServer(sys system, huntTimeout time.Duration) *server {
 			"Standing queries quarantined after consecutive failures."),
 		watchesActive: reg.NewGauge("threatraptor_watches_active",
 			"Standing-query streams currently connected."),
+		alertsTagged: reg.NewCounter("threatraptor_alerts_tagged_total",
+			"Events tagged by detection rules on the tactical path."),
+		incidentsOpen: reg.NewGauge("threatraptor_incidents_open",
+			"Tactical incidents currently open (after the latest round)."),
+		tacticalRounds: reg.NewHistogram("threatraptor_tactical_round_seconds",
+			"Per-sealed-batch tactical round latency (tagging + attribution + scoring).", nil),
 	}
 	reg.NewGaugeFunc("threatraptor_hunts_in_flight",
 		"Admitted hunts currently running (0 when unlimited).",
@@ -211,6 +248,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/watch", s.handleWatch)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/flush", s.handleFlush)
+	mux.HandleFunc("/v1/incidents", s.handleIncidents)
+	mux.HandleFunc("/v1/incidents/watch", s.handleIncidentsWatch)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -463,6 +502,122 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"stats": st})
+}
+
+// observeTacticalRound records one tactical round in the metrics; it is
+// wired into Options.OnTacticalRound and runs on the ingestion path.
+func (s *server) observeTacticalRound(d time.Duration, rs tactical.RoundStats) {
+	s.tacticalRounds.Observe(d.Seconds())
+	s.alertsTagged.Add(uint64(rs.Alerts))
+	s.incidentsOpen.Set(int64(rs.Incidents))
+}
+
+// incidentsResponse is the JSON shape of /v1/incidents.
+type incidentsResponse struct {
+	Incidents []tactical.Incident `json:"incidents"`
+	Stats     tactical.Stats      `json:"stats"`
+}
+
+func (s *server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET the ranked incident list", http.StatusMethodNotAllowed)
+		return
+	}
+	incs, err := s.sys.Incidents()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, stream.ErrTacticalDisabled) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	if incs == nil {
+		incs = []tactical.Incident{}
+	}
+	writeJSON(w, http.StatusOK, incidentsResponse{Incidents: incs, Stats: s.sys.TacticalStats()})
+}
+
+// handleIncidentsWatch streams one JSON IncidentUpdate per alert-producing
+// tactical round, as SSE (Accept: text/event-stream) or NDJSON, until the
+// client disconnects.
+func (s *server) handleIncidentsWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET to stream incident updates", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	live, err := s.sys.Live()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sub, err := s.sys.WatchIncidents(0)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, stream.ErrTacticalDisabled):
+			code = http.StatusNotFound
+		case errors.Is(err, stream.ErrSessionClosed):
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	s.watchesActive.Inc()
+	defer s.watchesActive.Dec()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(u stream.IncidentUpdate) bool {
+		data, err := json.Marshal(u)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: incidents\ndata: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			live.UnwatchIncidents(sub)
+			for range sub.C {
+			}
+			return
+		case u, chanOpen := <-sub.C:
+			if !chanOpen {
+				// Session closed: end the stream.
+				return
+			}
+			if !send(u) {
+				live.UnwatchIncidents(sub)
+				for range sub.C {
+				}
+				return
+			}
+		}
+	}
 }
 
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {

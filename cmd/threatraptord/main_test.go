@@ -15,6 +15,8 @@ import (
 	"threatraptor"
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
+	"threatraptor/internal/rules"
+	"threatraptor/internal/tactical"
 )
 
 // testServer starts the daemon's handler on an httptest server over an
@@ -276,6 +278,174 @@ func TestHuntOverloadMaps429(t *testing.T) {
 		!strings.Contains(body, "threatraptor_hunt_rejections_total 1") ||
 		!strings.Contains(body, "threatraptor_hunt_errors_total 0") {
 		t.Fatalf("rejection not counted:\n%s", body)
+	}
+}
+
+// TestIncidentsDisabledMaps404: without a configured rule set the
+// tactical layer is off, and both incident endpoints say so with 404
+// rather than an empty 200 (the operator forgot -rules, not "no attacks").
+func TestIncidentsDisabledMaps404(t *testing.T) {
+	ts, _ := testServer(t, threatraptor.DefaultOptions())
+	if code, body := get(t, ts.URL+"/v1/incidents"); code != 404 {
+		t.Fatalf("incidents without rules = %d %q, want 404", code, body)
+	}
+	if code, body := get(t, ts.URL+"/v1/incidents/watch"); code != 404 {
+		t.Fatalf("incidents watch without rules = %d %q, want 404", code, body)
+	}
+}
+
+// tacticalServer starts the daemon with a rule set, wiring the tactical
+// round observer into the metrics the way main does.
+func tacticalServer(t *testing.T) (*httptest.Server, *threatraptor.System) {
+	t.Helper()
+	set, err := rules.Compile([]rules.Rule{
+		{Name: "etc-read", Tactic: "credential-access", Severity: 8,
+			Ops: []string{"read"}, Where: map[string]string{"object.kind": "file", "object.name": "/etc/*"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := threatraptor.DefaultOptions()
+	opts.Rules = set
+	var srv *server
+	opts.OnTacticalRound = func(d time.Duration, rs tactical.RoundStats) {
+		if srv != nil {
+			srv.observeTacticalRound(d, rs)
+		}
+	}
+	sys := threatraptor.New(opts)
+	if _, err := sys.Live(); err != nil {
+		t.Fatal(err)
+	}
+	srv = newServer(sys, 0)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// TestIncidentsEndpoint drives the tactical path over HTTP: rule-matching
+// ingest produces a ranked incident on GET /v1/incidents and moves the
+// tactical metrics.
+func TestIncidentsEndpoint(t *testing.T) {
+	ts, _ := tacticalServer(t)
+
+	if code, _ := post(t, ts.URL+"/v1/incidents", ""); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/incidents = %d, want 405", code)
+	}
+	// Before any ingest: enabled, empty, 200.
+	code, body := get(t, ts.URL+"/v1/incidents")
+	if code != 200 {
+		t.Fatalf("incidents = %d %q", code, body)
+	}
+	var ir incidentsResponse
+	if err := json.Unmarshal([]byte(body), &ir); err != nil {
+		t.Fatalf("incidents response not JSON: %v\n%s", err, body)
+	}
+	if len(ir.Incidents) != 0 {
+		t.Fatalf("incidents before ingest = %+v, want none", ir.Incidents)
+	}
+
+	lines := readLine(1_000_000, 100, "/bin/cat", "/etc/secret") +
+		readLine(2_000_000, 101, "/usr/bin/scp", "/etc/passwd")
+	if code, body := post(t, ts.URL+"/v1/ingest", lines); code != 200 {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush = %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/v1/incidents")
+	if code != 200 {
+		t.Fatalf("incidents = %d %q", code, body)
+	}
+	ir = incidentsResponse{}
+	if err := json.Unmarshal([]byte(body), &ir); err != nil {
+		t.Fatalf("incidents response not JSON: %v\n%s", err, body)
+	}
+	if ir.Stats.AlertsTagged != 2 {
+		t.Fatalf("stats = %+v, want 2 alerts tagged", ir.Stats)
+	}
+	if len(ir.Incidents) == 0 || ir.Incidents[0].AlertCount == 0 {
+		t.Fatalf("incidents = %+v, want a ranked incident with alerts", ir.Incidents)
+	}
+	if ir.Incidents[0].Alerts[0].Rule != "etc-read" {
+		t.Fatalf("top alert = %+v, want rule etc-read", ir.Incidents[0].Alerts[0])
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"threatraptor_alerts_tagged_total 2",
+		"threatraptor_incidents_open",
+		"# TYPE threatraptor_tactical_round_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestIncidentsWatchStreamsSSE subscribes to incident updates over SSE
+// and reads one alert-producing round's update back.
+func TestIncidentsWatchStreamsSSE(t *testing.T) {
+	ts, _ := tacticalServer(t)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/incidents/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("incidents watch = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("incidents watch Content-Type = %q", ct)
+	}
+
+	post(t, ts.URL+"/v1/ingest", readLine(1_000_000, 100, "/bin/cat", "/etc/secret"))
+	post(t, ts.URL+"/v1/flush", "")
+
+	sc := bufio.NewScanner(resp.Body)
+	var event, data string
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no SSE event before deadline")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if event != "incidents" {
+		t.Fatalf("event = %q, want incidents", event)
+	}
+	var upd struct {
+		Alerts    int                 `json:"alerts"`
+		Incidents []tactical.Incident `json:"incidents"`
+	}
+	if err := json.Unmarshal([]byte(data), &upd); err != nil {
+		t.Fatalf("SSE data not JSON: %v\n%s", err, data)
+	}
+	if upd.Alerts != 1 || len(upd.Incidents) != 1 {
+		t.Fatalf("update = %+v, want 1 alert, 1 incident", upd)
+	}
+	if upd.Incidents[0].Alerts[0].Object != "/etc/secret" {
+		t.Fatalf("incident alert = %+v, want object /etc/secret", upd.Incidents[0].Alerts[0])
 	}
 }
 

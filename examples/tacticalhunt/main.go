@@ -1,0 +1,105 @@
+// Tacticalhunt demonstrates the tactical detection layer: a Sigma-like
+// rule set tags alert events as batches seal on the live stream, alerts
+// are attributed to incidents through provenance reachability, and each
+// incident is scored by the longest kill-chain-ordered alert sequence it
+// contains — so the one real attack ranks above the false-positive noise
+// without any per-alert triage.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"threatraptor"
+	"threatraptor/internal/audit"
+	"threatraptor/internal/cases"
+	"threatraptor/internal/rules"
+)
+
+func main() {
+	// The same rule set as examples/rules/demo.json, compiled in-process:
+	// each rule is one operation set + entity predicates + a MITRE-style
+	// tactic label that orders it along the kill chain.
+	set, err := rules.Compile([]rules.Rule{
+		{Name: "credential-file-read", Tactic: "credential-access", Technique: "T1003.008",
+			Severity: 8, Ops: []string{"read"},
+			Where: map[string]string{"object.kind": "file", "object.name": "/etc/*"}},
+		{Name: "staging-write-tmp", Tactic: "collection", Technique: "T1074.001",
+			Severity: 5, Ops: []string{"write"},
+			Where: map[string]string{"object.kind": "file", "object.name": "/tmp/*"}},
+		{Name: "outbound-connect", Tactic: "command-and-control", Technique: "T1071",
+			Severity: 5, Ops: []string{"connect"},
+			Where: map[string]string{"object.kind": "ip"}},
+		{Name: "outbound-send", Tactic: "exfiltration", Technique: "T1048",
+			Severity: 7, Ops: []string{"send"},
+			Where: map[string]string{"object.kind": "ip"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := threatraptor.DefaultOptions()
+	opts.Rules = set
+	sys := threatraptor.New(opts)
+
+	isub, err := sys.WatchIncidents(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the data_leak benchmark case as a live record stream: benign
+	// traffic, then the tar→curl exfiltration chain, then more noise.
+	c := cases.ByID("data_leak")
+	sim := audit.NewSimulator(c.Seed, 1_700_000_000_000_000)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: 150})
+	sim.Advance(5_000_000)
+	c.Attack(sim)
+	sim.Advance(5_000_000)
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: 150})
+
+	var buf bytes.Buffer
+	if err := audit.WriteRecords(&buf, sim.Records()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Ingest(&buf); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.FlushStream(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== per-round incident updates ===")
+	for {
+		select {
+		case u := <-isub.C:
+			fmt.Printf("batch %d: %d alerts tagged, %d new incidents, %d open\n",
+				u.Batch, u.Alerts, u.NewIncidents, len(u.Incidents))
+		default:
+			goto drained
+		}
+	}
+drained:
+
+	incs, err := sys.Incidents()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.TacticalStats()
+	fmt.Printf("\n=== ranked incidents (%d alerts tagged over %d rounds) ===\n",
+		st.AlertsTagged, st.Rounds)
+	for _, inc := range incs {
+		fmt.Printf("#%d root=%s chain=%d score=%d alerts=%d entities=%d\n",
+			inc.ID, inc.RootEntity, inc.ChainLen, inc.ChainScore, inc.AlertCount, len(inc.Entities))
+		for _, al := range inc.Alerts {
+			fmt.Printf("   [%s/%s] %s %s -> %s (event %d)\n",
+				al.Tactic, al.Rule, al.Op, al.Subject, al.Object, al.EventID)
+		}
+	}
+	if len(incs) > 0 {
+		top := incs[0]
+		fmt.Printf("\ntop incident: chain length %d — the kill-chain DP ranks the real\n", top.ChainLen)
+		fmt.Println("attack above single-alert noise because its alerts form an ordered")
+		fmt.Println("credential-access → collection → command-and-control → exfiltration sequence.")
+	}
+}

@@ -47,6 +47,12 @@ func (o OpType) String() string {
 	return "invalid"
 }
 
+// Bit returns the operation's position in an op-code bitmask (one bit
+// per OpType). Op sets — a sealed batch's operations, a pattern's
+// admissible operations, a rule set's trigger operations — intersect with
+// one AND instead of a string comparison per member.
+func (o OpType) Bit() uint32 { return 1 << o }
+
 // ParseOp converts a TBQL operation keyword to an OpType.
 func ParseOp(s string) (OpType, error) {
 	for i, n := range opNames {

@@ -65,12 +65,14 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err
 	gMark := s.Graph.Mark()
 	logMark := len(s.Log.Events)
 	idMark := s.nextEventID
+	opMark := len(s.opBatches)
 	defer func() {
 		r := recover()
 		if r == nil && err == nil {
 			return
 		}
 		// Roll back in reverse append order so every unwind pops tails.
+		s.opBatches = s.opBatches[:opMark]
 		s.Log.Events = s.Log.Events[:logMark]
 		s.Graph.Rollback(gMark)
 		evTbl.TruncateRows(evMark)
@@ -116,8 +118,10 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err
 	w := len(evTbl.Schema)
 	rows := make([][]relational.Value, len(events))
 	slab := make([]relational.Value, len(events)*w)
+	var opMask uint32
 	for i := range events {
 		ev := &events[i]
+		opMask |= ev.Op.Bit()
 		if ev.ID == 0 {
 			ev.ID = s.nextEventID
 			s.nextEventID++
@@ -164,6 +168,7 @@ func (s *Store) AppendBatch(entities []*audit.Entity, events []audit.Event) (err
 		return err
 	}
 	s.Log.Events = append(s.Log.Events, events...)
+	s.opBatches = append(s.opBatches, batchOps{startID: events[0].ID, mask: opMask})
 	if newMin != s.MinTime || newMax != s.MaxTime {
 		s.MinTime, s.MaxTime = newMin, newMax
 		s.epoch++

@@ -64,6 +64,7 @@ type Engine struct {
 	viewMaterializations atomic.Int64
 	viewDeltaMerges      atomic.Int64
 	viewFallbacks        atomic.Int64
+	viewCatchupSkips     atomic.Int64
 	scratchPool          sync.Pool
 
 	// huntMu guards the parse/analyze cache keyed by TBQL source text, so

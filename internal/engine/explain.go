@@ -130,9 +130,11 @@ func opsCondition(op *tbql.OpExpr, alias string) string {
 	return alias + ".op IN (" + strings.Join(sorted, ", ") + ")"
 }
 
-// timeWindow resolves a TBQL window against the store's time bounds,
-// returning [lo, hi] in µs.
-func (s *Store) timeWindow(w *tbql.Window) (int64, int64) {
+// timeWindow resolves a TBQL window against a fixed pair of store time
+// bounds, returning [lo, hi] in µs. Working from captured bounds keeps
+// the text compilers (and through them Engine.Explain) off the live
+// Store fields, which only the writer may read.
+func (b timeBounds) timeWindow(w *tbql.Window) (int64, int64) {
 	switch w.Kind {
 	case tbql.WindRange:
 		return w.From.UnixMicro(), w.To.UnixMicro()
@@ -140,13 +142,19 @@ func (s *Store) timeWindow(w *tbql.Window) (int64, int64) {
 		lo := w.From.UnixMicro()
 		return lo, lo + 24*3600*1_000_000 - 1
 	case tbql.WindBefore:
-		return s.MinTime, w.To.UnixMicro()
+		return b.min, w.To.UnixMicro()
 	case tbql.WindAfter:
-		return w.From.UnixMicro(), s.MaxTime
+		return w.From.UnixMicro(), b.max
 	case tbql.WindLast:
-		return s.MaxTime - w.Dur.Microseconds(), s.MaxTime
+		return b.max - w.Dur.Microseconds(), b.max
 	}
-	return s.MinTime, s.MaxTime
+	return b.min, b.max
+}
+
+// timeWindow resolves a TBQL window against the store's live time bounds
+// (writer-side / static-store callers only).
+func (s *Store) timeWindow(w *tbql.Window) (int64, int64) {
+	return s.bounds().timeWindow(w)
 }
 
 // kindLiteral is the stored "kind" column value for an entity type.
@@ -220,7 +228,7 @@ func (pp *sqlPatternParts) assemble(extra []string) string {
 // compilePatternSQLParts compiles the static text of one pattern's SQL
 // data query (Section III-F): a three-way join of the two entity tables
 // with the event table, with all filters in WHERE.
-func compilePatternSQLParts(s *Store, a *tbql.Analyzed, idx int) sqlPatternParts {
+func compilePatternSQLParts(b timeBounds, a *tbql.Analyzed, idx int) sqlPatternParts {
 	p := a.Query.Patterns[idx]
 	var conds []string
 	conds = append(conds,
@@ -242,7 +250,7 @@ func compilePatternSQLParts(s *Store, a *tbql.Analyzed, idx int) sqlPatternParts
 		conds = append(conds, renderSQLExpr(p.IDFilter, "e"))
 	}
 	if w := windowOf(a.Query, p); w != nil {
-		lo, hi := s.timeWindow(w)
+		lo, hi := b.timeWindow(w)
 		conds = append(conds, fmt.Sprintf("e.start_time >= %d", lo),
 			fmt.Sprintf("e.start_time <= %d", hi))
 	}
@@ -256,7 +264,7 @@ func compilePatternSQLParts(s *Store, a *tbql.Analyzed, idx int) sqlPatternParts
 // CompilePatternSQL compiles one TBQL event pattern into a small SQL data
 // query. extra carries the scheduler's added constraints.
 func CompilePatternSQL(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
-	parts := compilePatternSQLParts(s, a, idx)
+	parts := compilePatternSQLParts(s.bounds(), a, idx)
 	return parts.assemble(extra)
 }
 
@@ -308,7 +316,7 @@ func (pp *cyPatternParts) assemble(extra []string) string {
 // compilePatternCypherParts compiles the static text of one TBQL pattern
 // (event pattern, length-1 path, or variable-length path) as a Cypher
 // data query on the graph backend.
-func compilePatternCypherParts(s *Store, a *tbql.Analyzed, idx int) cyPatternParts {
+func compilePatternCypherParts(b timeBounds, a *tbql.Analyzed, idx int) cyPatternParts {
 	p := a.Query.Patterns[idx]
 	subjLabel := LabelProcess
 	objLabel := labelOf(p.Object.Type.Kind())
@@ -356,7 +364,7 @@ func compilePatternCypherParts(s *Store, a *tbql.Analyzed, idx int) cyPatternPar
 		conds = append(conds, renderCypherExpr(p.IDFilter, edgeVar))
 	}
 	if w := windowOf(a.Query, p); w != nil && edgeVar != "" {
-		lo, hi := s.timeWindow(w)
+		lo, hi := b.timeWindow(w)
 		conds = append(conds, fmt.Sprintf("e.start_time >= %d", lo),
 			fmt.Sprintf("e.start_time <= %d", hi))
 	}
@@ -371,7 +379,7 @@ func compilePatternCypherParts(s *Store, a *tbql.Analyzed, idx int) cyPatternPar
 // CompilePatternCypher compiles one TBQL pattern into a Cypher data
 // query. extra carries the scheduler's added constraints.
 func CompilePatternCypher(s *Store, a *tbql.Analyzed, idx int, extra []string) string {
-	parts := compilePatternCypherParts(s, a, idx)
+	parts := compilePatternCypherParts(s.bounds(), a, idx)
 	return parts.assemble(extra)
 }
 
@@ -401,6 +409,10 @@ func typeSuffix(op *tbql.OpExpr) string {
 // equivalent query looks like; the weaving of many joins and constraints
 // is exactly what the paper blames for the monolithic plan's slowness.
 func CompileMonolithicSQL(s *Store, a *tbql.Analyzed) (string, error) {
+	return compileMonolithicSQL(s.bounds(), a)
+}
+
+func compileMonolithicSQL(b timeBounds, a *tbql.Analyzed) (string, error) {
 	q := a.Query
 	var from []string
 	var conds []string
@@ -432,7 +444,7 @@ func CompileMonolithicSQL(s *Store, a *tbql.Analyzed) (string, error) {
 			conds = append(conds, renderSQLExpr(p.IDFilter, ev))
 		}
 		if w := windowOf(q, p); w != nil {
-			lo, hi := s.timeWindow(w)
+			lo, hi := b.timeWindow(w)
 			conds = append(conds, fmt.Sprintf("%s.start_time >= %d", ev, lo),
 				fmt.Sprintf("%s.start_time <= %d", ev, hi))
 		}
@@ -516,6 +528,10 @@ func temporalSQL(a *tbql.Analyzed, rel tbql.Relation) (string, error) {
 // (labels repeated on every occurrence), and the temporal constraints
 // conjoined onto the final clause.
 func CompileMonolithicCypher(s *Store, a *tbql.Analyzed) (string, error) {
+	return compileMonolithicCypher(s.bounds(), a)
+}
+
+func compileMonolithicCypher(b timeBounds, a *tbql.Analyzed) (string, error) {
 	q := a.Query
 	filtered := make(map[string]bool) // entity filters emitted once
 	nodeRef := func(id string) string {
@@ -551,7 +567,7 @@ func CompileMonolithicCypher(s *Store, a *tbql.Analyzed) (string, error) {
 				conds = append(conds, renderCypherExpr(p.IDFilter, ev))
 			}
 			if w := windowOf(q, p); w != nil {
-				lo, hi := s.timeWindow(w)
+				lo, hi := b.timeWindow(w)
 				conds = append(conds, fmt.Sprintf("%s.start_time >= %d", ev, lo),
 					fmt.Sprintf("%s.start_time <= %d", ev, hi))
 			}
@@ -594,8 +610,12 @@ func CompileMonolithicCypher(s *Store, a *tbql.Analyzed) (string, error) {
 // query: each pattern's logical-plan IR, the chosen physical plan, and the
 // equivalent SQL/Cypher text. This is the only consumer of the text
 // generators above — execution never renders or parses query text.
+// Explain pins the latest published snapshot and resolves every window
+// against its captured bounds, so it is safe to call concurrently with
+// live ingestion (no session lock, no read of writer-mutated fields).
 func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
-	plan := en.planFor(a, en.Store.Snapshot())
+	snap := en.Store.Snapshot()
+	plan := en.planFor(a, snap)
 	var sb strings.Builder
 	sb.WriteString("--- per-pattern logical plans (IR) and physical plans ---\n")
 	for i := range a.Query.Patterns {
@@ -603,16 +623,18 @@ func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
 		sb.WriteString(pp.ir.String())
 		sb.WriteString("\n")
 		if pp.usesGraph {
+			parts := compilePatternCypherParts(plan.bounds, a, i)
 			sb.WriteString("physical: graph traversal plan\n")
-			sb.WriteString("  equivalent Cypher: " + CompilePatternCypher(en.Store, a, i, nil) + "\n")
+			sb.WriteString("  equivalent Cypher: " + parts.assemble(nil) + "\n")
 		} else {
 			pr, err := pp.prepared(en.Store, plan.bounds)
 			if err != nil {
 				return "", err
 			}
+			parts := compilePatternSQLParts(plan.bounds, a, i)
 			sb.WriteString("physical: relational plan (runtime-pruned parameters)\n")
 			sb.WriteString(indent(pr.Describe(), "  "))
-			sb.WriteString("  equivalent SQL: " + CompilePatternSQL(en.Store, a, i, nil) + "\n")
+			sb.WriteString("  equivalent SQL: " + parts.assemble(nil) + "\n")
 		}
 	}
 	sb.WriteString("--- scheduled order ---\n")
@@ -620,10 +642,10 @@ func (en *Engine) Explain(a *tbql.Analyzed) (string, error) {
 		fmt.Fprintf(&sb, "%s ", a.Query.Patterns[idx].ID)
 	}
 	sb.WriteString("\n")
-	if sql, err := CompileMonolithicSQL(en.Store, a); err == nil {
+	if sql, err := compileMonolithicSQL(plan.bounds, a); err == nil {
 		sb.WriteString("--- monolithic SQL (RQ4 comparison) ---\n" + sql + "\n")
 	}
-	if cy, err := CompileMonolithicCypher(en.Store, a); err == nil {
+	if cy, err := compileMonolithicCypher(plan.bounds, a); err == nil {
 		sb.WriteString("--- monolithic Cypher (RQ4 comparison) ---\n" + cy + "\n")
 	}
 	return sb.String(), nil

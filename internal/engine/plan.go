@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"threatraptor/internal/audit"
 	"threatraptor/internal/graphdb"
 	"threatraptor/internal/qir"
 	"threatraptor/internal/relational"
@@ -23,6 +24,10 @@ type patternPlan struct {
 	usesGraph bool
 	ir        *qir.DataQuery
 	gq        *graphdb.Query
+	// opMask is the OR of the op-code bits the pattern's bound event can
+	// take (^0 when unconstrained): view catch-up skips its data query
+	// entirely when a delta's batch op bitmap doesn't intersect it.
+	opMask uint32
 
 	mu       sync.Mutex
 	rel      *relational.Prepared // entity-anchored, runtime-pruned params
@@ -32,6 +37,32 @@ type patternPlan struct {
 	// nil until ExecuteDelta first materializes it). Guarded by the owning
 	// queryPlan's viewMu.
 	view *matView
+}
+
+// patternOpMask folds a pattern's admissible operations into an op-code
+// bitmask. Only the bound (final-hop) event is constrained, so anything
+// other than an event pattern or a single-hop path is unconstrained (^0)
+// — as is an empty op list or an op keyword the audit model doesn't know.
+func patternOpMask(ir *qir.DataQuery) uint32 {
+	var ops []string
+	switch {
+	case ir.Event != nil:
+		ops = ir.Event.Ops
+	case ir.Path != nil && ir.Path.MinLen == 1 && ir.Path.MaxLen == 1:
+		ops = ir.Path.Ops
+	}
+	if len(ops) == 0 {
+		return ^uint32(0)
+	}
+	var mask uint32
+	for _, name := range ops {
+		op, err := audit.ParseOp(name)
+		if err != nil {
+			return ^uint32(0)
+		}
+		mask |= op.Bit()
+	}
+	return mask
 }
 
 // prepared returns the pattern's compiled relational plan, lowering and
@@ -134,7 +165,7 @@ const maxCachedQueryPlans = 256
 // plan's epoch and window bounds come from it, so a hunt racing an append
 // gets a plan consistent with the store generation it reads (and never
 // loads the writer-mutated live bounds). A nil snap (writer-synchronized
-// paths: explain, the monolithic RQ4 comparisons) uses the live bounds.
+// paths: the monolithic RQ4 comparisons) uses the live bounds.
 func (en *Engine) planFor(a *tbql.Analyzed, snap *Snapshot) *queryPlan {
 	key := planKey{a: a, sched: !en.DisableScheduling}
 	var epoch uint64
@@ -169,6 +200,7 @@ func (en *Engine) planFor(a *tbql.Analyzed, snap *Snapshot) *queryPlan {
 		pp := &p.pats[i]
 		pp.ir = ir
 		pp.usesGraph = ir.UsesGraph()
+		pp.opMask = patternOpMask(ir)
 		if pp.usesGraph {
 			pp.gq = lowerPathQuery(b, ir.Path)
 		}

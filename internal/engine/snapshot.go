@@ -11,6 +11,7 @@ package engine
 // session-wide read lock and the writer never blocks readers.
 
 import (
+	"sort"
 	"time"
 
 	"threatraptor/internal/audit"
@@ -42,8 +43,19 @@ type Snapshot struct {
 	// has ID < NextEventID. View catch-up advances to exactly this frontier,
 	// never past the pinned snapshot.
 	NextEventID int64
+	// Events is the frozen event slice in ID order (event ID i at offset
+	// i-1). The log's event arena is append-only and rollback only
+	// truncates tail the snapshot never covered, so the captured header
+	// stays valid; readers (provenance builds, tactical rounds) index it
+	// directly instead of taking the session lock over the live Log.
+	Events []audit.Event
 	// PublishedAt timestamps the capture (drives the snapshot-age metric).
 	PublishedAt time.Time
+
+	// opBatches is the captured per-batch op-code bitmap index (see
+	// Store.opBatches); OpMaskBetween folds it so view catch-up can skip
+	// patterns whose operations never appeared in a delta.
+	opBatches []batchOps
 }
 
 // publishSnapshot captures and atomically publishes the store's current
@@ -56,7 +68,9 @@ func (s *Store) publishSnapshot() {
 		MaxTime:     s.MaxTime,
 		Epoch:       s.epoch,
 		NextEventID: s.nextEventID,
+		Events:      s.Log.Events,
 		PublishedAt: time.Now(),
+		opBatches:   s.opBatches,
 	}
 	sn.Rel.Capture(s.Rel)
 	sn.Graph.Capture(s.Graph)
@@ -75,6 +89,37 @@ func (sn *Snapshot) EntityAttr(id int64, attr string) relational.Value {
 		return relational.Null()
 	}
 	return entityAttrValue(sn.Entities[id-1], attr)
+}
+
+// batchOps records one sealed batch's first event ID and the OR of its
+// events' op-code bits (audit.OpType.Bit). The slice is append-only in
+// batch order and entry i covers event IDs [startID_i, startID_i+1).
+type batchOps struct {
+	startID int64
+	mask    uint32
+}
+
+// OpMaskBetween returns the OR of the op-code bits of every stored event
+// with ID in [lo, hi), folded from the per-batch bitmap index (O(log
+// batches + batches overlapped), no event scan). IDs below the first
+// recorded batch resolve conservatively to all-ops.
+func (sn *Snapshot) OpMaskBetween(lo, hi int64) uint32 {
+	if lo >= hi {
+		return 0
+	}
+	b := sn.opBatches
+	// First batch whose range can overlap [lo, hi): the last entry with
+	// startID <= lo.
+	i := sort.Search(len(b), func(i int) bool { return b[i].startID > lo }) - 1
+	if i < 0 {
+		// lo predates the recorded batches; be conservative.
+		return ^uint32(0)
+	}
+	var mask uint32
+	for ; i < len(b) && b[i].startID < hi; i++ {
+		mask |= b[i].mask
+	}
+	return mask
 }
 
 // timeBounds is a fixed pair of store time bounds against which TBQL

@@ -37,6 +37,12 @@ type Store struct {
 	// nextEventID is the ID the next appended event will take; appended
 	// logs keep the dense 1..n space NewStore-built logs have.
 	nextEventID int64
+	// opBatches is the per-batch op-code bitmap index: one entry per
+	// sealed batch (plus one for the initial load), recording the batch's
+	// first event ID and the OR of its events' op bits. Append-only in
+	// batch order; a failed batch truncates its entry before anything is
+	// published, so snapshots capture a consistent prefix.
+	opBatches []batchOps
 	// snap is the latest published snapshot (see snapshot.go): written by
 	// the single writer at every sealed-batch boundary, pinned by readers.
 	snap atomic.Pointer[Snapshot]
@@ -211,6 +217,13 @@ func NewStore(log *audit.Log) (*Store, error) {
 		}
 	}
 	s.nextEventID = int64(len(log.Events)) + 1
+	if len(log.Events) > 0 {
+		var mask uint32
+		for i := range log.Events {
+			mask |= log.Events[i].Op.Bit()
+		}
+		s.opBatches = append(s.opBatches, batchOps{startID: 1, mask: mask})
+	}
 	s.publishSnapshot()
 	return s, nil
 }

@@ -42,6 +42,9 @@ type ViewStats struct {
 	Fallbacks int64
 	// CachedRows is the current total of materialized rows.
 	CachedRows int64
+	// CatchupSkips counts catch-up data queries skipped because the
+	// delta's batch op bitmap didn't intersect the pattern's operations.
+	CatchupSkips int64
 }
 
 // Views reports the engine's materialized-view counters.
@@ -51,6 +54,7 @@ func (en *Engine) Views() ViewStats {
 		DeltaMerges:      en.viewDeltaMerges.Load(),
 		Fallbacks:        en.viewFallbacks.Load(),
 		CachedRows:       en.viewRows.Load(),
+		CatchupSkips:     en.viewCatchupSkips.Load(),
 	}
 }
 
@@ -208,6 +212,15 @@ func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, snap *Snaps
 		}
 		sp := extrasSpec{snap: snap}
 		if v.upTo > 0 {
+			// A catch-up query can only add rows whose bound event lies
+			// in [upTo, next); if no event in that delta carries one of
+			// the pattern's operations, the result is empty by
+			// construction — advance the frontier without running it.
+			if snap != nil && snap.OpMaskBetween(v.upTo, next)&pp.opMask == 0 {
+				v.upTo = next
+				en.viewCatchupSkips.Add(1)
+				continue
+			}
 			sp.delta = v.upTo
 		}
 		pr, qs, gs, err := en.runPattern(ctx, a, plan, idx, sp)

@@ -93,6 +93,30 @@ func TestExecuteDeltaViewsMatchRecompute(t *testing.T) {
 		if vs := viewEn.Views(); vs.DeltaMerges == 0 {
 			t.Fatalf("second round should merge incrementally: %+v", vs)
 		}
+
+		// A delta whose op bitmap misses every pattern op (the query uses
+		// read/write/connect only) must skip catch-up entirely — the
+		// counter proves no catch-up data query ran — and stay equivalent.
+		skipsBefore := viewEn.Views().CatchupSkips
+		foreign := []audit.Event{{
+			SubjectID: live.Log.Events[0].SubjectID,
+			ObjectID:  live.Log.Events[0].ObjectID,
+			Op:        audit.OpSend,
+			StartTime: live.MaxTime + 2000,
+			EndTime:   live.MaxTime + 2001,
+		}}
+		floor3 := live.NextEventID()
+		if err := live.AppendBatch(nil, foreign); err != nil {
+			t.Fatal(err)
+		}
+		got = deltaRows(t, viewEn, a, floor3)
+		want = deltaRows(t, recompEn, a, floor3)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("foreign-op sched=%v:\nviews     %v\nrecompute %v", !disableSched, got, want)
+		}
+		if vs := viewEn.Views(); vs.CatchupSkips <= skipsBefore {
+			t.Fatalf("foreign-op delta did not skip catch-up: skips %d -> %d", skipsBefore, vs.CatchupSkips)
+		}
 	}
 }
 

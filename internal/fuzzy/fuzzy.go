@@ -179,7 +179,7 @@ func NewSearcher(prov *provenance.Graph, qg *QueryGraph, opts Options) *Searcher
 // nodeCandidates performs node-level alignment for one query node.
 func (s *Searcher) nodeCandidates(qn QueryNode) []int64 {
 	var out []int64
-	for _, e := range s.Prov.Log.Entities.All() {
+	for _, e := range s.Prov.Entities() {
 		if qn.Kind != audit.EntityInvalid && e.Kind != qn.Kind {
 			continue
 		}
@@ -443,7 +443,7 @@ func (s *Searcher) bestFlow(from int64, toIdx int, edge QueryEdge, forward bool,
 	var directEnt, directEv int64
 	directSim := -1.0
 	for _, ref := range direct {
-		ev := &s.Prov.Log.Events[ref.Event]
+		ev := s.Prov.Event(ref.Event)
 		if !targets[ref.Other] || (edge.Ops != nil && !edge.Ops[ev.Op.String()]) {
 			continue
 		}
@@ -491,14 +491,14 @@ func (s *Searcher) bestFlow(from int64, toIdx int, edge QueryEdge, forward bool,
 				continue
 			}
 			seen[ref.Other] = true
-			ev := &s.Prov.Log.Events[ref.Event]
+			ev := s.Prov.Event(ref.Event)
 			next := state{
 				ent:    ref.Other,
 				depth:  st.depth + 1,
 				events: append(append([]int64(nil), st.events...), ev.ID),
 				procs:  st.procs,
 			}
-			if e := s.Prov.Log.Entities.Lookup(ref.Other); e != nil && e.Kind == audit.EntityProcess {
+			if e := s.Prov.Entity(ref.Other); e != nil && e.Kind == audit.EntityProcess {
 				next.procs++
 			}
 			if targets[ref.Other] {

@@ -73,7 +73,7 @@ func (g *Graph) track(start int64, maxDepth int, backward bool) TrackResult {
 			continue
 		}
 		for _, ref := range g.Neighbors(f.ent) {
-			ev := &g.Log.Events[ref.Event]
+			ev := g.Event(ref.Event)
 			// Determine the data-flow direction of this event relative to
 			// the frontier entity.
 			var flowsIn bool // data flows INTO the frontier entity

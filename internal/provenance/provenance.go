@@ -10,38 +10,66 @@ import (
 // EdgeRef points from an entity to one incident event and the entity on
 // the other side.
 type EdgeRef struct {
-	Event int   // index into Log.Events
+	Event int   // index into the graph's event slice (see Event)
 	Other int64 // the other endpoint's entity ID
 }
 
-// Graph is the provenance graph over one audit log.
+// Graph is the provenance graph over one set of entities and events. It
+// holds frozen slice headers rather than the live *audit.Log, so a graph
+// built from a published store snapshot (BuildFrom over
+// engine.Snapshot.Entities/Events) is immune to concurrent appends and
+// needs no session lock.
 type Graph struct {
-	Log *audit.Log
+	// entities is the dense entity slice: entity ID i at offset i-1.
+	entities []*audit.Entity
+	events   []audit.Event
 	// Fwd[subject] lists events initiated by the subject; Bwd[object]
 	// lists events targeting the object.
 	Fwd map[int64][]EdgeRef
 	Bwd map[int64][]EdgeRef
 }
 
-// Build constructs the provenance graph (the preprocessing phase of
-// Table IX).
+// Build constructs the provenance graph over a whole audit log (the
+// preprocessing phase of Table IX).
 func Build(log *audit.Log) *Graph {
+	return BuildFrom(log.Entities.Dense(), log.Events)
+}
+
+// BuildFrom constructs the provenance graph from a frozen dense entity
+// slice (entity ID i at offset i-1) and event slice — typically a
+// published engine.Snapshot's captures.
+func BuildFrom(entities []*audit.Entity, events []audit.Event) *Graph {
 	g := &Graph{
-		Log: log,
-		Fwd: make(map[int64][]EdgeRef),
-		Bwd: make(map[int64][]EdgeRef),
+		entities: entities,
+		events:   events,
+		Fwd:      make(map[int64][]EdgeRef),
+		Bwd:      make(map[int64][]EdgeRef),
 	}
-	for i := range log.Events {
-		ev := &log.Events[i]
+	for i := range events {
+		ev := &events[i]
 		g.Fwd[ev.SubjectID] = append(g.Fwd[ev.SubjectID], EdgeRef{Event: i, Other: ev.ObjectID})
 		g.Bwd[ev.ObjectID] = append(g.Bwd[ev.ObjectID], EdgeRef{Event: i, Other: ev.SubjectID})
 	}
 	return g
 }
 
+// Event returns the event an EdgeRef points at.
+func (g *Graph) Event(i int) *audit.Event { return &g.events[i] }
+
+// Entity resolves an entity ID, or nil when unknown.
+func (g *Graph) Entity(id int64) *audit.Entity {
+	if id < 1 || id > int64(len(g.entities)) {
+		return nil
+	}
+	return g.entities[id-1]
+}
+
+// Entities returns the graph's dense entity slice in ID order.
+func (g *Graph) Entities() []*audit.Entity { return g.entities }
+
 // NumNodes and NumEdges report graph sizes.
-func (g *Graph) NumNodes() int { return g.Log.Entities.Len() }
-func (g *Graph) NumEdges() int { return len(g.Log.Events) }
+func (g *Graph) NumNodes() int { return len(g.entities) }
+func (g *Graph) NumEdges() int { return len(g.events) }
 
 // AvgDegree returns edges per node, the density metric the paper uses to
 // explain the tc_theia bottleneck.
@@ -56,7 +84,7 @@ func (g *Graph) AvgDegree() float64 {
 // DefaultName returns the default security-analysis attribute of an entity
 // (file name / process exename / destination IP).
 func (g *Graph) DefaultName(id int64) string {
-	e := g.Log.Entities.Lookup(id)
+	e := g.Entity(id)
 	if e == nil {
 		return ""
 	}

@@ -1,0 +1,299 @@
+// Package rules implements a small Sigma-like detection rule engine over
+// the audit event model: a rule names one or more operations, optional
+// entity-field predicates on the subject and object, and a MITRE-style
+// tactic/technique label. Rule files are JSON (see ParseJSON for the
+// format; examples/rules/demo.json is a runnable reference).
+//
+// Rules are compiled once, up front: operation names become a bitmask
+// over the dictionary-encoded audit.OpType codes, entity-kind predicates
+// become audit.EntityKind code comparisons, and string predicates become
+// closed matcher functions. Per-event tagging is therefore one AND
+// against the op mask followed by direct code/attribute comparisons — no
+// string matching against operation or kind names on the hot path — so a
+// rule set can be evaluated against every event of a sealed batch without
+// slowing ingestion (the tactical round runs off the pinned snapshot,
+// after AppendBatch returns).
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"threatraptor/internal/audit"
+)
+
+// Rule is one detection rule as authored in the rule file.
+type Rule struct {
+	// Name uniquely identifies the rule; tagged alerts carry it.
+	Name string `json:"name"`
+	// Tactic is the MITRE ATT&CK-style tactic label (e.g.
+	// "credential-access"); it orders alerts along the kill chain.
+	Tactic string `json:"tactic"`
+	// Technique is a free-form technique label (e.g. "T1003").
+	Technique string `json:"technique,omitempty"`
+	// Severity weights the rule 1..10 (0 defaults to 5).
+	Severity int `json:"severity,omitempty"`
+	// Ops lists the operations that trigger the rule ("read", "connect",
+	// ...). Empty means any operation.
+	Ops []string `json:"ops,omitempty"`
+	// Where maps entity fields to string patterns, e.g.
+	//
+	//	{"object.name": "/etc/shadow", "subject.exename": "/tmp/*"}
+	//
+	// Keys are "subject.<attr>" or "object.<attr>" using the audit
+	// attribute names (name/path/user/group, pid/exename/user/group/cmd,
+	// srcip/srcport/dstip/dstport/protocol) plus the pseudo-attribute
+	// "kind" ("file", "proc", "ip"). Values are exact strings unless they
+	// use "*" at either end: "/tmp/*" (prefix), "*.so" (suffix),
+	// "*passwd*" (substring). Every predicate must hold.
+	Where map[string]string `json:"where,omitempty"`
+}
+
+// killChain is the MITRE ATT&CK enterprise tactic order the kill-chain
+// scoring DP uses: an incident's alerts form a kill chain when their
+// tactic ranks are non-decreasing along happens-before edges.
+var killChain = []string{
+	"initial-access",
+	"execution",
+	"persistence",
+	"privilege-escalation",
+	"defense-evasion",
+	"credential-access",
+	"discovery",
+	"lateral-movement",
+	"collection",
+	"command-and-control",
+	"exfiltration",
+	"impact",
+}
+
+// TacticRank maps a tactic label to its kill-chain position. Unknown
+// tactics rank after every known one (they still chain with each other
+// and with anything earlier, just without an ordering of their own).
+func TacticRank(tactic string) int {
+	for i, t := range killChain {
+		if t == tactic {
+			return i
+		}
+	}
+	return len(killChain)
+}
+
+// attrMatch is one compiled entity predicate.
+type attrMatch struct {
+	attr  string
+	match func(string) bool
+}
+
+// compiled is one rule lowered to code comparisons.
+type compiled struct {
+	rule       Rule
+	opMask     uint32           // OR of trigger op bits; ^0 = any op
+	subjKind   audit.EntityKind // EntityInvalid = any
+	objKind    audit.EntityKind
+	subj, obj  []attrMatch
+	tacticRank int
+	severity   int
+}
+
+// Set is a compiled, immutable rule set, safe for concurrent use.
+type Set struct {
+	rules  []compiled
+	opMask uint32 // OR of every rule's opMask
+}
+
+// ParseJSON compiles a JSON rule file: either a top-level array of rules
+// or an object {"rules": [...]}.
+func ParseJSON(data []byte) (*Set, error) {
+	var raw []Rule
+	if err := json.Unmarshal(data, &raw); err != nil {
+		var wrapped struct {
+			Rules []Rule `json:"rules"`
+		}
+		if err2 := json.Unmarshal(data, &wrapped); err2 != nil {
+			return nil, fmt.Errorf("rules: %w", err)
+		}
+		raw = wrapped.Rules
+	}
+	return Compile(raw)
+}
+
+// LoadFile reads and compiles a JSON rule file from disk.
+func LoadFile(path string) (*Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Compile lowers rules to a Set, validating names, operations, and
+// predicate keys.
+func Compile(rs []Rule) (*Set, error) {
+	set := &Set{rules: make([]compiled, 0, len(rs))}
+	seen := make(map[string]bool, len(rs))
+	for i, r := range rs {
+		if r.Name == "" {
+			return nil, fmt.Errorf("rules: rule %d has no name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("rules: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Tactic == "" {
+			return nil, fmt.Errorf("rules: rule %q has no tactic", r.Name)
+		}
+		c := compiled{
+			rule:       r,
+			tacticRank: TacticRank(r.Tactic),
+			severity:   r.Severity,
+		}
+		if c.severity <= 0 {
+			c.severity = 5
+		} else if c.severity > 10 {
+			c.severity = 10
+		}
+		if len(r.Ops) == 0 {
+			c.opMask = ^uint32(0)
+		} else {
+			for _, name := range r.Ops {
+				op, err := audit.ParseOp(name)
+				if err != nil {
+					return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+				}
+				c.opMask |= op.Bit()
+			}
+		}
+		// Compile predicates in sorted key order so matching cost and
+		// behavior don't depend on map iteration.
+		keys := make([]string, 0, len(r.Where))
+		for k := range r.Where {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			side, attr, ok := strings.Cut(key, ".")
+			if !ok || (side != "subject" && side != "object") {
+				return nil, fmt.Errorf("rules: rule %q: predicate key %q must be subject.<attr> or object.<attr>", r.Name, key)
+			}
+			val := r.Where[key]
+			if attr == "kind" {
+				kind, err := parseKind(val)
+				if err != nil {
+					return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+				}
+				if side == "subject" {
+					c.subjKind = kind
+				} else {
+					c.objKind = kind
+				}
+				continue
+			}
+			m := attrMatch{attr: attr, match: compileMatcher(val)}
+			if side == "subject" {
+				c.subj = append(c.subj, m)
+			} else {
+				c.obj = append(c.obj, m)
+			}
+		}
+		set.opMask |= c.opMask
+		set.rules = append(set.rules, c)
+	}
+	return set, nil
+}
+
+// parseKind maps the TBQL entity type keywords to kind codes.
+func parseKind(s string) (audit.EntityKind, error) {
+	switch s {
+	case "file":
+		return audit.EntityFile, nil
+	case "proc", "process":
+		return audit.EntityProcess, nil
+	case "ip", "netconn":
+		return audit.EntityNetConn, nil
+	}
+	return audit.EntityInvalid, fmt.Errorf("unknown entity kind %q", s)
+}
+
+// compileMatcher closes over one string pattern: exact unless "*" marks a
+// prefix, suffix, or substring match.
+func compileMatcher(pat string) func(string) bool {
+	pre := strings.HasSuffix(pat, "*")
+	suf := strings.HasPrefix(pat, "*")
+	switch {
+	case pre && suf:
+		mid := strings.Trim(pat, "*")
+		return func(s string) bool { return strings.Contains(s, mid) }
+	case pre:
+		p := strings.TrimSuffix(pat, "*")
+		return func(s string) bool { return strings.HasPrefix(s, p) }
+	case suf:
+		p := strings.TrimPrefix(pat, "*")
+		return func(s string) bool { return strings.HasSuffix(s, p) }
+	default:
+		return func(s string) bool { return s == pat }
+	}
+}
+
+// Len returns the number of compiled rules.
+func (s *Set) Len() int { return len(s.rules) }
+
+// OpMask returns the OR of every rule's trigger-operation bits; a sealed
+// batch whose op bitmap doesn't intersect it cannot produce an alert.
+func (s *Set) OpMask() uint32 { return s.opMask }
+
+// Rule returns the i-th rule as authored.
+func (s *Set) Rule(i int) *Rule { return &s.rules[i].rule }
+
+// RuleTacticRank returns the i-th rule's kill-chain position.
+func (s *Set) RuleTacticRank(i int) int { return s.rules[i].tacticRank }
+
+// RuleSeverity returns the i-th rule's effective severity (1..10).
+func (s *Set) RuleSeverity(i int) int { return s.rules[i].severity }
+
+// Match appends to dst the indices of every rule matching the event and
+// returns the extended slice. subj and obj are the event's entities (nil
+// entities fail every predicate on that side).
+func (s *Set) Match(ev *audit.Event, subj, obj *audit.Entity, dst []int) []int {
+	opBit := ev.Op.Bit()
+	for i := range s.rules {
+		c := &s.rules[i]
+		if c.opMask&opBit == 0 {
+			continue
+		}
+		if !sideMatches(subj, c.subjKind, c.subj) {
+			continue
+		}
+		if !sideMatches(obj, c.objKind, c.obj) {
+			continue
+		}
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+func sideMatches(e *audit.Entity, kind audit.EntityKind, preds []attrMatch) bool {
+	if kind == audit.EntityInvalid && len(preds) == 0 {
+		return true
+	}
+	if e == nil {
+		return false
+	}
+	if kind != audit.EntityInvalid && e.Kind != kind {
+		return false
+	}
+	for i := range preds {
+		v, ok := e.Attr(preds[i].attr)
+		if !ok || !preds[i].match(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package rules
+
+import (
+	"testing"
+
+	"threatraptor/internal/audit"
+)
+
+// buildLog parses a small simulator run into a log and returns it.
+func buildLog(t *testing.T, fill func(*audit.Simulator)) *audit.Log {
+	t.Helper()
+	sim := audit.NewSimulator(1, 1_700_000_000_000_000)
+	fill(sim)
+	log, err := audit.ParseRecords(sim.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// matchNames runs the set over every event and returns the matched rule
+// names per event.
+func matchNames(set *Set, log *audit.Log) [][]string {
+	var out [][]string
+	for i := range log.Events {
+		ev := &log.Events[i]
+		idxs := set.Match(ev, log.Entities.Lookup(ev.SubjectID), log.Entities.Lookup(ev.ObjectID), nil)
+		var names []string
+		for _, idx := range idxs {
+			names = append(names, set.Rule(idx).Name)
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+func TestCompileAndMatch(t *testing.T) {
+	set, err := Compile([]Rule{
+		{Name: "etc-read", Tactic: "credential-access", Ops: []string{"read"},
+			Where: map[string]string{"object.kind": "file", "object.name": "/etc/*"}},
+		{Name: "tar-subject", Tactic: "collection", Ops: []string{"write"},
+			Where: map[string]string{"subject.exename": "*tar*"}},
+		{Name: "any-connect", Tactic: "command-and-control", Ops: []string{"connect"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", set.Len())
+	}
+	tar := audit.Proc{PID: 10, Exe: "/bin/tar", User: "u", Group: "g"}
+	vim := audit.Proc{PID: 11, Exe: "/usr/bin/vim", User: "u", Group: "g"}
+	log := buildLog(t, func(sim *audit.Simulator) {
+		sim.ReadFile(tar, "/etc/passwd", 100)                       // etc-read
+		sim.WriteFile(tar, "/tmp/out.tar", 100)                     // tar-subject
+		sim.ReadFile(vim, "/home/u/x.txt", 100)                     // nothing
+		sim.Connect(vim, "10.0.0.8", 50000, "10.0.0.1", 443, "tcp") // any-connect
+	})
+	got := matchNames(set, log)
+	want := [][]string{{"etc-read"}, {"tar-subject"}, nil, {"any-connect"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("event %d matched %v, want %v", i, got[i], want[i])
+			continue
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("event %d matched %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatcherForms(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"/etc/passwd", "/etc/passwd", true},
+		{"/etc/passwd", "/etc/shadow", false},
+		{"/tmp/*", "/tmp/payload.so", true},
+		{"/tmp/*", "/var/tmp/x", false},
+		{"*.so", "/tmp/libfoo.so", true},
+		{"*.so", "/tmp/libfoo.txt", false},
+		{"*passwd*", "/etc/passwd.bak", true},
+		{"*passwd*", "/etc/group", false},
+	}
+	for _, c := range cases {
+		if got := compileMatcher(c.pat)(c.s); got != c.want {
+			t.Errorf("matcher(%q)(%q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestOpMaskGating(t *testing.T) {
+	set, err := Compile([]Rule{
+		{Name: "w", Tactic: "collection", Ops: []string{"write", "send"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := audit.OpWrite.Bit() | audit.OpSend.Bit()
+	if set.OpMask() != want {
+		t.Fatalf("OpMask = %b, want %b", set.OpMask(), want)
+	}
+	// An empty Ops list means any operation.
+	set, err = Compile([]Rule{{Name: "any", Tactic: "impact"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.OpMask() != ^uint32(0) {
+		t.Fatalf("unconstrained OpMask = %b, want all ones", set.OpMask())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := [][]Rule{
+		{{Tactic: "impact"}}, // no name
+		{{Name: "a", Tactic: "impact"}, {Name: "a", Tactic: "impact"}}, // dup
+		{{Name: "a"}}, // no tactic
+		{{Name: "a", Tactic: "impact", Ops: []string{"frob"}}},                          // bad op
+		{{Name: "a", Tactic: "impact", Where: map[string]string{"path": "x"}}},          // no side
+		{{Name: "a", Tactic: "impact", Where: map[string]string{"object.kind": "gpu"}}}, // bad kind
+	}
+	for i, rs := range bad {
+		if _, err := Compile(rs); err == nil {
+			t.Errorf("case %d: Compile accepted invalid rules %v", i, rs)
+		}
+	}
+}
+
+func TestTacticRank(t *testing.T) {
+	if TacticRank("initial-access") != 0 {
+		t.Fatal("initial-access should rank first")
+	}
+	if TacticRank("exfiltration") <= TacticRank("credential-access") {
+		t.Fatal("exfiltration must rank after credential-access")
+	}
+	if TacticRank("made-up") != len(killChain) {
+		t.Fatalf("unknown tactic rank = %d, want %d", TacticRank("made-up"), len(killChain))
+	}
+}
+
+func TestSeverityDefaultsAndClamp(t *testing.T) {
+	set, err := Compile([]Rule{
+		{Name: "default", Tactic: "impact"},
+		{Name: "clamped", Tactic: "impact", Severity: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.RuleSeverity(0); got != 5 {
+		t.Fatalf("default severity = %d, want 5", got)
+	}
+	if got := set.RuleSeverity(1); got != 10 {
+		t.Fatalf("clamped severity = %d, want 10", got)
+	}
+}
+
+func TestParseJSONForms(t *testing.T) {
+	array := `[{"name":"a","tactic":"impact","ops":["read"]}]`
+	wrapped := `{"rules":[{"name":"a","tactic":"impact","ops":["read"]}]}`
+	for _, src := range []string{array, wrapped} {
+		set, err := ParseJSON([]byte(src))
+		if err != nil {
+			t.Fatalf("ParseJSON(%q): %v", src, err)
+		}
+		if set.Len() != 1 || set.Rule(0).Name != "a" {
+			t.Fatalf("ParseJSON(%q) compiled %d rules", src, set.Len())
+		}
+	}
+	if _, err := ParseJSON([]byte(`{"not json`)); err == nil {
+		t.Fatal("ParseJSON accepted malformed input")
+	}
+}

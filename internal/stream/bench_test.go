@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"threatraptor/internal/audit"
+	"threatraptor/internal/tactical"
 )
 
 // shiftRecords copies template with every timestamp moved forward by
@@ -99,6 +100,57 @@ func BenchmarkConcurrentHunts(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTacticalRound measures the tactical detection overhead on the
+// live append path: the same 64-record chunked ingest as
+// BenchmarkStandingQuery, but with a four-rule tactical layer tagging
+// each sealed batch, attributing alerts through backward reachability,
+// and rescoring the touched incidents. The delta vs BenchmarkStreamIngest
+// is the per-batch cost of detection; alerts/op reports how much tagging
+// work each round actually did.
+func BenchmarkTacticalRound(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Tactical = tactical.Config{Rules: chaosRules(b)}
+	sess, _ := benchSession(b, cfg)
+	// A chunk where every fourth record matches a rule (a credential read
+	// or a staging write among untagged reads), spread over a few
+	// processes so attribution does real reachability work.
+	template := make([]audit.Record, 64)
+	for i := range template {
+		r := audit.Record{Time: int64(i) * 250_000, PID: 9000 + i%8,
+			Exe: fmt.Sprintf("/bin/tool%d", i%8), User: "root", FD: audit.FDFile, Bytes: 10}
+		switch i % 4 {
+		case 0:
+			r.Call, r.Path = audit.SysRead, fmt.Sprintf("/etc/conf%d", i)
+		case 2:
+			r.Call, r.Path = audit.SysWrite, fmt.Sprintf("/tmp/stage%d", i)
+		default:
+			r.Call, r.Path = audit.SysRead, fmt.Sprintf("/home/u/f%d", i)
+		}
+		template[i] = r
+	}
+	span := template[len(template)-1].Time - template[0].Time + 10_000_000
+	base := sess.Store().MaxTime + 10_000_000 - template[0].Time
+	buf := make([]audit.Record, 0, len(template))
+	startAlerts := sess.TacticalStats().AlertsTagged
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk := shiftRecords(template, buf, base+int64(i)*span)
+		if _, err := sess.IngestRecords(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := sess.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	st := sess.TacticalStats()
+	b.ReportMetric(float64(st.AlertsTagged-startAlerts)/float64(b.N), "alerts/op")
+	if st.AlertsTagged == startAlerts {
+		b.Fatal("no alerts tagged; the tactical path was not exercised")
+	}
 }
 
 // BenchmarkStandingQueryScale is the store-size sweep behind the O(delta)

@@ -9,11 +9,84 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
 	"threatraptor/internal/faultinject"
+	"threatraptor/internal/rules"
+	"threatraptor/internal/tactical"
 )
+
+// chaosRules compiles the rule set every chaos build tags with, so the
+// fault-free and fault-injected incident lists can be compared.
+func chaosRules(t testing.TB) *rules.Set {
+	t.Helper()
+	set, err := rules.Compile([]rules.Rule{
+		{Name: "credential-file-read", Tactic: "credential-access", Severity: 8,
+			Ops: []string{"read"}, Where: map[string]string{"object.kind": "file", "object.name": "/etc/*"}},
+		{Name: "staging-write-tmp", Tactic: "collection",
+			Ops: []string{"write"}, Where: map[string]string{"object.kind": "file", "object.name": "/tmp/*"}},
+		{Name: "outbound-connect", Tactic: "command-and-control",
+			Ops: []string{"connect"}, Where: map[string]string{"object.kind": "ip"}},
+		{Name: "outbound-send", Tactic: "exfiltration", Severity: 7,
+			Ops: []string{"send"}, Where: map[string]string{"object.kind": "ip"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// incidentJSON renders a session's ranked incidents byte-stably.
+func incidentJSON(t testing.TB, sess *Session) []byte {
+	t.Helper()
+	b, err := tactical.MarshalIncidents(sess.Incidents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSessionCatchesUpPreloadedHistory pins the catch-up round: a session
+// opened over a store that was batch-built before it (the daemon's
+// -log/-demo preload path) must tag the preloaded events at creation, and
+// its incident list must equal the one-shot batch analysis of the same
+// snapshot. An empty store costs no round.
+func TestSessionCatchesUpPreloadedHistory(t *testing.T) {
+	set := chaosRules(t)
+	store := batchStore(t, dataLeakRecords(t, 0.1))
+	var rounds int
+	cfg := Config{
+		Tactical:        tactical.Config{Rules: set},
+		OnTacticalRound: func(_ time.Duration, _ tactical.RoundStats) { rounds++ },
+	}
+	sess := New(store, &engine.Engine{Store: store}, cfg)
+	st := sess.TacticalStats()
+	if st.Rounds != 1 || st.AlertsTagged == 0 || rounds != 1 {
+		t.Fatalf("catch-up round missing: stats %+v, observer calls %d", st, rounds)
+	}
+	got := incidentJSON(t, sess)
+	want, err := tactical.MarshalIncidents(tactical.Analyze(store.Snapshot(), tactical.Config{Rules: set}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("catch-up incidents != one-shot analysis:\ngot  %s\nwant %s", clipStr(got), clipStr(want))
+	}
+
+	empty, _ := emptySession(t, Config{Tactical: tactical.Config{Rules: set}})
+	if st := empty.TacticalStats(); st.Rounds != 0 {
+		t.Fatalf("empty store ran a catch-up round: %+v", st)
+	}
+}
+
+func clipStr(b []byte) string {
+	if len(b) > 400 {
+		return string(b[:400]) + "..."
+	}
+	return string(b)
+}
 
 // readLine renders one read-syscall record as a wire line.
 func readLine(ts int64, pid int, exe, path string) string {
@@ -236,6 +309,10 @@ func TestUnwatchDuringActiveFiring(t *testing.T) {
 func chaosBuild(t *testing.T, lines []string, chunks int, plan faultinject.Plan) (*Session, *engine.Engine) {
 	t.Helper()
 	cfg := DefaultConfig()
+	// Tactical rounds run on every build so the chaos comparison also
+	// covers alert tagging: a rolled-back append must never tag a phantom
+	// alert (events are tagged exactly once, on the successful retry).
+	cfg.Tactical = tactical.Config{Rules: chaosRules(t)}
 	sess, en := emptySession(t, cfg)
 	if _, err := sess.Watch(dataLeakTBQL); err != nil {
 		t.Fatal(err)
@@ -343,6 +420,11 @@ func TestChaosRandomFaultSchedules(t *testing.T) {
 	if len(refRows) == 0 {
 		t.Fatal("reference build found no attack; chaos comparison would be vacuous")
 	}
+	refIncs := incidentJSON(t, ref)
+	refTact := ref.TacticalStats()
+	if refTact.AlertsTagged == 0 || refTact.Incidents == 0 {
+		t.Fatal("reference build tagged no alerts; phantom-alert comparison would be vacuous")
+	}
 
 	// Points that fire inside a recover boundary may panic; the stream's
 	// own points are plain error returns on an unguarded path.
@@ -400,6 +482,16 @@ func TestChaosRandomFaultSchedules(t *testing.T) {
 			rows := huntStrings(t, en, dataLeakTBQL)
 			if !reflect.DeepEqual(refRows, rows) {
 				t.Fatalf("hunt diverged from fault-free build:\n ref %v\n got %v", refRows, rows)
+			}
+			// No phantom alerts or incidents: a rolled-back append was never
+			// published, so its events are tagged exactly once (on the
+			// successful retry) and the ranked incident list is byte-identical
+			// to the fault-free build's.
+			if tact := sess.TacticalStats(); tact.AlertsTagged != refTact.AlertsTagged {
+				t.Fatalf("alerts tagged diverged: %d vs fault-free %d", tact.AlertsTagged, refTact.AlertsTagged)
+			}
+			if incs := incidentJSON(t, sess); !bytes.Equal(refIncs, incs) {
+				t.Fatalf("ranked incidents diverged from fault-free build:\n ref %s\n got %s", refIncs, incs)
 			}
 			// No lock left held: a full ingest+flush+hunt cycle still runs.
 			if _, err := sess.Ingest(bytes.NewBufferString(readLine(1_900_000_000_000_000, 9999, "/bin/cat", "/data/post"))); err != nil {

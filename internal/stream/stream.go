@@ -13,13 +13,18 @@
 //	          -> standing queries (delta-constrained scheduled execution)
 //
 // Writers (Ingest, Flush) take the session's write lock, which serializes
-// appends and standing-query evaluation. Hunts take no session lock at
-// all: every engine execution pins the store's latest published snapshot
-// (see engine.Snapshot) and reads only that frozen generation, so hunts
-// run concurrently with each other and with an in-flight append without
-// ever seeing a torn batch. The read lock remains only for auxiliary read
-// paths that walk live structures directly (ReadLocked: provenance, fuzzy
-// search, explain).
+// appends, standing-query evaluation, and the tactical round. Reads take
+// no session lock at all: every read path — hunts, fuzzy search, explain,
+// incident listing — pins the store's latest published snapshot (see
+// engine.Snapshot) and reads only that frozen generation, so reads run
+// concurrently with each other and with an in-flight append without ever
+// seeing a torn batch.
+//
+// When a rule set is configured (Config.Tactical), each sealed batch also
+// runs one tactical round (internal/tactical) against the published
+// snapshot: the delta's events are tagged into alerts, attributed to
+// incidents by backward reachability, and the ranked incident list plus
+// per-round updates are exposed through Incidents and WatchIncidents.
 package stream
 
 import (
@@ -28,11 +33,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
 	"threatraptor/internal/faultinject"
 	"threatraptor/internal/reduction"
+	"threatraptor/internal/tactical"
 )
 
 // Fault-injection point names (see internal/faultinject).
@@ -48,6 +55,10 @@ const (
 // ErrSessionClosed is returned by Ingest, IngestRecords, Flush, and Watch
 // once the session is closed.
 var ErrSessionClosed = errors.New("stream: session closed")
+
+// ErrTacticalDisabled is returned by WatchIncidents when the session has
+// no configured rule set (Config.Tactical.Rules).
+var ErrTacticalDisabled = errors.New("stream: tactical layer disabled (no rule set configured)")
 
 // Config tunes a Session.
 type Config struct {
@@ -91,6 +102,16 @@ type Config struct {
 	// whose views would cross the cap falls back to recompute on its own;
 	// Unwatch releases a query's views immediately.
 	ViewHighWater int
+	// Tactical configures the detection layer: when Tactical.Rules is
+	// non-nil, every sealed batch runs one tactical round against the
+	// published snapshot (tagging, incident attribution, kill-chain
+	// scoring — see internal/tactical). Nil rules disable the layer at
+	// zero cost to the ingest path.
+	Tactical tactical.Config
+	// OnTacticalRound, when set, observes every tactical round's duration
+	// and stats (the daemon feeds its metrics with it). Called under the
+	// session write lock; keep it cheap.
+	OnTacticalRound func(time.Duration, tactical.RoundStats)
 }
 
 // DefaultConfig mirrors the batch pipeline's defaults.
@@ -137,6 +158,11 @@ type IngestStats struct {
 	Watermark int64
 	// Firings counts standing-query matches delivered this call.
 	Firings int
+	// AlertsTagged counts tactical alerts tagged this call (always 0
+	// without a configured rule set).
+	AlertsTagged int
+	// IncidentsOpen is the number of open incidents after this call.
+	IncidentsOpen int
 	// Batch is the sealed-batch sequence number after this call.
 	Batch int64
 }
@@ -168,6 +194,12 @@ type Session struct {
 	subs    map[int64]*Subscription
 	nextSub int64
 
+	// tact is the tactical analyzer (nil without configured rules); its
+	// rounds run under the write lock, its accessors lock internally.
+	tact       *tactical.Analyzer
+	incSubs    map[int64]*IncidentSub
+	nextIncSub int64
+
 	readBuf []byte
 }
 
@@ -180,7 +212,7 @@ func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
 		en.ViewHighWater = cfg.ViewHighWater
 	}
 	parserLog := &audit.Log{Entities: store.Log.Entities}
-	return &Session{
+	s := &Session{
 		cfg:          cfg,
 		store:        store,
 		engine:       en,
@@ -189,8 +221,24 @@ func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
 		reducer:      reduction.NewStreamer(reduction.Config{ThresholdUS: cfg.ReductionThresholdUS}, cfg.LatenessUS),
 		lastEntityID: store.Log.Entities.MaxID(),
 		subs:         make(map[int64]*Subscription),
+		incSubs:      make(map[int64]*IncidentSub),
 		readBuf:      make([]byte, 64*1024),
 	}
+	if cfg.Tactical.Rules != nil {
+		s.tact = tactical.NewAnalyzer(cfg.Tactical)
+		// Adopt preloaded history: a store built before the session (batch
+		// log, -demo) holds events no round has seen. One catch-up round
+		// over the published snapshot tags them, so Incidents reflects the
+		// whole store rather than only live-ingested batches.
+		if snap := store.Snapshot(); snap.NextEventID > 1 {
+			t0 := time.Now()
+			rs := s.tact.Round(snap, 1)
+			if cfg.OnTacticalRound != nil {
+				cfg.OnTacticalRound(time.Since(t0), rs)
+			}
+		}
+	}
+	return s
 }
 
 // Store returns the live store (reads require no ingest in flight).
@@ -301,6 +349,10 @@ func (s *Session) Close() error {
 		close(sub.c)
 		delete(s.subs, id)
 	}
+	for id, sub := range s.incSubs {
+		close(sub.c)
+		delete(s.incSubs, id)
+	}
 	s.closed = true
 	return err
 }
@@ -314,14 +366,6 @@ func (s *Session) Close() error {
 // cancellation.
 func (s *Session) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
 	return s.engine.Hunt(ctx, src)
-}
-
-// ReadLocked runs fn under the session read lock, for callers that read
-// the store through other paths (provenance graphs, fuzzy search).
-func (s *Session) ReadLocked(fn func() error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return fn()
 }
 
 // advanceLocked moves parsed events through the reducer, appends whatever
@@ -366,7 +410,27 @@ func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
 		if len(sealed) > 0 {
 			s.batch++
 			st.Firings = s.fireLocked(deltaFloor)
+			if s.tact != nil {
+				// The tactical round runs strictly after the successful
+				// append, against the batch's published snapshot — never
+				// inside AppendBatch, and never for a rolled-back batch
+				// (a failed append returns above and replays later, so
+				// the retried events are tagged exactly once).
+				t0 := time.Now()
+				rs := s.tact.Round(s.store.Snapshot(), deltaFloor)
+				st.AlertsTagged = rs.Alerts
+				st.IncidentsOpen = rs.Incidents
+				if rs.Alerts > 0 {
+					s.notifyIncidentSubsLocked(rs)
+				}
+				if s.cfg.OnTacticalRound != nil {
+					s.cfg.OnTacticalRound(time.Since(t0), rs)
+				}
+			}
 		}
+	}
+	if s.tact != nil && st.AlertsTagged == 0 {
+		st.IncidentsOpen = s.tact.Stats().Incidents
 	}
 	st.Pending = s.reducer.Pending()
 	st.PartialBuffered = s.parser.PartialLen()

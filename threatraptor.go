@@ -32,8 +32,10 @@ import (
 	"threatraptor/internal/fuzzy"
 	"threatraptor/internal/provenance"
 	"threatraptor/internal/reduction"
+	"threatraptor/internal/rules"
 	"threatraptor/internal/stream"
 	"threatraptor/internal/synth"
+	"threatraptor/internal/tactical"
 	"threatraptor/internal/tbql"
 )
 
@@ -59,6 +61,15 @@ type Options struct {
 	// HuntQueueTimeout is how long a hunt waits for a slot when
 	// MaxConcurrentHunts is reached (zero: reject immediately when full).
 	HuntQueueTimeout time.Duration
+	// Rules is the compiled detection rule set for the tactical layer.
+	// When set, the live session tags rule-matching events per sealed
+	// batch and maintains ranked incidents (Incidents, WatchIncidents).
+	// Nil disables the tactical layer.
+	Rules *rules.Set
+	// OnTacticalRound, when set, observes every tactical round (duration
+	// and round stats). It is called from the ingestion path — keep it
+	// cheap (metrics recording).
+	OnTacticalRound func(time.Duration, tactical.RoundStats)
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -78,9 +89,9 @@ type System struct {
 	store     *engine.Store
 	engine    *engine.Engine
 	// live is the streaming ingestion session, created lazily by the
-	// first Ingest or Watch call. Hunts need no lock against it: they pin
-	// the engine's published store snapshot. Only the auxiliary read paths
-	// (fuzzy search, explain) still go through its reader lock.
+	// first Ingest or Watch call. No read path locks against it: hunts,
+	// fuzzy search, explain, and incident listing all pin the engine's
+	// published store snapshot (or the analyzer's own state).
 	live *stream.Session
 	// adm is the concurrent-hunt admission semaphore (nil: unlimited).
 	adm *engine.Admission
@@ -145,6 +156,8 @@ func (s *System) Live() (*stream.Session, error) {
 	s.live = stream.New(s.store, s.engine, stream.Config{
 		ReductionThresholdUS: s.opts.ReductionThresholdUS,
 		LatenessUS:           s.opts.StreamLatenessUS,
+		Tactical:             tactical.Config{Rules: s.opts.Rules},
+		OnTacticalRound:      s.opts.OnTacticalRound,
 	})
 	return s.live, nil
 }
@@ -248,15 +261,6 @@ func (s *System) Explain(tbqlSrc string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if s.live != nil {
-		var out string
-		err := s.live.ReadLocked(func() error {
-			var err error
-			out, err = s.engine.Explain(a)
-			return err
-		})
-		return out, err
-	}
 	return s.engine.Explain(a)
 }
 
@@ -284,24 +288,16 @@ type FuzzyAlignment struct {
 // FuzzyHunt executes a TBQL query in the fuzzy search mode (inexact graph
 // pattern matching, extending Poirot): node-level alignment tolerates IOC
 // typos and changes, and flow paths substitute for missing direct events.
-// With a live stream active it runs under the stream's reader lock. The
-// hunt counts against Options.MaxConcurrentHunts; the context bounds the
-// admission wait.
+// The search builds its provenance graph from the store's latest published
+// snapshot, so it takes no lock and runs concurrently with live ingestion.
+// The hunt counts against Options.MaxConcurrentHunts; the context bounds
+// the admission wait.
 func (s *System) FuzzyHunt(ctx context.Context, tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, error) {
 	release, err := s.adm.Acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	if s.live != nil {
-		var out []FuzzyAlignment
-		err := s.live.ReadLocked(func() error {
-			var err error
-			out, err = s.fuzzyHunt(tbqlSrc, exhaustive)
-			return err
-		})
-		return out, err
-	}
 	return s.fuzzyHunt(tbqlSrc, exhaustive)
 }
 
@@ -325,7 +321,8 @@ func (s *System) fuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, e
 	if exhaustive {
 		mode = fuzzy.ModeExhaustive
 	}
-	prov := provenance.Build(s.store.Log)
+	snap := s.store.Snapshot()
+	prov := provenance.BuildFrom(snap.Entities, snap.Events)
 	searcher := fuzzy.NewSearcher(prov, qg, fuzzy.DefaultOptions(mode))
 	var out []FuzzyAlignment
 	for _, al := range searcher.Search() {
@@ -342,4 +339,51 @@ func (s *System) fuzzyHunt(tbqlSrc string, exhaustive bool) ([]FuzzyAlignment, e
 		out = append(out, fa)
 	}
 	return out, nil
+}
+
+// Incidents returns the tactical layer's ranked incident list (empty
+// without Options.Rules or before any live ingestion). It takes no lock
+// against ingestion.
+func (s *System) Incidents() ([]tactical.Incident, error) {
+	if s.opts.Rules == nil {
+		return nil, stream.ErrTacticalDisabled
+	}
+	live, err := s.Live()
+	if err != nil {
+		return nil, err
+	}
+	return live.Incidents(), nil
+}
+
+// WatchIncidents subscribes to per-round incident updates from the live
+// tactical layer. buf is the channel capacity (<=0: session default).
+func (s *System) WatchIncidents(buf int) (*stream.IncidentSub, error) {
+	if s.opts.Rules == nil {
+		return nil, stream.ErrTacticalDisabled
+	}
+	live, err := s.Live()
+	if err != nil {
+		return nil, err
+	}
+	return live.WatchIncidents(buf)
+}
+
+// TacticalStats reports the tactical layer's lifetime totals (zeros when
+// the layer is disabled or the live session was never created).
+func (s *System) TacticalStats() tactical.Stats {
+	if s.live == nil {
+		return tactical.Stats{}
+	}
+	return s.live.TacticalStats()
+}
+
+// Analyze runs the tactical pipeline one-shot over the loaded store:
+// every stored event is tagged against the rule set and the resulting
+// incidents are ranked. It is the batch counterpart of the live layer
+// (same analyzer, one round over the whole snapshot).
+func (s *System) Analyze(set *rules.Set) ([]tactical.Incident, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("threatraptor: no audit log loaded")
+	}
+	return tactical.Analyze(s.store.Snapshot(), tactical.Config{Rules: set}), nil
 }
