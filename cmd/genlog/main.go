@@ -29,6 +29,9 @@ func main() {
 		for _, c := range cases.All() {
 			fmt.Printf("%-24s %s\n", c.ID, c.Name)
 		}
+		for _, c := range cases.Extras() {
+			fmt.Printf("%-24s %s (extra, not in Table IV)\n", c.ID, c.Name)
+		}
 		return
 	}
 	c := cases.ByID(*caseID)
@@ -37,17 +40,11 @@ func main() {
 	}
 	// Re-simulate to obtain the raw record stream (GenerateRaw parses; here
 	// the wire lines themselves are wanted).
-	sim := audit.NewSimulator(c.Seed, 1_700_000_000_000_000)
-	benign := int(float64(c.BenignActions) * *scale)
-	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign / 2})
-	sim.Advance(5_000_000)
-	c.Attack(sim)
-	sim.Advance(5_000_000)
-	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign - benign/2})
+	records, _, _ := c.Simulate(*scale)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	if err := audit.WriteRecords(w, sim.Records()); err != nil {
+	if err := audit.WriteRecords(w, records); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -55,6 +55,8 @@ func main() {
 	huntQueueTimeout := flag.Duration("hunt-queue-timeout", 0, "how long a hunt queues for a slot when -max-hunts is reached")
 	rulesPath := flag.String("rules", "", "detection rule file (JSON) enabling the tactical layer")
 	showIncidents := flag.Bool("incidents", false, "print ranked tactical incidents (requires -rules)")
+	shards := flag.Int("shards", 0, "partition the store into N shards with scatter-gather hunts (0/1 = single store)")
+	partitionBy := flag.String("partition-by", "host", "shard key: host, time, or hash (with -shards)")
 	flag.Parse()
 
 	var ruleSet *rules.Set
@@ -73,6 +75,8 @@ func main() {
 	opts.MaxConcurrentHunts = *maxHunts
 	opts.HuntQueueTimeout = *huntQueueTimeout
 	opts.Rules = ruleSet
+	opts.Shards = *shards
+	opts.PartitionBy = *partitionBy
 	sys := threatraptor.New(opts)
 
 	ctx := context.Background()

@@ -47,6 +47,10 @@ type File struct {
 	Path  string // directory part of Name
 	User  string
 	Group string
+	// Host names the machine the file lives on; empty on single-host
+	// logs. A non-empty host joins the file's identity — /etc/passwd on
+	// hostA and /etc/passwd on hostB are different entities.
+	Host string
 }
 
 // Process holds the attributes of a process entity (paper Table II).
@@ -56,6 +60,10 @@ type Process struct {
 	User    string
 	Group   string
 	CMD     string // full command line
+	// Host names the machine the process runs on; empty on single-host
+	// logs. Like File.Host it joins the identity, so PID collisions
+	// across machines never merge.
+	Host string
 }
 
 // NetConn holds the attributes of a network connection entity (paper
@@ -85,8 +93,14 @@ type Entity struct {
 func (e *Entity) Key() string {
 	switch e.Kind {
 	case EntityFile:
+		if e.File.Host != "" {
+			return "f:" + e.File.Host + "|" + e.File.Name
+		}
 		return "f:" + e.File.Name
 	case EntityProcess:
+		if e.Proc.Host != "" {
+			return "p:" + e.Proc.Host + "|" + e.Proc.ExeName + "#" + strconv.Itoa(e.Proc.PID)
+		}
 		return "p:" + e.Proc.ExeName + "#" + strconv.Itoa(e.Proc.PID)
 	case EntityNetConn:
 		n := e.Net
@@ -112,6 +126,8 @@ func (e *Entity) Attr(name string) (string, bool) {
 			return e.File.User, true
 		case "group":
 			return e.File.Group, true
+		case "host":
+			return e.File.Host, true
 		}
 	case EntityProcess:
 		switch name {
@@ -125,6 +141,8 @@ func (e *Entity) Attr(name string) (string, bool) {
 			return e.Proc.Group, true
 		case "cmd":
 			return e.Proc.CMD, true
+		case "host":
+			return e.Proc.Host, true
 		}
 	case EntityNetConn:
 		switch name {
@@ -159,14 +177,28 @@ func DefaultAttr(k EntityKind) string {
 	}
 }
 
+// Host returns the host the entity belongs to ("" for host-less entities:
+// network connections, which are shared identities across hosts, and
+// entities from single-host logs that never set one).
+func (e *Entity) Host() string {
+	switch e.Kind {
+	case EntityFile:
+		return e.File.Host
+	case EntityProcess:
+		return e.Proc.Host
+	default:
+		return ""
+	}
+}
+
 // HasAttr reports whether the entity kind carries the named attribute.
 func HasAttr(k EntityKind, name string) bool {
 	var attrs []string
 	switch k {
 	case EntityFile:
-		attrs = []string{"name", "path", "user", "group"}
+		attrs = []string{"name", "path", "user", "group", "host"}
 	case EntityProcess:
-		attrs = []string{"pid", "exename", "user", "group", "cmd"}
+		attrs = []string{"pid", "exename", "user", "group", "cmd", "host"}
 	case EntityNetConn:
 		attrs = []string{"srcip", "srcport", "dstip", "dstport", "protocol"}
 	}
@@ -190,8 +222,14 @@ func (e *Entity) String() string {
 // record of a long-running stream after warm-up — costs two hash lookups
 // and zero allocations.
 type procKey struct {
-	exe string
-	pid int
+	exe  string
+	pid  int
+	host string
+}
+
+type fileKey struct {
+	name string
+	host string
 }
 
 type netKey struct {
@@ -209,7 +247,7 @@ type EntityTable struct {
 	byID  map[int64]*Entity
 	// Typed identity maps, maintained alongside byKey (see procKey).
 	byProc map[procKey]*Entity
-	byFile map[string]*Entity
+	byFile map[fileKey]*Entity
 	byNet  map[netKey]*Entity
 	next   int64
 	// dense holds the entities in ID order at offset ID-1 (IDs are assigned
@@ -225,7 +263,7 @@ func NewEntityTable() *EntityTable {
 		byKey:  make(map[string]*Entity),
 		byID:   make(map[int64]*Entity),
 		byProc: make(map[procKey]*Entity),
-		byFile: make(map[string]*Entity),
+		byFile: make(map[fileKey]*Entity),
 		byNet:  make(map[netKey]*Entity),
 		next:   1,
 	}
@@ -247,9 +285,9 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	t.dense = append(t.dense, e)
 	switch e.Kind {
 	case EntityProcess:
-		t.byProc[procKey{e.Proc.ExeName, e.Proc.PID}] = e
+		t.byProc[procKey{e.Proc.ExeName, e.Proc.PID, e.Proc.Host}] = e
 	case EntityFile:
-		t.byFile[e.File.Name] = e
+		t.byFile[fileKey{e.File.Name, e.File.Host}] = e
 	case EntityNetConn:
 		n := e.Net
 		t.byNet[netKey{n.SrcIP, n.SrcPort, n.DstIP, n.DstPort, n.Protocol}] = e
@@ -257,21 +295,35 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	return e
 }
 
-// InternProcess interns a process entity, allocating nothing when the
-// process is already known — the parser's per-record hot path.
+// InternProcess interns a host-less process entity, allocating nothing
+// when the process is already known — the parser's per-record hot path.
 func (t *EntityTable) InternProcess(pid int, exe, user, group, cmd string) *Entity {
-	if e, ok := t.byProc[procKey{exe, pid}]; ok {
-		return e
-	}
-	return t.Intern(NewProcessEntity(pid, exe, user, group, cmd))
+	return t.InternProcessOn("", pid, exe, user, group, cmd)
 }
 
-// InternFile is InternProcess for file entities.
-func (t *EntityTable) InternFile(name, user, group string) *Entity {
-	if e, ok := t.byFile[name]; ok {
+// InternProcessOn is InternProcess with the process pinned to a host.
+func (t *EntityTable) InternProcessOn(host string, pid int, exe, user, group, cmd string) *Entity {
+	if e, ok := t.byProc[procKey{exe, pid, host}]; ok {
 		return e
 	}
-	return t.Intern(NewFileEntity(name, user, group))
+	e := NewProcessEntity(pid, exe, user, group, cmd)
+	e.Proc.Host = host
+	return t.Intern(e)
+}
+
+// InternFile is InternProcess for host-less file entities.
+func (t *EntityTable) InternFile(name, user, group string) *Entity {
+	return t.InternFileOn("", name, user, group)
+}
+
+// InternFileOn is InternFile with the file pinned to a host.
+func (t *EntityTable) InternFileOn(host, name, user, group string) *Entity {
+	if e, ok := t.byFile[fileKey{name, host}]; ok {
+		return e
+	}
+	e := NewFileEntity(name, user, group)
+	e.File.Host = host
+	return t.Intern(e)
 }
 
 // InternNetConn is InternProcess for network connection entities.

@@ -50,8 +50,11 @@ func (p *Parser) Feed(r *Record) error {
 		return nil
 	}
 	// The typed intern paths allocate nothing when the entity is already
-	// known — the steady state of a long-running stream.
-	subj := p.log.Entities.InternProcess(r.PID, r.Exe, r.User, r.Group, r.CMD)
+	// known — the steady state of a long-running stream. The record's host
+	// (empty on single-host logs) joins process and file identity; network
+	// connections stay host-less so a connect on one machine and the
+	// matching accept on another intern the same entity.
+	subj := p.log.Entities.InternProcessOn(r.Host, r.PID, r.Exe, r.User, r.Group, r.CMD)
 
 	var obj *Entity
 	switch r.FD {
@@ -59,7 +62,7 @@ func (p *Parser) Feed(r *Record) error {
 		if r.Path == "" {
 			return fmt.Errorf("audit: file record missing path: %+v", r)
 		}
-		obj = p.log.Entities.InternFile(r.Path, r.User, r.Group)
+		obj = p.log.Entities.InternFileOn(r.Host, r.Path, r.User, r.Group)
 	case FDProc:
 		if r.ChildPID == 0 && r.Call != SysExit {
 			return fmt.Errorf("audit: process record missing child pid: %+v", r)
@@ -68,7 +71,7 @@ func (p *Parser) Feed(r *Record) error {
 		if r.Call == SysExit {
 			cexe, cpid = r.Exe, r.PID
 		}
-		obj = p.log.Entities.InternProcess(cpid, cexe, r.User, r.Group, r.ChildCMD)
+		obj = p.log.Entities.InternProcessOn(r.Host, cpid, cexe, r.User, r.Group, r.ChildCMD)
 	case FDIPv4:
 		obj = p.log.Entities.InternNetConn(r.SrcIP, r.SrcPort, r.DstIP, r.DstPort, r.Proto)
 	default:

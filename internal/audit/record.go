@@ -41,7 +41,14 @@ const (
 // agent (the Sysdig/Linux-Audit stand-in). It is a flat key=value line on
 // the wire; see ParseRecord.
 type Record struct {
-	Time    int64   // µs since epoch
+	Time int64 // µs since epoch
+	// Host names the machine the record was captured on. Empty for
+	// single-host agents (the historical wire format); agents in a fleet
+	// stamp every record so entities from different machines stay
+	// distinct. Network connections are identified by their 5-tuple alone,
+	// which is what lets a connect on one host and the matching accept on
+	// another meet at the same entity.
+	Host    string
 	Call    Syscall // monitored system call
 	PID     int     // acting process id
 	Exe     string  // acting process executable
@@ -68,6 +75,9 @@ type Record struct {
 func (r *Record) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ts=%d call=%s pid=%d exe=%s", r.Time, r.Call, r.PID, quoteIfNeeded(r.Exe))
+	if r.Host != "" {
+		fmt.Fprintf(&b, " host=%s", quoteIfNeeded(r.Host))
+	}
 	if r.User != "" {
 		fmt.Fprintf(&b, " user=%s", r.User)
 	}
@@ -142,6 +152,8 @@ func ParseRecord(line string) (Record, error) {
 		switch key {
 		case "ts":
 			r.Time, err = strconv.ParseInt(val, 10, 64)
+		case "host":
+			r.Host = val
 		case "call":
 			r.Call = Syscall(val)
 		case "pid":

@@ -60,17 +60,20 @@ func (s *Simulator) emit(r Record) {
 	s.step()
 }
 
-// Proc describes the acting process for simulated actions.
+// Proc describes the acting process for simulated actions. Host is the
+// machine the process runs on; empty emits the historical single-host
+// wire format.
 type Proc struct {
 	PID   int
 	Exe   string
 	User  string
 	Group string
 	CMD   string
+	Host  string
 }
 
 func (s *Simulator) base(p Proc, call Syscall, fd FDType) Record {
-	return Record{Call: call, PID: p.PID, Exe: p.Exe, User: p.User, Group: p.Group, CMD: p.CMD, FD: fd}
+	return Record{Call: call, PID: p.PID, Exe: p.Exe, User: p.User, Group: p.Group, CMD: p.CMD, FD: fd, Host: p.Host}
 }
 
 // chunks splits total bytes into per-syscall amounts of at most ChunkSize.
@@ -182,6 +185,10 @@ type BenignConfig struct {
 	Users     int   // number of simulated users; default 15
 	Actions   int   // number of benign logical actions to emit
 	MeanGapUS int64 // mean gap between logical actions; default 3000µs
+	// Hosts, when non-empty, stamps each user's activity with a fleet
+	// host (users are spread across hosts round-robin); empty keeps the
+	// historical single-host (host-less) wire format.
+	Hosts []string
 }
 
 var benignExes = []string{
@@ -220,6 +227,9 @@ func (s *Simulator) GenerateBenign(cfg BenignConfig) {
 			Group: "staff",
 			CMD:   exe,
 		}
+		if len(cfg.Hosts) > 0 {
+			p.Host = cfg.Hosts[uid%len(cfg.Hosts)]
+		}
 		dir := fmt.Sprintf(benignDirs[s.rng.Intn(len(benignDirs))], user)
 		file := dir + "/" + benignFileNames[s.rng.Intn(len(benignFileNames))]
 		switch s.rng.Intn(10) {
@@ -228,7 +238,7 @@ func (s *Simulator) GenerateBenign(cfg BenignConfig) {
 		case 4, 5, 6: // write a file
 			s.WriteFile(p, file, int64(1+s.rng.Intn(8))*2048)
 		case 7: // run a tool
-			child := Proc{PID: p.PID + 1 + s.rng.Intn(20), Exe: benignExes[s.rng.Intn(len(benignExes))], User: user, Group: "staff"}
+			child := Proc{PID: p.PID + 1 + s.rng.Intn(20), Exe: benignExes[s.rng.Intn(len(benignExes))], User: user, Group: "staff", Host: p.Host}
 			child.CMD = child.Exe
 			s.StartProcess(p, child)
 		case 8: // fetch something over the network

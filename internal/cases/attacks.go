@@ -180,3 +180,61 @@ func vpnFilter() *Case {
 		},
 	}
 }
+
+// lateralMovement is a two-host fleet scenario (not part of the paper's
+// Table IV benchmark — see Extras): an attacker on host-a steals an SSH
+// key, pivots to host-b over an SSH session, and exfiltrates a database
+// from host-b. The two halves of the pivot meet at a single NetConn
+// entity (the 5-tuple is host-agnostic), which is what lets a fleet-wide
+// hunt join the connect on host-a with the receive on host-b even when
+// the store is sharded by host.
+func lateralMovement() *Case {
+	const report = `The attacker first compromised workstation host-a and used /bin/bash to read the administrator SSH private key /home/admin/.ssh/id_rsa. Using the stolen key, the attacker launched /usr/bin/ssh to connect to the database server 10.0.0.12. On the server, /usr/sbin/sshd accepted the session and started an interactive /bin/bash shell for the attacker. The shell read /etc/passwd to enumerate accounts. Finally, the attacker used /usr/bin/scp to read the payroll database /var/db/payroll.db and connect to the external drop host 203.0.113.50, leaking the database contents.`
+
+	bash := audit.Proc{PID: 9000, Exe: "/bin/bash", User: "admin", Group: "staff", Host: "host-a"}
+	ssh := audit.Proc{PID: 9001, Exe: "/usr/bin/ssh", User: "admin", Group: "staff", CMD: "ssh admin@10.0.0.12", Host: "host-a"}
+	sshd := audit.Proc{PID: 9100, Exe: "/usr/sbin/sshd", User: "root", Group: "root", Host: "host-b"}
+	shell := audit.Proc{PID: 9101, Exe: "/bin/bash", User: "admin", Group: "staff", Host: "host-b"}
+	scp := audit.Proc{PID: 9102, Exe: "/usr/bin/scp", User: "admin", Group: "staff", Host: "host-b"}
+
+	return &Case{
+		ID:     "lateral_movement",
+		Name:   "Cross-Host Lateral Movement and Database Exfiltration",
+		Report: report,
+		Entities: []string{
+			"/bin/bash", "/home/admin/.ssh/id_rsa", "/usr/bin/ssh",
+			"10.0.0.12", "/usr/sbin/sshd", "/etc/passwd",
+			"/usr/bin/scp", "/var/db/payroll.db", "203.0.113.50",
+		},
+		Relations: []Relation{
+			{"/bin/bash", "read", "/home/admin/.ssh/id_rsa"},
+			{"/usr/bin/ssh", "connect", "10.0.0.12"},
+			{"/usr/sbin/sshd", "start", "/bin/bash"},
+			{"/bin/bash", "read", "/etc/passwd"},
+			{"/usr/bin/scp", "read", "/var/db/payroll.db"},
+			{"/usr/bin/scp", "connect", "203.0.113.50"},
+		},
+		BenignActions: 1000,
+		BenignHosts:   []string{"host-a", "host-b"},
+		Seed:          109,
+		Attack: func(sim *audit.Simulator) {
+			// Host-a: credential theft and pivot. The connect (host-a)
+			// and receive (host-b) share one 5-tuple, so they resolve to
+			// the same NetConn entity across hosts.
+			sim.ReadFile(bash, "/home/admin/.ssh/id_rsa", 3_200)
+			sim.Advance(2_000_000)
+			sim.Connect(ssh, "10.0.0.11", 47200, "10.0.0.12", 22, "tcp")
+			sim.Send(ssh, "10.0.0.11", 47200, "10.0.0.12", 22, "tcp", 4_096)
+			sim.Advance(500_000)
+			// Host-b: session accept, interactive shell, exfiltration.
+			sim.Receive(sshd, "10.0.0.11", 47200, "10.0.0.12", 22, "tcp", 4_096)
+			sim.StartProcess(sshd, shell)
+			sim.Advance(2_000_000)
+			sim.ReadFile(shell, "/etc/passwd", 3_000)
+			sim.Advance(2_000_000)
+			sim.ReadFile(scp, "/var/db/payroll.db", 48_000)
+			sim.Connect(scp, "10.0.0.12", 51310, "203.0.113.50", 443, "tcp")
+			sim.Send(scp, "10.0.0.12", 51310, "203.0.113.50", 443, "tcp", 48_000)
+		},
+	}
+}

@@ -46,6 +46,10 @@ type Case struct {
 	// BenignActions scales the benign background noise generated around
 	// the attack (split half before, half after).
 	BenignActions int
+	// BenignHosts, when non-empty, spreads the benign noise across these
+	// fleet hosts (multi-host cases); empty keeps the historical
+	// single-host (host-less) wire format.
+	BenignHosts []string
 	// Seed drives the deterministic simulator.
 	Seed int64
 	// Attack plants the malicious system events.
@@ -60,29 +64,37 @@ type GeneratedLog struct {
 	AttackEventIDs []int64
 }
 
-// GenerateRaw builds the case's audit log without data reduction: benign
-// noise, the attack, more benign noise, parsing. It returns the parsed log
-// plus the set of attack step keys (subject|op|object triples), which
-// survive reduction unchanged. scale multiplies the benign volume.
-func (c *Case) GenerateRaw(scale float64) (*audit.Log, map[string]bool, error) {
+// Simulate replays the case on a fresh simulator — benign noise, the
+// attack, more benign noise — and returns the raw record stream plus the
+// half-open index range [attackStart, attackEnd) of the attack's records.
+// scale multiplies the benign volume.
+func (c *Case) Simulate(scale float64) (recs []audit.Record, attackStart, attackEnd int) {
 	if scale <= 0 {
 		scale = 1
 	}
 	sim := audit.NewSimulator(c.Seed, 1_700_000_000_000_000)
 	benign := int(float64(c.BenignActions) * scale)
-	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign / 2})
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign / 2, Hosts: c.BenignHosts})
 	sim.Advance(5_000_000)
 
-	attackStart := len(sim.Records())
+	attackStart = len(sim.Records())
 	c.Attack(sim)
-	attackEnd := len(sim.Records())
+	attackEnd = len(sim.Records())
 
 	sim.Advance(5_000_000)
-	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign - benign/2})
+	sim.GenerateBenign(audit.BenignConfig{Users: 15, Actions: benign - benign/2, Hosts: c.BenignHosts})
+	return sim.Records(), attackStart, attackEnd
+}
 
+// GenerateRaw builds the case's audit log without data reduction: benign
+// noise, the attack, more benign noise, parsing. It returns the parsed log
+// plus the set of attack step keys (subject|op|object triples), which
+// survive reduction unchanged. scale multiplies the benign volume.
+func (c *Case) GenerateRaw(scale float64) (*audit.Log, map[string]bool, error) {
+	records, attackStart, attackEnd := c.Simulate(scale)
 	parser := audit.NewParser()
 	attackKeys := make(map[string]bool)
-	for i, r := range sim.Records() {
+	for i, r := range records {
 		if err := parser.Feed(&r); err != nil {
 			return nil, nil, err
 		}
@@ -134,9 +146,21 @@ func All() []*Case {
 	}
 }
 
-// ByID returns the named case, or nil.
+// Extras returns additional demonstration cases that are not part of the
+// paper's Table IV benchmark (and so are excluded from All() and its
+// Table V scoring), but are reachable through ByID and cmd/genlog.
+func Extras() []*Case {
+	return []*Case{lateralMovement()}
+}
+
+// ByID returns the named case (benchmark or extra), or nil.
 func ByID(id string) *Case {
 	for _, c := range All() {
+		if c.ID == id {
+			return c
+		}
+	}
+	for _, c := range Extras() {
 		if c.ID == id {
 			return c
 		}

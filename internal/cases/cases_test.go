@@ -169,3 +169,35 @@ func ExampleByID() {
 	fmt.Println(c.Name)
 	// Output: Data Leakage After Shellshock Penetration
 }
+
+// ExampleCase_Simulate shows the multi-host extra case: the pivot's
+// connect and receive happen on different hosts but share one NetConn
+// 5-tuple, which is the edge a fleet-wide (sharded) hunt joins across.
+func ExampleCase_Simulate() {
+	c := ByID("lateral_movement")
+	records, start, end := c.Simulate(0) // 0 = default scale
+	hosts := map[string]bool{}
+	for _, r := range records {
+		hosts[r.Host] = true
+	}
+	fmt.Println("hosts:", len(hosts), "attack records:", end-start)
+	// Output: hosts: 2 attack records: 32
+}
+
+func TestExtrasNotInAll(t *testing.T) {
+	ids := map[string]bool{}
+	for _, c := range All() {
+		ids[c.ID] = true
+	}
+	for _, c := range Extras() {
+		if ids[c.ID] {
+			t.Errorf("extra case %q must not be in All() (Table IV/V fidelity)", c.ID)
+		}
+		if got := ByID(c.ID); got == nil || got.ID != c.ID {
+			t.Errorf("ByID(%q) must find the extra case", c.ID)
+		}
+		if _, err := c.Generate(0.25); err != nil {
+			t.Errorf("extra case %q Generate: %v", c.ID, err)
+		}
+	}
+}

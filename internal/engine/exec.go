@@ -65,6 +65,7 @@ type Engine struct {
 	viewDeltaMerges      atomic.Int64
 	viewFallbacks        atomic.Int64
 	viewCatchupSkips     atomic.Int64
+	viewWindowMigrations atomic.Int64
 	scratchPool          sync.Pool
 
 	// huntMu guards the parse/analyze cache keyed by TBQL source text, so
@@ -146,8 +147,13 @@ func (en *Engine) runPattern(ctx context.Context, a *tbql.Analyzed, plan *queryP
 			}
 			gp.Nodes = nb[:n]
 			if sp.delta > 0 && pp.ir.Path.HasEdgeVar {
+				// The graph executor's floor is a dense edge-arena offset,
+				// which equals the event ID only when the store holds the
+				// full 1..n ID space. A shard's sub-log has gaps, so the
+				// global event-ID floor translates through the snapshot's
+				// ID-ordered event slice (identity for dense stores).
 				gp.EdgeVar = "e"
-				gp.MinEdgeID = sp.delta
+				gp.MinEdgeID = snapEdgeFloor(sp.snap, sp.delta)
 			}
 			if sp.snap != nil {
 				gp.View = &sp.snap.Graph
@@ -306,6 +312,7 @@ func (en *Engine) execute(ctx context.Context, a *tbql.Analyzed, snap *Snapshot,
 		}
 		stats.Rel.RowsScanned += qs.RowsScanned
 		stats.Rel.IndexLookups += qs.IndexLookups
+		stats.Rel.HashJoinBuilds += qs.HashJoinBuilds
 		stats.Graph.NodesVisited += gs.NodesVisited
 		stats.Graph.EdgesTraversed += gs.EdgesTraversed
 		stats.Graph.IndexLookups += gs.IndexLookups
@@ -396,6 +403,7 @@ func (en *Engine) executeLevels(ctx context.Context, a *tbql.Analyzed, snap *Sna
 			}
 			stats.Rel.RowsScanned += o.rel.RowsScanned
 			stats.Rel.IndexLookups += o.rel.IndexLookups
+			stats.Rel.HashJoinBuilds += o.rel.HashJoinBuilds
 			stats.Graph.NodesVisited += o.gr.NodesVisited
 			stats.Graph.EdgesTraversed += o.gr.EdgesTraversed
 			stats.Graph.IndexLookups += o.gr.IndexLookups
@@ -496,6 +504,7 @@ func (en *Engine) executeDeltaRecompute(ctx context.Context, a *tbql.Analyzed, s
 		total.JoinBindings += stats.JoinBindings
 		total.Rel.RowsScanned += stats.Rel.RowsScanned
 		total.Rel.IndexLookups += stats.Rel.IndexLookups
+		total.Rel.HashJoinBuilds += stats.Rel.HashJoinBuilds
 		total.Graph.NodesVisited += stats.Graph.NodesVisited
 		total.Graph.EdgesTraversed += stats.Graph.EdgesTraversed
 		total.Graph.IndexLookups += stats.Graph.IndexLookups
@@ -637,6 +646,17 @@ func returnColumns(a *tbql.Analyzed) []string {
 // when one is given (concurrent executions must not probe the live intern
 // maps, which the writer mutates).
 func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, results []patternRows) (*Result, int, error) {
+	attrOf := en.Store.EntityAttr
+	if snap != nil {
+		attrOf = snap.EntityAttr
+	}
+	return joinRows(ctx, a, attrOf, results)
+}
+
+// joinRows is join with the attribute resolver abstracted: the sharded
+// coordinator joins merged pattern rows with its global snapshot's
+// resolver through the same code path (see JoinPatternRows).
+func joinRows(ctx context.Context, a *tbql.Analyzed, attrOf func(id int64, attr string) relational.Value, results []patternRows) (*Result, int, error) {
 	q := a.Query
 	rs := &relational.ResultSet{Columns: returnColumns(a)}
 	matched := make(map[int64]bool)
@@ -678,10 +698,6 @@ func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, re
 	pattTimes := make(map[string][2]int64) // pattern ID -> start,end
 	pattEvent := make(map[string]int64)    // pattern ID -> event row ID
 
-	attrOf := en.Store.EntityAttr
-	if snap != nil {
-		attrOf = snap.EntityAttr
-	}
 	var resolveAttr func(c relational.ColRef) (relational.Value, error)
 	resolveAttr = func(c relational.ColRef) (relational.Value, error) {
 		id, ok := entityBind[c.Qualifier]
@@ -786,7 +802,7 @@ func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, re
 
 	runJoin := func() error {
 		if len(order) == 2 {
-			if ok, err := en.hashJoin2(q, results, order, bindRow, emit, checkCancel); ok {
+			if ok, err := hashJoin2(q, results, order, bindRow, emit, checkCancel); ok {
 				return err
 			}
 		}
@@ -828,7 +844,7 @@ func (en *Engine) join(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, re
 // the smaller side is indexed by its shared-variable values, the larger
 // side probes. Returns ok=false (and does nothing) when the patterns
 // share no entity variable — the cross-product walk handles that case.
-func (en *Engine) hashJoin2(q *tbql.Query, results []patternRows, order []int,
+func hashJoin2(q *tbql.Query, results []patternRows, order []int,
 	bindRow func(patternRows, [5]int64) (bool, func()), emit func() error,
 	checkCancel func() error) (bool, error) {
 

@@ -211,9 +211,11 @@ func (en *Engine) planFor(a *tbql.Analyzed, snap *Snapshot) *queryPlan {
 	if prev != nil {
 		// Bounds-epoch recompile: materialized views of window-insensitive
 		// patterns describe the same match set under the new plan, so they
-		// migrate instead of rematerializing; window-sensitive patterns'
-		// views are released (their match sets moved with the bounds). A
-		// fallen-back plan stays fallen back until DropViews re-arms it.
+		// migrate instead of rematerializing. Window-sensitive patterns'
+		// match sets moved with the bounds: LAST-window views slide —
+		// evict below the new lower bound, keep the frontier — and the
+		// remaining sensitive kinds are released. A fallen-back plan stays
+		// fallen back until DropViews re-arms it.
 		prev.viewMu.Lock()
 		p.viewsDisabled = prev.viewsDisabled
 		for i := range prev.pats {
@@ -222,7 +224,11 @@ func (en *Engine) planFor(a *tbql.Analyzed, snap *Snapshot) *queryPlan {
 				continue
 			}
 			if old.ir.Window().Sensitive() {
-				en.releaseViewRows(old.view.retained())
+				if mv := en.migrateSensitiveView(old, b); mv != nil {
+					p.pats[i].view = mv // LAST window: slide, don't rebuild
+				} else {
+					en.releaseViewRows(old.view.retained())
+				}
 			} else {
 				p.pats[i].view = old.view
 			}

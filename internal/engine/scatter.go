@@ -1,0 +1,192 @@
+package engine
+
+// This file is the engine's scatter surface: the exported pieces a
+// coordinator needs to run one query across several stores (see
+// internal/shard). A sharded execution keeps the whole scheduled plan —
+// pruning-score order, binding-set feed, final join — at the coordinator
+// and only scatters the per-pattern data queries, so each piece of the
+// single-store pipeline is exported at exactly that seam: ScatterPattern
+// runs one pattern against one pinned snapshot, JoinPatternRows folds the
+// merged per-pattern rows into complete bindings, and QueryMeta exposes
+// the routing-relevant shape (op mask, window, host pins) the coordinator
+// prunes shards with.
+
+import (
+	"context"
+	"sort"
+
+	"threatraptor/internal/qir"
+	"threatraptor/internal/relational"
+	"threatraptor/internal/tbql"
+)
+
+// PatternRows is one pattern's data-query result rows in exported form:
+// [event, subject, object, start, end] per row (only the subject/object
+// columns are meaningful when HasEvent is false — variable-length paths
+// bind no event).
+type PatternRows struct {
+	Idx      int
+	Rows     [][5]int64
+	HasEvent bool
+}
+
+// snapEdgeFloor translates a global event-ID delta floor into the
+// snapshot's dense edge-arena floor: edges are appended one per event in
+// ID order, so arena offset i (1-based) holds the snapshot's i-th event.
+// For a store holding the dense 1..n ID space this is the identity.
+func snapEdgeFloor(snap *Snapshot, delta int64) int64 {
+	if snap == nil || delta <= 0 {
+		return delta
+	}
+	i := sort.Search(len(snap.Events), func(i int) bool { return snap.Events[i].ID >= delta })
+	return int64(i) + 1
+}
+
+// ScatterPattern executes pattern idx of a against the pinned snapshot
+// with the given binding sets and delta floor — one shard's share of a
+// scattered data query. The snapshot must belong to this engine's store;
+// binding-set and delta parameters carry global entity and event IDs
+// (shards store global IDs, so no remapping happens anywhere).
+func (en *Engine) ScatterPattern(ctx context.Context, a *tbql.Analyzed, snap *Snapshot, idx int, subj, obj []int64, delta int64) (res PatternRows, stats Stats, err error) {
+	defer guard(a, &err)
+	plan := en.planFor(a, snap)
+	pr, qs, gs, err := en.runPattern(ctx, a, plan, idx, extrasSpec{subj: subj, obj: obj, delta: delta, snap: snap})
+	if err != nil {
+		return PatternRows{Idx: idx}, stats, err
+	}
+	stats.DataQueries = 1
+	stats.PatternRows = len(pr.rows)
+	stats.Rel = qs
+	stats.Graph = gs
+	return PatternRows{Idx: pr.idx, Rows: pr.rows, HasEvent: pr.hasEvent}, stats, nil
+}
+
+// JoinPatternRows combines per-pattern rows into complete bindings with
+// the engine's join (shared-entity identity, temporal and attribute
+// relations, return projection). attrOf resolves entity attributes; a
+// coordinator passes its global snapshot's resolver. results must hold
+// one entry per query pattern, indexed by pattern.
+func JoinPatternRows(ctx context.Context, a *tbql.Analyzed, attrOf func(id int64, attr string) relational.Value, results []PatternRows) (res *Result, joined int, err error) {
+	defer guard(a, &err)
+	inner := make([]patternRows, len(results))
+	for i, pr := range results {
+		inner[i] = patternRows{idx: pr.Idx, rows: pr.Rows, hasEvent: pr.HasEvent}
+	}
+	return joinRows(ctx, a, attrOf, inner)
+}
+
+// EmptyResult is the result of a conjunction short-circuited by a pattern
+// that matched nothing, shared with coordinators that schedule their own
+// scatter rounds.
+func EmptyResult(a *tbql.Analyzed) *Result { return emptyResult(a) }
+
+// ScheduleOrder returns the pruning-score pattern order for a — the same
+// order a single-store scheduled execution uses.
+func ScheduleOrder(a *tbql.Analyzed) []int {
+	var en Engine
+	return en.schedule(a)
+}
+
+// BindingSpec selects the scheduler's binding-set constraints for pattern
+// idx out of the accumulated binding map (sorted unique ID slices),
+// applying the engine's IN-list cap semantics. maxIn <= 0 selects the
+// default cap.
+func BindingSpec(a *tbql.Analyzed, idx int, bindings map[string][]int64, maxIn int) (subj, obj []int64) {
+	var en Engine
+	if maxIn > 0 {
+		en.MaxInList = maxIn
+	}
+	return en.bindingSpec(a.Query.Patterns[idx], bindings, en.maxIn())
+}
+
+// Narrow intersects the binding sets of pattern idx's subject and object
+// variables with the IDs seen in its rows — the coordinator-side binding
+// feed between scattered patterns.
+func Narrow(a *tbql.Analyzed, idx int, rows [][5]int64, bindings map[string][]int64, scratch *[]int64) {
+	p := a.Query.Patterns[idx]
+	narrow(bindings, p.Subject.ID, rows, 1, scratch)
+	narrow(bindings, p.Object.ID, rows, 2, scratch)
+}
+
+// ReturnColumns returns the query's projected column labels.
+func ReturnColumns(a *tbql.Analyzed) []string { return returnColumns(a) }
+
+// PatternMeta is the routing-relevant shape of one pattern: everything a
+// scatter coordinator needs to decide which shards the pattern's data
+// query can possibly match on.
+type PatternMeta struct {
+	// OpMask is the OR of the op-code bits the pattern's bound event can
+	// take (^0 when unconstrained); a shard whose stored ops don't
+	// intersect it cannot contribute a row.
+	OpMask uint32
+	// Window is the pattern's time window (nil = unwindowed). Resolve its
+	// bounds against the GLOBAL min/max; shards whose local time bounds
+	// miss the resolved range are pruned.
+	Window *qir.Window
+	// UsesGraph marks graph-lowered (path) patterns.
+	UsesGraph bool
+	// VarLen marks variable-length paths (MinLen/MaxLen != 1); their
+	// flows can cross arbitrarily many events, but each flow stays within
+	// one store's adjacency.
+	VarLen bool
+	// SubjHost / ObjHost are non-empty when an equality literal pins the
+	// subject / object entity to one host — a host-keyed partitioner then
+	// routes the pattern to that host's shard alone.
+	SubjHost string
+	ObjHost  string
+}
+
+// QueryMeta derives the per-pattern routing metadata for a query from
+// its lowered IR.
+func QueryMeta(a *tbql.Analyzed) []PatternMeta {
+	irs := tbql.Lower(a)
+	metas := make([]PatternMeta, len(irs))
+	for i, ir := range irs {
+		m := &metas[i]
+		m.OpMask = patternOpMask(ir)
+		m.Window = ir.Window()
+		m.UsesGraph = ir.UsesGraph()
+		if ir.Path != nil {
+			m.VarLen = ir.Path.MinLen != 1 || ir.Path.MaxLen != 1
+			m.SubjHost = hostEquality(ir.Path.SubjPred)
+			m.ObjHost = hostEquality(ir.Path.ObjPred)
+		} else if ir.Event != nil {
+			m.SubjHost = hostEquality(ir.Event.SubjPred)
+			m.ObjHost = hostEquality(ir.Event.ObjPred)
+		}
+	}
+	return metas
+}
+
+// hostEquality extracts the host a predicate pins its entity to with a
+// top-level `host = "literal"` conjunct ("" when it doesn't).
+func hostEquality(pred relational.Expr) string {
+	switch v := pred.(type) {
+	case relational.BinOp:
+		if v.Op == "and" {
+			if h := hostEquality(v.L); h != "" {
+				return h
+			}
+			return hostEquality(v.R)
+		}
+		if v.Op == "=" {
+			if h := hostEqSide(v.L, v.R); h != "" {
+				return h
+			}
+			return hostEqSide(v.R, v.L)
+		}
+	}
+	return ""
+}
+
+func hostEqSide(col, lit relational.Expr) string {
+	c, ok := col.(relational.ColRef)
+	if !ok || c.Column != "host" {
+		return ""
+	}
+	l, ok := lit.(relational.Lit)
+	if !ok || l.V.K != relational.KindString {
+		return ""
+	}
+	return l.V.S
+}

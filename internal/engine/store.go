@@ -95,6 +95,7 @@ func NewStore(log *audit.Log) (*Store, error) {
 		{Name: "dstip", Kind: relational.KindString},
 		{Name: "dstport", Kind: relational.KindInt},
 		{Name: "protocol", Kind: relational.KindString},
+		{Name: "host", Kind: relational.KindString},
 	})
 	if err != nil {
 		return nil, err
@@ -216,13 +217,17 @@ func NewStore(log *audit.Log) (*Store, error) {
 			return nil, err
 		}
 	}
-	s.nextEventID = int64(len(log.Events)) + 1
-	if len(log.Events) > 0 {
+	// Loaded logs usually carry the dense 1..n ID space, but a sharded
+	// store's partitions load ID-ordered sub-logs with gaps; the next ID
+	// and the op-bitmap batch anchor follow the actual IDs, not the count.
+	s.nextEventID = 1
+	if n := len(log.Events); n > 0 {
+		s.nextEventID = log.Events[n-1].ID + 1
 		var mask uint32
 		for i := range log.Events {
 			mask |= log.Events[i].Op.Bit()
 		}
-		s.opBatches = append(s.opBatches, batchOps{startID: 1, mask: mask})
+		s.opBatches = append(s.opBatches, batchOps{startID: log.Events[0].ID, mask: mask})
 	}
 	s.publishSnapshot()
 	return s, nil
@@ -241,12 +246,14 @@ func entityRow(e *audit.Entity, row []relational.Value) []relational.Value {
 		row[3] = relational.Str(e.File.Path)
 		row[4] = relational.Str(e.File.User)
 		row[5] = relational.Str(e.File.Group)
+		row[14] = relational.Str(e.File.Host)
 	case audit.EntityProcess:
 		row[6] = relational.Int(int64(e.Proc.PID))
 		row[7] = relational.Str(e.Proc.ExeName)
 		row[4] = relational.Str(e.Proc.User)
 		row[5] = relational.Str(e.Proc.Group)
 		row[8] = relational.Str(e.Proc.CMD)
+		row[14] = relational.Str(e.Proc.Host)
 	case audit.EntityNetConn:
 		row[9] = relational.Str(e.Net.SrcIP)
 		row[10] = relational.Int(int64(e.Net.SrcPort))
@@ -265,12 +272,14 @@ func entityProps(e *audit.Entity) graphdb.Props {
 		p["path"] = relational.Str(e.File.Path)
 		p["user"] = relational.Str(e.File.User)
 		p["group"] = relational.Str(e.File.Group)
+		p["host"] = relational.Str(e.File.Host)
 	case audit.EntityProcess:
 		p["pid"] = relational.Int(int64(e.Proc.PID))
 		p["exename"] = relational.Str(e.Proc.ExeName)
 		p["user"] = relational.Str(e.Proc.User)
 		p["group"] = relational.Str(e.Proc.Group)
 		p["cmd"] = relational.Str(e.Proc.CMD)
+		p["host"] = relational.Str(e.Proc.Host)
 	case audit.EntityNetConn:
 		p["srcip"] = relational.Str(e.Net.SrcIP)
 		p["srcport"] = relational.Int(int64(e.Net.SrcPort))

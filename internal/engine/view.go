@@ -12,16 +12,18 @@ package engine
 // sorted-ID binding intersection — instead of re-running their data
 // queries, which makes a standing-query round O(delta) end to end.
 //
-// Window-sensitive patterns (LAST/BEFORE/AFTER) rematerialize when the
-// store's bounds epoch moves, riding the existing plan-invalidation
-// machinery; window-insensitive views migrate across the recompile
-// untouched. Total materialized rows are capped by Engine.ViewHighWater:
+// Window-insensitive views migrate across a bounds-epoch recompile
+// untouched. Window-sensitive patterns ride the plan-invalidation
+// machinery: LAST windows slide their frontier — the old view keeps its
+// rows minus those below the new lower bound (see migrateSensitiveView) —
+// while BEFORE/AFTER windows rematerialize from scratch. Total materialized rows are capped by Engine.ViewHighWater:
 // a query that would exceed the cap falls back to the recompute path.
 
 import (
 	"context"
 	"sort"
 
+	"threatraptor/internal/qir"
 	"threatraptor/internal/relational"
 	"threatraptor/internal/tbql"
 )
@@ -45,6 +47,10 @@ type ViewStats struct {
 	// CatchupSkips counts catch-up data queries skipped because the
 	// delta's batch op bitmap didn't intersect the pattern's operations.
 	CatchupSkips int64
+	// WindowMigrations counts LAST-window views carried across a
+	// bounds-epoch recompile by sliding their frontier (evicting the rows
+	// that fell below the new lower bound) instead of rematerializing.
+	WindowMigrations int64
 }
 
 // Views reports the engine's materialized-view counters.
@@ -55,6 +61,7 @@ func (en *Engine) Views() ViewStats {
 		Fallbacks:        en.viewFallbacks.Load(),
 		CachedRows:       en.viewRows.Load(),
 		CatchupSkips:     en.viewCatchupSkips.Load(),
+		WindowMigrations: en.viewWindowMigrations.Load(),
 	}
 }
 
@@ -126,6 +133,52 @@ func (v *matView) indexRows(from int) {
 		v.subjIdx[r[1]] = append(v.subjIdx[r[1]], int32(i))
 		v.objIdx[r[2]] = append(v.objIdx[r[2]], int32(i))
 	}
+}
+
+// evictBelow drops rows whose bound event's start_time (row column 3)
+// fell below lo and rebuilds the positional indexes (row positions shift
+// with the compaction). Rows stay sorted by event ID. Returns how many
+// rows were evicted.
+func (v *matView) evictBelow(lo int64) int {
+	kept := v.rows[:0]
+	for _, r := range v.rows {
+		if r[3] >= lo {
+			kept = append(kept, r)
+		}
+	}
+	evicted := len(v.rows) - len(kept)
+	if evicted == 0 {
+		return 0
+	}
+	v.rows = kept
+	v.subjIdx, v.objIdx = nil, nil
+	v.indexRows(0)
+	return evicted
+}
+
+// migrateSensitiveView tries to carry a window-sensitive pattern's view
+// across a bounds-epoch recompile instead of releasing it for a full
+// rematerialization. Only LAST windows on event patterns qualify: in an
+// append-only store a LAST window slides monotonically — the upper bound
+// tracks the store max, which no retained row exceeds (every covered
+// event predates the old max), and the lower bound only ascends — so the
+// old rows minus those below the new lower bound are exactly the new
+// window's matches up to the old frontier, and the ordinary catch-up from
+// upTo covers the rest under the new bounds. BEFORE/AFTER windows (whose
+// sensitive bound is the store min/max edge) keep the conservative
+// release-and-rematerialize path, as do graph patterns, whose window
+// constrains the path's final hop rather than the row's own event.
+// Returns nil when the view cannot migrate.
+func (en *Engine) migrateSensitiveView(old *patternPlan, b timeBounds) *matView {
+	v := old.view
+	w := old.ir.Window()
+	if v == nil || v.upTo == 0 || w.Kind != qir.WindLast || old.usesGraph {
+		return nil
+	}
+	lo, _ := w.Bounds(b.min, b.max)
+	en.releaseViewRows(v.evictBelow(lo))
+	en.viewWindowMigrations.Add(1)
+	return v
 }
 
 // since returns the suffix of rows whose event ID is >= floor (no copy —
@@ -231,6 +284,7 @@ func (en *Engine) ensureViews(ctx context.Context, a *tbql.Analyzed, snap *Snaps
 		st.PatternRows += len(pr.rows)
 		st.Rel.RowsScanned += qs.RowsScanned
 		st.Rel.IndexLookups += qs.IndexLookups
+		st.Rel.HashJoinBuilds += qs.HashJoinBuilds
 		st.Graph.NodesVisited += gs.NodesVisited
 		st.Graph.EdgesTraversed += gs.EdgesTraversed
 		st.Graph.IndexLookups += gs.IndexLookups

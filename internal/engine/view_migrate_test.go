@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"threatraptor/internal/audit"
+)
+
+// TestLastWindowViewMigration pins the sliding-frontier migration for
+// LAST-window views: when an append moves the store's time bounds, the
+// view carries over (evicting only the rows that slid below the new lower
+// bound) instead of rematerializing, the delta results stay equal to the
+// recompute oracle at every step, and once the window slides past the
+// whole original timeline the retained rows drain back to the cap.
+func TestLastWindowViewMigration(t *testing.T) {
+	full, _ := dataLeakStore(t, 400)
+	live, floor := appendHalves(t, full)
+
+	// A LAST window that initially covers the entire timeline, with 10s
+	// of slack.
+	span := live.MaxTime - live.MinTime
+	durSec := span/1_000_000 + 10
+	durUS := durSec * 1_000_000
+	a := analyzed(t, fmt.Sprintf("last %d second\n%s", durSec, dataLeakTBQL))
+
+	viewEn := &Engine{Store: live}
+	recompEn := &Engine{Store: live, ViewHighWater: -1}
+
+	check := func(stage string, f int64) {
+		t.Helper()
+		got := deltaRows(t, viewEn, a, f)
+		want := deltaRows(t, recompEn, a, f)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s:\nviews     %v\nrecompute %v", stage, got, want)
+		}
+	}
+
+	check("initial round", floor)
+	vs := viewEn.Views()
+	if vs.Materializations == 0 || vs.CachedRows == 0 {
+		t.Fatalf("view path did not materialize: %+v", vs)
+	}
+	if vs.WindowMigrations != 0 {
+		t.Fatalf("no bounds move yet, but migrations = %d", vs.WindowMigrations)
+	}
+	matBefore, rowsBefore := vs.Materializations, vs.CachedRows
+
+	// Jump the store max by half the timeline: the window's lower bound
+	// lands mid-history and the early view rows must evict.
+	dummy := func(startUS int64) []audit.Event {
+		return []audit.Event{{
+			SubjectID: live.Log.Events[0].SubjectID,
+			ObjectID:  live.Log.Events[0].ObjectID,
+			Op:        live.Log.Events[0].Op,
+			StartTime: startUS,
+			EndTime:   startUS + 1,
+		}}
+	}
+	floor2 := live.NextEventID()
+	if err := live.AppendBatch(nil, dummy(live.MaxTime+span/2+10_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	check("after half-span slide", floor2)
+	vs = viewEn.Views()
+	if vs.WindowMigrations == 0 {
+		t.Fatalf("bounds moved but no LAST-window view migrated: %+v", vs)
+	}
+	if vs.Materializations != matBefore {
+		t.Fatalf("migration must not rematerialize: materializations %d -> %d",
+			matBefore, vs.Materializations)
+	}
+	if vs.CachedRows >= rowsBefore {
+		t.Fatalf("half the timeline slid out but cached rows grew: %d -> %d",
+			rowsBefore, vs.CachedRows)
+	}
+
+	// Slide the window entirely past the original timeline: every
+	// original match evicts, results go empty, and the view accounting
+	// drains with them.
+	floor3 := live.NextEventID()
+	if err := live.AppendBatch(nil, dummy(live.MaxTime+2*durUS)); err != nil {
+		t.Fatal(err)
+	}
+	check("after full slide", floor3)
+	vs = viewEn.Views()
+	if vs.Materializations != matBefore {
+		t.Fatalf("full slide rematerialized: %d -> %d", matBefore, vs.Materializations)
+	}
+	if res, _, err := viewEn.ExecuteDelta(nil, a, 1); err != nil {
+		t.Fatal(err)
+	} else if res.Set.Len() != 0 {
+		t.Fatalf("window past the attack still returned %d rows", res.Set.Len())
+	}
+}

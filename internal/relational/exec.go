@@ -31,6 +31,9 @@ func (e *PanicError) Error() string {
 type ExecStats struct {
 	RowsScanned  int // rows visited across all scans
 	IndexLookups int // hash index probes that replaced full scans
+	// HashJoinBuilds counts transient join hash tables built by the
+	// adaptive fallback (one full inner pass each; see hashjoin.go).
+	HashJoinBuilds int
 }
 
 // Query parses and executes a SELECT statement against db.
@@ -253,6 +256,7 @@ func (p *plan) runSharded(ctx context.Context, rs *ResultSet, stats *ExecStats, 
 		rs.Rows = append(rs.Rows, shards[i].rs.Rows...)
 		stats.RowsScanned += shards[i].stats.RowsScanned
 		stats.IndexLookups += shards[i].stats.IndexLookups
+		stats.HashJoinBuilds += shards[i].stats.HashJoinBuilds
 	}
 	return nil
 }
@@ -311,6 +315,12 @@ func (p *plan) walk(st *execState, sink *rowSink, lvl int, lo, hi int32) error {
 		}
 		return p.probe(st, sink, lvl, tbl, ia, key)
 	}
+	if hj := p.hashJoins[lvl]; hj != nil {
+		used, err := p.hashJoinLevel(st, sink, lvl, hj)
+		if used || err != nil {
+			return err
+		}
+	}
 	if len(p.floors[lvl]) > 0 {
 		if s := p.scanStart(&st.params, lvl); s > lo {
 			lo = s
@@ -347,6 +357,12 @@ func (p *plan) probe(st *execState, sink *rowSink, lvl int, tbl *Table, ia *inde
 	}
 	st.stats.IndexLookups++
 	st.stats.RowsScanned += len(pos)
+	return p.feedPositions(st, sink, lvl, pos)
+}
+
+// feedPositions runs a probe's candidate positions (from a hash index or
+// a join hash table) through the level's filters and descends.
+func (p *plan) feedPositions(st *execState, sink *rowSink, lvl int, pos []int32) error {
 	preds := p.levelPreds[lvl]
 	// Skip leading inactive predicates (pruned optional parameters).
 	for len(preds) > 0 && !preds[0].isActive(st) {

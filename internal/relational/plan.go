@@ -25,9 +25,13 @@ type plan struct {
 	// floors[lvl] holds the level's scan-floor conjuncts ("col >= bound"
 	// over an int column); the full-scan path starts at the binary-searched
 	// first in-range row when the column is ascending-sorted.
-	floors  [][]scanFloor
-	cols    []string
-	project projFn
+	floors [][]scanFloor
+	// hashJoins[lvl], set only on full-scanned levels with a usable join
+	// equality, is the level's adaptive hash-join candidate (see
+	// hashjoin.go).
+	hashJoins []*hashJoin
+	cols      []string
+	project   projFn
 
 	statePool sync.Pool
 }
@@ -124,6 +128,12 @@ type execState struct {
 	// pendErr carries a row-predicate error out of the append-only filter
 	// kernels; descend re-raises it before visiting any row.
 	pendErr error
+	// visits counts entries into each hash-join-candidate level this
+	// execution; hjTabs holds the tables built once the thresholds trip.
+	// Both are per-execution: the tables read snapshot-bound columns, so a
+	// pooled state must never carry one into the next execution.
+	visits []int32
+	hjTabs []*hashJoinTable
 	// ctx/done drive cooperative cancellation: done caches ctx.Done() so
 	// the checkpoint fast path is a nil compare when no context (or a
 	// never-cancelled one) is bound. tick amortizes the poll on the probe
@@ -176,9 +186,11 @@ func (p *plan) state() *execState {
 		return st
 	}
 	return &execState{
-		rows: make([]int32, len(p.tables)),
-		sels: make([][]int32, len(p.tables)),
-		tabs: make([]*Table, len(p.tables)),
+		rows:   make([]int32, len(p.tables)),
+		sels:   make([][]int32, len(p.tables)),
+		tabs:   make([]*Table, len(p.tables)),
+		visits: make([]int32, len(p.tables)),
+		hjTabs: make([]*hashJoinTable, len(p.tables)),
 	}
 }
 
@@ -207,6 +219,8 @@ func (p *plan) release(st *execState) {
 	st.params = Params{}
 	for i := range st.tabs {
 		st.tabs[i] = nil // do not pin a snapshot past the execution
+		st.visits[i] = 0
+		st.hjTabs[i] = nil // built over this execution's bound tables
 	}
 	st.ctx = nil
 	st.done = nil
@@ -389,6 +403,7 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 		levelPreds: make([][]levelPred, len(b.tables)),
 		access:     make([]*indexAccess, len(b.tables)),
 		floors:     make([][]scanFloor, len(b.tables)),
+		hashJoins:  make([]*hashJoin, len(b.tables)),
 	}
 	for lvl := range b.tables {
 		ia, err := b.planIndexAccess(lvl, levelExprs[lvl])
@@ -396,6 +411,11 @@ func (db *DB) plan(stmt *SelectStmt) (*plan, error) {
 			return nil, err
 		}
 		p.access[lvl] = ia
+		if ia == nil {
+			// No index serves this level: a join equality can still escape
+			// the per-binding full scan through the adaptive hash join.
+			p.hashJoins[lvl] = b.planHashJoin(lvl, levelExprs[lvl])
+		}
 		for _, e := range levelExprs[lvl] {
 			if f, ok := b.planScanFloor(lvl, e); ok {
 				p.floors[lvl] = append(p.floors[lvl], f)

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"threatraptor/internal/cases"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/tbql"
+)
+
+// lateralTBQL hunts the lateral_movement extra case across the fleet: the
+// ssh connect happens on host-a, the sshd receive and the scp exfil on
+// host-b, and the two halves of the pivot meet at the shared NetConn
+// entity (5-tuple identity is host-agnostic). Under ByHost partitioning
+// evt1 and evt2/evt3 live in different shards, so the temporal join is a
+// genuine cross-shard join through the global entity table.
+const lateralTBQL = `proc p1["%/usr/bin/ssh%"] connect ip i1["10.0.0.12"] as evt1
+proc p2["%/usr/sbin/sshd%"] receive ip i1 as evt2
+proc p3["%/usr/bin/scp%"] connect ip i2["203.0.113.50"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, i1, p2, p3, i2`
+
+func TestShardedLateralMovement(t *testing.T) {
+	c := cases.ByID("lateral_movement")
+	if c == nil {
+		t.Fatal("lateral_movement case missing (cases.Extras)")
+	}
+	gen, err := c.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tbql.Parse(lateralTBQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tbql.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := engine.NewStore(gen.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&engine.Engine{Store: ref}).Execute(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Rows) == 0 {
+		t.Fatal("unsharded hunt found no lateral-movement chain")
+	}
+	want := sortedRows(res.Set.Strings())
+
+	for _, n := range []int{2, 4} {
+		// The two fleet hosts must route to different partitions for the
+		// test to exercise a cross-shard join at all.
+		hp := hostPart{}
+		if hp.HostShard("host-a", n) == hp.HostShard("host-b", n) {
+			t.Fatalf("n=%d: host-a and host-b collide; pick another shard count", n)
+		}
+		sh, err := New(gen.Log, n, ByHost())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		populated := 0
+		for _, m := range sh.Metrics() {
+			if m.Events > 0 {
+				populated++
+			}
+		}
+		if populated < 2 {
+			t.Fatalf("n=%d: events landed in %d partitions, want >=2", n, populated)
+		}
+		sres, _, err := sh.Execute(nil, a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := sortedRows(sres.Set.Strings()); !reflect.DeepEqual(got, want) {
+			t.Errorf("n=%d rows differ from unsharded:\ngot  %v\nwant %v", n, got, want)
+		}
+		if !sameEventSet(sres.MatchedEvents, res.MatchedEvents) {
+			t.Errorf("n=%d matched %d events, unsharded %d",
+				n, len(sres.MatchedEvents), len(res.MatchedEvents))
+		}
+	}
+}

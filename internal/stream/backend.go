@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"context"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/tactical"
+	"threatraptor/internal/tbql"
+)
+
+// Backend is the storage-and-execution surface a Session drives: the
+// single engine store (the default, via New) or a sharded store
+// coordinator (internal/shard, via NewWithBackend). The session's own
+// logic — parsing, watermarked reduction, replay on failed appends,
+// standing-query dedup/quarantine, tactical rounds — is identical over
+// both; only where appends land and how queries execute differs.
+//
+// Writer methods (NextEventID, AppendBatch) are called under the
+// session's write lock and need no internal synchronization against each
+// other; the query methods must be safe to call concurrently with an
+// append, which both implementations get by pinning published snapshots.
+type Backend interface {
+	// GlobalStore returns the authoritative store: the store itself for
+	// the engine backend, the global (unsharded-equivalent) store for a
+	// sharded one. Snapshot readers (provenance, fuzzy, debug) use it.
+	GlobalStore() *engine.Store
+	// EntityTable is the shared entity intern table the session's parser
+	// writes into; entity IDs are global.
+	EntityTable() *audit.EntityTable
+	// NextEventID is the event-ID frontier (the next delta floor).
+	NextEventID() int64
+	// AppendBatch appends one sealed batch atomically (all stores move,
+	// or none).
+	AppendBatch(entities []*audit.Entity, events []audit.Event) error
+	// Hunt parses, analyzes, and executes TBQL source.
+	Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error)
+	// Execute runs an analyzed query (Watch's history seeding).
+	Execute(ctx context.Context, a *tbql.Analyzed) (*engine.Result, engine.Stats, error)
+	// ExecuteDelta evaluates a standing query against an appended delta.
+	ExecuteDelta(ctx context.Context, a *tbql.Analyzed, minEventID int64) (*engine.Result, engine.Stats, error)
+	// DropViews releases any per-query match caches (no-op backends ok).
+	DropViews(a *tbql.Analyzed)
+	// TacticalSource returns the tactical layer's view of current state;
+	// called after each successful append, under the write lock.
+	TacticalSource() tactical.Source
+	// SetViewHighWater applies Config.ViewHighWater (no-op backends ok).
+	SetViewHighWater(n int)
+}
+
+// engineBackend adapts the classic single store + engine pair.
+type engineBackend struct {
+	store *engine.Store
+	en    *engine.Engine
+}
+
+func (b engineBackend) GlobalStore() *engine.Store      { return b.store }
+func (b engineBackend) EntityTable() *audit.EntityTable { return b.store.Log.Entities }
+func (b engineBackend) NextEventID() int64              { return b.store.NextEventID() }
+func (b engineBackend) AppendBatch(entities []*audit.Entity, events []audit.Event) error {
+	return b.store.AppendBatch(entities, events)
+}
+func (b engineBackend) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
+	return b.en.Hunt(ctx, src)
+}
+func (b engineBackend) Execute(ctx context.Context, a *tbql.Analyzed) (*engine.Result, engine.Stats, error) {
+	return b.en.Execute(ctx, a)
+}
+func (b engineBackend) ExecuteDelta(ctx context.Context, a *tbql.Analyzed, minEventID int64) (*engine.Result, engine.Stats, error) {
+	return b.en.ExecuteDelta(ctx, a, minEventID)
+}
+func (b engineBackend) DropViews(a *tbql.Analyzed) { b.en.DropViews(a) }
+func (b engineBackend) TacticalSource() tactical.Source {
+	return tactical.SnapSource{Snap: b.store.Snapshot()}
+}
+func (b engineBackend) SetViewHighWater(n int) { b.en.ViewHighWater = n }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"threatraptor/internal/audit"
+	"threatraptor/internal/shard"
 	"threatraptor/internal/tactical"
 )
 
@@ -158,37 +159,52 @@ func BenchmarkTacticalRound(b *testing.B) {
 // but with the pre-loaded history scaled 1×→8×. Near-flat ns/op across
 // the sub-benchmarks is direct evidence that a delta round's cost depends
 // on the batch, not the store (the pre-view design re-ran every pattern's
-// data query per round, so its rounds grew linearly with history).
+// data query per round, so its rounds grew linearly with history). The
+// 8x-shardsN legs run the identical rounds against a sharded backend so
+// the per-round cost of scatter coordination is visible next to the
+// single-store number.
 func BenchmarkStandingQueryScale(b *testing.B) {
+	run := func(b *testing.B, mult int, sess *Session) {
+		recs := dataLeakRecords(b, 0.25)
+		span := recs[len(recs)-1].Time - recs[0].Time + 10_000_000
+		buf := make([]audit.Record, 0, len(recs))
+		for i := 0; i < mult; i++ {
+			if _, err := sess.IngestRecords(shiftRecords(recs, buf, int64(i)*span)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sess.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Watch(dataLeakTBQL); err != nil {
+			b.Fatal(err)
+		}
+		template := recs[:64]
+		chunkSpan := template[len(template)-1].Time - template[0].Time + 10_000_000
+		base := sess.Store().MaxTime + 10_000_000 - template[0].Time
+		cbuf := make([]audit.Record, 0, len(template))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			chunk := shiftRecords(template, cbuf, base+int64(i)*chunkSpan)
+			if _, err := sess.IngestRecords(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	for _, mult := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("%dx", mult), func(b *testing.B) {
-			recs := dataLeakRecords(b, 0.25)
 			sess, _ := emptySession(b, Config{MatchBuffer: 16})
-			span := recs[len(recs)-1].Time - recs[0].Time + 10_000_000
-			buf := make([]audit.Record, 0, len(recs))
-			for i := 0; i < mult; i++ {
-				if _, err := sess.IngestRecords(shiftRecords(recs, buf, int64(i)*span)); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if _, err := sess.Flush(); err != nil {
+			run(b, mult, sess)
+		})
+	}
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("8x-shards%d", n), func(b *testing.B) {
+			sh, err := shard.New(audit.NewLog(), n, shard.ByHash())
+			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sess.Watch(dataLeakTBQL); err != nil {
-				b.Fatal(err)
-			}
-			template := recs[:64]
-			chunkSpan := template[len(template)-1].Time - template[0].Time + 10_000_000
-			base := sess.Store().MaxTime + 10_000_000 - template[0].Time
-			cbuf := make([]audit.Record, 0, len(template))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				chunk := shiftRecords(template, cbuf, base+int64(i)*chunkSpan)
-				if _, err := sess.IngestRecords(chunk); err != nil {
-					b.Fatal(err)
-				}
-			}
+			run(b, 8, NewWithBackend(sh, Config{MatchBuffer: 16}))
 		})
 	}
 }

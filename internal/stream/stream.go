@@ -173,9 +173,8 @@ type Session struct {
 	mu  sync.RWMutex
 	cfg Config
 
-	store  *engine.Store
-	engine *engine.Engine
-	parser *audit.Parser
+	backend Backend
+	parser  *audit.Parser
 	// parserLog shares the store's entity table but drains its events
 	// into the reducer; its event IDs are provisional.
 	parserLog *audit.Log
@@ -207,19 +206,25 @@ type Session struct {
 // be freshly empty or already loaded from a batch log; either way the
 // session appends to it in place.
 func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
+	return NewWithBackend(engineBackend{store: store, en: en}, cfg)
+}
+
+// NewWithBackend opens a live session over an arbitrary storage backend
+// (a sharded store coordinator, or the classic store+engine pair New
+// wraps). The session appends to the backend in place.
+func NewWithBackend(b Backend, cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	if cfg.ViewHighWater != 0 {
-		en.ViewHighWater = cfg.ViewHighWater
+		b.SetViewHighWater(cfg.ViewHighWater)
 	}
-	parserLog := &audit.Log{Entities: store.Log.Entities}
+	parserLog := &audit.Log{Entities: b.EntityTable()}
 	s := &Session{
 		cfg:          cfg,
-		store:        store,
-		engine:       en,
+		backend:      b,
 		parser:       audit.NewParserWith(parserLog),
 		parserLog:    parserLog,
 		reducer:      reduction.NewStreamer(reduction.Config{ThresholdUS: cfg.ReductionThresholdUS}, cfg.LatenessUS),
-		lastEntityID: store.Log.Entities.MaxID(),
+		lastEntityID: b.EntityTable().MaxID(),
 		subs:         make(map[int64]*Subscription),
 		incSubs:      make(map[int64]*IncidentSub),
 		readBuf:      make([]byte, 64*1024),
@@ -228,11 +233,11 @@ func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
 		s.tact = tactical.NewAnalyzer(cfg.Tactical)
 		// Adopt preloaded history: a store built before the session (batch
 		// log, -demo) holds events no round has seen. One catch-up round
-		// over the published snapshot tags them, so Incidents reflects the
+		// over the published state tags them, so Incidents reflects the
 		// whole store rather than only live-ingested batches.
-		if snap := store.Snapshot(); snap.NextEventID > 1 {
+		if src := b.TacticalSource(); src.Frontier() > 1 {
 			t0 := time.Now()
-			rs := s.tact.Round(snap, 1)
+			rs := s.tact.RoundOn(src, 1)
 			if cfg.OnTacticalRound != nil {
 				cfg.OnTacticalRound(time.Since(t0), rs)
 			}
@@ -241,8 +246,12 @@ func New(store *engine.Store, en *engine.Engine, cfg Config) *Session {
 	return s
 }
 
-// Store returns the live store (reads require no ingest in flight).
-func (s *Session) Store() *engine.Store { return s.store }
+// Store returns the live backend's authoritative store (reads require no
+// ingest in flight). For a sharded backend this is the global store.
+func (s *Session) Store() *engine.Store { return s.backend.GlobalStore() }
+
+// Backend returns the session's storage backend.
+func (s *Session) Backend() Backend { return s.backend }
 
 // ParseError reports malformed wire records encountered during an Ingest
 // that otherwise succeeded: the remaining lines were still parsed, the
@@ -345,7 +354,7 @@ func (s *Session) Close() error {
 	}
 	_, err := s.advanceLocked(true)
 	for id, sub := range s.subs {
-		s.engine.DropViews(sub.analyzed)
+		s.backend.DropViews(sub.analyzed)
 		close(sub.c)
 		delete(s.subs, id)
 	}
@@ -365,7 +374,7 @@ func (s *Session) Close() error {
 // torn prefix. The context cancels the hunt cooperatively; nil means no
 // cancellation.
 func (s *Session) Hunt(ctx context.Context, src string) (*engine.Result, engine.Stats, error) {
-	return s.engine.Hunt(ctx, src)
+	return s.backend.Hunt(ctx, src)
 }
 
 // advanceLocked moves parsed events through the reducer, appends whatever
@@ -394,30 +403,30 @@ func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
 		sealed = append(s.replay, sealed...)
 		s.replay = nil
 	}
-	newEntities := s.store.Log.Entities.Since(s.lastEntityID)
+	newEntities := s.backend.EntityTable().Since(s.lastEntityID)
 	st.EntitiesAdded = len(newEntities)
 
 	if len(sealed) > 0 || len(newEntities) > 0 {
-		deltaFloor := s.store.NextEventID()
-		if err := s.store.AppendBatch(newEntities, sealed); err != nil {
+		deltaFloor := s.backend.NextEventID()
+		if err := s.backend.AppendBatch(newEntities, sealed); err != nil {
 			// AppendBatch rolled back; stash the sealed events (the reducer
 			// no longer holds them) and leave lastEntityID where it was so
 			// the retry re-collects the same entity delta.
 			s.replay = sealed
 			return st, err
 		}
-		s.lastEntityID = s.store.Log.Entities.MaxID()
+		s.lastEntityID = s.backend.EntityTable().MaxID()
 		if len(sealed) > 0 {
 			s.batch++
 			st.Firings = s.fireLocked(deltaFloor)
 			if s.tact != nil {
 				// The tactical round runs strictly after the successful
-				// append, against the batch's published snapshot — never
+				// append, against the batch's published state — never
 				// inside AppendBatch, and never for a rolled-back batch
 				// (a failed append returns above and replays later, so
 				// the retried events are tagged exactly once).
 				t0 := time.Now()
-				rs := s.tact.Round(s.store.Snapshot(), deltaFloor)
+				rs := s.tact.RoundOn(s.backend.TacticalSource(), deltaFloor)
 				st.AlertsTagged = rs.Alerts
 				st.IncidentsOpen = rs.Incidents
 				if rs.Alerts > 0 {

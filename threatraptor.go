@@ -33,6 +33,7 @@ import (
 	"threatraptor/internal/provenance"
 	"threatraptor/internal/reduction"
 	"threatraptor/internal/rules"
+	"threatraptor/internal/shard"
 	"threatraptor/internal/stream"
 	"threatraptor/internal/synth"
 	"threatraptor/internal/tactical"
@@ -61,6 +62,18 @@ type Options struct {
 	// HuntQueueTimeout is how long a hunt waits for a slot when
 	// MaxConcurrentHunts is reached (zero: reject immediately when full).
 	HuntQueueTimeout time.Duration
+	// Shards partitions the store into N host/time/hash partitions with
+	// scatter-gather hunt execution (see internal/shard): pattern data
+	// queries route only to the partitions their window, operation, and
+	// host predicates can touch and run concurrently against per-shard
+	// snapshots, while the global store stays authoritative for
+	// variable-length paths, fuzzy search, and the tactical layer.
+	// 0 or 1 keeps the classic single store.
+	Shards int
+	// PartitionBy selects the sharding key: "hash" (event ID, the
+	// default), "host" (subject entity's host), or "time"/"time:<dur>"
+	// (start-time slices). Ignored unless Shards > 1.
+	PartitionBy string
 	// Rules is the compiled detection rule set for the tactical layer.
 	// When set, the live session tags rule-matching events per sealed
 	// batch and maintains ranked incidents (Incidents, WatchIncidents).
@@ -88,6 +101,10 @@ type System struct {
 	extractor *extract.Extractor
 	store     *engine.Store
 	engine    *engine.Engine
+	// shards is the sharded store coordinator (nil unless Options.Shards
+	// > 1); when set, store/engine alias its global store, so snapshot
+	// readers (fuzzy, tactical, explain) are unchanged.
+	shards *shard.Store
 	// live is the streaming ingestion session, created lazily by the
 	// first Ingest or Watch call. No read path locks against it: hunts,
 	// fuzzy search, explain, and incident listing all pin the engine's
@@ -127,6 +144,27 @@ func (s *System) LoadLog(log *audit.Log) error {
 		return fmt.Errorf("threatraptor: live ingestion active; the stream owns the store")
 	}
 	reduction.Reduce(log, reduction.Config{ThresholdUS: s.opts.ReductionThresholdUS})
+	return s.buildStore(log)
+}
+
+// buildStore constructs the storage layer over an already-reduced log:
+// the classic single store, or (Options.Shards > 1) the sharded
+// coordinator whose global store the façade's snapshot readers alias.
+func (s *System) buildStore(log *audit.Log) error {
+	if s.opts.Shards > 1 {
+		part, err := shard.ParsePartitioner(s.opts.PartitionBy)
+		if err != nil {
+			return err
+		}
+		sh, err := shard.New(log, s.opts.Shards, part)
+		if err != nil {
+			return err
+		}
+		s.shards = sh
+		s.store = sh.Global()
+		s.engine = &engine.Engine{Store: s.store}
+		return nil
+	}
 	store, err := engine.NewStore(log)
 	if err != nil {
 		return err
@@ -135,6 +173,10 @@ func (s *System) LoadLog(log *audit.Log) error {
 	s.engine = &engine.Engine{Store: store}
 	return nil
 }
+
+// ShardStore exposes the sharded store coordinator (nil unless
+// Options.Shards > 1): per-shard metrics, fan-out histogram.
+func (s *System) ShardStore() *shard.Store { return s.shards }
 
 // Live returns the streaming ingestion session, creating it on first use.
 // If an audit log was already loaded, the stream appends to that store;
@@ -146,19 +188,21 @@ func (s *System) Live() (*stream.Session, error) {
 		return s.live, nil
 	}
 	if s.store == nil {
-		store, err := engine.NewStore(audit.NewLog())
-		if err != nil {
+		if err := s.buildStore(audit.NewLog()); err != nil {
 			return nil, err
 		}
-		s.store = store
-		s.engine = &engine.Engine{Store: store}
 	}
-	s.live = stream.New(s.store, s.engine, stream.Config{
+	cfg := stream.Config{
 		ReductionThresholdUS: s.opts.ReductionThresholdUS,
 		LatenessUS:           s.opts.StreamLatenessUS,
 		Tactical:             tactical.Config{Rules: s.opts.Rules},
 		OnTacticalRound:      s.opts.OnTacticalRound,
-	})
+	}
+	if s.shards != nil {
+		s.live = stream.NewWithBackend(s.shards, cfg)
+	} else {
+		s.live = stream.New(s.store, s.engine, cfg)
+	}
 	return s.live, nil
 }
 
@@ -242,6 +286,9 @@ func (s *System) Hunt(ctx context.Context, tbqlSrc string) (*engine.Result, engi
 	defer release()
 	if s.live != nil {
 		return s.live.Hunt(ctx, tbqlSrc)
+	}
+	if s.shards != nil {
+		return s.shards.Hunt(ctx, tbqlSrc)
 	}
 	return s.engine.Hunt(ctx, tbqlSrc)
 }
