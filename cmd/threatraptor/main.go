@@ -14,6 +14,8 @@
 //	threatraptor -watch -log audit.log -report attack.txt   # live, synthesized
 //	threatraptor -log audit.log -rules rules.json -incidents  # tactical ranking
 //	threatraptor -watch -log audit.log -query hunt.tbql -rules rules.json -incidents
+//	threatraptor -data-dir dir -report attack.txt           # hunt a recovered store
+//	threatraptor -watch -log new.log -query h.tbql -data-dir dir  # durable live hunt
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"threatraptor"
 	"threatraptor/internal/cases"
 	"threatraptor/internal/rules"
+	"threatraptor/internal/segment"
 	"threatraptor/internal/stream"
 	"threatraptor/internal/tactical"
 )
@@ -57,6 +60,7 @@ func main() {
 	showIncidents := flag.Bool("incidents", false, "print ranked tactical incidents (requires -rules)")
 	shards := flag.Int("shards", 0, "partition the store into N shards with scatter-gather hunts (0/1 = single store)")
 	partitionBy := flag.String("partition-by", "host", "shard key: host, time, or hash (with -shards)")
+	dataDir := flag.String("data-dir", "", "durable data directory: recover persisted state on start (warm-start hunts need no -log) and persist live ingest")
 	flag.Parse()
 
 	var ruleSet *rules.Set
@@ -77,6 +81,16 @@ func main() {
 	opts.Rules = ruleSet
 	opts.Shards = *shards
 	opts.PartitionBy = *partitionBy
+	opts.DataDir = *dataDir
+
+	// A data dir with persisted state is the store: recover it instead of
+	// preloading over it (warm start). Watch mode keeps -log — that is the
+	// file to tail, not a preload.
+	warm := *dataDir != "" && segment.Exists(*dataDir)
+	if warm && !*watch && (*demo != "" || *logPath != "") {
+		log.Printf("data dir %s holds persisted state; ignoring -demo/-log and recovering it", *dataDir)
+		*demo, *logPath = "", ""
+	}
 	sys := threatraptor.New(opts)
 
 	ctx := context.Background()
@@ -97,6 +111,11 @@ func main() {
 		fmt.Println("--- standing query ---")
 		fmt.Println(query)
 		if err := runWatch(sys, *logPath, query, *poll, *watchIdle, ruleSet != nil, *showIncidents); err != nil {
+			log.Fatal(err)
+		}
+		// A durable session writes its final segment generation here; the
+		// next -data-dir run warm-starts from it.
+		if err := sys.Close(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -125,7 +144,7 @@ func main() {
 		fmt.Printf("case %s: %d entities, %d events (%d attack)\n",
 			c.ID, gen.Log.Stats().Entities, gen.Log.Stats().Events, len(gen.AttackEventIDs))
 	default:
-		if *reportPath == "" && !(*showIncidents && *logPath != "") {
+		if *reportPath == "" && !(*showIncidents && (*logPath != "" || warm)) {
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -136,7 +155,8 @@ func main() {
 			}
 			report = string(data)
 		}
-		if *logPath != "" {
+		switch {
+		case *logPath != "":
 			f, err := os.Open(*logPath)
 			if err != nil {
 				log.Fatal(err)
@@ -145,8 +165,26 @@ func main() {
 			if err := sys.LoadAuditLog(f); err != nil {
 				log.Fatal(err)
 			}
-		} else if !*synthOnly {
-			log.Fatal("-log is required unless -synthesize-only is set")
+		case warm:
+			// Warm start: the hunt runs over the recovered store.
+			if _, err := sys.Live(); err != nil {
+				log.Fatal(err)
+			}
+			rs := sys.RecoveryStats()
+			fmt.Printf("recovered %s: generation %d (%d segments), %d WAL records replayed\n",
+				*dataDir, rs.ManifestSeq, rs.Segments, rs.ReplayedRecords)
+		default:
+			if !*synthOnly {
+				log.Fatal("-log is required unless -synthesize-only is set or -data-dir holds persisted state")
+			}
+		}
+	}
+
+	if *dataDir != "" && !warm && !*synthOnly {
+		// Fresh data dir under a loaded store: open the durable session so
+		// the Close at exit persists it, seeding future warm starts.
+		if _, err := sys.Live(); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -208,6 +246,9 @@ func main() {
 		for _, al := range als {
 			fmt.Printf("score %.2f: %v (%d events)\n", al.Score, al.Entities, len(al.Events))
 		}
+		if err := sys.Close(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -224,6 +265,9 @@ func main() {
 	if stats.EmptyPatternID != "" {
 		fmt.Printf("note: pattern %s matched no events and emptied the conjunction;\n", stats.EmptyPatternID)
 		fmt.Println("      revise the query (remove/relax the pattern) or try -fuzzy")
+	}
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

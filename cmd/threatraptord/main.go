@@ -10,6 +10,8 @@
 //	threatraptord -addr :7834 -demo data_leak    # serve a built-in case
 //	threatraptord -addr :7834                    # start empty; POST /v1/ingest
 //	threatraptord -addr :7834 -rules rules.json  # + tactical detection layer
+//	threatraptord -addr :7834 -data-dir /var/lib/threatraptor  # durable store:
+//	                           WAL + segments, crash recovery on restart
 //
 // Endpoints:
 //
@@ -26,7 +28,8 @@
 //	GET  /v1/incidents/watch  per-round incident updates streamed as SSE
 //	                          or newline-delimited JSON (-rules).
 //	GET  /healthz      liveness (process up).
-//	GET  /readyz       readiness (store loaded and serving).
+//	GET  /readyz       readiness (store loaded and serving; 503 "recovering"
+//	                   while a durable data dir is still replaying its WAL).
 //	GET  /metrics      Prometheus text exposition.
 package main
 
@@ -42,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +54,7 @@ import (
 	"threatraptor/internal/engine"
 	"threatraptor/internal/metrics"
 	"threatraptor/internal/rules"
+	"threatraptor/internal/segment"
 	"threatraptor/internal/shard"
 	"threatraptor/internal/stream"
 	"threatraptor/internal/tactical"
@@ -67,6 +72,10 @@ func main() {
 	rulesPath := flag.String("rules", "", "detection rule file (JSON) enabling the tactical layer and /v1/incidents")
 	shards := flag.Int("shards", 0, "partition the store into N shards with scatter-gather hunts (0/1 = single store)")
 	partitionBy := flag.String("partition-by", "host", "shard key: host, time, or hash (with -shards)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + segments); recovered on startup, survives crashes")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, batch, or off")
+	segmentEvery := flag.Int("segment-every", 64, "flush a segment generation every N sealed batches with -data-dir")
+	recoverCorrupt := flag.Bool("recover-corrupt", false, "with -data-dir: truncate mid-file WAL corruption to the last consistent prefix instead of refusing startup")
 	flag.Parse()
 
 	opts := threatraptor.DefaultOptions()
@@ -74,6 +83,10 @@ func main() {
 	opts.HuntQueueTimeout = *huntQueueTimeout
 	opts.Shards = *shards
 	opts.PartitionBy = *partitionBy
+	opts.DataDir = *dataDir
+	opts.FsyncPolicy = *fsync
+	opts.SegmentEvery = *segmentEvery
+	opts.RecoverCorrupt = *recoverCorrupt
 	if *rulesPath != "" {
 		set, err := rules.LoadFile(*rulesPath)
 		if err != nil {
@@ -82,16 +95,47 @@ func main() {
 		opts.Rules = set
 		log.Printf("loaded %d detection rules from %s", set.Len(), *rulesPath)
 	}
-	// The tactical observer feeds server metrics; the server is built
-	// after the system, so bind it late (rounds only run once ingestion
-	// starts, well after newServer below).
+	// The tactical and durability observers feed server metrics; the
+	// server is built after the system, so bind them late (they only fire
+	// once ingestion starts, well after newServer below).
 	var srv *server
 	opts.OnTacticalRound = func(d time.Duration, rs tactical.RoundStats) {
 		if srv != nil {
 			srv.observeTacticalRound(d, rs)
 		}
 	}
+	opts.OnWALFsync = func(d time.Duration) {
+		if srv != nil {
+			srv.observeWALFsync(d)
+		}
+	}
+	opts.OnSegmentFlush = func(fs stream.FlushStats) {
+		if srv != nil {
+			srv.observeSegmentFlush(fs)
+		}
+	}
 	sys := threatraptor.New(opts)
+
+	// A data dir that already holds persisted state wins over -demo/-log:
+	// recover it rather than clobbering or refusing (the preload flags are
+	// for seeding a fresh directory).
+	if *dataDir != "" && segment.Exists(*dataDir) && (*demo != "" || *logPath != "") {
+		log.Printf("data dir %s holds persisted state; ignoring -demo/-log and recovering it", *dataDir)
+		*demo, *logPath = "", ""
+	}
+
+	// Serve liveness (and an honest 503 readiness) while the store loads:
+	// replaying a large WAL can take a while, and orchestrators need
+	// /healthz green and /readyz red during it. The handler swaps to the
+	// full mux once the store is up.
+	var handler atomic.Value
+	handler.Store(recoveringHandler())
+	hs := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
 
 	switch {
 	case *demo != "":
@@ -124,11 +168,25 @@ func main() {
 		f.Close()
 		log.Printf("loaded %s", *logPath)
 	default:
-		// Start with an empty live store; /v1/ingest fills it.
+		// Start with an empty live store; /v1/ingest fills it. With a
+		// durable data dir this is also the recovery path: Live replays
+		// the WAL over the recovered segments before returning.
 		if _, err := sys.Live(); err != nil {
 			log.Fatal(err)
 		}
 		log.Print("started empty; POST /v1/ingest to add events")
+	}
+	if *dataDir != "" {
+		// Open the durable session now even when a log was preloaded, so
+		// the WAL captures every batch from the first ingest onward.
+		if _, err := sys.Live(); err != nil {
+			log.Fatal(err)
+		}
+		rs := sys.RecoveryStats()
+		if rs.Recovered || rs.ReplayedRecords > 0 || rs.TornTailTruncated || rs.DroppedFrames > 0 {
+			log.Printf("recovered %s: generation %d (%d segments), replayed %d WAL records (%d events, %d entities), torn tail truncated: %v, dropped frames: %d",
+				*dataDir, rs.ManifestSeq, rs.Segments, rs.ReplayedRecords, rs.ReplayedEvents, rs.ReplayedEntities, rs.TornTailTruncated, rs.DroppedFrames)
+		}
 	}
 
 	srv = newServer(sys, *huntTimeout)
@@ -136,11 +194,8 @@ func main() {
 		srv.registerShardMetrics(sh)
 		log.Printf("store sharded %d ways by %s", *shards, *partitionBy)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
-
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	srv.observeRecovery(sys.RecoveryStats())
+	handler.Store(srv.routes())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -154,7 +209,27 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		// Flush and close the store after in-flight requests drain: a
+		// durable session writes its final segment generation here, so a
+		// clean restart replays nothing.
+		if err := sys.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}
+}
+
+// recoveringHandler serves while the store is still loading or a durable
+// data dir is replaying its WAL: liveness is green, readiness — and every
+// other endpoint — answers 503 "recovering".
+func recoveringHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	})
+	return mux
 }
 
 // system is the facade surface the daemon drives — satisfied by
@@ -193,6 +268,15 @@ type server struct {
 	alertsTagged   *metrics.Counter
 	incidentsOpen  *metrics.Gauge
 	tacticalRounds *metrics.Histogram
+
+	walFsyncSeconds   *metrics.Histogram
+	segmentsTotal     *metrics.Counter
+	segmentFlushFails *metrics.Counter
+	recoveryTruncated *metrics.Counter
+	lastFlushNano     atomic.Int64
+
+	// maxIngestBytes caps one /v1/ingest body; tests lower it.
+	maxIngestBytes int64
 }
 
 func newServer(sys system, huntTimeout time.Duration) *server {
@@ -225,7 +309,26 @@ func newServer(sys system, huntTimeout time.Duration) *server {
 			"Tactical incidents currently open (after the latest round)."),
 		tacticalRounds: reg.NewHistogram("threatraptor_tactical_round_seconds",
 			"Per-sealed-batch tactical round latency (tagging + attribution + scoring).", nil),
+		walFsyncSeconds: reg.NewHistogram("threatraptor_wal_fsync_seconds",
+			"WAL fsync latency per appended frame (durable mode only).",
+			[]float64{.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1}),
+		segmentsTotal: reg.NewCounter("threatraptor_segments_total",
+			"Segment files written across all committed flush generations."),
+		segmentFlushFails: reg.NewCounter("threatraptor_segment_flush_failures_total",
+			"Segment flushes that failed (the previous generation stayed live)."),
+		recoveryTruncated: reg.NewCounter("threatraptor_recovery_truncated_frames_total",
+			"WAL frames discarded during recovery: a torn tail counts one, mid-file corruption drops (with -recover-corrupt) count each."),
+		maxIngestBytes: defaultMaxIngestBytes,
 	}
+	reg.NewGaugeFunc("threatraptor_last_segment_flush_seconds",
+		"Seconds since the last committed segment flush (0 before the first).",
+		func() float64 {
+			last := s.lastFlushNano.Load()
+			if last == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
 	reg.NewGaugeFunc("threatraptor_hunts_in_flight",
 		"Admitted hunts currently running (0 when unlimited).",
 		func() float64 { return float64(sys.HuntsInFlight()) })
@@ -319,9 +422,14 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// maxQueryBytes bounds a posted TBQL query; audit-record ingest bodies
-// are unbounded (they stream).
-const maxQueryBytes = 1 << 20
+// maxQueryBytes bounds a posted TBQL query; defaultMaxIngestBytes bounds
+// one /v1/ingest body (large audit streams split across multiple posts —
+// the parser carries a partial trailing line between calls, so splitting
+// anywhere is safe).
+const (
+	maxQueryBytes         = 1 << 20
+	defaultMaxIngestBytes = 32 << 20
+)
 
 func readQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
 	if r.Method != http.MethodPost {
@@ -530,20 +638,33 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST raw audit records as the request body", http.StatusMethodNotAllowed)
 		return
 	}
+	// Cap the body: an unbounded read here would let one oversized (or
+	// malicious) post balloon parser memory. Lines read before the cap
+	// hit stay buffered in the parser and seal on the next call; the 413
+	// tells the client to split the stream and resend from where it was
+	// cut (a partial trailing line is safe — the parser buffers it).
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
 	st, err := s.sys.Ingest(r.Body)
 	s.eventsSealed.Add(uint64(st.EventsSealed))
 	s.entitiesAdded.Add(uint64(st.EntitiesAdded))
 	if err != nil {
 		var pe *stream.ParseError
-		if errors.As(err, &pe) {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &pe):
 			// The valid lines around the corrupt record were ingested;
 			// report both the stats and the rejection.
 			writeJSON(w, http.StatusBadRequest, map[string]any{
 				"error": pe.Error(), "stats": st,
 			})
-			return
+		case errors.As(err, &mbe):
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("ingest body exceeds %d bytes; split the stream into smaller posts", s.maxIngestBytes),
+				"stats": st,
+			})
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.ingests.Inc()
@@ -571,6 +692,32 @@ func (s *server) observeTacticalRound(d time.Duration, rs tactical.RoundStats) {
 	s.tacticalRounds.Observe(d.Seconds())
 	s.alertsTagged.Add(uint64(rs.Alerts))
 	s.incidentsOpen.Set(int64(rs.Incidents))
+}
+
+// observeWALFsync records one WAL fsync in the latency histogram; wired
+// into Options.OnWALFsync, it runs on the ingestion path in durable mode.
+func (s *server) observeWALFsync(d time.Duration) {
+	s.walFsyncSeconds.Observe(d.Seconds())
+}
+
+// observeSegmentFlush records one segment-flush attempt; wired into
+// Options.OnSegmentFlush.
+func (s *server) observeSegmentFlush(fs stream.FlushStats) {
+	if fs.Err != nil {
+		s.segmentFlushFails.Inc()
+		return
+	}
+	s.segmentsTotal.Add(uint64(fs.Segments))
+	s.lastFlushNano.Store(time.Now().UnixNano())
+}
+
+// observeRecovery folds what the durable open recovered into the metrics
+// (no-op for the zero stats of a non-durable start).
+func (s *server) observeRecovery(rs stream.RecoveryStats) {
+	if rs.TornTailTruncated {
+		s.recoveryTruncated.Inc()
+	}
+	s.recoveryTruncated.Add(uint64(rs.DroppedFrames))
 }
 
 // incidentsResponse is the JSON shape of /v1/incidents.

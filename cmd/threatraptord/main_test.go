@@ -16,6 +16,7 @@ import (
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
 	"threatraptor/internal/rules"
+	"threatraptor/internal/stream"
 	"threatraptor/internal/tactical"
 )
 
@@ -517,5 +518,176 @@ func TestShardedDaemonMetrics(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestIngestBodyTooLargeMaps413: an oversized /v1/ingest body is cut off
+// at the cap and reported as 413 instead of being slurped unbounded; the
+// daemon keeps serving and a smaller retry succeeds.
+func TestIngestBodyTooLargeMaps413(t *testing.T) {
+	sys := threatraptor.New(threatraptor.DefaultOptions())
+	if _, err := sys.Live(); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, 0)
+	srv.maxIngestBytes = 1 << 10
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var big strings.Builder
+	for i := int64(1); big.Len() < 4<<10; i++ {
+		big.WriteString(readLine(i*1_000_000, 100, "/bin/cat", "/etc/secret"))
+	}
+	code, body := post(t, ts.URL+"/v1/ingest", big.String())
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest = %d %q, want 413", code, body)
+	}
+	if !strings.Contains(body, "split the stream") {
+		t.Fatalf("413 body %q does not tell the client how to recover", body)
+	}
+
+	// The daemon survives the rejection: a small post still ingests and
+	// the store seals its events on flush.
+	if code, body := post(t, ts.URL+"/v1/ingest", readLine(9_000_000, 101, "/usr/bin/scp", "/etc/passwd")); code != 200 {
+		t.Fatalf("ingest after 413 = %d %q", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush after 413 = %d %q", code, body)
+	}
+	code, body = post(t, ts.URL+"/v1/hunt", `proc p read file f return p, f`)
+	if code != 200 || !strings.Contains(body, "/usr/bin/scp") {
+		t.Fatalf("hunt after 413 = %d %q, want the retried record", code, body)
+	}
+}
+
+// TestRecoveringHandler pins the pre-swap surface main serves while a
+// durable data dir replays its WAL: liveness green, readiness and every
+// API endpoint an honest 503 "recovering".
+func TestRecoveringHandler(t *testing.T) {
+	ts := httptest.NewServer(recoveringHandler())
+	defer ts.Close()
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz while recovering = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != 503 || !strings.Contains(body, "recovering") {
+		t.Fatalf("readyz while recovering = %d %q, want 503 recovering", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/v1/hunt", `proc p read file f return p, f`); code != 503 {
+		t.Fatalf("hunt while recovering = %d, want 503", code)
+	}
+}
+
+// durableServer builds the daemon over a durable data dir the way main
+// does: observers late-bound, recovery stats folded into the metrics.
+func durableServer(t *testing.T, dir string) (*httptest.Server, *threatraptor.System) {
+	t.Helper()
+	opts := threatraptor.DefaultOptions()
+	opts.DataDir = dir
+	opts.SegmentEvery = 1
+	var srv *server
+	opts.OnWALFsync = func(d time.Duration) {
+		if srv != nil {
+			srv.observeWALFsync(d)
+		}
+	}
+	opts.OnSegmentFlush = func(fs stream.FlushStats) {
+		if srv != nil {
+			srv.observeSegmentFlush(fs)
+		}
+	}
+	sys := threatraptor.New(opts)
+	if _, err := sys.Live(); err != nil {
+		t.Fatal(err)
+	}
+	srv = newServer(sys, 0)
+	srv.observeRecovery(sys.RecoveryStats())
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// TestDurableDaemonWarmRestart drives the durable daemon over HTTP:
+// ingest moves the durability metrics, a clean close writes the final
+// generation, and a second daemon over the same dir recovers the store
+// and serves identical hunts — then keeps ingesting.
+func TestDurableDaemonWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, sys := durableServer(t, dir)
+
+	lines := readLine(1_000_000, 100, "/bin/cat", "/etc/secret") +
+		readLine(2_000_000, 101, "/usr/bin/scp", "/etc/secret")
+	if code, body := post(t, ts.URL+"/v1/ingest", lines); code != 200 {
+		t.Fatalf("ingest = %d %q", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush = %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE threatraptor_wal_fsync_seconds histogram",
+		"# TYPE threatraptor_segments_total counter",
+		"threatraptor_last_segment_flush_seconds",
+		"threatraptor_recovery_truncated_frames_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "threatraptor_segments_total 0") {
+		t.Fatalf("segments_total still 0 after a flush:\n%s", body)
+	}
+	if strings.Contains(body, "threatraptor_wal_fsync_seconds_count 0") {
+		t.Fatalf("no WAL fsyncs observed under the always policy:\n%s", body)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, sys2 := durableServer(t, dir)
+	rs := sys2.RecoveryStats()
+	if !rs.Recovered {
+		t.Fatalf("recovery stats = %+v, want a recovered generation", rs)
+	}
+	if rs.ReplayedRecords != 0 {
+		t.Fatalf("clean shutdown replayed %d WAL records, want 0", rs.ReplayedRecords)
+	}
+	if code, _ := get(t, ts2.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz after recovery = %d, want 200", code)
+	}
+	code, body = post(t, ts2.URL+"/v1/hunt", `proc p read file f return p, f`)
+	if code != 200 {
+		t.Fatalf("hunt after restart = %d %q", code, body)
+	}
+	var hr huntResponse
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("hunt response not JSON: %v\n%s", err, body)
+	}
+	if len(hr.Rows) != 2 {
+		t.Fatalf("hunt rows after restart = %v, want the 2 pre-crash rows", hr.Rows)
+	}
+
+	// The recovered store is warm, not read-only: more ingest lands on top.
+	if code, body := post(t, ts2.URL+"/v1/ingest", readLine(3_000_000, 102, "/bin/nc", "/etc/passwd")); code != 200 {
+		t.Fatalf("ingest after restart = %d %q", code, body)
+	}
+	if code, body := post(t, ts2.URL+"/v1/flush", ""); code != 200 {
+		t.Fatalf("flush after restart = %d %q", code, body)
+	}
+	code, body = post(t, ts2.URL+"/v1/hunt", `proc p read file f return p, f`)
+	if code != 200 {
+		t.Fatalf("hunt = %d %q", code, body)
+	}
+	hr = huntResponse{}
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Rows) != 3 {
+		t.Fatalf("hunt rows = %v, want 3 after post-restart ingest", hr.Rows)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -3,9 +3,14 @@
 // file, the file grows while we watch — benign traffic first, then a data
 // exfiltration — and the hunt fires the moment the malicious behavior
 // seals, with no store rebuild and no batch re-run.
+//
+// With -data-dir the session is durable: the run persists its store (WAL
+// + segments) and a second run over the same directory warm-starts from
+// the recovered state instead of an empty store.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +24,9 @@ import (
 func rec(r audit.Record) string { return r.Format() + "\n" }
 
 func main() {
+	dataDir := flag.String("data-dir", "", "durable data directory: persist this run's store and warm-start the next run from it")
+	flag.Parse()
+
 	dir, err := os.MkdirTemp("", "livehunt")
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +51,9 @@ func main() {
 	}
 
 	// An analyst registers the standing hunt before anything bad happens.
-	sys := threatraptor.New(threatraptor.DefaultOptions())
+	opts := threatraptor.DefaultOptions()
+	opts.DataDir = *dataDir
+	sys := threatraptor.New(opts)
 	const hunt = `proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
 proc p1 write file f2["%/tmp/stolen.tar%"] as evt2
 proc p2["%/usr/bin/curl%"] read file f2 as evt3
@@ -53,6 +63,10 @@ return distinct p1, f1, f2, p2, i1`
 	sub, err := sys.Watch(hunt)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rs := sys.RecoveryStats(); rs.Recovered {
+		fmt.Printf("warm start from %s: generation %d (%d segments), %d WAL records replayed\n\n",
+			*dataDir, rs.ManifestSeq, rs.Segments, rs.ReplayedRecords)
 	}
 	fmt.Println("=== standing query registered ===")
 	fmt.Println(hunt)
@@ -136,4 +150,10 @@ drained:
 	}
 	fmt.Printf("(%d data queries, %d rows scanned — no store rebuild at any point)\n",
 		stats.DataQueries, stats.Rel.RowsScanned)
+
+	// A durable session writes its final segment generation here; rerun
+	// with the same -data-dir to watch the warm start.
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -244,7 +244,6 @@ type netKey struct {
 // stable IDs. It is the in-memory registry produced by log parsing.
 type EntityTable struct {
 	byKey map[string]*Entity
-	byID  map[int64]*Entity
 	// Typed identity maps, maintained alongside byKey (see procKey).
 	byProc map[procKey]*Entity
 	byFile map[fileKey]*Entity
@@ -253,20 +252,61 @@ type EntityTable struct {
 	// dense holds the entities in ID order at offset ID-1 (IDs are assigned
 	// densely from 1). The slice is append-only, so a captured header is an
 	// immutable prefix — the engine's published snapshots resolve entity
-	// attributes through it without touching the intern maps.
+	// attributes through it without touching the intern maps. It is the
+	// authoritative store: ID lookups index it directly, and the intern
+	// maps are a key-probe acceleration rebuilt on demand (see hydrated).
 	dense []*Entity
+	// hydrated reports whether the intern maps cover dense. A table restored
+	// from a durable segment starts unhydrated — opening a store never pays
+	// for intern maps it may not need — and hydrates lazily on the first
+	// key-based operation (Intern*, LookupKey), which only the single
+	// ingestion writer performs.
+	hydrated bool
 }
 
 // NewEntityTable returns an empty entity table.
 func NewEntityTable() *EntityTable {
 	return &EntityTable{
-		byKey:  make(map[string]*Entity),
-		byID:   make(map[int64]*Entity),
-		byProc: make(map[procKey]*Entity),
-		byFile: make(map[fileKey]*Entity),
-		byNet:  make(map[netKey]*Entity),
-		next:   1,
+		byKey:    make(map[string]*Entity),
+		byProc:   make(map[procKey]*Entity),
+		byFile:   make(map[fileKey]*Entity),
+		byNet:    make(map[netKey]*Entity),
+		next:     1,
+		hydrated: true,
 	}
+}
+
+// RestoreTable builds a table over an already-ID-ordered dense entity
+// slice (entity ID i at offset i-1), leaving the intern maps unbuilt
+// until first key-based use. The segment recovery path uses it to adopt
+// decoded entities without rebuilding maps the read path never touches.
+func RestoreTable(dense []*Entity) *EntityTable {
+	return &EntityTable{dense: dense, next: int64(len(dense)) + 1}
+}
+
+// ensureHydrated builds the intern maps from dense if they are missing.
+// Writer-side only (callers hold the ingestion session's write lock).
+func (t *EntityTable) ensureHydrated() {
+	if t.hydrated {
+		return
+	}
+	t.byKey = make(map[string]*Entity, len(t.dense))
+	t.byProc = make(map[procKey]*Entity, len(t.dense))
+	t.byFile = make(map[fileKey]*Entity)
+	t.byNet = make(map[netKey]*Entity)
+	for _, e := range t.dense {
+		t.byKey[e.Key()] = e
+		switch e.Kind {
+		case EntityProcess:
+			t.byProc[procKey{e.Proc.ExeName, e.Proc.PID, e.Proc.Host}] = e
+		case EntityFile:
+			t.byFile[fileKey{e.File.Name, e.File.Host}] = e
+		case EntityNetConn:
+			n := e.Net
+			t.byNet[netKey{n.SrcIP, n.SrcPort, n.DstIP, n.DstPort, n.Protocol}] = e
+		}
+	}
+	t.hydrated = true
 }
 
 // Intern returns the canonical entity for e's unique key, inserting e with a
@@ -274,6 +314,7 @@ func NewEntityTable() *EntityTable {
 // the one stored in the table; the caller must not mutate identifying
 // fields afterwards.
 func (t *EntityTable) Intern(e *Entity) *Entity {
+	t.ensureHydrated()
 	key := e.Key()
 	if got, ok := t.byKey[key]; ok {
 		return got
@@ -281,7 +322,6 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	e.ID = t.next
 	t.next++
 	t.byKey[key] = e
-	t.byID[e.ID] = e
 	t.dense = append(t.dense, e)
 	switch e.Kind {
 	case EntityProcess:
@@ -295,6 +335,31 @@ func (t *EntityTable) Intern(e *Entity) *Entity {
 	return e
 }
 
+// AdoptNew appends an entity that already carries the next dense ID —
+// the WAL-replay path, where recorded entities arrive in their original
+// intern order with their original IDs. The intern maps are updated only
+// if already hydrated.
+func (t *EntityTable) AdoptNew(e *Entity) error {
+	if e.ID != t.next {
+		return fmt.Errorf("audit: adopt entity ID %d, want next ID %d", e.ID, t.next)
+	}
+	t.next++
+	t.dense = append(t.dense, e)
+	if t.hydrated {
+		t.byKey[e.Key()] = e
+		switch e.Kind {
+		case EntityProcess:
+			t.byProc[procKey{e.Proc.ExeName, e.Proc.PID, e.Proc.Host}] = e
+		case EntityFile:
+			t.byFile[fileKey{e.File.Name, e.File.Host}] = e
+		case EntityNetConn:
+			n := e.Net
+			t.byNet[netKey{n.SrcIP, n.SrcPort, n.DstIP, n.DstPort, n.Protocol}] = e
+		}
+	}
+	return nil
+}
+
 // InternProcess interns a host-less process entity, allocating nothing
 // when the process is already known — the parser's per-record hot path.
 func (t *EntityTable) InternProcess(pid int, exe, user, group, cmd string) *Entity {
@@ -303,6 +368,7 @@ func (t *EntityTable) InternProcess(pid int, exe, user, group, cmd string) *Enti
 
 // InternProcessOn is InternProcess with the process pinned to a host.
 func (t *EntityTable) InternProcessOn(host string, pid int, exe, user, group, cmd string) *Entity {
+	t.ensureHydrated()
 	if e, ok := t.byProc[procKey{exe, pid, host}]; ok {
 		return e
 	}
@@ -318,6 +384,7 @@ func (t *EntityTable) InternFile(name, user, group string) *Entity {
 
 // InternFileOn is InternFile with the file pinned to a host.
 func (t *EntityTable) InternFileOn(host, name, user, group string) *Entity {
+	t.ensureHydrated()
 	if e, ok := t.byFile[fileKey{name, host}]; ok {
 		return e
 	}
@@ -328,6 +395,7 @@ func (t *EntityTable) InternFileOn(host, name, user, group string) *Entity {
 
 // InternNetConn is InternProcess for network connection entities.
 func (t *EntityTable) InternNetConn(srcIP string, srcPort int, dstIP string, dstPort int, proto string) *Entity {
+	t.ensureHydrated()
 	if e, ok := t.byNet[netKey{srcIP, srcPort, dstIP, dstPort, proto}]; ok {
 		return e
 	}
@@ -335,13 +403,21 @@ func (t *EntityTable) InternNetConn(srcIP string, srcPort int, dstIP string, dst
 }
 
 // Lookup returns the entity with the given ID, or nil.
-func (t *EntityTable) Lookup(id int64) *Entity { return t.byID[id] }
+func (t *EntityTable) Lookup(id int64) *Entity {
+	if id < 1 || id > int64(len(t.dense)) {
+		return nil
+	}
+	return t.dense[id-1]
+}
 
 // LookupKey returns the entity with the given unique key, or nil.
-func (t *EntityTable) LookupKey(key string) *Entity { return t.byKey[key] }
+func (t *EntityTable) LookupKey(key string) *Entity {
+	t.ensureHydrated()
+	return t.byKey[key]
+}
 
 // Len returns the number of distinct entities interned.
-func (t *EntityTable) Len() int { return len(t.byKey) }
+func (t *EntityTable) Len() int { return len(t.dense) }
 
 // Since returns the entities with ID > after in ascending ID order: the
 // entities interned since the caller last recorded MaxID. The live append
@@ -350,13 +426,10 @@ func (t *EntityTable) Since(after int64) []*Entity {
 	if after < 0 {
 		after = 0
 	}
-	var out []*Entity
-	for id := after + 1; id < t.next; id++ {
-		if e, ok := t.byID[id]; ok {
-			out = append(out, e)
-		}
+	if after >= int64(len(t.dense)) {
+		return nil
 	}
-	return out
+	return t.dense[after:]
 }
 
 // MaxID returns the highest entity ID assigned so far (0 when empty).
@@ -370,13 +443,7 @@ func (t *EntityTable) Dense() []*Entity { return t.dense }
 
 // All returns all entities in ascending ID order.
 func (t *EntityTable) All() []*Entity {
-	out := make([]*Entity, 0, len(t.byID))
-	for id := int64(1); id < t.next; id++ {
-		if e, ok := t.byID[id]; ok {
-			out = append(out, e)
-		}
-	}
-	return out
+	return append([]*Entity(nil), t.dense...)
 }
 
 // NewFileEntity builds a file entity from an absolute path. The Path

@@ -74,13 +74,12 @@ func labelOf(k audit.EntityKind) string {
 	return "Unknown"
 }
 
-// NewStore loads a parsed audit log into fresh relational and graph
-// backends, creating indexes on the key attributes (file name, process
-// executable name, destination IP) in both.
-func NewStore(log *audit.Log) (*Store, error) {
-	s := &Store{Rel: relational.NewDB(), Graph: graphdb.NewGraph(), Log: log}
-
-	entities, err := s.Rel.CreateTable("entities", relational.Schema{
+// newStoreTables creates the two relational tables every store carries,
+// with their dictionary-encoded discriminator columns. Shared by the
+// batch-load path (NewStore) and the segment-restore path (OpenStore) so
+// the schemas can never drift apart.
+func newStoreTables(db *relational.DB) (entities, events *relational.Table, err error) {
+	entities, err = db.CreateTable("entities", relational.Schema{
 		{Name: "id", Kind: relational.KindInt},
 		{Name: "kind", Kind: relational.KindString},
 		{Name: "name", Kind: relational.KindString},
@@ -98,14 +97,14 @@ func NewStore(log *audit.Log) (*Store, error) {
 		{Name: "host", Kind: relational.KindString},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// The kind discriminator appears in every data query's WHERE; with at
 	// most four distinct values it dictionary-encodes to int compares.
-	if err := entities.DictEncode("kind"); err != nil {
-		return nil, err
+	if err = entities.DictEncode("kind"); err != nil {
+		return nil, nil, err
 	}
-	events, err := s.Rel.CreateTable("events", relational.Schema{
+	events, err = db.CreateTable("events", relational.Schema{
 		{Name: "id", Kind: relational.KindInt},
 		{Name: "subject_id", Kind: relational.KindInt},
 		{Name: "object_id", Kind: relational.KindInt},
@@ -116,10 +115,23 @@ func NewStore(log *audit.Log) (*Store, error) {
 		{Name: "failure_code", Kind: relational.KindInt},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Nine operation verbs at most: op scans compare codes, not strings.
-	if err := events.DictEncode("op"); err != nil {
+	if err = events.DictEncode("op"); err != nil {
+		return nil, nil, err
+	}
+	return entities, events, nil
+}
+
+// NewStore loads a parsed audit log into fresh relational and graph
+// backends, creating indexes on the key attributes (file name, process
+// executable name, destination IP) in both.
+func NewStore(log *audit.Log) (*Store, error) {
+	s := &Store{Rel: relational.NewDB(), Graph: graphdb.NewGraph(), Log: log}
+
+	entities, events, err := newStoreTables(s.Rel)
+	if err != nil {
 		return nil, err
 	}
 

@@ -236,7 +236,7 @@ func (g *Graph) bindingResolver(b binding) func(relational.ColRef) (Value, error
 			if c.Qualifier == "" {
 				return relational.Int(id), nil
 			}
-			if v, has := n.Props[c.Column]; has {
+			if v, has := g.nodeProp(n, c.Column); has {
 				return v, nil
 			}
 			return relational.Null(), nil

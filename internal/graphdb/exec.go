@@ -664,7 +664,7 @@ func (m *matcher) bindNode(np NodePat, id int64) (ok, bound bool, err error) {
 		return false, false, nil
 	}
 	for k, want := range np.Props {
-		got, has := n.Props[k]
+		got, has := m.g.nodeProp(n, k)
 		if !has || !got.Equal(want) {
 			return false, false, nil
 		}
@@ -841,7 +841,7 @@ func (m *matcher) resolve(c relational.ColRef) (Value, error) {
 		case "label":
 			return relational.Str(n.Label), nil
 		}
-		if v, has := n.Props[c.Column]; has {
+		if v, has := m.g.nodeProp(n, c.Column); has {
 			return v, nil
 		}
 		return relational.Null(), nil

@@ -100,7 +100,12 @@ type Graph struct {
 	// keys directly (the Value struct is comparable), so inserts and
 	// probes allocate no key representation.
 	propIndex map[string]map[string]map[Value][]int64
-	nextNode  int64
+	// lazyProp registers (label, prop) pairs whose property index is
+	// declared but not yet built: a segment restore defers the map
+	// construction to the first probe (see ensurePropIndex), keeping
+	// recovery O(arenas). Guarded by mu like propIndex.
+	lazyProp map[string]map[string]bool
+	nextNode int64
 	// adjArena is the spare backing store new adjacency lists are carved
 	// from (see appendAdj); it keeps per-edge ingest allocation-free for
 	// the dominant low-degree nodes.
@@ -147,6 +152,15 @@ type Graph struct {
 	// (the engine mirrors dense ascending entity IDs). Views exploit it to
 	// resolve nodes without the locked nodeIdx probe.
 	idsDense bool
+
+	// idxBase counts the restored dense node prefix that nodeIdx does NOT
+	// cover: a segment restore installs nodes 1..idxBase without map
+	// entries, and offsetOf computes their offsets. Zero for graphs built
+	// by inserts.
+	idxBase int
+	// propFn resolves properties of restored bag-less nodes (see
+	// PropResolver). Set once at restore, immutable, read lock-free.
+	propFn PropResolver
 }
 
 // NewGraph returns an empty graph.
@@ -231,7 +245,7 @@ func (g *Graph) AddNode(label string, props Props) int64 {
 // AddNodeWithID inserts a node with a caller-chosen ID (used when mirroring
 // entity IDs from the relational store). It panics on duplicate IDs.
 func (g *Graph) AddNodeWithID(id int64, label string, props Props) {
-	if _, dup := g.nodeIdx[id]; dup {
+	if _, dup := g.offsetOf(id); dup {
 		panic(fmt.Sprintf("graphdb: duplicate node id %d", id))
 	}
 	if id > g.nextNode {
@@ -262,8 +276,8 @@ func (g *Graph) AddEventEdge(from, to int64, typ string, evID, start, end, amoun
 }
 
 func (g *Graph) addEdge(e Edge) (int64, error) {
-	fi, okF := g.nodeIdx[e.From]
-	ti, okT := g.nodeIdx[e.To]
+	fi, okF := g.offsetOf(e.From)
+	ti, okT := g.offsetOf(e.To)
 	if !okF || !okT {
 		return 0, fmt.Errorf("graphdb: edge endpoints must exist (%d -> %d)", e.From, e.To)
 	}
@@ -465,12 +479,12 @@ func (g *Graph) Rollback(m Mark) {
 	// endpoints' adjacency lists when removed.
 	for ei := len(g.edges) - 1; ei >= m.edges; ei-- {
 		e := &g.edges[ei]
-		fi := g.nodeIdx[e.From]
+		fi, _ := g.offsetOf(e.From)
 		if l := g.out[fi]; len(l) > 0 && l[len(l)-1] == int32(ei) {
 			g.out[fi] = l[:len(l)-1]
 			markAdjChunkDirty(&g.dirtyPubOut, fi)
 		}
-		ti := g.nodeIdx[e.To]
+		ti, _ := g.offsetOf(e.To)
 		if l := g.in[ti]; len(l) > 0 && l[len(l)-1] == int32(ei) {
 			g.in[ti] = l[:len(l)-1]
 			markAdjChunkDirty(&g.dirtyPubIn, ti)
@@ -497,7 +511,7 @@ func (g *Graph) Rollback(m Mark) {
 		}
 		if byProp, ok := g.propIndex[n.Label]; ok {
 			for prop, vals := range byProp {
-				v, has := n.Props[prop]
+				v, has := g.nodeProp(n, prop)
 				if !has {
 					continue
 				}
@@ -537,10 +551,15 @@ func (g *Graph) Rollback(m Mark) {
 }
 
 // CreateIndex builds a property index on (label, prop) over existing and
-// future nodes.
+// future nodes. It may be called from a reader goroutine (lazy builds
+// triggered by a probe); the write lock excludes the writer's map and
+// arena mutations for the duration.
 func (g *Graph) CreateIndex(label, prop string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if m := g.lazyProp[label]; m != nil {
+		delete(m, prop)
+	}
 	byProp, ok := g.propIndex[label]
 	if !ok {
 		byProp = make(map[string]map[Value][]int64)
@@ -551,7 +570,7 @@ func (g *Graph) CreateIndex(label, prop string) {
 	}
 	vals := make(map[Value][]int64)
 	for _, id := range g.byLabel[label] {
-		if v, has := g.node(id).Props[prop]; has {
+		if v, has := g.nodeProp(g.node(id), prop); has {
 			vals[v] = append(vals[v], id)
 		}
 	}
@@ -561,7 +580,7 @@ func (g *Graph) CreateIndex(label, prop string) {
 // node returns a pointer into the node arena, or nil. The pointer is
 // valid until the next node insert (arena growth may relocate it).
 func (g *Graph) node(id int64) *Node {
-	i, ok := g.nodeIdx[id]
+	i, ok := g.offsetOf(id)
 	if !ok {
 		return nil
 	}
@@ -684,7 +703,7 @@ func (g *Graph) edgeIDs(offsets []int32) []int64 {
 
 // outOffsets and inOffsets return adjacency as edge arena offsets.
 func (g *Graph) outOffsets(id int64) []int32 {
-	i, ok := g.nodeIdx[id]
+	i, ok := g.offsetOf(id)
 	if !ok {
 		return nil
 	}
@@ -692,7 +711,7 @@ func (g *Graph) outOffsets(id int64) []int32 {
 }
 
 func (g *Graph) inOffsets(id int64) []int32 {
-	i, ok := g.nodeIdx[id]
+	i, ok := g.offsetOf(id)
 	if !ok {
 		return nil
 	}
@@ -721,8 +740,13 @@ func windowSliceIn(edges []Edge, adj []int32, lo, hi int64) []int32 {
 }
 
 // lookupIndexed returns node IDs where label.prop == v, and whether an
-// index served the lookup.
+// index served the lookup. The probe takes the read lock: a lazily
+// declared index may be materialized by any goroutine's first probe, so
+// propIndex reads are no longer writer-exclusive.
 func (g *Graph) lookupIndexed(label, prop string, v Value) ([]int64, bool) {
+	g.ensurePropIndex(label, prop)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	byProp, ok := g.propIndex[label]
 	if !ok {
 		return nil, false
@@ -732,4 +756,15 @@ func (g *Graph) lookupIndexed(label, prop string, v Value) ([]int64, bool) {
 		return nil, false
 	}
 	return vals[v], true
+}
+
+// ensurePropIndex materializes a lazily declared property index the
+// first time it is probed.
+func (g *Graph) ensurePropIndex(label, prop string) {
+	g.mu.RLock()
+	pending := g.lazyProp[label][prop]
+	g.mu.RUnlock()
+	if pending {
+		g.CreateIndex(label, prop)
+	}
 }

@@ -81,6 +81,10 @@ func (v *View) nodeOffset(id int64) (int32, bool) {
 	v.g.mu.RLock()
 	off, ok := v.g.nodeIdx[id]
 	v.g.mu.RUnlock()
+	if !ok && id >= 1 && id <= int64(v.g.idxBase) {
+		// Restored dense prefix: never in nodeIdx, offset computed.
+		off, ok = int32(id-1), true
+	}
 	if !ok || int(off) >= len(v.nodes) {
 		return 0, false
 	}
@@ -143,6 +147,7 @@ func (v *View) sortedLabelIDs(label string) ([]int64, bool) {
 // carry no sortedness flag, so the trim cannot assume order.
 func (v *View) lookupIndexed(label, prop string, val Value) ([]int64, bool) {
 	g := v.g
+	g.ensurePropIndex(label, prop)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	byProp, ok := g.propIndex[label]

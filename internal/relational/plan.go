@@ -450,7 +450,7 @@ func (b *binding) planInListAccess(lvl int, in InList) *indexAccess {
 	if err != nil || clvl != lvl {
 		return nil
 	}
-	if b.tables[lvl].indexes[ccol] == nil {
+	if b.tables[lvl].indexes[ccol].Load() == nil {
 		return nil
 	}
 	vals := make([]Value, 0, len(in.Vals))
@@ -475,7 +475,7 @@ func (b *binding) planParamIDsAccess(lvl int, pi ParamIDs) *indexAccess {
 	if err != nil || clvl != lvl {
 		return nil
 	}
-	if b.tables[lvl].indexes[ccol] == nil {
+	if b.tables[lvl].indexes[ccol].Load() == nil {
 		return nil
 	}
 	slot, err := checkSlot(pi.Slot)
@@ -637,7 +637,7 @@ func (b *binding) planIndexAccess(lvl int, preds []Expr) (*indexAccess, error) {
 					return nil
 				}
 			}
-			if tbl.indexes[ccol] == nil {
+			if tbl.indexes[ccol].Load() == nil {
 				return nil
 			}
 			keyFn, err := b.compileEval(keySide)

@@ -129,8 +129,19 @@ type Table struct {
 	Schema Schema
 	cols   []col
 	rows   int
-	// indexes[i] is the hash index on column position i, or nil.
-	indexes []*hashIndex
+	// indexes[i] is the hash index on column position i, or nil. The slots
+	// are atomic because a restored table materializes its declared
+	// indexes lazily (see RestoreIndexLazy): the writer installs the built
+	// index while planner goroutines probe the same slots, and snapshot
+	// copies share this backing array on purpose — a late-built index is
+	// visible to earlier snapshots, whose probes trim positions to their
+	// captured row count.
+	indexes []atomic.Pointer[hashIndex]
+	// lazy holds indexes declared by a restore but not yet built; the
+	// writer materializes all of them immediately before its first
+	// post-restore append, off the recovery critical path. Until then
+	// queries plan (and run) scans over the restored rows.
+	lazy []lazyIndex
 	// db points back to the owning database (nil for standalone tables)
 	// so index creation can invalidate cached plans that were compiled
 	// without the index.
@@ -150,6 +161,13 @@ type hashIndex struct {
 	kind Kind
 	ints map[int64][]int32
 	strs map[string][]int32
+	// dense, when non-nil, direct-addresses the position lists for int
+	// keys in [1, len(dense)-1] — slot k holds key k's list, and a key in
+	// that range is never stored in ints. RestoreIndexInt builds it for
+	// dense-ID columns (entity/event IDs), where it replaces len(column)
+	// map insertions with two array passes; keys appended later that fall
+	// outside the range use the map as overflow.
+	dense [][]int32
 	// arena is the spare backing store new position lists are carved from
 	// (see appendPos); most keys index a handful of rows, so the carved
 	// capacity-4 lists make steady-state index maintenance allocation-free.
@@ -168,11 +186,30 @@ func (ix *hashIndex) add(v Value, pos int32) {
 	switch {
 	case v.K == KindNull:
 	case ix.kind == KindInt:
-		ix.ints[v.I] = ix.appendPos(ix.ints[v.I], pos)
+		if ix.inDense(v.I) {
+			ix.dense[v.I] = ix.appendPos(ix.dense[v.I], pos)
+		} else {
+			ix.ints[v.I] = ix.appendPos(ix.ints[v.I], pos)
+		}
 	default:
 		ix.strs[v.S] = ix.appendPos(ix.strs[v.S], pos)
 	}
 	ix.mu.Unlock()
+}
+
+// inDense reports whether an int key is direct-addressed by the dense
+// slot array rather than the hash map.
+func (ix *hashIndex) inDense(k int64) bool {
+	return ix.dense != nil && k >= 1 && k < int64(len(ix.dense))
+}
+
+// intPositions returns the position list for an int key from whichever
+// store holds it.
+func (ix *hashIndex) intPositions(k int64) []int32 {
+	if ix.inDense(k) {
+		return ix.dense[k]
+	}
+	return ix.ints[k]
 }
 
 // remove pops position pos for value v from the index. Positions are
@@ -184,6 +221,15 @@ func (ix *hashIndex) remove(v Value, pos int32) {
 	switch {
 	case v.K == KindNull:
 	case ix.kind == KindInt:
+		if ix.inDense(v.I) {
+			l := ix.dense[v.I]
+			if n := len(l); n > 0 && l[n-1] == pos {
+				// Keep the truncated header (and its capacity) in the slot;
+				// an empty list reads the same as an absent key.
+				ix.dense[v.I] = l[:n-1]
+			}
+			break
+		}
 		l := ix.ints[v.I]
 		if n := len(l); n > 0 && l[n-1] == pos {
 			if n == 1 {
@@ -225,8 +271,17 @@ func NewTable(name string, schema Schema) *Table {
 	for i, c := range schema {
 		t.cols[i].kind = c.Kind
 	}
-	t.indexes = make([]*hashIndex, len(schema))
+	t.indexes = make([]atomic.Pointer[hashIndex], len(schema))
 	return t
+}
+
+// lazyIndex records an index declared by a restore for deferred
+// construction. A positive denseMax is the RestoreIndexInt key bound
+// valid for the restored rows (still valid at build time: the build
+// runs before the first post-restore append lands).
+type lazyIndex struct {
+	column   string
+	denseMax int64
 }
 
 // DictEncode switches the named string column to dictionary encoding.
@@ -319,6 +374,12 @@ func (t *Table) checkRow(row []Value) error {
 }
 
 func (t *Table) appendRow(row []Value) {
+	if t.lazy != nil {
+		// First post-restore append: build the deferred indexes now, over
+		// exactly the restored rows, so incremental maintenance below and
+		// on every later append keeps them complete.
+		t.materializeLazy()
+	}
 	pos := int32(t.rows)
 	for i, v := range row {
 		c := &t.cols[i]
@@ -345,8 +406,8 @@ func (t *Table) appendRow(row []Value) {
 		}
 	}
 	t.rows++
-	for _, ix := range t.indexes {
-		if ix != nil {
+	for i := range t.indexes {
+		if ix := t.indexes[i].Load(); ix != nil {
 			ix.add(row[ix.col], pos)
 		}
 	}
@@ -466,8 +527,58 @@ func (t *Table) CreateIndex(column string) error {
 			ix.strs[v] = append(ix.strs[v], int32(pos))
 		}
 	}
-	t.indexes[col] = ix
+	t.indexes[col].Store(ix)
+	t.dropLazy(column)
 	return nil
+}
+
+// RestoreIndexLazy declares an index on the named column without
+// building it. The build is deferred to the writer's first post-restore
+// append (or an explicit CreateIndex), keeping index construction — the
+// most expensive part of reopening a segment-backed store — off the
+// recovery critical path; until then queries scan the restored rows.
+// denseMax, when positive, promises the column's values all lie in
+// [1, denseMax] so the deferred build can use RestoreIndexInt.
+func (t *Table) RestoreIndexLazy(column string, denseMax int64) error {
+	col := t.Schema.IndexOf(column)
+	if col < 0 {
+		return fmt.Errorf("relational: table %s has no column %s", t.Name, column)
+	}
+	if denseMax > 0 && t.Schema[col].Kind != KindInt {
+		return fmt.Errorf("relational: column %s.%s is not an int column", t.Name, column)
+	}
+	t.lazy = append(t.lazy, lazyIndex{column: column, denseMax: denseMax})
+	return nil
+}
+
+// materializeLazy builds every pending lazy index. Writer-side only.
+func (t *Table) materializeLazy() {
+	pending := t.lazy
+	t.lazy = nil
+	for _, li := range pending {
+		// Column names were validated at declaration, so the builds cannot
+		// fail; each builder invalidates cached scan plans itself.
+		switch {
+		case li.denseMax > 0:
+			t.RestoreIndexInt(li.column, li.denseMax)
+		case t.DictEncoded(li.column):
+			t.RestoreIndexDict(li.column)
+		default:
+			t.CreateIndex(li.column)
+		}
+	}
+}
+
+// dropLazy removes any pending lazy declaration for column (it has just
+// been built eagerly).
+func (t *Table) dropLazy(column string) {
+	for i := 0; i < len(t.lazy); {
+		if t.lazy[i].column == column {
+			t.lazy = append(t.lazy[:i], t.lazy[i+1:]...)
+			continue
+		}
+		i++
+	}
 }
 
 // ascLowerBound returns the first row position whose value in the int
@@ -507,10 +618,10 @@ func ContainsSortedInt64(a []int64, k int64) bool {
 	return i < len(a) && a[i] == k
 }
 
-// HasIndex reports whether column has a hash index.
+// HasIndex reports whether column has a hash index built.
 func (t *Table) HasIndex(column string) bool {
 	col := t.Schema.IndexOf(column)
-	return col >= 0 && t.indexes[col] != nil
+	return col >= 0 && t.indexes[col].Load() != nil
 }
 
 // lookup returns the positions of rows whose column equals v, probing the
@@ -520,7 +631,7 @@ func (t *Table) HasIndex(column string) bool {
 // copy the probe is synchronized with the writer and trimmed to the
 // snapshot's row count.
 func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
-	ix := t.indexes[col]
+	ix := t.indexes[col].Load()
 	if ix == nil {
 		return nil, false
 	}
@@ -531,7 +642,7 @@ func (t *Table) lookup(col int, v Value) (positions []int32, ok bool) {
 		return nil, true
 	}
 	if ix.kind == KindInt {
-		return ix.ints[v.I], true
+		return ix.intPositions(v.I), true
 	}
 	return ix.strs[v.S], true
 }
@@ -548,7 +659,7 @@ func (ix *hashIndex) lookupBounded(v Value, rows int32) []int32 {
 	ix.mu.RLock()
 	var pos []int32
 	if ix.kind == KindInt {
-		pos = ix.ints[v.I]
+		pos = ix.intPositions(v.I)
 	} else {
 		pos = ix.strs[v.S]
 	}
@@ -588,7 +699,10 @@ func (t *Table) TruncateRows(n int) {
 		return
 	}
 	// Unwind the indexes first, while cell() still sees the dropped rows.
-	for _, ix := range t.indexes {
+	// Pending lazy indexes need no unwinding: they build later from the
+	// truncated columns.
+	for i := range t.indexes {
+		ix := t.indexes[i].Load()
 		if ix == nil {
 			continue
 		}

@@ -1,0 +1,477 @@
+package segment
+
+// Write-ahead log. Each sealed ingestion batch becomes one frame:
+//
+//	[u32 len][u32 crc32c(payload)][payload]
+//
+// The payload starts with the uvarint commit sequence number, then the
+// batch's new entities and sealed events in a compact varint row
+// encoding. Sequence semantics: a frame is written with seq = last
+// committed + 1 BEFORE the in-memory apply; the writer only advances
+// its committed seq after the apply succeeds, so a failed apply retries
+// under the SAME seq with a superset batch — replay keeps the LAST of a
+// consecutive equal-seq run and applies frames with seq above the
+// manifest floor, which makes the write-then-apply protocol exactly-once
+// across crashes at any point.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/faultinject"
+)
+
+// WALFileName is the WAL's name inside a data directory.
+const WALFileName = "wal.log"
+
+// FsyncAlways, FsyncBatch and FsyncOff are the WAL fsync policies:
+// fsync after every appended frame, only at segment-flush boundaries
+// (and clean shutdown), or never.
+const (
+	FsyncAlways = "always"
+	FsyncBatch  = "batch"
+	FsyncOff    = "off"
+)
+
+// ValidFsyncPolicy reports whether s names a known fsync policy.
+func ValidFsyncPolicy(s string) bool {
+	return s == FsyncAlways || s == FsyncBatch || s == FsyncOff
+}
+
+// WAL is an append-only frame log. It has a single writer (the
+// ingestion session, under its lock).
+type WAL struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// OpenWAL opens (creating if absent) the WAL inside dir, positioned to
+// append. The caller replays the existing content first via ReadWAL.
+func OpenWAL(dir string) (*WAL, error) {
+	path := filepath.Join(dir, WALFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, path: path, size: size}, nil
+}
+
+// Path returns the WAL file path.
+func (w *WAL) Path() string { return w.path }
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Append frames payload and writes it. On a write error the file is
+// truncated back to its pre-append size so a failed append can never be
+// misread later as mid-file corruption. The caller decides when to
+// Sync per its fsync policy.
+func (w *WAL) Append(payload []byte) error {
+	if err := faultinject.Hit(FaultWALAppend); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32Checksum(payload))
+	frame := append(hdr[:], payload...)
+	n, err := w.f.WriteAt(frame, w.size)
+	if err != nil {
+		if n > 0 {
+			// Best effort: remove the partial frame. If the truncate also
+			// fails the torn-tail scan will discard it on recovery.
+			_ = w.f.Truncate(w.size)
+		}
+		return err
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// Sync fsyncs the log (through the FaultWALSync point, which fires
+// after the frame write — a panic there models a crash with the frame
+// durable but unapplied).
+func (w *WAL) Sync() error {
+	if err := faultinject.Hit(FaultWALSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Truncate cuts the log to size bytes (recovery discarding a torn or
+// corrupt tail, or a segment flush resetting the log to empty).
+func (w *WAL) Truncate(size int64) error {
+	if err := w.f.Truncate(size); err != nil {
+		return err
+	}
+	w.size = size
+	return nil
+}
+
+// Close fsyncs and closes the log.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReadWAL reads the whole WAL file for replay (its size is bounded by
+// the segment flush cadence). Missing file reads as empty. Goes through
+// the FaultRecoveryRead point.
+func ReadWAL(dir string) ([]byte, error) {
+	if err := faultinject.Hit(FaultRecoveryRead); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, WALFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Record is one decoded WAL frame: the batch the ingestion session was
+// about to apply under commit sequence Seq. Events carry ID 0 (IDs are
+// assigned at apply time, deterministically), entities carry their
+// already-assigned table IDs.
+type Record struct {
+	Seq      uint64
+	Entities []*audit.Entity
+	Events   []audit.Event
+}
+
+// EncodeRecord serializes a record payload (the part inside a frame).
+func EncodeRecord(seq uint64, entities []*audit.Entity, events []audit.Event) []byte {
+	b := make([]byte, 0, 16+len(entities)*48+len(events)*24)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(entities)))
+	for _, e := range entities {
+		b = binary.AppendUvarint(b, uint64(e.ID))
+		b = append(b, byte(e.Kind))
+		switch e.Kind {
+		case audit.EntityFile:
+			b = appendStr(b, e.File.Name)
+			b = appendStr(b, e.File.Path)
+			b = appendStr(b, e.File.User)
+			b = appendStr(b, e.File.Group)
+			b = appendStr(b, e.File.Host)
+		case audit.EntityProcess:
+			b = binary.AppendVarint(b, int64(e.Proc.PID))
+			b = appendStr(b, e.Proc.ExeName)
+			b = appendStr(b, e.Proc.User)
+			b = appendStr(b, e.Proc.Group)
+			b = appendStr(b, e.Proc.CMD)
+			b = appendStr(b, e.Proc.Host)
+		case audit.EntityNetConn:
+			b = appendStr(b, e.Net.SrcIP)
+			b = binary.AppendVarint(b, int64(e.Net.SrcPort))
+			b = appendStr(b, e.Net.DstIP)
+			b = binary.AppendVarint(b, int64(e.Net.DstPort))
+			b = appendStr(b, e.Net.Protocol)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(events)))
+	for i := range events {
+		ev := &events[i]
+		b = binary.AppendUvarint(b, uint64(ev.SubjectID))
+		b = binary.AppendUvarint(b, uint64(ev.ObjectID))
+		b = append(b, byte(ev.Op))
+		b = binary.AppendVarint(b, ev.StartTime)
+		b = binary.AppendVarint(b, ev.EndTime)
+		b = binary.AppendVarint(b, ev.DataAmount)
+		b = binary.AppendVarint(b, int64(ev.FailureCode))
+	}
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// varReader decodes the varint record encoding with bounds checks.
+type varReader struct{ b []byte }
+
+func (r *varReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *varReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *varReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(r.b))
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *varReader) byte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("truncated byte")
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+// DecodeRecord parses a frame payload. Counts are bounds-checked
+// against the remaining input before allocation.
+func DecodeRecord(payload []byte) (*Record, error) {
+	r := &varReader{b: payload}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Seq: seq}
+	nEnt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nEnt > uint64(len(r.b))/2 {
+		return nil, fmt.Errorf("entity count %d exceeds remaining input", nEnt)
+	}
+	if nEnt > 0 {
+		rec.Entities = make([]*audit.Entity, 0, nEnt)
+	}
+	for i := uint64(0); i < nEnt; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		kindB, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		e := &audit.Entity{ID: int64(id), Kind: audit.EntityKind(kindB)}
+		switch e.Kind {
+		case audit.EntityFile:
+			f := &audit.File{}
+			for _, dst := range []*string{&f.Name, &f.Path, &f.User, &f.Group, &f.Host} {
+				if *dst, err = r.str(); err != nil {
+					return nil, err
+				}
+			}
+			e.File = f
+		case audit.EntityProcess:
+			p := &audit.Process{}
+			pid, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.PID = int(pid)
+			for _, dst := range []*string{&p.ExeName, &p.User, &p.Group, &p.CMD, &p.Host} {
+				if *dst, err = r.str(); err != nil {
+					return nil, err
+				}
+			}
+			e.Proc = p
+		case audit.EntityNetConn:
+			n := &audit.NetConn{}
+			if n.SrcIP, err = r.str(); err != nil {
+				return nil, err
+			}
+			sp, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			n.SrcPort = int(sp)
+			if n.DstIP, err = r.str(); err != nil {
+				return nil, err
+			}
+			dp, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			n.DstPort = int(dp)
+			if n.Protocol, err = r.str(); err != nil {
+				return nil, err
+			}
+			e.Net = n
+		default:
+			return nil, fmt.Errorf("entity %d has invalid kind %d", i, kindB)
+		}
+		rec.Entities = append(rec.Entities, e)
+	}
+	nEv, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nEv > uint64(len(r.b))/7 {
+		return nil, fmt.Errorf("event count %d exceeds remaining input", nEv)
+	}
+	if nEv > 0 {
+		rec.Events = make([]audit.Event, 0, nEv)
+	}
+	for i := uint64(0); i < nEv; i++ {
+		var ev audit.Event
+		subj, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		obj, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		opB, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		ev.SubjectID, ev.ObjectID, ev.Op = int64(subj), int64(obj), audit.OpType(opB)
+		if ev.StartTime, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if ev.EndTime, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if ev.DataAmount, err = r.varint(); err != nil {
+			return nil, err
+		}
+		fc, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		ev.FailureCode = int(fc)
+		rec.Events = append(rec.Events, ev)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after record", len(r.b))
+	}
+	return rec, nil
+}
+
+// ScanResult is the outcome of scanning a WAL for replay.
+type ScanResult struct {
+	// Records are the replayable frames in order: floor-skipped and with
+	// consecutive equal-seq runs collapsed to the last write (the
+	// retried superset).
+	Records []*Record
+	// TruncateAt is the file offset the WAL should be truncated to
+	// before reuse, or -1 if the file is fully consistent.
+	TruncateAt int64
+	// TornTail reports a partial final frame was discarded (crash during
+	// append — expected, not corruption).
+	TornTail bool
+	// Dropped counts frames discarded to mid-file corruption under
+	// recover-corrupt, and DroppedBytes the bytes cut with them.
+	Dropped      int
+	DroppedBytes int64
+}
+
+// ScanFrames parses a WAL image. Frames with seq <= floor are skipped
+// (already covered by segments). A torn tail — the final frame extends
+// past end-of-file, or fails its checksum with nothing after it, or the
+// tail is all zero bytes — is truncated silently: that is the expected
+// shape of a crash during append. A checksum failure with valid data
+// beyond it is bit rot: ScanFrames returns a *CorruptError unless
+// recoverCorrupt, which instead degrades to the consistent prefix and
+// reports what was dropped.
+func ScanFrames(data []byte, floor uint64, recoverCorrupt bool) (ScanResult, error) {
+	res := ScanResult{TruncateAt: -1}
+	var pending *Record
+	flush := func() {
+		if pending != nil && pending.Seq > floor {
+			res.Records = append(res.Records, pending)
+		}
+		pending = nil
+	}
+	off := int64(0)
+	size := int64(len(data))
+	for off < size {
+		rest := data[off:]
+		if int64(len(rest)) < 8 {
+			// Partial header at end of file: torn.
+			res.TruncateAt, res.TornTail = off, true
+			break
+		}
+		ln := int64(binary.LittleEndian.Uint32(rest[0:]))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		end := off + 8 + ln
+		if ln == 0 && crc == 0 {
+			// A zero header is either preallocated/zero-filled tail (torn)
+			// or a zeroed region with real frames beyond (corruption).
+			if allZero(rest) {
+				res.TruncateAt, res.TornTail = off, true
+				break
+			}
+			if !recoverCorrupt {
+				return res, &CorruptError{File: "wal", Offset: off, Reason: "zeroed frame header with data beyond it"}
+			}
+			res.Dropped++
+			res.DroppedBytes = size - off
+			res.TruncateAt = off
+			break
+		}
+		if end > size {
+			// Frame claims more bytes than the file holds: torn tail.
+			res.TruncateAt, res.TornTail = off, true
+			break
+		}
+		payload := data[off+8 : end]
+		if crc32Checksum(payload) != crc {
+			if end == size {
+				// Checksum failure on the very last frame: torn write.
+				res.TruncateAt, res.TornTail = off, true
+				break
+			}
+			if !recoverCorrupt {
+				return res, &CorruptError{File: "wal", Offset: off, Reason: "frame checksum mismatch with valid data beyond it"}
+			}
+			res.Dropped++
+			res.DroppedBytes = size - off
+			res.TruncateAt = off
+			break
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			// The frame checksummed clean but does not parse: structural
+			// corruption, never torn.
+			if !recoverCorrupt {
+				return res, &CorruptError{File: "wal", Offset: off, Reason: err.Error()}
+			}
+			res.Dropped++
+			res.DroppedBytes = size - off
+			res.TruncateAt = off
+			break
+		}
+		if pending != nil && rec.Seq != pending.Seq {
+			flush()
+		}
+		pending = rec
+		off = end
+	}
+	flush()
+	return res, nil
+}
+
+func allZero(b []byte) bool {
+	return len(bytes.Trim(b, "\x00")) == 0
+}

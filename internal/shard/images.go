@@ -1,0 +1,96 @@
+package shard
+
+// Segment dump and restore for the sharded store. The fleet persists as
+// one segment generation: the global store's image (with the entity
+// table) plus one per-partition image (events and adjacency only —
+// partitions share the global entities). Restore rebuilds each store by
+// direct arena restoration over the shared entity slab, so a recovered
+// coordinator is indistinguishable from one built by New over the same
+// input.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"threatraptor/internal/audit"
+	"threatraptor/internal/engine"
+	"threatraptor/internal/segment"
+)
+
+// DumpImages flattens the whole fleet: the global store under role
+// "global" (with entities), then every partition under "p0".."pN-1"
+// (without — they share the global image's entity slab). Writer-side
+// only (the stream session calls it under its write lock, serialized
+// against AppendBatch).
+func (s *Store) DumpImages() []segment.RoleImage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]segment.RoleImage, 0, 1+len(s.shards))
+	out = append(out, segment.RoleImage{Role: segment.RoleGlobal, Image: engine.DumpImage(s.global, true)})
+	for i, p := range s.shards {
+		out = append(out, segment.RoleImage{Role: segment.PartitionRole(i), Image: engine.DumpImage(p.store, false)})
+	}
+	return out
+}
+
+// Topology names the sharding layout for the manifest.
+func (s *Store) Topology() segment.Topology {
+	return segment.Topology{Shards: len(s.shards), PartitionBy: s.part.Name()}
+}
+
+// OpenImages rebuilds a sharded store from one recovered segment
+// generation: the "global" image supplies the entity slab and the
+// authoritative store, and each "p<i>" image restores its partition over
+// the same shared entity table. part must match the partitioner the
+// generation was dumped under (the manifest records its name); shards is
+// the expected partition count.
+func OpenImages(imgs []segment.RoleImage, shards int, part Partitioner) (*Store, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if part == nil {
+		part = ByHash()
+	}
+	byRole := make(map[string]*segment.Image, len(imgs))
+	for _, ri := range imgs {
+		byRole[ri.Role] = ri.Image
+	}
+	gimg := byRole[segment.RoleGlobal]
+	if gimg == nil {
+		return nil, fmt.Errorf("shard: segment generation has no %q image", segment.RoleGlobal)
+	}
+	if len(byRole) != shards+1 {
+		return nil, fmt.Errorf("shard: segment generation holds %d images, topology wants %d partitions + global", len(imgs), shards)
+	}
+	table := audit.RestoreTable(gimg.Entities)
+	global, err := engine.OpenStore(gimg, gimg.EntityCols, gimg.Entities, table)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		part:         part,
+		global:       global,
+		globalEngine: &engine.Engine{Store: global, ViewHighWater: -1},
+		shards:       make([]*partition, shards),
+	}
+	for i := 0; i < shards; i++ {
+		pimg := byRole[segment.PartitionRole(i)]
+		if pimg == nil {
+			return nil, fmt.Errorf("shard: segment generation is missing partition %q", segment.PartitionRole(i))
+		}
+		st, err := engine.OpenStore(pimg, gimg.EntityCols, gimg.Entities, table)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d: %w", i, err)
+		}
+		s.shards[i] = &partition{
+			store: st,
+			// Same engine policy New uses: partition engines never
+			// materialize standing-query views.
+			engine: &engine.Engine{Store: st, ViewHighWater: -1},
+			opMask: maskOf(st.Log.Events),
+		}
+	}
+	s.fanout = make([]atomic.Int64, shards+1)
+	s.publishLocked()
+	return s, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"threatraptor/internal/audit"
 	"threatraptor/internal/engine"
+	"threatraptor/internal/segment"
 	"threatraptor/internal/tactical"
 	"threatraptor/internal/tbql"
 )
@@ -53,6 +54,21 @@ type engineBackend struct {
 	store *engine.Store
 	en    *engine.Engine
 }
+
+// NewBackend wraps the classic single store + engine pair as a
+// DurableBackend — what New uses internally, exported so OpenDurable
+// callers can supply it from their fresh/fromImages callbacks.
+func NewBackend(store *engine.Store, en *engine.Engine) DurableBackend {
+	return engineBackend{store: store, en: en}
+}
+
+// DumpImages flattens the single store as the one "global" role.
+func (b engineBackend) DumpImages() []segment.RoleImage {
+	return []segment.RoleImage{{Role: segment.RoleGlobal, Image: engine.DumpImage(b.store, true)}}
+}
+
+// Topology reports the unsharded layout.
+func (b engineBackend) Topology() segment.Topology { return segment.Topology{} }
 
 func (b engineBackend) GlobalStore() *engine.Store      { return b.store }
 func (b engineBackend) EntityTable() *audit.EntityTable { return b.store.Log.Entities }

@@ -112,6 +112,10 @@ type Config struct {
 	// and stats (the daemon feeds its metrics with it). Called under the
 	// session write lock; keep it cheap.
 	OnTacticalRound func(time.Duration, tactical.RoundStats)
+	// Durability configures the crash-safe storage layer (WAL + segment
+	// files, see OpenDurable). Ignored by New/NewWithBackend — only
+	// OpenDurable activates it.
+	Durability Durability
 }
 
 // DefaultConfig mirrors the batch pipeline's defaults.
@@ -192,6 +196,12 @@ type Session struct {
 
 	subs    map[int64]*Subscription
 	nextSub int64
+
+	// dur is the durability state (nil for non-durable sessions): the
+	// open WAL, the commit sequence, and the segment-flush cadence. Only
+	// OpenDurable sets it. Guarded by the write lock like everything else
+	// on the ingest path.
+	dur *durable
 
 	// tact is the tactical analyzer (nil without configured rules); its
 	// rounds run under the write lock, its accessors lock internally.
@@ -353,6 +363,19 @@ func (s *Session) Close() error {
 		return nil
 	}
 	_, err := s.advanceLocked(true)
+	if s.dur != nil {
+		// Clean shutdown: one final segment generation captures everything
+		// applied, so the next open restores without replaying any WAL. A
+		// failed flush keeps the WAL — recovery replays it instead.
+		if s.dur.sinceFlush > 0 || s.dur.wal.Size() > 0 {
+			if ferr := s.flushSegmentsLocked(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if cerr := s.dur.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	for id, sub := range s.subs {
 		s.backend.DropViews(sub.analyzed)
 		close(sub.c)
@@ -408,12 +431,28 @@ func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
 
 	if len(sealed) > 0 || len(newEntities) > 0 {
 		deltaFloor := s.backend.NextEventID()
+		if s.dur != nil {
+			// Write-ahead: the batch must be durable (per the fsync policy)
+			// before the in-memory apply. A WAL failure is handled exactly
+			// like a failed append — the retry rewrites the frame under the
+			// same commit sequence, and replay keeps the last of an
+			// equal-seq run.
+			if err := s.dur.logBatch(newEntities, sealed); err != nil {
+				s.replay = sealed
+				return st, err
+			}
+		}
 		if err := s.backend.AppendBatch(newEntities, sealed); err != nil {
 			// AppendBatch rolled back; stash the sealed events (the reducer
 			// no longer holds them) and leave lastEntityID where it was so
 			// the retry re-collects the same entity delta.
 			s.replay = sealed
 			return st, err
+		}
+		if s.dur != nil {
+			// The apply committed; the WAL frame's sequence is now the
+			// session's durable frontier.
+			s.dur.seq++
 		}
 		s.lastEntityID = s.backend.EntityTable().MaxID()
 		if len(sealed) > 0 {
@@ -434,6 +473,14 @@ func (s *Session) advanceLocked(flush bool) (IngestStats, error) {
 				}
 				if s.cfg.OnTacticalRound != nil {
 					s.cfg.OnTacticalRound(time.Since(t0), rs)
+				}
+			}
+			if s.dur != nil {
+				if s.dur.sinceFlush++; s.dur.sinceFlush >= s.dur.cfg.SegmentEvery {
+					// A failed flush must not fail ingestion: the error is
+					// reported through OnSegmentFlush and the WAL keeps
+					// growing until a flush succeeds.
+					_ = s.flushSegmentsLocked()
 				}
 			}
 		}

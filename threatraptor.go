@@ -33,6 +33,7 @@ import (
 	"threatraptor/internal/provenance"
 	"threatraptor/internal/reduction"
 	"threatraptor/internal/rules"
+	"threatraptor/internal/segment"
 	"threatraptor/internal/shard"
 	"threatraptor/internal/stream"
 	"threatraptor/internal/synth"
@@ -83,6 +84,25 @@ type Options struct {
 	// and round stats). It is called from the ingestion path — keep it
 	// cheap (metrics recording).
 	OnTacticalRound func(time.Duration, tactical.RoundStats)
+	// DataDir enables the durable crash-safe store: the live session
+	// write-ahead-logs every sealed batch into this directory and
+	// periodically flushes checksummed columnar segment files, and Live()
+	// recovers whatever a previous session persisted there (segments +
+	// WAL replay). Empty keeps the classic in-memory store.
+	DataDir string
+	// FsyncPolicy is the WAL fsync policy: "always" (default), "batch"
+	// (only at segment-flush boundaries), or "off".
+	FsyncPolicy string
+	// SegmentEvery flushes a segment generation every N sealed batches
+	// (default 64). Clean Close always flushes.
+	SegmentEvery int
+	// RecoverCorrupt opts into degraded recovery: mid-file WAL corruption
+	// truncates to the last consistent prefix instead of refusing startup.
+	RecoverCorrupt bool
+	// OnWALFsync, when set, observes every WAL fsync duration.
+	OnWALFsync func(time.Duration)
+	// OnSegmentFlush, when set, observes every segment flush attempt.
+	OnSegmentFlush func(stream.FlushStats)
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -112,6 +132,9 @@ type System struct {
 	live *stream.Session
 	// adm is the concurrent-hunt admission semaphore (nil: unlimited).
 	adm *engine.Admission
+	// recovery holds what the durable open found (zero value without
+	// Options.DataDir or before Live).
+	recovery stream.RecoveryStats
 }
 
 // New creates a System with the given options.
@@ -187,16 +210,19 @@ func (s *System) Live() (*stream.Session, error) {
 	if s.live != nil {
 		return s.live, nil
 	}
-	if s.store == nil {
-		if err := s.buildStore(audit.NewLog()); err != nil {
-			return nil, err
-		}
-	}
 	cfg := stream.Config{
 		ReductionThresholdUS: s.opts.ReductionThresholdUS,
 		LatenessUS:           s.opts.StreamLatenessUS,
 		Tactical:             tactical.Config{Rules: s.opts.Rules},
 		OnTacticalRound:      s.opts.OnTacticalRound,
+	}
+	if s.opts.DataDir != "" {
+		return s.openDurable(cfg)
+	}
+	if s.store == nil {
+		if err := s.buildStore(audit.NewLog()); err != nil {
+			return nil, err
+		}
 	}
 	if s.shards != nil {
 		s.live = stream.NewWithBackend(s.shards, cfg)
@@ -204,6 +230,103 @@ func (s *System) Live() (*stream.Session, error) {
 		s.live = stream.New(s.store, s.engine, cfg)
 	}
 	return s.live, nil
+}
+
+// openDurable opens the crash-safe live session over Options.DataDir:
+// persisted state is recovered (segment restore + WAL replay) when the
+// directory holds a committed manifest, otherwise the session starts
+// over the current (possibly preloaded) store and persists from here on.
+func (s *System) openDurable(cfg stream.Config) (*stream.Session, error) {
+	cfg.Durability = stream.Durability{
+		Dir:            s.opts.DataDir,
+		Fsync:          s.opts.FsyncPolicy,
+		SegmentEvery:   s.opts.SegmentEvery,
+		RecoverCorrupt: s.opts.RecoverCorrupt,
+		OnWALFsync:     s.opts.OnWALFsync,
+		OnSegmentFlush: s.opts.OnSegmentFlush,
+	}
+	if s.store != nil && segment.Exists(s.opts.DataDir) {
+		return nil, fmt.Errorf("threatraptor: data dir %s holds persisted state but a log is already loaded; skip preloading to recover it, or point DataDir at a fresh directory", s.opts.DataDir)
+	}
+	fresh := func() (stream.DurableBackend, error) {
+		if s.store == nil {
+			if err := s.buildStore(audit.NewLog()); err != nil {
+				return nil, err
+			}
+		}
+		if s.shards != nil {
+			return s.shards, nil
+		}
+		return stream.NewBackend(s.store, s.engine), nil
+	}
+	fromImages := func(imgs []segment.RoleImage, topo segment.Topology) (stream.DurableBackend, error) {
+		wantShards := 0
+		wantPart := ""
+		if s.opts.Shards > 1 {
+			p, err := shard.ParsePartitioner(s.opts.PartitionBy)
+			if err != nil {
+				return nil, err
+			}
+			wantShards, wantPart = s.opts.Shards, p.Name()
+		}
+		if topo.Shards != wantShards || topo.PartitionBy != wantPart {
+			return nil, fmt.Errorf(
+				"threatraptor: data dir %s was persisted with %d shards (partitioner %q) but the configuration wants %d (%q); reshard by rebuilding from the source log, or match the persisted topology",
+				s.opts.DataDir, topo.Shards, topo.PartitionBy, wantShards, wantPart)
+		}
+		if topo.Shards > 0 {
+			part, err := shard.ParsePartitioner(topo.PartitionBy)
+			if err != nil {
+				return nil, err
+			}
+			sh, err := shard.OpenImages(imgs, topo.Shards, part)
+			if err != nil {
+				return nil, err
+			}
+			s.shards = sh
+			s.store = sh.Global()
+			s.engine = &engine.Engine{Store: s.store}
+			return sh, nil
+		}
+		var gimg *segment.Image
+		for _, ri := range imgs {
+			if ri.Role == segment.RoleGlobal {
+				gimg = ri.Image
+			}
+		}
+		if gimg == nil {
+			return nil, fmt.Errorf("threatraptor: data dir %s has no %q segment", s.opts.DataDir, segment.RoleGlobal)
+		}
+		st, err := engine.OpenStore(gimg, gimg.EntityCols, gimg.Entities, audit.RestoreTable(gimg.Entities))
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.engine = &engine.Engine{Store: st}
+		return stream.NewBackend(st, s.engine), nil
+	}
+	live, rs, err := stream.OpenDurable(cfg, fresh, fromImages)
+	if err != nil {
+		return nil, err
+	}
+	s.live = live
+	s.recovery = rs
+	return live, nil
+}
+
+// RecoveryStats reports what the durable open recovered: zero value
+// without Options.DataDir or before the live session exists.
+func (s *System) RecoveryStats() stream.RecoveryStats { return s.recovery }
+
+// Close shuts down the live session if one exists: buffered input is
+// flushed, standing subscriptions terminate, and a durable session
+// writes its final segment generation and closes the WAL. The store
+// remains queryable. A System without a live session closes as a no-op.
+func (s *System) Close() error {
+	if s.live == nil {
+		return nil
+	}
+	return s.live.Close()
 }
 
 // Ingest reads every currently available raw audit record from r into the
